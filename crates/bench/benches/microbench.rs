@@ -1,0 +1,153 @@
+//! Microbenchmarks of the algorithmic kernels: medoid projection,
+//! diameter heuristics, split functions, and single gossip exchanges.
+//!
+//! These quantify the cost trade-offs the paper discusses qualitatively:
+//! the O(n²) medoid/diameter vs their sampled approximations
+//! (Sec. III-F), and the per-exchange price of each `SPLIT` variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polystyrene::prelude::*;
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_space::diameter::{diameter_exact, diameter_sampled, diameter_two_sweep};
+use polystyrene_space::medoid::{medoid_index, medoid_index_sampled};
+use polystyrene_space::torus::Torus2;
+use polystyrene_topology::{tman_exchange, TMan, TManConfig, TopologyConstruction};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| [rng.random_range(0.0..80.0), rng.random_range(0.0..40.0)])
+        .collect()
+}
+
+fn random_datapoints(n: usize, seed: u64) -> Vec<DataPoint<[f64; 2]>> {
+    random_points(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p))
+        .collect()
+}
+
+fn bench_medoid(c: &mut Criterion) {
+    let space = Torus2::new(80.0, 40.0);
+    let mut group = c.benchmark_group("medoid");
+    for &n in &[4usize, 16, 64, 256] {
+        let pts = random_points(n, 1);
+        group.bench_with_input(BenchmarkId::new("exact", n), &pts, |b, pts| {
+            b.iter(|| medoid_index(&space, pts));
+        });
+        group.bench_with_input(BenchmarkId::new("sampled16", n), &pts, |b, pts| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| medoid_index_sampled(&space, pts, 16, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let space = Torus2::new(80.0, 40.0);
+    let mut group = c.benchmark_group("diameter");
+    for &n in &[16usize, 64, 256] {
+        let pts = random_points(n, 3);
+        group.bench_with_input(BenchmarkId::new("exact", n), &pts, |b, pts| {
+            b.iter(|| diameter_exact(&space, pts));
+        });
+        group.bench_with_input(BenchmarkId::new("sampled4n", n), &pts, |b, pts| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| diameter_sampled(&space, pts, pts.len() * 4, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("two_sweep", n), &pts, |b, pts| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| diameter_two_sweep(&space, pts, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let space = Torus2::new(80.0, 40.0);
+    let mut group = c.benchmark_group("split");
+    for &n in &[8usize, 40, 120] {
+        let pts = random_datapoints(n, 7);
+        for strategy in SplitStrategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &pts,
+                |b, pts| {
+                    let mut rng = StdRng::seed_from_u64(8);
+                    b.iter(|| {
+                        split(
+                            &space,
+                            strategy,
+                            pts.clone(),
+                            &[10.0, 10.0],
+                            &[60.0, 30.0],
+                            30,
+                            &mut rng,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_migration_exchange(c: &mut Criterion) {
+    let space = Torus2::new(80.0, 40.0);
+    let cfg = PolystyreneConfig::default();
+    let mut group = c.benchmark_group("migration_exchange");
+    for &n in &[2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let pts = random_datapoints(n, 10);
+            b.iter(|| {
+                let mut p: PolyState<[f64; 2]> = PolyState::empty_at([0.0, 0.0]);
+                let mut q: PolyState<[f64; 2]> = PolyState::empty_at([40.0, 20.0]);
+                p.absorb_guests(pts[..n / 2].to_vec());
+                q.absorb_guests(pts[n / 2..].to_vec());
+                migrate_exchange(&space, &cfg, &mut p, &mut q, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tman_exchange(c: &mut Criterion) {
+    let space = Torus2::new(80.0, 40.0);
+    let mut group = c.benchmark_group("tman_exchange");
+    group.bench_function("view100_m20", |b| {
+        let config = TManConfig::default();
+        let mut a = TMan::new(space, config);
+        let mut q = TMan::new(space, config);
+        let pts = random_points(100, 11);
+        let descs: Vec<Descriptor<[f64; 2]>> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Descriptor::new(NodeId::new(i as u64 + 10), p))
+            .collect();
+        a.integrate(NodeId::new(0), &[0.0, 0.0], &descs[..50]);
+        q.integrate(NodeId::new(1), &[40.0, 20.0], &descs[50..]);
+        b.iter(|| {
+            tman_exchange(
+                &mut a,
+                Descriptor::new(NodeId::new(0), [0.0, 0.0]),
+                &mut q,
+                Descriptor::new(NodeId::new(1), [40.0, 20.0]),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_medoid,
+    bench_diameter,
+    bench_split,
+    bench_migration_exchange,
+    bench_tman_exchange
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! **Extension experiment E1** — routing quality through the three-phase
+//! scenario (not a paper figure, but the paper's motivating claim made
+//! quantitative: "Losing the shape of the topology might affect system
+//! performance, e.g. routing").
+//!
+//! At sampled rounds the harness freezes the overlay, runs a greedy
+//! routing survey over random keys, and reports delivery rate, mean hops
+//! and mean final distance to the key — for Polystyrene and for the
+//! T-Man baseline.
+//!
+//! ```sh
+//! cargo run --release -p polystyrene-bench --bin ext_routing_recovery -- \
+//!     --cols 80 --rows 40
+//! ```
+
+use polystyrene::prelude::SplitStrategy;
+use polystyrene_bench::{experiment_config, CommonArgs};
+use polystyrene_routing::prelude::*;
+use polystyrene_sim::prelude::*;
+use polystyrene_space::shapes;
+use polystyrene_space::torus::Torus2;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn survey_at(
+    engine: &Engine<Torus2>,
+    w: f64,
+    h: f64,
+    attempts: usize,
+    rng: &mut StdRng,
+) -> RoutingSurvey {
+    // Routing uses 8 links per hop: greedy geographic routing over the 4
+    // drawn-in-figures neighbors is fragile on the irregular post-failure
+    // layout (directional gaps create local minima); 8 closest view
+    // entries restore CAN-like routability on both stacks.
+    let oracle = EngineOracle::new(engine, 8);
+    routing_survey(
+        engine.space(),
+        &oracle,
+        |rng: &mut StdRng| [rng.random_range(0.0..w), rng.random_range(0.0..h)],
+        attempts,
+        (w + h) as usize * 2,
+        0.75,
+        rng,
+    )
+}
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs {
+        cols: 40,
+        rows: 20,
+        ..Default::default()
+    });
+    let paper = args.paper_scenario();
+    let (w, h) = paper.extents();
+    let attempts = args.extra_usize("attempts", 400);
+    println!(
+        "E1 routing recovery: {}-node torus, {} lookups per sample\n",
+        paper.node_count(),
+        attempts
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, tman_only) in [("Polystyrene_K4", false), ("TMan", true)] {
+        let mut cfg = experiment_config(args.k, SplitStrategy::Advanced, args.seed);
+        cfg.area = paper.area();
+        let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
+        if tman_only {
+            engine.disable_polystyrene();
+        }
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xE1);
+
+        let mut sample = |engine: &Engine<Torus2>, label: &str, rng: &mut StdRng| {
+            let s = survey_at(engine, w, h, attempts, rng);
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.1}", s.success_rate() * 100.0),
+                format!("{:.2}", s.mean_hops),
+                format!("{:.3}", s.mean_final_distance),
+            ]);
+        };
+
+        engine.run(paper.failure_round);
+        sample(&engine, "converged", &mut rng);
+        engine.fail_original_region(shapes::in_right_half(w));
+        sample(&engine, "just after failure", &mut rng);
+        engine.run(3);
+        sample(&engine, "failure + 3 rounds", &mut rng);
+        engine.run(12);
+        sample(&engine, "failure + 15 rounds", &mut rng);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "E1 — greedy routing through the catastrophe",
+            &["stack", "moment", "delivery (%)", "mean hops", "mean dist to key"],
+            &rows,
+        )
+    );
+    write_csv(
+        args.out.join("ext_routing_recovery.csv"),
+        &["stack", "moment", "delivery_pct", "mean_hops", "mean_final_distance"],
+        &rows,
+    )
+    .expect("failed to write CSV");
+    println!("CSV written to {}", args.out.display());
+    println!(
+        "\nExpected shape: both stacks route fine when converged; right after\n\
+         the blast the mean distance to keys explodes (keys in the hole).\n\
+         Under Polystyrene it returns to ~pre-failure levels within ~15\n\
+         rounds; under T-Man it stays high forever."
+    );
+}

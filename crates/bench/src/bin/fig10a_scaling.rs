@@ -1,0 +1,54 @@
+//! **Figure 10a** — reshaping time vs network size for K ∈ {2, 4, 8}
+//! with `SPLIT_ADVANCED`. The paper reports near-logarithmic growth,
+//! reaching 14.08 ± 0.11 rounds at 51 200 nodes with K = 8.
+//!
+//! ```sh
+//! cargo run --release -p polystyrene-bench --bin fig10a_scaling -- \
+//!     --max-nodes 51200 --runs 25       # full paper scale (slow!)
+//! ```
+
+use polystyrene::prelude::SplitStrategy;
+use polystyrene_bench::{render_reshaping_table, scaling_sizes, scaling_sweep, CommonArgs};
+use polystyrene_sim::prelude::write_csv;
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs {
+        runs: 3,
+        ..Default::default()
+    });
+    let max_nodes = args.extra_usize("max-nodes", 6400);
+    let sizes = scaling_sizes(max_nodes);
+    println!(
+        "Fig. 10a sweep: sizes {:?}, K ∈ {{2, 4, 8}}, {} runs each\n",
+        sizes.iter().map(|&(c, r)| c * r).collect::<Vec<_>>(),
+        args.runs
+    );
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for &k in &[8usize, 4, 2] {
+        let rows = scaling_sweep(&sizes, k, SplitStrategy::Advanced, args.runs, args.seed, 60);
+        println!(
+            "{}",
+            render_reshaping_table(&format!("Fig. 10a — Polystyrene_K{k}"), &rows)
+        );
+        for r in &rows {
+            csv_rows.push(vec![
+                k.to_string(),
+                r.nodes.to_string(),
+                format!("{:.3}", r.reshaping.mean),
+                format!("{:.3}", r.reshaping.half_width),
+            ]);
+        }
+    }
+    write_csv(
+        args.out.join("fig10a_scaling.csv"),
+        &["K", "nodes", "reshaping_mean", "reshaping_ci95"],
+        &csv_rows,
+    )
+    .expect("failed to write CSV");
+    println!("CSV written to {}", args.out.display());
+    println!(
+        "\nExpected shape (paper Fig. 10a): reshaping time grows roughly\n\
+         logarithmically with network size and increases with K at every size."
+    );
+}

@@ -1,0 +1,62 @@
+//! **Figure 1** — catastrophic correlated failure under plain T-Man.
+//!
+//! Reproduces the three panels of paper Fig. 1: (a) the random initial
+//! overlay, (b) the converged torus, (c) the broken shape after the
+//! right half of the torus crashes — T-Man heals links but the torus is
+//! gone for good. Snapshots are rendered as ASCII density maps and dumped
+//! as CSV point clouds.
+//!
+//! ```sh
+//! cargo run --release -p polystyrene-bench --bin fig1_tman_failure -- \
+//!     --cols 80 --rows 40
+//! ```
+
+use polystyrene_bench::CommonArgs;
+use polystyrene_sim::prelude::*;
+use polystyrene_space::shapes;
+use polystyrene_space::torus::Torus2;
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs {
+        cols: 40,
+        rows: 20,
+        ..Default::default()
+    });
+    let paper = args.paper_scenario();
+    let (w, h) = paper.extents();
+    let mut cfg = EngineConfig::default();
+    cfg.area = paper.area();
+    cfg.seed = args.seed;
+    let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
+    engine.disable_polystyrene();
+
+    let cells_x = args.cols.min(72);
+    let cells_y = args.rows.min(24);
+    let dump = |engine: &Engine<Torus2>, label: &str, out: &std::path::Path| {
+        let snap = Snapshot::capture(engine, 4);
+        println!(
+            "--- Fig. 1{label} (round {}, {} alive) ---",
+            snap.round,
+            snap.positions.len()
+        );
+        println!("{}", snap.render_density(w, h, cells_x, cells_y));
+        snap.write_positions_csv(out.join(format!("fig1{label}.csv")))
+            .expect("failed to write CSV");
+    };
+
+    dump(&engine, "a_round0", &args.out);
+    engine.run(paper.failure_round);
+    dump(&engine, "b_converged", &args.out);
+    engine.fail_original_region(shapes::in_right_half(w));
+    engine.run(20); // give T-Man time to heal its links
+    dump(&engine, "c_after_failure", &args.out);
+
+    let m = engine.history().last().unwrap();
+    println!(
+        "T-Man healed its links (proximity {:.2}) but the shape is lost:\n\
+         homogeneity {:.2} vs reference {:.2} — the paper reports the same\n\
+         plateau (5.25 for the 80×40 torus).",
+        m.proximity, m.homogeneity, m.reference_homogeneity
+    );
+    println!("CSV point clouds written to {}", args.out.display());
+}

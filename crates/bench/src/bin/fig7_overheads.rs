@@ -1,0 +1,93 @@
+//! **Figure 7** — memory overhead (7a: data points per node) and
+//! communication cost (7b: units per node per round) over the three-phase
+//! scenario, for Polystyrene K ∈ {2, 4, 8} and the T-Man baseline.
+//!
+//! ```sh
+//! cargo run --release -p polystyrene-bench --bin fig7_overheads -- \
+//!     --cols 80 --rows 40 --runs 25     # full paper scale
+//! ```
+
+use polystyrene::prelude::SplitStrategy;
+use polystyrene_bench::{run_quality, steady_state, CommonArgs};
+use polystyrene_sim::prelude::*;
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs {
+        cols: 40,
+        rows: 20,
+        runs: 3,
+        ..Default::default()
+    });
+    let paper = args.paper_scenario();
+    println!(
+        "Fig. 7 scenario: {}-node torus, failure at r={}, reinjection at r={:?}, {} runs",
+        paper.node_count(),
+        paper.failure_round,
+        paper.inject_round,
+        args.runs
+    );
+
+    let mut points_series: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut cost_series: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for &k in &[8usize, 4, 2] {
+        let result = run_quality(
+            &paper,
+            StackKind::Polystyrene,
+            k,
+            SplitStrategy::Advanced,
+            args.runs,
+            args.seed,
+        );
+        let points = result.points_per_node.means();
+        let cost = result.cost_per_node.means();
+        let pre_failure = points.get(paper.failure_round as usize - 1).copied().unwrap_or(f64::NAN);
+        println!(
+            "Polystyrene_K{k}: points/node before failure {:.2} (expect 1+K={}), \
+             steady after failure {:.2}, cost/node steady {:.1} units",
+            pre_failure,
+            1 + k,
+            steady_state(&points[..paper.inject_round.unwrap_or(paper.total_rounds) as usize], 10),
+            steady_state(&cost, 10),
+        );
+        points_series.push((format!("Polystyrene_K{k}"), points));
+        cost_series.push((format!("Polystyrene_K{k}"), cost));
+    }
+    let tman = run_quality(
+        &paper,
+        StackKind::TManOnly,
+        4,
+        SplitStrategy::Advanced,
+        args.runs,
+        args.seed,
+    );
+    println!(
+        "TMan: points/node {:.2} (always exactly 1), cost/node steady {:.1} units",
+        steady_state(&tman.points_per_node.means(), 10),
+        steady_state(&tman.cost_per_node.means(), 10),
+    );
+    points_series.push(("TMan".into(), tman.points_per_node.means()));
+    cost_series.push(("TMan".into(), tman.cost_per_node.means()));
+
+    for (title, series, file) in [
+        ("Fig. 7a — data points per node", &points_series, "fig7a_points_per_node.csv"),
+        ("Fig. 7b — message cost per node (units)", &cost_series, "fig7b_cost_per_node.csv"),
+    ] {
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(label, s)| (label.as_str(), s.as_slice()))
+            .collect();
+        println!("\n{}", ascii_plot(title, &refs, 14, 72));
+        let (headers, rows) = series_rows(&refs);
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        write_csv(args.out.join(file), &headers_ref, &rows).expect("failed to write CSV");
+    }
+    println!("CSV series written to {}", args.out.display());
+    println!(
+        "\nExpected shape (paper Fig. 7): points/node sits at 1+K before the\n\
+         failure, spikes right after it (eager re-replication of recovered\n\
+         ghosts) and decays as migration deduplicates; cost is dominated by\n\
+         T-Man position updates (93.6% for K=8 in the paper), with Polystyrene\n\
+         adding only migration traffic and incremental backup deltas."
+    );
+}

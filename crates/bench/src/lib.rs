@@ -1,0 +1,307 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index) and accepts the same flags:
+//!
+//! ```text
+//! --cols N        torus grid columns    (default: figure-specific)
+//! --rows N        torus grid rows
+//! --runs N        repeated seeded runs  (paper: 25)
+//! --k N           replication factor    (paper: 2, 4 or 8)
+//! --seed N        base seed
+//! --out DIR       CSV output directory  (default: target/experiments)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use polystyrene::prelude::SplitStrategy;
+use polystyrene_sim::prelude::*;
+use polystyrene_space::stats::ci95;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Torus grid columns.
+    pub cols: usize,
+    /// Torus grid rows.
+    pub rows: usize,
+    /// Number of repeated seeded runs.
+    pub runs: usize,
+    /// Replication factor K.
+    pub k: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Output directory for CSV dumps.
+    pub out: PathBuf,
+    /// Leftover `--key value` pairs for figure-specific options.
+    pub extra: HashMap<String, String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            cols: 80,
+            rows: 40,
+            runs: 5,
+            k: 4,
+            seed: 1,
+            out: PathBuf::from("target/experiments"),
+            extra: HashMap::new(),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `--key value` pairs from `std::env::args`, starting from the
+    /// given defaults. Unknown keys land in [`CommonArgs::extra`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(defaults: CommonArgs) -> Self {
+        let mut args = defaults;
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --key, got {:?}", argv[i]));
+            let value = argv
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("missing value for --{key}"))
+                .clone();
+            match key {
+                "cols" => args.cols = value.parse().expect("--cols expects an integer"),
+                "rows" => args.rows = value.parse().expect("--rows expects an integer"),
+                "runs" => args.runs = value.parse().expect("--runs expects an integer"),
+                "k" => args.k = value.parse().expect("--k expects an integer"),
+                "seed" => args.seed = value.parse().expect("--seed expects an integer"),
+                "out" => args.out = PathBuf::from(value),
+                _ => {
+                    args.extra.insert(key.to_string(), value);
+                }
+            }
+            i += 2;
+        }
+        args
+    }
+
+    /// An integer from [`CommonArgs::extra`], or the default.
+    pub fn extra_usize(&self, key: &str, default: usize) -> usize {
+        self.extra
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// The paper scenario for the configured grid.
+    pub fn paper_scenario(&self) -> PaperScenario {
+        PaperScenario {
+            cols: self.cols,
+            rows: self.rows,
+            ..Default::default()
+        }
+    }
+}
+
+/// The engine configuration used by all experiments unless overridden:
+/// paper parameters, with the replication factor and split strategy
+/// applied on top.
+pub fn experiment_config(k: usize, split: SplitStrategy, seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.poly = polystyrene::prelude::PolystyreneConfig::builder()
+        .replication(k)
+        .split(split)
+        .build();
+    cfg.seed = seed;
+    cfg
+}
+
+/// Runs the three-phase paper scenario for one `(stack, K)` configuration.
+pub fn run_quality(
+    paper: &PaperScenario,
+    stack: StackKind,
+    k: usize,
+    split: SplitStrategy,
+    runs: usize,
+    seed: u64,
+) -> ExperimentResult {
+    run_paper_experiment(paper, experiment_config(k, split, seed), stack, runs, |_| {})
+}
+
+/// Produces one Table II row: reshaping time and reliability for a given
+/// K over `runs` repetitions of the failure-only scenario.
+pub fn table2_row(
+    paper: &PaperScenario,
+    k: usize,
+    split: SplitStrategy,
+    runs: usize,
+    seed: u64,
+) -> ReshapingRow {
+    let result = run_quality(paper, StackKind::Polystyrene, k, split, runs, seed);
+    ReshapingRow {
+        label: format!("K={k}"),
+        nodes: paper.node_count(),
+        reshaping: result.reshaping_ci(),
+        unreshaped: result.unreshaped_runs,
+        reliability: result.reliability_percent_ci(),
+    }
+}
+
+/// The reshaping-time sweep of Fig. 10: one row per network size for a
+/// fixed K and split strategy. `sizes` are `(cols, rows)` grid shapes.
+pub fn scaling_sweep(
+    sizes: &[(usize, usize)],
+    k: usize,
+    split: SplitStrategy,
+    runs: usize,
+    seed: u64,
+    tail_rounds: u32,
+) -> Vec<ReshapingRow> {
+    sizes
+        .iter()
+        .map(|&(cols, rows)| {
+            let paper = PaperScenario::reshaping_only(cols, rows, 20, tail_rounds);
+            let result = run_quality(&paper, StackKind::Polystyrene, k, split, runs, seed);
+            ReshapingRow {
+                label: format!("{} nodes", cols * rows),
+                nodes: cols * rows,
+                reshaping: result.reshaping_ci(),
+                unreshaped: result.unreshaped_runs,
+                reliability: result.reliability_percent_ci(),
+            }
+        })
+        .collect()
+}
+
+/// Formats a [`ReshapingRow`] table in the paper's Table II layout.
+pub fn render_reshaping_table(title: &str, rows: &[ReshapingRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let reshaping = if r.reshaping.n == 0 {
+                format!("— ({} runs never reshaped)", r.unreshaped)
+            } else if r.unreshaped > 0 {
+                format!("{} ({} runs never reshaped)", r.reshaping, r.unreshaped)
+            } else {
+                r.reshaping.to_string()
+            };
+            vec![
+                r.label.clone(),
+                r.nodes.to_string(),
+                reshaping,
+                format!("{:.2} ± {:.2}", r.reliability.mean, r.reliability.half_width),
+            ]
+        })
+        .collect();
+    render_table(
+        title,
+        &["config", "nodes", "reshaping time (rounds)", "reliability (%)"],
+        &table_rows,
+    )
+}
+
+/// Standard grid shapes for the scaling sweeps (Fig. 10), from 100 to
+/// 51 200 nodes as in the paper ("Size of network" axis, 100 → 100 000
+/// log scale; the paper's largest run is a 320×160 torus).
+pub fn scaling_sizes(max_nodes: usize) -> Vec<(usize, usize)> {
+    [
+        (10, 10),
+        (20, 10),
+        (20, 20),
+        (40, 20),
+        (40, 40),
+        (80, 40),
+        (80, 80),
+        (160, 80),
+        (160, 160),
+        (320, 160),
+    ]
+    .into_iter()
+    .filter(|&(c, r)| c * r <= max_nodes)
+    .collect()
+}
+
+/// Summarizes an experiment's headline numbers for terminal output.
+pub fn summarize(result: &ExperimentResult, label: &str) -> String {
+    let reshaping = result.reshaping_ci();
+    let reliability = result.reliability_percent_ci();
+    let final_h = result.homogeneity.means().last().copied().unwrap_or(f64::NAN);
+    format!(
+        "{label}: reshaping {reshaping} rounds ({} unreshaped), reliability {reliability} %, final homogeneity {final_h:.3}",
+        result.unreshaped_runs
+    )
+}
+
+/// Mean of the last `n` samples of a series (steady-state estimate).
+pub fn steady_state(series: &[f64], n: usize) -> f64 {
+    if series.is_empty() {
+        return f64::NAN;
+    }
+    let tail = &series[series.len().saturating_sub(n)..];
+    ci95(tail).mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_config_applies_k_and_split() {
+        let cfg = experiment_config(8, SplitStrategy::Basic, 7);
+        assert_eq!(cfg.poly.replication, 8);
+        assert_eq!(cfg.poly.split, SplitStrategy::Basic);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn scaling_sizes_filtered_and_sorted() {
+        let sizes = scaling_sizes(3200);
+        assert_eq!(sizes.first(), Some(&(10, 10)));
+        assert_eq!(sizes.last(), Some(&(80, 40)));
+        assert!(sizes.iter().all(|&(c, r)| c * r <= 3200));
+        let all = scaling_sizes(usize::MAX);
+        assert_eq!(all.last(), Some(&(320, 160)));
+        assert_eq!(all.last().map(|&(c, r)| c * r), Some(51200));
+    }
+
+    #[test]
+    fn steady_state_tail_mean() {
+        assert!((steady_state(&[1.0, 2.0, 3.0, 5.0], 2) - 4.0).abs() < 1e-12);
+        assert!(steady_state(&[], 3).is_nan());
+        assert!((steady_state(&[2.0], 10) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reshaping_table_renders_unreshaped_marker() {
+        use polystyrene_space::stats::ConfidenceInterval;
+        let rows = vec![ReshapingRow {
+            label: "K=2".into(),
+            nodes: 100,
+            reshaping: ConfidenceInterval {
+                mean: 0.0,
+                half_width: 0.0,
+                n: 0,
+            },
+            unreshaped: 3,
+            reliability: ConfidenceInterval {
+                mean: 50.0,
+                half_width: 1.0,
+                n: 3,
+            },
+        }];
+        let t = render_reshaping_table("T", &rows);
+        assert!(t.contains("never reshaped"));
+    }
+
+    #[test]
+    fn tiny_end_to_end_table2_row() {
+        let paper = PaperScenario::reshaping_only(12, 6, 8, 25);
+        let row = table2_row(&paper, 3, SplitStrategy::Advanced, 2, 1);
+        assert_eq!(row.nodes, 72);
+        assert!(row.reliability.mean > 70.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Backup — replicating guests to `K` other nodes (paper Algorithm 1,
+//! Steps 2/2' of Fig. 4).
+//!
+//! ```text
+//! backups ← backups \ failed
+//! backups ← backups ∪ { (K − |backups|) random nodes }
+//! for each b ∈ backups do
+//!     b.ghosts[p] ← guests            ⊲ push operation
+//! end for
+//! ```
+//!
+//! Backup targets are drawn uniformly at random (from the peer-sampling
+//! layer) because the paper assumes *correlated* failures: spreading
+//! replicas maximizes the chance that some holder survives a regional
+//! outage (Sec. III-D). The paper also notes the full-copy push "could be
+//! further improved by sending only incremental deltas"; this module
+//! implements that optimization — each push records what actually changed
+//! with respect to the previous push to the same target, pushes whose
+//! delta is empty are elided entirely, and the simulator charges only the
+//! delta.
+
+use crate::datapoint::{DataPoint, PointId};
+use crate::state::PolyState;
+use polystyrene_membership::NodeId;
+use std::collections::BTreeSet;
+
+/// One planned replica push from a node to one of its backup targets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackupPush<P> {
+    /// The backup node receiving the replica.
+    pub target: NodeId,
+    /// The full replica the target must store (`b.ghosts[p] ← guests`).
+    pub points: Vec<DataPoint<P>>,
+    /// Whether the target is a brand-new backup (full-state transfer).
+    pub new_target: bool,
+    /// Points added with respect to the previous push to this target.
+    pub added_points: usize,
+    /// Point ids removed with respect to the previous push (transmitted as
+    /// bare ids).
+    pub removed_ids: usize,
+}
+
+impl<P> BackupPush<P> {
+    /// Wire cost of this push in the paper's units, given the cost of one
+    /// data point (2 units for a 2-D point): changed points are shipped
+    /// whole, removals as bare ids (1 unit each).
+    pub fn cost_units(&self, units_per_point: usize) -> usize {
+        self.added_points * units_per_point + self.removed_ids
+    }
+}
+
+/// Runs Algorithm 1 for `state`, owned by `self_id`:
+///
+/// 1. drops failed backup targets,
+/// 2. recruits random replacements from `candidates` until `replication`
+///    targets are enrolled (candidates equal to `self_id`, already
+///    enrolled, or flagged failed are skipped; recruitment gives up after
+///    a bounded number of draws so a shrunken network cannot hang it),
+/// 3. plans one [`BackupPush`] per target whose replica is stale.
+///
+/// The caller (simulator or runtime) is responsible for delivering each
+/// push, i.e. executing `target.ghosts[self_id] ← push.points`.
+pub fn plan_backups<P: Clone>(
+    state: &mut PolyState<P>,
+    self_id: NodeId,
+    replication: usize,
+    is_failed: impl Fn(NodeId) -> bool,
+    mut candidates: impl FnMut() -> Option<NodeId>,
+) -> Vec<BackupPush<P>> {
+    // Line 1: backups ← backups \ failed (their delta records go too).
+    let dead: Vec<NodeId> = state.backups.iter().copied().filter(|&b| is_failed(b)).collect();
+    for b in dead {
+        state.backups.remove(&b);
+        state.last_sent.remove(&b);
+    }
+
+    // Line 2: recruit replacements, bounded attempts.
+    let mut attempts = replication.saturating_mul(20) + 20;
+    while state.backups.len() < replication && attempts > 0 {
+        attempts -= 1;
+        match candidates() {
+            Some(c) => {
+                if c != self_id && !is_failed(c) && !state.backups.contains(&c) {
+                    state.backups.insert(c);
+                }
+            }
+            None => break,
+        }
+    }
+
+    // Lines 3-5: plan pushes, eliding unchanged replicas.
+    let current_ids: BTreeSet<PointId> = state.guests.iter().map(|g| g.id).collect();
+    let mut pushes = Vec::new();
+    for &target in &state.backups {
+        let previous = state.last_sent.get(&target);
+        let new_target = previous.is_none();
+        let empty = BTreeSet::new();
+        let previous = previous.unwrap_or(&empty);
+        let added = current_ids.difference(previous).count();
+        let removed = previous.difference(&current_ids).count();
+        if !new_target && added == 0 && removed == 0 {
+            continue; // replica already up to date: no traffic at all
+        }
+        pushes.push(BackupPush {
+            target,
+            points: state.guests.clone(),
+            new_target,
+            added_points: added,
+            removed_ids: removed,
+        });
+    }
+    for push in &pushes {
+        state.last_sent.insert(push.target, current_ids.clone());
+    }
+    pushes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapoint::{DataPoint, PointId};
+
+    fn dp(id: u64, x: f64) -> DataPoint<[f64; 2]> {
+        DataPoint::new(PointId::new(id), [x, 0.0])
+    }
+
+    fn cycle_candidates(ids: Vec<u64>) -> impl FnMut() -> Option<NodeId> {
+        let mut i = 0;
+        move || {
+            if ids.is_empty() {
+                return None;
+            }
+            let out = NodeId::new(ids[i % ids.len()]);
+            i += 1;
+            Some(out)
+        }
+    }
+
+    #[test]
+    fn first_round_enrolls_k_targets_with_full_pushes() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        let pushes = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            3,
+            |_| false,
+            cycle_candidates(vec![1, 2, 3, 4]),
+        );
+        assert_eq!(s.backups.len(), 3);
+        assert_eq!(pushes.len(), 3);
+        for p in &pushes {
+            assert!(p.new_target);
+            assert_eq!(p.added_points, 1);
+            assert_eq!(p.removed_ids, 0);
+            assert_eq!(p.points.len(), 1);
+            assert_eq!(p.cost_units(2), 2);
+        }
+    }
+
+    #[test]
+    fn unchanged_state_sends_nothing() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        let _ = plan_backups(&mut s, NodeId::new(0), 2, |_| false, cycle_candidates(vec![1, 2]));
+        let again = plan_backups(&mut s, NodeId::new(0), 2, |_| false, cycle_candidates(vec![1, 2]));
+        assert!(again.is_empty(), "idle steady state must cost zero traffic");
+    }
+
+    #[test]
+    fn guest_changes_produce_deltas() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        let _ = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        s.absorb_guests(vec![dp(5, 1.0), dp(6, 2.0)]);
+        s.guests.retain(|g| g.id != PointId::new(0));
+        let pushes = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        assert_eq!(pushes.len(), 1);
+        let p = &pushes[0];
+        assert!(!p.new_target);
+        assert_eq!(p.added_points, 2); // ids 5 and 6
+        assert_eq!(p.removed_ids, 1); // id 0
+        assert_eq!(p.cost_units(2), 5); // 2*2 + 1
+    }
+
+    #[test]
+    fn failed_backups_are_replaced() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        let _ = plan_backups(&mut s, NodeId::new(0), 2, |_| false, cycle_candidates(vec![1, 2]));
+        assert!(s.backups.contains(&NodeId::new(1)));
+        // Node 1 dies; a replacement (3) must be enrolled and receive a
+        // full push, while the survivor (2) stays silent.
+        let pushes = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            2,
+            |id| id == NodeId::new(1),
+            cycle_candidates(vec![3]),
+        );
+        assert!(!s.backups.contains(&NodeId::new(1)));
+        assert!(s.backups.contains(&NodeId::new(3)));
+        assert_eq!(pushes.len(), 1);
+        assert_eq!(pushes[0].target, NodeId::new(3));
+        assert!(pushes[0].new_target);
+    }
+
+    #[test]
+    fn never_enrolls_self_failed_or_duplicates() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        let _ = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            3,
+            |id| id == NodeId::new(9),
+            cycle_candidates(vec![0, 9, 1, 1, 2, 3]),
+        );
+        assert!(!s.backups.contains(&NodeId::new(0)), "enrolled itself");
+        assert!(!s.backups.contains(&NodeId::new(9)), "enrolled a dead node");
+        assert_eq!(s.backups.len(), 3);
+    }
+
+    #[test]
+    fn gives_up_when_candidates_exhausted() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        // Only one valid candidate exists for K = 4.
+        let pushes = plan_backups(&mut s, NodeId::new(0), 4, |_| false, cycle_candidates(vec![1]));
+        assert_eq!(s.backups.len(), 1);
+        assert_eq!(pushes.len(), 1);
+        // And a `None`-returning supplier terminates immediately.
+        let mut s2 = PolyState::with_initial_point(dp(0, 0.0));
+        let pushes = plan_backups(&mut s2, NodeId::new(0), 4, |_| false, || None);
+        assert!(pushes.is_empty());
+    }
+
+    #[test]
+    fn replacement_after_loss_of_delta_record_is_full_push() {
+        let mut s = PolyState::with_initial_point(dp(0, 0.0));
+        let _ = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        // Backup 1 dies; its delta record must die with it so that a
+        // re-enrollment of the *same id* (e.g. id reuse) is a full push.
+        let _ = plan_backups(&mut s, NodeId::new(0), 1, |id| id == NodeId::new(1), || None);
+        assert!(s.last_sent.is_empty());
+        let pushes = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        assert_eq!(pushes.len(), 1);
+        assert!(pushes[0].new_target);
+    }
+}

@@ -1,0 +1,146 @@
+//! Replication-factor arithmetic (paper Sec. III-D).
+//!
+//! A data point survives a catastrophic failure if its primary holder or
+//! any of its `K` backups survives. With backups placed uniformly at
+//! random and a fraction `p_f` of nodes failing simultaneously, survival
+//! probability is `1 − p_f^(K+1)`, and the minimum `K` for a target
+//! survival probability `p_s` is `K > log(1 − p_s)/log(p_f) − 1`.
+//! The paper's worked example: `p_f = 0.5`, `p_s = 0.99` ⇒ `K ≥ 6`.
+
+/// Probability that a data point survives when a fraction `failure_fraction`
+/// of nodes crash simultaneously and the point has `replication` backups.
+///
+/// # Panics
+///
+/// Panics if `failure_fraction` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene::reliability::survival_probability;
+///
+/// // The paper's Table II settings: half the torus dies.
+/// assert!((survival_probability(0.5, 2) - 0.875).abs() < 1e-12);
+/// assert!((survival_probability(0.5, 4) - 0.96875).abs() < 1e-12);
+/// assert!((survival_probability(0.5, 8) - 0.998046875).abs() < 1e-12);
+/// ```
+pub fn survival_probability(failure_fraction: f64, replication: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&failure_fraction),
+        "failure fraction must be in [0, 1], got {failure_fraction}"
+    );
+    1.0 - failure_fraction.powi(replication as i32 + 1)
+}
+
+/// Minimum replication factor `K` achieving survival probability at least
+/// `target_survival` under a simultaneous failure of `failure_fraction`
+/// of the nodes (paper inequality `K > log(1 − p_s)/log(p_f) − 1`).
+///
+/// Degenerate cases: returns 0 when `failure_fraction == 0` (nothing ever
+/// dies) and `usize::MAX` when `failure_fraction == 1` and
+/// `target_survival > 0` (everything always dies).
+///
+/// # Panics
+///
+/// Panics if either argument is outside `[0, 1)` for `target_survival` or
+/// `[0, 1]` for `failure_fraction`.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene::reliability::required_replication;
+///
+/// // The paper's example: pf = 0.5, ps = 99% ⇒ K = 6 (from K > 5.64).
+/// assert_eq!(required_replication(0.5, 0.99), 6);
+/// ```
+pub fn required_replication(failure_fraction: f64, target_survival: f64) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&failure_fraction),
+        "failure fraction must be in [0, 1], got {failure_fraction}"
+    );
+    assert!(
+        (0.0..1.0).contains(&target_survival),
+        "target survival must be in [0, 1), got {target_survival}"
+    );
+    if failure_fraction == 0.0 || target_survival == 0.0 {
+        return 0;
+    }
+    if failure_fraction == 1.0 {
+        return usize::MAX;
+    }
+    let bound = (1.0 - target_survival).ln() / failure_fraction.ln() - 1.0;
+    if bound < 0.0 {
+        0
+    } else {
+        // Strict inequality: the smallest integer strictly greater than
+        // bound (floor + 1 covers both the integer and fractional cases).
+        bound.floor() as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // "a probability of survival of ps = 99% for individual data points
+        //  would require ... K > 5.64, i.e. a replication factor K of at
+        //  least 6."
+        assert_eq!(required_replication(0.5, 0.99), 6);
+    }
+
+    #[test]
+    fn table_ii_survival_levels() {
+        // "2, 4 or 8 back-up copies per data point, yielding an 87.5%,
+        //  96.9% or 99.8% probability of survival".
+        assert!((survival_probability(0.5, 2) - 0.875).abs() < 1e-9);
+        assert!((survival_probability(0.5, 4) - 0.969).abs() < 1e-3);
+        assert!((survival_probability(0.5, 8) - 0.998).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        assert_eq!(required_replication(0.0, 0.99), 0);
+        assert_eq!(required_replication(1.0, 0.5), usize::MAX);
+        assert_eq!(required_replication(0.5, 0.0), 0);
+        assert_eq!(survival_probability(0.0, 3), 1.0);
+        assert_eq!(survival_probability(1.0, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure fraction")]
+    fn rejects_bad_fraction() {
+        let _ = survival_probability(1.5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "target survival")]
+    fn rejects_survival_of_one() {
+        // ps = 1 needs infinite replication with pf > 0; the API refuses it.
+        let _ = required_replication(0.5, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn survival_monotone_in_replication(pf in 0.01..0.99f64, k in 0usize..20) {
+            prop_assert!(
+                survival_probability(pf, k + 1) >= survival_probability(pf, k)
+            );
+        }
+
+        #[test]
+        fn required_replication_achieves_target(
+            pf in 0.05..0.95f64,
+            ps in 0.05..0.995f64,
+        ) {
+            let k = required_replication(pf, ps);
+            prop_assert!(survival_probability(pf, k) >= ps - 1e-12);
+            // And it is minimal: one less fails the target (when k > 0).
+            if k > 0 {
+                prop_assert!(survival_probability(pf, k - 1) < ps + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! A node's Polystyrene-local state (paper Table I).
+//!
+//! | variable  | paper definition                                           |
+//! |-----------|------------------------------------------------------------|
+//! | `guests`  | the data points currently hosted by the local node          |
+//! | `pos`     | the node's virtual position                                  |
+//! | `ghosts`  | inactivated data points replicated to this node, keyed by the node they came from |
+//! | `backups` | the nodes where the local node has replicated its state      |
+
+use crate::config::PolystyreneConfig;
+use crate::datapoint::{dedup_by_id, DataPoint, PointId};
+use polystyrene_membership::NodeId;
+use polystyrene_space::MetricSpace;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Polystyrene state of one node, generic over the data-space point type.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene::prelude::*;
+///
+/// let origin = DataPoint::new(PointId::new(0), [2.0, 3.0]);
+/// let state = PolyState::with_initial_point(origin);
+/// assert_eq!(state.pos, [2.0, 3.0]);         // pos starts at the origin point
+/// assert_eq!(state.guests.len(), 1);         // one guest: the origin point
+/// assert!(state.ghosts.is_empty());          // no ghosts at start
+/// assert!(state.backups.is_empty());         // no backups at start
+/// ```
+#[derive(Clone, Debug)]
+pub struct PolyState<P> {
+    /// Data points this node is the *primary holder* of.
+    pub guests: Vec<DataPoint<P>>,
+    /// The node's virtual position, as published to the topology layer.
+    pub pos: P,
+    /// Deactivated replicas received from other nodes, keyed by origin:
+    /// `ghosts[q]` is the last state `q` pushed here.
+    pub ghosts: BTreeMap<NodeId, Vec<DataPoint<P>>>,
+    /// The nodes currently holding a replica of `guests`.
+    pub backups: BTreeSet<NodeId>,
+    /// Per-backup record of the point ids last pushed there, enabling the
+    /// incremental-delta traffic optimization of paper Sec. III-D.
+    pub(crate) last_sent: BTreeMap<NodeId, BTreeSet<PointId>>,
+}
+
+impl<P: Clone> PolyState<P> {
+    /// State of a founding node: hosts (only) its own original data point,
+    /// and its position is that point ("guests only contains one data
+    /// point: the node's initial position", paper Sec. III-A).
+    pub fn with_initial_point(origin: DataPoint<P>) -> Self {
+        Self {
+            pos: origin.pos.clone(),
+            guests: vec![origin],
+            ghosts: BTreeMap::new(),
+            backups: BTreeSet::new(),
+            last_sent: BTreeMap::new(),
+        }
+    }
+
+    /// State of a freshly injected node: a position but **no** data points
+    /// (paper Sec. IV-A Phase 3: nodes "containing no data point, but with
+    /// their pos parameters initialized").
+    pub fn empty_at(pos: P) -> Self {
+        Self {
+            pos,
+            guests: Vec::new(),
+            ghosts: BTreeMap::new(),
+            backups: BTreeSet::new(),
+            last_sent: BTreeMap::new(),
+        }
+    }
+
+    /// Ids of the hosted guests.
+    pub fn guest_ids(&self) -> Vec<PointId> {
+        self.guests.iter().map(|g| g.id).collect()
+    }
+
+    /// Total data points stored locally (guests + ghost copies) — the
+    /// memory-overhead metric of paper Fig. 7a.
+    pub fn stored_points(&self) -> usize {
+        self.guests.len() + self.ghosts.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Adds guests, deduplicating by id against the existing set.
+    pub fn absorb_guests(&mut self, incoming: Vec<DataPoint<P>>) {
+        let mut merged = std::mem::take(&mut self.guests);
+        merged.extend(incoming);
+        self.guests = dedup_by_id(merged);
+    }
+
+    /// Recomputes `pos` from the guests using the configured projection
+    /// (Step 1 of paper Fig. 4). Empty-guest nodes keep their position.
+    /// Returns `true` when the position was recomputed.
+    pub fn project<S, R>(&mut self, space: &S, config: &PolystyreneConfig, rng: &mut R) -> bool
+    where
+        S: MetricSpace<Point = P>,
+        R: Rng + ?Sized,
+    {
+        match config.projection.project(space, &self.guests, rng) {
+            Some(pos) => {
+                self.pos = pos;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records an incoming backup push: `from` replicated its guest set
+    /// here (Step 2' of paper Fig. 4).
+    pub fn store_ghosts(&mut self, from: NodeId, points: Vec<DataPoint<P>>) {
+        self.ghosts.insert(from, points);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_space::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dp(id: u64, x: f64, y: f64) -> DataPoint<[f64; 2]> {
+        DataPoint::new(PointId::new(id), [x, y])
+    }
+
+    #[test]
+    fn founding_node_invariants() {
+        let s = PolyState::with_initial_point(dp(7, 1.0, 2.0));
+        assert_eq!(s.pos, [1.0, 2.0]);
+        assert_eq!(s.guest_ids(), vec![PointId::new(7)]);
+        assert!(s.ghosts.is_empty());
+        assert!(s.backups.is_empty());
+        assert_eq!(s.stored_points(), 1);
+    }
+
+    #[test]
+    fn injected_node_is_empty() {
+        let s: PolyState<[f64; 2]> = PolyState::empty_at([3.0, 3.0]);
+        assert!(s.guests.is_empty());
+        assert_eq!(s.pos, [3.0, 3.0]);
+        assert_eq!(s.stored_points(), 0);
+    }
+
+    #[test]
+    fn absorb_guests_dedups() {
+        let mut s = PolyState::with_initial_point(dp(1, 0.0, 0.0));
+        s.absorb_guests(vec![dp(1, 9.0, 9.0), dp(2, 1.0, 1.0)]);
+        assert_eq!(s.guests.len(), 2);
+        // Existing copy of id 1 wins.
+        assert_eq!(s.guests[0].pos, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn stored_points_counts_ghosts() {
+        let mut s = PolyState::with_initial_point(dp(1, 0.0, 0.0));
+        s.store_ghosts(NodeId::new(5), vec![dp(10, 1.0, 1.0), dp(11, 2.0, 2.0)]);
+        s.store_ghosts(NodeId::new(6), vec![dp(12, 3.0, 3.0)]);
+        assert_eq!(s.stored_points(), 4);
+        // Re-push from the same origin replaces, not accumulates.
+        s.store_ghosts(NodeId::new(5), vec![dp(10, 1.0, 1.0)]);
+        assert_eq!(s.stored_points(), 3);
+    }
+
+    #[test]
+    fn project_updates_position_to_medoid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = PolystyreneConfig::default();
+        let mut s = PolyState::with_initial_point(dp(1, 0.0, 0.0));
+        s.absorb_guests(vec![dp(2, 1.0, 0.0), dp(3, 2.0, 0.0)]);
+        assert!(s.project(&Euclidean2, &cfg, &mut rng));
+        assert_eq!(s.pos, [1.0, 0.0]);
+    }
+
+    #[test]
+    fn project_keeps_position_when_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = PolystyreneConfig::default();
+        let mut s: PolyState<[f64; 2]> = PolyState::empty_at([4.0, 4.0]);
+        assert!(!s.project(&Euclidean2, &cfg, &mut rng));
+        assert_eq!(s.pos, [4.0, 4.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A globally unique node identifier.
+///
+/// In the paper's cost model a node ID is the unit of communication: "We
+/// assume a single coordinate uses the same size as a node ID, and take
+/// this as our arbitrary communication unit" (Sec. IV-A). The simulator's
+/// cost accounting charges 1 unit per `NodeId` on the wire.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_membership::NodeId;
+///
+/// let a = NodeId::new(7);
+/// assert_eq!(a.as_u64(), 7);
+/// assert_eq!(format!("{a}"), "n7");
+/// assert!(a < NodeId::new(8));
+/// ```
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw integer value.
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// The raw value as a usize, convenient for dense array indexing in the
+    /// simulator (ids are allocated contiguously there).
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let id = NodeId::new(42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(NodeId::from(42u64), id);
+        assert_eq!(id.index(), 42);
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+        assert_eq!(NodeId::new(3199).to_string(), "n3199");
+    }
+
+    #[test]
+    fn usable_in_hash_sets() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", NodeId::new(5)).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! A key-value facade over the overlay — the "storage systems" use case
+//! of the paper's introduction.
+//!
+//! Keys hash onto positions of the data space; the node whose published
+//! position is closest to a key's position is *responsible* for it, and
+//! lookups reach it by greedy routing. The store keeps its value payloads
+//! in an in-memory placement map (payload replication is orthogonal to
+//! Polystyrene — the paper replicates *positions*, not application data),
+//! so what this facade measures is exactly what the paper argues:
+//! **addressability**. When the overlay tears, keys in the hole stop
+//! resolving; when Polystyrene re-forms the shape, every key resolves
+//! again — at a surviving node.
+
+use crate::greedy::greedy_route;
+use crate::oracle::NeighborOracle;
+use polystyrene_membership::NodeId;
+use polystyrene_space::MetricSpace;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// Errors of the key-value facade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// No route reached the node responsible for the key.
+    Unroutable,
+    /// The key resolved, but the node holding the value has crashed and
+    /// no handoff ran since (see [`KeyValueStore::rebalance`]).
+    ValueLost,
+    /// The key was never stored.
+    NotFound,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Unroutable => write!(f, "no route to the responsible node"),
+            KvError::ValueLost => write!(f, "value holder crashed before handoff"),
+            KvError::NotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// FNV-1a hash of a key with a splitmix64 finalizer (plain FNV has weak
+/// high-bit avalanche on short keys, which would cluster key positions).
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // splitmix64 finalizer for full avalanche.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Maps a key to a position on a `width × height` rectangle (the torus
+/// fundamental domain), uniformly by hash.
+pub fn key_position(key: &str, width: f64, height: f64) -> [f64; 2] {
+    let h = fnv1a(key);
+    let x = (h >> 32) as f64 / u32::MAX as f64 * width;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 * height;
+    [x.min(width), y.min(height)]
+}
+
+/// The key-value facade. Generic over the oracle so it runs over a live
+/// engine, a static table, or the threaded runtime's observation plane.
+pub struct KeyValueStore {
+    width: f64,
+    height: f64,
+    ttl: usize,
+    delivery_radius: f64,
+    /// `key → (value, placed-at)`.
+    values: HashMap<String, (String, NodeId)>,
+}
+
+impl KeyValueStore {
+    /// A store addressing a `width × height` torus, routing with the
+    /// given TTL and delivery radius.
+    pub fn new(width: f64, height: f64, ttl: usize, delivery_radius: f64) -> Self {
+        Self {
+            width,
+            height,
+            ttl,
+            delivery_radius,
+            values: HashMap::new(),
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Resolves the node currently responsible for `key`, routing from a
+    /// random alive source.
+    pub fn resolve<S, R>(
+        &self,
+        space: &S,
+        oracle: &impl NeighborOracle<S::Point>,
+        key: &str,
+        rng: &mut R,
+    ) -> Result<NodeId, KvError>
+    where
+        S: MetricSpace<Point = [f64; 2]>,
+        R: Rng + ?Sized,
+    {
+        let nodes = oracle.nodes();
+        if nodes.is_empty() {
+            return Err(KvError::Unroutable);
+        }
+        let source = nodes[rng.random_range(0..nodes.len())];
+        let target = key_position(key, self.width, self.height);
+        let route = greedy_route(space, oracle, source, &target, self.ttl, self.delivery_radius);
+        if route.delivered {
+            Ok(*route.path.last().expect("path always contains the source"))
+        } else {
+            Err(KvError::Unroutable)
+        }
+    }
+
+    /// Stores `value` under `key` at the currently responsible node.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Unroutable`] when the key's position cannot be reached.
+    pub fn put<S, R>(
+        &mut self,
+        space: &S,
+        oracle: &impl NeighborOracle<S::Point>,
+        key: &str,
+        value: &str,
+        rng: &mut R,
+    ) -> Result<NodeId, KvError>
+    where
+        S: MetricSpace<Point = [f64; 2]>,
+        R: Rng + ?Sized,
+    {
+        let holder = self.resolve(space, oracle, key, rng)?;
+        self.values
+            .insert(key.to_string(), (value.to_string(), holder));
+        Ok(holder)
+    }
+
+    /// Looks `key` up: routes to the responsible node and returns the
+    /// value if that node (still) holds it.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotFound`] for unknown keys, [`KvError::Unroutable`]
+    /// when routing fails, [`KvError::ValueLost`] when the value's holder
+    /// crashed and no [`Self::rebalance`] has run since.
+    pub fn get<S, R>(
+        &self,
+        space: &S,
+        oracle: &impl NeighborOracle<S::Point>,
+        key: &str,
+        rng: &mut R,
+    ) -> Result<String, KvError>
+    where
+        S: MetricSpace<Point = [f64; 2]>,
+        R: Rng + ?Sized,
+    {
+        let (value, holder) = self.values.get(key).ok_or(KvError::NotFound)?;
+        let responsible = self.resolve(space, oracle, key, rng)?;
+        if oracle.position(*holder).is_none() {
+            return Err(KvError::ValueLost);
+        }
+        // In a deployed system the responsible node would proxy to the
+        // holder during the handoff window; both resolving and holding
+        // being alive makes the value reachable.
+        let _ = responsible;
+        Ok(value.clone())
+    }
+
+    /// Hands values over to the currently responsible nodes (the
+    /// background repair a deployed store runs after membership changes).
+    /// Values whose holder crashed are dropped; returns `(moved, lost)`.
+    pub fn rebalance<S, R>(
+        &mut self,
+        space: &S,
+        oracle: &impl NeighborOracle<S::Point>,
+        rng: &mut R,
+    ) -> (usize, usize)
+    where
+        S: MetricSpace<Point = [f64; 2]>,
+        R: Rng + ?Sized,
+    {
+        let keys: Vec<String> = self.values.keys().cloned().collect();
+        let mut moved = 0;
+        let mut lost = 0;
+        for key in keys {
+            let holder_alive = {
+                let (_, holder) = &self.values[&key];
+                oracle.position(*holder).is_some()
+            };
+            if !holder_alive {
+                self.values.remove(&key);
+                lost += 1;
+                continue;
+            }
+            if let Ok(responsible) = self.resolve(space, oracle, &key, rng) {
+                let entry = self.values.get_mut(&key).expect("key present");
+                if entry.1 != responsible {
+                    entry.1 = responsible;
+                    moved += 1;
+                }
+            }
+        }
+        (moved, lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::EngineOracle;
+    use polystyrene_sim::engine::{Engine, EngineConfig};
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rand::RngExt as _;
+
+    #[test]
+    fn key_positions_are_stable_and_in_bounds() {
+        let a = key_position("alpha", 80.0, 40.0);
+        let b = key_position("alpha", 80.0, 40.0);
+        assert_eq!(a, b);
+        for key in ["a", "b", "hello", "🦀", ""] {
+            let p = key_position(key, 80.0, 40.0);
+            assert!((0.0..=80.0).contains(&p[0]));
+            assert!((0.0..=40.0).contains(&p[1]));
+        }
+        assert_ne!(key_position("a", 80.0, 40.0), key_position("b", 80.0, 40.0));
+    }
+
+    fn converged_engine(seed: u64) -> Engine<Torus2> {
+        let mut cfg = EngineConfig::default();
+        cfg.area = 128.0;
+        cfg.seed = seed;
+        cfg.tman.view_cap = 24;
+        cfg.tman.m = 8;
+        let mut e = Engine::new(
+            Torus2::new(16.0, 8.0),
+            shapes::torus_grid(16, 8, 1.0),
+            cfg,
+        );
+        e.run(12);
+        e
+    }
+
+    #[test]
+    fn put_get_roundtrip_on_healthy_overlay() {
+        let engine = converged_engine(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = KeyValueStore::new(16.0, 8.0, 64, 1.2);
+        let oracle = EngineOracle::new(&engine, 4);
+        let space = *engine.space();
+        for (k, v) in [("user:42", "alice"), ("user:43", "bob"), ("cfg", "on")] {
+            store.put(&space, &oracle, k, v, &mut rng).expect("put failed");
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(
+            store.get(&space, &oracle, "user:42", &mut rng),
+            Ok("alice".to_string())
+        );
+        assert_eq!(
+            store.get(&space, &oracle, "nope", &mut rng),
+            Err(KvError::NotFound)
+        );
+    }
+
+    #[test]
+    fn catastrophe_then_reshaping_restores_addressability() {
+        let mut engine = converged_engine(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Delivery radius sized for the *post-failure* density: with half
+        // the nodes gone, spacing grows to ~sqrt(2), so a key can sit up
+        // to ~1 cell-diagonal from its closest node.
+        let mut store = KeyValueStore::new(16.0, 8.0, 64, 2.0);
+        let space = *engine.space();
+        let keys: Vec<String> = (0..40).map(|i| format!("key:{i}")).collect();
+        {
+            let oracle = EngineOracle::new(&engine, 8);
+            for k in &keys {
+                store.put(&space, &oracle, k, "v", &mut rng).expect("put");
+            }
+        }
+
+        // Kill the right half of the torus mid-operation.
+        engine.fail_original_region(shapes::in_right_half(16.0));
+
+        // Immediately after the blast the torus is torn: lookups for keys
+        // hashing into the hole stall at its rim, far from their targets.
+        let torn_stretch = {
+            let oracle = EngineOracle::new(&engine, 8);
+            crate::survey::routing_survey(
+                &space,
+                &oracle,
+                |rng: &mut StdRng| {
+                    [rng.random_range(0.0..16.0), rng.random_range(0.0..8.0)]
+                },
+                200,
+                64,
+                0.75,
+                &mut rng,
+            )
+            .mean_final_distance
+        };
+
+        engine.run(15); // Polystyrene reshapes
+
+        let oracle = EngineOracle::new(&engine, 8);
+        let healed_stretch = crate::survey::routing_survey(
+            &space,
+            &oracle,
+            |rng: &mut StdRng| [rng.random_range(0.0..16.0), rng.random_range(0.0..8.0)],
+            200,
+            64,
+            0.75,
+            &mut rng,
+        )
+        .mean_final_distance;
+        assert!(
+            healed_stretch < torn_stretch * 0.75,
+            "reshaping should bring lookups closer to their keys: \
+             torn {torn_stretch:.2}, healed {healed_stretch:.2}"
+        );
+
+        // Store-level repair: after a rebalance, every surviving value is
+        // addressable again.
+        let (moved, lost) = store.rebalance(&space, &oracle, &mut rng);
+        assert!(lost > 5 && lost < 35, "lost {lost}");
+        assert!(moved + store.len() >= keys.len() - lost);
+        let ok = keys
+            .iter()
+            .filter(|k| store.get(&space, &oracle, k, &mut rng).is_ok())
+            .count();
+        assert_eq!(
+            ok,
+            store.len(),
+            "every surviving value must be addressable after rebalance"
+        );
+        assert!(ok > 5, "suspiciously few survivors: {ok}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Greedy overlay routing and a key-value facade — the application layer
+//! the paper motivates Polystyrene with.
+//!
+//! "Such topologies have been used in many contexts ranging from routing
+//! and storage systems, to publish-subscribe and event dissemination …
+//! Losing the shape of the topology might affect system performance, e.g.
+//! routing or load balancing, which often relies on a uniform distribution
+//! of nodes along the topology" (paper abstract & Sec. I). This crate
+//! makes that claim measurable:
+//!
+//! * [`greedy`] — CAN-style greedy geographic routing over any neighbor
+//!   oracle, with success/hop/stretch accounting;
+//! * [`oracle`] — neighbor oracles, including one backed by a live
+//!   [`polystyrene_sim::engine::Engine`];
+//! * [`kv`] — a key-value store whose keys hash onto the data space, so
+//!   lookups ride the overlay: when the torus tears, lookups fail; when
+//!   Polystyrene re-forms it, they succeed again;
+//! * [`survey`] — routing surveys over many random keys, the raw material
+//!   of the routing-recovery experiment (`EXPERIMENTS.md`, extension E1).
+//!
+//! # Example
+//!
+//! ```
+//! use polystyrene_routing::prelude::*;
+//! use polystyrene_space::prelude::*;
+//!
+//! // A hand-built 1-D oracle: nodes 0..8 on a line, each knowing ±1.
+//! let space = Euclidean2;
+//! let positions: Vec<[f64; 2]> = (0..8).map(|i| [i as f64, 0.0]).collect();
+//! let oracle = TableOracle::from_positions(&positions, |i, j| {
+//!     i.abs_diff(j) == 1
+//! });
+//! let route = greedy_route(&space, &oracle, NodeId::new(0), &[7.0, 0.0], 16, 0.5);
+//! assert!(route.delivered);
+//! assert_eq!(route.hops, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod kv;
+pub mod oracle;
+pub mod survey;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::greedy::{greedy_route, RouteResult};
+    pub use crate::kv::{KeyValueStore, KvError};
+    pub use crate::oracle::{EngineOracle, NeighborOracle, TableOracle};
+    pub use crate::survey::{routing_survey, RoutingSurvey};
+    pub use polystyrene_membership::NodeId;
+}
+
+pub use prelude::*;

@@ -1,0 +1,161 @@
+//! Neighbor oracles: where the router learns each node's links.
+
+use polystyrene_membership::NodeId;
+use polystyrene_sim::engine::Engine;
+use polystyrene_space::MetricSpace;
+use std::collections::HashMap;
+
+/// A read-only view of an overlay's nodes and links, as the router sees
+/// them. Implementations answer from the *local knowledge* of each node
+/// (its topology view), exactly like a real lookup would hop.
+pub trait NeighborOracle<P> {
+    /// Position of `node`, or `None` if it is unknown/dead.
+    fn position(&self, node: NodeId) -> Option<P>;
+
+    /// Ids of `node`'s current topology neighbors.
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// All alive node ids (for choosing routing sources and for the
+    /// closest-alive-node ground truth in stretch accounting).
+    fn nodes(&self) -> Vec<NodeId>;
+}
+
+/// A static oracle built from an explicit adjacency table — for unit
+/// tests and hand-crafted topologies.
+#[derive(Clone, Debug, Default)]
+pub struct TableOracle<P> {
+    positions: HashMap<NodeId, P>,
+    adjacency: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl<P: Clone> TableOracle<P> {
+    /// Builds an oracle over `positions[i]` for node `i`, linking `i → j`
+    /// whenever `link(i, j)` returns true.
+    pub fn from_positions(positions: &[P], link: impl Fn(usize, usize) -> bool) -> Self {
+        let mut out = Self {
+            positions: HashMap::new(),
+            adjacency: HashMap::new(),
+        };
+        for (i, p) in positions.iter().enumerate() {
+            out.positions.insert(NodeId::new(i as u64), p.clone());
+        }
+        for i in 0..positions.len() {
+            let links: Vec<NodeId> = (0..positions.len())
+                .filter(|&j| j != i && link(i, j))
+                .map(|j| NodeId::new(j as u64))
+                .collect();
+            out.adjacency.insert(NodeId::new(i as u64), links);
+        }
+        out
+    }
+
+    /// Inserts or replaces one node.
+    pub fn insert(&mut self, node: NodeId, pos: P, neighbors: Vec<NodeId>) {
+        self.positions.insert(node, pos);
+        self.adjacency.insert(node, neighbors);
+    }
+
+    /// Removes a node entirely (its inbound links dangle, like a crash).
+    pub fn remove(&mut self, node: NodeId) {
+        self.positions.remove(&node);
+        self.adjacency.remove(&node);
+    }
+}
+
+impl<P: Clone> NeighborOracle<P> for TableOracle<P> {
+    fn position(&self, node: NodeId) -> Option<P> {
+        self.positions.get(&node).cloned()
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.adjacency.get(&node).cloned().unwrap_or_default()
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.positions.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// An oracle answering from a live simulation engine: each node's links
+/// are its `k` closest T-Man view entries — the neighborhood the paper
+/// draws in its figures (k = 4).
+pub struct EngineOracle<'a, S: MetricSpace> {
+    engine: &'a Engine<S>,
+    k: usize,
+}
+
+impl<'a, S: MetricSpace> EngineOracle<'a, S> {
+    /// Wraps an engine, reporting `k` neighbors per node.
+    pub fn new(engine: &'a Engine<S>, k: usize) -> Self {
+        Self { engine, k }
+    }
+}
+
+impl<'a, S: MetricSpace> NeighborOracle<S::Point> for EngineOracle<'a, S> {
+    fn position(&self, node: NodeId) -> Option<S::Point> {
+        self.engine.position_of(node)
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.engine.neighbors_of(node, self.k)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.engine.alive_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_sim::engine::EngineConfig;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+
+    #[test]
+    fn table_oracle_basics() {
+        let positions: Vec<[f64; 2]> = (0..4).map(|i| [i as f64, 0.0]).collect();
+        let mut oracle = TableOracle::from_positions(&positions, |i, j| i.abs_diff(j) == 1);
+        assert_eq!(oracle.nodes().len(), 4);
+        assert_eq!(oracle.position(NodeId::new(2)), Some([2.0, 0.0]));
+        assert_eq!(
+            oracle.neighbors(NodeId::new(1)),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
+        oracle.remove(NodeId::new(2));
+        assert_eq!(oracle.position(NodeId::new(2)), None);
+        assert!(oracle.neighbors(NodeId::new(2)).is_empty());
+        // Dangling link from 1 to the removed 2 still listed; the router
+        // must skip unknown-position hops.
+        assert!(oracle.neighbors(NodeId::new(1)).contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn engine_oracle_reflects_the_overlay() {
+        let mut cfg = EngineConfig::default();
+        cfg.area = 32.0;
+        cfg.tman.view_cap = 16;
+        cfg.tman.m = 6;
+        let mut engine = Engine::new(
+            Torus2::new(8.0, 4.0),
+            shapes::torus_grid(8, 4, 1.0),
+            cfg,
+        );
+        engine.run(10);
+        let oracle = EngineOracle::new(&engine, 4);
+        assert_eq!(oracle.nodes().len(), 32);
+        let n0 = NodeId::new(0);
+        assert!(oracle.position(n0).is_some());
+        let neighbors = oracle.neighbors(n0);
+        assert_eq!(neighbors.len(), 4);
+        // Converged torus: all 4 reported neighbors are at grid distance 1.
+        let p0 = oracle.position(n0).unwrap();
+        let space = Torus2::new(8.0, 4.0);
+        for n in neighbors {
+            let pn = oracle.position(n).unwrap();
+            assert!(space.distance(&p0, &pn) <= 1.5);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Cluster harness: spawns node threads, injects crashes and fresh
+//! joiners, observes global health, and shuts everything down.
+
+use crate::config::RuntimeConfig;
+use crate::message::Message;
+use crate::node::NodeRuntime;
+use crate::observe::{observe, ClusterObservation, ObservationBoard};
+use crate::registry::Registry;
+use parking_lot::Mutex;
+use polystyrene::prelude::{DataPoint, PointId};
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_space::MetricSpace;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running Polystyrene deployment: one thread per node.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Cluster<S: MetricSpace> {
+    space: S,
+    config: RuntimeConfig,
+    registry: Arc<Registry<S::Point>>,
+    board: Arc<ObservationBoard<S::Point>>,
+    original_points: Vec<DataPoint<S::Point>>,
+    handles: Mutex<HashMap<NodeId, JoinHandle<()>>>,
+    next_id: Mutex<u64>,
+    rng: Mutex<StdRng>,
+}
+
+impl<S: MetricSpace> Cluster<S> {
+    /// Spawns one node per position of `shape`, each founding the data
+    /// point at its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or the configuration is invalid.
+    pub fn spawn(space: S, shape: Vec<S::Point>, config: RuntimeConfig) -> Self {
+        assert!(!shape.is_empty(), "cannot spawn an empty cluster");
+        config.validate();
+        let registry: Arc<Registry<S::Point>> = Registry::new();
+        let board: Arc<ObservationBoard<S::Point>> = ObservationBoard::new();
+        let original_points: Vec<DataPoint<S::Point>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
+            .collect();
+        let cluster = Self {
+            space,
+            config,
+            registry,
+            board,
+            original_points: original_points.clone(),
+            handles: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(shape.len() as u64),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        };
+        let n = shape.len();
+        for (i, pos) in shape.iter().enumerate() {
+            let contacts = cluster.random_contacts_from_shape(&shape, i, n);
+            cluster.spawn_node(
+                NodeId::new(i as u64),
+                Some(original_points[i].clone()),
+                pos.clone(),
+                contacts,
+            );
+        }
+        cluster
+    }
+
+    fn random_contacts_from_shape(
+        &self,
+        shape: &[S::Point],
+        own: usize,
+        n: usize,
+    ) -> Vec<Descriptor<S::Point>> {
+        let mut rng = self.rng.lock();
+        let mut contacts = Vec::new();
+        for _ in 0..self.config.bootstrap_contacts * 2 {
+            if contacts.len() >= self.config.bootstrap_contacts {
+                break;
+            }
+            let j = rng.random_range(0..n);
+            if j != own && !contacts.iter().any(|d: &Descriptor<S::Point>| d.id.index() == j) {
+                contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
+            }
+        }
+        contacts
+    }
+
+    fn spawn_node(
+        &self,
+        id: NodeId,
+        origin: Option<DataPoint<S::Point>>,
+        position: S::Point,
+        contacts: Vec<Descriptor<S::Point>>,
+    ) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.registry.register(id, tx);
+        let node = NodeRuntime::new(
+            id,
+            self.space.clone(),
+            self.config,
+            origin,
+            position,
+            contacts,
+            Arc::clone(&self.registry),
+            Arc::clone(&self.board),
+            rx,
+        );
+        let handle = std::thread::Builder::new()
+            .name(format!("poly-{id}"))
+            .spawn(move || node.run())
+            .expect("failed to spawn node thread");
+        self.handles.lock().insert(id, handle);
+    }
+
+    /// The original data points (the target shape).
+    pub fn original_points(&self) -> &[DataPoint<S::Point>] {
+        &self.original_points
+    }
+
+    /// Ids currently registered (alive).
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.registry.ids()
+    }
+
+    /// Hard-crashes a node: deregisters it (its mailbox contents are
+    /// lost to peers) and stops its thread. No goodbye messages — peers
+    /// must notice via heartbeat timeouts. Returns whether the node was
+    /// alive.
+    pub fn kill(&self, id: NodeId) -> bool {
+        let handle = self.handles.lock().remove(&id);
+        match handle {
+            Some(handle) => {
+                // Deregister first so no further protocol messages reach it,
+                // then stop the thread.
+                self.registry.send(id, Message::Shutdown);
+                self.registry.deregister(id);
+                let _ = handle.join();
+                self.board.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Crashes every founding node whose original data point satisfies
+    /// `predicate` — the paper's correlated regional failure. Returns the
+    /// crashed ids.
+    pub fn kill_region(&self, predicate: impl Fn(&S::Point) -> bool) -> Vec<NodeId> {
+        let mut killed = Vec::new();
+        for point in &self.original_points {
+            let id = NodeId::new(point.id.as_u64());
+            if predicate(&point.pos) && self.kill(id) {
+                killed.push(id);
+            }
+        }
+        killed
+    }
+
+    /// Injects a fresh node with no data points at `position`
+    /// (the paper's Phase 3 joiners), bootstrapped from alive contacts.
+    /// Returns its id.
+    pub fn inject(&self, position: S::Point) -> NodeId {
+        let id = {
+            let mut next = self.next_id.lock();
+            let id = NodeId::new(*next);
+            *next += 1;
+            id
+        };
+        let alive = self.alive_ids();
+        let contacts: Vec<Descriptor<S::Point>> = {
+            let mut rng = self.rng.lock();
+            let snapshot = self.board.snapshot();
+            (0..self.config.bootstrap_contacts)
+                .filter_map(|_| {
+                    if alive.is_empty() {
+                        return None;
+                    }
+                    let peer = alive[rng.random_range(0..alive.len())];
+                    snapshot
+                        .get(&peer)
+                        .map(|r| Descriptor::new(peer, r.pos.clone()))
+                })
+                .collect()
+        };
+        self.spawn_node(id, None, position, contacts);
+        id
+    }
+
+    /// Lets the cluster run for a wall-clock duration.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Blocks until every alive node has executed at least `ticks` local
+    /// rounds (with a safety timeout of `max_wait`).
+    pub fn await_ticks(&self, ticks: u64, max_wait: Duration) {
+        let deadline = std::time::Instant::now() + max_wait;
+        loop {
+            let obs = self.observe();
+            // Every *registered* node must have published and progressed —
+            // counting only publishers would return before slow starters
+            // ever appear on the board.
+            if obs.alive_nodes >= self.registry.len()
+                && obs.alive_nodes > 0
+                && obs.min_ticks >= ticks
+            {
+                return;
+            }
+            if std::time::Instant::now() > deadline {
+                return;
+            }
+            std::thread::sleep(self.config.tick);
+        }
+    }
+
+    /// Measures cluster health from the observation plane.
+    pub fn observe(&self) -> ClusterObservation {
+        observe(&self.space, &self.original_points, &self.board.snapshot())
+    }
+
+    /// Orderly shutdown: stops every node thread and joins it.
+    pub fn shutdown(&self) {
+        let ids: Vec<NodeId> = self.handles.lock().keys().copied().collect();
+        for id in ids {
+            self.registry.send(id, Message::Shutdown);
+            self.registry.deregister(id);
+        }
+        let handles: Vec<(NodeId, JoinHandle<()>)> = self.handles.lock().drain().collect();
+        for (_, handle) in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: MetricSpace> Drop for Cluster<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+
+    fn fast_config() -> RuntimeConfig {
+        let mut c = RuntimeConfig::default();
+        c.tick = Duration::from_millis(2);
+        c.poly = polystyrene::prelude::PolystyreneConfig::builder()
+            .replication(3)
+            .build();
+        c
+    }
+
+    fn spawn_grid(cols: usize, rows: usize) -> Cluster<Torus2> {
+        Cluster::spawn(
+            Torus2::new(cols as f64, rows as f64),
+            shapes::torus_grid(cols, rows, 1.0),
+            fast_config(),
+        )
+    }
+
+    #[test]
+    fn cluster_spawns_and_reports() {
+        let cluster = spawn_grid(6, 4);
+        cluster.await_ticks(5, Duration::from_secs(5));
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 24);
+        // Migrations may have points in flight at snapshot time; replicas
+        // keep them alive, so survival stays (near) perfect.
+        assert!(
+            obs.surviving_points >= 0.95,
+            "points vanished: {}",
+            obs.surviving_points
+        );
+        assert!(obs.min_ticks >= 5);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replication_reaches_one_plus_k() {
+        let cluster = spawn_grid(6, 4);
+        cluster.await_ticks(10, Duration::from_secs(5));
+        let obs = cluster.observe();
+        // Every node hosts its own point plus K=3 replicas of others.
+        assert!(
+            obs.points_per_node > 3.0,
+            "replication never took hold: {} points/node",
+            obs.points_per_node
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn kill_is_crash_stop() {
+        let cluster = spawn_grid(4, 4);
+        cluster.await_ticks(3, Duration::from_secs(5));
+        assert!(cluster.kill(NodeId::new(0)));
+        assert!(!cluster.kill(NodeId::new(0)), "second kill must be a no-op");
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 15);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn catastrophic_failure_recovers_points() {
+        let cluster = spawn_grid(8, 4);
+        // Let replication converge first.
+        cluster.await_ticks(12, Duration::from_secs(10));
+        let killed = cluster.kill_region(shapes::in_right_half(8.0));
+        assert_eq!(killed.len(), 16);
+        // Wait for heartbeat timeouts + recovery + migration.
+        cluster.run_for(Duration::from_millis(400));
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 16);
+        // K=3 over a 50% failure ⇒ ~94% of points expected to survive;
+        // leave slack for heartbeat-detection races.
+        assert!(
+            obs.surviving_points > 0.75,
+            "too many points lost: {}",
+            obs.surviving_points
+        );
+        // And the survivors spread back over the shape.
+        assert!(
+            obs.homogeneity < 2.0,
+            "shape not recovered: homogeneity {}",
+            obs.homogeneity
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn injection_spawns_empty_joiners() {
+        let cluster = spawn_grid(4, 4);
+        cluster.await_ticks(5, Duration::from_secs(5));
+        let id = cluster.inject([0.5, 0.5]);
+        assert!(id.as_u64() >= 16);
+        cluster.run_for(Duration::from_millis(200));
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 17);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let cluster = spawn_grid(3, 3);
+        cluster.shutdown();
+        cluster.shutdown();
+        drop(cluster); // Drop impl must not panic on an empty cluster
+    }
+}

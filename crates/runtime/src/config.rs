@@ -1,0 +1,97 @@
+//! Runtime deployment configuration.
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_topology::TManConfig;
+use std::time::Duration;
+
+/// Parameters of a threaded Polystyrene deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Protocol tick: each node initiates one gossip round per tick.
+    pub tick: Duration,
+    /// Ticks without a heartbeat after which a monitored peer is suspected
+    /// — the detection lag of the paper's "possibly imperfect" detector.
+    pub heartbeat_timeout_ticks: u32,
+    /// T-Man parameters.
+    pub tman: TManConfig,
+    /// Polystyrene parameters.
+    pub poly: PolystyreneConfig,
+    /// RPS view capacity.
+    pub rps_view_cap: usize,
+    /// Descriptors per RPS shuffle.
+    pub rps_shuffle_len: usize,
+    /// Random contacts seeded into each node's layers at spawn.
+    pub bootstrap_contacts: usize,
+    /// Ticks an initiated migration may stay unanswered before the
+    /// initiator gives up and unlocks.
+    pub migration_timeout_ticks: u32,
+    /// Base RNG seed (each node derives its own from this and its id).
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(10),
+            heartbeat_timeout_ticks: 4,
+            tman: TManConfig {
+                view_cap: 30,
+                m: 10,
+                psi: 5,
+            },
+            poly: PolystyreneConfig::default(),
+            rps_view_cap: 12,
+            rps_shuffle_len: 6,
+            bootstrap_contacts: 8,
+            migration_timeout_ticks: 3,
+            seed: 1,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero timeouts or a zero tick.
+    pub fn validate(&self) {
+        assert!(!self.tick.is_zero(), "tick must be non-zero");
+        assert!(
+            self.heartbeat_timeout_ticks > 0,
+            "heartbeat timeout must be at least one tick"
+        );
+        assert!(
+            self.migration_timeout_ticks > 0,
+            "migration timeout must be at least one tick"
+        );
+        self.poly.validate();
+        self.tman.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RuntimeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be non-zero")]
+    fn zero_tick_rejected() {
+        let mut c = RuntimeConfig::default();
+        c.tick = Duration::ZERO;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat timeout")]
+    fn zero_heartbeat_rejected() {
+        let mut c = RuntimeConfig::default();
+        c.heartbeat_timeout_ticks = 0;
+        c.validate();
+    }
+}

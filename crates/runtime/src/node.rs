@@ -1,0 +1,400 @@
+//! The per-node thread: the full Polystyrene stack driven by a mailbox
+//! and a wall-clock tick.
+//!
+//! The protocol state machines are exactly the ones the simulator uses —
+//! `PeerSampling`, `TMan`, `PolyState` — only the *driver* differs: here
+//! messages arrive asynchronously and rounds are local ticks, so nodes
+//! are never synchronized, mirroring a real deployment.
+
+use crate::config::RuntimeConfig;
+use crate::message::Message;
+use crate::observe::{NodeReport, ObservationBoard};
+use crate::registry::Registry;
+use polystyrene::prelude::*;
+use polystyrene::recovery::recover;
+use polystyrene_membership::{Descriptor, NodeId, PeerSampling};
+use polystyrene_space::MetricSpace;
+use polystyrene_topology::{TMan, TopologyConstruction};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a node thread owns.
+pub struct NodeRuntime<S: MetricSpace> {
+    id: NodeId,
+    space: S,
+    config: RuntimeConfig,
+    rps: PeerSampling<S::Point>,
+    tman: TMan<S>,
+    poly: PolyState<S::Point>,
+    registry: Arc<Registry<S::Point>>,
+    board: Arc<ObservationBoard<S::Point>>,
+    rx: crossbeam::channel::Receiver<Message<S::Point>>,
+    rng: StdRng,
+    /// Heartbeat bookkeeping: last tick we heard from a monitored peer.
+    last_seen: HashMap<NodeId, u64>,
+    tick_count: u64,
+    /// In-flight migration: the partner and the tick it was initiated.
+    pending_migration: Option<(NodeId, u64)>,
+}
+
+impl<S: MetricSpace> NodeRuntime<S> {
+    /// Builds a node with its initial data point (`Some`) or as a fresh
+    /// empty joiner (`None`), seeded with bootstrap contacts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        space: S,
+        config: RuntimeConfig,
+        origin: Option<DataPoint<S::Point>>,
+        position: S::Point,
+        contacts: Vec<Descriptor<S::Point>>,
+        registry: Arc<Registry<S::Point>>,
+        board: Arc<ObservationBoard<S::Point>>,
+        rx: crossbeam::channel::Receiver<Message<S::Point>>,
+    ) -> Self {
+        let mut rps = PeerSampling::new(config.rps_view_cap, config.rps_shuffle_len);
+        rps.bootstrap(contacts.clone());
+        let mut tman = TMan::new(space.clone(), config.tman);
+        tman.integrate(id, &position, &contacts);
+        let poly = match origin {
+            Some(point) => PolyState::with_initial_point(point),
+            None => PolyState::empty_at(position),
+        };
+        Self {
+            id,
+            space,
+            config,
+            rps,
+            tman,
+            poly,
+            registry,
+            board,
+            rx,
+            rng: StdRng::seed_from_u64(config.seed.wrapping_add(id.as_u64() * 0x9E37)),
+            last_seen: HashMap::new(),
+            tick_count: 0,
+            pending_migration: None,
+        }
+    }
+
+    fn is_failed(&self, id: NodeId) -> bool {
+        match self.last_seen.get(&id) {
+            Some(&seen) => {
+                self.tick_count.saturating_sub(seen) > self.config.heartbeat_timeout_ticks as u64
+            }
+            None => false, // never monitored: no opinion
+        }
+    }
+
+    fn heard_from(&mut self, id: NodeId) {
+        self.last_seen.insert(id, self.tick_count);
+    }
+
+    /// The thread body: alternate message handling and ticks until a
+    /// shutdown arrives or the channel closes.
+    pub fn run(mut self) {
+        let tick = self.config.tick;
+        let mut next_tick = Instant::now() + tick;
+        loop {
+            let now = Instant::now();
+            if now < next_tick {
+                match self.rx.recv_timeout(next_tick - now) {
+                    Ok(Message::Shutdown) => break,
+                    Ok(msg) => self.handle(msg),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                self.on_tick();
+                next_tick += tick;
+            }
+        }
+        self.board.remove(self.id);
+    }
+
+    /// One local protocol round.
+    fn on_tick(&mut self) {
+        self.tick_count += 1;
+
+        // Heartbeats along the backup relationships (Sec. III-A suggests
+        // "a reactive ping mechanism, or heartbeats").
+        let monitored: Vec<NodeId> = self
+            .poly
+            .backups
+            .iter()
+            .copied()
+            .chain(self.poly.ghosts.keys().copied())
+            .collect();
+        for peer in monitored {
+            self.registry.send(peer, Message::Heartbeat { from: self.id });
+        }
+
+        // Peer sampling shuffle.
+        if let Some(partner) = self.rps.begin_round() {
+            let request = self
+                .rps
+                .make_request(self_descriptor_of(self), partner, &mut self.rng);
+            let delivered = self.registry.send(
+                partner,
+                Message::RpsRequest {
+                    from: self.id,
+                    descriptors: request,
+                },
+            );
+            if !delivered {
+                self.rps.remove_failed(|id| id == partner);
+            }
+        }
+
+        // T-Man exchange with a partner drawn from the ψ closest.
+        if let Some(partner) = self.tman.select_partner(&self.poly.pos, &mut self.rng) {
+            if let Some(entry) = self
+                .tman
+                .view_entries()
+                .into_iter()
+                .find(|d| d.id == partner)
+            {
+                let buffer = self.tman.prepare_message(self_descriptor_of(self), &entry.pos);
+                let delivered = self.registry.send(
+                    partner,
+                    Message::TManRequest {
+                        from: self.id,
+                        from_pos: self.poly.pos.clone(),
+                        descriptors: buffer,
+                    },
+                );
+                if !delivered {
+                    self.tman.purge_failed(&|id| id == partner);
+                }
+            }
+        }
+
+        // Recovery (Algorithm 2) against the heartbeat detector.
+        let failed: Vec<NodeId> = self
+            .poly
+            .ghosts
+            .keys()
+            .copied()
+            .filter(|&q| self.is_failed(q))
+            .collect();
+        if !failed.is_empty() {
+            recover(&mut self.poly, |id| failed.contains(&id));
+            self.poly.project(&self.space, &self.config.poly, &mut self.rng);
+        }
+
+        // Backup (Algorithm 1).
+        let pool = self
+            .rps
+            .random_peers(self.config.poly.replication * 4 + 4, &mut self.rng);
+        let mut pool_iter = pool.into_iter();
+        let self_id = self.id;
+        let failed_backups: Vec<NodeId> = self
+            .poly
+            .backups
+            .iter()
+            .copied()
+            .filter(|&b| self.is_failed(b))
+            .collect();
+        let pushes = plan_backups(
+            &mut self.poly,
+            self_id,
+            self.config.poly.replication,
+            |id| failed_backups.contains(&id),
+            || pool_iter.next(),
+        );
+        for push in pushes {
+            self.heard_from_if_new(push.target);
+            let delivered = self.registry.send(
+                push.target,
+                Message::BackupPush {
+                    from: self.id,
+                    points: push.points,
+                },
+            );
+            if !delivered {
+                // Lost replica: the target will be detected via heartbeat
+                // timeout and replaced next tick.
+            }
+        }
+
+        // Migration (Algorithm 3): one in-flight exchange at a time.
+        if let Some((_, started)) = self.pending_migration {
+            if self.tick_count.saturating_sub(started)
+                > self.config.migration_timeout_ticks as u64
+            {
+                self.pending_migration = None; // partner presumed dead
+            }
+        }
+        if self.pending_migration.is_none() && !self.poly.guests.is_empty() {
+            let mut candidates: Vec<NodeId> = self
+                .tman
+                .closest(&self.poly.pos, self.config.poly.psi)
+                .into_iter()
+                .map(|d| d.id)
+                .collect();
+            if let Some(r) = self.rps.random_peer(&mut self.rng) {
+                candidates.push(r);
+            }
+            candidates.retain(|&c| c != self.id && !self.is_failed(c));
+            if !candidates.is_empty() {
+                let q = candidates[self.rng.random_range(0..candidates.len())];
+                let delivered = self.registry.send(
+                    q,
+                    Message::MigrationRequest {
+                        from: self.id,
+                        from_pos: self.poly.pos.clone(),
+                        guests: self.poly.guests.clone(),
+                    },
+                );
+                if delivered {
+                    self.pending_migration = Some((q, self.tick_count));
+                }
+            }
+        }
+
+        // Publish to the observation plane.
+        self.board.publish(
+            self.id,
+            NodeReport {
+                pos: self.poly.pos.clone(),
+                guest_ids: self.poly.guest_ids(),
+                ghost_ids: self
+                    .poly
+                    .ghosts
+                    .values()
+                    .flat_map(|pts| pts.iter().map(|p| p.id))
+                    .collect(),
+                stored_points: self.poly.stored_points(),
+                ticks: self.tick_count,
+            },
+        );
+    }
+
+    fn heard_from_if_new(&mut self, id: NodeId) {
+        let now = self.tick_count;
+        self.last_seen.entry(id).or_insert(now);
+    }
+
+    fn handle(&mut self, message: Message<S::Point>) {
+        match message {
+            Message::Heartbeat { from } => self.heard_from(from),
+            Message::RpsRequest { from, descriptors } => {
+                self.heard_from(from);
+                let reply = self
+                    .rps
+                    .handle_request(self.id, &descriptors, &mut self.rng);
+                self.registry.send(
+                    from,
+                    Message::RpsReply {
+                        from: self.id,
+                        sent: descriptors,
+                        descriptors: reply,
+                    },
+                );
+            }
+            Message::RpsReply {
+                from,
+                sent,
+                descriptors,
+            } => {
+                self.heard_from(from);
+                self.rps.handle_reply(self.id, &sent, &descriptors);
+            }
+            Message::TManRequest {
+                from,
+                from_pos,
+                descriptors,
+            } => {
+                self.heard_from(from);
+                let reply = self.tman.prepare_message(self_descriptor_of(self), &from_pos);
+                let pos = self.poly.pos.clone();
+                self.tman.integrate(self.id, &pos, &descriptors);
+                self.registry.send(
+                    from,
+                    Message::TManReply {
+                        from: self.id,
+                        descriptors: reply,
+                    },
+                );
+            }
+            Message::TManReply { from, descriptors } => {
+                self.heard_from(from);
+                let pos = self.poly.pos.clone();
+                self.tman.integrate(self.id, &pos, &descriptors);
+            }
+            Message::MigrationRequest {
+                from,
+                from_pos,
+                guests,
+            } => {
+                self.heard_from(from);
+                if self.pending_migration.is_some() {
+                    // Busy: bounce the guests back untouched (the pairwise
+                    // exclusivity requirement of Algorithm 3).
+                    self.registry.send(
+                        from,
+                        Message::MigrationReply {
+                            from: self.id,
+                            points: guests,
+                            busy: true,
+                        },
+                    );
+                    return;
+                }
+                let mut all = guests;
+                all.extend(std::mem::take(&mut self.poly.guests));
+                let all = polystyrene::datapoint::dedup_by_id(all);
+                let (for_requester, for_me) = split(
+                    &self.space,
+                    self.config.poly.split,
+                    all,
+                    &from_pos,
+                    &self.poly.pos,
+                    self.config.poly.diameter_exact_threshold,
+                    &mut self.rng,
+                );
+                self.poly.guests = for_me;
+                self.poly.project(&self.space, &self.config.poly, &mut self.rng);
+                self.registry.send(
+                    from,
+                    Message::MigrationReply {
+                        from: self.id,
+                        points: for_requester,
+                        busy: false,
+                    },
+                );
+            }
+            Message::MigrationReply { from, points, busy } => {
+                self.heard_from(from);
+                if self.pending_migration.map(|(q, _)| q) == Some(from) {
+                    self.pending_migration = None;
+                    if !busy {
+                        self.poly.guests = points;
+                        self.poly.project(&self.space, &self.config.poly, &mut self.rng);
+                    }
+                } else if !busy {
+                    // Late reply after our timeout: the responder already
+                    // gave these points away, so we are their only owner —
+                    // dropping them would lose data. Absorb instead; any
+                    // duplication with our kept guests dedups by id.
+                    self.poly.absorb_guests(points);
+                    self.poly.project(&self.space, &self.config.poly, &mut self.rng);
+                }
+            }
+            Message::BackupPush { from, points } => {
+                self.heard_from(from);
+                self.poly.store_ghosts(from, points);
+            }
+            Message::Shutdown => unreachable!("handled by the run loop"),
+        }
+    }
+}
+
+/// Fresh descriptor of the node (free function to dodge borrow conflicts
+/// in `&mut self` contexts).
+fn self_descriptor_of<S: MetricSpace>(node: &NodeRuntime<S>) -> Descriptor<S::Point> {
+    Descriptor::new(node.id, node.poly.pos.clone())
+}

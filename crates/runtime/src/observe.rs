@@ -1,0 +1,210 @@
+//! Observation plane: a shared board nodes report to, so the harness can
+//! measure homogeneity and survival without perturbing the protocol.
+
+use parking_lot::RwLock;
+use polystyrene::prelude::{DataPoint, PointId};
+use polystyrene_membership::NodeId;
+use polystyrene_space::MetricSpace;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What each node publishes at every tick.
+#[derive(Clone, Debug)]
+pub struct NodeReport<P> {
+    /// Published position.
+    pub pos: P,
+    /// Ids of hosted guests.
+    pub guest_ids: Vec<PointId>,
+    /// Ids of ghost replicas stored here (survival accounting: a point
+    /// whose primary holder is mid-migration still exists as a replica).
+    pub ghost_ids: Vec<PointId>,
+    /// Total stored points (guests + ghosts).
+    pub stored_points: usize,
+    /// Ticks executed so far.
+    pub ticks: u64,
+}
+
+/// The shared board.
+pub struct ObservationBoard<P> {
+    inner: RwLock<HashMap<NodeId, NodeReport<P>>>,
+}
+
+impl<P> Default for ObservationBoard<P> {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl<P: Clone> ObservationBoard<P> {
+    /// An empty board behind an `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publishes (or refreshes) a node's report.
+    pub fn publish(&self, id: NodeId, report: NodeReport<P>) {
+        self.inner.write().insert(id, report);
+    }
+
+    /// Removes a node's report (crash or shutdown).
+    pub fn remove(&self, id: NodeId) {
+        self.inner.write().remove(&id);
+    }
+
+    /// Snapshot of all reports.
+    pub fn snapshot(&self) -> HashMap<NodeId, NodeReport<P>> {
+        self.inner.read().clone()
+    }
+}
+
+/// Cluster-level aggregate computed from a board snapshot — the runtime
+/// analogue of the simulator's `RoundMetrics`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterObservation {
+    /// Nodes currently reporting.
+    pub alive_nodes: usize,
+    /// Mean distance from each original data point to the nearest node
+    /// hosting it (paper homogeneity).
+    pub homogeneity: f64,
+    /// Fraction of original points with at least one primary holder.
+    pub surviving_points: f64,
+    /// Mean stored points per node.
+    pub points_per_node: f64,
+    /// Minimum ticks executed across alive nodes (progress indicator).
+    pub min_ticks: u64,
+}
+
+/// Computes the aggregate over a snapshot, against the original target
+/// shape.
+pub fn observe<S: MetricSpace>(
+    space: &S,
+    original_points: &[DataPoint<S::Point>],
+    snapshot: &HashMap<NodeId, NodeReport<S::Point>>,
+) -> ClusterObservation {
+    let alive = snapshot.len();
+    let mut holder_positions: HashMap<PointId, Vec<&S::Point>> = HashMap::new();
+    for report in snapshot.values() {
+        for pid in &report.guest_ids {
+            holder_positions.entry(*pid).or_default().push(&report.pos);
+        }
+    }
+    let mut ghost_ids: std::collections::HashSet<PointId> = std::collections::HashSet::new();
+    for report in snapshot.values() {
+        ghost_ids.extend(report.ghost_ids.iter().copied());
+    }
+    let mut homogeneity_acc = 0.0;
+    let mut surviving = 0usize;
+    for point in original_points {
+        if ghost_ids.contains(&point.id) && !holder_positions.contains_key(&point.id) {
+            surviving += 1;
+        }
+        let nearest = match holder_positions.get(&point.id) {
+            Some(holders) => {
+                surviving += 1;
+                holders
+                    .iter()
+                    .map(|pos| space.distance(&point.pos, pos))
+                    .fold(f64::INFINITY, f64::min)
+            }
+            None => snapshot
+                .values()
+                .map(|r| space.distance(&point.pos, &r.pos))
+                .fold(f64::INFINITY, f64::min),
+        };
+        if nearest.is_finite() {
+            homogeneity_acc += nearest;
+        }
+    }
+    let homogeneity = if original_points.is_empty() || alive == 0 {
+        f64::INFINITY
+    } else {
+        homogeneity_acc / original_points.len() as f64
+    };
+    ClusterObservation {
+        alive_nodes: alive,
+        homogeneity,
+        surviving_points: if original_points.is_empty() {
+            1.0
+        } else {
+            surviving as f64 / original_points.len() as f64
+        },
+        points_per_node: if alive == 0 {
+            0.0
+        } else {
+            snapshot.values().map(|r| r.stored_points).sum::<usize>() as f64 / alive as f64
+        },
+        min_ticks: snapshot.values().map(|r| r.ticks).min().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_space::prelude::*;
+
+    fn report(pos: [f64; 2], ids: &[u64], stored: usize) -> NodeReport<[f64; 2]> {
+        NodeReport {
+            pos,
+            guest_ids: ids.iter().map(|&i| PointId::new(i)).collect(),
+            ghost_ids: Vec::new(),
+            stored_points: stored,
+            ticks: 5,
+        }
+    }
+
+    fn originals(coords: &[[f64; 2]]) -> Vec<DataPoint<[f64; 2]>> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| DataPoint::new(PointId::new(i as u64), c))
+            .collect()
+    }
+
+    #[test]
+    fn board_publish_remove_snapshot() {
+        let board: Arc<ObservationBoard<[f64; 2]>> = ObservationBoard::new();
+        board.publish(NodeId::new(1), report([0.0, 0.0], &[0], 1));
+        assert_eq!(board.snapshot().len(), 1);
+        board.remove(NodeId::new(1));
+        assert!(board.snapshot().is_empty());
+    }
+
+    #[test]
+    fn perfect_coverage_gives_zero_homogeneity() {
+        let pts = originals(&[[0.0, 0.0], [1.0, 0.0]]);
+        let mut snap = HashMap::new();
+        snap.insert(NodeId::new(0), report([0.0, 0.0], &[0], 1));
+        snap.insert(NodeId::new(1), report([1.0, 0.0], &[1], 1));
+        let obs = observe(&Euclidean2, &pts, &snap);
+        assert_eq!(obs.alive_nodes, 2);
+        assert!(obs.homogeneity.abs() < 1e-12);
+        assert_eq!(obs.surviving_points, 1.0);
+        assert_eq!(obs.points_per_node, 1.0);
+        assert_eq!(obs.min_ticks, 5);
+    }
+
+    #[test]
+    fn lost_point_measured_against_nearest_node() {
+        let pts = originals(&[[0.0, 0.0], [10.0, 0.0]]);
+        let mut snap = HashMap::new();
+        // Only point 0 has a holder; point 1 is lost.
+        snap.insert(NodeId::new(0), report([0.0, 0.0], &[0], 1));
+        snap.insert(NodeId::new(1), report([4.0, 0.0], &[], 0));
+        let obs = observe(&Euclidean2, &pts, &snap);
+        assert_eq!(obs.surviving_points, 0.5);
+        // point 0 at distance 0; point 1 at distance 6 from the nearest
+        // node (4,0) → mean 3.
+        assert!((obs.homogeneity - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_observation() {
+        let pts = originals(&[[0.0, 0.0]]);
+        let snap = HashMap::new();
+        let obs = observe(&Euclidean2, &pts, &snap);
+        assert_eq!(obs.alive_nodes, 0);
+        assert!(obs.homogeneity.is_infinite());
+    }
+}

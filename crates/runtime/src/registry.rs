@@ -1,0 +1,111 @@
+//! Shared address book: node id → mailbox sender.
+//!
+//! Plays the role of the network fabric. Senders are cloned out of the
+//! registry per message; sending to a crashed node (receiver dropped or
+//! deregistered) silently loses the message, like a TCP connection reset
+//! under crash-stop.
+
+use crate::message::Message;
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+use polystyrene_membership::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe address book shared by every node of a [`crate::Cluster`].
+pub struct Registry<P> {
+    inner: RwLock<HashMap<NodeId, Sender<Message<P>>>>,
+}
+
+impl<P> Default for Registry<P> {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl<P> Registry<P> {
+    /// An empty registry behind an `Arc`, ready to share across threads.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers a node's mailbox.
+    pub fn register(&self, id: NodeId, sender: Sender<Message<P>>) {
+        self.inner.write().insert(id, sender);
+    }
+
+    /// Removes a node (crash or shutdown). Subsequent sends to it are
+    /// dropped.
+    pub fn deregister(&self, id: NodeId) {
+        self.inner.write().remove(&id);
+    }
+
+    /// Sends `message` to `to`; returns `false` if the destination is
+    /// unknown or its mailbox is gone (message lost, crash-stop style).
+    pub fn send(&self, to: NodeId, message: Message<P>) -> bool {
+        let sender = self.inner.read().get(&to).cloned();
+        match sender {
+            Some(s) => s.send(message).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot of the registered ids.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.inner.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn register_send_deregister() {
+        let registry: Arc<Registry<f64>> = Registry::new();
+        let (tx, rx) = unbounded();
+        registry.register(NodeId::new(1), tx);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.send(NodeId::new(1), Message::Shutdown));
+        assert!(matches!(rx.recv().unwrap(), Message::Shutdown));
+        registry.deregister(NodeId::new(1));
+        assert!(!registry.send(NodeId::new(1), Message::Shutdown));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn send_to_unknown_is_lost_not_fatal() {
+        let registry: Arc<Registry<f64>> = Registry::new();
+        assert!(!registry.send(NodeId::new(42), Message::Shutdown));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_reports_loss() {
+        let registry: Arc<Registry<f64>> = Registry::new();
+        let (tx, rx) = unbounded();
+        registry.register(NodeId::new(1), tx);
+        drop(rx); // the node crashed without deregistering
+        assert!(!registry.send(NodeId::new(1), Message::Shutdown));
+    }
+
+    #[test]
+    fn ids_snapshot() {
+        let registry: Arc<Registry<f64>> = Registry::new();
+        let (tx, _rx) = unbounded();
+        registry.register(NodeId::new(7), tx);
+        assert_eq!(registry.ids(), vec![NodeId::new(7)]);
+    }
+}

@@ -1,0 +1,1031 @@
+//! The cycle-driven simulation engine (PeerSim substitute).
+//!
+//! PeerSim's cycle-driven mode — what the paper used ("All results were
+//! computed with PeerSim", Sec. IV-B) — activates every node once per
+//! round in arbitrary order, with pairwise gossip exchanges applied
+//! atomically. This engine reproduces those semantics for the full stack
+//! of paper Fig. 3:
+//!
+//! ```text
+//!   Polystyrene   (recovery → backup → migration, Steps 2-4 of Fig. 4)
+//!   T-Man         (topology construction, Step 1')
+//!   RPS           (Cyclon-style peer sampling; traffic not accounted)
+//! ```
+//!
+//! The engine owns ground truth (who is really alive), injects failures
+//! and fresh nodes, and measures the paper's five metrics after each
+//! round.
+
+use crate::cost::{CostModel, RoundCost};
+use crate::metrics::{reference_homogeneity, RoundMetrics};
+use polystyrene::prelude::*;
+use polystyrene::recovery::recover;
+use polystyrene_membership::{
+    rps::shuffle_exchange, Descriptor, NodeId, PeerSampling, SharedFailureDetector,
+};
+use polystyrene_space::MetricSpace;
+use polystyrene_topology::{tman_exchange, TMan, TManConfig, TopologyConstruction};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Engine-level configuration: protocol parameters plus simulation knobs.
+///
+/// Defaults are the paper's evaluation settings (Sec. IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// T-Man parameters (view cap 100, m = 20, ψ = 5).
+    pub tman: TManConfig,
+    /// Polystyrene parameters (K, split strategy, projection, …).
+    pub poly: PolystyreneConfig,
+    /// RPS view capacity.
+    pub rps_view_cap: usize,
+    /// Descriptors exchanged per RPS shuffle.
+    pub rps_shuffle_len: usize,
+    /// Random contacts seeded into each T-Man view at start ("each
+    /// physical node is initialized with 10 random neighbors taken from
+    /// the RPS layer").
+    pub tman_bootstrap: usize,
+    /// Neighborhood size for the proximity metric ("we represent the 4
+    /// closest nodes returned by T-Man").
+    pub report_neighbors: usize,
+    /// Wire-cost unit prices.
+    pub cost: CostModel,
+    /// Surface area of the data space, for the reference homogeneity
+    /// (3200 for the paper's 80×40 torus).
+    pub area: f64,
+    /// Failure-detection delay in rounds: a crash at round `r` is only
+    /// reported by the nodes' detector from round `r + detection_delay`
+    /// on (the paper's "possibly imperfect" detector, Sec. III-A). Zero
+    /// models the perfect detector of the paper's evaluation.
+    pub detection_delay: u32,
+    /// Master seed; every run with the same seed is bit-identical.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            tman: TManConfig::default(),
+            poly: PolystyreneConfig::default(),
+            rps_view_cap: 20,
+            rps_shuffle_len: 8,
+            tman_bootstrap: 10,
+            report_neighbors: 4,
+            cost: CostModel::default(),
+            area: 3200.0,
+            detection_delay: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// The full protocol stack of one simulated node.
+struct NodeCell<S: MetricSpace> {
+    rps: PeerSampling<S::Point>,
+    tman: TMan<S>,
+    poly: PolyState<S::Point>,
+}
+
+/// Disjoint mutable access to two cells — the pairwise atomic exchange of
+/// the cycle-driven model. A free function (not a method) so callers can
+/// keep borrowing other engine fields (e.g. the RNG) during the exchange.
+fn two_cells<S: MetricSpace>(
+    nodes: &mut [Option<NodeCell<S>>],
+    i: usize,
+    j: usize,
+) -> (&mut NodeCell<S>, &mut NodeCell<S>) {
+    assert_ne!(i, j, "pairwise exchange with oneself");
+    if i < j {
+        let (l, r) = nodes.split_at_mut(j);
+        (
+            l[i].as_mut().expect("initiator vanished"),
+            r[0].as_mut().expect("responder vanished"),
+        )
+    } else {
+        let (l, r) = nodes.split_at_mut(i);
+        (
+            r[0].as_mut().expect("initiator vanished"),
+            l[j].as_mut().expect("responder vanished"),
+        )
+    }
+}
+
+/// The cycle-driven simulator.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_sim::prelude::*;
+/// use polystyrene_space::prelude::*;
+///
+/// let space = Torus2::new(8.0, 4.0);
+/// let shape = shapes::torus_grid(8, 4, 1.0);
+/// let mut cfg = EngineConfig::default();
+/// cfg.area = 32.0;
+/// let mut engine = Engine::new(space, shape, cfg);
+/// let metrics = engine.step();
+/// assert_eq!(metrics.alive_nodes, 32);
+/// ```
+pub struct Engine<S: MetricSpace> {
+    space: S,
+    config: EngineConfig,
+    nodes: Vec<Option<NodeCell<S>>>,
+    /// The initial data points of the founding population — the target
+    /// shape, and the reference set of the homogeneity metric.
+    original_points: Vec<DataPoint<S::Point>>,
+    fd: SharedFailureDetector,
+    round: u32,
+    rng: StdRng,
+    cost: RoundCost,
+    history: Vec<RoundMetrics>,
+    poly_enabled: bool,
+}
+
+impl<S: MetricSpace> Engine<S> {
+    /// Builds a network of `shape.len()` nodes, node `i` founding data
+    /// point `i` at `shape[i]`, and bootstraps both gossip layers with
+    /// uniformly random contacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn new(space: S, shape: Vec<S::Point>, config: EngineConfig) -> Self {
+        assert!(!shape.is_empty(), "cannot simulate an empty network");
+        config.poly.validate();
+        config.tman.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = shape.len();
+        let original_points: Vec<DataPoint<S::Point>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
+            .collect();
+
+        let mut nodes: Vec<Option<NodeCell<S>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rps = PeerSampling::new(config.rps_view_cap, config.rps_shuffle_len);
+            let mut contacts = Vec::new();
+            while contacts.len() < config.rps_view_cap.min(n - 1).min(config.rps_view_cap) {
+                let j = rng.random_range(0..n);
+                if j != i && !contacts.iter().any(|d: &Descriptor<S::Point>| d.id.index() == j) {
+                    contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
+                }
+                if contacts.len() >= config.rps_view_cap || n <= 1 {
+                    break;
+                }
+            }
+            rps.bootstrap(contacts);
+
+            let mut tman = TMan::new(space.clone(), config.tman);
+            let mut boot = Vec::new();
+            for _ in 0..config.tman_bootstrap {
+                let j = rng.random_range(0..n);
+                if j != i {
+                    boot.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
+                }
+            }
+            tman.integrate(NodeId::new(i as u64), &shape[i], &boot);
+
+            nodes.push(Some(NodeCell {
+                rps,
+                tman,
+                poly: PolyState::with_initial_point(original_points[i].clone()),
+            }));
+        }
+
+        Self {
+            space,
+            config,
+            nodes,
+            original_points,
+            fd: SharedFailureDetector::new(),
+            round: 0,
+            rng,
+            cost: RoundCost::default(),
+            history: Vec::new(),
+            poly_enabled: true,
+        }
+    }
+
+    /// Turns the Polystyrene layer off, leaving plain T-Man over RPS — the
+    /// paper's baseline configuration ("second with T-Man alone (termed
+    /// T-Man)", Sec. IV-A). Each node then forever hosts its single
+    /// original data point and never migrates, backs up, or recovers.
+    pub fn disable_polystyrene(&mut self) {
+        self.poly_enabled = false;
+    }
+
+    /// Whether the Polystyrene layer is active.
+    pub fn polystyrene_enabled(&self) -> bool {
+        self.poly_enabled
+    }
+
+    /// The current round number (rounds completed so far).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The metric space being simulated.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// Ids of currently alive nodes.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| NodeId::new(i as u64))
+            .collect()
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The initial data points defining the target shape.
+    pub fn original_points(&self) -> &[DataPoint<S::Point>] {
+        &self.original_points
+    }
+
+    /// Per-round metric history.
+    pub fn history(&self) -> &[RoundMetrics] {
+        &self.history
+    }
+
+    /// The published position of a node, if alive.
+    pub fn position_of(&self, id: NodeId) -> Option<S::Point> {
+        self.nodes
+            .get(id.index())
+            .and_then(|c| c.as_ref())
+            .map(|c| c.poly.pos.clone())
+    }
+
+    /// Read access to a node's Polystyrene state, if alive (tests and
+    /// snapshot tooling).
+    pub fn poly_state(&self, id: NodeId) -> Option<&PolyState<S::Point>> {
+        self.nodes.get(id.index()).and_then(|c| c.as_ref()).map(|c| &c.poly)
+    }
+
+    /// The `k` closest T-Man neighbors a node currently reports.
+    pub fn neighbors_of(&self, id: NodeId, k: usize) -> Vec<NodeId> {
+        match self.nodes.get(id.index()).and_then(|c| c.as_ref()) {
+            Some(cell) => cell
+                .tman
+                .closest(&cell.poly.pos, k)
+                .into_iter()
+                .map(|d| d.id)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure and churn injection
+    // ------------------------------------------------------------------
+
+    /// Crashes every alive *founding* node whose original data point
+    /// satisfies `predicate` — the paper's correlated catastrophic
+    /// failure, e.g. "all the 1600 nodes located in one half of the torus"
+    /// (Sec. IV-A Phase 2). Returns the crashed ids.
+    pub fn fail_original_region(&mut self, predicate: impl Fn(&S::Point) -> bool) -> Vec<NodeId> {
+        let mut killed = Vec::new();
+        for i in 0..self.original_points.len() {
+            if self.nodes[i].is_some() && predicate(&self.original_points[i].pos) {
+                killed.push(NodeId::new(i as u64));
+            }
+        }
+        for &id in &killed {
+            self.crash(id);
+        }
+        killed
+    }
+
+    /// Crashes a uniformly random fraction of the alive population
+    /// (uncorrelated churn). Returns the crashed ids.
+    pub fn fail_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "failure fraction must be in [0, 1], got {fraction}"
+        );
+        let mut alive = self.alive_ids();
+        alive.shuffle(&mut self.rng);
+        let kill = ((alive.len() as f64) * fraction).round() as usize;
+        let killed: Vec<NodeId> = alive.into_iter().take(kill).collect();
+        for &id in &killed {
+            self.crash(id);
+        }
+        killed
+    }
+
+    /// Crashes one specific node (no-op if already dead).
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(cell) = self.nodes.get_mut(id.index()) {
+            if cell.take().is_some() {
+                self.fd.mark_failed(id, self.round);
+            }
+        }
+    }
+
+    /// Injects fresh nodes at the given positions: no data points, `pos`
+    /// initialized (Sec. IV-A Phase 3), both gossip layers bootstrapped
+    /// from random alive contacts. Returns the new ids.
+    pub fn inject(&mut self, positions: Vec<S::Point>) -> Vec<NodeId> {
+        let alive = self.alive_ids();
+        let mut new_ids = Vec::with_capacity(positions.len());
+        for pos in positions {
+            let id = NodeId::new(self.nodes.len() as u64);
+            let mut rps = PeerSampling::new(self.config.rps_view_cap, self.config.rps_shuffle_len);
+            let mut tman = TMan::new(self.space.clone(), self.config.tman);
+            if !alive.is_empty() {
+                let mut contacts = Vec::new();
+                for _ in 0..self.config.rps_view_cap {
+                    let j = alive[self.rng.random_range(0..alive.len())];
+                    if let Some(p) = self.position_of(j) {
+                        contacts.push(Descriptor::new(j, p));
+                    }
+                }
+                rps.bootstrap(contacts);
+                let mut boot = Vec::new();
+                for _ in 0..self.config.tman_bootstrap {
+                    let j = alive[self.rng.random_range(0..alive.len())];
+                    if let Some(p) = self.position_of(j) {
+                        boot.push(Descriptor::new(j, p));
+                    }
+                }
+                tman.integrate(id, &pos, &boot);
+            }
+            self.nodes.push(Some(NodeCell {
+                rps,
+                tman,
+                poly: PolyState::empty_at(pos),
+            }));
+            new_ids.push(id);
+        }
+        new_ids
+    }
+
+    /// Morphs the target shape in place (paper footnote 1: the shape
+    /// "could, however, keep evolving as the algorithm executes"): applies
+    /// `transform` to every data point — the originals that define the
+    /// shape and every live guest and ghost copy. Nodes then migrate to
+    /// follow their moved points over the next rounds.
+    pub fn morph_shape(&mut self, transform: impl Fn(&S::Point) -> S::Point) {
+        for point in &mut self.original_points {
+            point.pos = transform(&point.pos);
+        }
+        for cell in self.nodes.iter_mut().flatten() {
+            for g in &mut cell.poly.guests {
+                g.pos = transform(&g.pos);
+            }
+            for pts in cell.poly.ghosts.values_mut() {
+                for g in pts {
+                    g.pos = transform(&g.pos);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The round loop
+    // ------------------------------------------------------------------
+
+    /// Runs one full round — RPS, T-Man, then the Polystyrene pipeline
+    /// (recovery → backup → migration) — and returns the metrics measured
+    /// at the end of it.
+    pub fn step(&mut self) -> RoundMetrics {
+        self.round += 1;
+        self.cost.reset();
+        self.rps_phase();
+        self.tman_phase();
+        if self.poly_enabled {
+            self.recovery_phase();
+            self.backup_phase();
+            self.migration_phase();
+        }
+        self.position_refresh_phase();
+        let metrics = self.compute_metrics();
+        self.history.push(metrics);
+        metrics
+    }
+
+    /// Runs `rounds` consecutive rounds.
+    pub fn run(&mut self, rounds: u32) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    fn activation_order(&mut self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect();
+        order.shuffle(&mut self.rng);
+        order
+    }
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.index())
+            .map(|c| c.is_some())
+            .unwrap_or(false)
+    }
+
+
+    /// Peer-sampling round. Per the paper's convention its traffic is not
+    /// accounted ("do not include the peer sampling protocol in our
+    /// measurements").
+    fn rps_phase(&mut self) {
+        for i in self.activation_order() {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let partner = {
+                let cell = self.nodes[i].as_mut().unwrap();
+                cell.rps.begin_round()
+            };
+            let Some(partner) = partner else { continue };
+            if !self.is_alive(partner) {
+                // Timed-out contact: drop it (Cyclon's self-healing).
+                let cell = self.nodes[i].as_mut().unwrap();
+                cell.rps.remove_failed(|id| id == partner);
+                continue;
+            }
+            let self_id = NodeId::new(i as u64);
+            let self_pos = self.nodes[i].as_ref().unwrap().poly.pos.clone();
+            let (a, b) = two_cells(&mut self.nodes, i, partner.index());
+            shuffle_exchange(
+                &mut a.rps,
+                Descriptor::new(self_id, self_pos),
+                &mut b.rps,
+                partner,
+                &mut self.rng,
+            );
+        }
+    }
+
+    /// Topology-construction round (Step 1' of paper Fig. 4).
+    fn tman_phase(&mut self) {
+        let fd = self.fd.clone();
+        let delay = self.config.detection_delay;
+        let detected = move |id: NodeId, now: u32| match fd.failure_round(id) {
+            Some(at) => now >= at.saturating_add(delay),
+            None => false,
+        };
+        let now = self.round;
+        for i in self.activation_order() {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let self_id = NodeId::new(i as u64);
+
+            // Freshen the view: age entries, purge detected failures, and
+            // fold in one random RPS descriptor (the random injection that
+            // "guarantees the convergence of the topology", Sec. II-B).
+            let (partner, self_pos) = {
+                let cell = self.nodes[i].as_mut().unwrap();
+                cell.tman.begin_round();
+                cell.tman.purge_failed(&|id| detected(id, now));
+                let pos = cell.poly.pos.clone();
+                let random_contact = cell.rps.view().random(&mut self.rng).cloned();
+                if let Some(d) = random_contact {
+                    if !detected(d.id, now) && d.id != self_id {
+                        cell.tman.integrate(self_id, &pos, &[d]);
+                    }
+                }
+                (cell.tman.select_partner(&pos, &mut self.rng), pos)
+            };
+            let Some(partner) = partner else { continue };
+            if !self.is_alive(partner) {
+                // Imperfect detection: the exchange times out; the request
+                // was still paid for.
+                let cell = self.nodes[i].as_mut().unwrap();
+                self.cost.tman_units +=
+                    (self.config.tman.m * self.config.cost.units_per_descriptor) as u64;
+                cell.tman.purge_failed(&|id| id == partner);
+                continue;
+            }
+            let partner_pos = self.nodes[partner.index()].as_ref().unwrap().poly.pos.clone();
+            let (a, b) = two_cells(&mut self.nodes, i, partner.index());
+            let stats = tman_exchange(
+                &mut a.tman,
+                Descriptor::new(self_id, self_pos),
+                &mut b.tman,
+                Descriptor::new(partner, partner_pos),
+            );
+            self.cost.tman_units +=
+                (stats.total() * self.config.cost.units_per_descriptor) as u64;
+        }
+    }
+
+    /// Recovery pass (Step 3 of Fig. 4, Algorithm 2): reactivate ghosts of
+    /// crashed holders. Purely local, no traffic.
+    fn recovery_phase(&mut self) {
+        let fd = self.fd.clone();
+        let delay = self.config.detection_delay;
+        let now = self.round;
+        for i in self.activation_order() {
+            if let Some(cell) = self.nodes[i].as_mut() {
+                recover(&mut cell.poly, |id| match fd.failure_round(id) {
+                    Some(at) => now >= at.saturating_add(delay),
+                    None => false,
+                });
+            }
+        }
+    }
+
+    /// Backup pass (Steps 2/2' of Fig. 4, Algorithm 1): replace failed
+    /// backup targets and push incremental replicas.
+    fn backup_phase(&mut self) {
+        let fd = self.fd.clone();
+        let delay = self.config.detection_delay;
+        let detected = move |id: NodeId, now: u32| match fd.failure_round(id) {
+            Some(at) => now >= at.saturating_add(delay),
+            None => false,
+        };
+        let now = self.round;
+        let k = self.config.poly.replication;
+        let placement = self.config.poly.backup_placement;
+        for i in self.activation_order() {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let self_id = NodeId::new(i as u64);
+            // Candidate backup targets come from the random peer-sampling
+            // layer (Sec. III-D: "we spread copies as randomly as possible
+            // … using the underlying peer-sampling layer").
+            let pool: Vec<NodeId> = {
+                let cell = self.nodes[i].as_ref().unwrap();
+                match placement {
+                    polystyrene::prelude::BackupPlacement::UniformRandom => {
+                        cell.rps.random_peers(k * 4 + 8, &mut self.rng)
+                    }
+                    polystyrene::prelude::BackupPlacement::NeighborhoodBiased => cell
+                        .tman
+                        .closest(&cell.poly.pos, k * 4 + 8)
+                        .into_iter()
+                        .map(|d| d.id)
+                        .collect(),
+                }
+            };
+            let mut pool_iter = pool.into_iter();
+            let pushes = {
+                let cell = self.nodes[i].as_mut().unwrap();
+                plan_backups(
+                    &mut cell.poly,
+                    self_id,
+                    k,
+                    |id| detected(id, now),
+                    || pool_iter.next(),
+                )
+            };
+            for push in pushes {
+                self.cost.backup_units +=
+                    push.cost_units(self.config.cost.units_per_point) as u64;
+                if self.is_alive(push.target) {
+                    let target = self.nodes[push.target.index()].as_mut().unwrap();
+                    target.poly.store_ghosts(self_id, push.points);
+                }
+                // A push to an undetected-dead target is simply lost.
+            }
+        }
+    }
+
+    /// Migration pass (Step 4 of Fig. 4, Algorithm 3): pairwise pull-push
+    /// exchanges with a partner from the ψ closest topology neighbors plus
+    /// one random RPS peer.
+    fn migration_phase(&mut self) {
+        let fd = self.fd.clone();
+        let delay = self.config.detection_delay;
+        let detected = move |id: NodeId, now: u32| match fd.failure_round(id) {
+            Some(at) => now >= at.saturating_add(delay),
+            None => false,
+        };
+        let now = self.round;
+        let poly_cfg = self.config.poly;
+        for i in self.activation_order() {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let self_id = NodeId::new(i as u64);
+            let candidates: Vec<NodeId> = {
+                let cell = self.nodes[i].as_ref().unwrap();
+                let mut c: Vec<NodeId> = cell
+                    .tman
+                    .closest(&cell.poly.pos, poly_cfg.psi)
+                    .into_iter()
+                    .map(|d| d.id)
+                    .collect();
+                for _ in 0..poly_cfg.random_candidates {
+                    if let Some(r) = cell.rps.random_peer(&mut self.rng) {
+                        c.push(r);
+                    }
+                }
+                c.retain(|&id| id != self_id && !detected(id, now));
+                c
+            };
+            if candidates.is_empty() {
+                continue;
+            }
+            let q = candidates[self.rng.random_range(0..candidates.len())];
+            if !self.is_alive(q) {
+                continue; // undetected-dead partner: the exchange times out
+            }
+            let space = self.space.clone();
+            let (a, b) = two_cells(&mut self.nodes, i, q.index());
+            let outcome = migrate_exchange(&space, &poly_cfg, &mut a.poly, &mut b.poly, &mut self.rng);
+            self.cost.migration_units += ((outcome.pulled_points + outcome.pushed_points)
+                * self.config.cost.units_per_point) as u64;
+        }
+    }
+
+    /// Position-refresh pass: every node updates the coordinates of its
+    /// view entries to the subjects' current positions. "Because nodes
+    /// move, T-Man must update their positions in its view in each round,
+    /// causing most of the traffic" (Sec. IV-B) — each *changed* entry is
+    /// charged as one descriptor. When nodes are stationary (T-Man alone,
+    /// or a converged Polystyrene network at rest) this costs nothing.
+    fn position_refresh_phase(&mut self) {
+        let positions: Vec<Option<S::Point>> = self
+            .nodes
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.poly.pos.clone()))
+            .collect();
+        let unit = self.config.cost.units_per_descriptor as u64;
+        for i in 0..self.nodes.len() {
+            if let Some(cell) = self.nodes[i].as_mut() {
+                let changed = cell
+                    .tman
+                    .refresh_positions(|id| positions.get(id.index()).cloned().flatten());
+                self.cost.tman_units += changed as u64 * unit;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Measures the paper's metrics over the current state.
+    pub fn compute_metrics(&self) -> RoundMetrics {
+        let alive: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect();
+        let alive_count = alive.len();
+
+        // Proximity: mean distance to the k closest T-Man neighbors,
+        // measured against the neighbors' *true* current positions.
+        let mut proximity_acc = 0.0;
+        let mut proximity_samples = 0usize;
+        for &i in &alive {
+            let cell = self.nodes[i].as_ref().unwrap();
+            let neighbors = cell.tman.closest(&cell.poly.pos, self.config.report_neighbors);
+            for d in neighbors {
+                if let Some(actual) = self.position_of(d.id) {
+                    proximity_acc += self.space.distance(&cell.poly.pos, &actual);
+                    proximity_samples += 1;
+                }
+            }
+        }
+        let proximity = if proximity_samples == 0 {
+            0.0
+        } else {
+            proximity_acc / proximity_samples as f64
+        };
+
+        // Homogeneity: map every original data point to its primary
+        // holders (paper Sec. IV-A's ĝuests⁻¹).
+        let mut holders: HashMap<PointId, Vec<usize>> = HashMap::new();
+        for &i in &alive {
+            let cell = self.nodes[i].as_ref().unwrap();
+            for g in &cell.poly.guests {
+                holders.entry(g.id).or_default().push(i);
+            }
+        }
+        let mut homogeneity_acc = 0.0;
+        let mut surviving = 0usize;
+        // Ghost presence also counts for survival (the copy exists even if
+        // not yet reactivated).
+        let mut ghost_present: HashMap<PointId, ()> = HashMap::new();
+        for &i in &alive {
+            let cell = self.nodes[i].as_ref().unwrap();
+            for pts in cell.poly.ghosts.values() {
+                for p in pts {
+                    ghost_present.insert(p.id, ());
+                }
+            }
+        }
+        for point in &self.original_points {
+            let nearest = match holders.get(&point.id) {
+                Some(hs) if !hs.is_empty() => hs
+                    .iter()
+                    .map(|&i| {
+                        let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
+                        self.space.distance(&point.pos, pos)
+                    })
+                    .fold(f64::INFINITY, f64::min),
+                _ => alive
+                    .iter()
+                    .map(|&i| {
+                        let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
+                        self.space.distance(&point.pos, pos)
+                    })
+                    .fold(f64::INFINITY, f64::min),
+            };
+            if nearest.is_finite() {
+                homogeneity_acc += nearest;
+            }
+            if holders.contains_key(&point.id) || ghost_present.contains_key(&point.id) {
+                surviving += 1;
+            }
+        }
+        let homogeneity = if self.original_points.is_empty() || alive_count == 0 {
+            f64::INFINITY
+        } else {
+            homogeneity_acc / self.original_points.len() as f64
+        };
+
+        let points_per_node = if alive_count == 0 {
+            0.0
+        } else {
+            alive
+                .iter()
+                .map(|&i| self.nodes[i].as_ref().unwrap().poly.stored_points())
+                .sum::<usize>() as f64
+                / alive_count as f64
+        };
+
+        let cost_per_node = if alive_count == 0 {
+            0.0
+        } else {
+            self.cost.total() as f64 / alive_count as f64
+        };
+
+        RoundMetrics {
+            round: self.round,
+            alive_nodes: alive_count,
+            proximity,
+            homogeneity,
+            reference_homogeneity: reference_homogeneity(self.config.area, alive_count),
+            points_per_node,
+            cost_per_node,
+            tman_cost_share: self.cost.tman_share(),
+            surviving_points: if self.original_points.is_empty() {
+                1.0
+            } else {
+                surviving as f64 / self.original_points.len() as f64
+            },
+        }
+    }
+
+    /// Positions of all alive nodes, for the snapshot figures (1, 8, 9).
+    pub fn snapshot_positions(&self) -> Vec<(NodeId, S::Point)> {
+        (0..self.nodes.len())
+            .filter_map(|i| {
+                self.nodes[i]
+                    .as_ref()
+                    .map(|c| (NodeId::new(i as u64), c.poly.pos.clone()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+
+    fn tiny_config(seed: u64) -> EngineConfig {
+        EngineConfig {
+            tman: TManConfig {
+                view_cap: 20,
+                m: 8,
+                psi: 3,
+            },
+            poly: PolystyreneConfig::builder().replication(3).build(),
+            rps_view_cap: 10,
+            rps_shuffle_len: 5,
+            tman_bootstrap: 5,
+            report_neighbors: 4,
+            cost: CostModel::default(),
+            area: 64.0,
+            detection_delay: 0,
+            seed,
+        }
+    }
+
+    fn tiny_engine(seed: u64) -> Engine<Torus2> {
+        let space = Torus2::new(16.0, 4.0);
+        let shape = shapes::torus_grid(16, 4, 1.0);
+        Engine::new(space, shape, tiny_config(seed))
+    }
+
+    #[test]
+    fn construction_invariants() {
+        let e = tiny_engine(1);
+        assert_eq!(e.alive_count(), 64);
+        assert_eq!(e.original_points().len(), 64);
+        assert_eq!(e.round(), 0);
+        // Every node initially hosts exactly its own point.
+        for id in e.alive_ids() {
+            let s = e.poly_state(id).unwrap();
+            assert_eq!(s.guests.len(), 1);
+            assert_eq!(s.guests[0].id.as_u64(), id.as_u64());
+        }
+    }
+
+    #[test]
+    fn initial_homogeneity_is_zero() {
+        let e = tiny_engine(2);
+        let m = e.compute_metrics();
+        assert!(m.homogeneity.abs() < 1e-12, "each node hosts its own point");
+        assert_eq!(m.surviving_points, 1.0);
+    }
+
+    #[test]
+    fn convergence_brings_proximity_down() {
+        let mut e = tiny_engine(3);
+        e.run(15);
+        let m = e.history().last().unwrap();
+        // On a unit-step grid the 4 closest neighbors are at distance 1.
+        assert!(
+            m.proximity < 1.6,
+            "proximity failed to converge: {}",
+            m.proximity
+        );
+        // Steady state: replication reached, so stored points ≈ 1 + K.
+        assert!(
+            (m.points_per_node - 4.0).abs() < 0.8,
+            "expected ≈ 1+K=4 stored points, got {}",
+            m.points_per_node
+        );
+    }
+
+    #[test]
+    fn catastrophic_failure_and_recovery() {
+        let mut e = tiny_engine(4);
+        e.run(12);
+        let killed = e.fail_original_region(shapes::in_right_half(16.0));
+        assert_eq!(killed.len(), 32);
+        assert_eq!(e.alive_count(), 32);
+        let at_failure = e.compute_metrics();
+        assert!(at_failure.homogeneity > 1.0, "half the shape just vanished");
+        e.run(15);
+        let m = *e.history().last().unwrap();
+        assert!(
+            m.homogeneity < m.reference_homogeneity,
+            "failed to reshape: homogeneity {} vs reference {}",
+            m.homogeneity,
+            m.reference_homogeneity
+        );
+        // Most points survived (K = 3 over 50% failure ⇒ ~94%).
+        assert!(m.surviving_points > 0.80, "reliability {}", m.surviving_points);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let mut a = tiny_engine(7);
+        let mut b = tiny_engine(7);
+        a.run(8);
+        b.run(8);
+        assert_eq!(a.history(), b.history());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = tiny_engine(7);
+        let mut b = tiny_engine(8);
+        a.run(5);
+        b.run(5);
+        assert_ne!(a.history(), b.history());
+    }
+
+    #[test]
+    fn injection_adds_empty_nodes_that_acquire_points() {
+        let mut e = tiny_engine(5);
+        e.run(10);
+        e.fail_original_region(shapes::in_right_half(16.0));
+        e.run(10);
+        let fresh = e.inject(shapes::torus_grid_offset(16, 2, 1.0));
+        assert_eq!(fresh.len(), 32);
+        assert_eq!(e.alive_count(), 64);
+        for &id in &fresh {
+            assert!(e.poly_state(id).unwrap().guests.is_empty());
+        }
+        e.run(15);
+        let with_points = fresh
+            .iter()
+            .filter(|&&id| !e.poly_state(id).unwrap().guests.is_empty())
+            .count();
+        assert!(
+            with_points > fresh.len() / 2,
+            "only {with_points}/32 injected nodes acquired data points"
+        );
+    }
+
+    #[test]
+    fn random_failure_fraction() {
+        let mut e = tiny_engine(6);
+        e.run(3);
+        let killed = e.fail_random_fraction(0.25);
+        assert_eq!(killed.len(), 16);
+        assert_eq!(e.alive_count(), 48);
+    }
+
+    #[test]
+    fn crash_is_idempotent() {
+        let mut e = tiny_engine(9);
+        e.crash(NodeId::new(0));
+        e.crash(NodeId::new(0));
+        assert_eq!(e.alive_count(), 63);
+    }
+
+    #[test]
+    fn cost_accounting_is_dominated_by_tman() {
+        let mut e = tiny_engine(10);
+        e.run(10);
+        let m = e.history().last().unwrap();
+        assert!(m.cost_per_node > 0.0);
+        assert!(
+            m.tman_cost_share > 0.5,
+            "T-Man should dominate traffic (paper Fig. 7b), got {}",
+            m.tman_cost_share
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_shape_rejected() {
+        let _ = Engine::new(Torus2::new(4.0, 4.0), Vec::new(), tiny_config(0));
+    }
+
+    #[test]
+    fn delayed_detection_still_recovers_but_later() {
+        let run = |delay: u32| {
+            let mut cfg = tiny_config(21);
+            cfg.detection_delay = delay;
+            let space = Torus2::new(16.0, 4.0);
+            let mut e = Engine::new(space, shapes::torus_grid(16, 4, 1.0), cfg);
+            e.run(12);
+            e.fail_original_region(shapes::in_right_half(16.0));
+            // First round at which homogeneity recrosses the reference.
+            for extra in 1..=30u32 {
+                let m = e.step();
+                if m.homogeneity < m.reference_homogeneity {
+                    return Some(extra);
+                }
+            }
+            None
+        };
+        let fast = run(0).expect("perfect detector must reshape");
+        let slow = run(4).expect("delayed detector must still reshape");
+        assert!(
+            slow >= fast,
+            "detection lag cannot speed up reshaping: {slow} < {fast}"
+        );
+        // The lag lower-bounds recovery: nothing reactivates before
+        // detection, so at least `delay` extra rounds pass.
+        assert!(slow >= 4, "reshaped in {slow} rounds despite 4-round lag");
+    }
+
+    #[test]
+    fn localized_backups_crumble_under_correlated_failure() {
+        // Paper Sec. III-D: random placement is chosen *because* failures
+        // are correlated. Localized placement must lose far more points
+        // when a whole region dies.
+        let run = |placement: BackupPlacement| {
+            let mut cfg = tiny_config(22);
+            cfg.poly = PolystyreneConfig::builder()
+                .replication(3)
+                .backup_placement(placement)
+                .build();
+            let space = Torus2::new(16.0, 4.0);
+            let mut e = Engine::new(space, shapes::torus_grid(16, 4, 1.0), cfg);
+            e.run(12);
+            e.fail_original_region(shapes::in_right_half(16.0));
+            e.run(5);
+            e.history().last().unwrap().surviving_points
+        };
+        let random = run(BackupPlacement::UniformRandom);
+        let local = run(BackupPlacement::NeighborhoodBiased);
+        assert!(
+            random > local + 0.15,
+            "random placement ({random:.3}) should clearly beat localized \
+             ({local:.3}) under a regional blast"
+        );
+        // Localized backups sit in the dead region: roughly only the
+        // surviving half's own points remain.
+        assert!(local < 0.75, "localized placement suspiciously good: {local:.3}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Multi-run experiment harness: repeated seeded runs, aggregated with
+//! 95 % confidence intervals — the paper's protocol ("Results are averaged
+//! over 25 experiments, and when mentioned, intervals of confidence are
+//! computed at a 95% confidence level", Sec. IV-B).
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::{reshaping_time, RoundMetrics};
+use crate::scenario::{run_scenario, PaperScenario};
+use polystyrene_space::stats::{ci95, ConfidenceInterval, SeriesAccumulator};
+use polystyrene_space::torus::Torus2;
+
+/// Outcome of one seeded run of a scenario.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Per-round metrics.
+    pub metrics: Vec<RoundMetrics>,
+    /// Rounds from the failure until homogeneity first dropped below the
+    /// reference (Sec. IV-A), if it did.
+    pub reshaping_time: Option<u32>,
+    /// Fraction of initial data points surviving the failure — Table II's
+    /// "Reliability", measured on the round right after the failure.
+    pub reliability: f64,
+}
+
+impl RunRecord {
+    /// Builds the record from raw metrics and the scenario's failure round.
+    pub fn analyze(metrics: Vec<RoundMetrics>, failure_round: Option<u32>) -> Self {
+        let reshaping = failure_round.and_then(|fr| reshaping_time(&metrics, fr));
+        let reliability = failure_round
+            .and_then(|fr| metrics.iter().find(|m| m.round > fr))
+            .map(|m| m.surviving_points)
+            .unwrap_or(1.0);
+        Self {
+            metrics,
+            reshaping_time: reshaping,
+            reliability,
+        }
+    }
+}
+
+/// Aggregated results of repeated runs.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentResult {
+    /// Per-round homogeneity across runs.
+    pub homogeneity: SeriesAccumulator,
+    /// Per-round proximity across runs.
+    pub proximity: SeriesAccumulator,
+    /// Per-round stored points per node across runs.
+    pub points_per_node: SeriesAccumulator,
+    /// Per-round message cost per node across runs.
+    pub cost_per_node: SeriesAccumulator,
+    /// Per-round reference homogeneity (population-driven, identical
+    /// across runs with the same scenario).
+    pub reference_homogeneity: Vec<f64>,
+    /// Reshaping time of each run that reshaped, in rounds.
+    pub reshaping_times: Vec<f64>,
+    /// Number of runs that never reshaped within the scenario.
+    pub unreshaped_runs: usize,
+    /// Reliability of each run.
+    pub reliabilities: Vec<f64>,
+}
+
+impl ExperimentResult {
+    /// Folds one run into the aggregate.
+    pub fn push(&mut self, record: &RunRecord) {
+        self.homogeneity
+            .push_run(record.metrics.iter().map(|m| m.homogeneity).collect());
+        self.proximity
+            .push_run(record.metrics.iter().map(|m| m.proximity).collect());
+        self.points_per_node
+            .push_run(record.metrics.iter().map(|m| m.points_per_node).collect());
+        self.cost_per_node
+            .push_run(record.metrics.iter().map(|m| m.cost_per_node).collect());
+        if self.reference_homogeneity.len() < record.metrics.len() {
+            self.reference_homogeneity = record
+                .metrics
+                .iter()
+                .map(|m| m.reference_homogeneity)
+                .collect();
+        }
+        match record.reshaping_time {
+            Some(t) => self.reshaping_times.push(t as f64),
+            None => self.unreshaped_runs += 1,
+        }
+        self.reliabilities.push(record.reliability);
+    }
+
+    /// Number of aggregated runs.
+    pub fn runs(&self) -> usize {
+        self.homogeneity.run_count()
+    }
+
+    /// Mean ± CI95 of the reshaping time (over runs that reshaped).
+    pub fn reshaping_ci(&self) -> ConfidenceInterval {
+        ci95(&self.reshaping_times)
+    }
+
+    /// Mean ± CI95 of the reliability, in percent (Table II convention).
+    pub fn reliability_percent_ci(&self) -> ConfidenceInterval {
+        let percents: Vec<f64> = self.reliabilities.iter().map(|r| r * 100.0).collect();
+        ci95(&percents)
+    }
+}
+
+/// Which protocol stack a comparison run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackKind {
+    /// The full stack: Polystyrene over T-Man over RPS.
+    Polystyrene,
+    /// T-Man alone (the paper's baseline): equivalent to Polystyrene with
+    /// migration, backup and recovery disabled.
+    TManOnly,
+}
+
+/// Runs the paper scenario `runs` times with consecutive seeds and
+/// aggregates. `configure` may tweak the engine config (replication,
+/// split strategy, …) before each run.
+pub fn run_paper_experiment(
+    paper: &PaperScenario,
+    base_config: EngineConfig,
+    stack: StackKind,
+    runs: usize,
+    configure: impl Fn(&mut EngineConfig),
+) -> ExperimentResult {
+    let mut result = ExperimentResult::default();
+    let (w, h) = paper.extents();
+    for run in 0..runs {
+        let mut config = base_config;
+        config.area = paper.area();
+        config.seed = base_config.seed + run as u64;
+        configure(&mut config);
+        let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), config);
+        if stack == StackKind::TManOnly {
+            engine.disable_polystyrene();
+        }
+        let metrics = run_scenario(&mut engine, &paper.script());
+        let record = RunRecord::analyze(metrics, Some(paper.failure_round));
+        result.push(&record);
+    }
+    result
+}
+
+/// One row of the Table II / Fig. 10 reshaping-time sweeps.
+#[derive(Clone, Debug)]
+pub struct ReshapingRow {
+    /// Label of the row (e.g. "K=4" or a network size).
+    pub label: String,
+    /// Number of founding nodes.
+    pub nodes: usize,
+    /// Reshaping time mean ± CI95 (rounds).
+    pub reshaping: ConfidenceInterval,
+    /// Runs that never reshaped.
+    pub unreshaped: usize,
+    /// Reliability mean ± CI95 (percent).
+    pub reliability: ConfidenceInterval,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> EngineConfig {
+        let mut cfg = EngineConfig::default();
+        cfg.tman.view_cap = 30;
+        cfg.tman.m = 10;
+        cfg
+    }
+
+    #[test]
+    fn run_record_analysis() {
+        use crate::metrics::RoundMetrics;
+        let mk = |round: u32, h: f64, surv: f64| RoundMetrics {
+            round,
+            homogeneity: h,
+            reference_homogeneity: 0.7,
+            surviving_points: surv,
+            ..Default::default()
+        };
+        let metrics = vec![mk(1, 0.1, 1.0), mk(2, 5.0, 0.9), mk(3, 0.5, 0.9)];
+        // Failure at round 2: homogeneity recrosses the reference at round
+        // 3, i.e. one round later; reliability read from round 3 (> 2).
+        let rec = RunRecord::analyze(metrics.clone(), Some(2));
+        assert_eq!(rec.reshaping_time, Some(1));
+        assert_eq!(rec.reliability, 0.9);
+        // No failure round: trivially "reshaped", full reliability.
+        let rec_none = RunRecord::analyze(metrics, None);
+        assert_eq!(rec_none.reshaping_time, None);
+        assert_eq!(rec_none.reliability, 1.0);
+    }
+
+    #[test]
+    fn experiment_aggregates_runs() {
+        let paper = PaperScenario {
+            cols: 12,
+            rows: 6,
+            step: 1.0,
+            failure_round: 10,
+            inject_round: None,
+            total_rounds: 30,
+        };
+        let result = run_paper_experiment(
+            &paper,
+            quick_config(),
+            StackKind::Polystyrene,
+            3,
+            |_| {},
+        );
+        assert_eq!(result.runs(), 3);
+        assert_eq!(result.reliabilities.len(), 3);
+        assert_eq!(
+            result.reshaping_times.len() + result.unreshaped_runs,
+            3
+        );
+        // Homogeneity series spans the full scenario.
+        assert_eq!(result.homogeneity.rounds(), 30);
+        assert_eq!(result.reference_homogeneity.len(), 30);
+        // Small torus, K=4 ⇒ reshaping expected.
+        assert!(result.unreshaped_runs == 0, "tiny torus must reshape");
+        let ci = result.reshaping_ci();
+        assert!(ci.mean > 0.0 && ci.mean < 25.0);
+        let rel = result.reliability_percent_ci();
+        assert!(rel.mean > 80.0, "reliability {rel}");
+    }
+
+    #[test]
+    fn tman_only_baseline_never_reshapes() {
+        let paper = PaperScenario {
+            cols: 12,
+            rows: 6,
+            step: 1.0,
+            failure_round: 10,
+            inject_round: None,
+            total_rounds: 25,
+        };
+        let result = run_paper_experiment(
+            &paper,
+            quick_config(),
+            StackKind::TManOnly,
+            2,
+            |_| {},
+        );
+        // The baseline heals links but the shape is lost for good.
+        assert_eq!(result.reshaping_times.len(), 0);
+        assert_eq!(result.unreshaped_runs, 2);
+        // And with no replication, about half the points are simply gone.
+        let rel = result.reliability_percent_ci();
+        assert!(rel.mean < 60.0, "T-Man alone kept {rel}% of points");
+    }
+}

@@ -1,0 +1,67 @@
+//! Round-based discrete-event simulator and experiment harness for the
+//! Polystyrene reproduction — the stand-in for PeerSim \[26\], which the
+//! paper used for all results ("All results were computed with PeerSim",
+//! Sec. IV-B).
+//!
+//! * [`engine`] — the cycle-driven engine running the full stack
+//!   (RPS → T-Man → Polystyrene) with failure and churn injection;
+//! * [`metrics`] — the paper's five metrics (proximity, homogeneity,
+//!   reference homogeneity / reshaping time, data points per node,
+//!   message cost);
+//! * [`cost`] — wire-cost accounting in the paper's units;
+//! * [`scenario`] — timed event scripts, including the paper's three-phase
+//!   evaluation scenario;
+//! * [`experiment`] — repeated seeded runs aggregated with 95 % confidence
+//!   intervals;
+//! * [`snapshot`] — point-cloud captures for the visual figures;
+//! * [`report`] — ASCII tables, terminal plots and CSV output.
+//!
+//! # Example: the paper's headline result, in miniature
+//!
+//! ```
+//! use polystyrene_sim::prelude::*;
+//! use polystyrene_space::prelude::*;
+//!
+//! // A 16×4 torus of 64 nodes.
+//! let mut cfg = EngineConfig::default();
+//! cfg.area = 64.0;
+//! cfg.tman.view_cap = 20;
+//! cfg.tman.m = 8;
+//! let mut engine = Engine::new(Torus2::new(16.0, 4.0), shapes::torus_grid(16, 4, 1.0), cfg);
+//!
+//! // Converge, then kill the right half of the torus.
+//! engine.run(10);
+//! engine.fail_original_region(shapes::in_right_half(16.0));
+//! assert!(engine.compute_metrics().homogeneity > 1.0);
+//!
+//! // A few rounds later the survivors have re-formed the full torus.
+//! engine.run(12);
+//! let m = engine.history().last().unwrap();
+//! assert!(m.homogeneity < m.reference_homogeneity);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod snapshot;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::cost::{CostModel, RoundCost};
+    pub use crate::engine::{Engine, EngineConfig};
+    pub use crate::experiment::{
+        run_paper_experiment, ExperimentResult, ReshapingRow, RunRecord, StackKind,
+    };
+    pub use crate::metrics::{reference_homogeneity, reshaping_time, RoundMetrics};
+    pub use crate::report::{ascii_plot, render_table, series_rows, write_csv};
+    pub use crate::scenario::{run_scenario, PaperScenario, Scenario, ScenarioEvent};
+    pub use crate::snapshot::Snapshot;
+}
+
+pub use prelude::*;

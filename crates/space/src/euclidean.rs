@@ -1,0 +1,175 @@
+//! Euclidean spaces `R^d` with the standard L2 distance.
+//!
+//! The paper assumes "nodes take their positions from a continuous space
+//! with a small dimension … and use the standard Euclidean distance"
+//! (Sec. II-B). [`Euclidean`] is generic over the dimension `D`; the
+//! [`Euclidean2`](type@Euclidean2) and [`Euclidean3`](type@Euclidean3) aliases cover the common cases (a 2-D
+//! plane for figures, "a 3D point" from the system model of Sec. III-A).
+
+use crate::point::MetricSpace;
+
+/// The Euclidean space `R^D`, points represented as `[f64; D]`.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_space::prelude::*;
+///
+/// let plane = Euclidean::<2>;
+/// assert_eq!(plane.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Euclidean<const D: usize>;
+
+/// The Euclidean plane `R^2`.
+pub type Euclidean2 = Euclidean<2>;
+/// Euclidean 3-space `R^3`.
+pub type Euclidean3 = Euclidean<3>;
+
+/// Value of the Euclidean plane, usable in expression position
+/// (`Euclidean2.distance(..)`), mirroring the unit-struct idiom.
+#[allow(non_upper_case_globals)]
+pub const Euclidean2: Euclidean<2> = Euclidean::<2>;
+/// Value of Euclidean 3-space, usable in expression position.
+#[allow(non_upper_case_globals)]
+pub const Euclidean3: Euclidean<3> = Euclidean::<3>;
+
+impl<const D: usize> MetricSpace for Euclidean<D> {
+    type Point = [f64; D];
+
+    fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        self.distance_sq(a, b).sqrt()
+    }
+
+    fn distance_sq(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = a[i] - b[i];
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+impl<const D: usize> Euclidean<D> {
+    /// The arithmetic mean of a non-empty set of points.
+    ///
+    /// Well-defined in vector spaces only — this is exactly the operation
+    /// that is *not* available on the torus (paper Sec. III-C, footnote 2),
+    /// which is why Polystyrene's default projection is the medoid. It is
+    /// still exposed here for the centroid-projection ablation.
+    ///
+    /// Returns `None` when `points` is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use polystyrene_space::prelude::*;
+    ///
+    /// let c = Euclidean2.centroid(&[[0.0, 0.0], [2.0, 4.0]]).unwrap();
+    /// assert_eq!(c, [1.0, 2.0]);
+    /// ```
+    pub fn centroid(&self, points: &[[f64; D]]) -> Option<[f64; D]> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut acc = [0.0; D];
+        for p in points {
+            for i in 0..D {
+                acc[i] += p[i];
+            }
+        }
+        let n = points.len() as f64;
+        for v in acc.iter_mut() {
+            *v /= n;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pythagorean_triple() {
+        assert_eq!(Euclidean2.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn three_dimensional_distance() {
+        let d = Euclidean3.distance(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(d, 0.0);
+        let d = Euclidean3.distance(&[0.0, 0.0, 0.0], &[1.0, 2.0, 2.0]);
+        assert_eq!(d, 3.0);
+    }
+
+    #[test]
+    fn distance_sq_avoids_sqrt_roundtrip() {
+        let a = [0.3, -1.7];
+        let b = [2.5, 0.9];
+        let d = Euclidean2.distance(&a, &b);
+        assert!((Euclidean2.distance_sq(&a, &b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert_eq!(Euclidean2.centroid(&[]), None);
+    }
+
+    #[test]
+    fn centroid_of_singleton_is_the_point() {
+        assert_eq!(Euclidean2.centroid(&[[5.0, -2.0]]), Some([5.0, -2.0]));
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1e3..1e3
+    }
+
+    fn pt2() -> impl Strategy<Value = [f64; 2]> {
+        [coord(), coord()]
+    }
+
+    proptest! {
+        #[test]
+        fn identity(a in pt2()) {
+            prop_assert_eq!(Euclidean2.distance(&a, &a), 0.0);
+        }
+
+        #[test]
+        fn symmetry(a in pt2(), b in pt2()) {
+            let d1 = Euclidean2.distance(&a, &b);
+            let d2 = Euclidean2.distance(&b, &a);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(a in pt2(), b in pt2(), c in pt2()) {
+            let ac = Euclidean2.distance(&a, &c);
+            let ab = Euclidean2.distance(&a, &b);
+            let bc = Euclidean2.distance(&b, &c);
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+
+        #[test]
+        fn non_negative(a in pt2(), b in pt2()) {
+            prop_assert!(Euclidean2.distance(&a, &b) >= 0.0);
+        }
+
+        #[test]
+        fn centroid_minimizes_sum_of_squares_locally(
+            pts in proptest::collection::vec(pt2(), 1..20),
+            probe in pt2(),
+        ) {
+            // The centroid is the global minimizer of sum of squared
+            // distances in a vector space; any probe point must do at
+            // least as badly.
+            let c = Euclidean2.centroid(&pts).unwrap();
+            let cost = |q: &[f64; 2]| -> f64 {
+                pts.iter().map(|p| Euclidean2.distance_sq(p, q)).sum()
+            };
+            prop_assert!(cost(&c) <= cost(&probe) + 1e-6);
+        }
+    }
+}

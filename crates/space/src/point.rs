@@ -1,0 +1,103 @@
+//! The [`MetricSpace`] abstraction.
+//!
+//! Polystyrene's system model (paper Sec. III-A) places a single constraint
+//! on the data space: a distance must be computable between any two data
+//! points. Everything in this workspace — T-Man ranking, medoid projection,
+//! diameter splits, homogeneity metrics — is generic over this trait, which
+//! is what lets the same protocol organize a torus of 2-D coordinates or a
+//! collection of user profiles (item sets).
+
+/// A metric space over a point type `Self::Point`.
+///
+/// The space object carries the parameters of the space (e.g. the extents of
+/// a torus), so points themselves stay plain data (`[f64; 2]`, `f64`,
+/// bit sets, …) and can be exchanged between nodes cheaply.
+///
+/// Implementations must satisfy the metric axioms for the protocol's
+/// convergence arguments to hold:
+///
+/// * `d(a, a) == 0`,
+/// * symmetry: `d(a, b) == d(b, a)`,
+/// * triangle inequality: `d(a, c) <= d(a, b) + d(b, c)`.
+///
+/// These are checked by property-based tests for every implementation in
+/// this crate.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_space::prelude::*;
+///
+/// fn farthest_from<S: MetricSpace>(space: &S, origin: &S::Point, candidates: &[S::Point])
+///     -> Option<usize>
+/// {
+///     (0..candidates.len()).max_by(|&i, &j| {
+///         space
+///             .distance(origin, &candidates[i])
+///             .total_cmp(&space.distance(origin, &candidates[j]))
+///     })
+/// }
+///
+/// let space = Euclidean2;
+/// let pts = [[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]];
+/// assert_eq!(farthest_from(&space, &[0.0, 0.0], &pts), Some(1));
+/// ```
+pub trait MetricSpace: Clone + Send + Sync + 'static {
+    /// The point type of this space.
+    type Point: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static;
+
+    /// Distance between two points. Must be non-negative, symmetric and
+    /// satisfy the triangle inequality.
+    fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64;
+
+    /// Squared distance, the quantity minimized by the medoid projection
+    /// (paper Sec. III-C) and the split objective (Sec. III-F).
+    ///
+    /// Override when a cheaper computation than `distance(a, b)^2` exists
+    /// (e.g. Euclidean spaces can skip the square root).
+    fn distance_sq(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        let d = self.distance(a, b);
+        d * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial discrete metric space used to exercise the default method.
+    #[derive(Clone)]
+    struct Discrete;
+
+    impl MetricSpace for Discrete {
+        type Point = u32;
+        fn distance(&self, a: &u32, b: &u32) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[test]
+    fn default_distance_sq_squares_distance() {
+        let s = Discrete;
+        assert_eq!(s.distance_sq(&1, &1), 0.0);
+        assert_eq!(s.distance_sq(&1, &2), 1.0);
+    }
+
+    #[test]
+    fn trait_is_object_usable_via_generics() {
+        fn total<S: MetricSpace>(s: &S, pts: &[S::Point]) -> f64 {
+            let mut acc = 0.0;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    acc += s.distance(&pts[i], &pts[j]);
+                }
+            }
+            acc
+        }
+        assert_eq!(total(&Discrete, &[1, 2, 3]), 3.0);
+    }
+}

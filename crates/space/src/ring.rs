@@ -1,0 +1,99 @@
+//! A 1-D modular ring — the simplest modular space, matching the ring
+//! overlays (Pastry, Chord) the paper repeatedly cites as target shapes
+//! ("e.g. a torus, ring, or hypercube", abstract).
+
+use crate::point::MetricSpace;
+
+/// A circle of the given circumference: `R / (circumference·Z)` with the
+/// induced metric. Points are plain `f64` curvilinear abscissae.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_space::prelude::*;
+///
+/// let ring = Ring::new(100.0);
+/// assert_eq!(ring.distance(&1.0, &99.0), 2.0); // wraps around
+/// assert_eq!(ring.distance(&10.0, &30.0), 20.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ring {
+    circumference: f64,
+}
+
+impl Ring {
+    /// Creates a ring of the given circumference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circumference` is not strictly positive and finite.
+    pub fn new(circumference: f64) -> Self {
+        assert!(
+            circumference > 0.0 && circumference.is_finite(),
+            "ring circumference must be positive and finite, got {circumference}"
+        );
+        Self { circumference }
+    }
+
+    /// The circumference of the ring.
+    pub fn circumference(&self) -> f64 {
+        self.circumference
+    }
+
+    /// Maps an abscissa into `[0, circumference)`.
+    pub fn normalize(&self, p: f64) -> f64 {
+        p.rem_euclid(self.circumference)
+    }
+
+    /// The maximum possible distance (half the circumference).
+    pub fn max_distance(&self) -> f64 {
+        self.circumference / 2.0
+    }
+}
+
+impl MetricSpace for Ring {
+    type Point = f64;
+
+    fn distance(&self, a: &f64, b: &f64) -> f64 {
+        let d = (a - b).rem_euclid(self.circumference);
+        d.min(self.circumference - d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wraps() {
+        let r = Ring::new(100.0);
+        assert_eq!(r.distance(&1.0, &99.0), 2.0);
+        assert_eq!(r.distance(&0.0, &50.0), 50.0);
+        assert_eq!(r.distance(&0.0, &51.0), 49.0);
+    }
+
+    #[test]
+    fn normalize() {
+        let r = Ring::new(10.0);
+        assert_eq!(r.normalize(12.5), 2.5);
+        assert_eq!(r.normalize(-1.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "circumference must be positive")]
+    fn rejects_nonpositive_circumference() {
+        let _ = Ring::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn metric_axioms(a in 0.0..100.0f64, b in 0.0..100.0f64, c in 0.0..100.0f64) {
+            let r = Ring::new(100.0);
+            prop_assert!(r.distance(&a, &a).abs() < 1e-12);
+            prop_assert!((r.distance(&a, &b) - r.distance(&b, &a)).abs() < 1e-9);
+            prop_assert!(r.distance(&a, &c) <= r.distance(&a, &b) + r.distance(&b, &c) + 1e-9);
+            prop_assert!(r.distance(&a, &b) <= r.max_distance() + 1e-12);
+        }
+    }
+}

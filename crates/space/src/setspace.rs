@@ -1,0 +1,117 @@
+//! A discrete set space with the Jaccard distance.
+//!
+//! The paper's system model allows data points to be "a list of items"
+//! taken from "the power-set of items" (Sec. III-A) — the profile spaces of
+//! gossip-based social networks and recommenders (Gossple, WhatsUp). This
+//! module provides that space so the protocol stack can be exercised on a
+//! genuinely non-geometric metric space.
+
+use crate::point::MetricSpace;
+use std::collections::BTreeSet;
+
+/// A data point in the power-set space: a set of item identifiers
+/// (e.g. liked news items, profile keywords).
+pub type ItemSet = BTreeSet<u32>;
+
+/// The power-set of items equipped with the Jaccard distance
+/// `d(A, B) = 1 − |A ∩ B| / |A ∪ B|` (with `d(∅, ∅) = 0`).
+///
+/// The Jaccard distance is a true metric, so every Polystyrene mechanism
+/// (medoid projection, diameter splits, …) applies unchanged.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_space::prelude::*;
+///
+/// let s = JaccardSpace;
+/// let a: ItemSet = [1, 2, 3].into_iter().collect();
+/// let b: ItemSet = [2, 3, 4].into_iter().collect();
+/// assert!((s.distance(&a, &b) - 0.5).abs() < 1e-12); // |∩|=2, |∪|=4
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct JaccardSpace;
+
+impl MetricSpace for JaccardSpace {
+    type Point = ItemSet;
+
+    fn distance(&self, a: &ItemSet, b: &ItemSet) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection(b).count() as f64;
+        let union = (a.len() + b.len()) as f64 - inter;
+        1.0 - inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(items: &[u32]) -> ItemSet {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_sets_are_at_distance_zero() {
+        assert_eq!(JaccardSpace.distance(&set(&[1, 2]), &set(&[1, 2])), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_are_at_distance_one() {
+        assert_eq!(JaccardSpace.distance(&set(&[1]), &set(&[2])), 1.0);
+    }
+
+    #[test]
+    fn both_empty_is_zero() {
+        assert_eq!(JaccardSpace.distance(&set(&[]), &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_one() {
+        assert_eq!(JaccardSpace.distance(&set(&[]), &set(&[7])), 1.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        let d = JaccardSpace.distance(&set(&[1, 2, 3]), &set(&[2, 3, 4]));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    fn itemset() -> impl Strategy<Value = ItemSet> {
+        proptest::collection::btree_set(0u32..30, 0..12)
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_in_unit_interval(a in itemset(), b in itemset()) {
+            let d = JaccardSpace.distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn symmetry(a in itemset(), b in itemset()) {
+            prop_assert_eq!(JaccardSpace.distance(&a, &b), JaccardSpace.distance(&b, &a));
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in itemset(), b in itemset()) {
+            let d = JaccardSpace.distance(&a, &b);
+            if a == b {
+                prop_assert_eq!(d, 0.0);
+            } else {
+                prop_assert!(d > 0.0);
+            }
+        }
+
+        #[test]
+        fn triangle_inequality(a in itemset(), b in itemset(), c in itemset()) {
+            let ac = JaccardSpace.distance(&a, &c);
+            let ab = JaccardSpace.distance(&a, &b);
+            let bc = JaccardSpace.distance(&b, &c);
+            prop_assert!(ac <= ab + bc + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The flat 2-D torus — the modular space used throughout the paper's
+//! evaluation (an 80×40 "logical torus" in Sec. IV-A, up to 320×160 in
+//! Sec. IV-C).
+//!
+//! Distances wrap around both axes, which is precisely what makes the
+//! centroid ill-defined ("the equation 4 ≡ 2 × x (mod 16) accepts two
+//! solutions", paper footnote 2) and motivates the medoid projection.
+
+use crate::point::MetricSpace;
+
+/// A flat torus of extents `width × height`: the quotient space
+/// `R^2 / (width·Z × height·Z)` with the induced Euclidean metric.
+///
+/// Points are plain `[f64; 2]` coordinates. Coordinates outside the
+/// fundamental domain `[0, width) × [0, height)` are accepted and handled
+/// via [`Torus2::normalize`]; distance computations wrap correctly either
+/// way.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_space::prelude::*;
+///
+/// let t = Torus2::new(80.0, 40.0);
+/// // Wrap-around on the x axis: 0 and 79 are 1 apart, not 79.
+/// assert_eq!(t.distance(&[0.0, 0.0], &[79.0, 0.0]), 1.0);
+/// // The antipode realizes the maximum possible distance.
+/// assert!((t.distance(&[0.0, 0.0], &[40.0, 20.0]) - t.max_distance()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Torus2 {
+    width: f64,
+    height: f64,
+}
+
+impl Torus2 {
+    /// Creates a torus with the given extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "torus width must be positive and finite, got {width}"
+        );
+        assert!(
+            height > 0.0 && height.is_finite(),
+            "torus height must be positive and finite, got {height}"
+        );
+        Self { width, height }
+    }
+
+    /// The extent of the torus along the x axis.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The extent of the torus along the y axis.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// The area of the torus, used by the reference homogeneity
+    /// `H = 1/2 · sqrt(A / |N|)` of paper Sec. IV-A.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Maps a point into the fundamental domain `[0, width) × [0, height)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use polystyrene_space::prelude::*;
+    ///
+    /// let t = Torus2::new(10.0, 10.0);
+    /// assert_eq!(t.normalize([12.5, -1.0]), [2.5, 9.0]);
+    /// ```
+    pub fn normalize(&self, p: [f64; 2]) -> [f64; 2] {
+        [
+            p[0].rem_euclid(self.width),
+            p[1].rem_euclid(self.height),
+        ]
+    }
+
+    /// Shortest signed displacement along one axis of circumference `len`.
+    fn axis_delta(a: f64, b: f64, len: f64) -> f64 {
+        let d = (a - b).rem_euclid(len);
+        if d > len / 2.0 {
+            len - d
+        } else {
+            d
+        }
+    }
+
+    /// The maximum possible distance between two points of this torus
+    /// (half the diagonal of the fundamental domain).
+    pub fn max_distance(&self) -> f64 {
+        let dx = self.width / 2.0;
+        let dy = self.height / 2.0;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl MetricSpace for Torus2 {
+    type Point = [f64; 2];
+
+    fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        self.distance_sq(a, b).sqrt()
+    }
+
+    fn distance_sq(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        let dx = Self::axis_delta(a[0], b[0], self.width);
+        let dy = Self::axis_delta(a[1], b[1], self.height);
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wraps_on_both_axes() {
+        let t = Torus2::new(80.0, 40.0);
+        assert_eq!(t.distance(&[0.0, 0.0], &[79.0, 0.0]), 1.0);
+        assert_eq!(t.distance(&[0.0, 0.0], &[0.0, 39.0]), 1.0);
+        let d = t.distance(&[1.0, 1.0], &[79.0, 39.0]);
+        assert!((d - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_distances_match_euclidean() {
+        let t = Torus2::new(100.0, 100.0);
+        assert_eq!(t.distance(&[10.0, 10.0], &[13.0, 14.0]), 5.0);
+    }
+
+    #[test]
+    fn normalize_maps_into_fundamental_domain() {
+        let t = Torus2::new(10.0, 5.0);
+        assert_eq!(t.normalize([12.5, -1.0]), [2.5, 4.0]);
+        assert_eq!(t.normalize([-0.0, 5.0]), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_distance_is_half_diagonal() {
+        let t = Torus2::new(80.0, 40.0);
+        assert!((t.max_distance() - (40.0f64 * 40.0 + 20.0 * 20.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area() {
+        assert_eq!(Torus2::new(80.0, 40.0).area(), 3200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus width must be positive")]
+    fn zero_width_panics() {
+        let _ = Torus2::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus height must be positive")]
+    fn negative_height_panics() {
+        let _ = Torus2::new(1.0, -3.0);
+    }
+
+    fn tpt() -> impl Strategy<Value = [f64; 2]> {
+        [0.0..80.0, 0.0..40.0].prop_map(|[x, y]| [x, y])
+    }
+
+    proptest! {
+        #[test]
+        fn identity(a in tpt()) {
+            let t = Torus2::new(80.0, 40.0);
+            prop_assert!(t.distance(&a, &a).abs() < 1e-12);
+        }
+
+        #[test]
+        fn symmetry(a in tpt(), b in tpt()) {
+            let t = Torus2::new(80.0, 40.0);
+            prop_assert!((t.distance(&a, &b) - t.distance(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(a in tpt(), b in tpt(), c in tpt()) {
+            let t = Torus2::new(80.0, 40.0);
+            prop_assert!(t.distance(&a, &c) <= t.distance(&a, &b) + t.distance(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn bounded_by_max_distance(a in tpt(), b in tpt()) {
+            let t = Torus2::new(80.0, 40.0);
+            prop_assert!(t.distance(&a, &b) <= t.max_distance() + 1e-9);
+        }
+
+        #[test]
+        fn torus_never_exceeds_euclidean(a in tpt(), b in tpt()) {
+            // Wrapping can only shorten a path, never lengthen it.
+            let t = Torus2::new(80.0, 40.0);
+            let e = crate::euclidean::Euclidean2;
+            prop_assert!(t.distance(&a, &b) <= e.distance(&a, &b) + 1e-9);
+        }
+
+        #[test]
+        fn invariant_under_translation(a in tpt(), b in tpt(), sx in 0.0..80.0, sy in 0.0..40.0) {
+            let t = Torus2::new(80.0, 40.0);
+            let shift = |p: [f64; 2]| t.normalize([p[0] + sx, p[1] + sy]);
+            let d0 = t.distance(&a, &b);
+            let d1 = t.distance(&shift(a), &shift(b));
+            prop_assert!((d0 - d1).abs() < 1e-9);
+        }
+
+        #[test]
+        fn normalize_preserves_distance(a in tpt(), b in tpt(), ka in -3i32..3, kb in -3i32..3) {
+            let t = Torus2::new(80.0, 40.0);
+            let a2 = [a[0] + 80.0 * ka as f64, a[1] + 40.0 * ka as f64];
+            let b2 = [b[0] + 80.0 * kb as f64, b[1] + 40.0 * kb as f64];
+            prop_assert!((t.distance(&a2, &b2) - t.distance(&a, &b)).abs() < 1e-6);
+        }
+    }
+}

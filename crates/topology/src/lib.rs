@@ -1,0 +1,46 @@
+//! Gossip-based topology construction for the Polystyrene reproduction.
+//!
+//! "Topology construction protocols seek to self-organize a network so that
+//! each node ends up connected to its k closest nodes" (paper Sec. II-B).
+//! Polystyrene is an add-on layer that works over *any* such protocol
+//! (paper Fig. 3); this crate provides the two the paper names:
+//!
+//! * [`tman::TMan`] — T-Man (Jelasity, Montresor, Babaoglu — the paper's
+//!   reference \[1\] and the protocol of its evaluation): ranked gossip
+//!   exchanges of the `m` best descriptors with a partner drawn from the
+//!   `ψ` closest neighbors;
+//! * [`vicinity::Vicinity`] — a Vicinity-style variant (Voulgaris & van
+//!   Steen, reference \[2\]) that mixes random peers into both partner
+//!   selection and exchanged buffers;
+//! * [`TopologyConstruction`] — the trait Polystyrene programs against, so
+//!   the layer above never depends on which protocol runs below (the
+//!   paper's modularity claim, Sec. II-C).
+//!
+//! # Example
+//!
+//! ```
+//! use polystyrene_space::prelude::*;
+//! use polystyrene_membership::{Descriptor, NodeId};
+//! use polystyrene_topology::{TMan, TManConfig, TopologyConstruction};
+//!
+//! let space = Torus2::new(80.0, 40.0);
+//! let mut tman = TMan::new(space, TManConfig::default());
+//! tman.integrate(NodeId::new(0), &[0.0, 0.0], &[
+//!     Descriptor::new(NodeId::new(1), [1.0, 0.0]),
+//!     Descriptor::new(NodeId::new(2), [40.0, 20.0]),
+//! ]);
+//! let near = tman.closest(&[0.0, 0.0], 1);
+//! assert_eq!(near[0].id, NodeId::new(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rank;
+pub mod tman;
+pub mod traits;
+pub mod vicinity;
+
+pub use tman::{tman_exchange, ExchangeStats, TMan, TManConfig};
+pub use traits::TopologyConstruction;
+pub use vicinity::{Vicinity, VicinityConfig};

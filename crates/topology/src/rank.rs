@@ -1,0 +1,125 @@
+//! Distance-ranking helpers shared by the topology protocols.
+
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_space::MetricSpace;
+
+/// Returns the indices of `descriptors` sorted by increasing distance to
+/// `target`, ties broken by node id for determinism.
+pub fn ranked_indices<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..descriptors.len()).collect();
+    idx.sort_by(|&i, &j| {
+        space
+            .distance(target, &descriptors[i].pos)
+            .total_cmp(&space.distance(target, &descriptors[j].pos))
+            .then_with(|| descriptors[i].id.cmp(&descriptors[j].id))
+    });
+    idx
+}
+
+/// The `k` descriptors of `descriptors` closest to `target` (cloned), in
+/// increasing distance order.
+pub fn k_closest<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    k: usize,
+) -> Vec<Descriptor<S::Point>> {
+    ranked_indices(space, target, descriptors)
+        .into_iter()
+        .take(k)
+        .map(|i| descriptors[i].clone())
+        .collect()
+}
+
+/// Deduplicates descriptors by id, keeping the freshest (lowest age) copy
+/// of each node — essential because Polystyrene nodes move, so stale
+/// descriptors carry wrong positions.
+pub fn dedup_freshest<P: Clone>(descriptors: Vec<Descriptor<P>>) -> Vec<Descriptor<P>> {
+    let mut out: Vec<Descriptor<P>> = Vec::with_capacity(descriptors.len());
+    for d in descriptors {
+        match out.iter_mut().find(|e| e.id == d.id) {
+            Some(existing) => {
+                if d.age < existing.age {
+                    *existing = d;
+                }
+            }
+            None => out.push(d),
+        }
+    }
+    out
+}
+
+/// Removes descriptors whose id equals `self_id` (a node never keeps a
+/// descriptor of itself in its own view).
+pub fn drop_self<P>(descriptors: &mut Vec<Descriptor<P>>, self_id: NodeId) {
+    descriptors.retain(|d| d.id != self_id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_space::prelude::*;
+
+    fn d(id: u64, x: f64) -> Descriptor<[f64; 2]> {
+        Descriptor::new(NodeId::new(id), [x, 0.0])
+    }
+
+    #[test]
+    fn ranks_by_distance() {
+        let ds = vec![d(1, 5.0), d(2, 1.0), d(3, 3.0)];
+        let idx = ranked_indices(&Euclidean2, &[0.0, 0.0], &ds);
+        assert_eq!(idx, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn rank_ties_break_by_id() {
+        let ds = vec![d(9, 1.0), d(2, -1.0), d(5, 1.0)];
+        let idx = ranked_indices(&Euclidean2, &[0.0, 0.0], &ds);
+        // all at distance 1; order by id: 2, 5, 9 -> indices 1, 2, 0
+        assert_eq!(idx, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn k_closest_takes_prefix() {
+        let ds = vec![d(1, 5.0), d(2, 1.0), d(3, 3.0)];
+        let best = k_closest(&Euclidean2, &[0.0, 0.0], &ds, 2);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].id, NodeId::new(2));
+        assert_eq!(best[1].id, NodeId::new(3));
+        assert_eq!(k_closest(&Euclidean2, &[0.0, 0.0], &ds, 99).len(), 3);
+    }
+
+    #[test]
+    fn k_closest_respects_torus_wrap() {
+        let t = Torus2::new(10.0, 10.0);
+        let ds = vec![d(1, 9.5), d(2, 3.0)];
+        let best = k_closest(&t, &[0.0, 0.0], &ds, 1);
+        assert_eq!(best[0].id, NodeId::new(1)); // 0.5 away across the seam
+    }
+
+    #[test]
+    fn dedup_keeps_freshest() {
+        let ds = vec![
+            Descriptor::with_age(NodeId::new(1), [0.0, 0.0], 4),
+            Descriptor::with_age(NodeId::new(1), [9.0, 0.0], 1),
+            Descriptor::with_age(NodeId::new(2), [2.0, 0.0], 0),
+        ];
+        let out = dedup_freshest(ds);
+        assert_eq!(out.len(), 2);
+        let one = out.iter().find(|e| e.id == NodeId::new(1)).unwrap();
+        assert_eq!(one.pos, [9.0, 0.0]);
+        assert_eq!(one.age, 1);
+    }
+
+    #[test]
+    fn drop_self_removes_own_id() {
+        let mut ds = vec![d(1, 0.0), d(2, 1.0), d(1, 2.0)];
+        drop_self(&mut ds, NodeId::new(1));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].id, NodeId::new(2));
+    }
+}

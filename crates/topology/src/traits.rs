@@ -1,0 +1,41 @@
+//! The protocol-agnostic interface Polystyrene programs against.
+
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_space::MetricSpace;
+use rand::Rng;
+
+/// A decentralized topology-construction protocol, as seen from the layers
+/// above it (paper Fig. 3: Polystyrene only consumes "Neighbours" from this
+/// layer and feeds it a "Node position").
+///
+/// Implementations are *passive state machines*: an external driver (the
+/// round-based simulator or the threaded runtime) owns scheduling and
+/// message delivery, which keeps protocols testable in isolation.
+pub trait TopologyConstruction<S: MetricSpace> {
+    /// Ages the local view by one round (descriptor staleness bookkeeping).
+    fn begin_round(&mut self);
+
+    /// The `k` view entries closest to `pos` — the neighborhood returned to
+    /// Polystyrene (Step 1' of paper Fig. 4).
+    fn closest(&self, pos: &S::Point, k: usize) -> Vec<Descriptor<S::Point>>;
+
+    /// Selects the gossip partner for this round given the node's current
+    /// position (T-Man: random among the ψ closest; Vicinity: mixes a
+    /// random peer in).
+    fn select_partner<R: Rng + ?Sized>(&self, pos: &S::Point, rng: &mut R) -> Option<NodeId>;
+
+    /// Merges descriptors into the view: deduplicate by id keeping the
+    /// freshest, drop `self_id`, re-rank by distance to `pos`, truncate to
+    /// the view capacity.
+    fn integrate(&mut self, self_id: NodeId, pos: &S::Point, incoming: &[Descriptor<S::Point>]);
+
+    /// Drops every view entry the failure detector flags; returns the
+    /// number removed.
+    fn purge_failed(&mut self, is_failed: &dyn Fn(NodeId) -> bool) -> usize;
+
+    /// Number of entries currently in the view.
+    fn view_len(&self) -> usize;
+
+    /// All view entries (for metrics and snapshots).
+    fn view_entries(&self) -> Vec<Descriptor<S::Point>>;
+}

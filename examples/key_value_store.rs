@@ -1,0 +1,64 @@
+//! A key-value store that survives losing half its fleet.
+//!
+//! Keys hash onto the torus; greedy routing over the overlay finds the
+//! responsible node. When a datacenter hosting half the torus dies,
+//! Polystyrene re-forms the shape and every surviving value becomes
+//! addressable again.
+//!
+//! ```sh
+//! cargo run --release --example key_value_store
+//! ```
+
+use polystyrene_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (cols, rows) = (24, 12);
+    let (w, h) = (cols as f64, rows as f64);
+    let mut cfg = EngineConfig::default();
+    cfg.area = w * h;
+    cfg.poly = PolystyreneConfig::builder().replication(6).build();
+    let mut engine = Engine::new(Torus2::new(w, h), shapes::torus_grid(cols, rows, 1.0), cfg);
+    engine.run(15);
+
+    let space = *engine.space();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = KeyValueStore::new(w, h, 128, 2.0);
+
+    // Populate.
+    let keys: Vec<String> = (0..60).map(|i| format!("user:{i}")).collect();
+    {
+        let oracle = EngineOracle::new(&engine, 8);
+        for k in &keys {
+            store
+                .put(&space, &oracle, k, &format!("profile-of-{k}"), &mut rng)
+                .expect("put should succeed on a healthy overlay");
+        }
+    }
+    println!("stored {} values across {} nodes", store.len(), engine.alive_count());
+
+    // Catastrophe.
+    let killed = engine.fail_original_region(shapes::in_right_half(w));
+    println!("datacenter failure: {} nodes down", killed.len());
+    engine.run(15);
+
+    // Repair and verify.
+    let oracle = EngineOracle::new(&engine, 8);
+    let (moved, lost) = store.rebalance(&space, &oracle, &mut rng);
+    println!("rebalance: {moved} values handed over, {lost} lost with their holders");
+    let mut served = 0;
+    for k in &keys {
+        if store.get(&space, &oracle, k, &mut rng).is_ok() {
+            served += 1;
+        }
+    }
+    println!(
+        "{served}/{} surviving values addressable after reshaping ({} were lost)",
+        store.len(),
+        lost
+    );
+    assert_eq!(served, store.len(), "reshaped overlay must serve every survivor");
+    // ~Half the holders die in expectation; allow sampling noise.
+    assert!(lost <= keys.len() * 2 / 3, "far too many holders lost: {lost}");
+}

@@ -1,0 +1,61 @@
+//! # Polystyrene reproduction — facade crate
+//!
+//! One-stop re-export of the full reproduction of *Polystyrene: the
+//! Decentralized Data Shape That Never Dies* (Bouget, Kermarrec, Kervadec,
+//! Taïani — ICDCS 2014):
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | spaces | [`space`] | metric spaces, medoids, diameters, shapes, stats |
+//! | membership | [`membership`] | node ids, gossip views, RPS, failure detectors |
+//! | topology | [`topology`] | T-Man, Vicinity |
+//! | **core** | [`core`] | the Polystyrene layer (projection, backup, recovery, migration, splits) |
+//! | routing | [`routing`] | greedy routing + key-value facade (the motivating application) |
+//! | simulation | [`sim`] | cycle-driven engine + every paper experiment |
+//! | deployment | [`runtime`] | threaded message-passing cluster |
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the architecture
+//! and per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! # Example
+//!
+//! ```
+//! use polystyrene_repro::prelude::*;
+//!
+//! // Build the paper's torus in miniature, kill half of it, watch it heal.
+//! let mut cfg = EngineConfig::default();
+//! cfg.area = 128.0;
+//! let mut engine = Engine::new(
+//!     Torus2::new(16.0, 8.0),
+//!     shapes::torus_grid(16, 8, 1.0),
+//!     cfg,
+//! );
+//! engine.run(12);
+//! engine.fail_original_region(shapes::in_right_half(16.0));
+//! engine.run(15);
+//! let m = engine.history().last().unwrap();
+//! assert!(m.homogeneity < m.reference_homogeneity, "the shape must re-form");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use polystyrene as core;
+pub use polystyrene_membership as membership;
+pub use polystyrene_routing as routing;
+pub use polystyrene_runtime as runtime;
+pub use polystyrene_sim as sim;
+pub use polystyrene_space as space;
+pub use polystyrene_topology as topology;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use polystyrene::prelude::*;
+    pub use polystyrene_membership::{Descriptor, FailureDetector, NodeId, PeerSampling, View};
+    pub use polystyrene_routing::prelude::*;
+    pub use polystyrene_runtime::{Cluster, RuntimeConfig};
+    pub use polystyrene_sim::prelude::*;
+    pub use polystyrene_space::prelude::*;
+    pub use polystyrene_topology::{TMan, TManConfig, TopologyConstruction, Vicinity, VicinityConfig};
+}

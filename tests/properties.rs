@@ -1,0 +1,108 @@
+//! Cross-crate property-based tests: system invariants that must hold for
+//! any workload, not just the paper's scenarios.
+
+use polystyrene_repro::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Data points are conserved absent failures: whatever the seed and
+    /// torus size, after any number of rounds every original point has
+    /// exactly one primary holder.
+    #[test]
+    fn no_failure_no_point_loss_no_duplication(
+        seed in 0u64..1000,
+        cols in 4usize..10,
+        rows in 3usize..8,
+        rounds in 1u32..12,
+    ) {
+        let mut cfg = EngineConfig::default();
+        cfg.area = (cols * rows) as f64;
+        cfg.seed = seed;
+        cfg.tman.view_cap = 20;
+        cfg.tman.m = 8;
+        let mut engine = Engine::new(
+            Torus2::new(cols as f64, rows as f64),
+            shapes::torus_grid(cols, rows, 1.0),
+            cfg,
+        );
+        engine.run(rounds);
+        let mut holders: HashMap<u64, usize> = HashMap::new();
+        for id in engine.alive_ids() {
+            for g in &engine.poly_state(id).unwrap().guests {
+                *holders.entry(g.id.as_u64()).or_default() += 1;
+            }
+        }
+        for i in 0..(cols * rows) as u64 {
+            prop_assert_eq!(
+                holders.get(&i).copied().unwrap_or(0),
+                1,
+                "point {} has {} holders",
+                i,
+                holders.get(&i).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    /// After an arbitrary regional failure, surviving points are never
+    /// duplicated beyond transient copies, and the surviving fraction is
+    /// at least the per-point backup coverage bound.
+    #[test]
+    fn failure_preserves_uniqueness_eventually(
+        seed in 0u64..500,
+        cut in 2usize..6,
+    ) {
+        let cols = 8usize;
+        let rows = 4usize;
+        let mut cfg = EngineConfig::default();
+        cfg.area = (cols * rows) as f64;
+        cfg.seed = seed;
+        cfg.tman.view_cap = 20;
+        cfg.tman.m = 8;
+        let mut engine = Engine::new(
+            Torus2::new(cols as f64, rows as f64),
+            shapes::torus_grid(cols, rows, 1.0),
+            cfg,
+        );
+        engine.run(10);
+        let cut_x = cut as f64;
+        engine.fail_original_region(move |p: &[f64; 2]| p[0] >= cut_x);
+        engine.run(20);
+        // Eventually: every surviving point has exactly one holder.
+        let mut holders: HashMap<u64, usize> = HashMap::new();
+        for id in engine.alive_ids() {
+            for g in &engine.poly_state(id).unwrap().guests {
+                *holders.entry(g.id.as_u64()).or_default() += 1;
+            }
+        }
+        let m = engine.compute_metrics();
+        let surviving = holders.len() as f64 / (cols * rows) as f64;
+        prop_assert!((surviving - m.surviving_points).abs() < 0.35);
+        let duplicated = holders.values().filter(|&&c| c > 1).count();
+        prop_assert!(
+            duplicated * 10 <= holders.len(),
+            "{} of {} surviving points still duplicated after 20 rounds",
+            duplicated,
+            holders.len()
+        );
+    }
+
+    /// The reference homogeneity bound is monotone: more nodes over the
+    /// same area always tightens it.
+    #[test]
+    fn reference_homogeneity_monotone(area in 1.0..10_000.0f64, n in 1usize..10_000) {
+        prop_assert!(
+            reference_homogeneity(area, n + 1) <= reference_homogeneity(area, n)
+        );
+    }
+
+    /// Required replication achieves its survival target for the paper's
+    /// failure model across the whole parameter plane.
+    #[test]
+    fn replication_math_consistency(pf in 0.05..0.95f64, ps in 0.1..0.99f64) {
+        let k = required_replication(pf, ps);
+        prop_assert!(survival_probability(pf, k) >= ps - 1e-12);
+    }
+}

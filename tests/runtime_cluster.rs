@@ -1,0 +1,100 @@
+//! Integration tests of the threaded deployment: the full stack over
+//! real threads, channels and heartbeat failure detection.
+
+use polystyrene_repro::prelude::*;
+use std::time::Duration;
+
+fn config(k: usize) -> RuntimeConfig {
+    let mut c = RuntimeConfig::default();
+    c.tick = Duration::from_millis(3);
+    c.poly = PolystyreneConfig::builder().replication(k).build();
+    c
+}
+
+#[test]
+fn full_lifecycle_failover_and_reinjection() {
+    let (cols, rows) = (8, 4);
+    let cluster = Cluster::spawn(
+        Torus2::new(cols as f64, rows as f64),
+        shapes::torus_grid(cols, rows, 1.0),
+        config(4),
+    );
+    cluster.await_ticks(15, Duration::from_secs(15));
+    let steady = cluster.observe();
+    assert_eq!(steady.alive_nodes, 32);
+    assert!(steady.homogeneity < 0.2, "homogeneity {}", steady.homogeneity);
+    assert!(steady.points_per_node > 3.5, "replication lagging: {}", steady.points_per_node);
+
+    // Catastrophe: the right half dies mid-flight.
+    let killed = cluster.kill_region(shapes::in_right_half(cols as f64));
+    assert_eq!(killed.len(), 16);
+    cluster.run_for(Duration::from_millis(500));
+    let healed = cluster.observe();
+    assert_eq!(healed.alive_nodes, 16);
+    assert!(
+        healed.surviving_points > 0.80,
+        "lost too many points: {}",
+        healed.surviving_points
+    );
+    assert!(healed.homogeneity < 2.0, "homogeneity {}", healed.homogeneity);
+
+    // Re-provision: fresh empty nodes join and absorb load.
+    for pos in shapes::torus_grid_offset(cols / 2, rows, 1.0) {
+        cluster.inject(pos);
+    }
+    cluster.run_for(Duration::from_millis(500));
+    let grown = cluster.observe();
+    assert_eq!(grown.alive_nodes, 32);
+    assert!(
+        grown.homogeneity <= healed.homogeneity + 0.3,
+        "injection degraded coverage: {} vs {}",
+        grown.homogeneity,
+        healed.homogeneity
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn heartbeat_detector_triggers_recovery_without_oracle() {
+    // Unlike the simulator there is no ground-truth detector here: ghosts
+    // must be reactivated purely from missed heartbeats.
+    let cluster = Cluster::spawn(
+        Torus2::new(6.0, 4.0),
+        shapes::torus_grid(6, 4, 1.0),
+        config(6),
+    );
+    cluster.await_ticks(12, Duration::from_secs(15));
+    cluster.kill(NodeId::new(0));
+    cluster.kill(NodeId::new(1));
+    cluster.run_for(Duration::from_millis(400));
+    let obs = cluster.observe();
+    assert_eq!(obs.alive_nodes, 22);
+    // Points 0 and 1 must have been recovered by some backup holder.
+    assert!(
+        obs.surviving_points > 0.9,
+        "recovery never happened: {}",
+        obs.surviving_points
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn sequential_kills_do_not_wedge_the_cluster() {
+    let cluster = Cluster::spawn(
+        Torus2::new(6.0, 4.0),
+        shapes::torus_grid(6, 4, 1.0),
+        config(3),
+    );
+    cluster.await_ticks(8, Duration::from_secs(15));
+    for id in 0..8 {
+        cluster.kill(NodeId::new(id));
+        cluster.run_for(Duration::from_millis(40));
+    }
+    let obs = cluster.observe();
+    assert_eq!(obs.alive_nodes, 16);
+    // Cluster still making progress.
+    let before = cluster.observe().min_ticks;
+    cluster.run_for(Duration::from_millis(200));
+    assert!(cluster.observe().min_ticks > before, "cluster wedged");
+    cluster.shutdown();
+}

@@ -1,0 +1,246 @@
+//! Substrate-agnosticism: the paper claims Polystyrene "can be plugged
+//! into any decentralized topology construction algorithm" (Sec. II-C).
+//! The simulator wires it over T-Man; this test drives the identical
+//! Polystyrene state machines over **Vicinity** with a hand-rolled cycle
+//! driver and verifies the same shape-recovery behavior.
+
+use polystyrene_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+struct MiniNode {
+    vicinity: Vicinity<Torus2>,
+    poly: PolyState<[f64; 2]>,
+}
+
+struct MiniDriver {
+    space: Torus2,
+    cfg: PolystyreneConfig,
+    nodes: Vec<Option<MiniNode>>,
+    originals: Vec<DataPoint<[f64; 2]>>,
+    failed: HashSet<NodeId>,
+    rng: StdRng,
+}
+
+impl MiniDriver {
+    fn new(cols: usize, rows: usize, seed: u64) -> Self {
+        let space = Torus2::new(cols as f64, rows as f64);
+        let shape = shapes::torus_grid(cols, rows, 1.0);
+        let cfg = PolystyreneConfig::builder().replication(4).build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let originals: Vec<DataPoint<[f64; 2]>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| DataPoint::new(PointId::new(i as u64), p))
+            .collect();
+        let n = shape.len();
+        let nodes = (0..n)
+            .map(|i| {
+                let mut vicinity = Vicinity::new(
+                    space,
+                    VicinityConfig {
+                        view_cap: 20,
+                        m: 8,
+                        random_partner_probability: 0.2,
+                    },
+                );
+                let contacts: Vec<Descriptor<[f64; 2]>> = (0..8)
+                    .map(|_| {
+                        let j = rng.random_range(0..n);
+                        Descriptor::new(NodeId::new(j as u64), shape[j])
+                    })
+                    .filter(|d| d.id.index() != i)
+                    .collect();
+                vicinity.integrate(NodeId::new(i as u64), &shape[i], &contacts);
+                Some(MiniNode {
+                    vicinity,
+                    poly: PolyState::with_initial_point(originals[i].clone()),
+                })
+            })
+            .collect();
+        Self {
+            space,
+            cfg,
+            nodes,
+            originals,
+            failed: HashSet::new(),
+            rng,
+        }
+    }
+
+    fn alive(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_some()).collect()
+    }
+
+    fn round(&mut self) {
+        let mut order = self.alive();
+        order.shuffle(&mut self.rng);
+        // Vicinity gossip: exchange buffers pairwise.
+        for &i in &order {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let me = NodeId::new(i as u64);
+            let (partner, my_pos) = {
+                let node = self.nodes[i].as_mut().unwrap();
+                node.vicinity.begin_round();
+                let failed = &self.failed;
+                node.vicinity.purge_failed(&|id| failed.contains(&id));
+                let pos = node.poly.pos;
+                (node.vicinity.select_partner(&pos, &mut self.rng), pos)
+            };
+            let Some(partner) = partner else { continue };
+            let j = partner.index();
+            if i == j || self.nodes[j].is_none() {
+                continue;
+            }
+            let partner_pos = self.nodes[j].as_ref().unwrap().poly.pos;
+            let (req, my_pos2) = {
+                let node = self.nodes[i].as_mut().unwrap();
+                let req = node.vicinity.prepare_message(
+                    Descriptor::new(me, my_pos),
+                    &partner_pos,
+                    &mut self.rng,
+                );
+                (req, my_pos)
+            };
+            let reply = {
+                let other = self.nodes[j].as_mut().unwrap();
+                let reply = other.vicinity.prepare_message(
+                    Descriptor::new(partner, partner_pos),
+                    &my_pos2,
+                    &mut self.rng,
+                );
+                other.vicinity.integrate(partner, &partner_pos, &req);
+                reply
+            };
+            let node = self.nodes[i].as_mut().unwrap();
+            node.vicinity.integrate(me, &my_pos, &reply);
+        }
+        // Polystyrene: recovery, backup, migration — same state machines
+        // as the T-Man deployment.
+        for &i in &order {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let failed = self.failed.clone();
+            let node = self.nodes[i].as_mut().unwrap();
+            polystyrene_repro::core::recovery::recover(&mut node.poly, |id| failed.contains(&id));
+        }
+        let alive_now = self.alive();
+        for &i in &order {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let me = NodeId::new(i as u64);
+            let failed = self.failed.clone();
+            let mut pool: Vec<NodeId> = alive_now
+                .iter()
+                .map(|&j| NodeId::new(j as u64))
+                .filter(|&id| id != me)
+                .collect();
+            pool.shuffle(&mut self.rng);
+            let mut pool_iter = pool.into_iter();
+            let pushes = {
+                let node = self.nodes[i].as_mut().unwrap();
+                plan_backups(&mut node.poly, me, self.cfg.replication, |id| failed.contains(&id), || {
+                    pool_iter.next()
+                })
+            };
+            for push in pushes {
+                if let Some(target) = self.nodes[push.target.index()].as_mut() {
+                    target.poly.store_ghosts(me, push.points);
+                }
+            }
+        }
+        for &i in &order {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let q = {
+                let node = self.nodes[i].as_ref().unwrap();
+                let mut cands: Vec<NodeId> = node
+                    .vicinity
+                    .closest(&node.poly.pos, self.cfg.psi)
+                    .into_iter()
+                    .map(|d| d.id)
+                    .collect();
+                cands.retain(|id| !self.failed.contains(id) && id.index() != i);
+                if cands.is_empty() {
+                    continue;
+                }
+                cands[self.rng.random_range(0..cands.len())]
+            };
+            let j = q.index();
+            if self.nodes[j].is_none() {
+                continue;
+            }
+            let (a, b) = if i < j {
+                let (l, r) = self.nodes.split_at_mut(j);
+                (l[i].as_mut().unwrap(), r[0].as_mut().unwrap())
+            } else {
+                let (l, r) = self.nodes.split_at_mut(i);
+                (r[0].as_mut().unwrap(), l[j].as_mut().unwrap())
+            };
+            migrate_exchange(&self.space, &self.cfg, &mut a.poly, &mut b.poly, &mut self.rng);
+        }
+    }
+
+    fn fail_right_half(&mut self, width: f64) {
+        for i in 0..self.originals.len() {
+            if self.originals[i].pos[0] >= width / 2.0 {
+                self.nodes[i] = None;
+                self.failed.insert(NodeId::new(i as u64));
+            }
+        }
+    }
+
+    fn homogeneity(&self) -> f64 {
+        let alive = self.alive();
+        let mut acc = 0.0;
+        for point in &self.originals {
+            let mut best = f64::INFINITY;
+            let mut held = false;
+            for &i in &alive {
+                let node = self.nodes[i].as_ref().unwrap();
+                if node.poly.guests.iter().any(|g| g.id == point.id) {
+                    held = true;
+                    best = best.min(self.space.distance(&point.pos, &node.poly.pos));
+                }
+            }
+            if !held {
+                for &i in &alive {
+                    let node = self.nodes[i].as_ref().unwrap();
+                    best = best.min(self.space.distance(&point.pos, &node.poly.pos));
+                }
+            }
+            acc += best;
+        }
+        acc / self.originals.len() as f64
+    }
+}
+
+#[test]
+fn polystyrene_reshapes_over_vicinity_too() {
+    let mut driver = MiniDriver::new(16, 8, 7);
+    for _ in 0..15 {
+        driver.round();
+    }
+    assert!(driver.homogeneity() < 0.1, "Vicinity stack failed to converge");
+
+    driver.fail_right_half(16.0);
+    let at_failure = driver.homogeneity();
+    assert!(at_failure > 1.0, "failure should tear the shape: {at_failure}");
+
+    for _ in 0..25 {
+        driver.round();
+    }
+    let healed = driver.homogeneity();
+    let reference = 0.5 * (128.0f64 / 64.0).sqrt();
+    assert!(
+        healed < reference * 1.3,
+        "Polystyrene-over-Vicinity failed to reshape: {healed} (H = {reference})"
+    );
+}
