@@ -33,7 +33,10 @@ fn main() {
     println!(
         "{}",
         render_reshaping_table(
-            "Table II — reshaping time and reliability (40×80 torus)",
+            &format!(
+                "Table II — reshaping time and reliability ({}×{} torus)",
+                args.cols, args.rows
+            ),
             &rows
         )
     );

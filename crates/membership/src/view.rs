@@ -8,7 +8,7 @@
 use crate::descriptor::Descriptor;
 use crate::id::NodeId;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A bounded list of [`Descriptor`]s, unique per [`NodeId`].

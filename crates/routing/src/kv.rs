@@ -15,7 +15,7 @@ use crate::greedy::greedy_route;
 use crate::oracle::NeighborOracle;
 use polystyrene_membership::NodeId;
 use polystyrene_space::MetricSpace;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Errors of the key-value facade.
@@ -101,6 +101,12 @@ impl KeyValueStore {
 
     /// Resolves the node currently responsible for `key`, routing from a
     /// random alive source.
+    ///
+    /// Greedy routing can strand in a local minimum of an imperfectly
+    /// converged overlay, and whether it does depends on the source's
+    /// basin — so, like a deployed lookup that retries through another
+    /// gateway, up to three distinct random sources are attempted before
+    /// reporting [`KvError::Unroutable`].
     pub fn resolve<S, R>(
         &self,
         space: &S,
@@ -116,14 +122,18 @@ impl KeyValueStore {
         if nodes.is_empty() {
             return Err(KvError::Unroutable);
         }
-        let source = nodes[rng.random_range(0..nodes.len())];
         let target = key_position(key, self.width, self.height);
-        let route = greedy_route(space, oracle, source, &target, self.ttl, self.delivery_radius);
-        if route.delivered {
-            Ok(*route.path.last().expect("path always contains the source"))
-        } else {
-            Err(KvError::Unroutable)
+        // Distinct sources: greedy_route is deterministic per source, so
+        // re-trying the same gateway would be a guaranteed no-op.
+        let sources = rand::seq::index::sample(rng, nodes.len(), nodes.len().min(3));
+        for i in sources {
+            let route =
+                greedy_route(space, oracle, nodes[i], &target, self.ttl, self.delivery_radius);
+            if route.delivered {
+                return Ok(*route.path.last().expect("path always contains the source"));
+            }
         }
+        Err(KvError::Unroutable)
     }
 
     /// Stores `value` under `key` at the currently responsible node.
@@ -227,7 +237,6 @@ mod tests {
     use polystyrene_space::shapes;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rand::RngExt as _;
 
     #[test]
     fn key_positions_are_stable_and_in_bounds() {

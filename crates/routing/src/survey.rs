@@ -5,7 +5,7 @@
 use crate::greedy::greedy_route;
 use crate::oracle::NeighborOracle;
 use polystyrene_space::MetricSpace;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate outcome of a routing survey.

@@ -1,0 +1,38 @@
+//! Convergence probe for the threaded runtime: prints the observed
+//! homogeneity / replication trajectory of a live cluster, which is how
+//! the mailbox-starvation death spiral in the node run loop was found
+//! (points/node exploded past 100 instead of settling at 1 + K).
+//!
+//! ```sh
+//! cargo run --release -p polystyrene-runtime --example probe_homogeneity
+//! ```
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_runtime::{Cluster, RuntimeConfig};
+use polystyrene_space::shapes;
+use polystyrene_space::torus::Torus2;
+use std::time::Duration;
+
+fn main() {
+    let (cols, rows) = (8usize, 4usize);
+    let mut c = RuntimeConfig::default();
+    c.tick = Duration::from_millis(3);
+    c.poly = PolystyreneConfig::builder().replication(4).build();
+    let cluster = Cluster::spawn(
+        Torus2::new(cols as f64, rows as f64),
+        shapes::torus_grid(cols, rows, 1.0),
+        c,
+    );
+    for step in 1..=16 {
+        cluster.await_ticks(step * 10, Duration::from_secs(10));
+        let o = cluster.observe();
+        println!(
+            "ticks>={:<4} homogeneity {:.4}  points/node {:.2}  surviving {:.3}",
+            step * 10,
+            o.homogeneity,
+            o.points_per_node,
+            o.surviving_points
+        );
+    }
+    cluster.shutdown();
+}

@@ -8,6 +8,13 @@ use std::time::Duration;
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
     /// Protocol tick: each node initiates one gossip round per tick.
+    ///
+    /// This is the idle gap *between* rounds (fixed-delay pacing), not a
+    /// guaranteed rate: a node whose message handling outruns the period
+    /// slows its protocol clock accordingly. Since every tick-denominated
+    /// timeout (heartbeats, migration) stretches with it, the protocol
+    /// degrades gracefully under load instead of timing out exchanges
+    /// that are merely slow.
     pub tick: Duration,
     /// Ticks without a heartbeat after which a monitored peer is suspected
     /// — the detection lag of the paper's "possibly imperfect" detector.

@@ -1,0 +1,32 @@
+//! Engine scaling probe: wall time of warm and post-catastrophe rounds
+//! at growing network sizes — the quick check that the grid-index
+//! measurement path keeps per-round cost linear in `n`.
+//!
+//! ```sh
+//! cargo run --release -p polystyrene-sim --example scale_probe
+//! ```
+
+use polystyrene_sim::prelude::*;
+use polystyrene_space::shapes;
+use polystyrene_space::torus::Torus2;
+use std::time::Instant;
+
+fn main() {
+    for &(c, r) in &[(40usize, 40usize), (80, 40), (80, 80), (160, 80)] {
+        let n = c * r;
+        let mut cfg = EngineConfig::default();
+        cfg.area = n as f64;
+        let mut e = Engine::new(Torus2::new(c as f64, r as f64), shapes::torus_grid(c, r, 1.0), cfg);
+        let t0 = Instant::now();
+        e.run(3);
+        let warm = t0.elapsed();
+        // After a catastrophic failure the homogeneity metric must find
+        // the nearest alive node for every orphaned point — the exact
+        // path the grid index accelerates.
+        e.fail_original_region(shapes::in_right_half(c as f64));
+        let t1 = Instant::now();
+        e.run(3);
+        let post = t1.elapsed();
+        println!("n={n:6}  3 warm rounds {warm:?}   3 post-failure rounds {post:?}");
+    }
+}

@@ -24,12 +24,19 @@ use polystyrene_membership::{
     rps::shuffle_exchange, Descriptor, NodeId, PeerSampling, SharedFailureDetector,
 };
 use polystyrene_space::MetricSpace;
+use polystyrene_topology::rank::GridIndex;
 use polystyrene_topology::{tman_exchange, TMan, TManConfig, TopologyConstruction};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Below this many alive nodes the engine skips building the spatial-grid
+/// candidate index and scans exhaustively: at small scale the build costs
+/// more than the scan it replaces.
+const GRID_INDEX_MIN_NODES: usize = 256;
 
 /// Engine-level configuration: protocol parameters plus simulation knobs.
 ///
@@ -61,6 +68,16 @@ pub struct EngineConfig {
     /// on (the paper's "possibly imperfect" detector, Sec. III-A). Zero
     /// models the perfect detector of the paper's evaluation.
     pub detection_delay: u32,
+    /// Use the spatial-grid candidate index for the engine's global
+    /// nearest-node queries (the homogeneity metric's fallback scan).
+    ///
+    /// The index is exact — results are identical with it on or off — so
+    /// this is purely a performance knob: without it the per-round metric
+    /// pass degenerates to `O(points × nodes)` after a catastrophic
+    /// failure, which is the wall that stops >10k-node runs. Ignored
+    /// (exhaustive scan) for spaces without grid support and for networks
+    /// below a few hundred nodes.
+    pub grid_index: bool,
     /// Master seed; every run with the same seed is bit-identical.
     pub seed: u64,
 }
@@ -77,6 +94,7 @@ impl Default for EngineConfig {
             cost: CostModel::default(),
             area: 3200.0,
             detection_delay: 0,
+            grid_index: true,
             seed: 0,
         }
     }
@@ -529,19 +547,22 @@ impl<S: MetricSpace> Engine<S> {
     }
 
     /// Recovery pass (Step 3 of Fig. 4, Algorithm 2): reactivate ghosts of
-    /// crashed holders. Purely local, no traffic.
+    /// crashed holders. Purely local, no traffic, no randomness — which
+    /// makes it the one protocol step that parallelizes freely: each node
+    /// only touches its own state, so the outcome is identical in any
+    /// activation order and the pass fans out across cores.
     fn recovery_phase(&mut self) {
         let fd = self.fd.clone();
         let delay = self.config.detection_delay;
         let now = self.round;
-        for i in self.activation_order() {
-            if let Some(cell) = self.nodes[i].as_mut() {
+        self.nodes.par_iter_mut().for_each(|slot| {
+            if let Some(cell) = slot.as_mut() {
                 recover(&mut cell.poly, |id| match fd.failure_round(id) {
                     Some(at) => now >= at.saturating_add(delay),
                     None => false,
                 });
             }
-        }
+        });
     }
 
     /// Backup pass (Steps 2/2' of Fig. 4, Algorithm 1): replace failed
@@ -662,14 +683,21 @@ impl<S: MetricSpace> Engine<S> {
             .map(|c| c.as_ref().map(|c| c.poly.pos.clone()))
             .collect();
         let unit = self.config.cost.units_per_descriptor as u64;
-        for i in 0..self.nodes.len() {
-            if let Some(cell) = self.nodes[i].as_mut() {
-                let changed = cell
+        // Per-node, deterministic, rng-free: fan out across cores against
+        // the immutable position snapshot taken above.
+        let positions = &positions;
+        let changed_total: u64 = self
+            .nodes
+            .par_iter_mut()
+            .map(|slot| match slot.as_mut() {
+                Some(cell) => cell
                     .tman
-                    .refresh_positions(|id| positions.get(id.index()).cloned().flatten());
-                self.cost.tman_units += changed as u64 * unit;
-            }
-        }
+                    .refresh_positions(|id| positions.get(id.index()).cloned().flatten())
+                    as u64,
+                None => 0,
+            })
+            .sum();
+        self.cost.tman_units += changed_total * unit;
     }
 
     // ------------------------------------------------------------------
@@ -677,6 +705,18 @@ impl<S: MetricSpace> Engine<S> {
     // ------------------------------------------------------------------
 
     /// Measures the paper's metrics over the current state.
+    ///
+    /// At scale this is the engine's hot spot, so it uses two
+    /// accelerations — neither changes any measured value:
+    ///
+    /// * a [`GridIndex`] over the alive nodes' positions answers the
+    ///   "nearest alive node" queries of the homogeneity metric for data
+    ///   points that currently have no holder (after a catastrophic
+    ///   failure that is up to half of all points, which otherwise makes
+    ///   this pass `O(points × nodes)`);
+    /// * the per-node and per-point measurement loops fan out across
+    ///   cores with rayon, folding partial sums back in input order so
+    ///   results stay bit-identical to a sequential pass.
     pub fn compute_metrics(&self) -> RoundMetrics {
         let alive: Vec<usize> = (0..self.nodes.len())
             .filter(|&i| self.nodes[i].is_some())
@@ -685,18 +725,25 @@ impl<S: MetricSpace> Engine<S> {
 
         // Proximity: mean distance to the k closest T-Man neighbors,
         // measured against the neighbors' *true* current positions.
-        let mut proximity_acc = 0.0;
-        let mut proximity_samples = 0usize;
-        for &i in &alive {
-            let cell = self.nodes[i].as_ref().unwrap();
-            let neighbors = cell.tman.closest(&cell.poly.pos, self.config.report_neighbors);
-            for d in neighbors {
-                if let Some(actual) = self.position_of(d.id) {
-                    proximity_acc += self.space.distance(&cell.poly.pos, &actual);
-                    proximity_samples += 1;
+        let per_node: Vec<(f64, usize)> = alive
+            .par_iter()
+            .map(|&i| {
+                let cell = self.nodes[i].as_ref().unwrap();
+                let neighbors = cell.tman.closest(&cell.poly.pos, self.config.report_neighbors);
+                let mut acc = 0.0;
+                let mut samples = 0usize;
+                for d in neighbors {
+                    if let Some(actual) = self.position_of(d.id) {
+                        acc += self.space.distance(&cell.poly.pos, &actual);
+                        samples += 1;
+                    }
                 }
-            }
-        }
+                (acc, samples)
+            })
+            .collect();
+        let (proximity_acc, proximity_samples) = per_node
+            .into_iter()
+            .fold((0.0, 0usize), |(a, n), (pa, pn)| (a + pa, n + pn));
         let proximity = if proximity_samples == 0 {
             0.0
         } else {
@@ -712,8 +759,6 @@ impl<S: MetricSpace> Engine<S> {
                 holders.entry(g.id).or_default().push(i);
             }
         }
-        let mut homogeneity_acc = 0.0;
-        let mut surviving = 0usize;
         // Ghost presence also counts for survival (the copy exists even if
         // not yet reactivated).
         let mut ghost_present: HashMap<PointId, ()> = HashMap::new();
@@ -725,27 +770,63 @@ impl<S: MetricSpace> Engine<S> {
                 }
             }
         }
-        for point in &self.original_points {
-            let nearest = match holders.get(&point.id) {
-                Some(hs) if !hs.is_empty() => hs
-                    .iter()
-                    .map(|&i| {
-                        let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
-                        self.space.distance(&point.pos, pos)
-                    })
-                    .fold(f64::INFINITY, f64::min),
-                _ => alive
-                    .iter()
-                    .map(|&i| {
-                        let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
-                        self.space.distance(&point.pos, pos)
-                    })
-                    .fold(f64::INFINITY, f64::min),
+        // Exact nearest-alive-node index for holderless points. `None`
+        // (small network, grid off, gridless space, or no holderless
+        // point to serve — the common healthy-round case) falls back to
+        // the exhaustive scan; both paths return identical distances.
+        let any_holderless = self
+            .original_points
+            .iter()
+            .any(|p| holders.get(&p.id).is_none_or(Vec::is_empty));
+        let alive_index: Option<GridIndex<S>> =
+            if self.config.grid_index && any_holderless && alive_count >= GRID_INDEX_MIN_NODES {
+                GridIndex::build(
+                    &self.space,
+                    alive.iter().map(|&i| {
+                        (i as u64, self.nodes[i].as_ref().unwrap().poly.pos.clone())
+                    }),
+                )
+            } else {
+                None
             };
+        let per_point: Vec<(f64, bool)> = self
+            .original_points
+            .par_iter()
+            .map(|point| {
+                let nearest = match holders.get(&point.id) {
+                    Some(hs) if !hs.is_empty() => hs
+                        .iter()
+                        .map(|&i| {
+                            let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
+                            self.space.distance(&point.pos, pos)
+                        })
+                        .fold(f64::INFINITY, f64::min),
+                    _ => match &alive_index {
+                        Some(index) => index
+                            .nearest(&point.pos)
+                            .map(|(_, d)| d)
+                            .unwrap_or(f64::INFINITY),
+                        None => alive
+                            .iter()
+                            .map(|&i| {
+                                let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
+                                self.space.distance(&point.pos, pos)
+                            })
+                            .fold(f64::INFINITY, f64::min),
+                    },
+                };
+                let survived = holders.contains_key(&point.id)
+                    || ghost_present.contains_key(&point.id);
+                (nearest, survived)
+            })
+            .collect();
+        let mut homogeneity_acc = 0.0;
+        let mut surviving = 0usize;
+        for (nearest, survived) in per_point {
             if nearest.is_finite() {
                 homogeneity_acc += nearest;
             }
-            if holders.contains_key(&point.id) || ghost_present.contains_key(&point.id) {
+            if survived {
                 surviving += 1;
             }
         }
@@ -821,6 +902,7 @@ mod tests {
             cost: CostModel::default(),
             area: 64.0,
             detection_delay: 0,
+            grid_index: true,
             seed,
         }
     }
@@ -891,6 +973,25 @@ mod tests {
         );
         // Most points survived (K = 3 over 50% failure ⇒ ~94%).
         assert!(m.surviving_points > 0.80, "reliability {}", m.surviving_points);
+    }
+
+    #[test]
+    fn grid_index_metrics_identical_to_exhaustive() {
+        // 512 nodes clears GRID_INDEX_MIN_NODES, so the grid path really
+        // runs; the exact index must reproduce the exhaustive metrics
+        // bit for bit through convergence, catastrophe and reshaping.
+        let run = |grid: bool| {
+            let mut cfg = tiny_config(11);
+            cfg.area = 512.0;
+            cfg.grid_index = grid;
+            let space = Torus2::new(32.0, 16.0);
+            let mut e = Engine::new(space, shapes::torus_grid(32, 16, 1.0), cfg);
+            e.run(6);
+            e.fail_original_region(shapes::in_right_half(32.0));
+            e.run(8);
+            e.history().to_vec()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

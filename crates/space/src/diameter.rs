@@ -7,7 +7,7 @@
 //! here, plus the classic two-sweep heuristic as a cheaper alternative.
 
 use crate::point::MetricSpace;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A diameter estimate: the indices of the two endpoints and their distance.
 #[derive(Clone, Copy, Debug, PartialEq)]

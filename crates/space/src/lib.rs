@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::diameter::{diameter_exact, diameter_of, diameter_sampled, diameter_two_sweep};
     pub use crate::euclidean::{Euclidean, Euclidean2, Euclidean3};
     pub use crate::medoid::{medoid, medoid_index, sum_sq_to};
-    pub use crate::point::MetricSpace;
+    pub use crate::point::{GridSpec, MetricSpace};
     pub use crate::ring::Ring;
     pub use crate::setspace::{ItemSet, JaccardSpace};
     pub use crate::shapes;
@@ -66,4 +66,4 @@ pub mod prelude {
     pub use crate::torus::Torus2;
 }
 
-pub use point::MetricSpace;
+pub use point::{GridSpec, MetricSpace};

@@ -9,8 +9,6 @@
 use crate::point::MetricSpace;
 use rand::seq::index::sample;
 use rand::Rng;
-#[allow(unused_imports)]
-use rand::RngExt;
 
 /// Sum of squared distances from `q` to every point of `points`.
 ///

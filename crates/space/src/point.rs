@@ -59,6 +59,79 @@ pub trait MetricSpace: Clone + Send + Sync + 'static {
         let d = self.distance(a, b);
         d * d
     }
+
+    /// Optional spatial-bucketing support: a uniform cell decomposition
+    /// with roughly `target_cells` cells, or `None` if this space has no
+    /// usable coordinates (set spaces) or no finite extent (unbounded
+    /// Euclidean space).
+    ///
+    /// Spaces that return `Some` here unlock grid-accelerated
+    /// nearest-neighbor candidate indexes (the `GridIndex` of the
+    /// topology crate) in place of exhaustive `O(n)` scans. The default
+    /// is `None`: implementing this hook is purely an optimization and
+    /// never changes protocol behavior.
+    fn grid_spec(&self, target_cells: usize) -> Option<GridSpec> {
+        let _ = target_cells;
+        None
+    }
+
+    /// The cell of `p` under `spec`. Must return `Some((cx, cy))` with
+    /// `cx < spec.nx` and `cy < spec.ny` whenever [`MetricSpace::grid_spec`]
+    /// returned `spec`; the default (for spaces without grid support)
+    /// returns `None`.
+    fn grid_cell(&self, p: &Self::Point, spec: &GridSpec) -> Option<(usize, usize)> {
+        let _ = (p, spec);
+        None
+    }
+}
+
+/// A uniform cell decomposition of a (1-D or 2-D) coordinate space, as
+/// produced by [`MetricSpace::grid_spec`].
+///
+/// One-dimensional spaces use `ny == 1` with `wrap_y == false`. Cell
+/// extents are in the space's own distance units, which is what lets
+/// index queries lower-bound the distance to any cell at a given ring
+/// radius: a point whose cell is `d ≥ 1` cells away along an axis is at
+/// least `(d - 1) · cell_extent` away in space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridSpec {
+    /// Number of cells along the x axis (`≥ 1`).
+    pub nx: usize,
+    /// Number of cells along the y axis (`1` for 1-D spaces).
+    pub ny: usize,
+    /// Cell extent along the x axis.
+    pub cell_w: f64,
+    /// Cell extent along the y axis (ignored when `ny == 1`).
+    pub cell_h: f64,
+    /// Whether the x axis wraps around (modular spaces).
+    pub wrap_x: bool,
+    /// Whether the y axis wraps around.
+    pub wrap_y: bool,
+}
+
+impl GridSpec {
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the decomposition is degenerate (no cells).
+    pub fn is_empty(&self) -> bool {
+        self.nx == 0 || self.ny == 0
+    }
+
+    /// The smallest per-axis cell extent, counting only axes that are
+    /// actually subdivided — the unit of the ring-expansion lower bound.
+    /// `0.0` for a single-cell grid (queries then scan everything, which
+    /// is still correct).
+    pub fn min_cell_extent(&self) -> f64 {
+        match (self.nx > 1, self.ny > 1) {
+            (true, true) => self.cell_w.min(self.cell_h),
+            (true, false) => self.cell_w,
+            (false, true) => self.cell_h,
+            (false, false) => 0.0,
+        }
+    }
 }
 
 #[cfg(test)]

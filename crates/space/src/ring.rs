@@ -58,6 +58,23 @@ impl MetricSpace for Ring {
         let d = (a - b).rem_euclid(self.circumference);
         d.min(self.circumference - d)
     }
+
+    fn grid_spec(&self, target_cells: usize) -> Option<crate::point::GridSpec> {
+        let nx = target_cells.max(1);
+        Some(crate::point::GridSpec {
+            nx,
+            ny: 1,
+            cell_w: self.circumference / nx as f64,
+            cell_h: 0.0,
+            wrap_x: true,
+            wrap_y: false,
+        })
+    }
+
+    fn grid_cell(&self, p: &f64, spec: &crate::point::GridSpec) -> Option<(usize, usize)> {
+        let cx = ((self.normalize(*p) / spec.cell_w) as usize).min(spec.nx - 1);
+        Some((cx, 0))
+    }
 }
 
 #[cfg(test)]

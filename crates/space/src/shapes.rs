@@ -6,7 +6,7 @@
 //! paper's evaluation, the parallel offset grid used for the re-injection
 //! phase (Sec. IV-A, Phase 3), and a few other classic overlay shapes.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Regular grid of `cols × rows` points with the given `step`, starting at
 /// the origin — the paper's torus shape ("3200 nodes placed on a regular

@@ -115,6 +115,29 @@ impl MetricSpace for Torus2 {
         let dy = Self::axis_delta(a[1], b[1], self.height);
         dx * dx + dy * dy
     }
+
+    fn grid_spec(&self, target_cells: usize) -> Option<crate::point::GridSpec> {
+        // Split the target cell budget across the axes proportionally to
+        // the extents, so cells come out roughly square.
+        let target = target_cells.max(1) as f64;
+        let nx = ((target * self.width / self.height).sqrt().round() as usize).max(1);
+        let ny = ((target * self.height / self.width).sqrt().round() as usize).max(1);
+        Some(crate::point::GridSpec {
+            nx,
+            ny,
+            cell_w: self.width / nx as f64,
+            cell_h: self.height / ny as f64,
+            wrap_x: true,
+            wrap_y: true,
+        })
+    }
+
+    fn grid_cell(&self, p: &Self::Point, spec: &crate::point::GridSpec) -> Option<(usize, usize)> {
+        let q = self.normalize(*p);
+        let cx = ((q[0] / spec.cell_w) as usize).min(spec.nx - 1);
+        let cy = ((q[1] / spec.cell_h) as usize).min(spec.ny - 1);
+        Some((cx, cy))
+    }
 }
 
 #[cfg(test)]

@@ -1,23 +1,72 @@
-//! Distance-ranking helpers shared by the topology protocols.
+//! Distance-ranking helpers shared by the topology protocols, and the
+//! spatial-grid candidate index that scales global nearest-neighbor
+//! queries past the exhaustive-scan wall.
+//!
+//! Two performance disciplines apply throughout:
+//!
+//! * **rank once, compare cached** — distances are computed once per
+//!   descriptor and sorted as plain keys, never recomputed inside a sort
+//!   comparator (which costs two metric evaluations per comparison);
+//! * **select before sorting** — when only the `k` best of `n` entries
+//!   are needed, a linear-time partial selection bounds the sort to the
+//!   `k`-prefix.
 
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_space::MetricSpace;
+use polystyrene_space::{GridSpec, MetricSpace};
 
 /// Returns the indices of `descriptors` sorted by increasing distance to
 /// `target`, ties broken by node id for determinism.
+///
+/// Distances are evaluated once per descriptor (decorate–sort–undecorate),
+/// not inside the comparator.
 pub fn ranked_indices<S: MetricSpace>(
     space: &S,
     target: &S::Point,
     descriptors: &[Descriptor<S::Point>],
 ) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..descriptors.len()).collect();
-    idx.sort_by(|&i, &j| {
-        space
-            .distance(target, &descriptors[i].pos)
-            .total_cmp(&space.distance(target, &descriptors[j].pos))
-            .then_with(|| descriptors[i].id.cmp(&descriptors[j].id))
-    });
-    idx
+    let mut keyed = rank_keys(space, target, descriptors);
+    keyed.sort_unstable_by(compare_keys);
+    keyed.into_iter().map(|(_, _, i)| i).collect()
+}
+
+/// Returns the indices of the `k` descriptors closest to `target`, in
+/// increasing distance order (ties by node id). Equivalent to
+/// `ranked_indices(..).truncate(k)` but runs in `O(n + k log k)` via
+/// partial selection instead of a full sort.
+pub fn k_ranked_indices<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    k: usize,
+) -> Vec<usize> {
+    let mut keyed = rank_keys(space, target, descriptors);
+    let k = k.min(keyed.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < keyed.len() {
+        keyed.select_nth_unstable_by(k - 1, compare_keys);
+        keyed.truncate(k);
+    }
+    keyed.sort_unstable_by(compare_keys);
+    keyed.into_iter().map(|(_, _, i)| i).collect()
+}
+
+/// Distance-decorated index keys: `(distance, id, index)`.
+fn rank_keys<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+) -> Vec<(f64, NodeId, usize)> {
+    descriptors
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (space.distance(target, &d.pos), d.id, i))
+        .collect()
+}
+
+fn compare_keys(a: &(f64, NodeId, usize), b: &(f64, NodeId, usize)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
 }
 
 /// The `k` descriptors of `descriptors` closest to `target` (cloned), in
@@ -28,11 +77,262 @@ pub fn k_closest<S: MetricSpace>(
     descriptors: &[Descriptor<S::Point>],
     k: usize,
 ) -> Vec<Descriptor<S::Point>> {
-    ranked_indices(space, target, descriptors)
+    k_ranked_indices(space, target, descriptors, k)
         .into_iter()
-        .take(k)
         .map(|i| descriptors[i].clone())
         .collect()
+}
+
+/// A spatial-grid candidate index over a set of positioned entries.
+///
+/// Buckets entries by the cell decomposition of the space
+/// ([`MetricSpace::grid_spec`] — available for [`Torus2`], [`Ring`] and
+/// other bounded coordinate spaces) and answers exact nearest-neighbor
+/// queries by expanding Chebyshev rings of cells outward from the query
+/// cell until no unvisited cell can beat the best candidate found.
+///
+/// For `n` roughly uniform entries indexed with `O(n)` cells, a query
+/// inspects `O(1)` cells in expectation — replacing the `O(n)` exhaustive
+/// scan that makes all-pairs workloads (e.g. per-round shape metrics over
+/// every data point) quadratic.
+///
+/// Queries are **exact**, not approximate: the ring expansion only stops
+/// when the lower bound `(radius − 1) · min_cell_extent` exceeds the best
+/// distance found, so results always match an exhaustive scan. Callers
+/// should fall back to exhaustive scanning for small `n` (the engine uses
+/// a few hundred entries as the cutover), where building the index costs
+/// more than it saves.
+///
+/// [`Torus2`]: polystyrene_space::torus::Torus2
+/// [`Ring`]: polystyrene_space::ring::Ring
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_space::torus::Torus2;
+/// use polystyrene_topology::rank::GridIndex;
+///
+/// let space = Torus2::new(100.0, 100.0);
+/// let entries: Vec<(u64, [f64; 2])> =
+///     (0..100).map(|i| (i, [(i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0])).collect();
+/// let index = GridIndex::build(&space, entries).expect("torus supports grids");
+/// // The nearest indexed entry to (12, 1) is entry 1 at (10, 0).
+/// let (handle, dist) = index.nearest(&[12.0, 1.0]).unwrap();
+/// assert_eq!(handle, 1);
+/// assert!((dist - 5.0f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridIndex<S: MetricSpace> {
+    space: S,
+    spec: GridSpec,
+    /// Flattened `nx × ny` buckets of indices into `entries`.
+    cells: Vec<Vec<u32>>,
+    entries: Vec<(u64, S::Point)>,
+}
+
+impl<S: MetricSpace> GridIndex<S> {
+    /// Builds an index over `(handle, position)` entries, or `None` if the
+    /// space offers no grid decomposition ([`MetricSpace::grid_spec`]).
+    ///
+    /// The cell count targets one entry per cell.
+    pub fn build(space: &S, entries: impl IntoIterator<Item = (u64, S::Point)>) -> Option<Self> {
+        let entries: Vec<(u64, S::Point)> = entries.into_iter().collect();
+        let spec = space.grid_spec(entries.len().max(1))?;
+        if spec.is_empty() {
+            return None;
+        }
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); spec.len()];
+        for (i, (_, pos)) in entries.iter().enumerate() {
+            let (cx, cy) = space
+                .grid_cell(pos, &spec)
+                .expect("grid_spec implies grid_cell");
+            cells[cy * spec.nx + cx].push(i as u32);
+        }
+        Some(Self {
+            space: space.clone(),
+            spec,
+            cells,
+            entries,
+        })
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry nearest to `q` as `(handle, distance)`, ties broken by
+    /// the lowest handle (matching an exhaustive scan in handle order).
+    pub fn nearest(&self, q: &S::Point) -> Option<(u64, f64)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (qx, qy) = self
+            .space
+            .grid_cell(q, &self.spec)
+            .expect("index exists, so the space grids points");
+        let mut best: Option<(u64, f64)> = None;
+        let unit = self.spec.min_cell_extent();
+        let max_radius = self.max_ring_radius();
+        for radius in 0..=max_radius {
+            // Every unvisited entry sits ≥ (radius − 1) cell extents away;
+            // once that bound exceeds the best hit, the answer is exact.
+            if let Some((_, bd)) = best {
+                if radius >= 1 && unit > 0.0 && (radius - 1) as f64 * unit > bd {
+                    break;
+                }
+            }
+            self.for_ring_cells(qx, qy, radius, |cell| {
+                for &ei in &self.cells[cell] {
+                    let (handle, pos) = &self.entries[ei as usize];
+                    let d = self.space.distance(q, pos);
+                    let better = match best {
+                        None => true,
+                        Some((bh, bd)) => d < bd || (d == bd && *handle < bh),
+                    };
+                    if better {
+                        best = Some((*handle, d));
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// The `k` entries nearest to `q`, in increasing distance order (ties
+    /// by handle). Exact, like [`GridIndex::nearest`].
+    pub fn k_nearest(&self, q: &S::Point, k: usize) -> Vec<(u64, f64)> {
+        if self.entries.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let (qx, qy) = self
+            .space
+            .grid_cell(q, &self.spec)
+            .expect("index exists, so the space grids points");
+        let mut found: Vec<(u64, f64)> = Vec::new();
+        let unit = self.spec.min_cell_extent();
+        let max_radius = self.max_ring_radius();
+        for radius in 0..=max_radius {
+            if found.len() >= k && unit > 0.0 && radius >= 1 {
+                let kth = found[k - 1].1;
+                if (radius - 1) as f64 * unit > kth {
+                    break;
+                }
+            }
+            self.for_ring_cells(qx, qy, radius, |cell| {
+                for &ei in &self.cells[cell] {
+                    let (handle, pos) = &self.entries[ei as usize];
+                    let d = self.space.distance(q, pos);
+                    found.push((*handle, d));
+                }
+            });
+            found.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            // Truncating to k is exact: anything discarded ranks strictly
+            // after the kept k-th entry by (distance, handle), and later
+            // rings can only improve that k-th entry — a discarded entry
+            // can never re-enter the final top-k.
+            found.truncate(k);
+        }
+        found
+    }
+
+    /// Largest Chebyshev ring radius that can still reach new cells.
+    fn max_ring_radius(&self) -> usize {
+        let x_reach = if self.spec.wrap_x {
+            self.spec.nx / 2
+        } else {
+            self.spec.nx.saturating_sub(1)
+        };
+        let y_reach = if self.spec.wrap_y {
+            self.spec.ny / 2
+        } else {
+            self.spec.ny.saturating_sub(1)
+        };
+        x_reach.max(y_reach)
+    }
+
+    /// Visits every cell whose Chebyshev offset from `(qx, qy)` is exactly
+    /// `radius`, each cell exactly once (wrap-aware).
+    fn for_ring_cells(&self, qx: usize, qy: usize, radius: usize, mut visit: impl FnMut(usize)) {
+        let spec = &self.spec;
+        if radius == 0 {
+            visit(qy * spec.nx + qx);
+            return;
+        }
+        let r = radius as isize;
+        // Vertical edges of the ring square: dx = ±radius, full dy range.
+        for dx in axis_ring_offsets(radius, spec.nx, spec.wrap_x) {
+            for dy in axis_range_offsets(r, spec.ny, spec.wrap_y) {
+                if let Some(cell) = self.offset_cell(qx, qy, dx, dy) {
+                    visit(cell);
+                }
+            }
+        }
+        // Horizontal edges: dy = ±radius, dx strictly inside the corners.
+        for dy in axis_ring_offsets(radius, spec.ny, spec.wrap_y) {
+            for dx in axis_range_offsets(r - 1, spec.nx, spec.wrap_x) {
+                if let Some(cell) = self.offset_cell(qx, qy, dx, dy) {
+                    visit(cell);
+                }
+            }
+        }
+    }
+
+    /// Flattened cell index at signed offset `(dx, dy)` from `(qx, qy)`,
+    /// or `None` when the offset leaves a non-wrapping axis.
+    fn offset_cell(&self, qx: usize, qy: usize, dx: isize, dy: isize) -> Option<usize> {
+        let spec = &self.spec;
+        let cx = wrap_or_clip(qx as isize + dx, spec.nx, spec.wrap_x)?;
+        let cy = wrap_or_clip(qy as isize + dy, spec.ny, spec.wrap_y)?;
+        Some(cy * spec.nx + cx)
+    }
+}
+
+/// The distinct signed offsets of magnitude exactly `radius` along an
+/// axis of `n` cells. On a wrapping axis, offsets beyond the distinct
+/// range (`-⌊(n−1)/2⌋ ..= ⌊n/2⌋`) alias cells already visited at smaller
+/// radii and are skipped.
+fn axis_ring_offsets(radius: usize, n: usize, wrap: bool) -> impl Iterator<Item = isize> {
+    let r = radius as isize;
+    let (max_pos, max_neg) = axis_reach(n, wrap);
+    [r, -r]
+        .into_iter()
+        .filter(move |&o| (o > 0 && o <= max_pos) || (o < 0 && -o <= max_neg))
+}
+
+/// The distinct signed offsets of magnitude at most `radius` (clamped to
+/// the axis's distinct range).
+fn axis_range_offsets(radius: isize, n: usize, wrap: bool) -> impl Iterator<Item = isize> {
+    let (max_pos, max_neg) = axis_reach(n, wrap);
+    let lo = -(radius.min(max_neg));
+    let hi = radius.min(max_pos);
+    lo..=hi
+}
+
+/// Maximum distinct positive/negative offsets along an axis.
+fn axis_reach(n: usize, wrap: bool) -> (isize, isize) {
+    if wrap {
+        ((n / 2) as isize, ((n - 1) / 2) as isize)
+    } else {
+        ((n - 1) as isize, (n - 1) as isize)
+    }
+}
+
+/// Maps a signed cell coordinate into `[0, n)`: modular on wrapping axes,
+/// `None` outside the range on clipped axes.
+fn wrap_or_clip(c: isize, n: usize, wrap: bool) -> Option<usize> {
+    if wrap {
+        Some(c.rem_euclid(n as isize) as usize)
+    } else if (0..n as isize).contains(&c) {
+        Some(c as usize)
+    } else {
+        None
+    }
 }
 
 /// Deduplicates descriptors by id, keeping the freshest (lowest age) copy
@@ -121,5 +421,120 @@ mod tests {
         drop_self(&mut ds, NodeId::new(1));
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].id, NodeId::new(2));
+    }
+
+    #[test]
+    fn k_ranked_matches_full_rank_prefix() {
+        let ds: Vec<_> = [5.0, 1.0, 3.0, -2.0, 8.0, 0.5, -7.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| d(i as u64, x))
+            .collect();
+        let full = ranked_indices(&Euclidean2, &[0.0, 0.0], &ds);
+        for k in 0..=ds.len() + 2 {
+            let partial = k_ranked_indices(&Euclidean2, &[0.0, 0.0], &ds, k);
+            assert_eq!(partial, full[..k.min(ds.len())], "k = {k}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GridIndex: exactness against the exhaustive scan it replaces
+    // ------------------------------------------------------------------
+
+    fn exhaustive_nearest<S: MetricSpace>(
+        space: &S,
+        entries: &[(u64, S::Point)],
+        q: &S::Point,
+    ) -> Option<(u64, f64)> {
+        entries
+            .iter()
+            .map(|(h, p)| (*h, space.distance(q, p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+    }
+
+    fn torus_cloud(n: usize, w: f64, h: f64, seed: u64) -> Vec<(u64, [f64; 2])> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| (i, [rng.random_range(0.0..w), rng.random_range(0.0..h)]))
+            .collect()
+    }
+
+    #[test]
+    fn grid_nearest_matches_exhaustive_on_torus() {
+        let space = Torus2::new(40.0, 20.0);
+        let entries = torus_cloud(500, 40.0, 20.0, 1);
+        let index = GridIndex::build(&space, entries.clone()).unwrap();
+        assert_eq!(index.len(), 500);
+        for (_, q) in torus_cloud(200, 40.0, 20.0, 2) {
+            let got = index.nearest(&q);
+            let want = exhaustive_nearest(&space, &entries, &q);
+            assert_eq!(got.map(|(h, _)| h), want.map(|(h, _)| h), "query {q:?}");
+            let (gd, wd) = (got.unwrap().1, want.unwrap().1);
+            assert!((gd - wd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_nearest_matches_exhaustive_on_ring() {
+        use polystyrene_space::ring::Ring;
+        let space = Ring::new(100.0);
+        let entries: Vec<(u64, f64)> = (0..300u64).map(|i| (i, (i as f64 * 7.3) % 100.0)).collect();
+        let index = GridIndex::build(&space, entries.clone()).unwrap();
+        for step in 0..500 {
+            let q = step as f64 * 0.2;
+            assert_eq!(
+                index.nearest(&q).map(|(h, _)| h),
+                exhaustive_nearest(&space, &entries, &q).map(|(h, _)| h),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_handles_seam_queries_and_tiny_grids() {
+        // Few entries → few cells: saturation paths (2·radius + 1 > n)
+        // must neither miss nor double-count cells near the seam.
+        let space = Torus2::new(10.0, 10.0);
+        for n in [1usize, 2, 3, 5, 9] {
+            let entries = torus_cloud(n, 10.0, 10.0, n as u64 + 10);
+            let index = GridIndex::build(&space, entries.clone()).unwrap();
+            for (_, q) in torus_cloud(60, 10.0, 10.0, 99) {
+                assert_eq!(
+                    index.nearest(&q).map(|(h, _)| h),
+                    exhaustive_nearest(&space, &entries, &q).map(|(h, _)| h),
+                    "n = {n}, query {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_k_nearest_matches_sorted_exhaustive() {
+        let space = Torus2::new(40.0, 20.0);
+        let entries = torus_cloud(300, 40.0, 20.0, 5);
+        let index = GridIndex::build(&space, entries.clone()).unwrap();
+        for (_, q) in torus_cloud(50, 40.0, 20.0, 6) {
+            let got: Vec<u64> = index.k_nearest(&q, 7).into_iter().map(|(h, _)| h).collect();
+            let mut all: Vec<(u64, f64)> = entries
+                .iter()
+                .map(|(h, p)| (*h, space.distance(&q, p)))
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            let want: Vec<u64> = all.into_iter().take(7).map(|(h, _)| h).collect();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn grid_empty_and_unsupported_spaces() {
+        let space = Torus2::new(10.0, 10.0);
+        let empty: Vec<(u64, [f64; 2])> = Vec::new();
+        let index = GridIndex::build(&space, empty).unwrap();
+        assert!(index.is_empty());
+        assert_eq!(index.nearest(&[1.0, 1.0]), None);
+        assert!(index.k_nearest(&[1.0, 1.0], 3).is_empty());
+        // Euclidean space is unbounded: no grid decomposition.
+        assert!(GridIndex::build(&Euclidean2, vec![(0u64, [0.0, 0.0])]).is_none());
     }
 }

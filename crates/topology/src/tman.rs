@@ -8,11 +8,11 @@
 //! cap. The paper runs it with `m = 20`, `ψ = 5` and views "capped to 100
 //! peers (rather than being unbounded as in \[1\])" (Sec. IV-A).
 
-use crate::rank::{dedup_freshest, drop_self, k_closest, ranked_indices};
+use crate::rank::{dedup_freshest, drop_self, k_closest, k_ranked_indices};
 use crate::traits::TopologyConstruction;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_space::MetricSpace;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// T-Man protocol parameters.
@@ -166,9 +166,8 @@ impl<S: MetricSpace> TopologyConstruction<S> for TMan<S> {
         if self.view.is_empty() {
             return None;
         }
-        let ranked = ranked_indices(&self.space, pos, &self.view);
-        let pool = ranked.len().min(self.config.psi);
-        let pick = ranked[rng.random_range(0..pool)];
+        let ranked = k_ranked_indices(&self.space, pos, &self.view, self.config.psi);
+        let pick = ranked[rng.random_range(0..ranked.len())];
         Some(self.view[pick].id)
     }
 
@@ -176,13 +175,12 @@ impl<S: MetricSpace> TopologyConstruction<S> for TMan<S> {
         let mut merged = std::mem::take(&mut self.view);
         merged.extend(incoming.iter().cloned());
         drop_self(&mut merged, self_id);
-        let mut merged = dedup_freshest(merged);
-        let order = ranked_indices(&self.space, pos, &merged);
-        let mut out = Vec::with_capacity(order.len().min(self.config.view_cap));
-        for i in order.into_iter().take(self.config.view_cap) {
+        let merged = dedup_freshest(merged);
+        let order = k_ranked_indices(&self.space, pos, &merged, self.config.view_cap);
+        let mut out = Vec::with_capacity(order.len());
+        for i in order {
             out.push(merged[i].clone());
         }
-        merged.clear();
         self.view = out;
     }
 

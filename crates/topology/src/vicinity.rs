@@ -9,11 +9,11 @@
 //! The random component guarantees convergence from arbitrary states at
 //! the price of slightly slower greedy progress.
 
-use crate::rank::{dedup_freshest, drop_self, k_closest, ranked_indices};
+use crate::rank::{dedup_freshest, drop_self, k_closest, k_ranked_indices};
 use crate::traits::TopologyConstruction;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_space::MetricSpace;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Vicinity protocol parameters.
@@ -163,7 +163,7 @@ impl<S: MetricSpace> TopologyConstruction<S> for Vicinity<S> {
             let i = rng.random_range(0..self.view.len());
             return Some(self.view[i].id);
         }
-        let ranked = ranked_indices(&self.space, pos, &self.view);
+        let ranked = k_ranked_indices(&self.space, pos, &self.view, 1);
         Some(self.view[ranked[0]].id)
     }
 
@@ -172,12 +172,8 @@ impl<S: MetricSpace> TopologyConstruction<S> for Vicinity<S> {
         merged.extend(incoming.iter().cloned());
         drop_self(&mut merged, self_id);
         let merged = dedup_freshest(merged);
-        let order = ranked_indices(&self.space, pos, &merged);
-        self.view = order
-            .into_iter()
-            .take(self.config.view_cap)
-            .map(|i| merged[i].clone())
-            .collect();
+        let order = k_ranked_indices(&self.space, pos, &merged, self.config.view_cap);
+        self.view = order.into_iter().map(|i| merged[i].clone()).collect();
     }
 
     fn purge_failed(&mut self, is_failed: &dyn Fn(NodeId) -> bool) -> usize {

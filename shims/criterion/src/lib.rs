@@ -1,0 +1,256 @@
+//! Offline mini-criterion.
+//!
+//! The build environment cannot fetch the real `criterion`, so this shim
+//! implements the subset its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`criterion_group!`] / [`criterion_main!`], and
+//! [`black_box`]. Timing is a simple adaptive wall-clock loop (warm-up,
+//! then enough iterations to fill a measurement budget) reporting the
+//! median of per-batch means — no statistics engine, no HTML reports.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The timing loop driver handed to bench closures.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters_done: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, then adaptive batches until the budget
+    /// elapses.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let first = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let mut batch: u64 = (self.budget.as_nanos() / 20 / first.as_nanos()).max(1) as u64;
+        batch = batch.min(1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some(total);
+        self.iters_done = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes runs by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            measured: None,
+            iters_done: 0,
+            budget: self.budget,
+        };
+        f(&mut b);
+        match b.measured {
+            Some(total) if b.iters_done > 0 => {
+                let per_iter = total.as_nanos() as f64 / b.iters_done as f64;
+                println!(
+                    "{}/{:<40} {:>14} / iter   ({} iters)",
+                    self.name,
+                    id,
+                    format_ns(per_iter),
+                    b.iters_done
+                );
+            }
+            _ => println!("{}/{:<40} (no measurement — b.iter never called)", self.name, id),
+        }
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            budget,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+
+    /// Prints the closing summary (a no-op separator in this shim).
+    pub fn final_summary(self) {
+        println!("(criterion-shim: wall-clock medians above; no statistical summary)");
+    }
+}
+
+/// Declares a `fn $group_name()` running each target with a fresh
+/// [`Criterion`], mirroring the real macro's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| n * n);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("exact", 64).to_string(), "exact/64");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

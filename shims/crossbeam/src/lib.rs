@@ -1,0 +1,47 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses:
+//! the unbounded MPSC channel, re-exported from `std::sync::mpsc` under
+//! crossbeam's names. Only the multi-producer/single-consumer subset is
+//! provided — each runtime node owns its receiver exclusively, so the
+//! missing multi-consumer cloning is never exercised.
+
+/// Channel types under crossbeam's module layout.
+pub mod channel {
+    pub use std::sync::mpsc::{
+        RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// The receiving half. `std`'s receiver under crossbeam's name.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

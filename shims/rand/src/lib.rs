@@ -1,0 +1,449 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this shim vendors the exact API surface the workspace uses: a seedable,
+//! deterministic [`StdRng`] (xoshiro256++), the [`Rng`]/[`RngExt`] method
+//! traits (`random_range`, `random_bool`, `random`), [`SeedableRng`],
+//! [`seq::SliceRandom`] and [`seq::index::sample`]. Determinism is load
+//! bearing: the simulation engine promises bit-identical histories for
+//! identical seeds, and the tests assert it.
+//!
+//! The uniform-sampling implementations mirror the upstream semantics
+//! (half-open and inclusive ranges, 53-bit float precision) but not the
+//! upstream bit streams; only intra-shim determinism is guaranteed.
+
+/// A source of random 64-bit words. Object-safe core trait.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::uniform::SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a type with a standard uniform distribution.
+    fn random<T: distr::StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Alias of [`Rng`] matching the newer upstream split of convenience
+/// methods into an extension trait.
+pub use Rng as RngExt;
+
+/// Maps 64 random bits to a `f64` in `[0, 1)` with 53-bit precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform distributions over ranges.
+pub mod distr {
+    use super::RngCore;
+
+    /// Types samplable with `Rng::random()`.
+    pub trait StandardUniform {
+        /// Samples one value from the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            super::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardUniform for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Range sampling, mirroring `rand::distr::uniform`.
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one sample. The range must be non-empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            /// Whether the range contains no values.
+            fn is_empty(&self) -> bool;
+        }
+
+        /// Samples `[0, n)` without modulo bias (Lemire widening multiply).
+        pub(crate) fn uniform_u64(rng: &mut (impl RngCore + ?Sized), n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let mut m = (rng.next_u64() as u128) * (n as u128);
+            let mut lo = m as u64;
+            if lo < n {
+                let threshold = n.wrapping_neg() % n; // 2^64 mod n
+                while lo < threshold {
+                    m = (rng.next_u64() as u128) * (n as u128);
+                    lo = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+
+        macro_rules! int_range {
+            ($($t:ty => $wide:ty),* $(,)?) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                        self.start.wrapping_add(uniform_u64(rng, span) as $t)
+                    }
+                    fn is_empty(&self) -> bool {
+                        self.start >= self.end
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
+                    }
+                    fn is_empty(&self) -> bool {
+                        self.start() > self.end()
+                    }
+                }
+            )*};
+        }
+
+        int_range!(
+            u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+        );
+
+        macro_rules! float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let u = crate::unit_f64(rng.next_u64()) as $t;
+                        let v = self.start + u * (self.end - self.start);
+                        // Floating rounding can land exactly on `end`.
+                        if v >= self.end { self.start } else { v }
+                    }
+                    fn is_empty(&self) -> bool {
+                        // NaN bounds also count as empty.
+                        self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let u = crate::unit_f64(rng.next_u64()) as $t;
+                        self.start() + u * (self.end() - self.start())
+                    }
+                    fn is_empty(&self) -> bool {
+                        !matches!(
+                            self.start().partial_cmp(self.end()),
+                            Some(core::cmp::Ordering::Less | core::cmp::Ordering::Equal)
+                        )
+                    }
+                }
+            )*};
+        }
+
+        float_range!(f32, f64);
+    }
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose entire stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    pub use super::StdRng;
+    /// Alias: this shim's small RNG is the same generator.
+    pub type SmallRng = StdRng;
+}
+
+/// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+///
+/// Deterministic, `Clone`, `Send` — every simulation run with the same
+/// seed replays bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Sequence-related helpers (`shuffle`, `choose`, index sampling).
+pub mod seq {
+    use super::distr::uniform::uniform_u64;
+    use super::RngCore;
+
+    /// Slice extension methods.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle, uniform over permutations.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+
+    /// Alias kept for code written against rand 0.9's split traits.
+    pub use SliceRandom as IndexedRandom;
+
+    /// Distinct-index sampling.
+    pub mod index {
+        use super::super::distr::uniform::uniform_u64;
+        use super::super::RngCore;
+
+        /// A set of distinct indices in `[0, length)`.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterator over the indices by value.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// The sampled indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `[0, length)` by partial
+        /// Fisher–Yates.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from a range of {length}"
+            );
+            let mut indices: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + uniform_u64(rng, (length - i) as u64) as usize;
+                indices.swap(i, j);
+            }
+            indices.truncate(amount);
+            IndexVec(indices)
+        }
+    }
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{index::sample, SliceRandom};
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let i = rng.random_range(-3i32..3);
+            assert!((-3..3).contains(&i));
+            let w = rng.random_range(0..=5u64);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "8-value range not covered: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.random_range(5..5usize);
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn sample_yields_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let picks = sample(&mut rng, 30, 10);
+        let mut v = picks.into_vec();
+        assert_eq!(v.len(), 10);
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 10);
+        assert!(v.iter().all(|&i| i < 30));
+    }
+}

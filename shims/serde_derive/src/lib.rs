@@ -1,0 +1,21 @@
+//! No-op `serde_derive` stand-in for offline builds.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on config and metrics structs — nothing serializes at runtime (reports
+//! are written by hand-rolled CSV writers). These derives therefore accept
+//! the attribute syntax and expand to nothing, which keeps the source
+//! compatible with the real `serde` when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers), emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers), emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

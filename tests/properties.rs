@@ -105,4 +105,115 @@ proptest! {
         let k = required_replication(pf, ps);
         prop_assert!(survival_probability(pf, k) >= ps - 1e-12);
     }
+
+    /// A migration exchange conserves data points exactly: whatever the
+    /// guest sets, positions, split strategy and seed, the union of point
+    /// ids after `migrate_exchange` equals the union before — nothing
+    /// lost, nothing duplicated, nothing invented (Algorithm 3 is a pure
+    /// repartition).
+    #[test]
+    fn migrate_exchange_conserves_guests(
+        seed in 0u64..1000,
+        np in 0usize..12,
+        nq in 0usize..12,
+        split_pick in 0usize..3,
+        px in 0.0..16.0f64,
+        qx in 0.0..16.0f64,
+    ) {
+        use rand::SeedableRng;
+        let space = Torus2::new(16.0, 8.0);
+        let split = SplitStrategy::ALL[split_pick % SplitStrategy::ALL.len()];
+        let cfg = PolystyreneConfig::builder().replication(3).split(split).build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let point = |i: u64| DataPoint::new(
+            PointId::new(i),
+            [(i as f64 * 3.7) % 16.0, (i as f64 * 1.3) % 8.0],
+        );
+        let mut p = PolyState::empty_at([px, 1.0]);
+        p.absorb_guests((0..np as u64).map(point).collect());
+        let mut q = PolyState::empty_at([qx, 6.0]);
+        q.absorb_guests((np as u64..(np + nq) as u64).map(point).collect());
+
+        let before: std::collections::BTreeSet<u64> = p
+            .guests
+            .iter()
+            .chain(q.guests.iter())
+            .map(|g| g.id.as_u64())
+            .collect();
+        prop_assert_eq!(before.len(), np + nq, "test setup must not duplicate ids");
+
+        let outcome = migrate_exchange(&space, &cfg, &mut p, &mut q, &mut rng);
+
+        prop_assert_eq!(
+            p.guests.len() + q.guests.len(),
+            np + nq,
+            "guest count changed: {} + {} != {} (outcome {:?})",
+            p.guests.len(), q.guests.len(), np + nq, outcome
+        );
+        let after: std::collections::BTreeSet<u64> = p
+            .guests
+            .iter()
+            .chain(q.guests.iter())
+            .map(|g| g.id.as_u64())
+            .collect();
+        prop_assert_eq!(after, before, "point ids not conserved");
+    }
+
+    /// Recovery never resurrects a point twice: reactivated ghosts dedup
+    /// against guests already hosted, the consumed ghost entries are gone,
+    /// and an immediately repeated pass reactivates nothing.
+    #[test]
+    fn recovery_never_resurrects_twice(
+        n_origins in 1usize..6,
+        pts_per_origin in 1usize..5,
+        overlap in 0u64..8,
+    ) {
+        use polystyrene::recovery::recover;
+        use polystyrene_membership::NodeId;
+
+        let point = |i: u64| DataPoint::new(PointId::new(i), [i as f64, 0.0]);
+        let mut s = PolyState::with_initial_point(point(0));
+        // Ghost entries deliberately overlap each other and the hosted
+        // guest: ids are drawn from a small window starting at `overlap`.
+        for origin in 0..n_origins as u64 {
+            let pts: Vec<_> = (0..pts_per_origin as u64)
+                .map(|j| point((overlap + origin * 2 + j) % 10))
+                .collect();
+            s.store_ghosts(NodeId::new(origin + 100), pts);
+        }
+        let all_ghost_ids: std::collections::BTreeSet<u64> = s
+            .ghosts
+            .values()
+            .flatten()
+            .map(|g| g.id.as_u64())
+            .collect();
+
+        let first = recover(&mut s, |_| true);
+        prop_assert!(s.ghosts.is_empty(), "consumed ghost entries must be dropped");
+        // No duplicates among guests.
+        let mut ids: Vec<u64> = s.guests.iter().map(|g| g.id.as_u64()).collect();
+        ids.sort();
+        let unique = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), unique, "a point was resurrected twice");
+        // Everything that existed as a ghost is now hosted (union with the
+        // original guest), and the reactivation count matches the dedup.
+        let hosted: std::collections::BTreeSet<u64> =
+            s.guests.iter().map(|g| g.id.as_u64()).collect();
+        for id in &all_ghost_ids {
+            prop_assert!(hosted.contains(id), "ghosted point {} vanished", id);
+        }
+        // Initially only point 0 was hosted, so the reactivation count is
+        // exactly the newly hosted points.
+        prop_assert_eq!(
+            first.reactivated_points,
+            hosted.len() - 1,
+            "reactivation count must equal newly hosted points"
+        );
+        // Idempotence: a second pass finds nothing to resurrect.
+        let second = recover(&mut s, |_| true);
+        prop_assert!(second.is_empty());
+        prop_assert_eq!(second.reactivated_points, 0);
+        prop_assert_eq!(s.guests.len(), hosted.len());
+    }
 }
