@@ -13,7 +13,12 @@ fn ablation_paper() -> PaperScenario {
     PaperScenario::reshaping_only(20, 10, 15, 50)
 }
 
-fn run_with(projection: ProjectionStrategy, split: SplitStrategy, k: usize, seed: u64) -> RunRecord {
+fn run_with(
+    projection: ProjectionStrategy,
+    split: SplitStrategy,
+    k: usize,
+    seed: u64,
+) -> RunRecord {
     let paper = ablation_paper();
     let (w, h) = paper.extents();
     let mut cfg = experiment_config(k, split, seed);
@@ -124,7 +129,10 @@ fn print_placement_ablation() {
             reliability: polystyrene_space::stats::ci95(&reliabilities),
         });
     }
-    println!("{}", render_reshaping_table("Backup placement ablation", &rows));
+    println!(
+        "{}",
+        render_reshaping_table("Backup placement ablation", &rows)
+    );
     println!(
         "Expected: localized placement loses most of the dead region's points\n\
          (replicas die with their neighborhood) — the exact trade-off the paper\n\

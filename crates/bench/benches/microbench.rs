@@ -72,24 +72,20 @@ fn bench_split(c: &mut Criterion) {
     for &n in &[8usize, 40, 120] {
         let pts = random_datapoints(n, 7);
         for strategy in SplitStrategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &pts,
-                |b, pts| {
-                    let mut rng = StdRng::seed_from_u64(8);
-                    b.iter(|| {
-                        split(
-                            &space,
-                            strategy,
-                            pts.clone(),
-                            &[10.0, 10.0],
-                            &[60.0, 30.0],
-                            30,
-                            &mut rng,
-                        )
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &pts, |b, pts| {
+                let mut rng = StdRng::seed_from_u64(8);
+                b.iter(|| {
+                    split(
+                        &space,
+                        strategy,
+                        pts.clone(),
+                        &[10.0, 10.0],
+                        &[60.0, 30.0],
+                        30,
+                        &mut rng,
+                    )
+                });
+            });
         }
     }
     group.finish();

@@ -51,7 +51,14 @@ fn print_fig6_7() {
     println!("====== Figs. 6 & 7 (mini): quality and overheads, K ∈ {{2,4,8}} vs T-Man ======");
     let paper = mini_paper();
     for &k in &[2usize, 4, 8] {
-        let r = run_quality(&paper, StackKind::Polystyrene, k, SplitStrategy::Advanced, 2, 1);
+        let r = run_quality(
+            &paper,
+            StackKind::Polystyrene,
+            k,
+            SplitStrategy::Advanced,
+            2,
+            1,
+        );
         println!("{}", summarize(&r, &format!("Polystyrene_K{k}")));
         let pts = r.points_per_node.means();
         println!(
@@ -60,7 +67,14 @@ fn print_fig6_7() {
             1 + k
         );
     }
-    let tman = run_quality(&paper, StackKind::TManOnly, 4, SplitStrategy::Advanced, 2, 1);
+    let tman = run_quality(
+        &paper,
+        StackKind::TManOnly,
+        4,
+        SplitStrategy::Advanced,
+        2,
+        1,
+    );
     println!("{}\n", summarize(&tman, "TMan (baseline)"));
 }
 
@@ -71,7 +85,10 @@ fn print_table2() {
         .iter()
         .map(|&k| table2_row(&paper, k, SplitStrategy::Advanced, 3, 1))
         .collect();
-    println!("{}", render_reshaping_table("Table II (200-node torus, 3 runs)", &rows));
+    println!(
+        "{}",
+        render_reshaping_table("Table II (200-node torus, 3 runs)", &rows)
+    );
 }
 
 fn print_fig10() {
@@ -79,11 +96,17 @@ fn print_fig10() {
     let sizes = [(10usize, 10usize), (20, 10), (20, 20), (40, 20)];
     for &k in &[4usize, 8] {
         let rows = scaling_sweep(&sizes, k, SplitStrategy::Advanced, 2, 1, 60);
-        println!("{}", render_reshaping_table(&format!("Fig. 10a — K={k}"), &rows));
+        println!(
+            "{}",
+            render_reshaping_table(&format!("Fig. 10a — K={k}"), &rows)
+        );
     }
     for strategy in [SplitStrategy::Basic, SplitStrategy::Advanced] {
         let rows = scaling_sweep(&sizes, 4, strategy, 2, 1, 80);
-        println!("{}", render_reshaping_table(&format!("Fig. 10b — {strategy}"), &rows));
+        println!(
+            "{}",
+            render_reshaping_table(&format!("Fig. 10b — {strategy}"), &rows)
+        );
     }
 }
 

@@ -46,11 +46,14 @@ fn survey_at(
 }
 
 fn main() {
-    let args = CommonArgs::parse(CommonArgs {
-        cols: 40,
-        rows: 20,
-        ..Default::default()
-    });
+    let args = CommonArgs::parse_with(
+        CommonArgs {
+            cols: 40,
+            rows: 20,
+            ..Default::default()
+        },
+        &["attempts"],
+    );
     let paper = args.paper_scenario();
     let (w, h) = paper.extents();
     let attempts = args.extra_usize("attempts", 400);
@@ -95,13 +98,25 @@ fn main() {
         "{}",
         render_table(
             "E1 — greedy routing through the catastrophe",
-            &["stack", "moment", "delivery (%)", "mean hops", "mean dist to key"],
+            &[
+                "stack",
+                "moment",
+                "delivery (%)",
+                "mean hops",
+                "mean dist to key"
+            ],
             &rows,
         )
     );
     write_csv(
         args.out.join("ext_routing_recovery.csv"),
-        &["stack", "moment", "delivery_pct", "mean_hops", "mean_final_distance"],
+        &[
+            "stack",
+            "moment",
+            "delivery_pct",
+            "mean_hops",
+            "mean_final_distance",
+        ],
         &rows,
     )
     .expect("failed to write CSV");

@@ -13,10 +13,13 @@ use polystyrene_bench::{render_reshaping_table, scaling_sizes, scaling_sweep, Co
 use polystyrene_sim::prelude::write_csv;
 
 fn main() {
-    let args = CommonArgs::parse(CommonArgs {
-        runs: 3,
-        ..Default::default()
-    });
+    let args = CommonArgs::parse_with(
+        CommonArgs {
+            runs: 3,
+            ..Default::default()
+        },
+        &["max-nodes"],
+    );
     let max_nodes = args.extra_usize("max-nodes", 6400);
     let sizes = scaling_sizes(max_nodes);
     println!(
@@ -45,7 +48,13 @@ fn main() {
     }
     write_csv(
         args.out.join("fig10b_split.csv"),
-        &["split", "nodes", "reshaping_mean", "reshaping_ci95", "unreshaped_runs"],
+        &[
+            "split",
+            "nodes",
+            "reshaping_mean",
+            "reshaping_ci95",
+            "unreshaped_runs",
+        ],
         &csv_rows,
     )
     .expect("failed to write CSV");

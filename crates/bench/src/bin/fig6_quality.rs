@@ -56,8 +56,16 @@ fn main() {
     proximity_series.push(("TMan".into(), tman.proximity.means()));
 
     for (title, series, file) in [
-        ("Fig. 6a — homogeneity (lower is better)", &homogeneity_series, "fig6a_homogeneity.csv"),
-        ("Fig. 6b — proximity (lower is better)", &proximity_series, "fig6b_proximity.csv"),
+        (
+            "Fig. 6a — homogeneity (lower is better)",
+            &homogeneity_series,
+            "fig6a_homogeneity.csv",
+        ),
+        (
+            "Fig. 6b — proximity (lower is better)",
+            &proximity_series,
+            "fig6b_proximity.csv",
+        ),
     ] {
         let refs: Vec<(&str, &[f64])> = series
             .iter()

@@ -41,13 +41,19 @@ fn main() {
         );
         let points = result.points_per_node.means();
         let cost = result.cost_per_node.means();
-        let pre_failure = points.get(paper.failure_round as usize - 1).copied().unwrap_or(f64::NAN);
+        let pre_failure = points
+            .get(paper.failure_round as usize - 1)
+            .copied()
+            .unwrap_or(f64::NAN);
         println!(
             "Polystyrene_K{k}: points/node before failure {:.2} (expect 1+K={}), \
              steady after failure {:.2}, cost/node steady {:.1} units",
             pre_failure,
             1 + k,
-            steady_state(&points[..paper.inject_round.unwrap_or(paper.total_rounds) as usize], 10),
+            steady_state(
+                &points[..paper.inject_round.unwrap_or(paper.total_rounds) as usize],
+                10
+            ),
             steady_state(&cost, 10),
         );
         points_series.push((format!("Polystyrene_K{k}"), points));
@@ -70,8 +76,16 @@ fn main() {
     cost_series.push(("TMan".into(), tman.cost_per_node.means()));
 
     for (title, series, file) in [
-        ("Fig. 7a — data points per node", &points_series, "fig7a_points_per_node.csv"),
-        ("Fig. 7b — message cost per node (units)", &cost_series, "fig7b_cost_per_node.csv"),
+        (
+            "Fig. 7a — data points per node",
+            &points_series,
+            "fig7a_points_per_node.csv",
+        ),
+        (
+            "Fig. 7b — message cost per node (units)",
+            &cost_series,
+            "fig7b_cost_per_node.csv",
+        ),
     ] {
         let refs: Vec<(&str, &[f64])> = series
             .iter()

@@ -10,8 +10,8 @@
 //!     --cols 80 --rows 40
 //! ```
 
-use polystyrene_bench::{experiment_config, CommonArgs};
 use polystyrene::prelude::SplitStrategy;
+use polystyrene_bench::{experiment_config, CommonArgs};
 use polystyrene_sim::prelude::*;
 use polystyrene_space::shapes;
 use polystyrene_space::torus::Torus2;

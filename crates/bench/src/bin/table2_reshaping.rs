@@ -54,7 +54,13 @@ fn main() {
         .collect();
     write_csv(
         args.out.join("table2_reshaping.csv"),
-        &["K", "reshaping_mean", "reshaping_ci95", "reliability_mean", "reliability_ci95"],
+        &[
+            "K",
+            "reshaping_mean",
+            "reshaping_ci95",
+            "reliability_mean",
+            "reliability_ci95",
+        ],
         &csv_rows,
     )
     .expect("failed to write CSV");

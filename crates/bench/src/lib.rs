@@ -36,9 +36,13 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Output directory for CSV dumps.
     pub out: PathBuf,
-    /// Leftover `--key value` pairs for figure-specific options.
+    /// Figure-specific `--key value` pairs, restricted to the keys the
+    /// binary declared via [`CommonArgs::parse_with`].
     pub extra: HashMap<String, String>,
 }
+
+/// The flags every experiment binary accepts.
+const COMMON_KEYS: [&str; 6] = ["cols", "rows", "runs", "k", "seed", "out"];
 
 impl Default for CommonArgs {
     fn default() -> Self {
@@ -56,22 +60,53 @@ impl Default for CommonArgs {
 
 impl CommonArgs {
     /// Parses `--key value` pairs from `std::env::args`, starting from the
-    /// given defaults. Unknown keys land in [`CommonArgs::extra`].
+    /// given defaults. Equivalent to [`CommonArgs::parse_with`] with no
+    /// figure-specific keys.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments.
+    /// Panics with a usage message on malformed arguments or unknown
+    /// flags.
     pub fn parse(defaults: CommonArgs) -> Self {
+        Self::parse_with(defaults, &[])
+    }
+
+    /// Parses `--key value` pairs from `std::env::args`, starting from the
+    /// given defaults; `extra_keys` lists the figure-specific flags this
+    /// binary additionally accepts (retrieved via
+    /// [`CommonArgs::extra_usize`]).
+    ///
+    /// Unknown flags are rejected with a usage message listing every
+    /// accepted one — a typo like `--max-node` must fail loudly instead
+    /// of silently sweeping with defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments or unknown
+    /// flags.
+    pub fn parse_with(defaults: CommonArgs, extra_keys: &[&str]) -> Self {
+        Self::parse_argv(defaults, extra_keys, std::env::args().skip(1).collect())
+    }
+
+    fn parse_argv(defaults: CommonArgs, extra_keys: &[&str], argv: Vec<String>) -> Self {
+        let usage = || {
+            let mut keys: Vec<String> = COMMON_KEYS
+                .iter()
+                .chain(extra_keys.iter())
+                .map(|k| format!("--{k}"))
+                .collect();
+            keys.sort();
+            format!("accepted flags (each takes a value): {}", keys.join(" "))
+        };
         let mut args = defaults;
-        let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i]
                 .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --key, got {:?}", argv[i]));
+                .unwrap_or_else(|| panic!("expected --key, got {:?}\n{}", argv[i], usage()));
             let value = argv
                 .get(i + 1)
-                .unwrap_or_else(|| panic!("missing value for --{key}"))
+                .unwrap_or_else(|| panic!("missing value for --{key}\n{}", usage()))
                 .clone();
             match key {
                 "cols" => args.cols = value.parse().expect("--cols expects an integer"),
@@ -80,9 +115,10 @@ impl CommonArgs {
                 "k" => args.k = value.parse().expect("--k expects an integer"),
                 "seed" => args.seed = value.parse().expect("--seed expects an integer"),
                 "out" => args.out = PathBuf::from(value),
-                _ => {
+                _ if extra_keys.contains(&key) => {
                     args.extra.insert(key.to_string(), value);
                 }
+                _ => panic!("unknown flag --{key}\n{}", usage()),
             }
             i += 2;
         }
@@ -93,7 +129,10 @@ impl CommonArgs {
     pub fn extra_usize(&self, key: &str, default: usize) -> usize {
         self.extra
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -129,7 +168,13 @@ pub fn run_quality(
     runs: usize,
     seed: u64,
 ) -> ExperimentResult {
-    run_paper_experiment(paper, experiment_config(k, split, seed), stack, runs, |_| {})
+    run_paper_experiment(
+        paper,
+        experiment_config(k, split, seed),
+        stack,
+        runs,
+        |_| {},
+    )
 }
 
 /// Produces one Table II row: reshaping time and reliability for a given
@@ -193,13 +238,21 @@ pub fn render_reshaping_table(title: &str, rows: &[ReshapingRow]) -> String {
                 r.label.clone(),
                 r.nodes.to_string(),
                 reshaping,
-                format!("{:.2} ± {:.2}", r.reliability.mean, r.reliability.half_width),
+                format!(
+                    "{:.2} ± {:.2}",
+                    r.reliability.mean, r.reliability.half_width
+                ),
             ]
         })
         .collect();
     render_table(
         title,
-        &["config", "nodes", "reshaping time (rounds)", "reliability (%)"],
+        &[
+            "config",
+            "nodes",
+            "reshaping time (rounds)",
+            "reliability (%)",
+        ],
         &table_rows,
     )
 }
@@ -229,7 +282,12 @@ pub fn scaling_sizes(max_nodes: usize) -> Vec<(usize, usize)> {
 pub fn summarize(result: &ExperimentResult, label: &str) -> String {
     let reshaping = result.reshaping_ci();
     let reliability = result.reliability_percent_ci();
-    let final_h = result.homogeneity.means().last().copied().unwrap_or(f64::NAN);
+    let final_h = result
+        .homogeneity
+        .means()
+        .last()
+        .copied()
+        .unwrap_or(f64::NAN);
     format!(
         "{label}: reshaping {reshaping} rounds ({} unreshaped), reliability {reliability} %, final homogeneity {final_h:.3}",
         result.unreshaped_runs
@@ -248,6 +306,36 @@ pub fn steady_state(series: &[f64], n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_argv_accepts_common_and_declared_extra_flags() {
+        let args = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &["max-nodes"],
+            vec!["--cols", "8", "--max-nodes", "400"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        );
+        assert_eq!(args.cols, 8);
+        assert_eq!(args.extra_usize("max-nodes", 0), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag --max-node")]
+    fn parse_argv_rejects_typoed_flags() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &["max-nodes"],
+            vec!["--max-node".to_string(), "400".to_string()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value for --seed")]
+    fn parse_argv_rejects_dangling_flag() {
+        let _ = CommonArgs::parse_argv(CommonArgs::default(), &[], vec!["--seed".to_string()]);
+    }
 
     #[test]
     fn experiment_config_applies_k_and_split() {

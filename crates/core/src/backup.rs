@@ -42,11 +42,18 @@ pub struct BackupPush<P> {
 
 impl<P> BackupPush<P> {
     /// Wire cost of this push in the paper's units, given the cost of one
-    /// data point (2 units for a 2-D point): changed points are shipped
-    /// whole, removals as bare ids (1 unit each).
+    /// data point (2 units for a 2-D point).
     pub fn cost_units(&self, units_per_point: usize) -> usize {
-        self.added_points * units_per_point + self.removed_ids
+        push_cost_units(self.added_points, self.removed_ids, units_per_point)
     }
+}
+
+/// The incremental-delta cost of one replica push, in the paper's units:
+/// changed points are shipped whole, removals as bare ids (1 unit each).
+/// The single formula behind [`BackupPush::cost_units`] and the
+/// simulators' wire accounting.
+pub fn push_cost_units(added_points: usize, removed_ids: usize, units_per_point: usize) -> usize {
+    added_points * units_per_point + removed_ids
 }
 
 /// Runs Algorithm 1 for `state`, owned by `self_id`:
@@ -68,7 +75,12 @@ pub fn plan_backups<P: Clone>(
     mut candidates: impl FnMut() -> Option<NodeId>,
 ) -> Vec<BackupPush<P>> {
     // Line 1: backups ← backups \ failed (their delta records go too).
-    let dead: Vec<NodeId> = state.backups.iter().copied().filter(|&b| is_failed(b)).collect();
+    let dead: Vec<NodeId> = state
+        .backups
+        .iter()
+        .copied()
+        .filter(|&b| is_failed(b))
+        .collect();
     for b in dead {
         state.backups.remove(&b);
         state.last_sent.remove(&b);
@@ -160,18 +172,42 @@ mod tests {
     #[test]
     fn unchanged_state_sends_nothing() {
         let mut s = PolyState::with_initial_point(dp(0, 0.0));
-        let _ = plan_backups(&mut s, NodeId::new(0), 2, |_| false, cycle_candidates(vec![1, 2]));
-        let again = plan_backups(&mut s, NodeId::new(0), 2, |_| false, cycle_candidates(vec![1, 2]));
+        let _ = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            2,
+            |_| false,
+            cycle_candidates(vec![1, 2]),
+        );
+        let again = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            2,
+            |_| false,
+            cycle_candidates(vec![1, 2]),
+        );
         assert!(again.is_empty(), "idle steady state must cost zero traffic");
     }
 
     #[test]
     fn guest_changes_produce_deltas() {
         let mut s = PolyState::with_initial_point(dp(0, 0.0));
-        let _ = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        let _ = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            1,
+            |_| false,
+            cycle_candidates(vec![1]),
+        );
         s.absorb_guests(vec![dp(5, 1.0), dp(6, 2.0)]);
         s.guests.retain(|g| g.id != PointId::new(0));
-        let pushes = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        let pushes = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            1,
+            |_| false,
+            cycle_candidates(vec![1]),
+        );
         assert_eq!(pushes.len(), 1);
         let p = &pushes[0];
         assert!(!p.new_target);
@@ -183,7 +219,13 @@ mod tests {
     #[test]
     fn failed_backups_are_replaced() {
         let mut s = PolyState::with_initial_point(dp(0, 0.0));
-        let _ = plan_backups(&mut s, NodeId::new(0), 2, |_| false, cycle_candidates(vec![1, 2]));
+        let _ = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            2,
+            |_| false,
+            cycle_candidates(vec![1, 2]),
+        );
         assert!(s.backups.contains(&NodeId::new(1)));
         // Node 1 dies; a replacement (3) must be enrolled and receive a
         // full push, while the survivor (2) stays silent.
@@ -220,7 +262,13 @@ mod tests {
     fn gives_up_when_candidates_exhausted() {
         let mut s = PolyState::with_initial_point(dp(0, 0.0));
         // Only one valid candidate exists for K = 4.
-        let pushes = plan_backups(&mut s, NodeId::new(0), 4, |_| false, cycle_candidates(vec![1]));
+        let pushes = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            4,
+            |_| false,
+            cycle_candidates(vec![1]),
+        );
         assert_eq!(s.backups.len(), 1);
         assert_eq!(pushes.len(), 1);
         // And a `None`-returning supplier terminates immediately.
@@ -232,12 +280,30 @@ mod tests {
     #[test]
     fn replacement_after_loss_of_delta_record_is_full_push() {
         let mut s = PolyState::with_initial_point(dp(0, 0.0));
-        let _ = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        let _ = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            1,
+            |_| false,
+            cycle_candidates(vec![1]),
+        );
         // Backup 1 dies; its delta record must die with it so that a
         // re-enrollment of the *same id* (e.g. id reuse) is a full push.
-        let _ = plan_backups(&mut s, NodeId::new(0), 1, |id| id == NodeId::new(1), || None);
+        let _ = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            1,
+            |id| id == NodeId::new(1),
+            || None,
+        );
         assert!(s.last_sent.is_empty());
-        let pushes = plan_backups(&mut s, NodeId::new(0), 1, |_| false, cycle_candidates(vec![1]));
+        let pushes = plan_backups(
+            &mut s,
+            NodeId::new(0),
+            1,
+            |_| false,
+            cycle_candidates(vec![1]),
+        );
         assert_eq!(pushes.len(), 1);
         assert!(pushes[0].new_target);
     }

@@ -92,7 +92,10 @@ impl PolystyreneConfig {
     ///
     /// Panics if `replication` or `psi` is zero.
     pub fn validate(&self) {
-        assert!(self.replication > 0, "replication factor K must be positive");
+        assert!(
+            self.replication > 0,
+            "replication factor K must be positive"
+        );
         assert!(self.psi > 0, "psi must be positive");
     }
 }

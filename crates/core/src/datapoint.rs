@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// paper Fig. 7a) and what the homogeneity metric traces: "the mean
 /// distance between each initial data point and the nearest node hosting
 /// this data point" (Sec. IV-A).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PointId(u64);
 
 impl PointId {
@@ -82,10 +80,7 @@ impl<P> DataPoint<P> {
 /// q.guests", Algorithm 3 line 4, where ∪ is a set union over identities).
 pub fn dedup_by_id<P>(points: Vec<DataPoint<P>>) -> Vec<DataPoint<P>> {
     let mut seen = std::collections::HashSet::with_capacity(points.len());
-    points
-        .into_iter()
-        .filter(|p| seen.insert(p.id))
-        .collect()
+    points.into_iter().filter(|p| seen.insert(p.id)).collect()
 }
 
 #[cfg(test)]

@@ -70,10 +70,12 @@ pub mod state;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::backup::{plan_backups, BackupPush};
+    pub use crate::backup::{plan_backups, push_cost_units, BackupPush};
     pub use crate::config::{BackupPlacement, ConfigBuilder, PolystyreneConfig};
     pub use crate::datapoint::{DataPoint, PointId};
-    pub use crate::migration::{migrate_exchange, MigrationOutcome};
+    pub use crate::migration::{
+        absorb_and_split, migrate_exchange, MigrationOutcome, SplitOutcome,
+    };
     pub use crate::projection::ProjectionStrategy;
     pub use crate::recovery::{recover, RecoveryOutcome};
     pub use crate::reliability::{required_replication, survival_probability};

@@ -20,7 +20,7 @@
 //! re-projection both participants perform afterwards.
 
 use crate::config::PolystyreneConfig;
-use crate::datapoint::{dedup_by_id, PointId};
+use crate::datapoint::{dedup_by_id, DataPoint, PointId};
 use crate::split::split;
 use crate::state::PolyState;
 use polystyrene_space::MetricSpace;
@@ -85,40 +85,91 @@ pub fn migrate_exchange<S: MetricSpace, R: Rng + ?Sized>(
 ) -> MigrationOutcome {
     let p_before: BTreeSet<PointId> = p.guests.iter().map(|g| g.id).collect();
     let q_before: BTreeSet<PointId> = q.guests.iter().map(|g| g.id).collect();
-    let pulled = q.guests.len();
 
-    let mut all_points = std::mem::take(&mut p.guests);
-    all_points.extend(std::mem::take(&mut q.guests));
-    let total_before = all_points.len();
-    let all_points = dedup_by_id(all_points);
-    let deduplicated = total_before - all_points.len();
-
-    let (for_p, for_q) = split(
-        space,
-        config.split,
-        all_points,
-        &p.pos,
-        &q.pos,
-        config.diameter_exact_threshold,
-        rng,
-    );
-
-    let transferred = for_p.iter().filter(|x| !p_before.contains(&x.id)).count()
-        + for_q.iter().filter(|x| !q_before.contains(&x.id)).count();
-    let pushed = for_q.len();
-
-    p.guests = for_p;
-    q.guests = for_q;
+    let incoming = std::mem::take(&mut p.guests);
+    let outcome = absorb_and_split(space, config, q, &p.pos, incoming, rng);
+    p.guests = outcome.for_initiator;
     p.project(space, config, rng);
-    q.project(space, config, rng);
+
+    let transferred = p
+        .guests
+        .iter()
+        .filter(|x| !p_before.contains(&x.id))
+        .count()
+        + q.guests
+            .iter()
+            .filter(|x| !q_before.contains(&x.id))
+            .count();
 
     MigrationOutcome {
         kept_by_p: p.guests.len(),
         kept_by_q: q.guests.len(),
         transferred_points: transferred,
-        pulled_points: pulled,
-        pushed_points: pushed,
-        deduplicated_points: deduplicated,
+        pulled_points: outcome.pulled,
+        pushed_points: outcome.pushed,
+        deduplicated_points: outcome.deduplicated,
+    }
+}
+
+/// Result of the responder half of the exchange ([`absorb_and_split`]).
+#[derive(Clone, Debug)]
+pub struct SplitOutcome<P> {
+    /// The initiator's share of the union, to be shipped back.
+    pub for_initiator: Vec<DataPoint<P>>,
+    /// Points the responder contributed to the union (its guests before
+    /// the exchange) — the *pull* leg of the paper's traffic accounting.
+    pub pulled: usize,
+    /// Points the responder kept after the split — the *push* leg.
+    pub pushed: usize,
+    /// Duplicate copies eliminated by the union.
+    pub deduplicated: usize,
+}
+
+/// The responder half of Algorithm 3 in message form — the single
+/// implementation of union → dedup → `SPLIT` → re-projection that both
+/// [`migrate_exchange`] and the sans-IO protocol node's
+/// `MigrationRequest` handler execute, so the exchange semantics cannot
+/// drift between the direct and the message-decomposed form.
+///
+/// Unions `incoming` (the initiator's guests, listed first so their
+/// copies win deduplication) with the responder's own guests, splits the
+/// union between `initiator_pos` and the responder's position, keeps the
+/// responder's share, re-projects the responder, and returns the
+/// initiator's share. The caller (the initiator, or [`migrate_exchange`]
+/// acting for it) installs `for_initiator` and re-projects.
+pub fn absorb_and_split<S: MetricSpace, R: Rng + ?Sized>(
+    space: &S,
+    config: &PolystyreneConfig,
+    responder: &mut PolyState<S::Point>,
+    initiator_pos: &S::Point,
+    incoming: Vec<DataPoint<S::Point>>,
+    rng: &mut R,
+) -> SplitOutcome<S::Point> {
+    let pulled = responder.guests.len();
+    let mut all_points = incoming;
+    all_points.extend(std::mem::take(&mut responder.guests));
+    let total_before = all_points.len();
+    let all_points = dedup_by_id(all_points);
+    let deduplicated = total_before - all_points.len();
+
+    let (for_initiator, for_responder) = split(
+        space,
+        config.split,
+        all_points,
+        initiator_pos,
+        &responder.pos,
+        config.diameter_exact_threshold,
+        rng,
+    );
+    let pushed = for_responder.len();
+    responder.guests = for_responder;
+    responder.project(space, config, rng);
+
+    SplitOutcome {
+        for_initiator,
+        pulled,
+        pushed,
+        deduplicated,
     }
 }
 
@@ -146,7 +197,13 @@ mod tests {
         let mut p = PolyState::with_initial_point(dp(0, 0.0, 0.0));
         p.absorb_guests(vec![dp(1, 1.0, 0.0), dp(2, 6.0, 0.0)]);
         let mut q = PolyState::with_initial_point(dp(3, 10.0, 0.0));
-        let out = migrate_exchange(&Euclidean2, &cfg(SplitStrategy::Advanced), &mut p, &mut q, &mut rng);
+        let out = migrate_exchange(
+            &Euclidean2,
+            &cfg(SplitStrategy::Advanced),
+            &mut p,
+            &mut q,
+            &mut rng,
+        );
         assert_eq!(p.guests.len() + q.guests.len(), 4);
         assert_eq!(out.kept_by_p, p.guests.len());
         assert_eq!(out.kept_by_q, q.guests.len());
@@ -160,7 +217,13 @@ mod tests {
         let mut p = PolyState::with_initial_point(dp(7, 0.0, 0.0));
         let mut q = PolyState::with_initial_point(dp(7, 0.0, 0.0));
         q.absorb_guests(vec![dp(8, 10.0, 0.0)]);
-        let out = migrate_exchange(&Euclidean2, &cfg(SplitStrategy::Basic), &mut p, &mut q, &mut rng);
+        let out = migrate_exchange(
+            &Euclidean2,
+            &cfg(SplitStrategy::Basic),
+            &mut p,
+            &mut q,
+            &mut rng,
+        );
         assert_eq!(out.deduplicated_points, 1);
         let total: usize = p.guests.len() + q.guests.len();
         assert_eq!(total, 2, "duplicate of point 7 must be gone");
@@ -172,7 +235,13 @@ mod tests {
         let mut p: PolyState<[f64; 2]> = PolyState::empty_at([0.0, 0.0]);
         let mut q = PolyState::with_initial_point(dp(0, 10.0, 0.0));
         q.absorb_guests(vec![dp(1, 0.5, 0.0), dp(2, 9.5, 0.0)]);
-        let out = migrate_exchange(&Euclidean2, &cfg(SplitStrategy::Basic), &mut p, &mut q, &mut rng);
+        let out = migrate_exchange(
+            &Euclidean2,
+            &cfg(SplitStrategy::Basic),
+            &mut p,
+            &mut q,
+            &mut rng,
+        );
         assert_eq!(p.guests.len(), 1);
         assert_eq!(p.guests[0].id, PointId::new(1));
         assert_eq!(out.transferred_points, 1);
@@ -187,7 +256,13 @@ mod tests {
         p.absorb_guests(vec![dp(1, 1.0, 0.0), dp(2, 2.0, 0.0)]);
         let mut q = PolyState::with_initial_point(dp(3, 20.0, 0.0));
         q.absorb_guests(vec![dp(4, 21.0, 0.0), dp(5, 22.0, 0.0)]);
-        migrate_exchange(&Euclidean2, &cfg(SplitStrategy::Advanced), &mut p, &mut q, &mut rng);
+        migrate_exchange(
+            &Euclidean2,
+            &cfg(SplitStrategy::Advanced),
+            &mut p,
+            &mut q,
+            &mut rng,
+        );
         assert_eq!(p.pos, [1.0, 0.0]);
         assert_eq!(q.pos, [21.0, 0.0]);
     }
@@ -197,7 +272,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut p = PolyState::with_initial_point(dp(0, 0.0, 0.0));
         let mut q = PolyState::with_initial_point(dp(1, 10.0, 0.0));
-        let out = migrate_exchange(&Euclidean2, &cfg(SplitStrategy::Basic), &mut p, &mut q, &mut rng);
+        let out = migrate_exchange(
+            &Euclidean2,
+            &cfg(SplitStrategy::Basic),
+            &mut p,
+            &mut q,
+            &mut rng,
+        );
         assert_eq!(out.transferred_points, 0);
         assert_eq!(p.guests[0].id, PointId::new(0));
         assert_eq!(q.guests[0].id, PointId::new(1));

@@ -97,7 +97,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = Torus2::new(16.0, 16.0);
         let guests = pts(&[[15.0, 0.0], [0.0, 0.0], [1.0, 0.0]]);
-        let pos = ProjectionStrategy::Medoid.project(&t, &guests, &mut rng).unwrap();
+        let pos = ProjectionStrategy::Medoid
+            .project(&t, &guests, &mut rng)
+            .unwrap();
         assert_eq!(pos, [0.0, 0.0]);
     }
 

@@ -106,12 +106,8 @@ pub fn split<S: MetricSpace, R: Rng + ?Sized>(
     match strategy {
         SplitStrategy::Basic => split_basic(space, points, pos_p, pos_q),
         SplitStrategy::Pd => {
-            let (u_side, v_side) = partition_along_diameter(
-                space,
-                points,
-                diameter_exact_threshold,
-                rng,
-            );
+            let (u_side, v_side) =
+                partition_along_diameter(space, points, diameter_exact_threshold, rng);
             (u_side, v_side)
         }
         SplitStrategy::Md => {
@@ -119,12 +115,8 @@ pub fn split<S: MetricSpace, R: Rng + ?Sized>(
             assign_minimizing_displacement(space, a, b, pos_p, pos_q)
         }
         SplitStrategy::Advanced => {
-            let (u_side, v_side) = partition_along_diameter(
-                space,
-                points,
-                diameter_exact_threshold,
-                rng,
-            );
+            let (u_side, v_side) =
+                partition_along_diameter(space, points, diameter_exact_threshold, rng);
             assign_minimizing_displacement(space, u_side, v_side, pos_p, pos_q)
         }
     }
@@ -260,12 +252,12 @@ mod tests {
     ///   b(0,0) c(1,0)      e(4,0) f(4.1,0)
     fn figure5() -> (Vec<DataPoint<[f64; 2]>>, [f64; 2], [f64; 2]) {
         let points = vec![
-            dp(0, 2.0, 4.0),  // a
-            dp(1, 0.0, 0.0),  // b
-            dp(2, 1.0, 0.0),  // c
-            dp(3, 3.0, 4.0),  // d
-            dp(4, 4.0, 0.0),  // e
-            dp(5, 4.1, 0.0),  // f
+            dp(0, 2.0, 4.0), // a
+            dp(1, 0.0, 0.0), // b
+            dp(2, 1.0, 0.0), // c
+            dp(3, 3.0, 4.0), // d
+            dp(4, 4.0, 0.0), // e
+            dp(5, 4.1, 0.0), // f
         ];
         let pos_p = [1.0, 0.0]; // c
         let pos_q = [4.0, 0.0]; // e
@@ -319,8 +311,7 @@ mod tests {
             &mut StdRng::seed_from_u64(2),
         );
         assert!(
-            partition_cost(&Euclidean2, &for_p, &for_q)
-                < partition_cost(&Euclidean2, &bp, &bq)
+            partition_cost(&Euclidean2, &for_p, &for_q) < partition_cost(&Euclidean2, &bp, &bq)
         );
     }
 
@@ -328,8 +319,7 @@ mod tests {
     fn basic_ties_go_to_q() {
         // Algorithm 4: `<` for p, `≤` for q.
         let pts = vec![dp(0, 1.0, 0.0)];
-        let (for_p, for_q) =
-            split_basic(&Euclidean2, pts, &[0.0, 0.0], &[2.0, 0.0]);
+        let (for_p, for_q) = split_basic(&Euclidean2, pts, &[0.0, 0.0], &[2.0, 0.0]);
         assert!(for_p.is_empty());
         assert_eq!(for_q.len(), 1);
     }
@@ -366,7 +356,12 @@ mod tests {
     fn md_fixes_a_swapped_configuration() {
         // p sits amid q's points and vice versa; Basic alone would already
         // swap them, but MD must *not* undo a good assignment.
-        let pts = vec![dp(0, 0.0, 0.0), dp(1, 0.2, 0.0), dp(2, 10.0, 0.0), dp(3, 10.2, 0.0)];
+        let pts = vec![
+            dp(0, 0.0, 0.0),
+            dp(1, 0.2, 0.0),
+            dp(2, 10.0, 0.0),
+            dp(3, 10.2, 0.0),
+        ];
         let mut rng = StdRng::seed_from_u64(1);
         let (for_p, for_q) = split(
             &Euclidean2,
@@ -431,7 +426,10 @@ mod tests {
     #[test]
     fn names_match_paper_legends() {
         assert_eq!(SplitStrategy::Basic.name(), "Split_Basic");
-        assert_eq!(SplitStrategy::Advanced.to_string(), "Split_Advanced (MD+PD)");
+        assert_eq!(
+            SplitStrategy::Advanced.to_string(),
+            "Split_Advanced (MD+PD)"
+        );
         assert_eq!(SplitStrategy::ALL.len(), 4);
     }
 

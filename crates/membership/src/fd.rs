@@ -33,7 +33,10 @@ pub trait FailureDetector {
 
     /// Filters the suspected ids out of `ids` (convenience).
     fn failed_among(&self, ids: &[NodeId], now: u32) -> Vec<NodeId> {
-        ids.iter().copied().filter(|&id| self.is_failed(id, now)).collect()
+        ids.iter()
+            .copied()
+            .filter(|&id| self.is_failed(id, now))
+            .collect()
     }
 }
 

@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(format!("{a}"), "n7");
 /// assert!(a < NodeId::new(8));
 /// ```
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u64);
 
 impl NodeId {

@@ -39,7 +39,9 @@ pub mod rps;
 pub mod view;
 
 pub use descriptor::Descriptor;
-pub use fd::{DelayedFailureDetector, FailureDetector, FlakyFailureDetector, SharedFailureDetector};
+pub use fd::{
+    DelayedFailureDetector, FailureDetector, FlakyFailureDetector, SharedFailureDetector,
+};
 pub use id::NodeId;
 pub use rps::PeerSampling;
 pub use view::View;

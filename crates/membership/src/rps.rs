@@ -109,7 +109,12 @@ impl<P: Clone> PeerSampling<P> {
 
     /// Handles the shuffle reply: merges received entries, preferring to
     /// overwrite the slots that were sent out in the request.
-    pub fn handle_reply(&mut self, self_id: NodeId, sent: &[Descriptor<P>], received: &[Descriptor<P>]) {
+    pub fn handle_reply(
+        &mut self,
+        self_id: NodeId,
+        sent: &[Descriptor<P>],
+        received: &[Descriptor<P>],
+    ) {
         self.merge(self_id, received, sent);
     }
 
@@ -247,7 +252,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut a: PeerSampling<f64> = PeerSampling::new(8, 4);
         let mut b: PeerSampling<f64> = PeerSampling::new(8, 4);
-        a.bootstrap([desc(1), desc(2), Descriptor::with_age(NodeId::new(9), 9.0, 4)]);
+        a.bootstrap([
+            desc(1),
+            desc(2),
+            Descriptor::with_age(NodeId::new(9), 9.0, 4),
+        ]);
         b.bootstrap([desc(3), desc(4)]);
         let partner = a.begin_round().unwrap();
         assert_eq!(partner, NodeId::new(9));
@@ -304,8 +313,7 @@ mod tests {
         let n = 32usize;
         let cap = 6;
         let mut rng = StdRng::seed_from_u64(42);
-        let mut nodes: Vec<PeerSampling<f64>> =
-            (0..n).map(|_| PeerSampling::new(cap, 3)).collect();
+        let mut nodes: Vec<PeerSampling<f64>> = (0..n).map(|_| PeerSampling::new(cap, 3)).collect();
         // Ring-ish bootstrap: i knows its next three successors (a 1-contact
         // bootstrap is degenerate for any shuffler — requests would only
         // ever carry the sender's own descriptor).

@@ -157,8 +157,7 @@ impl<P: Clone> View<P> {
     /// Keeps only the `n` best entries according to `score` (lower is
     /// better) — the ranked truncation at the heart of T-Man's view merge.
     pub fn keep_best_by(&mut self, n: usize, mut score: impl FnMut(&Descriptor<P>) -> f64) {
-        self.entries
-            .sort_by(|a, b| score(a).total_cmp(&score(b)));
+        self.entries.sort_by(|a, b| score(a).total_cmp(&score(b)));
         self.entries.truncate(n);
     }
 

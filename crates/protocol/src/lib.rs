@@ -1,0 +1,84 @@
+//! Sans-IO protocol core of the Polystyrene reproduction.
+//!
+//! The paper's per-node protocol (Fig. 3/4: RPS sampling, T-Man topology
+//! construction, then recovery → backup → migration) used to be
+//! implemented twice — once as atomic phases in the cycle engine
+//! (`polystyrene-sim`) and once as mailbox handlers in the threaded
+//! runtime (`polystyrene-runtime`). This crate extracts the single
+//! authoritative state machine both drivers now share:
+//!
+//! * [`node::ProtocolNode`] owns the full per-node stack (`PeerSampling`,
+//!   `TMan`, `PolyState`, heartbeat bookkeeping) and speaks only in typed
+//!   [`wire::Event`]s in and [`wire::Effect`]s out — it never touches a
+//!   socket, a channel, or a clock;
+//! * [`scenario`] holds the timed event scripts ([`scenario::Scenario`],
+//!   including the paper's three-phase evaluation and the continuous
+//!   [`scenario::ScenarioEvent::Churn`] extension) together with the
+//!   [`scenario::ScenarioSubstrate`] trait, so the *same* script value
+//!   runs unchanged on the cycle engine and on a live threaded cluster.
+//!
+//! # Driving the state machine
+//!
+//! A driver feeds the node and executes its effects:
+//!
+//! * the **cycle engine** calls [`node::ProtocolNode::on_phase`] for every
+//!   node phase-by-phase (PeerSim semantics: one global activation order
+//!   per phase) and applies effects synchronously — a [`wire::Effect::Send`]
+//!   is delivered to the destination node's
+//!   [`node::ProtocolNode::on_event`] in the same instant, which keeps
+//!   pairwise exchanges atomic and histories bit-identical to the
+//!   pre-extraction engine;
+//! * the **threaded runtime** calls [`node::ProtocolNode::on_tick`] on a
+//!   wall-clock timer and maps each effect onto a mailbox message; replies
+//!   arrive later (or never) as [`wire::Event::Message`]s.
+//!
+//! Reachability is probed before a request is built
+//! ([`wire::Effect::Probe`] answered by [`wire::Event::ProbeOk`] /
+//! [`wire::Event::PeerUnreachable`]): the synchronous driver answers from
+//! ground truth without consuming entropy for exchanges that cannot
+//! happen, and the asynchronous driver answers from its address book.
+//!
+//! ```
+//! use polystyrene::prelude::*;
+//! use polystyrene_membership::{Descriptor, NodeId};
+//! use polystyrene_protocol::prelude::*;
+//! use polystyrene_space::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let config = ProtocolConfig::default();
+//! let origin = DataPoint::new(PointId::new(0), [0.0, 0.0]);
+//! let contacts = vec![Descriptor::new(NodeId::new(1), [1.0, 0.0])];
+//! let mut node = ProtocolNode::new(
+//!     NodeId::new(0),
+//!     Euclidean2,
+//!     config,
+//!     PolyState::with_initial_point(origin),
+//!     contacts.clone(),
+//!     contacts,
+//! );
+//! let effects = node.on_tick(&mut rng);
+//! assert!(effects.iter().any(|e| matches!(e, Effect::Probe { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod node;
+pub mod scenario;
+pub mod wire;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::config::ProtocolConfig;
+    pub use crate::node::{Phase, ProtocolNode};
+    pub use crate::scenario::{
+        apply_event, drive_scenario, select_victims, PaperScenario, Scenario, ScenarioEvent,
+        ScenarioSubstrate,
+    };
+    pub use crate::wire::{Channel, Effect, Event, Wire};
+}
+
+pub use prelude::*;

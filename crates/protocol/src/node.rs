@@ -1,0 +1,889 @@
+//! [`ProtocolNode`]: the full per-node Polystyrene stack as one sans-IO
+//! state machine.
+//!
+//! The node owns the three protocol layers of paper Fig. 3 —
+//! `PeerSampling` (Cyclon RPS), `TMan` (topology construction) and
+//! `PolyState` (the Polystyrene layer proper) — plus the bookkeeping an
+//! asynchronous deployment needs (heartbeat records, the one-in-flight
+//! migration lock). It performs **no IO**: drivers feed [`Event`]s in and
+//! execute the returned [`Effect`]s.
+//!
+//! Two driving styles are supported by the same code paths:
+//!
+//! * **phase-wise** ([`ProtocolNode::on_phase`]): a cycle-driven engine
+//!   activates every node once per phase in a global order, applying
+//!   effects synchronously — the PeerSim model of the paper's evaluation.
+//!   Entropy is drawn from the driver's RNG in exactly the order the
+//!   pre-extraction engine drew it, so seeded histories are bit-identical
+//!   (under an RNG-free projection such as the default medoid);
+//! * **tick-wise** ([`ProtocolNode::on_tick`]): an asynchronous runtime
+//!   runs all phases back-to-back on a local timer, with the node's
+//!   built-in heartbeat detector supplying failure verdicts and a
+//!   post-recovery re-projection compensating for migrations that may
+//!   stall (see [`ProtocolNode::on_tick`]).
+
+use crate::config::ProtocolConfig;
+use crate::wire::{Channel, Effect, Event, Wire};
+use polystyrene::prelude::*;
+use polystyrene::recovery::{recover, RecoveryOutcome};
+use polystyrene_membership::{Descriptor, NodeId, PeerSampling};
+use polystyrene_space::MetricSpace;
+use polystyrene_topology::{TMan, TopologyConstruction};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One step of the per-tick protocol pipeline (paper Fig. 4).
+///
+/// [`ProtocolNode::on_tick`] runs them in [`Phase::ALL`] order; a cycle
+/// driver runs each phase across the whole population before moving to
+/// the next, which is exactly PeerSim's cycle-driven semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Liveness beacons along the backup relationships.
+    Heartbeat,
+    /// Cyclon shuffle initiation.
+    PeerSampling,
+    /// T-Man view maintenance and exchange initiation (Step 1' of Fig. 4).
+    Topology,
+    /// Ghost reactivation (Step 3, Algorithm 2).
+    Recovery,
+    /// Replica placement and pushes (Steps 2/2', Algorithm 1).
+    Backup,
+    /// Pull-push data-point exchange initiation (Step 4, Algorithm 3).
+    Migration,
+}
+
+impl Phase {
+    /// Every phase, in per-tick execution order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Heartbeat,
+        Phase::PeerSampling,
+        Phase::Topology,
+        Phase::Recovery,
+        Phase::Backup,
+        Phase::Migration,
+    ];
+}
+
+/// Size of the candidate pool drawn per backup round, as a function of
+/// the replication factor K: replacements for failed targets must be
+/// found even when many draws collide or are already enrolled.
+fn backup_pool_size(replication: usize) -> usize {
+    replication * 4 + 8
+}
+
+/// Bookkeeping of the one in-flight migration exchange (Sec. III-F).
+#[derive(Clone, Debug)]
+struct PendingMigration {
+    partner: NodeId,
+    started: u64,
+    /// Ids of the guests shipped in the request. The responder's reply
+    /// only redistributes *these* points plus its own — anything the node
+    /// acquires while the exchange is in flight (a recovery reactivating
+    /// ghosts, say) is unknown to the split and must survive the
+    /// guest-set replacement when the reply lands.
+    shipped: BTreeSet<PointId>,
+}
+
+/// The full protocol stack of one node, transport-agnostic.
+pub struct ProtocolNode<S: MetricSpace> {
+    id: NodeId,
+    space: S,
+    config: ProtocolConfig,
+    /// Peer-sampling layer (bottom of paper Fig. 3).
+    pub rps: PeerSampling<S::Point>,
+    /// Topology-construction layer.
+    pub tman: TMan<S>,
+    /// The Polystyrene layer: guests, ghosts, backups, position.
+    pub poly: PolyState<S::Point>,
+    /// Heartbeat bookkeeping: last local tick we heard from a peer.
+    last_seen: BTreeMap<NodeId, u64>,
+    /// Local protocol clock, advanced by [`ProtocolNode::on_tick`] only —
+    /// a cycle driver resolves every exchange within one activation, so
+    /// it never needs the clock.
+    clock: u64,
+    /// In-flight migration, if any.
+    pending_migration: Option<PendingMigration>,
+}
+
+impl<S: MetricSpace> ProtocolNode<S> {
+    /// Builds a node around an initial Polystyrene state (founder or
+    /// empty joiner), bootstrapping the two gossip layers from the given
+    /// contact sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ProtocolConfig::validate`].
+    pub fn new(
+        id: NodeId,
+        space: S,
+        config: ProtocolConfig,
+        poly: PolyState<S::Point>,
+        rps_contacts: Vec<Descriptor<S::Point>>,
+        tman_contacts: Vec<Descriptor<S::Point>>,
+    ) -> Self {
+        config.validate();
+        let mut rps = PeerSampling::new(config.rps_view_cap, config.rps_shuffle_len);
+        rps.bootstrap(rps_contacts);
+        let mut tman = TMan::new(space.clone(), config.tman);
+        tman.integrate(id, &poly.pos, &tman_contacts);
+        Self {
+            id,
+            space,
+            config,
+            rps,
+            tman,
+            poly,
+            last_seen: BTreeMap::new(),
+            clock: 0,
+            pending_migration: None,
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Local ticks executed so far (zero under a cycle driver).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The partner of the in-flight migration, if one is pending.
+    pub fn pending_migration(&self) -> Option<NodeId> {
+        self.pending_migration.as_ref().map(|p| p.partner)
+    }
+
+    /// A fresh descriptor of this node at its current position.
+    pub fn descriptor(&self) -> Descriptor<S::Point> {
+        Descriptor::new(self.id, self.poly.pos.clone())
+    }
+
+    /// Whether the built-in heartbeat detector is active. Drivers with an
+    /// external detector disable it via `heartbeat_timeout_ticks ==
+    /// u32::MAX`, and the node then skips all liveness bookkeeping — a
+    /// cycle engine delivering millions of messages must not grow an
+    /// O(population) `last_seen` map per node that nothing ever reads.
+    fn heartbeats_enabled(&self) -> bool {
+        self.config.heartbeat_timeout_ticks != u32::MAX
+    }
+
+    /// Records that `peer` showed signs of life just now.
+    pub fn heard_from(&mut self, peer: NodeId) {
+        if self.heartbeats_enabled() {
+            self.last_seen.insert(peer, self.clock);
+        }
+    }
+
+    /// Starts monitoring `peer` without resetting an existing record.
+    fn heard_from_if_new(&mut self, peer: NodeId) {
+        if self.heartbeats_enabled() {
+            self.last_seen.entry(peer).or_insert(self.clock);
+        }
+    }
+
+    /// Peers the built-in heartbeat detector currently suspects: monitored
+    /// nodes not heard from within `heartbeat_timeout_ticks`. Peers never
+    /// monitored draw no opinion — the paper's "possibly imperfect"
+    /// detector (Sec. III-A) built from real silence, not an oracle.
+    pub fn suspects(&self) -> BTreeSet<NodeId> {
+        let timeout = u64::from(self.config.heartbeat_timeout_ticks);
+        self.last_seen
+            .iter()
+            .filter(|&(_, &seen)| self.clock.saturating_sub(seen) > timeout)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Driving surface
+    // ------------------------------------------------------------------
+
+    /// One full local protocol round for asynchronous drivers: advances
+    /// the clock, snapshots the heartbeat detector's verdicts, and runs
+    /// every [`Phase`] in order.
+    ///
+    /// Unlike the phase-wise cycle driver — whose synchronous migration
+    /// exchanges re-project every participant within the same round — an
+    /// asynchronous node may go rounds without completing a migration
+    /// (busy bounces, unreachable candidates), so a recovery that
+    /// reactivated ghosts re-projects the position immediately: the
+    /// topology layer must not keep advertising coordinates unrelated to
+    /// the newly adopted guests.
+    pub fn on_tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<Effect<S::Point>> {
+        self.clock += 1;
+        let suspects = self.suspects();
+        let fd = move |id: NodeId| suspects.contains(&id);
+        let mut effects = Vec::new();
+        for phase in Phase::ALL {
+            if phase == Phase::Recovery {
+                if !self.recover_ghosts(&fd).is_empty() {
+                    self.poly.project(&self.space, &self.config.poly, rng);
+                }
+                continue;
+            }
+            effects.extend(self.on_phase(phase, &fd, rng));
+        }
+        effects
+    }
+
+    /// One protocol phase, with failure verdicts supplied by the driver —
+    /// the cycle-driven entry point (the engine passes its simulated
+    /// detector; [`ProtocolNode::on_tick`] passes the heartbeat one).
+    pub fn on_phase<R: Rng + ?Sized>(
+        &mut self,
+        phase: Phase,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        match phase {
+            Phase::Heartbeat => self.heartbeat_phase(),
+            Phase::PeerSampling => self.peer_sampling_phase(),
+            Phase::Topology => self.topology_phase(fd, rng),
+            Phase::Recovery => {
+                self.recover_ghosts(fd);
+                Vec::new()
+            }
+            Phase::Backup => self.backup_phase(fd, rng),
+            Phase::Migration => self.migration_phase(fd, rng),
+        }
+    }
+
+    /// Handles one driver event and returns the follow-up effects.
+    pub fn on_event<R: Rng + ?Sized>(
+        &mut self,
+        event: Event<S::Point>,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        match event {
+            Event::ProbeOk { peer, channel, pos } => self.open_exchange(peer, channel, pos, rng),
+            Event::PeerUnreachable { peer, channel } => {
+                self.peer_unreachable(peer, channel);
+                Vec::new()
+            }
+            Event::Message { from, wire } => {
+                self.heard_from(from);
+                self.handle_message(from, wire, rng)
+            }
+        }
+    }
+
+    /// Recovery pass (Algorithm 2): reactivate ghosts of failed holders.
+    /// RNG-free and purely local, which is why cycle drivers may fan it
+    /// out across cores; [`ProtocolNode::on_phase`] routes
+    /// [`Phase::Recovery`] here.
+    pub fn recover_ghosts(&mut self, fd: &dyn Fn(NodeId) -> bool) -> RecoveryOutcome {
+        recover(&mut self.poly, fd)
+    }
+
+    // ------------------------------------------------------------------
+    // Phases
+    // ------------------------------------------------------------------
+
+    fn heartbeat_phase(&mut self) -> Vec<Effect<S::Point>> {
+        // No detector, no beacons: when the driver supplies failure
+        // verdicts externally (heartbeat_timeout_ticks == u32::MAX),
+        // nothing would ever consume these sends.
+        if !self.heartbeats_enabled() {
+            return Vec::new();
+        }
+        // Heartbeats along the backup relationships (Sec. III-A suggests
+        // "a reactive ping mechanism, or heartbeats").
+        let monitored: Vec<NodeId> = self
+            .poly
+            .backups
+            .iter()
+            .copied()
+            .chain(self.poly.ghosts.keys().copied())
+            .collect();
+        monitored
+            .into_iter()
+            .map(|peer| Effect::Send {
+                to: peer,
+                wire: Wire::Heartbeat,
+            })
+            .collect()
+    }
+
+    fn peer_sampling_phase(&mut self) -> Vec<Effect<S::Point>> {
+        match self.rps.begin_round() {
+            Some(partner) => vec![Effect::Probe {
+                peer: partner,
+                channel: Channel::PeerSampling,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn topology_phase<R: Rng + ?Sized>(
+        &mut self,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        // Freshen the view: age entries, purge detected failures, and
+        // fold in one random RPS descriptor (the random injection that
+        // "guarantees the convergence of the topology", Sec. II-B).
+        self.tman.begin_round();
+        self.tman.purge_failed(&|id| fd(id));
+        let pos = self.poly.pos.clone();
+        let random_contact = self.rps.view().random(rng).cloned();
+        if let Some(d) = random_contact {
+            if !fd(d.id) && d.id != self.id {
+                self.tman.integrate(self.id, &pos, &[d]);
+            }
+        }
+        match self.tman.select_partner(&pos, rng) {
+            Some(partner) => vec![Effect::Probe {
+                peer: partner,
+                channel: Channel::Topology,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn backup_phase<R: Rng + ?Sized>(
+        &mut self,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        let k = self.config.poly.replication;
+        // Candidate backup targets come from the random peer-sampling
+        // layer (Sec. III-D: "we spread copies as randomly as possible …
+        // using the underlying peer-sampling layer"), or from the
+        // topology layer for the localized-placement ablation.
+        let pool: Vec<NodeId> = match self.config.poly.backup_placement {
+            BackupPlacement::UniformRandom => self.rps.random_peers(backup_pool_size(k), rng),
+            BackupPlacement::NeighborhoodBiased => self
+                .tman
+                .closest(&self.poly.pos, backup_pool_size(k))
+                .into_iter()
+                .map(|d| d.id)
+                .collect(),
+        };
+        let mut pool_iter = pool.into_iter();
+        let self_id = self.id;
+        let pushes = plan_backups(&mut self.poly, self_id, k, fd, || pool_iter.next());
+        pushes
+            .into_iter()
+            .map(|push| {
+                self.heard_from_if_new(push.target);
+                Effect::Send {
+                    to: push.target,
+                    wire: Wire::BackupPush {
+                        points: push.points,
+                        added_points: push.added_points,
+                        removed_ids: push.removed_ids,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn migration_phase<R: Rng + ?Sized>(
+        &mut self,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        // One in-flight exchange at a time (Sec. III-F); a partner that
+        // never answered is presumed dead after the timeout.
+        if let Some(pending) = &self.pending_migration {
+            if self.clock.saturating_sub(pending.started)
+                > u64::from(self.config.migration_timeout_ticks)
+            {
+                self.pending_migration = None;
+            }
+        }
+        if self.pending_migration.is_some() {
+            return Vec::new();
+        }
+        // Candidates: the ψ closest topology neighbors plus random RPS
+        // peers (Algorithm 3 lines 1-2).
+        let mut candidates: Vec<NodeId> = self
+            .tman
+            .closest(&self.poly.pos, self.config.poly.psi)
+            .into_iter()
+            .map(|d| d.id)
+            .collect();
+        for _ in 0..self.config.poly.random_candidates {
+            if let Some(r) = self.rps.random_peer(rng) {
+                candidates.push(r);
+            }
+        }
+        let self_id = self.id;
+        candidates.retain(|&c| c != self_id && !fd(c));
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let q = candidates[rng.random_range(0..candidates.len())];
+        vec![Effect::Probe {
+            peer: q,
+            channel: Channel::Migration,
+        }]
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn open_exchange<R: Rng + ?Sized>(
+        &mut self,
+        peer: NodeId,
+        channel: Channel,
+        pos: Option<S::Point>,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        match channel {
+            Channel::PeerSampling => {
+                let descriptors = self.rps.make_request(self.descriptor(), peer, rng);
+                vec![Effect::Send {
+                    to: peer,
+                    wire: Wire::RpsRequest { descriptors },
+                }]
+            }
+            Channel::Topology => {
+                // Rank the buffer for where the partner actually is (when
+                // the driver knows) or where the view believes it is.
+                let target = match pos {
+                    Some(p) => Some(p),
+                    None => self
+                        .tman
+                        .view_entries()
+                        .into_iter()
+                        .find(|d| d.id == peer)
+                        .map(|d| d.pos),
+                };
+                let Some(target) = target else {
+                    return Vec::new();
+                };
+                let descriptors = self.tman.prepare_message(self.descriptor(), &target);
+                vec![Effect::Send {
+                    to: peer,
+                    wire: Wire::TManRequest {
+                        from_pos: self.poly.pos.clone(),
+                        descriptors,
+                    },
+                }]
+            }
+            Channel::Migration => {
+                self.pending_migration = Some(PendingMigration {
+                    partner: peer,
+                    started: self.clock,
+                    shipped: self.poly.guests.iter().map(|g| g.id).collect(),
+                });
+                vec![Effect::Send {
+                    to: peer,
+                    wire: Wire::MigrationRequest {
+                        from_pos: self.poly.pos.clone(),
+                        guests: self.poly.guests.clone(),
+                    },
+                }]
+            }
+            // Backups and heartbeats are fire-and-forget: no probe is ever
+            // issued for them, so there is nothing to open.
+            Channel::Backup | Channel::Heartbeat => Vec::new(),
+        }
+    }
+
+    fn peer_unreachable(&mut self, peer: NodeId, channel: Channel) {
+        match channel {
+            Channel::PeerSampling => {
+                // Timed-out contact: drop it (Cyclon's self-healing).
+                self.rps.remove_failed(|id| id == peer);
+            }
+            Channel::Topology => {
+                self.tman.purge_failed(&|id| id == peer);
+            }
+            Channel::Migration => {
+                if self.pending_migration() == Some(peer) {
+                    self.pending_migration = None;
+                }
+            }
+            Channel::Backup | Channel::Heartbeat => {
+                // Lost replica / beacon: the heartbeat detector will
+                // notice the silence and the next backup pass replaces
+                // the target.
+            }
+        }
+    }
+
+    fn handle_message<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        wire: Wire<S::Point>,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        match wire {
+            Wire::Heartbeat => Vec::new(),
+            Wire::RpsRequest { descriptors } => {
+                let reply = self.rps.handle_request(self.id, &descriptors, rng);
+                vec![Effect::Send {
+                    to: from,
+                    wire: Wire::RpsReply {
+                        sent: descriptors,
+                        descriptors: reply,
+                    },
+                }]
+            }
+            Wire::RpsReply { sent, descriptors } => {
+                self.rps.handle_reply(self.id, &sent, &descriptors);
+                Vec::new()
+            }
+            Wire::TManRequest {
+                from_pos,
+                descriptors,
+            } => {
+                let reply = self.tman.prepare_message(self.descriptor(), &from_pos);
+                let pos = self.poly.pos.clone();
+                self.tman.integrate(self.id, &pos, &descriptors);
+                vec![Effect::Send {
+                    to: from,
+                    wire: Wire::TManReply { descriptors: reply },
+                }]
+            }
+            Wire::TManReply { descriptors } => {
+                let pos = self.poly.pos.clone();
+                self.tman.integrate(self.id, &pos, &descriptors);
+                Vec::new()
+            }
+            Wire::MigrationRequest { from_pos, guests } => {
+                if self.pending_migration.is_some() {
+                    // Busy: bounce the guests back untouched (the pairwise
+                    // exclusivity requirement of Algorithm 3).
+                    return vec![Effect::Send {
+                        to: from,
+                        wire: Wire::MigrationReply {
+                            points: guests,
+                            busy: true,
+                            pulled: 0,
+                            pushed: 0,
+                        },
+                    }];
+                }
+                let outcome = absorb_and_split(
+                    &self.space,
+                    &self.config.poly,
+                    &mut self.poly,
+                    &from_pos,
+                    guests,
+                    rng,
+                );
+                vec![Effect::Send {
+                    to: from,
+                    wire: Wire::MigrationReply {
+                        points: outcome.for_initiator,
+                        busy: false,
+                        pulled: outcome.pulled,
+                        pushed: outcome.pushed,
+                    },
+                }]
+            }
+            Wire::MigrationReply { points, busy, .. } => {
+                if self.pending_migration() == Some(from) {
+                    let pending = self.pending_migration.take().expect("matched above");
+                    if !busy {
+                        // The reply redistributes the shipped guests and
+                        // the responder's own; points acquired while the
+                        // exchange was in flight (e.g. a recovery
+                        // reactivating ghosts) are unknown to the split —
+                        // replacing the guest set wholesale would orphan
+                        // them, so they are re-absorbed.
+                        let acquired: Vec<DataPoint<S::Point>> =
+                            std::mem::take(&mut self.poly.guests)
+                                .into_iter()
+                                .filter(|g| !pending.shipped.contains(&g.id))
+                                .collect();
+                        self.poly.guests = points;
+                        if !acquired.is_empty() {
+                            self.poly.absorb_guests(acquired);
+                        }
+                        self.poly.project(&self.space, &self.config.poly, rng);
+                    }
+                } else if !busy {
+                    // Late reply after our timeout: the responder already
+                    // gave these points away, so we are their only owner —
+                    // dropping them would lose data. Absorb instead; any
+                    // duplication with our kept guests dedups by id.
+                    self.poly.absorb_guests(points);
+                    self.poly.project(&self.space, &self.config.poly, rng);
+                }
+                Vec::new()
+            }
+            Wire::BackupPush { points, .. } => {
+                self.poly.store_ghosts(from, points);
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_space::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn desc(id: u64, x: f64, y: f64) -> Descriptor<[f64; 2]> {
+        Descriptor::new(NodeId::new(id), [x, y])
+    }
+
+    fn founder(id: u64, x: f64, contacts: Vec<Descriptor<[f64; 2]>>) -> ProtocolNode<Euclidean2> {
+        let mut config = ProtocolConfig::default();
+        config.rps_view_cap = 8;
+        config.rps_shuffle_len = 4;
+        config.tman.view_cap = 8;
+        config.tman.m = 4;
+        config.tman.psi = 2;
+        config.poly = PolystyreneConfig::builder().replication(2).build();
+        ProtocolNode::new(
+            NodeId::new(id),
+            Euclidean2,
+            config,
+            PolyState::with_initial_point(DataPoint::new(PointId::new(id), [x, 0.0])),
+            contacts.clone(),
+            contacts,
+        )
+    }
+
+    /// Synchronous two-node loopback: runs `a`'s effects against `b`,
+    /// delivering sends and answering probes from ground truth — a
+    /// miniature cycle driver.
+    fn loopback(
+        a: &mut ProtocolNode<Euclidean2>,
+        b: &mut ProtocolNode<Euclidean2>,
+        effects: Vec<Effect<[f64; 2]>>,
+        rng: &mut StdRng,
+    ) {
+        let mut queue: Vec<(bool, Effect<[f64; 2]>)> =
+            effects.into_iter().map(|e| (true, e)).collect();
+        while !queue.is_empty() {
+            let (from_a, effect) = queue.remove(0);
+            let (me, other) = if from_a {
+                (&mut *a, &mut *b)
+            } else {
+                (&mut *b, &mut *a)
+            };
+            match effect {
+                Effect::Probe { peer, channel } => {
+                    let pos = if peer == other.id() {
+                        Some(other.poly.pos)
+                    } else {
+                        None
+                    };
+                    let event = if pos.is_some() {
+                        Event::ProbeOk { peer, channel, pos }
+                    } else {
+                        Event::PeerUnreachable { peer, channel }
+                    };
+                    queue.extend(me.on_event(event, rng).into_iter().map(|e| (from_a, e)));
+                }
+                Effect::Send { to, wire } => {
+                    if to == other.id() {
+                        let event = Event::Message {
+                            from: me.id(),
+                            wire,
+                        };
+                        queue.extend(other.on_event(event, rng).into_iter().map(|e| (!from_a, e)));
+                    }
+                    // Sends to anyone else are lost in this two-node world.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_tick_between_two_nodes_exchanges_all_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = founder(0, 0.0, vec![desc(1, 1.0, 0.0)]);
+        let mut b = founder(1, 1.0, vec![desc(0, 0.0, 0.0)]);
+        for _ in 0..6 {
+            let ea = a.on_tick(&mut rng);
+            loopback(&mut a, &mut b, ea, &mut rng);
+            let eb = b.on_tick(&mut rng);
+            loopback(&mut b, &mut a, eb, &mut rng);
+        }
+        // Both learned each other on the topology layer…
+        assert!(a.tman.view_entries().iter().any(|d| d.id == b.id()));
+        assert!(b.tman.view_entries().iter().any(|d| d.id == a.id()));
+        // …replication took hold in both directions…
+        assert!(!a.poly.ghosts.is_empty() || !b.poly.ghosts.is_empty());
+        // …and every data point still has exactly one primary holder.
+        assert_eq!(a.poly.guests.len() + b.poly.guests.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_peer_is_purged_from_both_views() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = founder(0, 0.0, vec![desc(9, 2.0, 0.0)]);
+        assert!(a.rps.view().contains(NodeId::new(9)));
+        a.on_event(
+            Event::PeerUnreachable {
+                peer: NodeId::new(9),
+                channel: Channel::PeerSampling,
+            },
+            &mut rng,
+        );
+        assert!(!a.rps.view().contains(NodeId::new(9)));
+        assert!(a.tman.view_entries().iter().any(|d| d.id == NodeId::new(9)));
+        a.on_event(
+            Event::PeerUnreachable {
+                peer: NodeId::new(9),
+                channel: Channel::Topology,
+            },
+            &mut rng,
+        );
+        assert!(a.tman.view_entries().is_empty());
+    }
+
+    #[test]
+    fn busy_responder_bounces_migration_untouched() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = founder(1, 1.0, vec![desc(0, 0.0, 0.0)]);
+        // Put b mid-exchange with node 7.
+        let opened = b.on_event(
+            Event::ProbeOk {
+                peer: NodeId::new(7),
+                channel: Channel::Migration,
+                pos: None,
+            },
+            &mut rng,
+        );
+        assert!(matches!(
+            opened.as_slice(),
+            [Effect::Send {
+                wire: Wire::MigrationRequest { .. },
+                ..
+            }]
+        ));
+        assert_eq!(b.pending_migration(), Some(NodeId::new(7)));
+        let incoming = vec![DataPoint::new(PointId::new(40), [0.5, 0.0])];
+        let effects = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::MigrationRequest {
+                    from_pos: [0.0, 0.0],
+                    guests: incoming.clone(),
+                },
+            },
+            &mut rng,
+        );
+        match effects.as_slice() {
+            [Effect::Send {
+                to,
+                wire: Wire::MigrationReply { points, busy, .. },
+            }] => {
+                assert_eq!(*to, NodeId::new(0));
+                assert!(busy);
+                assert_eq!(points.len(), incoming.len());
+            }
+            other => panic!("expected a busy bounce, got {other:?}"),
+        }
+        // b's own guests were not disturbed.
+        assert_eq!(b.poly.guests.len(), 1);
+    }
+
+    #[test]
+    fn migration_splits_conserve_points_and_report_legs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut b = founder(1, 10.0, vec![desc(0, 0.0, 0.0)]);
+        b.poly
+            .absorb_guests(vec![DataPoint::new(PointId::new(30), [9.0, 0.0])]);
+        let effects = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::MigrationRequest {
+                    from_pos: [0.0, 0.0],
+                    guests: vec![DataPoint::new(PointId::new(20), [1.0, 0.0])],
+                },
+            },
+            &mut rng,
+        );
+        match effects.as_slice() {
+            [Effect::Send {
+                wire:
+                    Wire::MigrationReply {
+                        points,
+                        busy,
+                        pulled,
+                        pushed,
+                    },
+                ..
+            }] => {
+                assert!(!busy);
+                assert_eq!(*pulled, 2, "responder contributed its two guests");
+                assert_eq!(points.len() + b.poly.guests.len(), 3, "conservation");
+                assert_eq!(*pushed, b.poly.guests.len());
+            }
+            other => panic!("expected a split reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_silence_raises_suspicion_and_recovery_reactivates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = founder(0, 0.0, vec![desc(1, 1.0, 0.0)]);
+        a.on_event(
+            Event::Message {
+                from: NodeId::new(5),
+                wire: Wire::BackupPush {
+                    points: vec![DataPoint::new(PointId::new(50), [3.0, 0.0])],
+                    added_points: 1,
+                    removed_ids: 0,
+                },
+            },
+            &mut rng,
+        );
+        assert!(a.suspects().is_empty());
+        // While the ghosts are held, 5 is monitored: the first tick
+        // heartbeats it back.
+        let effects = a.on_tick(&mut rng);
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, wire: Wire::Heartbeat } if *to == NodeId::new(5)
+        )));
+        // Silence past the heartbeat timeout: suspicion arises and the
+        // same tick's recovery phase reactivates the ghosts.
+        for _ in 0..=a.config().heartbeat_timeout_ticks {
+            let _ = a.on_tick(&mut rng);
+        }
+        assert!(a.suspects().contains(&NodeId::new(5)));
+        assert!(a.poly.ghosts.is_empty());
+        assert!(a.poly.guests.iter().any(|g| g.id == PointId::new(50)));
+    }
+
+    #[test]
+    fn empty_joiner_initiates_migration_to_attract_points() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut config = ProtocolConfig::default();
+        config.rps_view_cap = 8;
+        config.rps_shuffle_len = 4;
+        config.tman.view_cap = 8;
+        config.tman.m = 4;
+        config.tman.psi = 2;
+        let mut joiner = ProtocolNode::new(
+            NodeId::new(3),
+            Euclidean2,
+            config,
+            PolyState::empty_at([0.5, 0.0]),
+            vec![desc(0, 0.0, 0.0)],
+            vec![desc(0, 0.0, 0.0)],
+        );
+        let effects = joiner.on_phase(Phase::Migration, &|_| false, &mut rng);
+        assert!(
+            matches!(
+                effects.as_slice(),
+                [Effect::Probe {
+                    channel: Channel::Migration,
+                    ..
+                }]
+            ),
+            "a node with no guests must still initiate exchanges (paper Phase 3)"
+        );
+    }
+}

@@ -1,0 +1,446 @@
+//! Scenario scripting shared by every execution substrate.
+//!
+//! The paper's evaluation scenario (Sec. IV-A) is a three-phase script:
+//! convergence for 20 rounds, a catastrophic half-torus failure at round
+//! 20, and re-injection of 1600 fresh nodes at round 100, observed until
+//! round 200. [`Scenario`] generalizes that — arbitrary events at
+//! arbitrary rounds, including continuous [`ScenarioEvent::Churn`]
+//! windows — and [`ScenarioSubstrate`] abstracts *what* executes it, so
+//! one script value runs unchanged on the cycle engine
+//! (`polystyrene-sim`) and on a live threaded cluster
+//! (`polystyrene-runtime`). Both substrates route every injection through
+//! [`apply_event`], so what "crash", "inject" and "churn" mean cannot
+//! drift between them.
+
+use polystyrene_membership::NodeId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One scripted event.
+#[derive(Clone)]
+pub enum ScenarioEvent<P> {
+    /// Crash every founding node whose *original* data point satisfies the
+    /// predicate (correlated regional failure).
+    FailOriginalRegion(Arc<dyn Fn(&P) -> bool + Send + Sync>),
+    /// Crash a uniformly random fraction of the alive population.
+    FailRandomFraction(f64),
+    /// Crash these specific nodes.
+    FailNodes(Vec<NodeId>),
+    /// Inject fresh, empty nodes at these positions.
+    Inject(Vec<P>),
+    /// Continuous churn: starting at the scheduled round, crash a uniform
+    /// `rate` fraction of the alive population every round for `rounds`
+    /// consecutive rounds.
+    Churn {
+        /// Fraction of the alive population crashed per round, in `[0, 1]`.
+        rate: f64,
+        /// Number of consecutive rounds the churn window lasts.
+        rounds: u32,
+    },
+}
+
+impl<P> std::fmt::Debug for ScenarioEvent<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::FailOriginalRegion(_) => write!(f, "FailOriginalRegion(<predicate>)"),
+            Self::FailRandomFraction(x) => write!(f, "FailRandomFraction({x})"),
+            Self::FailNodes(ids) => write!(f, "FailNodes({} nodes)", ids.len()),
+            Self::Inject(ps) => write!(f, "Inject({} nodes)", ps.len()),
+            Self::Churn { rate, rounds } => write!(f, "Churn({rate}/round for {rounds} rounds)"),
+        }
+    }
+}
+
+/// A timed script of [`ScenarioEvent`]s plus a total duration.
+#[derive(Clone, Debug)]
+pub struct Scenario<P> {
+    total_rounds: u32,
+    events: BTreeMap<u32, Vec<ScenarioEvent<P>>>,
+}
+
+impl<P> Scenario<P> {
+    /// An event-free scenario of the given duration.
+    pub fn new(total_rounds: u32) -> Self {
+        Self {
+            total_rounds,
+            events: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules `event` to fire just before round `round` executes
+    /// (round indices count completed rounds, so `at(20, …)` fires after
+    /// 20 rounds have run — the paper's "at round 20").
+    pub fn at(mut self, round: u32, event: ScenarioEvent<P>) -> Self {
+        self.events.entry(round).or_default().push(event);
+        self
+    }
+
+    /// Total rounds the scenario runs for.
+    pub fn total_rounds(&self) -> u32 {
+        self.total_rounds
+    }
+
+    /// The events scheduled for `round`, if any.
+    pub fn events_at(&self, round: u32) -> Option<&[ScenarioEvent<P>]> {
+        self.events.get(&round).map(Vec::as_slice)
+    }
+
+    /// Rounds at which at least one event fires.
+    pub fn event_rounds(&self) -> Vec<u32> {
+        self.events.keys().copied().collect()
+    }
+
+    /// The first round at which a failure event fires, if any — the
+    /// reference point of the reshaping-time metric.
+    pub fn first_failure_round(&self) -> Option<u32> {
+        self.events
+            .iter()
+            .find(|(_, evs)| {
+                evs.iter().any(|e| {
+                    matches!(
+                        e,
+                        ScenarioEvent::FailOriginalRegion(_)
+                            | ScenarioEvent::FailRandomFraction(_)
+                            | ScenarioEvent::FailNodes(_)
+                            | ScenarioEvent::Churn { .. }
+                    )
+                })
+            })
+            .map(|(&r, _)| r)
+    }
+}
+
+/// What a scenario needs from an execution substrate — implemented by the
+/// cycle engine and by the threaded-cluster driver, so failure injection
+/// has exactly one meaning across both.
+pub trait ScenarioSubstrate<P> {
+    /// Crashes every alive founding node whose original data point
+    /// satisfies `predicate`; returns the crashed ids.
+    fn fail_region(&mut self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId>;
+    /// Crashes a uniformly random `fraction` of the alive population;
+    /// returns the crashed ids.
+    fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId>;
+    /// Crashes these specific nodes (dead ones are skipped); returns the
+    /// ids actually crashed.
+    fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId>;
+    /// Injects fresh, empty nodes at `positions`; returns the new ids.
+    fn inject(&mut self, positions: &[P]) -> Vec<NodeId>;
+    /// Runs one protocol round (one engine cycle, or one tick-equivalent
+    /// of wall-clock progress on a live cluster).
+    fn advance_round(&mut self);
+}
+
+/// Selects the victims of a random-fraction failure: shuffles the alive
+/// population and takes the rounded fraction. Both substrates'
+/// `fail_fraction` implementations must route through this, so the
+/// rounding rule (how many nodes a `Churn { rate }` round kills) cannot
+/// drift between them.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn select_victims<R: rand::Rng + ?Sized>(
+    mut alive: Vec<NodeId>,
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "failure fraction must be in [0, 1], got {fraction}"
+    );
+    use rand::seq::SliceRandom;
+    alive.shuffle(rng);
+    let kill = ((alive.len() as f64) * fraction).round() as usize;
+    alive.truncate(kill);
+    alive
+}
+
+/// Applies one event to a substrate — the single code path both the
+/// simulator and the runtime use, so they cannot drift on what an event
+/// means. A [`ScenarioEvent::Churn`] applied here executes one round's
+/// worth of churn; [`drive_scenario`] handles the window bookkeeping.
+pub fn apply_event<P>(substrate: &mut dyn ScenarioSubstrate<P>, event: &ScenarioEvent<P>) {
+    match event {
+        ScenarioEvent::FailOriginalRegion(pred) => {
+            substrate.fail_region(pred.as_ref());
+        }
+        ScenarioEvent::FailRandomFraction(fraction) => {
+            substrate.fail_fraction(*fraction);
+        }
+        ScenarioEvent::FailNodes(ids) => {
+            substrate.fail_nodes(ids);
+        }
+        ScenarioEvent::Inject(positions) => {
+            substrate.inject(positions);
+        }
+        ScenarioEvent::Churn { rate, .. } => {
+            substrate.fail_fraction(*rate);
+        }
+    }
+}
+
+/// Drives `substrate` through `scenario`: for each round, applies the
+/// events scheduled for it (churn events open a window that then fires
+/// every round until it expires), and advances one round.
+pub fn drive_scenario<P>(substrate: &mut impl ScenarioSubstrate<P>, scenario: &Scenario<P>) {
+    // Active churn windows: (first round NOT churned, rate).
+    let mut churns: Vec<(u32, f64)> = Vec::new();
+    for round in 0..scenario.total_rounds() {
+        if let Some(events) = scenario.events_at(round) {
+            for event in events {
+                if let ScenarioEvent::Churn { rate, rounds } = event {
+                    churns.push((round.saturating_add(*rounds), *rate));
+                } else {
+                    apply_event(substrate, event);
+                }
+            }
+        }
+        churns.retain(|&(until, _)| round < until);
+        for &(_, rate) in &churns {
+            substrate.fail_fraction(rate);
+        }
+        substrate.advance_round();
+    }
+}
+
+/// The paper's three-phase evaluation scenario on a `cols × rows` torus
+/// grid (Sec. IV-A), parameterized so the scaling experiments (Fig. 10)
+/// can reuse it at every network size — and, being substrate-agnostic,
+/// so it runs identically on the cycle engine and the threaded runtime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperScenario {
+    /// Grid columns (paper: 80).
+    pub cols: usize,
+    /// Grid rows (paper: 40).
+    pub rows: usize,
+    /// Grid step (paper: 1.0).
+    pub step: f64,
+    /// Round of the catastrophic half-torus failure (paper: 20).
+    pub failure_round: u32,
+    /// Round of the fresh-node re-injection, `None` to skip Phase 3
+    /// (paper: 100).
+    pub inject_round: Option<u32>,
+    /// Total rounds observed (paper: 200).
+    pub total_rounds: u32,
+}
+
+impl Default for PaperScenario {
+    fn default() -> Self {
+        Self {
+            cols: 80,
+            rows: 40,
+            step: 1.0,
+            failure_round: 20,
+            inject_round: Some(100),
+            total_rounds: 200,
+        }
+    }
+}
+
+impl PaperScenario {
+    /// A smaller variant for quick runs and CI: same phases on a reduced
+    /// grid and timeline.
+    pub fn small() -> Self {
+        Self {
+            cols: 20,
+            rows: 10,
+            step: 1.0,
+            failure_round: 15,
+            inject_round: Some(45),
+            total_rounds: 70,
+        }
+    }
+
+    /// A scaling variant with Phase 3 disabled, used by the Fig. 10
+    /// reshaping-time sweeps.
+    pub fn reshaping_only(cols: usize, rows: usize, failure_round: u32, tail: u32) -> Self {
+        Self {
+            cols,
+            rows,
+            step: 1.0,
+            failure_round,
+            inject_round: None,
+            total_rounds: failure_round + tail,
+        }
+    }
+
+    /// Number of nodes in the founding population.
+    pub fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Torus extents.
+    pub fn extents(&self) -> (f64, f64) {
+        (self.cols as f64 * self.step, self.rows as f64 * self.step)
+    }
+
+    /// Torus area (for the reference homogeneity).
+    pub fn area(&self) -> f64 {
+        let (w, h) = self.extents();
+        w * h
+    }
+
+    /// The initial positions (the target shape).
+    pub fn shape(&self) -> Vec<[f64; 2]> {
+        polystyrene_space::shapes::torus_grid(self.cols, self.rows, self.step)
+    }
+
+    /// Builds the timed event script.
+    pub fn script(&self) -> Scenario<[f64; 2]> {
+        let (width, _) = self.extents();
+        let mut scenario = Scenario::new(self.total_rounds).at(
+            self.failure_round,
+            ScenarioEvent::FailOriginalRegion(Arc::new(move |p: &[f64; 2]| p[0] >= width / 2.0)),
+        );
+        if let Some(inject_round) = self.inject_round {
+            scenario = scenario.at(
+                inject_round,
+                ScenarioEvent::Inject(polystyrene_space::shapes::torus_grid_offset(
+                    self.cols / 2,
+                    self.rows,
+                    self.step,
+                )),
+            );
+        }
+        scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A substrate that records what was done to it.
+    #[derive(Default)]
+    struct Recorder {
+        calls: Vec<String>,
+        rounds: u32,
+    }
+
+    impl ScenarioSubstrate<[f64; 2]> for Recorder {
+        fn fail_region(&mut self, _: &(dyn Fn(&[f64; 2]) -> bool + Send + Sync)) -> Vec<NodeId> {
+            self.calls.push(format!("region@{}", self.rounds));
+            Vec::new()
+        }
+        fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+            self.calls
+                .push(format!("fraction({fraction})@{}", self.rounds));
+            Vec::new()
+        }
+        fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+            self.calls
+                .push(format!("nodes({})@{}", ids.len(), self.rounds));
+            Vec::new()
+        }
+        fn inject(&mut self, positions: &[[f64; 2]]) -> Vec<NodeId> {
+            self.calls
+                .push(format!("inject({})@{}", positions.len(), self.rounds));
+            Vec::new()
+        }
+        fn advance_round(&mut self) {
+            self.rounds += 1;
+        }
+    }
+
+    #[test]
+    fn scenario_event_rounds_and_failure_detection() {
+        let s: Scenario<[f64; 2]> = Scenario::new(50)
+            .at(10, ScenarioEvent::FailRandomFraction(0.1))
+            .at(30, ScenarioEvent::Inject(vec![[0.0, 0.0]]));
+        assert_eq!(s.event_rounds(), vec![10, 30]);
+        assert_eq!(s.first_failure_round(), Some(10));
+        let s2: Scenario<[f64; 2]> = Scenario::new(10).at(5, ScenarioEvent::Inject(vec![]));
+        assert_eq!(s2.first_failure_round(), None);
+        let s3: Scenario<[f64; 2]> = Scenario::new(10).at(
+            3,
+            ScenarioEvent::Churn {
+                rate: 0.01,
+                rounds: 2,
+            },
+        );
+        assert_eq!(s3.first_failure_round(), Some(3));
+    }
+
+    #[test]
+    fn drive_scenario_runs_every_round_and_applies_in_order() {
+        let scenario: Scenario<[f64; 2]> = Scenario::new(5)
+            .at(1, ScenarioEvent::FailNodes(vec![NodeId::new(0)]))
+            .at(3, ScenarioEvent::Inject(vec![[0.0, 0.0], [1.0, 0.0]]));
+        let mut rec = Recorder::default();
+        drive_scenario(&mut rec, &scenario);
+        assert_eq!(rec.rounds, 5);
+        assert_eq!(rec.calls, vec!["nodes(1)@1", "inject(2)@3"]);
+    }
+
+    #[test]
+    fn churn_window_fires_every_round_until_expiry() {
+        let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
+            2,
+            ScenarioEvent::Churn {
+                rate: 0.25,
+                rounds: 3,
+            },
+        );
+        let mut rec = Recorder::default();
+        drive_scenario(&mut rec, &scenario);
+        assert_eq!(
+            rec.calls,
+            vec!["fraction(0.25)@2", "fraction(0.25)@3", "fraction(0.25)@4"]
+        );
+    }
+
+    #[test]
+    fn overlapping_churn_windows_stack() {
+        let scenario: Scenario<[f64; 2]> = Scenario::new(4)
+            .at(
+                0,
+                ScenarioEvent::Churn {
+                    rate: 0.1,
+                    rounds: 2,
+                },
+            )
+            .at(
+                1,
+                ScenarioEvent::Churn {
+                    rate: 0.2,
+                    rounds: 1,
+                },
+            );
+        let mut rec = Recorder::default();
+        drive_scenario(&mut rec, &scenario);
+        assert_eq!(
+            rec.calls,
+            vec!["fraction(0.1)@0", "fraction(0.1)@1", "fraction(0.2)@1"]
+        );
+    }
+
+    #[test]
+    fn paper_scenario_defaults_match_section_iv() {
+        let p = PaperScenario::default();
+        assert_eq!(p.node_count(), 3200);
+        assert_eq!(p.area(), 3200.0);
+        assert_eq!(p.failure_round, 20);
+        assert_eq!(p.inject_round, Some(100));
+        assert_eq!(p.total_rounds, 200);
+        let script = p.script();
+        assert_eq!(script.event_rounds(), vec![20, 100]);
+        assert_eq!(script.first_failure_round(), Some(20));
+    }
+
+    #[test]
+    fn reshaping_only_variant_has_no_injection() {
+        let p = PaperScenario::reshaping_only(16, 8, 10, 30);
+        assert_eq!(p.total_rounds, 40);
+        assert_eq!(p.script().event_rounds(), vec![10]);
+    }
+
+    #[test]
+    fn shapes_helpers_consistency() {
+        let p = PaperScenario::default();
+        assert_eq!(p.shape().len(), 3200);
+        assert_eq!(
+            p.shape().len(),
+            polystyrene_space::shapes::torus_grid(p.cols, p.rows, p.step).len()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The sans-IO surface: what crosses the wire ([`Wire`]), what the driver
+//! feeds in ([`Event`]) and what the node asks for ([`Effect`]).
+
+use polystyrene::prelude::DataPoint;
+use polystyrene_membership::{Descriptor, NodeId};
+
+/// The protocol layer an exchange belongs to — used to route
+/// delivery-failure feedback to the right purge logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Channel {
+    /// Cyclon shuffles.
+    PeerSampling,
+    /// T-Man view exchanges.
+    Topology,
+    /// Pull-push data-point migration (paper Algorithm 3).
+    Migration,
+    /// Replica pushes (paper Algorithm 1).
+    Backup,
+    /// Liveness beacons.
+    Heartbeat,
+}
+
+/// Everything that can cross the network between two protocol nodes.
+///
+/// Channels are assumed reliable and in-order (the paper's TCP stand-in);
+/// a message to a crashed node is silently lost — crash-stop semantics.
+#[derive(Clone, Debug)]
+pub enum Wire<P> {
+    /// Cyclon shuffle request (peer-sampling layer).
+    RpsRequest {
+        /// Shuffled-out descriptors.
+        descriptors: Vec<Descriptor<P>>,
+    },
+    /// Cyclon shuffle reply.
+    RpsReply {
+        /// Descriptors the initiator originally sent (for slot reuse).
+        sent: Vec<Descriptor<P>>,
+        /// Responder's shuffled-out descriptors.
+        descriptors: Vec<Descriptor<P>>,
+    },
+    /// T-Man view exchange request.
+    TManRequest {
+        /// Initiator's current position (for the ranked reply).
+        from_pos: P,
+        /// The initiator's `m` best descriptors for the recipient.
+        descriptors: Vec<Descriptor<P>>,
+    },
+    /// T-Man view exchange reply.
+    TManReply {
+        /// The responder's `m` best descriptors for the initiator.
+        descriptors: Vec<Descriptor<P>>,
+    },
+    /// Migration pull-push request (paper Algorithm 3): the initiator
+    /// ships its whole guest set; the responder runs `SPLIT` and returns
+    /// the initiator's share.
+    MigrationRequest {
+        /// Initiator's current position (`pos_p` of the split).
+        from_pos: P,
+        /// Initiator's guests (the *pull* leg).
+        guests: Vec<DataPoint<P>>,
+    },
+    /// Migration reply carrying the initiator's share (the *push* leg),
+    /// or — when `busy` — the untouched original guests, because the
+    /// responder was itself mid-exchange ("q should not be interacting
+    /// with anyone else than p while the exchange occurs", Sec. III-F).
+    MigrationReply {
+        /// Points now owned by the initiator.
+        points: Vec<DataPoint<P>>,
+        /// Whether this is a busy-bounce rather than a real split.
+        busy: bool,
+        /// Points the responder contributed to the union — the *pull* leg
+        /// of the paper's traffic accounting (Sec. IV-A cost units).
+        pulled: usize,
+        /// Points the responder kept after the split — the *push* leg.
+        pushed: usize,
+    },
+    /// Replica push (paper Algorithm 1): `ghosts[from] ← points`, with
+    /// the incremental-delta accounting of Sec. III-D.
+    BackupPush {
+        /// Full replica to store — the in-memory message always carries
+        /// the whole guest set (`b.ghosts[p] ← guests`).
+        points: Vec<DataPoint<P>>,
+        /// Points added with respect to the previous push to this target.
+        /// Together with `removed_ids` this models the incremental-delta
+        /// *traffic accounting* of Sec. III-D (only the delta would cross
+        /// a real serialized transport); pushes with an empty delta are
+        /// elided entirely by `plan_backups`.
+        added_points: usize,
+        /// Point ids removed since the previous push (counted as bare ids).
+        removed_ids: usize,
+    },
+    /// Liveness beacon along backup relationships.
+    Heartbeat,
+}
+
+impl<P> Wire<P> {
+    /// The protocol layer this payload belongs to.
+    pub fn channel(&self) -> Channel {
+        match self {
+            Wire::RpsRequest { .. } | Wire::RpsReply { .. } => Channel::PeerSampling,
+            Wire::TManRequest { .. } | Wire::TManReply { .. } => Channel::Topology,
+            Wire::MigrationRequest { .. } | Wire::MigrationReply { .. } => Channel::Migration,
+            Wire::BackupPush { .. } => Channel::Backup,
+            Wire::Heartbeat => Channel::Heartbeat,
+        }
+    }
+
+    /// Short tag for logging and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Wire::RpsRequest { .. } => "rps_request",
+            Wire::RpsReply { .. } => "rps_reply",
+            Wire::TManRequest { .. } => "tman_request",
+            Wire::TManReply { .. } => "tman_reply",
+            Wire::MigrationRequest { .. } => "migration_request",
+            Wire::MigrationReply { .. } => "migration_reply",
+            Wire::BackupPush { .. } => "backup_push",
+            Wire::Heartbeat => "heartbeat",
+        }
+    }
+}
+
+/// Everything a driver can feed into [`crate::node::ProtocolNode::on_event`].
+#[derive(Clone, Debug)]
+pub enum Event<P> {
+    /// A wire message arrived from `from`.
+    Message {
+        /// The sender.
+        from: NodeId,
+        /// The payload.
+        wire: Wire<P>,
+    },
+    /// The driver resolved an earlier [`Effect::Probe`]: the peer is
+    /// reachable — the node now builds and sends the actual request.
+    ///
+    /// `pos` optionally carries the peer's current position when the
+    /// driver knows it (a synchronous cycle driver does — the atomic
+    /// exchange of the cycle model implies both endpoints see each
+    /// other's live state); an asynchronous driver passes `None` and the
+    /// node falls back to its view's belief.
+    ProbeOk {
+        /// The probed peer.
+        peer: NodeId,
+        /// Which exchange the probe was for.
+        channel: Channel,
+        /// The peer's current position, if the driver knows it.
+        pos: Option<P>,
+    },
+    /// The driver could not reach `peer` (probe refused, send failed, or
+    /// an exchange timed out at the transport level).
+    PeerUnreachable {
+        /// The unreachable peer.
+        peer: NodeId,
+        /// Which exchange failed.
+        channel: Channel,
+    },
+}
+
+/// Everything a node can ask its driver to do.
+#[derive(Clone, Debug)]
+pub enum Effect<P> {
+    /// Check whether `peer` is reachable before opening an exchange on
+    /// `channel`; the driver must answer with [`Event::ProbeOk`] or
+    /// [`Event::PeerUnreachable`].
+    Probe {
+        /// The peer to probe.
+        peer: NodeId,
+        /// The exchange the probe is for.
+        channel: Channel,
+    },
+    /// Deliver `wire` to `to` (fire-and-forget; the driver reports a
+    /// known-failed delivery back as [`Event::PeerUnreachable`]).
+    Send {
+        /// The destination.
+        to: NodeId,
+        /// The payload.
+        wire: Wire<P>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_channels_are_consistent() {
+        let wires: Vec<Wire<f64>> = vec![
+            Wire::RpsRequest {
+                descriptors: vec![],
+            },
+            Wire::TManReply {
+                descriptors: vec![],
+            },
+            Wire::MigrationReply {
+                points: vec![],
+                busy: false,
+                pulled: 0,
+                pushed: 0,
+            },
+            Wire::BackupPush {
+                points: vec![],
+                added_points: 0,
+                removed_ids: 0,
+            },
+            Wire::Heartbeat,
+        ];
+        let kinds: Vec<&str> = wires.iter().map(Wire::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "rps_request",
+                "tman_reply",
+                "migration_reply",
+                "backup_push",
+                "heartbeat"
+            ]
+        );
+        assert_eq!(wires[0].channel(), Channel::PeerSampling);
+        assert_eq!(wires[1].channel(), Channel::Topology);
+        assert_eq!(wires[2].channel(), Channel::Migration);
+        assert_eq!(wires[3].channel(), Channel::Backup);
+        assert_eq!(wires[4].channel(), Channel::Heartbeat);
+    }
+}

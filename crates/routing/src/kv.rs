@@ -127,8 +127,14 @@ impl KeyValueStore {
         // re-trying the same gateway would be a guaranteed no-op.
         let sources = rand::seq::index::sample(rng, nodes.len(), nodes.len().min(3));
         for i in sources {
-            let route =
-                greedy_route(space, oracle, nodes[i], &target, self.ttl, self.delivery_radius);
+            let route = greedy_route(
+                space,
+                oracle,
+                nodes[i],
+                &target,
+                self.ttl,
+                self.delivery_radius,
+            );
             if route.delivered {
                 return Ok(*route.path.last().expect("path always contains the source"));
             }
@@ -257,11 +263,7 @@ mod tests {
         cfg.seed = seed;
         cfg.tman.view_cap = 24;
         cfg.tman.m = 8;
-        let mut e = Engine::new(
-            Torus2::new(16.0, 8.0),
-            shapes::torus_grid(16, 8, 1.0),
-            cfg,
-        );
+        let mut e = Engine::new(Torus2::new(16.0, 8.0), shapes::torus_grid(16, 8, 1.0), cfg);
         e.run(12);
         e
     }
@@ -274,7 +276,9 @@ mod tests {
         let oracle = EngineOracle::new(&engine, 4);
         let space = *engine.space();
         for (k, v) in [("user:42", "alice"), ("user:43", "bob"), ("cfg", "on")] {
-            store.put(&space, &oracle, k, v, &mut rng).expect("put failed");
+            store
+                .put(&space, &oracle, k, v, &mut rng)
+                .expect("put failed");
         }
         assert_eq!(store.len(), 3);
         assert_eq!(
@@ -314,9 +318,7 @@ mod tests {
             crate::survey::routing_survey(
                 &space,
                 &oracle,
-                |rng: &mut StdRng| {
-                    [rng.random_range(0.0..16.0), rng.random_range(0.0..8.0)]
-                },
+                |rng: &mut StdRng| [rng.random_range(0.0..16.0), rng.random_range(0.0..8.0)],
                 200,
                 64,
                 0.75,

@@ -138,11 +138,7 @@ mod tests {
         cfg.area = 32.0;
         cfg.tman.view_cap = 16;
         cfg.tman.m = 6;
-        let mut engine = Engine::new(
-            Torus2::new(8.0, 4.0),
-            shapes::torus_grid(8, 4, 1.0),
-            cfg,
-        );
+        let mut engine = Engine::new(Torus2::new(8.0, 4.0), shapes::torus_grid(8, 4, 1.0), cfg);
         engine.run(10);
         let oracle = EngineOracle::new(&engine, 4);
         assert_eq!(oracle.nodes().len(), 32);

@@ -101,7 +101,11 @@ mod tests {
             &mut rng,
         );
         assert_eq!(survey.attempts, 100);
-        assert!(survey.success_rate() > 0.99, "rate {}", survey.success_rate());
+        assert!(
+            survey.success_rate() > 0.99,
+            "rate {}",
+            survey.success_rate()
+        );
         // Ring of 16: mean greedy hop count ≲ 4.
         assert!(survey.mean_hops <= 5.0, "hops {}", survey.mean_hops);
     }

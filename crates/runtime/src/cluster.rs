@@ -84,7 +84,11 @@ impl<S: MetricSpace> Cluster<S> {
                 break;
             }
             let j = rng.random_range(0..n);
-            if j != own && !contacts.iter().any(|d: &Descriptor<S::Point>| d.id.index() == j) {
+            if j != own
+                && !contacts
+                    .iter()
+                    .any(|d: &Descriptor<S::Point>| d.id.index() == j)
+            {
                 contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
             }
         }

@@ -1,6 +1,7 @@
 //! Runtime deployment configuration.
 
 use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_protocol::ProtocolConfig;
 use polystyrene_topology::TManConfig;
 use std::time::Duration;
 
@@ -74,6 +75,19 @@ impl RuntimeConfig {
         );
         self.poly.validate();
         self.tman.validate();
+    }
+
+    /// The protocol-level slice of this configuration, handed to each
+    /// node's sans-IO [`polystyrene_protocol::ProtocolNode`].
+    pub fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            tman: self.tman,
+            poly: self.poly,
+            rps_view_cap: self.rps_view_cap,
+            rps_shuffle_len: self.rps_shuffle_len,
+            heartbeat_timeout_ticks: self.heartbeat_timeout_ticks,
+            migration_timeout_ticks: self.migration_timeout_ticks,
+        }
     }
 }
 

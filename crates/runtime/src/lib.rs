@@ -4,9 +4,9 @@
 //! communicate over reliable channels (e.g. TCP)" with "a (possibly
 //! imperfect) failure detector" implemented by "a reactive ping mechanism,
 //! or heartbeats" (Sec. III-A). The simulator abstracts all of that into
-//! synchronous rounds; this crate runs the *same protocol state machines*
-//! (`polystyrene-membership`, `polystyrene-topology`, `polystyrene`)
-//! asynchronously:
+//! synchronous rounds; this crate drives the *same* sans-IO state machine
+//! (`polystyrene_protocol::ProtocolNode` — one implementation of RPS,
+//! T-Man and the Polystyrene pipeline for both substrates) asynchronously:
 //!
 //! * one OS thread per node, with a crossbeam channel as its mailbox
 //!   (reliable, in-order — the TCP stand-in);
@@ -42,9 +42,11 @@ pub mod message;
 pub mod node;
 pub mod observe;
 pub mod registry;
+pub mod scenario;
 
 pub use cluster::Cluster;
 pub use config::RuntimeConfig;
 pub use message::Message;
 pub use observe::ClusterObservation;
 pub use registry::Registry;
+pub use scenario::run_cluster_scenario;

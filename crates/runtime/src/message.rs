@@ -1,81 +1,24 @@
-//! Wire messages of the threaded deployment.
+//! Mailbox messages of the threaded deployment.
 //!
-//! Channels are reliable and in-order (the TCP stand-in of the paper's
-//! system model); a crashed node's mailbox is dropped, losing whatever was
-//! in flight — crash-stop semantics.
+//! The protocol payloads themselves are the transport-agnostic
+//! [`Wire`] values of `polystyrene-protocol`; this module merely wraps
+//! them with a sender id for the mailbox, plus the harness-level
+//! shutdown signal. Channels are reliable and in-order (the TCP stand-in
+//! of the paper's system model); a crashed node's mailbox is dropped,
+//! losing whatever was in flight — crash-stop semantics.
 
-use polystyrene::prelude::DataPoint;
-use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_membership::NodeId;
+use polystyrene_protocol::Wire;
 
 /// Everything that can cross a node's mailbox.
 #[derive(Clone, Debug)]
 pub enum Message<P> {
-    /// Cyclon shuffle request (peer-sampling layer).
-    RpsRequest {
-        /// Initiator.
+    /// A protocol payload from another node.
+    Protocol {
+        /// The sender.
         from: NodeId,
-        /// Shuffled-out descriptors.
-        descriptors: Vec<Descriptor<P>>,
-    },
-    /// Cyclon shuffle reply.
-    RpsReply {
-        /// Responder.
-        from: NodeId,
-        /// Descriptors the initiator originally sent (for slot reuse).
-        sent: Vec<Descriptor<P>>,
-        /// Responder's shuffled-out descriptors.
-        descriptors: Vec<Descriptor<P>>,
-    },
-    /// T-Man view exchange request.
-    TManRequest {
-        /// Initiator.
-        from: NodeId,
-        /// Initiator's current position (for the ranked reply).
-        from_pos: P,
-        /// The initiator's `m` best descriptors for the recipient.
-        descriptors: Vec<Descriptor<P>>,
-    },
-    /// T-Man view exchange reply.
-    TManReply {
-        /// Responder.
-        from: NodeId,
-        /// The responder's `m` best descriptors for the initiator.
-        descriptors: Vec<Descriptor<P>>,
-    },
-    /// Migration pull-push request (paper Algorithm 3): the initiator
-    /// ships its whole guest set; the responder runs `SPLIT` and returns
-    /// the initiator's share.
-    MigrationRequest {
-        /// Initiator.
-        from: NodeId,
-        /// Initiator's current position (`pos_p` of the split).
-        from_pos: P,
-        /// Initiator's guests (the *pull* leg).
-        guests: Vec<DataPoint<P>>,
-    },
-    /// Migration reply carrying the initiator's share (the *push* leg),
-    /// or — when `busy` — the untouched original guests, because the
-    /// responder was itself mid-exchange ("q should not be interacting
-    /// with anyone else than p while the exchange occurs", Sec. III-F).
-    MigrationReply {
-        /// Responder.
-        from: NodeId,
-        /// Points now owned by the initiator.
-        points: Vec<DataPoint<P>>,
-        /// Whether this is a busy-bounce rather than a real split.
-        busy: bool,
-    },
-    /// Replica push (paper Algorithm 1): `ghosts[from] ← points`.
-    BackupPush {
-        /// Origin (primary holder).
-        from: NodeId,
-        /// Full replica to store.
-        points: Vec<DataPoint<P>>,
-    },
-    /// Liveness beacon along backup relationships.
-    Heartbeat {
-        /// Sender.
-        from: NodeId,
+        /// The sans-IO payload.
+        wire: Wire<P>,
     },
     /// Orderly termination (used by the harness, not the protocol).
     Shutdown,
@@ -85,14 +28,7 @@ impl<P> Message<P> {
     /// Short tag for logging and tests.
     pub fn kind(&self) -> &'static str {
         match self {
-            Message::RpsRequest { .. } => "rps_request",
-            Message::RpsReply { .. } => "rps_reply",
-            Message::TManRequest { .. } => "tman_request",
-            Message::TManReply { .. } => "tman_reply",
-            Message::MigrationRequest { .. } => "migration_request",
-            Message::MigrationReply { .. } => "migration_reply",
-            Message::BackupPush { .. } => "backup_push",
-            Message::Heartbeat { .. } => "heartbeat",
+            Message::Protocol { wire, .. } => wire.kind(),
             Message::Shutdown => "shutdown",
         }
     }
@@ -105,12 +41,19 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let msgs: Vec<Message<f64>> = vec![
-            Message::Heartbeat { from: NodeId::new(1) },
-            Message::Shutdown,
-            Message::MigrationReply {
+            Message::Protocol {
                 from: NodeId::new(1),
-                points: vec![],
-                busy: false,
+                wire: Wire::Heartbeat,
+            },
+            Message::Shutdown,
+            Message::Protocol {
+                from: NodeId::new(1),
+                wire: Wire::MigrationReply {
+                    points: vec![],
+                    busy: false,
+                    pulled: 0,
+                    pushed: 0,
+                },
             },
         ];
         let kinds: Vec<&str> = msgs.iter().map(|m| m.kind()).collect();

@@ -1,23 +1,27 @@
-//! The per-node thread: the full Polystyrene stack driven by a mailbox
-//! and a wall-clock tick.
+//! The per-node thread: a mailbox-and-timer driver around the sans-IO
+//! [`ProtocolNode`].
 //!
-//! The protocol state machines are exactly the ones the simulator uses —
-//! `PeerSampling`, `TMan`, `PolyState` — only the *driver* differs: here
-//! messages arrive asynchronously and rounds are local ticks, so nodes
-//! are never synchronized, mirroring a real deployment.
+//! All protocol logic — RPS shuffles, T-Man exchanges, recovery, backup,
+//! migration, heartbeat bookkeeping — lives in `polystyrene-protocol`
+//! and is byte-for-byte the same state machine the cycle simulator
+//! drives. This thread only does IO: it feeds incoming mailbox messages
+//! to [`ProtocolNode::on_event`], fires [`ProtocolNode::on_tick`] on a
+//! wall-clock timer, and executes the returned effects over the shared
+//! [`Registry`] — probes answered from the address book, sends mapped to
+//! mailbox messages, failed deliveries reported back as
+//! [`Event::PeerUnreachable`].
 
 use crate::config::RuntimeConfig;
 use crate::message::Message;
 use crate::observe::{NodeReport, ObservationBoard};
 use crate::registry::Registry;
-use polystyrene::prelude::*;
-use polystyrene::recovery::recover;
-use polystyrene_membership::{Descriptor, NodeId, PeerSampling};
+use polystyrene::prelude::{DataPoint, PolyState};
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_protocol::{Effect, Event, ProtocolNode};
 use polystyrene_space::MetricSpace;
-use polystyrene_topology::{TMan, TopologyConstruction};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,21 +33,12 @@ const MAX_DRAIN_PER_TICK: usize = 512;
 
 /// Everything a node thread owns.
 pub struct NodeRuntime<S: MetricSpace> {
-    id: NodeId,
-    space: S,
-    config: RuntimeConfig,
-    rps: PeerSampling<S::Point>,
-    tman: TMan<S>,
-    poly: PolyState<S::Point>,
+    node: ProtocolNode<S>,
+    tick: std::time::Duration,
     registry: Arc<Registry<S::Point>>,
     board: Arc<ObservationBoard<S::Point>>,
     rx: crossbeam::channel::Receiver<Message<S::Point>>,
     rng: StdRng,
-    /// Heartbeat bookkeeping: last tick we heard from a monitored peer.
-    last_seen: HashMap<NodeId, u64>,
-    tick_count: u64,
-    /// In-flight migration: the partner and the tick it was initiated.
-    pending_migration: Option<(NodeId, u64)>,
 }
 
 impl<S: MetricSpace> NodeRuntime<S> {
@@ -61,48 +56,32 @@ impl<S: MetricSpace> NodeRuntime<S> {
         board: Arc<ObservationBoard<S::Point>>,
         rx: crossbeam::channel::Receiver<Message<S::Point>>,
     ) -> Self {
-        let mut rps = PeerSampling::new(config.rps_view_cap, config.rps_shuffle_len);
-        rps.bootstrap(contacts.clone());
-        let mut tman = TMan::new(space.clone(), config.tman);
-        tman.integrate(id, &position, &contacts);
         let poly = match origin {
             Some(point) => PolyState::with_initial_point(point),
             None => PolyState::empty_at(position),
         };
-        Self {
+        let node = ProtocolNode::new(
             id,
             space,
-            config,
-            rps,
-            tman,
+            config.protocol(),
             poly,
+            contacts.clone(),
+            contacts,
+        );
+        Self {
+            node,
+            tick: config.tick,
             registry,
             board,
             rx,
             rng: StdRng::seed_from_u64(config.seed.wrapping_add(id.as_u64() * 0x9E37)),
-            last_seen: HashMap::new(),
-            tick_count: 0,
-            pending_migration: None,
         }
-    }
-
-    fn is_failed(&self, id: NodeId) -> bool {
-        match self.last_seen.get(&id) {
-            Some(&seen) => {
-                self.tick_count.saturating_sub(seen) > self.config.heartbeat_timeout_ticks as u64
-            }
-            None => false, // never monitored: no opinion
-        }
-    }
-
-    fn heard_from(&mut self, id: NodeId) {
-        self.last_seen.insert(id, self.tick_count);
     }
 
     /// The thread body: alternate message handling and ticks until a
     /// shutdown arrives or the channel closes.
     pub fn run(mut self) {
-        let tick = self.config.tick;
+        let tick = self.tick;
         let mut next_tick = Instant::now() + tick;
         'outer: loop {
             let now = Instant::now();
@@ -147,289 +126,81 @@ impl<S: MetricSpace> NodeRuntime<S> {
                 next_tick = Instant::now() + tick;
             }
         }
-        self.board.remove(self.id);
+        self.board.remove(self.node.id());
     }
 
-    /// One local protocol round.
+    /// One local protocol round, then publish to the observation plane.
     fn on_tick(&mut self) {
-        self.tick_count += 1;
-
-        // Heartbeats along the backup relationships (Sec. III-A suggests
-        // "a reactive ping mechanism, or heartbeats").
-        let monitored: Vec<NodeId> = self
-            .poly
-            .backups
-            .iter()
-            .copied()
-            .chain(self.poly.ghosts.keys().copied())
-            .collect();
-        for peer in monitored {
-            self.registry.send(peer, Message::Heartbeat { from: self.id });
-        }
-
-        // Peer sampling shuffle.
-        if let Some(partner) = self.rps.begin_round() {
-            let request = self
-                .rps
-                .make_request(self_descriptor_of(self), partner, &mut self.rng);
-            let delivered = self.registry.send(
-                partner,
-                Message::RpsRequest {
-                    from: self.id,
-                    descriptors: request,
-                },
-            );
-            if !delivered {
-                self.rps.remove_failed(|id| id == partner);
-            }
-        }
-
-        // T-Man exchange with a partner drawn from the ψ closest.
-        if let Some(partner) = self.tman.select_partner(&self.poly.pos, &mut self.rng) {
-            if let Some(entry) = self
-                .tman
-                .view_entries()
-                .into_iter()
-                .find(|d| d.id == partner)
-            {
-                let buffer = self.tman.prepare_message(self_descriptor_of(self), &entry.pos);
-                let delivered = self.registry.send(
-                    partner,
-                    Message::TManRequest {
-                        from: self.id,
-                        from_pos: self.poly.pos.clone(),
-                        descriptors: buffer,
-                    },
-                );
-                if !delivered {
-                    self.tman.purge_failed(&|id| id == partner);
-                }
-            }
-        }
-
-        // Recovery (Algorithm 2) against the heartbeat detector.
-        let failed: Vec<NodeId> = self
-            .poly
-            .ghosts
-            .keys()
-            .copied()
-            .filter(|&q| self.is_failed(q))
-            .collect();
-        if !failed.is_empty() {
-            recover(&mut self.poly, |id| failed.contains(&id));
-            self.poly.project(&self.space, &self.config.poly, &mut self.rng);
-        }
-
-        // Backup (Algorithm 1).
-        let pool = self
-            .rps
-            .random_peers(self.config.poly.replication * 4 + 4, &mut self.rng);
-        let mut pool_iter = pool.into_iter();
-        let self_id = self.id;
-        let failed_backups: Vec<NodeId> = self
-            .poly
-            .backups
-            .iter()
-            .copied()
-            .filter(|&b| self.is_failed(b))
-            .collect();
-        let pushes = plan_backups(
-            &mut self.poly,
-            self_id,
-            self.config.poly.replication,
-            |id| failed_backups.contains(&id),
-            || pool_iter.next(),
-        );
-        for push in pushes {
-            self.heard_from_if_new(push.target);
-            let delivered = self.registry.send(
-                push.target,
-                Message::BackupPush {
-                    from: self.id,
-                    points: push.points,
-                },
-            );
-            if !delivered {
-                // Lost replica: the target will be detected via heartbeat
-                // timeout and replaced next tick.
-            }
-        }
-
-        // Migration (Algorithm 3): one in-flight exchange at a time.
-        if let Some((_, started)) = self.pending_migration {
-            if self.tick_count.saturating_sub(started)
-                > self.config.migration_timeout_ticks as u64
-            {
-                self.pending_migration = None; // partner presumed dead
-            }
-        }
-        if self.pending_migration.is_none() && !self.poly.guests.is_empty() {
-            let mut candidates: Vec<NodeId> = self
-                .tman
-                .closest(&self.poly.pos, self.config.poly.psi)
-                .into_iter()
-                .map(|d| d.id)
-                .collect();
-            if let Some(r) = self.rps.random_peer(&mut self.rng) {
-                candidates.push(r);
-            }
-            candidates.retain(|&c| c != self.id && !self.is_failed(c));
-            if !candidates.is_empty() {
-                let q = candidates[self.rng.random_range(0..candidates.len())];
-                let delivered = self.registry.send(
-                    q,
-                    Message::MigrationRequest {
-                        from: self.id,
-                        from_pos: self.poly.pos.clone(),
-                        guests: self.poly.guests.clone(),
-                    },
-                );
-                if delivered {
-                    self.pending_migration = Some((q, self.tick_count));
-                }
-            }
-        }
-
-        // Publish to the observation plane.
+        let effects = self.node.on_tick(&mut self.rng);
+        self.execute(effects);
         self.board.publish(
-            self.id,
+            self.node.id(),
             NodeReport {
-                pos: self.poly.pos.clone(),
-                guest_ids: self.poly.guest_ids(),
+                pos: self.node.poly.pos.clone(),
+                guest_ids: self.node.poly.guest_ids(),
                 ghost_ids: self
+                    .node
                     .poly
                     .ghosts
                     .values()
                     .flat_map(|pts| pts.iter().map(|p| p.id))
                     .collect(),
-                stored_points: self.poly.stored_points(),
-                ticks: self.tick_count,
+                stored_points: self.node.poly.stored_points(),
+                ticks: self.node.clock(),
             },
         );
     }
 
-    fn heard_from_if_new(&mut self, id: NodeId) {
-        let now = self.tick_count;
-        self.last_seen.entry(id).or_insert(now);
-    }
-
     fn handle(&mut self, message: Message<S::Point>) {
         match message {
-            Message::Heartbeat { from } => self.heard_from(from),
-            Message::RpsRequest { from, descriptors } => {
-                self.heard_from(from);
-                let reply = self
-                    .rps
-                    .handle_request(self.id, &descriptors, &mut self.rng);
-                self.registry.send(
-                    from,
-                    Message::RpsReply {
-                        from: self.id,
-                        sent: descriptors,
-                        descriptors: reply,
-                    },
-                );
-            }
-            Message::RpsReply {
-                from,
-                sent,
-                descriptors,
-            } => {
-                self.heard_from(from);
-                self.rps.handle_reply(self.id, &sent, &descriptors);
-            }
-            Message::TManRequest {
-                from,
-                from_pos,
-                descriptors,
-            } => {
-                self.heard_from(from);
-                let reply = self.tman.prepare_message(self_descriptor_of(self), &from_pos);
-                let pos = self.poly.pos.clone();
-                self.tman.integrate(self.id, &pos, &descriptors);
-                self.registry.send(
-                    from,
-                    Message::TManReply {
-                        from: self.id,
-                        descriptors: reply,
-                    },
-                );
-            }
-            Message::TManReply { from, descriptors } => {
-                self.heard_from(from);
-                let pos = self.poly.pos.clone();
-                self.tman.integrate(self.id, &pos, &descriptors);
-            }
-            Message::MigrationRequest {
-                from,
-                from_pos,
-                guests,
-            } => {
-                self.heard_from(from);
-                if self.pending_migration.is_some() {
-                    // Busy: bounce the guests back untouched (the pairwise
-                    // exclusivity requirement of Algorithm 3).
-                    self.registry.send(
-                        from,
-                        Message::MigrationReply {
-                            from: self.id,
-                            points: guests,
-                            busy: true,
-                        },
-                    );
-                    return;
-                }
-                let mut all = guests;
-                all.extend(std::mem::take(&mut self.poly.guests));
-                let all = polystyrene::datapoint::dedup_by_id(all);
-                let (for_requester, for_me) = split(
-                    &self.space,
-                    self.config.poly.split,
-                    all,
-                    &from_pos,
-                    &self.poly.pos,
-                    self.config.poly.diameter_exact_threshold,
-                    &mut self.rng,
-                );
-                self.poly.guests = for_me;
-                self.poly.project(&self.space, &self.config.poly, &mut self.rng);
-                self.registry.send(
-                    from,
-                    Message::MigrationReply {
-                        from: self.id,
-                        points: for_requester,
-                        busy: false,
-                    },
-                );
-            }
-            Message::MigrationReply { from, points, busy } => {
-                self.heard_from(from);
-                if self.pending_migration.map(|(q, _)| q) == Some(from) {
-                    self.pending_migration = None;
-                    if !busy {
-                        self.poly.guests = points;
-                        self.poly.project(&self.space, &self.config.poly, &mut self.rng);
-                    }
-                } else if !busy {
-                    // Late reply after our timeout: the responder already
-                    // gave these points away, so we are their only owner —
-                    // dropping them would lose data. Absorb instead; any
-                    // duplication with our kept guests dedups by id.
-                    self.poly.absorb_guests(points);
-                    self.poly.project(&self.space, &self.config.poly, &mut self.rng);
-                }
-            }
-            Message::BackupPush { from, points } => {
-                self.heard_from(from);
-                self.poly.store_ghosts(from, points);
+            Message::Protocol { from, wire } => {
+                let effects = self
+                    .node
+                    .on_event(Event::Message { from, wire }, &mut self.rng);
+                self.execute(effects);
             }
             Message::Shutdown => unreachable!("handled by the run loop"),
         }
     }
-}
 
-/// Fresh descriptor of the node (free function to dodge borrow conflicts
-/// in `&mut self` contexts).
-fn self_descriptor_of<S: MetricSpace>(node: &NodeRuntime<S>) -> Descriptor<S::Point> {
-    Descriptor::new(node.id, node.poly.pos.clone())
+    /// Executes effects against the real transport: probes consult the
+    /// address book, sends go through the registry, and a send whose
+    /// destination mailbox is gone comes back as
+    /// [`Event::PeerUnreachable`] (message lost, crash-stop style).
+    fn execute(&mut self, effects: Vec<Effect<S::Point>>) {
+        let mut queue: VecDeque<Effect<S::Point>> = effects.into();
+        while let Some(effect) = queue.pop_front() {
+            match effect {
+                Effect::Probe { peer, channel } => {
+                    // No ground truth here: the address book is the best
+                    // knowledge available, and the peer's position stays
+                    // whatever the view believes (`pos: None`).
+                    let event = if self.registry.contains(peer) {
+                        Event::ProbeOk {
+                            peer,
+                            channel,
+                            pos: None,
+                        }
+                    } else {
+                        Event::PeerUnreachable { peer, channel }
+                    };
+                    queue.extend(self.node.on_event(event, &mut self.rng));
+                }
+                Effect::Send { to, wire } => {
+                    let channel = wire.channel();
+                    let delivered = self.registry.send(
+                        to,
+                        Message::Protocol {
+                            from: self.node.id(),
+                            wire,
+                        },
+                    );
+                    if !delivered {
+                        let event = Event::PeerUnreachable { peer: to, channel };
+                        queue.extend(self.node.on_event(event, &mut self.rng));
+                    }
+                }
+            }
+        }
+    }
 }

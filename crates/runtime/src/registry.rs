@@ -52,6 +52,12 @@ impl<P> Registry<P> {
         }
     }
 
+    /// Whether `id` currently has a registered mailbox — the runtime's
+    /// answer to a protocol reachability probe.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.inner.read().contains_key(&id)
+    }
+
     /// Number of registered nodes.
     pub fn len(&self) -> usize {
         self.inner.read().len()
@@ -79,6 +85,8 @@ mod tests {
         let (tx, rx) = unbounded();
         registry.register(NodeId::new(1), tx);
         assert_eq!(registry.len(), 1);
+        assert!(registry.contains(NodeId::new(1)));
+        assert!(!registry.contains(NodeId::new(2)));
         assert!(registry.send(NodeId::new(1), Message::Shutdown));
         assert!(matches!(rx.recv().unwrap(), Message::Shutdown));
         registry.deregister(NodeId::new(1));

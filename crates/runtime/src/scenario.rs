@@ -1,0 +1,162 @@
+//! Scenario execution on a live threaded cluster.
+//!
+//! The scenario language lives in `polystyrene-protocol` and is shared
+//! with the cycle simulator; this module plugs a [`Cluster`] in as a
+//! [`ScenarioSubstrate`], with one cluster *round* defined as every alive
+//! node completing one more local tick. The same [`Scenario`] value —
+//! including continuous [`polystyrene_protocol::ScenarioEvent::Churn`]
+//! windows — therefore runs unchanged on both execution substrates, and
+//! failure injection goes through the identical shared code path.
+//!
+//! Wall-clock asynchrony means cluster runs are *not* bit-reproducible
+//! (unlike the engine): the returned [`ClusterObservation`]s are one
+//! snapshot per round, for trend assertions rather than exact replay.
+
+use crate::cluster::Cluster;
+use crate::observe::ClusterObservation;
+use polystyrene_membership::NodeId;
+use polystyrene_protocol::scenario::{drive_scenario, select_victims, Scenario, ScenarioSubstrate};
+use polystyrene_space::MetricSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A [`Cluster`] viewed as a scenario substrate.
+struct ClusterSubstrate<'a, S: MetricSpace> {
+    cluster: &'a Cluster<S>,
+    /// Entropy for the random-fraction events (node threads have their
+    /// own RNGs; this one only picks victims).
+    rng: StdRng,
+    /// Ticks every alive node must have completed for the current round
+    /// to count as finished.
+    target_ticks: u64,
+    round_timeout: Duration,
+    observations: Vec<ClusterObservation>,
+}
+
+impl<S: MetricSpace> ScenarioSubstrate<S::Point> for ClusterSubstrate<'_, S> {
+    fn fail_region(
+        &mut self,
+        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
+    ) -> Vec<NodeId> {
+        self.cluster.kill_region(|p| predicate(p))
+    }
+
+    fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        // Sorted first: alive_ids comes out of a HashMap, and the shared
+        // selection must shuffle a well-defined base order.
+        let mut alive = self.cluster.alive_ids();
+        alive.sort();
+        let mut victims = select_victims(alive, fraction, &mut self.rng);
+        victims.retain(|&id| self.cluster.kill(id));
+        victims
+    }
+
+    fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| self.cluster.kill(id))
+            .collect()
+    }
+
+    fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
+        positions
+            .iter()
+            .map(|p| self.cluster.inject(p.clone()))
+            .collect()
+    }
+
+    fn advance_round(&mut self) {
+        self.target_ticks += 1;
+        self.cluster
+            .await_ticks(self.target_ticks, self.round_timeout);
+        self.observations.push(self.cluster.observe());
+    }
+}
+
+/// Drives `cluster` through `scenario` — the runtime twin of the
+/// simulator's `run_scenario` — returning one [`ClusterObservation`] per
+/// round.
+///
+/// `round_timeout` bounds how long one round may take (a safety valve:
+/// freshly injected nodes start at tick zero and need wall-clock time to
+/// catch up to the cluster's round count); `seed` drives victim selection
+/// for the random-failure and churn events.
+pub fn run_cluster_scenario<S: MetricSpace>(
+    cluster: &Cluster<S>,
+    scenario: &Scenario<S::Point>,
+    round_timeout: Duration,
+    seed: u64,
+) -> Vec<ClusterObservation> {
+    let mut substrate = ClusterSubstrate {
+        cluster,
+        rng: StdRng::seed_from_u64(seed),
+        target_ticks: 0,
+        round_timeout,
+        observations: Vec::with_capacity(scenario.total_rounds() as usize),
+    };
+    drive_scenario(&mut substrate, scenario);
+    substrate.observations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use polystyrene::prelude::PolystyreneConfig;
+    use polystyrene_protocol::ScenarioEvent;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+
+    fn fast_config() -> RuntimeConfig {
+        let mut c = RuntimeConfig::default();
+        c.tick = Duration::from_millis(2);
+        c.poly = PolystyreneConfig::builder().replication(3).build();
+        c
+    }
+
+    #[test]
+    fn scripted_kill_and_inject_apply_on_the_cluster() {
+        let cluster = Cluster::spawn(
+            Torus2::new(4.0, 4.0),
+            shapes::torus_grid(4, 4, 1.0),
+            fast_config(),
+        );
+        let scenario: Scenario<[f64; 2]> = Scenario::new(8)
+            .at(
+                2,
+                ScenarioEvent::FailNodes(vec![NodeId::new(0), NodeId::new(1)]),
+            )
+            .at(
+                5,
+                ScenarioEvent::Inject(vec![[0.5, 0.5], [1.5, 0.5], [2.5, 0.5]]),
+            );
+        let obs = run_cluster_scenario(&cluster, &scenario, Duration::from_secs(5), 1);
+        assert_eq!(obs.len(), 8);
+        assert_eq!(obs[2].alive_nodes, 14);
+        assert_eq!(obs.last().unwrap().alive_nodes, 17);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn churn_window_shrinks_the_cluster() {
+        let cluster = Cluster::spawn(
+            Torus2::new(4.0, 4.0),
+            shapes::torus_grid(4, 4, 1.0),
+            fast_config(),
+        );
+        let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
+            1,
+            ScenarioEvent::Churn {
+                rate: 0.25,
+                rounds: 2,
+            },
+        );
+        let obs = run_cluster_scenario(&cluster, &scenario, Duration::from_secs(5), 2);
+        assert_eq!(obs[0].alive_nodes, 16);
+        assert_eq!(obs[1].alive_nodes, 12); // 16 - 25%
+        assert_eq!(obs[2].alive_nodes, 9); // 12 - 25%
+        assert_eq!(obs.last().unwrap().alive_nodes, 9);
+        cluster.shutdown();
+    }
+}

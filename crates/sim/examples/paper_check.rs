@@ -38,6 +38,13 @@ fn main() {
     }
     let rt = reshaping_time(&metrics, paper.failure_round);
     println!("reshaping time: {rt:?} (paper: 6.96 ± 0.08 for K=4)");
-    let rel = metrics.iter().find(|m| m.round > paper.failure_round).unwrap().surviving_points;
-    println!("reliability: {:.2}% (paper: 96.88 ± 0.10 for K=4)", rel * 100.0);
+    let rel = metrics
+        .iter()
+        .find(|m| m.round > paper.failure_round)
+        .unwrap()
+        .surviving_points;
+    println!(
+        "reliability: {:.2}% (paper: 96.88 ± 0.10 for K=4)",
+        rel * 100.0
+    );
 }

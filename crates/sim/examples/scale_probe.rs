@@ -16,7 +16,11 @@ fn main() {
         let n = c * r;
         let mut cfg = EngineConfig::default();
         cfg.area = n as f64;
-        let mut e = Engine::new(Torus2::new(c as f64, r as f64), shapes::torus_grid(c, r, 1.0), cfg);
+        let mut e = Engine::new(
+            Torus2::new(c as f64, r as f64),
+            shapes::torus_grid(c, r, 1.0),
+            cfg,
+        );
         let t0 = Instant::now();
         e.run(3);
         let warm = t0.elapsed();

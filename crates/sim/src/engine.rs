@@ -3,8 +3,13 @@
 //! PeerSim's cycle-driven mode — what the paper used ("All results were
 //! computed with PeerSim", Sec. IV-B) — activates every node once per
 //! round in arbitrary order, with pairwise gossip exchanges applied
-//! atomically. This engine reproduces those semantics for the full stack
-//! of paper Fig. 3:
+//! atomically. The per-node protocol itself lives in
+//! [`polystyrene_protocol::ProtocolNode`]; this engine is a *driver*: it
+//! owns ground truth (who is really alive), activates each node
+//! phase-by-phase across the population, and executes the returned
+//! effects synchronously — a [`Effect::Send`] is delivered to the
+//! destination node in the same instant, which is exactly the atomic
+//! pairwise exchange of the cycle model:
 //!
 //! ```text
 //!   Polystyrene   (recovery → backup → migration, Steps 2-4 of Fig. 4)
@@ -12,26 +17,26 @@
 //!   RPS           (Cyclon-style peer sampling; traffic not accounted)
 //! ```
 //!
-//! The engine owns ground truth (who is really alive), injects failures
-//! and fresh nodes, and measures the paper's five metrics after each
-//! round.
+//! Reachability probes are answered from ground truth *before* a request
+//! is built, so no entropy is spent on exchanges that cannot happen —
+//! seeded histories are bit-identical to the engine that predates the
+//! protocol extraction. The engine also injects failures and fresh
+//! nodes, and measures the paper's five metrics after each round.
 
 use crate::cost::{CostModel, RoundCost};
 use crate::metrics::{reference_homogeneity, RoundMetrics};
 use polystyrene::prelude::*;
-use polystyrene::recovery::recover;
-use polystyrene_membership::{
-    rps::shuffle_exchange, Descriptor, NodeId, PeerSampling, SharedFailureDetector,
-};
+use polystyrene_membership::{Descriptor, NodeId, SharedFailureDetector};
+use polystyrene_protocol::{Channel, Effect, Event, Phase, ProtocolConfig, ProtocolNode, Wire};
 use polystyrene_space::MetricSpace;
 use polystyrene_topology::rank::GridIndex;
-use polystyrene_topology::{tman_exchange, TMan, TManConfig, TopologyConstruction};
+use polystyrene_topology::{TManConfig, TopologyConstruction};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Below this many alive nodes the engine skips building the spatial-grid
 /// candidate index and scans exhaustively: at small scale the build costs
@@ -100,34 +105,20 @@ impl Default for EngineConfig {
     }
 }
 
-/// The full protocol stack of one simulated node.
-struct NodeCell<S: MetricSpace> {
-    rps: PeerSampling<S::Point>,
-    tman: TMan<S>,
-    poly: PolyState<S::Point>,
-}
-
-/// Disjoint mutable access to two cells — the pairwise atomic exchange of
-/// the cycle-driven model. A free function (not a method) so callers can
-/// keep borrowing other engine fields (e.g. the RNG) during the exchange.
-fn two_cells<S: MetricSpace>(
-    nodes: &mut [Option<NodeCell<S>>],
-    i: usize,
-    j: usize,
-) -> (&mut NodeCell<S>, &mut NodeCell<S>) {
-    assert_ne!(i, j, "pairwise exchange with oneself");
-    if i < j {
-        let (l, r) = nodes.split_at_mut(j);
-        (
-            l[i].as_mut().expect("initiator vanished"),
-            r[0].as_mut().expect("responder vanished"),
-        )
-    } else {
-        let (l, r) = nodes.split_at_mut(i);
-        (
-            r[0].as_mut().expect("initiator vanished"),
-            l[j].as_mut().expect("responder vanished"),
-        )
+impl EngineConfig {
+    /// The protocol-level slice of this configuration. The engine
+    /// resolves every exchange within the round it starts in and supplies
+    /// its own failure detector, so the tick-denominated timeouts of the
+    /// asynchronous drivers are disabled.
+    pub fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            tman: self.tman,
+            poly: self.poly,
+            rps_view_cap: self.rps_view_cap,
+            rps_shuffle_len: self.rps_shuffle_len,
+            heartbeat_timeout_ticks: u32::MAX,
+            migration_timeout_ticks: u32::MAX,
+        }
     }
 }
 
@@ -150,7 +141,7 @@ fn two_cells<S: MetricSpace>(
 pub struct Engine<S: MetricSpace> {
     space: S,
     config: EngineConfig,
-    nodes: Vec<Option<NodeCell<S>>>,
+    nodes: Vec<Option<ProtocolNode<S>>>,
     /// The initial data points of the founding population — the target
     /// shape, and the reference set of the homogeneity metric.
     original_points: Vec<DataPoint<S::Point>>,
@@ -174,6 +165,7 @@ impl<S: MetricSpace> Engine<S> {
         assert!(!shape.is_empty(), "cannot simulate an empty network");
         config.poly.validate();
         config.tman.validate();
+        let protocol = config.protocol();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n = shape.len();
         let original_points: Vec<DataPoint<S::Point>> = shape
@@ -182,22 +174,23 @@ impl<S: MetricSpace> Engine<S> {
             .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
             .collect();
 
-        let mut nodes: Vec<Option<NodeCell<S>>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut rps = PeerSampling::new(config.rps_view_cap, config.rps_shuffle_len);
+        let mut nodes: Vec<Option<ProtocolNode<S>>> = Vec::with_capacity(n);
+        for (i, origin) in original_points.iter().enumerate() {
             let mut contacts = Vec::new();
-            while contacts.len() < config.rps_view_cap.min(n - 1).min(config.rps_view_cap) {
+            while contacts.len() < config.rps_view_cap.min(n - 1) {
                 let j = rng.random_range(0..n);
-                if j != i && !contacts.iter().any(|d: &Descriptor<S::Point>| d.id.index() == j) {
+                if j != i
+                    && !contacts
+                        .iter()
+                        .any(|d: &Descriptor<S::Point>| d.id.index() == j)
+                {
                     contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
                 }
                 if contacts.len() >= config.rps_view_cap || n <= 1 {
                     break;
                 }
             }
-            rps.bootstrap(contacts);
 
-            let mut tman = TMan::new(space.clone(), config.tman);
             let mut boot = Vec::new();
             for _ in 0..config.tman_bootstrap {
                 let j = rng.random_range(0..n);
@@ -205,13 +198,15 @@ impl<S: MetricSpace> Engine<S> {
                     boot.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
                 }
             }
-            tman.integrate(NodeId::new(i as u64), &shape[i], &boot);
 
-            nodes.push(Some(NodeCell {
-                rps,
-                tman,
-                poly: PolyState::with_initial_point(original_points[i].clone()),
-            }));
+            nodes.push(Some(ProtocolNode::new(
+                NodeId::new(i as u64),
+                space.clone(),
+                protocol,
+                PolyState::with_initial_point(origin.clone()),
+                contacts,
+                boot,
+            )));
         }
 
         Self {
@@ -292,15 +287,18 @@ impl<S: MetricSpace> Engine<S> {
     /// Read access to a node's Polystyrene state, if alive (tests and
     /// snapshot tooling).
     pub fn poly_state(&self, id: NodeId) -> Option<&PolyState<S::Point>> {
-        self.nodes.get(id.index()).and_then(|c| c.as_ref()).map(|c| &c.poly)
+        self.nodes
+            .get(id.index())
+            .and_then(|c| c.as_ref())
+            .map(|c| &c.poly)
     }
 
     /// The `k` closest T-Man neighbors a node currently reports.
     pub fn neighbors_of(&self, id: NodeId, k: usize) -> Vec<NodeId> {
         match self.nodes.get(id.index()).and_then(|c| c.as_ref()) {
-            Some(cell) => cell
+            Some(node) => node
                 .tman
-                .closest(&cell.poly.pos, k)
+                .closest(&node.poly.pos, k)
                 .into_iter()
                 .map(|d| d.id)
                 .collect(),
@@ -330,16 +328,18 @@ impl<S: MetricSpace> Engine<S> {
     }
 
     /// Crashes a uniformly random fraction of the alive population
-    /// (uncorrelated churn). Returns the crashed ids.
+    /// (uncorrelated churn), with victim selection shared with the
+    /// runtime substrate. Returns the crashed ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
     pub fn fail_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "failure fraction must be in [0, 1], got {fraction}"
+        let killed = polystyrene_protocol::scenario::select_victims(
+            self.alive_ids(),
+            fraction,
+            &mut self.rng,
         );
-        let mut alive = self.alive_ids();
-        alive.shuffle(&mut self.rng);
-        let kill = ((alive.len() as f64) * fraction).round() as usize;
-        let killed: Vec<NodeId> = alive.into_iter().take(kill).collect();
         for &id in &killed {
             self.crash(id);
         }
@@ -360,34 +360,34 @@ impl<S: MetricSpace> Engine<S> {
     /// from random alive contacts. Returns the new ids.
     pub fn inject(&mut self, positions: Vec<S::Point>) -> Vec<NodeId> {
         let alive = self.alive_ids();
+        let protocol = self.config.protocol();
         let mut new_ids = Vec::with_capacity(positions.len());
         for pos in positions {
             let id = NodeId::new(self.nodes.len() as u64);
-            let mut rps = PeerSampling::new(self.config.rps_view_cap, self.config.rps_shuffle_len);
-            let mut tman = TMan::new(self.space.clone(), self.config.tman);
+            let mut contacts = Vec::new();
+            let mut boot = Vec::new();
             if !alive.is_empty() {
-                let mut contacts = Vec::new();
                 for _ in 0..self.config.rps_view_cap {
                     let j = alive[self.rng.random_range(0..alive.len())];
                     if let Some(p) = self.position_of(j) {
                         contacts.push(Descriptor::new(j, p));
                     }
                 }
-                rps.bootstrap(contacts);
-                let mut boot = Vec::new();
                 for _ in 0..self.config.tman_bootstrap {
                     let j = alive[self.rng.random_range(0..alive.len())];
                     if let Some(p) = self.position_of(j) {
                         boot.push(Descriptor::new(j, p));
                     }
                 }
-                tman.integrate(id, &pos, &boot);
             }
-            self.nodes.push(Some(NodeCell {
-                rps,
-                tman,
-                poly: PolyState::empty_at(pos),
-            }));
+            self.nodes.push(Some(ProtocolNode::new(
+                id,
+                self.space.clone(),
+                protocol,
+                PolyState::empty_at(pos),
+                contacts,
+                boot,
+            )));
             new_ids.push(id);
         }
         new_ids
@@ -402,11 +402,11 @@ impl<S: MetricSpace> Engine<S> {
         for point in &mut self.original_points {
             point.pos = transform(&point.pos);
         }
-        for cell in self.nodes.iter_mut().flatten() {
-            for g in &mut cell.poly.guests {
+        for node in self.nodes.iter_mut().flatten() {
+            for g in &mut node.poly.guests {
                 g.pos = transform(&g.pos);
             }
-            for pts in cell.poly.ghosts.values_mut() {
+            for pts in node.poly.ghosts.values_mut() {
                 for g in pts {
                     g.pos = transform(&g.pos);
                 }
@@ -424,12 +424,12 @@ impl<S: MetricSpace> Engine<S> {
     pub fn step(&mut self) -> RoundMetrics {
         self.round += 1;
         self.cost.reset();
-        self.rps_phase();
-        self.tman_phase();
+        self.run_phase(Phase::PeerSampling);
+        self.run_phase(Phase::Topology);
         if self.poly_enabled {
             self.recovery_phase();
-            self.backup_phase();
-            self.migration_phase();
+            self.run_phase(Phase::Backup);
+            self.run_phase(Phase::Migration);
         }
         self.position_refresh_phase();
         let metrics = self.compute_metrics();
@@ -459,90 +459,105 @@ impl<S: MetricSpace> Engine<S> {
             .unwrap_or(false)
     }
 
-
-    /// Peer-sampling round. Per the paper's convention its traffic is not
-    /// accounted ("do not include the peer sampling protocol in our
-    /// measurements").
-    fn rps_phase(&mut self) {
-        for i in self.activation_order() {
-            if self.nodes[i].is_none() {
-                continue;
-            }
-            let partner = {
-                let cell = self.nodes[i].as_mut().unwrap();
-                cell.rps.begin_round()
-            };
-            let Some(partner) = partner else { continue };
-            if !self.is_alive(partner) {
-                // Timed-out contact: drop it (Cyclon's self-healing).
-                let cell = self.nodes[i].as_mut().unwrap();
-                cell.rps.remove_failed(|id| id == partner);
-                continue;
-            }
-            let self_id = NodeId::new(i as u64);
-            let self_pos = self.nodes[i].as_ref().unwrap().poly.pos.clone();
-            let (a, b) = two_cells(&mut self.nodes, i, partner.index());
-            shuffle_exchange(
-                &mut a.rps,
-                Descriptor::new(self_id, self_pos),
-                &mut b.rps,
-                partner,
-                &mut self.rng,
-            );
+    /// The engine's failure-detector view at the current round: a crash
+    /// becomes visible `detection_delay` rounds after it happened.
+    fn detector(&self) -> impl Fn(NodeId) -> bool + Send + Sync {
+        let fd = self.fd.clone();
+        let delay = self.config.detection_delay;
+        let now = self.round;
+        move |id: NodeId| match fd.failure_round(id) {
+            Some(at) => now >= at.saturating_add(delay),
+            None => false,
         }
     }
 
-    /// Topology-construction round (Step 1' of paper Fig. 4).
-    fn tman_phase(&mut self) {
-        let fd = self.fd.clone();
-        let delay = self.config.detection_delay;
-        let detected = move |id: NodeId, now: u32| match fd.failure_round(id) {
-            Some(at) => now >= at.saturating_add(delay),
-            None => false,
-        };
-        let now = self.round;
+    /// One protocol phase across the whole population, each node
+    /// activated once in a fresh random order (the cycle-driven model).
+    fn run_phase(&mut self, phase: Phase) {
+        let detected = self.detector();
         for i in self.activation_order() {
             if self.nodes[i].is_none() {
                 continue;
             }
-            let self_id = NodeId::new(i as u64);
-
-            // Freshen the view: age entries, purge detected failures, and
-            // fold in one random RPS descriptor (the random injection that
-            // "guarantees the convergence of the topology", Sec. II-B).
-            let (partner, self_pos) = {
-                let cell = self.nodes[i].as_mut().unwrap();
-                cell.tman.begin_round();
-                cell.tman.purge_failed(&|id| detected(id, now));
-                let pos = cell.poly.pos.clone();
-                let random_contact = cell.rps.view().random(&mut self.rng).cloned();
-                if let Some(d) = random_contact {
-                    if !detected(d.id, now) && d.id != self_id {
-                        cell.tman.integrate(self_id, &pos, &[d]);
-                    }
-                }
-                (cell.tman.select_partner(&pos, &mut self.rng), pos)
+            let effects = {
+                let node = self.nodes[i].as_mut().unwrap();
+                node.on_phase(phase, &detected, &mut self.rng)
             };
-            let Some(partner) = partner else { continue };
-            if !self.is_alive(partner) {
-                // Imperfect detection: the exchange times out; the request
-                // was still paid for.
-                let cell = self.nodes[i].as_mut().unwrap();
-                self.cost.tman_units +=
-                    (self.config.tman.m * self.config.cost.units_per_descriptor) as u64;
-                cell.tman.purge_failed(&|id| id == partner);
-                continue;
+            if !effects.is_empty() {
+                self.dispatch(i, effects);
             }
-            let partner_pos = self.nodes[partner.index()].as_ref().unwrap().poly.pos.clone();
-            let (a, b) = two_cells(&mut self.nodes, i, partner.index());
-            let stats = tman_exchange(
-                &mut a.tman,
-                Descriptor::new(self_id, self_pos),
-                &mut b.tman,
-                Descriptor::new(partner, partner_pos),
-            );
-            self.cost.tman_units +=
-                (stats.total() * self.config.cost.units_per_descriptor) as u64;
+        }
+    }
+
+    /// Executes one node's effects synchronously: probes are answered
+    /// from ground truth (with the peer's live position — the atomic
+    /// exchange of the cycle model), sends are delivered to the
+    /// destination node in the same instant, and wire traffic is
+    /// converted to the paper's cost units as it passes through.
+    fn dispatch(&mut self, origin: usize, effects: Vec<Effect<S::Point>>) {
+        let mut queue: VecDeque<(usize, Effect<S::Point>)> =
+            effects.into_iter().map(|e| (origin, e)).collect();
+        while let Some((at, effect)) = queue.pop_front() {
+            match effect {
+                Effect::Probe { peer, channel } => {
+                    let event = if self.is_alive(peer) {
+                        Event::ProbeOk {
+                            peer,
+                            channel,
+                            pos: self.position_of(peer),
+                        }
+                    } else {
+                        // Imperfect detection: the exchange times out; a
+                        // T-Man request was still paid for.
+                        if channel == Channel::Topology {
+                            self.cost.tman_units +=
+                                (self.config.tman.m * self.config.cost.units_per_descriptor) as u64;
+                        }
+                        Event::PeerUnreachable { peer, channel }
+                    };
+                    let node = self.nodes[at].as_mut().expect("active node vanished");
+                    let more = node.on_event(event, &mut self.rng);
+                    queue.extend(more.into_iter().map(|e| (at, e)));
+                }
+                Effect::Send { to, wire } => {
+                    self.charge(&wire);
+                    if self.is_alive(to) {
+                        let from = NodeId::new(at as u64);
+                        let node = self.nodes[to.index()].as_mut().unwrap();
+                        let more = node.on_event(Event::Message { from, wire }, &mut self.rng);
+                        queue.extend(more.into_iter().map(|e| (to.index(), e)));
+                    }
+                    // A send to an undetected-dead node is simply lost.
+                }
+            }
+        }
+    }
+
+    /// Converts one wire message to the paper's cost units (Sec. IV-A:
+    /// a descriptor costs 3 units, a data point 2). RPS traffic is not
+    /// accounted, per the paper's convention; a migration's two legs are
+    /// charged on its reply, which carries the pull/push accounting.
+    fn charge(&mut self, wire: &Wire<S::Point>) {
+        let prices = &self.config.cost;
+        match wire {
+            Wire::TManRequest { descriptors, .. } | Wire::TManReply { descriptors } => {
+                self.cost.tman_units += (descriptors.len() * prices.units_per_descriptor) as u64;
+            }
+            Wire::BackupPush {
+                added_points,
+                removed_ids,
+                ..
+            } => {
+                self.cost.backup_units +=
+                    push_cost_units(*added_points, *removed_ids, prices.units_per_point) as u64;
+            }
+            Wire::MigrationReply { pulled, pushed, .. } => {
+                self.cost.migration_units += ((pulled + pushed) * prices.units_per_point) as u64;
+            }
+            Wire::RpsRequest { .. }
+            | Wire::RpsReply { .. }
+            | Wire::MigrationRequest { .. }
+            | Wire::Heartbeat => {}
         }
     }
 
@@ -552,122 +567,12 @@ impl<S: MetricSpace> Engine<S> {
     /// only touches its own state, so the outcome is identical in any
     /// activation order and the pass fans out across cores.
     fn recovery_phase(&mut self) {
-        let fd = self.fd.clone();
-        let delay = self.config.detection_delay;
-        let now = self.round;
+        let detected = self.detector();
         self.nodes.par_iter_mut().for_each(|slot| {
-            if let Some(cell) = slot.as_mut() {
-                recover(&mut cell.poly, |id| match fd.failure_round(id) {
-                    Some(at) => now >= at.saturating_add(delay),
-                    None => false,
-                });
+            if let Some(node) = slot.as_mut() {
+                node.recover_ghosts(&detected);
             }
         });
-    }
-
-    /// Backup pass (Steps 2/2' of Fig. 4, Algorithm 1): replace failed
-    /// backup targets and push incremental replicas.
-    fn backup_phase(&mut self) {
-        let fd = self.fd.clone();
-        let delay = self.config.detection_delay;
-        let detected = move |id: NodeId, now: u32| match fd.failure_round(id) {
-            Some(at) => now >= at.saturating_add(delay),
-            None => false,
-        };
-        let now = self.round;
-        let k = self.config.poly.replication;
-        let placement = self.config.poly.backup_placement;
-        for i in self.activation_order() {
-            if self.nodes[i].is_none() {
-                continue;
-            }
-            let self_id = NodeId::new(i as u64);
-            // Candidate backup targets come from the random peer-sampling
-            // layer (Sec. III-D: "we spread copies as randomly as possible
-            // … using the underlying peer-sampling layer").
-            let pool: Vec<NodeId> = {
-                let cell = self.nodes[i].as_ref().unwrap();
-                match placement {
-                    polystyrene::prelude::BackupPlacement::UniformRandom => {
-                        cell.rps.random_peers(k * 4 + 8, &mut self.rng)
-                    }
-                    polystyrene::prelude::BackupPlacement::NeighborhoodBiased => cell
-                        .tman
-                        .closest(&cell.poly.pos, k * 4 + 8)
-                        .into_iter()
-                        .map(|d| d.id)
-                        .collect(),
-                }
-            };
-            let mut pool_iter = pool.into_iter();
-            let pushes = {
-                let cell = self.nodes[i].as_mut().unwrap();
-                plan_backups(
-                    &mut cell.poly,
-                    self_id,
-                    k,
-                    |id| detected(id, now),
-                    || pool_iter.next(),
-                )
-            };
-            for push in pushes {
-                self.cost.backup_units +=
-                    push.cost_units(self.config.cost.units_per_point) as u64;
-                if self.is_alive(push.target) {
-                    let target = self.nodes[push.target.index()].as_mut().unwrap();
-                    target.poly.store_ghosts(self_id, push.points);
-                }
-                // A push to an undetected-dead target is simply lost.
-            }
-        }
-    }
-
-    /// Migration pass (Step 4 of Fig. 4, Algorithm 3): pairwise pull-push
-    /// exchanges with a partner from the ψ closest topology neighbors plus
-    /// one random RPS peer.
-    fn migration_phase(&mut self) {
-        let fd = self.fd.clone();
-        let delay = self.config.detection_delay;
-        let detected = move |id: NodeId, now: u32| match fd.failure_round(id) {
-            Some(at) => now >= at.saturating_add(delay),
-            None => false,
-        };
-        let now = self.round;
-        let poly_cfg = self.config.poly;
-        for i in self.activation_order() {
-            if self.nodes[i].is_none() {
-                continue;
-            }
-            let self_id = NodeId::new(i as u64);
-            let candidates: Vec<NodeId> = {
-                let cell = self.nodes[i].as_ref().unwrap();
-                let mut c: Vec<NodeId> = cell
-                    .tman
-                    .closest(&cell.poly.pos, poly_cfg.psi)
-                    .into_iter()
-                    .map(|d| d.id)
-                    .collect();
-                for _ in 0..poly_cfg.random_candidates {
-                    if let Some(r) = cell.rps.random_peer(&mut self.rng) {
-                        c.push(r);
-                    }
-                }
-                c.retain(|&id| id != self_id && !detected(id, now));
-                c
-            };
-            if candidates.is_empty() {
-                continue;
-            }
-            let q = candidates[self.rng.random_range(0..candidates.len())];
-            if !self.is_alive(q) {
-                continue; // undetected-dead partner: the exchange times out
-            }
-            let space = self.space.clone();
-            let (a, b) = two_cells(&mut self.nodes, i, q.index());
-            let outcome = migrate_exchange(&space, &poly_cfg, &mut a.poly, &mut b.poly, &mut self.rng);
-            self.cost.migration_units += ((outcome.pulled_points + outcome.pushed_points)
-                * self.config.cost.units_per_point) as u64;
-        }
     }
 
     /// Position-refresh pass: every node updates the coordinates of its
@@ -690,7 +595,7 @@ impl<S: MetricSpace> Engine<S> {
             .nodes
             .par_iter_mut()
             .map(|slot| match slot.as_mut() {
-                Some(cell) => cell
+                Some(node) => node
                     .tman
                     .refresh_positions(|id| positions.get(id.index()).cloned().flatten())
                     as u64,
@@ -728,13 +633,15 @@ impl<S: MetricSpace> Engine<S> {
         let per_node: Vec<(f64, usize)> = alive
             .par_iter()
             .map(|&i| {
-                let cell = self.nodes[i].as_ref().unwrap();
-                let neighbors = cell.tman.closest(&cell.poly.pos, self.config.report_neighbors);
+                let node = self.nodes[i].as_ref().unwrap();
+                let neighbors = node
+                    .tman
+                    .closest(&node.poly.pos, self.config.report_neighbors);
                 let mut acc = 0.0;
                 let mut samples = 0usize;
                 for d in neighbors {
                     if let Some(actual) = self.position_of(d.id) {
-                        acc += self.space.distance(&cell.poly.pos, &actual);
+                        acc += self.space.distance(&node.poly.pos, &actual);
                         samples += 1;
                     }
                 }
@@ -754,8 +661,8 @@ impl<S: MetricSpace> Engine<S> {
         // holders (paper Sec. IV-A's ĝuests⁻¹).
         let mut holders: HashMap<PointId, Vec<usize>> = HashMap::new();
         for &i in &alive {
-            let cell = self.nodes[i].as_ref().unwrap();
-            for g in &cell.poly.guests {
+            let node = self.nodes[i].as_ref().unwrap();
+            for g in &node.poly.guests {
                 holders.entry(g.id).or_default().push(i);
             }
         }
@@ -763,8 +670,8 @@ impl<S: MetricSpace> Engine<S> {
         // not yet reactivated).
         let mut ghost_present: HashMap<PointId, ()> = HashMap::new();
         for &i in &alive {
-            let cell = self.nodes[i].as_ref().unwrap();
-            for pts in cell.poly.ghosts.values() {
+            let node = self.nodes[i].as_ref().unwrap();
+            for pts in node.poly.ghosts.values() {
                 for p in pts {
                     ghost_present.insert(p.id, ());
                 }
@@ -782,9 +689,9 @@ impl<S: MetricSpace> Engine<S> {
             if self.config.grid_index && any_holderless && alive_count >= GRID_INDEX_MIN_NODES {
                 GridIndex::build(
                     &self.space,
-                    alive.iter().map(|&i| {
-                        (i as u64, self.nodes[i].as_ref().unwrap().poly.pos.clone())
-                    }),
+                    alive
+                        .iter()
+                        .map(|&i| (i as u64, self.nodes[i].as_ref().unwrap().poly.pos.clone())),
                 )
             } else {
                 None
@@ -815,8 +722,8 @@ impl<S: MetricSpace> Engine<S> {
                             .fold(f64::INFINITY, f64::min),
                     },
                 };
-                let survived = holders.contains_key(&point.id)
-                    || ghost_present.contains_key(&point.id);
+                let survived =
+                    holders.contains_key(&point.id) || ghost_present.contains_key(&point.id);
                 (nearest, survived)
             })
             .collect();
@@ -972,7 +879,11 @@ mod tests {
             m.reference_homogeneity
         );
         // Most points survived (K = 3 over 50% failure ⇒ ~94%).
-        assert!(m.surviving_points > 0.80, "reliability {}", m.surviving_points);
+        assert!(
+            m.surviving_points > 0.80,
+            "reliability {}",
+            m.surviving_points
+        );
     }
 
     #[test]
@@ -1127,6 +1038,9 @@ mod tests {
         );
         // Localized backups sit in the dead region: roughly only the
         // surviving half's own points remain.
-        assert!(local < 0.75, "localized placement suspiciously good: {local:.3}");
+        assert!(
+            local < 0.75,
+            "localized placement suspiciously good: {local:.3}"
+        );
     }
 }

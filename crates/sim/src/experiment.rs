@@ -198,19 +198,11 @@ mod tests {
             inject_round: None,
             total_rounds: 30,
         };
-        let result = run_paper_experiment(
-            &paper,
-            quick_config(),
-            StackKind::Polystyrene,
-            3,
-            |_| {},
-        );
+        let result =
+            run_paper_experiment(&paper, quick_config(), StackKind::Polystyrene, 3, |_| {});
         assert_eq!(result.runs(), 3);
         assert_eq!(result.reliabilities.len(), 3);
-        assert_eq!(
-            result.reshaping_times.len() + result.unreshaped_runs,
-            3
-        );
+        assert_eq!(result.reshaping_times.len() + result.unreshaped_runs, 3);
         // Homogeneity series spans the full scenario.
         assert_eq!(result.homogeneity.rounds(), 30);
         assert_eq!(result.reference_homogeneity.len(), 30);
@@ -232,13 +224,7 @@ mod tests {
             inject_round: None,
             total_rounds: 25,
         };
-        let result = run_paper_experiment(
-            &paper,
-            quick_config(),
-            StackKind::TManOnly,
-            2,
-            |_| {},
-        );
+        let result = run_paper_experiment(&paper, quick_config(), StackKind::TManOnly, 2, |_| {});
         // The baseline heals links but the shape is lost for good.
         assert_eq!(result.reshaping_times.len(), 0);
         assert_eq!(result.unreshaped_runs, 2);

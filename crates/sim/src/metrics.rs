@@ -65,10 +65,7 @@ pub fn reference_homogeneity(area: f64, nodes: usize) -> f64 {
 /// sample labeled with the failure round was measured before the failure
 /// was injected (events fire at the start of the following round), so its
 /// healthy pre-failure homogeneity must not count as a recovery.
-pub fn reshaping_time(
-    series: &[RoundMetrics],
-    failure_round: u32,
-) -> Option<u32> {
+pub fn reshaping_time(series: &[RoundMetrics], failure_round: u32) -> Option<u32> {
     series
         .iter()
         .filter(|m| m.round > failure_round)
@@ -100,8 +97,8 @@ mod tests {
     #[test]
     fn reshaping_time_first_crossing() {
         let series = vec![
-            m(19, 0.1, 0.5),  // pre-failure, ignored
-            m(20, 0.1, 0.5),  // measured just before the failure: ignored
+            m(19, 0.1, 0.5), // pre-failure, ignored
+            m(20, 0.1, 0.5), // measured just before the failure: ignored
             m(21, 2.0, 0.71),
             m(22, 0.6, 0.71), // first crossing, 2 rounds after failure
             m(23, 0.5, 0.71),

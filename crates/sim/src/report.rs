@@ -44,7 +44,13 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(0)))
+            .map(|(i, c)| {
+                format!(
+                    " {:<width$} ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
             .collect::<Vec<_>>()
             .join("|")
     };
@@ -99,11 +105,7 @@ pub fn series_rows(series: &[(&str, &[f64])]) -> (Vec<String>, Vec<Vec<String>>)
     for r in 0..rounds {
         let mut row = vec![r.to_string()];
         for (_, s) in series {
-            row.push(
-                s.get(r)
-                    .map(|v| format!("{v:.6}"))
-                    .unwrap_or_default(),
-            );
+            row.push(s.get(r).map(|v| format!("{v:.6}")).unwrap_or_default());
         }
         rows.push(row);
     }
@@ -197,7 +199,10 @@ mod tests {
         write_csv(
             &path,
             &["round", "value"],
-            &[vec!["0".into(), "1.5".into()], vec!["1".into(), "2.5".into()]],
+            &[
+                vec!["0".into(), "1.5".into()],
+                vec!["1".into(), "2.5".into()],
+            ],
         )
         .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();

@@ -1,93 +1,52 @@
-//! Scenario scripting: timed failure and churn events over an engine run.
+//! Scenario execution on the cycle engine.
 //!
-//! The paper's evaluation scenario (Sec. IV-A) is a three-phase script:
-//! convergence for 20 rounds, a catastrophic half-torus failure at round
-//! 20, and re-injection of 1600 fresh nodes at round 100, observed until
-//! round 200. [`Scenario`] generalizes that: arbitrary events at arbitrary
-//! rounds, applied *before* the round with that index runs.
+//! The scenario *language* — [`Scenario`], [`ScenarioEvent`] (including
+//! the continuous `Churn` extension) and [`PaperScenario`] — lives in
+//! `polystyrene-protocol` and is shared with the threaded runtime; this
+//! module plugs the [`Engine`] in as a [`ScenarioSubstrate`], so the same
+//! script value drives both execution substrates through one code path
+//! ([`polystyrene_protocol::scenario::apply_event`]) and failure
+//! injection cannot drift between them.
 
 use crate::engine::Engine;
 use crate::metrics::RoundMetrics;
 use polystyrene_membership::NodeId;
 use polystyrene_space::MetricSpace;
-use std::collections::BTreeMap;
-use std::sync::Arc;
 
-/// One scripted event.
-#[derive(Clone)]
-pub enum ScenarioEvent<P> {
-    /// Crash every founding node whose *original* data point satisfies the
-    /// predicate (correlated regional failure).
-    FailOriginalRegion(Arc<dyn Fn(&P) -> bool + Send + Sync>),
-    /// Crash a uniformly random fraction of the alive population.
-    FailRandomFraction(f64),
-    /// Crash these specific nodes.
-    FailNodes(Vec<NodeId>),
-    /// Inject fresh, empty nodes at these positions.
-    Inject(Vec<P>),
-}
+pub use polystyrene_protocol::scenario::{
+    apply_event, drive_scenario, PaperScenario, Scenario, ScenarioEvent, ScenarioSubstrate,
+};
 
-impl<P> std::fmt::Debug for ScenarioEvent<P> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::FailOriginalRegion(_) => write!(f, "FailOriginalRegion(<predicate>)"),
-            Self::FailRandomFraction(x) => write!(f, "FailRandomFraction({x})"),
-            Self::FailNodes(ids) => write!(f, "FailNodes({} nodes)", ids.len()),
-            Self::Inject(ps) => write!(f, "Inject({} nodes)", ps.len()),
+impl<S: MetricSpace> ScenarioSubstrate<S::Point> for Engine<S> {
+    fn fail_region(
+        &mut self,
+        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
+    ) -> Vec<NodeId> {
+        self.fail_original_region(predicate)
+    }
+
+    fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        self.fail_random_fraction(fraction)
+    }
+
+    fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+        let mut killed = Vec::new();
+        for &id in ids {
+            let was_alive = self.poly_state(id).is_some();
+            self.crash(id);
+            if was_alive {
+                killed.push(id);
+            }
         }
-    }
-}
-
-/// A timed script of [`ScenarioEvent`]s plus a total duration.
-#[derive(Clone, Debug)]
-pub struct Scenario<P> {
-    total_rounds: u32,
-    events: BTreeMap<u32, Vec<ScenarioEvent<P>>>,
-}
-
-impl<P> Scenario<P> {
-    /// An event-free scenario of the given duration.
-    pub fn new(total_rounds: u32) -> Self {
-        Self {
-            total_rounds,
-            events: BTreeMap::new(),
-        }
+        killed
     }
 
-    /// Schedules `event` to fire just before round `round` executes
-    /// (round indices count completed rounds, so `at(20, …)` fires after
-    /// 20 rounds have run — the paper's "at round 20").
-    pub fn at(mut self, round: u32, event: ScenarioEvent<P>) -> Self {
-        self.events.entry(round).or_default().push(event);
-        self
+    fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
+        Engine::inject(self, positions.to_vec())
     }
 
-    /// Total rounds the scenario runs for.
-    pub fn total_rounds(&self) -> u32 {
-        self.total_rounds
-    }
-
-    /// Rounds at which at least one event fires.
-    pub fn event_rounds(&self) -> Vec<u32> {
-        self.events.keys().copied().collect()
-    }
-
-    /// The first round at which a failure event fires, if any — the
-    /// reference point of the reshaping-time metric.
-    pub fn first_failure_round(&self) -> Option<u32> {
-        self.events
-            .iter()
-            .find(|(_, evs)| {
-                evs.iter().any(|e| {
-                    matches!(
-                        e,
-                        ScenarioEvent::FailOriginalRegion(_)
-                            | ScenarioEvent::FailRandomFraction(_)
-                            | ScenarioEvent::FailNodes(_)
-                    )
-                })
-            })
-            .map(|(&r, _)| r)
+    fn advance_round(&mut self) {
+        self.step();
     }
 }
 
@@ -97,138 +56,9 @@ pub fn run_scenario<S: MetricSpace>(
     engine: &mut Engine<S>,
     scenario: &Scenario<S::Point>,
 ) -> Vec<RoundMetrics> {
-    let mut out = Vec::with_capacity(scenario.total_rounds as usize);
-    for round in 0..scenario.total_rounds {
-        if let Some(events) = scenario.events.get(&round) {
-            for event in events {
-                apply_event(engine, event);
-            }
-        }
-        out.push(engine.step());
-    }
-    out
-}
-
-fn apply_event<S: MetricSpace>(engine: &mut Engine<S>, event: &ScenarioEvent<S::Point>) {
-    match event {
-        ScenarioEvent::FailOriginalRegion(pred) => {
-            let pred = Arc::clone(pred);
-            engine.fail_original_region(move |p| pred(p));
-        }
-        ScenarioEvent::FailRandomFraction(fraction) => {
-            engine.fail_random_fraction(*fraction);
-        }
-        ScenarioEvent::FailNodes(ids) => {
-            for &id in ids {
-                engine.crash(id);
-            }
-        }
-        ScenarioEvent::Inject(positions) => {
-            engine.inject(positions.clone());
-        }
-    }
-}
-
-/// The paper's three-phase evaluation scenario on a `cols × rows` torus
-/// grid (Sec. IV-A), parameterized so the scaling experiments (Fig. 10)
-/// can reuse it at every network size.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct PaperScenario {
-    /// Grid columns (paper: 80).
-    pub cols: usize,
-    /// Grid rows (paper: 40).
-    pub rows: usize,
-    /// Grid step (paper: 1.0).
-    pub step: f64,
-    /// Round of the catastrophic half-torus failure (paper: 20).
-    pub failure_round: u32,
-    /// Round of the fresh-node re-injection, `None` to skip Phase 3
-    /// (paper: 100).
-    pub inject_round: Option<u32>,
-    /// Total rounds observed (paper: 200).
-    pub total_rounds: u32,
-}
-
-impl Default for PaperScenario {
-    fn default() -> Self {
-        Self {
-            cols: 80,
-            rows: 40,
-            step: 1.0,
-            failure_round: 20,
-            inject_round: Some(100),
-            total_rounds: 200,
-        }
-    }
-}
-
-impl PaperScenario {
-    /// A smaller variant for quick runs and CI: same phases on a reduced
-    /// grid and timeline.
-    pub fn small() -> Self {
-        Self {
-            cols: 20,
-            rows: 10,
-            step: 1.0,
-            failure_round: 15,
-            inject_round: Some(45),
-            total_rounds: 70,
-        }
-    }
-
-    /// A scaling variant with Phase 3 disabled, used by the Fig. 10
-    /// reshaping-time sweeps.
-    pub fn reshaping_only(cols: usize, rows: usize, failure_round: u32, tail: u32) -> Self {
-        Self {
-            cols,
-            rows,
-            step: 1.0,
-            failure_round,
-            inject_round: None,
-            total_rounds: failure_round + tail,
-        }
-    }
-
-    /// Number of nodes in the founding population.
-    pub fn node_count(&self) -> usize {
-        self.cols * self.rows
-    }
-
-    /// Torus extents.
-    pub fn extents(&self) -> (f64, f64) {
-        (self.cols as f64 * self.step, self.rows as f64 * self.step)
-    }
-
-    /// Torus area (for the reference homogeneity).
-    pub fn area(&self) -> f64 {
-        let (w, h) = self.extents();
-        w * h
-    }
-
-    /// The initial positions (the target shape).
-    pub fn shape(&self) -> Vec<[f64; 2]> {
-        polystyrene_space::shapes::torus_grid(self.cols, self.rows, self.step)
-    }
-
-    /// Builds the timed event script.
-    pub fn script(&self) -> Scenario<[f64; 2]> {
-        let (width, _) = self.extents();
-        let mut scenario = Scenario::new(self.total_rounds).at(
-            self.failure_round,
-            ScenarioEvent::FailOriginalRegion(Arc::new(move |p: &[f64; 2]| p[0] >= width / 2.0)),
-        );
-        if let Some(inject_round) = self.inject_round {
-            scenario = scenario.at(
-                inject_round,
-                ScenarioEvent::Inject(polystyrene_space::shapes::torus_grid_offset(
-                    self.cols / 2,
-                    self.rows,
-                    self.step,
-                )),
-            );
-        }
-        scenario
-    }
+    let before = engine.history().len();
+    drive_scenario(engine, scenario);
+    engine.history()[before..].to_vec()
 }
 
 #[cfg(test)]
@@ -236,7 +66,6 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use polystyrene_space::prelude::*;
-    use polystyrene_space::shapes;
 
     fn small_engine(seed: u64) -> Engine<Torus2> {
         let p = PaperScenario::small();
@@ -247,19 +76,6 @@ mod tests {
         cfg.tman.view_cap = 30;
         cfg.tman.m = 10;
         Engine::new(Torus2::new(w, h), p.shape(), cfg)
-    }
-
-    #[test]
-    fn paper_scenario_defaults_match_section_iv() {
-        let p = PaperScenario::default();
-        assert_eq!(p.node_count(), 3200);
-        assert_eq!(p.area(), 3200.0);
-        assert_eq!(p.failure_round, 20);
-        assert_eq!(p.inject_round, Some(100));
-        assert_eq!(p.total_rounds, 200);
-        let script = p.script();
-        assert_eq!(script.event_rounds(), vec![20, 100]);
-        assert_eq!(script.first_failure_round(), Some(20));
     }
 
     #[test]
@@ -278,17 +94,6 @@ mod tests {
     }
 
     #[test]
-    fn scenario_event_rounds_and_failure_detection() {
-        let s: Scenario<[f64; 2]> = Scenario::new(50)
-            .at(10, ScenarioEvent::FailRandomFraction(0.1))
-            .at(30, ScenarioEvent::Inject(vec![[0.0, 0.0]]));
-        assert_eq!(s.event_rounds(), vec![10, 30]);
-        assert_eq!(s.first_failure_round(), Some(10));
-        let s2: Scenario<[f64; 2]> = Scenario::new(10).at(5, ScenarioEvent::Inject(vec![]));
-        assert_eq!(s2.first_failure_round(), None);
-    }
-
-    #[test]
     fn fail_nodes_event_applies() {
         let mut engine = small_engine(2);
         let scenario = Scenario::new(3).at(
@@ -298,6 +103,24 @@ mod tests {
         let metrics = run_scenario(&mut engine, &scenario);
         assert_eq!(metrics[0].alive_nodes, 200);
         assert_eq!(metrics[1].alive_nodes, 198);
+    }
+
+    #[test]
+    fn churn_event_drains_population_every_round() {
+        let mut engine = small_engine(4);
+        let scenario = Scenario::new(6).at(
+            2,
+            ScenarioEvent::Churn {
+                rate: 0.1,
+                rounds: 3,
+            },
+        );
+        let metrics = run_scenario(&mut engine, &scenario);
+        assert_eq!(metrics[1].alive_nodes, 200, "churn must not start early");
+        assert_eq!(metrics[2].alive_nodes, 180);
+        assert_eq!(metrics[3].alive_nodes, 162);
+        assert_eq!(metrics[4].alive_nodes, 146);
+        assert_eq!(metrics[5].alive_nodes, 146, "window expired");
     }
 
     #[test]
@@ -319,12 +142,13 @@ mod tests {
     }
 
     #[test]
-    fn shapes_helpers_consistency() {
-        let p = PaperScenario::default();
-        assert_eq!(p.shape().len(), 3200);
-        assert_eq!(
-            p.shape().len(),
-            shapes::torus_grid(p.cols, p.rows, p.step).len()
-        );
+    fn run_scenario_returns_only_its_own_rounds() {
+        let mut engine = small_engine(5);
+        engine.run(3);
+        let scenario: Scenario<[f64; 2]> = Scenario::new(2);
+        let metrics = run_scenario(&mut engine, &scenario);
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(engine.history().len(), 5);
+        assert_eq!(metrics[0].round, 4);
     }
 }

@@ -132,8 +132,7 @@ mod tests {
         assert_eq!(s.round, 3);
         assert!(!s.edges.is_empty());
         // All edge endpoints are alive nodes.
-        let ids: std::collections::HashSet<u64> =
-            s.positions.iter().map(|&(id, _)| id).collect();
+        let ids: std::collections::HashSet<u64> = s.positions.iter().map(|&(id, _)| id).collect();
         for &(a, _b) in &s.edges {
             assert!(ids.contains(&a));
         }

@@ -48,7 +48,9 @@ pub fn torus_grid_offset(cols: usize, rows: usize, step: f64) -> Vec<[f64; 2]> {
 /// `n` points evenly spaced on a ring of the given circumference
 /// (1-D modular abscissae for [`crate::ring::Ring`]).
 pub fn ring_points(n: usize, circumference: f64) -> Vec<f64> {
-    (0..n).map(|i| i as f64 * circumference / n as f64).collect()
+    (0..n)
+        .map(|i| i as f64 * circumference / n as f64)
+        .collect()
 }
 
 /// `n` points evenly spaced on a circle of radius `radius` centered at the

@@ -69,9 +69,9 @@ impl std::fmt::Display for ConfidenceInterval {
 /// back to the normal quantile 1.96 for large `df`.
 fn t_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         return f64::INFINITY;
@@ -162,17 +162,25 @@ impl SeriesAccumulator {
 
     /// Samples available at round `r` across runs.
     fn at_round(&self, r: usize) -> Vec<f64> {
-        self.runs.iter().filter_map(|run| run.get(r)).copied().collect()
+        self.runs
+            .iter()
+            .filter_map(|run| run.get(r))
+            .copied()
+            .collect()
     }
 
     /// Per-round means.
     pub fn means(&self) -> Vec<f64> {
-        (0..self.rounds()).map(|r| mean(&self.at_round(r))).collect()
+        (0..self.rounds())
+            .map(|r| mean(&self.at_round(r)))
+            .collect()
     }
 
     /// Per-round 95 % confidence intervals.
     pub fn cis(&self) -> Vec<ConfidenceInterval> {
-        (0..self.rounds()).map(|r| ci95(&self.at_round(r))).collect()
+        (0..self.rounds())
+            .map(|r| ci95(&self.at_round(r)))
+            .collect()
     }
 }
 

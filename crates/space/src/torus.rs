@@ -78,10 +78,7 @@ impl Torus2 {
     /// assert_eq!(t.normalize([12.5, -1.0]), [2.5, 9.0]);
     /// ```
     pub fn normalize(&self, p: [f64; 2]) -> [f64; 2] {
-        [
-            p[0].rem_euclid(self.width),
-            p[1].rem_euclid(self.height),
-        ]
+        [p[0].rem_euclid(self.width), p[1].rem_euclid(self.height)]
     }
 
     /// Shortest signed displacement along one axis of circumference `len`.

@@ -278,7 +278,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "m (profiles per message)")]
     fn zero_m_rejected() {
-        let _ = TMan::new(Euclidean2, TManConfig { view_cap: 1, m: 0, psi: 1 });
+        let _ = TMan::new(
+            Euclidean2,
+            TManConfig {
+                view_cap: 1,
+                m: 0,
+                psi: 1,
+            },
+        );
     }
 
     #[test]
@@ -294,7 +301,11 @@ mod tests {
     #[test]
     fn integrate_drops_self_descriptor() {
         let mut t = TMan::new(Euclidean2, small_config());
-        t.integrate(NodeId::new(7), &[0.0, 0.0], &[d(7, 1.0, 0.0), d(2, 2.0, 0.0)]);
+        t.integrate(
+            NodeId::new(7),
+            &[0.0, 0.0],
+            &[d(7, 1.0, 0.0), d(2, 2.0, 0.0)],
+        );
         assert_eq!(t.view_len(), 1);
         assert_eq!(t.view_entries()[0].id, NodeId::new(2));
     }
@@ -339,7 +350,14 @@ mod tests {
 
     #[test]
     fn prepare_message_targets_recipient_and_includes_self() {
-        let mut t = TMan::new(Euclidean2, TManConfig { view_cap: 10, m: 3, psi: 2 });
+        let mut t = TMan::new(
+            Euclidean2,
+            TManConfig {
+                view_cap: 10,
+                m: 3,
+                psi: 2,
+            },
+        );
         t.integrate(
             NodeId::new(0),
             &[0.0, 0.0],
@@ -358,10 +376,21 @@ mod tests {
         let mut a = TMan::new(Euclidean2, small_config());
         let mut b = TMan::new(Euclidean2, small_config());
         // a knows far nodes near b; b knows far nodes near a.
-        a.integrate(NodeId::new(0), &[0.0, 0.0], &[d(10, 10.0, 0.0), d(11, 11.0, 0.0)]);
-        b.integrate(NodeId::new(1), &[10.0, 0.0], &[d(20, 0.5, 0.0), d(21, 1.5, 0.0)]);
+        a.integrate(
+            NodeId::new(0),
+            &[0.0, 0.0],
+            &[d(10, 10.0, 0.0), d(11, 11.0, 0.0)],
+        );
+        b.integrate(
+            NodeId::new(1),
+            &[10.0, 0.0],
+            &[d(20, 0.5, 0.0), d(21, 1.5, 0.0)],
+        );
         let stats = tman_exchange(&mut a, d(0, 0.0, 0.0), &mut b, d(1, 10.0, 0.0));
-        assert_eq!(stats.total(), stats.request_descriptors + stats.reply_descriptors);
+        assert_eq!(
+            stats.total(),
+            stats.request_descriptors + stats.reply_descriptors
+        );
         // a learned about 20/21 (close to a), b about 10/11 (close to b).
         assert!(a.view_entries().iter().any(|e| e.id == NodeId::new(20)));
         assert!(b.view_entries().iter().any(|e| e.id == NodeId::new(10)));
@@ -392,7 +421,7 @@ mod tests {
             &[d(1, 1.0, 0.0), d(2, 2.0, 0.0), d(3, 3.0, 0.0)],
         );
         t.begin_round(); // age everything to 1
-        // Node 1 moved, node 2 stayed, node 3 is unknown to the lookup.
+                         // Node 1 moved, node 2 stayed, node 3 is unknown to the lookup.
         let changed = t.refresh_positions(|id| match id.as_u64() {
             1 => Some([5.0, 0.0]),
             2 => Some([2.0, 0.0]),
@@ -424,7 +453,11 @@ mod tests {
     fn converges_to_ring_neighborhoods() {
         let n = 24u64;
         let space = Ring::new(n as f64);
-        let config = TManConfig { view_cap: 8, m: 4, psi: 3 };
+        let config = TManConfig {
+            view_cap: 8,
+            m: 4,
+            psi: 3,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let mut nodes: Vec<TMan<Ring>> = (0..n).map(|_| TMan::new(space, config)).collect();
         let pos = |i: u64| i as f64;

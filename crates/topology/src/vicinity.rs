@@ -295,9 +295,7 @@ mod tests {
         let mut v = Vicinity::new(Euclidean2, cfg());
         v.integrate(NodeId::new(0), &[0.0, 0.0], &[d(1, 1.0), d(2, 2.0)]);
         v.begin_round();
-        let changed = v.refresh_positions(|id| {
-            (id == NodeId::new(1)).then_some([9.0, 0.0])
-        });
+        let changed = v.refresh_positions(|id| (id == NodeId::new(1)).then_some([9.0, 0.0]));
         assert_eq!(changed, 1);
         let view = v.view_entries();
         assert_eq!(

@@ -31,7 +31,11 @@ fn run(label: &str, polystyrene: bool) -> (f64, f64) {
     let mut config = EngineConfig::default();
     config.area = w * h;
     config.poly = PolystyreneConfig::builder().replication(6).build();
-    let mut engine = Engine::new(Torus2::new(w, h), shapes::torus_grid(cols, rows, 1.0), config);
+    let mut engine = Engine::new(
+        Torus2::new(w, h),
+        shapes::torus_grid(cols, rows, 1.0),
+        config,
+    );
     if !polystyrene {
         engine.disable_polystyrene();
     }
@@ -64,6 +68,12 @@ fn main() {
         tman_survive * 100.0
     );
     assert!(poly_h < tman_h, "Polystyrene must preserve coverage better");
-    assert!(poly_survive > 0.99, "K=6 over a 25% failure loses ~0.02% of ranges");
-    assert!(tman_survive < 0.80, "the baseline forfeits the whole quadrant");
+    assert!(
+        poly_survive > 0.99,
+        "K=6 over a 25% failure loses ~0.02% of ranges"
+    );
+    assert!(
+        tman_survive < 0.80,
+        "the baseline forfeits the whole quadrant"
+    );
 }

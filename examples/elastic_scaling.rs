@@ -25,7 +25,11 @@ fn main() {
     );
 
     engine.run(20);
-    println!("steady state: {} nodes, homogeneity {:.3}", engine.alive_count(), engine.compute_metrics().homogeneity);
+    println!(
+        "steady state: {} nodes, homogeneity {:.3}",
+        engine.alive_count(),
+        engine.compute_metrics().homogeneity
+    );
 
     // Scale-in: churn takes out half the fleet over five waves.
     for wave in 1..=5 {
@@ -55,13 +59,24 @@ fn main() {
         "after scale-out: {} nodes, homogeneity {:.3} (H {:.3}), {:.2} points/node",
         grown.alive_nodes, grown.homogeneity, grown.reference_homogeneity, grown.points_per_node
     );
-    assert!(grown.homogeneity < shrunk.homogeneity, "denser fleet ⇒ finer coverage");
+    assert!(
+        grown.homogeneity < shrunk.homogeneity,
+        "denser fleet ⇒ finer coverage"
+    );
 
     // The fresh nodes are not freeloading: most now host data points.
     let busy = fresh
         .iter()
-        .filter(|&&id| !engine.poly_state(id).map(|s| s.guests.is_empty()).unwrap_or(true))
+        .filter(|&&id| {
+            !engine
+                .poly_state(id)
+                .map(|s| s.guests.is_empty())
+                .unwrap_or(true)
+        })
         .count();
     println!("{busy}/{} fresh nodes acquired data points", fresh.len());
-    assert!(busy * 2 > fresh.len(), "the shape must spread onto new capacity");
+    assert!(
+        busy * 2 > fresh.len(),
+        "the shape must spread onto new capacity"
+    );
 }

@@ -36,7 +36,11 @@ fn main() {
                 .expect("put should succeed on a healthy overlay");
         }
     }
-    println!("stored {} values across {} nodes", store.len(), engine.alive_count());
+    println!(
+        "stored {} values across {} nodes",
+        store.len(),
+        engine.alive_count()
+    );
 
     // Catastrophe.
     let killed = engine.fail_original_region(shapes::in_right_half(w));
@@ -58,7 +62,14 @@ fn main() {
         store.len(),
         lost
     );
-    assert_eq!(served, store.len(), "reshaped overlay must serve every survivor");
+    assert_eq!(
+        served,
+        store.len(),
+        "reshaped overlay must serve every survivor"
+    );
     // ~Half the holders die in expectation; allow sampling noise.
-    assert!(lost <= keys.len() * 2 / 3, "far too many holders lost: {lost}");
+    assert!(
+        lost <= keys.len() * 2 / 3,
+        "far too many holders lost: {lost}"
+    );
 }

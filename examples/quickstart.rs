@@ -24,11 +24,18 @@ fn main() {
     // Phase 1: let T-Man converge while Polystyrene replicates.
     engine.run(20);
     let m = engine.compute_metrics();
-    println!("converged: proximity {:.2}, homogeneity {:.3}", m.proximity, m.homogeneity);
+    println!(
+        "converged: proximity {:.2}, homogeneity {:.3}",
+        m.proximity, m.homogeneity
+    );
 
     // Phase 2: a datacenter hosting the right half of the torus dies.
     let killed = engine.fail_original_region(shapes::in_right_half(cols as f64));
-    println!("catastrophe: {} of {} nodes crashed simultaneously", killed.len(), cols * rows);
+    println!(
+        "catastrophe: {} of {} nodes crashed simultaneously",
+        killed.len(),
+        cols * rows
+    );
 
     // Watch the survivors re-adopt the dead half's data points and migrate.
     for _ in 0..12 {
@@ -43,7 +50,11 @@ fn main() {
     let reshaped = final_metrics.homogeneity < final_metrics.reference_homogeneity;
     println!(
         "\nshape {} — {:.1}% of the original data points survived",
-        if reshaped { "RE-FORMED" } else { "still degraded" },
+        if reshaped {
+            "RE-FORMED"
+        } else {
+            "still degraded"
+        },
         final_metrics.surviving_points * 100.0
     );
     assert!(reshaped, "the torus should have re-formed");

@@ -140,7 +140,10 @@ impl BenchmarkGroup<'_> {
                     b.iters_done
                 );
             }
-            _ => println!("{}/{:<40} (no measurement — b.iter never called)", self.name, id),
+            _ => println!(
+                "{}/{:<40} (no measurement — b.iter never called)",
+                self.name, id
+            ),
         }
     }
 

@@ -6,9 +6,7 @@
 
 /// Channel types under crossbeam's module layout.
 pub mod channel {
-    pub use std::sync::mpsc::{
-        RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
-    };
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
 
     /// The receiving half. `std`'s receiver under crossbeam's name.
     pub type Receiver<T> = std::sync::mpsc::Receiver<T>;

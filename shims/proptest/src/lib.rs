@@ -116,9 +116,7 @@ pub fn run_property<V>(
                 );
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!(
-                    "property '{name}' failed at case {case}:\n  {msg}\n  input: {input:?}"
-                );
+                panic!("property '{name}' failed at case {case}:\n  {msg}\n  input: {input:?}");
             }
         }
     }
@@ -151,30 +149,42 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { lo: n, hi_exclusive: n + 1 }
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            Self { lo: r.start, hi_exclusive: r.end }
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty collection size range");
-            Self { lo: *r.start(), hi_exclusive: r.end() + 1 }
+            Self {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
         }
     }
 
     /// Strategy for `Vec<E::Value>` with a length drawn from `size`.
     pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<E> {
         element: E,
@@ -198,7 +208,10 @@ pub mod collection {
         E: Strategy,
         E::Value: std::hash::Hash + Eq,
     {
-        HashSetStrategy { element, size: size.into() }
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`hash_set`].
@@ -233,7 +246,10 @@ pub mod collection {
         E: Strategy,
         E::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`btree_set`].
@@ -312,7 +328,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: `{} != {}` (both: `{:?}`)",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

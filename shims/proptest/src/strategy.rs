@@ -32,7 +32,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, f, reason }
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
     }
 }
 
@@ -82,7 +86,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive values: {}", self.reason);
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.reason
+        );
     }
 }
 
@@ -167,7 +174,9 @@ mod tests {
     fn filter_and_just() {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
-            let v = (0..100u64).prop_filter("even", |v| v % 2 == 0).generate(&mut rng);
+            let v = (0..100u64)
+                .prop_filter("even", |v| v % 2 == 0)
+                .generate(&mut rng);
             assert_eq!(v % 2, 0);
             assert_eq!(Just(7u8).generate(&mut rng), 7);
         }

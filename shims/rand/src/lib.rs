@@ -63,7 +63,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     fn random_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
         unit_f64(self.next_u64()) < p
     }
 
@@ -405,7 +408,10 @@ mod tests {
         for _ in 0..500 {
             seen[rng.random_range(0..8usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "8-value range not covered: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "8-value range not covered: {seen:?}"
+        );
     }
 
     #[test]

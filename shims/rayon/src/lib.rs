@@ -28,10 +28,7 @@ fn chunk_len(total: usize, workers: usize) -> usize {
 }
 
 /// Parallel map over a slice, preserving input order.
-fn par_map_slice<'a, T: Sync, U: Send>(
-    items: &'a [T],
-    f: &(impl Fn(&'a T) -> U + Sync),
-) -> Vec<U> {
+fn par_map_slice<'a, T: Sync, U: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> U + Sync)) -> Vec<U> {
     let workers = current_num_threads();
     if items.len() < PARALLEL_THRESHOLD || workers <= 1 {
         return items.iter().map(f).collect();
@@ -241,9 +238,7 @@ pub mod iter {
 
 /// `use rayon::prelude::*` — the canonical import.
 pub mod prelude {
-    pub use crate::iter::{
-        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
-    };
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator};
 }
 
 #[cfg(test)]

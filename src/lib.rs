@@ -10,6 +10,7 @@
 //! | membership | [`membership`] | node ids, gossip views, RPS, failure detectors |
 //! | topology | [`topology`] | T-Man, Vicinity |
 //! | **core** | [`core`] | the Polystyrene layer (projection, backup, recovery, migration, splits) |
+//! | **protocol** | [`protocol`] | the sans-IO per-node state machine + shared scenario scripts |
 //! | routing | [`routing`] | greedy routing + key-value facade (the motivating application) |
 //! | simulation | [`sim`] | cycle-driven engine + every paper experiment |
 //! | deployment | [`runtime`] | threaded message-passing cluster |
@@ -43,6 +44,7 @@
 
 pub use polystyrene as core;
 pub use polystyrene_membership as membership;
+pub use polystyrene_protocol as protocol;
 pub use polystyrene_routing as routing;
 pub use polystyrene_runtime as runtime;
 pub use polystyrene_sim as sim;
@@ -53,9 +55,12 @@ pub use polystyrene_topology as topology;
 pub mod prelude {
     pub use polystyrene::prelude::*;
     pub use polystyrene_membership::{Descriptor, FailureDetector, NodeId, PeerSampling, View};
+    pub use polystyrene_protocol::prelude::*;
     pub use polystyrene_routing::prelude::*;
-    pub use polystyrene_runtime::{Cluster, RuntimeConfig};
+    pub use polystyrene_runtime::{run_cluster_scenario, Cluster, RuntimeConfig};
     pub use polystyrene_sim::prelude::*;
     pub use polystyrene_space::prelude::*;
-    pub use polystyrene_topology::{TMan, TManConfig, TopologyConstruction, Vicinity, VicinityConfig};
+    pub use polystyrene_topology::{
+        TMan, TManConfig, TopologyConstruction, Vicinity, VicinityConfig,
+    };
 }

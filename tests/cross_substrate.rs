@@ -1,0 +1,118 @@
+//! Cross-substrate equivalence: one [`Scenario`] value — the paper's
+//! three phases plus a continuous churn window — executes on **both**
+//! execution substrates through the shared scenario driver, and both
+//! recover the shape.
+//!
+//! The cycle engine and the threaded cluster now run the *same* sans-IO
+//! `ProtocolNode` state machine and the *same* event-application code
+//! path, so this is the end-to-end check that the two substrates agree
+//! on what the script means: identical alive-population arithmetic
+//! (failure, churn rounding, injection), shape recovery (homogeneity
+//! back below threshold) and point conservation on both.
+
+use polystyrene_repro::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const COLS: usize = 8;
+const ROWS: usize = 4;
+
+/// Converge 20 rounds → kill the right half-torus → 2 rounds of 5% churn
+/// → re-inject 16 fresh nodes → observe to round 55.
+fn shared_scenario() -> Scenario<[f64; 2]> {
+    Scenario::new(55)
+        .at(
+            20,
+            ScenarioEvent::FailOriginalRegion(Arc::new(|p: &[f64; 2]| p[0] >= COLS as f64 / 2.0)),
+        )
+        .at(
+            25,
+            ScenarioEvent::Churn {
+                rate: 0.05,
+                rounds: 2,
+            },
+        )
+        .at(
+            35,
+            ScenarioEvent::Inject(shapes::torus_grid_offset(COLS / 2, ROWS, 1.0)),
+        )
+}
+
+/// Population after the script: 32 founders − 16 (half torus) − 1 − 1
+/// (5% churn of 16 then 15, rounded) + 16 injected.
+const EXPECTED_FINAL_ALIVE: usize = 30;
+
+#[test]
+fn engine_runs_the_shared_scenario_and_recovers() {
+    let scenario = shared_scenario();
+    let mut cfg = EngineConfig::default();
+    cfg.area = (COLS * ROWS) as f64;
+    cfg.seed = 11;
+    cfg.tman.view_cap = 20;
+    cfg.tman.m = 8;
+    let mut engine = Engine::new(
+        Torus2::new(COLS as f64, ROWS as f64),
+        shapes::torus_grid(COLS, ROWS, 1.0),
+        cfg,
+    );
+    let metrics = run_scenario(&mut engine, &scenario);
+    assert_eq!(metrics.len(), 55);
+    assert_eq!(metrics[19].alive_nodes, 32, "pre-failure population");
+    assert_eq!(metrics[20].alive_nodes, 16, "half torus down");
+    assert_eq!(metrics[26].alive_nodes, 14, "two churn rounds");
+    let last = metrics.last().unwrap();
+    assert_eq!(last.alive_nodes, EXPECTED_FINAL_ALIVE);
+    assert!(
+        last.homogeneity < last.reference_homogeneity,
+        "engine failed to reshape: {} vs reference {}",
+        last.homogeneity,
+        last.reference_homogeneity
+    );
+    assert!(
+        last.surviving_points > 0.8,
+        "engine lost too many points: {}",
+        last.surviving_points
+    );
+}
+
+#[test]
+fn cluster_runs_the_same_scenario_and_recovers() {
+    let scenario = shared_scenario();
+    // 8 ms leaves debug-build message handling headroom per round on a
+    // loaded CI box (see tests/runtime_cluster.rs).
+    let mut config = RuntimeConfig::default();
+    config.tick = Duration::from_millis(8);
+    config.poly = PolystyreneConfig::builder().replication(4).build();
+    let cluster = Cluster::spawn(
+        Torus2::new(COLS as f64, ROWS as f64),
+        shapes::torus_grid(COLS, ROWS, 1.0),
+        config,
+    );
+    let observations = run_cluster_scenario(&cluster, &scenario, Duration::from_secs(10), 11);
+    assert_eq!(observations.len(), 55);
+    // The population arithmetic is identical to the engine's: the two
+    // substrates share the event-application code path.
+    assert_eq!(observations[19].alive_nodes, 32, "pre-failure population");
+    assert_eq!(observations[20].alive_nodes, 16, "half torus down");
+    assert_eq!(observations[26].alive_nodes, 14, "two churn rounds");
+    let last = observations.last().unwrap();
+    assert_eq!(last.alive_nodes, EXPECTED_FINAL_ALIVE);
+    // Shape recovery: the wall-clock substrate is noisier than the cycle
+    // engine (snapshots catch points mid-migration), so the thresholds
+    // are looser but the qualitative claim is the same — homogeneity
+    // returns below threshold and the points survived the blast.
+    let best_tail_homogeneity = observations[40..]
+        .iter()
+        .map(|o| o.homogeneity)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_tail_homogeneity < 1.0,
+        "cluster failed to reshape: best tail homogeneity {best_tail_homogeneity}"
+    );
+    assert!(
+        last.surviving_points > 0.6,
+        "cluster lost too many points: {}",
+        last.surviving_points
+    );
+    cluster.shutdown();
+}

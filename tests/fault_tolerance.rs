@@ -62,7 +62,11 @@ fn rides_out_continuous_churn() {
     // Ten compounding 5 % waves with only 3 rounds of re-replication in
     // between lose a few percent of points per wave tail; ~0.85+ survival
     // is the expected regime for K = 4 (a single 50 % blast keeps ~0.97).
-    assert!(m.surviving_points > 0.82, "churn lost points: {}", m.surviving_points);
+    assert!(
+        m.surviving_points > 0.82,
+        "churn lost points: {}",
+        m.surviving_points
+    );
 }
 
 #[test]

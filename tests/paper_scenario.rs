@@ -35,7 +35,11 @@ fn three_phases_follow_the_paper() {
     let converged = &metrics[paper.failure_round as usize - 1];
     assert_eq!(converged.alive_nodes, 288);
     assert!(converged.homogeneity < 1e-9);
-    assert!(converged.proximity < 1.3, "proximity {}", converged.proximity);
+    assert!(
+        converged.proximity < 1.3,
+        "proximity {}",
+        converged.proximity
+    );
     // Steady-state memory: 1 + K points per node (paper Fig. 7a).
     assert!((converged.points_per_node - 5.0).abs() < 0.5);
 
@@ -51,7 +55,10 @@ fn three_phases_follow_the_paper() {
     // failure (~2×(1+K)) and then decay as migration deduplicates.
     let spike = metrics[paper.failure_round as usize + 2].points_per_node;
     let settled = metrics[paper.inject_round.unwrap() as usize - 1].points_per_node;
-    assert!(spike > settled, "no dedup decay: spike {spike}, settled {settled}");
+    assert!(
+        spike > settled,
+        "no dedup decay: spike {spike}, settled {settled}"
+    );
 
     // Phase 3: reinjection brings homogeneity far below the half-
     // population plateau (paper: 0.035 vs 0.61).
@@ -103,7 +110,10 @@ fn replication_factor_trades_speed_for_reliability() {
     let (t8, r8) = run(8);
     assert!(t4.is_some() && t8.is_some());
     // Reliability ordering is a strong statistical signal even in 1 run.
-    assert!(r2 < r4 + 0.05, "K=2 ({r2}) should not beat K=4 ({r4}) by much");
+    assert!(
+        r2 < r4 + 0.05,
+        "K=2 ({r2}) should not beat K=4 ({r4}) by much"
+    );
     assert!(r8 > r2, "K=8 ({r8}) must beat K=2 ({r2})");
     assert!(r8 > 0.985, "K=8 reliability {r8}");
 }

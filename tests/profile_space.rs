@@ -82,7 +82,11 @@ fn community_outage_is_absorbed() {
     e.run(20);
     let m = e.compute_metrics();
     // Most profiles survived via replication…
-    assert!(m.surviving_points > 0.9, "profiles lost: {}", m.surviving_points);
+    assert!(
+        m.surviving_points > 0.9,
+        "profiles lost: {}",
+        m.surviving_points
+    );
     // …and their nearest holders are close in Jaccard distance (the
     // maximum possible distance is 1.0; random assignment would sit
     // near 1).

@@ -47,7 +47,11 @@ fn full_lifecycle_failover_and_reinjection() {
     assert_eq!(steady.alive_nodes, 32);
     let settled = settled_homogeneity(&cluster, 0.2, Duration::from_secs(8));
     assert!(settled < 0.2, "homogeneity {settled}");
-    assert!(steady.points_per_node > 3.5, "replication lagging: {}", steady.points_per_node);
+    assert!(
+        steady.points_per_node > 3.5,
+        "replication lagging: {}",
+        steady.points_per_node
+    );
 
     // Catastrophe: the right half dies mid-flight.
     let killed = cluster.kill_region(shapes::in_right_half(cols as f64));
@@ -60,7 +64,11 @@ fn full_lifecycle_failover_and_reinjection() {
         "lost too many points: {}",
         healed.surviving_points
     );
-    assert!(healed.homogeneity < 2.0, "homogeneity {}", healed.homogeneity);
+    assert!(
+        healed.homogeneity < 2.0,
+        "homogeneity {}",
+        healed.homogeneity
+    );
 
     // Re-provision: fresh empty nodes join and absorb load.
     for pos in shapes::torus_grid_offset(cols / 2, rows, 1.0) {

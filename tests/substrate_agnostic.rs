@@ -71,7 +71,9 @@ impl MiniDriver {
     }
 
     fn alive(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_some()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect()
     }
 
     fn round(&mut self) {
@@ -145,9 +147,13 @@ impl MiniDriver {
             let mut pool_iter = pool.into_iter();
             let pushes = {
                 let node = self.nodes[i].as_mut().unwrap();
-                plan_backups(&mut node.poly, me, self.cfg.replication, |id| failed.contains(&id), || {
-                    pool_iter.next()
-                })
+                plan_backups(
+                    &mut node.poly,
+                    me,
+                    self.cfg.replication,
+                    |id| failed.contains(&id),
+                    || pool_iter.next(),
+                )
             };
             for push in pushes {
                 if let Some(target) = self.nodes[push.target.index()].as_mut() {
@@ -184,7 +190,13 @@ impl MiniDriver {
                 let (l, r) = self.nodes.split_at_mut(i);
                 (r[0].as_mut().unwrap(), l[j].as_mut().unwrap())
             };
-            migrate_exchange(&self.space, &self.cfg, &mut a.poly, &mut b.poly, &mut self.rng);
+            migrate_exchange(
+                &self.space,
+                &self.cfg,
+                &mut a.poly,
+                &mut b.poly,
+                &mut self.rng,
+            );
         }
     }
 
@@ -228,11 +240,17 @@ fn polystyrene_reshapes_over_vicinity_too() {
     for _ in 0..15 {
         driver.round();
     }
-    assert!(driver.homogeneity() < 0.1, "Vicinity stack failed to converge");
+    assert!(
+        driver.homogeneity() < 0.1,
+        "Vicinity stack failed to converge"
+    );
 
     driver.fail_right_half(16.0);
     let at_failure = driver.homogeneity();
-    assert!(at_failure > 1.0, "failure should tear the shape: {at_failure}");
+    assert!(
+        at_failure > 1.0,
+        "failure should tear the shape: {at_failure}"
+    );
 
     for _ in 0..25 {
         driver.round();
