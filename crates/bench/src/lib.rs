@@ -36,13 +36,35 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Output directory for CSV dumps.
     pub out: PathBuf,
+    /// Base link latency in simulated ticks (`--net-latency`; netsim
+    /// substrate only).
+    pub net_latency: u64,
+    /// Uniform extra link jitter in simulated ticks (`--net-jitter`).
+    pub net_jitter: u64,
+    /// Link loss probability in `[0, 1]` (`--net-loss`; out-of-range
+    /// values are rejected at parse time).
+    pub net_loss: f64,
+    /// Duration of scripted partitions in rounds (`--partition-rounds`;
+    /// 0 = the scenario has no partition window).
+    pub partition_rounds: u32,
     /// Figure-specific `--key value` pairs, restricted to the keys the
     /// binary declared via [`CommonArgs::parse_with`].
     pub extra: HashMap<String, String>,
 }
 
 /// The flags every experiment binary accepts.
-const COMMON_KEYS: [&str; 6] = ["cols", "rows", "runs", "k", "seed", "out"];
+const COMMON_KEYS: [&str; 10] = [
+    "cols",
+    "rows",
+    "runs",
+    "k",
+    "seed",
+    "out",
+    "net-latency",
+    "net-jitter",
+    "net-loss",
+    "partition-rounds",
+];
 
 impl Default for CommonArgs {
     fn default() -> Self {
@@ -53,6 +75,10 @@ impl Default for CommonArgs {
             k: 4,
             seed: 1,
             out: PathBuf::from("target/experiments"),
+            net_latency: 2,
+            net_jitter: 1,
+            net_loss: 0.0,
+            partition_rounds: 0,
             extra: HashMap::new(),
         }
     }
@@ -115,6 +141,26 @@ impl CommonArgs {
                 "k" => args.k = value.parse().expect("--k expects an integer"),
                 "seed" => args.seed = value.parse().expect("--seed expects an integer"),
                 "out" => args.out = PathBuf::from(value),
+                "net-latency" => {
+                    args.net_latency = value.parse().expect("--net-latency expects an integer")
+                }
+                "net-jitter" => {
+                    args.net_jitter = value.parse().expect("--net-jitter expects an integer")
+                }
+                "net-loss" => {
+                    let loss: f64 = value.parse().expect("--net-loss expects a number");
+                    assert!(
+                        (0.0..=1.0).contains(&loss),
+                        "--net-loss must be a probability in [0, 1], got {loss}\n{}",
+                        usage()
+                    );
+                    args.net_loss = loss;
+                }
+                "partition-rounds" => {
+                    args.partition_rounds = value
+                        .parse()
+                        .expect("--partition-rounds expects an integer")
+                }
                 _ if extra_keys.contains(&key) => {
                     args.extra.insert(key.to_string(), value);
                 }
@@ -142,6 +188,15 @@ impl CommonArgs {
             cols: self.cols,
             rows: self.rows,
             ..Default::default()
+        }
+    }
+
+    /// The link profile described by the `--net-*` flags.
+    pub fn link_profile(&self) -> polystyrene_protocol::LinkProfile {
+        polystyrene_protocol::LinkProfile {
+            latency: self.net_latency,
+            jitter: self.net_jitter,
+            loss: self.net_loss,
         }
     }
 }
@@ -319,6 +374,54 @@ mod tests {
         );
         assert_eq!(args.cols, 8);
         assert_eq!(args.extra_usize("max-nodes", 0), 400);
+    }
+
+    #[test]
+    fn parse_argv_accepts_net_flags() {
+        let args = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec![
+                "--net-latency",
+                "5",
+                "--net-jitter",
+                "2",
+                "--net-loss",
+                "0.1",
+                "--partition-rounds",
+                "7",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        );
+        assert_eq!(args.net_latency, 5);
+        assert_eq!(args.net_jitter, 2);
+        assert!((args.net_loss - 0.1).abs() < 1e-12);
+        assert_eq!(args.partition_rounds, 7);
+        let link = args.link_profile();
+        assert_eq!(link.latency, 5);
+        assert_eq!(link.jitter, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "--net-loss must be a probability in [0, 1]")]
+    fn parse_argv_rejects_out_of_range_loss() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--net-loss".to_string(), "1.5".to_string()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag --net-los")]
+    fn parse_argv_rejects_typoed_net_flag() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--net-los".to_string(), "0.1".to_string()],
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Configuration of the discrete-event network simulator.
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_protocol::{LinkProfile, ProtocolConfig};
+use polystyrene_topology::TManConfig;
+
+/// Simulator-level configuration: protocol parameters plus the network
+/// model and the event-kernel knobs.
+///
+/// Defaults match the cycle engine's paper settings, with an ideal
+/// (instant, lossless) link — under which the simulator reproduces the
+/// cycle engine's per-round population arithmetic exactly (the
+/// equivalence anchor pinned by `tests/equivalence.rs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetSimConfig {
+    /// T-Man parameters (view cap 100, m = 20, ψ = 5 in the paper).
+    pub tman: TManConfig,
+    /// Polystyrene parameters (K, split strategy, projection, …).
+    pub poly: PolystyreneConfig,
+    /// RPS view capacity.
+    pub rps_view_cap: usize,
+    /// Descriptors exchanged per RPS shuffle.
+    pub rps_shuffle_len: usize,
+    /// Random contacts seeded into each T-Man view at start.
+    pub tman_bootstrap: usize,
+    /// The link model every message is routed through.
+    pub link: LinkProfile,
+    /// Simulated time units per protocol round. Latency is expressed in
+    /// the same units, so `latency >= ticks_per_round` means a message
+    /// arrives in a *later* round than it was sent in. Node activations
+    /// are jittered uniformly over this span, so a larger value also
+    /// means fewer migration collisions (busy bounces): round-trip
+    /// exchanges occupy a smaller fraction of the round.
+    pub ticks_per_round: u64,
+    /// Simulated time units between a crash and the round survivors'
+    /// failure knowledge reports it (0 = the engine's perfect detector).
+    pub detection_delay_ticks: u64,
+    /// Protocol rounds an in-flight migration (or an unacknowledged
+    /// handout) may stay open before its owner gives up.
+    pub migration_timeout_rounds: u32,
+    /// Surface area of the data space, for the reference homogeneity.
+    pub area: f64,
+    /// Master seed; every run with the same seed is bit-identical.
+    pub seed: u64,
+}
+
+impl Default for NetSimConfig {
+    fn default() -> Self {
+        Self {
+            tman: TManConfig::default(),
+            poly: PolystyreneConfig::default(),
+            rps_view_cap: 20,
+            rps_shuffle_len: 8,
+            tman_bootstrap: 10,
+            link: LinkProfile::ideal(),
+            ticks_per_round: 16,
+            detection_delay_ticks: 0,
+            migration_timeout_rounds: 3,
+            area: 3200.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetSimConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid sub-configuration, a zero `ticks_per_round`,
+    /// or a zero migration timeout.
+    pub fn validate(&self) {
+        self.tman.validate();
+        self.poly.validate();
+        self.link.validate();
+        assert!(
+            self.ticks_per_round >= 1,
+            "a round must span at least one simulated time unit"
+        );
+        assert!(
+            self.migration_timeout_rounds >= 1,
+            "migration timeout must be at least one round"
+        );
+    }
+
+    /// The protocol-level slice of this configuration. The kernel
+    /// supplies failure knowledge externally (crash/detect events), so
+    /// the built-in heartbeat detector is disabled; the migration timeout
+    /// stays *finite* — unlike under the cycle engine, a reply here can
+    /// be delayed or dropped, and the pending-exchange lock must expire.
+    pub fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            tman: self.tman,
+            poly: self.poly,
+            rps_view_cap: self.rps_view_cap,
+            rps_shuffle_len: self.rps_shuffle_len,
+            heartbeat_timeout_ticks: u32::MAX,
+            migration_timeout_ticks: self.migration_timeout_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_ideal() {
+        let cfg = NetSimConfig::default();
+        cfg.validate();
+        assert!(cfg.link.is_ideal());
+        let protocol = cfg.protocol();
+        assert_eq!(protocol.heartbeat_timeout_ticks, u32::MAX);
+        assert_eq!(
+            protocol.migration_timeout_ticks,
+            cfg.migration_timeout_rounds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulated time unit")]
+    fn zero_round_span_rejected() {
+        let mut cfg = NetSimConfig::default();
+        cfg.ticks_per_round = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_link_rejected() {
+        let mut cfg = NetSimConfig::default();
+        cfg.link.loss = -0.5;
+        cfg.validate();
+    }
+}

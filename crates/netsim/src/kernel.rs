@@ -1,0 +1,822 @@
+//! The discrete-event kernel: a binary-heap future-event queue driving
+//! the sans-IO protocol stack through an explicit network model.
+//!
+//! Where the cycle engine applies every [`Effect::Send`] synchronously —
+//! the atomic pairwise exchange of PeerSim's cycle-driven mode — this
+//! kernel hands each send to a [`NetworkModel`] and schedules the
+//! delivery as a future event keyed by `(deliver_at, seq)`: messages can
+//! arrive later in the round, in a *later round*, out of order with
+//! respect to other links, or never (loss, partitions). Crashes and
+//! their detection are events too: a crash at time `t` enters the
+//! survivors' failure knowledge only when its `Detect` event fires at
+//! `t + detection_delay`.
+//!
+//! The protocol stack is the unchanged [`ProtocolNode`] both other
+//! substrates drive. Reachability probes are answered from the *kernel's
+//! failure knowledge* (what has been detected so far) — not from ground
+//! truth, so an undetected crash lets exchanges start and then time out,
+//! exactly as a deployment would experience it. Partitions never fail a
+//! probe: nothing crashed, so the failure detector has nothing to say —
+//! the opened exchange's traffic simply vanishes in the fabric, and
+//! views survive the window intact (see `execute`).
+//!
+//! Determinism: one seeded RNG drives bootstrap, activation orders and
+//! node entropy in a fixed order; the network model draws from its own
+//! seeded stream in event order. Identical configurations replay
+//! bit-identical histories.
+
+use crate::config::NetSimConfig;
+use crate::metrics::{reference_homogeneity, NetRoundMetrics};
+use polystyrene::prelude::*;
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_protocol::{Effect, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, Wire};
+use polystyrene_space::MetricSpace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Seed offset separating the network model's entropy stream from the
+/// kernel's, so link faults and protocol randomness never interleave.
+const NET_SEED_TAG: u64 = 0x6e65_7473_696d; // "netsim"
+
+/// A queued future event.
+struct Scheduled<P> {
+    at: u64,
+    seq: u64,
+    what: Pending<P>,
+}
+
+enum Pending<P> {
+    /// A wire message completes its transit.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        wire: Wire<P>,
+    },
+    /// A node runs its local protocol round (all phases back-to-back).
+    Activate { id: NodeId },
+    /// A past crash becomes visible to the survivors' failure knowledge.
+    Detect { id: NodeId },
+    /// A scheduled crash fires.
+    Crash { id: NodeId },
+}
+
+// The heap orders by (at, seq) with the *smallest* first: comparisons are
+// reversed because `BinaryHeap` is a max-heap. `seq` is unique, so the
+// order is total and deterministic regardless of payload.
+impl<P> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Scheduled<P> {}
+impl<P> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Scheduled<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event network simulator — the third execution substrate,
+/// between the cycle engine (deterministic, atomic exchanges) and the
+/// threaded runtime (real asynchrony, no determinism): deterministic
+/// *and* asynchronous.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_netsim::prelude::*;
+/// use polystyrene_space::prelude::*;
+///
+/// let mut cfg = NetSimConfig::default();
+/// cfg.area = 32.0;
+/// cfg.link.loss = 0.05; // 5% of messages vanish in transit
+/// let mut sim = NetSim::new(Torus2::new(8.0, 4.0), shapes::torus_grid(8, 4, 1.0), cfg);
+/// let m = sim.step();
+/// assert_eq!(m.alive_nodes, 32);
+/// ```
+pub struct NetSim<S: MetricSpace> {
+    space: S,
+    config: NetSimConfig,
+    nodes: Vec<Option<ProtocolNode<S>>>,
+    original_points: Vec<DataPoint<S::Point>>,
+    net: Box<dyn NetworkModel>,
+    /// Crashes the population's failure knowledge has caught up with.
+    detected: BTreeSet<NodeId>,
+    queue: BinaryHeap<Scheduled<S::Point>>,
+    seq: u64,
+    now: u64,
+    round: u32,
+    rng: StdRng,
+    history: Vec<NetRoundMetrics>,
+    sent_messages: u64,
+    dropped_messages: u64,
+}
+
+impl<S: MetricSpace> NetSim<S> {
+    /// Builds a network of `shape.len()` nodes, node `i` founding data
+    /// point `i` at `shape[i]` — the same founding convention as the
+    /// other substrates — with the standard [`FaultyNetwork`] built from
+    /// `config.link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or the configuration is invalid.
+    pub fn new(space: S, shape: Vec<S::Point>, config: NetSimConfig) -> Self {
+        let net = Box::new(FaultyNetwork::new(config.link, config.seed ^ NET_SEED_TAG));
+        Self::with_network(space, shape, config, net)
+    }
+
+    /// Builds the simulator around a custom [`NetworkModel`] (asymmetric
+    /// links, channel-selective loss, …). `config.link` is ignored in
+    /// favor of the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or the configuration is invalid.
+    pub fn with_network(
+        space: S,
+        shape: Vec<S::Point>,
+        config: NetSimConfig,
+        net: Box<dyn NetworkModel>,
+    ) -> Self {
+        assert!(!shape.is_empty(), "cannot simulate an empty network");
+        config.validate();
+        let protocol = config.protocol();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = shape.len();
+        let original_points: Vec<DataPoint<S::Point>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
+            .collect();
+
+        let mut nodes: Vec<Option<ProtocolNode<S>>> = Vec::with_capacity(n);
+        for (i, origin) in original_points.iter().enumerate() {
+            let mut contacts = Vec::new();
+            while contacts.len() < config.rps_view_cap.min(n - 1) {
+                let j = rng.random_range(0..n);
+                if j != i
+                    && !contacts
+                        .iter()
+                        .any(|d: &Descriptor<S::Point>| d.id.index() == j)
+                {
+                    contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
+                }
+                if contacts.len() >= config.rps_view_cap || n <= 1 {
+                    break;
+                }
+            }
+            let mut boot = Vec::new();
+            for _ in 0..config.tman_bootstrap {
+                let j = rng.random_range(0..n);
+                if j != i {
+                    boot.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
+                }
+            }
+            nodes.push(Some(ProtocolNode::new(
+                NodeId::new(i as u64),
+                space.clone(),
+                protocol,
+                PolyState::with_initial_point(origin.clone()),
+                contacts,
+                boot,
+            )));
+        }
+
+        Self {
+            space,
+            config,
+            nodes,
+            original_points,
+            net,
+            detected: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            round: 0,
+            rng,
+            history: Vec::new(),
+            sent_messages: 0,
+            dropped_messages: 0,
+        }
+    }
+
+    /// The current round number (rounds completed so far).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &NetSimConfig {
+        &self.config
+    }
+
+    /// Ids of currently alive nodes.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| NodeId::new(i as u64))
+            .collect()
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The initial data points defining the target shape.
+    pub fn original_points(&self) -> &[DataPoint<S::Point>] {
+        &self.original_points
+    }
+
+    /// Per-round metric history.
+    pub fn history(&self) -> &[NetRoundMetrics] {
+        &self.history
+    }
+
+    /// Read access to a node's Polystyrene state, if alive.
+    pub fn poly_state(&self, id: NodeId) -> Option<&PolyState<S::Point>> {
+        self.nodes
+            .get(id.index())
+            .and_then(|c| c.as_ref())
+            .map(|c| &c.poly)
+    }
+
+    /// Messages currently in transit (scheduled but undelivered).
+    pub fn in_flight(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|s| matches!(s.what, Pending::Deliver { .. }))
+            .count()
+    }
+
+    /// Mutable access to the network model (install partitions, tweak a
+    /// custom model mid-run).
+    pub fn network_mut(&mut self) -> &mut dyn NetworkModel {
+        self.net.as_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection — everything is an event
+    // ------------------------------------------------------------------
+
+    /// Crashes a node immediately (no-op if already dead): the node stops
+    /// processing from this instant, messages already in flight toward it
+    /// will evaporate at delivery, and its `Detect` event — the moment
+    /// survivors' failure knowledge learns of the crash — fires
+    /// `detection_delay_ticks` later.
+    pub fn crash(&mut self, id: NodeId) -> bool {
+        match self.nodes.get_mut(id.index()) {
+            Some(cell) if cell.is_some() => {
+                *cell = None;
+                if self.config.detection_delay_ticks == 0 {
+                    self.detected.insert(id);
+                } else {
+                    let at = self.now + self.config.detection_delay_ticks;
+                    self.schedule(at, Pending::Detect { id });
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Schedules a crash `in_ticks` simulated time units from now — mid-
+    /// round crashes, correlated cascades, anything a script can express
+    /// in time rather than rounds.
+    pub fn schedule_crash(&mut self, id: NodeId, in_ticks: u64) {
+        let at = self.now + in_ticks;
+        self.schedule(at, Pending::Crash { id });
+    }
+
+    /// Crashes every alive founding node whose original data point
+    /// satisfies `predicate` (the shared regional-failure path). Returns
+    /// the crashed ids.
+    pub fn fail_original_region(
+        &mut self,
+        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
+    ) -> Vec<NodeId> {
+        let killed =
+            polystyrene_protocol::select_region_victims(&self.original_points, predicate, &|id| {
+                self.nodes.get(id.index()).is_some_and(Option::is_some)
+            });
+        for &id in &killed {
+            self.crash(id);
+        }
+        killed
+    }
+
+    /// Crashes a uniformly random fraction of the alive population, with
+    /// victim selection shared with the other substrates. Returns the
+    /// crashed ids.
+    pub fn fail_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        let killed = polystyrene_protocol::scenario::select_victims(
+            self.alive_ids(),
+            fraction,
+            &mut self.rng,
+        );
+        for &id in &killed {
+            self.crash(id);
+        }
+        killed
+    }
+
+    /// Injects fresh empty nodes at `positions`, bootstrapped from random
+    /// alive contacts drawn through the shared
+    /// [`polystyrene_protocol::sample_bootstrap_contacts`] path (same
+    /// semantics as the cycle engine's inject). Returns the new ids.
+    pub fn inject(&mut self, positions: Vec<S::Point>) -> Vec<NodeId> {
+        let alive = self.alive_ids();
+        let protocol = self.config.protocol();
+        let mut new_ids = Vec::with_capacity(positions.len());
+        for pos in positions {
+            let id = NodeId::new(self.nodes.len() as u64);
+            let (contacts, boot) = {
+                let nodes = &self.nodes;
+                let pos_of = |j: NodeId| {
+                    nodes
+                        .get(j.index())
+                        .and_then(|c| c.as_ref())
+                        .map(|c| c.poly.pos.clone())
+                };
+                (
+                    polystyrene_protocol::sample_bootstrap_contacts(
+                        &alive,
+                        &pos_of,
+                        self.config.rps_view_cap,
+                        &mut self.rng,
+                    ),
+                    polystyrene_protocol::sample_bootstrap_contacts(
+                        &alive,
+                        &pos_of,
+                        self.config.tman_bootstrap,
+                        &mut self.rng,
+                    ),
+                )
+            };
+            self.nodes.push(Some(ProtocolNode::new(
+                id,
+                self.space.clone(),
+                protocol,
+                PolyState::empty_at(pos),
+                contacts,
+                boot,
+            )));
+            new_ids.push(id);
+        }
+        new_ids
+    }
+
+    // ------------------------------------------------------------------
+    // The round loop
+    // ------------------------------------------------------------------
+
+    /// Runs one protocol round: every alive node's activation — its full
+    /// local phase pipeline, [`ProtocolNode::on_round`] — is scheduled at
+    /// a random offset within the round's tick span, then the event queue
+    /// processes activations and message deliveries interleaved in
+    /// `(time, seq)` order up to the round boundary. Returns the metrics
+    /// measured at the end of the round.
+    ///
+    /// The per-node jitter is load-bearing, not cosmetic: gossip
+    /// deployments (and PeerSim's event-driven mode) phase-shift node
+    /// cycles, and without it every node would open its migration
+    /// exchange at the same instant — under any nonzero latency all
+    /// requests would then land on responders that are themselves
+    /// mid-exchange, and the network would busy-bounce forever.
+    pub fn step(&mut self) -> NetRoundMetrics {
+        self.round += 1;
+        let round_start = self.now;
+        let round_end = round_start + self.config.ticks_per_round;
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect();
+        order.shuffle(&mut self.rng);
+        for i in order {
+            let offset = self.rng.random_range(0..self.config.ticks_per_round);
+            self.schedule(
+                round_start + offset,
+                Pending::Activate {
+                    id: NodeId::new(i as u64),
+                },
+            );
+        }
+        // Everything due before the round boundary — activations, the
+        // deliveries they cause, crashes, detections — happens now, in
+        // time order; later arrivals stay queued for future rounds.
+        self.drain(round_end - 1);
+        self.now = round_end;
+        let metrics = self.compute_metrics();
+        self.history.push(metrics);
+        metrics
+    }
+
+    /// Runs `rounds` consecutive rounds.
+    pub fn run(&mut self, rounds: u32) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    fn schedule(&mut self, at: u64, what: Pending<S::Point>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, what });
+    }
+
+    /// Executes one node's effects: probes are answered from the kernel's
+    /// failure knowledge, sends are routed through the network model.
+    fn execute(&mut self, origin: usize, effects: Vec<Effect<S::Point>>) {
+        let mut pending: VecDeque<(usize, Effect<S::Point>)> =
+            effects.into_iter().map(|e| (origin, e)).collect();
+        while let Some((at, effect)) = pending.pop_front() {
+            let from = NodeId::new(at as u64);
+            match effect {
+                Effect::Probe { peer, channel } => {
+                    // Failure *knowledge*, not ground truth: an undetected
+                    // crash passes the probe and the exchange later times
+                    // out. Partitions deliberately do NOT fail probes —
+                    // the probe asks the local failure detector, which a
+                    // partition never updates (nothing crashed); the
+                    // opened exchange's traffic then vanishes in transit
+                    // instead. This keeps partitions non-destructive:
+                    // views are not purged, so the fabric heals cleanly
+                    // when the mask lifts.
+                    let event = if !self.detected.contains(&peer) {
+                        Event::ProbeOk {
+                            peer,
+                            channel,
+                            pos: None,
+                        }
+                    } else {
+                        Event::PeerUnreachable { peer, channel }
+                    };
+                    let node = self.nodes[at].as_mut().expect("active node vanished");
+                    let more = node.on_event(event, &mut self.rng);
+                    pending.extend(more.into_iter().map(|e| (at, e)));
+                }
+                Effect::Send { to, wire } => {
+                    self.sent_messages += 1;
+                    match self.net.route(from, to, wire.channel(), self.now) {
+                        Fate::Drop => self.dropped_messages += 1,
+                        Fate::Deliver { delay } => {
+                            let at = self.now + delay;
+                            self.schedule(at, Pending::Deliver { from, to, wire });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes every queued event with `at <= limit` in `(at, seq)`
+    /// order, advancing the simulated clock to each event's time.
+    fn drain(&mut self, limit: u64) {
+        while let Some(top) = self.queue.peek() {
+            if top.at > limit {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked above");
+            self.now = self.now.max(event.at);
+            match event.what {
+                Pending::Detect { id } => {
+                    self.detected.insert(id);
+                }
+                Pending::Crash { id } => {
+                    self.crash(id);
+                }
+                Pending::Activate { id } => {
+                    // Crashed since it was scheduled: the activation
+                    // evaporates with the node.
+                    if self.nodes.get(id.index()).is_none_or(Option::is_none) {
+                        continue;
+                    }
+                    let effects = {
+                        // Split borrow: `detected` cannot change during
+                        // one activation, so the closure reads it in
+                        // place — no per-activation snapshot clone.
+                        let Self {
+                            nodes,
+                            detected,
+                            rng,
+                            ..
+                        } = &mut *self;
+                        let fd = |peer: NodeId| detected.contains(&peer);
+                        let node = nodes[id.index()].as_mut().expect("checked above");
+                        node.on_round(&fd, rng)
+                    };
+                    if !effects.is_empty() {
+                        self.execute(id.index(), effects);
+                    }
+                }
+                Pending::Deliver { from, to, wire } => {
+                    // A message to a node that died mid-flight evaporates.
+                    let Some(node) = self.nodes.get_mut(to.index()).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    let effects = node.on_event(Event::Message { from, wire }, &mut self.rng);
+                    if !effects.is_empty() {
+                        self.execute(to.index(), effects);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Measures the quality metrics over the current state (exhaustive
+    /// nearest-node scans; the kernel targets networks of a few thousand
+    /// nodes, where the event queue — not measurement — dominates).
+    pub fn compute_metrics(&self) -> NetRoundMetrics {
+        let alive: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect();
+        let alive_count = alive.len();
+
+        let mut holders: HashMap<PointId, Vec<usize>> = HashMap::new();
+        let mut existing: HashSet<PointId> = HashSet::new();
+        let mut stored = 0usize;
+        let mut parked_points = 0usize;
+        for &i in &alive {
+            let node = self.nodes[i].as_ref().expect("filtered alive");
+            for g in &node.poly.guests {
+                holders.entry(g.id).or_default().push(i);
+                existing.insert(g.id);
+            }
+            for pts in node.poly.ghosts.values() {
+                for p in pts {
+                    existing.insert(p.id);
+                }
+            }
+            // Mid-handover points physically remain on the responder
+            // until the initiator takes custody: they are not lost, and
+            // they are *held here* for the homogeneity measurement (the
+            // bytes are on this node, whatever the ownership paperwork
+            // says).
+            for id in node.parked_ids() {
+                holders.entry(id).or_default().push(i);
+                existing.insert(id);
+                parked_points += 1;
+            }
+            stored += node.poly.stored_points();
+        }
+
+        let mut homogeneity_acc = 0.0;
+        let mut surviving = 0usize;
+        for point in &self.original_points {
+            let nearest = match holders.get(&point.id) {
+                Some(hs) if !hs.is_empty() => hs
+                    .iter()
+                    .map(|&i| {
+                        let pos = &self.nodes[i].as_ref().expect("holder alive").poly.pos;
+                        self.space.distance(&point.pos, pos)
+                    })
+                    .fold(f64::INFINITY, f64::min),
+                _ => alive
+                    .iter()
+                    .map(|&i| {
+                        let pos = &self.nodes[i].as_ref().expect("filtered alive").poly.pos;
+                        self.space.distance(&point.pos, pos)
+                    })
+                    .fold(f64::INFINITY, f64::min),
+            };
+            if nearest.is_finite() {
+                homogeneity_acc += nearest;
+            }
+            if existing.contains(&point.id) {
+                surviving += 1;
+            }
+        }
+        let homogeneity = if self.original_points.is_empty() || alive_count == 0 {
+            f64::INFINITY
+        } else {
+            homogeneity_acc / self.original_points.len() as f64
+        };
+
+        NetRoundMetrics {
+            round: self.round,
+            alive_nodes: alive_count,
+            homogeneity,
+            reference_homogeneity: reference_homogeneity(self.config.area, alive_count),
+            surviving_points: if self.original_points.is_empty() {
+                1.0
+            } else {
+                surviving as f64 / self.original_points.len() as f64
+            },
+            points_per_node: if alive_count == 0 {
+                0.0
+            } else {
+                stored as f64 / alive_count as f64
+            },
+            parked_points,
+            in_flight: self.in_flight(),
+            sent_messages: self.sent_messages,
+            dropped_messages: self.dropped_messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene_protocol::LinkProfile;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+
+    fn tiny_config(seed: u64) -> NetSimConfig {
+        let mut cfg = NetSimConfig::default();
+        cfg.tman = polystyrene_topology::TManConfig {
+            view_cap: 20,
+            m: 8,
+            psi: 3,
+        };
+        cfg.poly = PolystyreneConfig::builder().replication(3).build();
+        cfg.rps_view_cap = 10;
+        cfg.rps_shuffle_len = 5;
+        cfg.tman_bootstrap = 5;
+        cfg.area = 64.0;
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn tiny_sim(seed: u64, link: LinkProfile) -> NetSim<Torus2> {
+        let mut cfg = tiny_config(seed);
+        cfg.link = link;
+        NetSim::new(Torus2::new(16.0, 4.0), shapes::torus_grid(16, 4, 1.0), cfg)
+    }
+
+    #[test]
+    fn construction_invariants() {
+        let sim = tiny_sim(1, LinkProfile::ideal());
+        assert_eq!(sim.alive_count(), 64);
+        assert_eq!(sim.original_points().len(), 64);
+        for id in sim.alive_ids() {
+            let s = sim.poly_state(id).expect("alive");
+            assert_eq!(s.guests.len(), 1);
+            assert_eq!(s.guests[0].id.as_u64(), id.as_u64());
+        }
+        let m = sim.compute_metrics();
+        assert!(m.homogeneity.abs() < 1e-12);
+        assert_eq!(m.surviving_points, 1.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let lossy = LinkProfile {
+            latency: 3,
+            jitter: 2,
+            loss: 0.05,
+        };
+        let mut a = tiny_sim(7, lossy);
+        let mut b = tiny_sim(7, lossy);
+        a.run(8);
+        b.run(8);
+        assert_eq!(a.history(), b.history());
+        let mut c = tiny_sim(8, lossy);
+        c.run(8);
+        assert_ne!(a.history(), c.history());
+    }
+
+    #[test]
+    fn ideal_link_converges_like_the_engine() {
+        let mut sim = tiny_sim(3, LinkProfile::ideal());
+        sim.run(15);
+        let m = sim.history().last().expect("ran");
+        assert!(
+            (m.points_per_node - 4.0).abs() < 0.8,
+            "expected ≈ 1+K=4 stored points, got {}",
+            m.points_per_node
+        );
+        assert_eq!(m.dropped_messages, 0);
+        assert_eq!(m.parked_points, 0, "acks land instantly at zero latency");
+    }
+
+    #[test]
+    fn latency_defers_deliveries_across_rounds() {
+        // Latency of two full rounds: replies straddle round boundaries,
+        // so traffic must be in flight at round ends.
+        let link = LinkProfile {
+            latency: 2 * NetSimConfig::default().ticks_per_round,
+            jitter: 4,
+            loss: 0.0,
+        };
+        let mut sim = tiny_sim(4, link);
+        sim.run(6);
+        assert!(
+            sim.history().iter().any(|m| m.in_flight > 0),
+            "two-round latency must leave messages in flight at round ends"
+        );
+        // The protocol still makes progress: points replicate.
+        let m = sim.history().last().expect("ran");
+        assert!(m.points_per_node > 1.5, "no replication under latency");
+    }
+
+    #[test]
+    fn catastrophic_failure_recovers_under_loss() {
+        let link = LinkProfile {
+            latency: 2,
+            jitter: 1,
+            loss: 0.05,
+        };
+        let mut sim = tiny_sim(5, link);
+        sim.run(12);
+        let killed = sim.fail_original_region(&shapes::in_right_half(16.0));
+        assert_eq!(killed.len(), 32);
+        assert_eq!(sim.alive_count(), 32);
+        sim.run(20);
+        let m = sim.history().last().expect("ran");
+        assert!(
+            m.homogeneity < m.reference_homogeneity,
+            "failed to reshape under 5% loss: {} vs reference {}",
+            m.homogeneity,
+            m.reference_homogeneity
+        );
+        assert!(
+            m.surviving_points > 0.8,
+            "too many points lost: {}",
+            m.surviving_points
+        );
+        assert!(m.dropped_messages > 0, "5% loss must actually drop");
+    }
+
+    #[test]
+    fn detection_delay_defers_failure_knowledge() {
+        let mut cfg = tiny_config(6);
+        // Two full rounds pass before survivors learn of a crash.
+        cfg.detection_delay_ticks = cfg.ticks_per_round * 2;
+        let mut sim = NetSim::new(Torus2::new(16.0, 4.0), shapes::torus_grid(16, 4, 1.0), cfg);
+        sim.run(10);
+        sim.crash(NodeId::new(0));
+        assert!(
+            !sim.detected.contains(&NodeId::new(0)),
+            "crash must not be known before its Detect event"
+        );
+        sim.run(3);
+        assert!(
+            sim.detected.contains(&NodeId::new(0)),
+            "Detect event must have fired"
+        );
+    }
+
+    #[test]
+    fn scheduled_crash_fires_mid_round() {
+        let mut sim = tiny_sim(7, LinkProfile::ideal());
+        sim.run(2);
+        sim.schedule_crash(NodeId::new(3), sim.config().ticks_per_round / 2);
+        assert_eq!(sim.alive_count(), 64, "not yet");
+        sim.step();
+        assert_eq!(sim.alive_count(), 63, "crash event fired within the round");
+    }
+
+    #[test]
+    fn partition_drops_cross_traffic_and_heals() {
+        let mut sim = tiny_sim(8, LinkProfile::ideal());
+        sim.run(8);
+        // Cut node 0 off from everyone.
+        sim.network_mut().set_partition(&[vec![NodeId::new(0)]]);
+        let before = sim.compute_metrics().dropped_messages;
+        sim.run(4);
+        let during = sim.compute_metrics().dropped_messages;
+        assert!(
+            during > before,
+            "an isolated node's traffic must be dropped"
+        );
+        sim.network_mut().heal();
+        let healed = sim.compute_metrics().dropped_messages;
+        sim.run(4);
+        let m = sim.history().last().expect("ran");
+        assert_eq!(
+            m.dropped_messages, healed,
+            "a healed ideal fabric must not drop"
+        );
+        assert!(
+            m.homogeneity < m.reference_homogeneity,
+            "healed and settled"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_shape_rejected() {
+        let _ = NetSim::new(Torus2::new(4.0, 4.0), Vec::new(), NetSimConfig::default());
+    }
+}

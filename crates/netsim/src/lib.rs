@@ -1,0 +1,64 @@
+//! Deterministic discrete-event network simulator for the Polystyrene
+//! reproduction — the third execution substrate.
+//!
+//! The cycle engine (`polystyrene-sim`) models the paper's evaluation:
+//! atomic, reliable pairwise exchanges, perfect failure detection. The
+//! threaded runtime (`polystyrene-runtime`) is real asynchrony over
+//! in-process channels, but wall-clock scheduling makes its runs
+//! unrepeatable — and its fabric never delays or reorders. This crate
+//! fills the gap between them: a seeded event kernel ([`kernel::NetSim`])
+//! with an *explicit network model* —
+//!
+//! * per-link latency with uniform jitter,
+//! * independent message-drop probability,
+//! * partition masks installed and healed by scenario scripts,
+//! * crash detection lag expressed as future events,
+//!
+//! — all deterministic under a fixed seed, driving the **unchanged**
+//! sans-IO [`polystyrene_protocol::ProtocolNode`]. Messages become heap
+//! events keyed by `(deliver_at, seq)`; a zero-latency, zero-loss
+//! configuration collapses to round-synchronized delivery and reproduces
+//! the cycle engine's per-round population arithmetic (pinned by
+//! `tests/equivalence.rs`), which anchors every lossy result to the
+//! validated baseline.
+//!
+//! Scenario scripts are the shared ones: [`scenario`] implements
+//! [`polystyrene_protocol::ScenarioSubstrate`] for [`kernel::NetSim`], so
+//! any script written for the engine or the live cluster — including
+//! churn windows and the partition events only this substrate can honor —
+//! runs here unchanged.
+//!
+//! # Example: convergence under a lossy, laggy network
+//!
+//! ```
+//! use polystyrene_netsim::prelude::*;
+//! use polystyrene_space::prelude::*;
+//!
+//! let mut cfg = NetSimConfig::default();
+//! cfg.area = 32.0;
+//! cfg.link = LinkProfile { latency: 2, jitter: 1, loss: 0.05 };
+//! let mut sim = NetSim::new(Torus2::new(8.0, 4.0), shapes::torus_grid(8, 4, 1.0), cfg);
+//! sim.run(10);
+//! let m = sim.history().last().unwrap();
+//! assert_eq!(m.alive_nodes, 32);
+//! assert!(m.points_per_node > 1.0, "replication despite loss");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod kernel;
+pub mod metrics;
+pub mod scenario;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::config::NetSimConfig;
+    pub use crate::kernel::NetSim;
+    pub use crate::metrics::{net_reshaping_time, reference_homogeneity, NetRoundMetrics};
+    pub use crate::scenario::run_net_scenario;
+    pub use polystyrene_protocol::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
+}
+
+pub use prelude::*;

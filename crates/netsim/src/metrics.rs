@@ -1,0 +1,79 @@
+//! Per-round observables of the discrete-event simulator.
+
+/// What the kernel measures after every round — the paper's quality
+/// metrics plus the network-level counters the other substrates cannot
+/// produce (messages in flight, drops, parked handover points).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetRoundMetrics {
+    /// Round the sample was taken at (after the round ran).
+    pub round: u32,
+    /// Number of alive nodes.
+    pub alive_nodes: usize,
+    /// Mean distance from each initial data point to its nearest primary
+    /// holder (or the nearest alive node if the point has none).
+    pub homogeneity: f64,
+    /// Reference homogeneity `H` for the current population.
+    pub reference_homogeneity: f64,
+    /// Fraction of the initial data points that still exist somewhere —
+    /// as a guest, a ghost replica, or a parked migration handout.
+    pub surviving_points: f64,
+    /// Mean stored data points per node (guests + ghosts).
+    pub points_per_node: f64,
+    /// Migration-split points parked awaiting acknowledgment across the
+    /// whole network (nonzero exactly while replies/acks are in flight
+    /// or lost).
+    pub parked_points: usize,
+    /// Messages still queued in the fabric at the end of the round.
+    pub in_flight: usize,
+    /// Messages handed to the network so far (cumulative).
+    pub sent_messages: u64,
+    /// Messages the network dropped so far (loss and partitions,
+    /// cumulative).
+    pub dropped_messages: u64,
+}
+
+/// Reference homogeneity `H_A^{|N|} = 1/2 · sqrt(A / |N|)` (paper
+/// Sec. IV-A) — the same bound the cycle engine uses
+/// (`polystyrene_sim::metrics::reference_homogeneity`; a cross-check
+/// test in that direction pins the two against each other).
+pub fn reference_homogeneity(area: f64, nodes: usize) -> f64 {
+    if nodes == 0 {
+        return f64::INFINITY;
+    }
+    0.5 * (area / nodes as f64).sqrt()
+}
+
+/// Rounds after `failure_round` until homogeneity first drops below the
+/// reference value, or `None` if it never does (the cycle engine's
+/// reshaping-time rule, applied to the network simulator's history).
+pub fn net_reshaping_time(series: &[NetRoundMetrics], failure_round: u32) -> Option<u32> {
+    series
+        .iter()
+        .filter(|m| m.round > failure_round)
+        .find(|m| m.homogeneity < m.reference_homogeneity)
+        .map(|m| m.round - failure_round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_paper_values() {
+        assert!((reference_homogeneity(3200.0, 3200) - 0.5).abs() < 1e-12);
+        assert_eq!(reference_homogeneity(1.0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn reshaping_time_skips_the_failure_sample() {
+        let m = |round, h, r| NetRoundMetrics {
+            round,
+            homogeneity: h,
+            reference_homogeneity: r,
+            ..Default::default()
+        };
+        let series = vec![m(20, 0.1, 0.5), m(21, 2.0, 0.7), m(22, 0.6, 0.7)];
+        assert_eq!(net_reshaping_time(&series, 20), Some(2));
+        assert_eq!(net_reshaping_time(&series[..2], 20), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Scenario execution on the discrete-event network simulator.
+//!
+//! The scenario language lives in `polystyrene-protocol` and is shared
+//! with the cycle engine and the threaded runtime; this module plugs
+//! [`NetSim`] in as the third [`ScenarioSubstrate`], so every existing
+//! script — the paper's three phases, churn windows, and now
+//! [`ScenarioEvent::Partition`] — runs unchanged here, through the same
+//! event-application code path as everywhere else. Unlike the other two
+//! substrates, this one honors partitions: the groups are installed into
+//! the network model and healed when the window expires.
+
+use crate::kernel::NetSim;
+use crate::metrics::NetRoundMetrics;
+use polystyrene_membership::NodeId;
+use polystyrene_space::MetricSpace;
+
+pub use polystyrene_protocol::scenario::{
+    apply_event, drive_scenario, PaperScenario, Scenario, ScenarioEvent, ScenarioSubstrate,
+};
+
+impl<S: MetricSpace> ScenarioSubstrate<S::Point> for NetSim<S> {
+    fn fail_region(
+        &mut self,
+        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
+    ) -> Vec<NodeId> {
+        self.fail_original_region(predicate)
+    }
+
+    fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        self.fail_random_fraction(fraction)
+    }
+
+    fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+        ids.iter().copied().filter(|&id| self.crash(id)).collect()
+    }
+
+    fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
+        NetSim::inject(self, positions.to_vec())
+    }
+
+    fn advance_round(&mut self) {
+        self.step();
+    }
+
+    fn partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.network_mut().set_partition(groups);
+    }
+
+    fn heal(&mut self) {
+        self.network_mut().heal();
+    }
+}
+
+/// Drives `sim` through `scenario` — the network-simulator twin of the
+/// engine's `run_scenario` — returning the metrics of every round.
+pub fn run_net_scenario<S: MetricSpace>(
+    sim: &mut NetSim<S>,
+    scenario: &Scenario<S::Point>,
+) -> Vec<NetRoundMetrics> {
+    let before = sim.history().len();
+    drive_scenario(sim, scenario);
+    sim.history()[before..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetSimConfig;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+    use std::sync::Arc;
+
+    fn small_sim(seed: u64) -> NetSim<Torus2> {
+        let p = PaperScenario::small();
+        let (w, h) = p.extents();
+        let mut cfg = NetSimConfig::default();
+        cfg.area = p.area();
+        cfg.seed = seed;
+        cfg.tman.view_cap = 30;
+        cfg.tman.m = 10;
+        NetSim::new(Torus2::new(w, h), p.shape(), cfg)
+    }
+
+    #[test]
+    fn paper_script_population_arithmetic() {
+        let p = PaperScenario::small();
+        let mut sim = small_sim(1);
+        let metrics = run_net_scenario(&mut sim, &p.script());
+        assert_eq!(metrics.len(), p.total_rounds as usize);
+        assert_eq!(metrics[(p.failure_round - 1) as usize].alive_nodes, 200);
+        assert_eq!(metrics[p.failure_round as usize].alive_nodes, 100);
+        let ir = p.inject_round.expect("small scenario has phase 3") as usize;
+        assert_eq!(metrics[ir].alive_nodes, 200);
+    }
+
+    #[test]
+    fn churn_window_drains_population_like_the_engine() {
+        let mut sim = small_sim(4);
+        let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
+            2,
+            ScenarioEvent::Churn {
+                rate: 0.1,
+                rounds: 3,
+            },
+        );
+        let metrics = run_net_scenario(&mut sim, &scenario);
+        let alive: Vec<usize> = metrics.iter().map(|m| m.alive_nodes).collect();
+        assert_eq!(alive, vec![200, 200, 180, 162, 146, 146]);
+    }
+
+    #[test]
+    fn partition_script_cuts_and_heals_the_fabric() {
+        let mut sim = small_sim(5);
+        // Converge, isolate a corner of founders for 3 rounds, observe.
+        let minority: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+        let scenario: Scenario<[f64; 2]> = Scenario::new(16).at(
+            6,
+            ScenarioEvent::Partition {
+                groups: vec![minority],
+                rounds: 3,
+            },
+        );
+        let metrics = run_net_scenario(&mut sim, &scenario);
+        // Nobody crashes in a partition.
+        assert!(metrics.iter().all(|m| m.alive_nodes == 200));
+        // Cross-partition traffic was dropped during the window…
+        let during = metrics[8].dropped_messages - metrics[5].dropped_messages;
+        assert!(during > 0, "partition dropped no traffic");
+        // …and stops being dropped once healed.
+        let after = metrics[15].dropped_messages - metrics[11].dropped_messages;
+        assert_eq!(after, 0, "healed fabric must not drop");
+    }
+
+    #[test]
+    fn region_failure_event_uses_the_shared_selection() {
+        let mut sim = small_sim(6);
+        let scenario: Scenario<[f64; 2]> = Scenario::new(3).at(
+            1,
+            ScenarioEvent::FailOriginalRegion(Arc::new(|p: &[f64; 2]| p[0] < 10.0)),
+        );
+        let metrics = run_net_scenario(&mut sim, &scenario);
+        assert_eq!(metrics[0].alive_nodes, 200);
+        assert_eq!(metrics[1].alive_nodes, 100, "half the 20×10 grid");
+    }
+
+    #[test]
+    fn injected_nodes_attract_points() {
+        let mut sim = small_sim(7);
+        sim.run(10);
+        sim.fail_original_region(&shapes::in_right_half(20.0));
+        sim.run(10);
+        let fresh = sim.inject(shapes::torus_grid_offset(10, 10, 1.0));
+        assert_eq!(fresh.len(), 100);
+        sim.run(15);
+        let with_points = fresh
+            .iter()
+            .filter(|&&id| !sim.poly_state(id).expect("alive").guests.is_empty())
+            .count();
+        assert!(
+            with_points > fresh.len() / 2,
+            "only {with_points}/100 injected nodes acquired data points"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The equivalence anchor: a degenerate network configuration — zero
+//! latency, zero jitter, zero loss, round-synchronized delivery — makes
+//! the discrete-event kernel reproduce the cycle engine's per-round
+//! *population arithmetic* on the shared cross-substrate script, and
+//! recover the shape just like the engine does.
+//!
+//! This is what licenses every lossy/laggy result the kernel produces:
+//! the same scenario language, the same failure-injection code paths and
+//! the same protocol stack demonstrably collapse to the validated
+//! baseline when the network model is turned off. (Bit-identical
+//! *metrics* are not expected — the kernel answers probes from failure
+//! knowledge rather than engine ground truth, so RNG streams diverge —
+//! but who is alive after every scripted event must agree exactly,
+//! round by round.)
+
+use polystyrene_netsim::prelude::*;
+use polystyrene_protocol::{Scenario, ScenarioEvent};
+use polystyrene_sim::prelude::*;
+use polystyrene_space::prelude::*;
+use std::sync::Arc;
+
+const COLS: usize = 8;
+const ROWS: usize = 4;
+
+/// The cross-substrate script: converge 20 rounds → kill the right
+/// half-torus → 2 rounds of 5% churn → re-inject 16 fresh nodes →
+/// observe to round 55 (mirrors `tests/cross_substrate.rs`).
+fn shared_scenario() -> Scenario<[f64; 2]> {
+    Scenario::new(55)
+        .at(
+            20,
+            ScenarioEvent::FailOriginalRegion(Arc::new(|p: &[f64; 2]| p[0] >= COLS as f64 / 2.0)),
+        )
+        .at(
+            25,
+            ScenarioEvent::Churn {
+                rate: 0.05,
+                rounds: 2,
+            },
+        )
+        .at(
+            35,
+            ScenarioEvent::Inject(shapes::torus_grid_offset(COLS / 2, ROWS, 1.0)),
+        )
+}
+
+fn engine_alive_per_round(seed: u64) -> Vec<usize> {
+    let mut cfg = EngineConfig::default();
+    cfg.area = (COLS * ROWS) as f64;
+    cfg.seed = seed;
+    cfg.tman.view_cap = 20;
+    cfg.tman.m = 8;
+    let mut engine = Engine::new(
+        Torus2::new(COLS as f64, ROWS as f64),
+        shapes::torus_grid(COLS, ROWS, 1.0),
+        cfg,
+    );
+    run_scenario(&mut engine, &shared_scenario())
+        .iter()
+        .map(|m| m.alive_nodes)
+        .collect()
+}
+
+fn netsim_history(seed: u64) -> Vec<NetRoundMetrics> {
+    let mut cfg = NetSimConfig::default();
+    cfg.area = (COLS * ROWS) as f64;
+    cfg.seed = seed;
+    cfg.tman.view_cap = 20;
+    cfg.tman.m = 8;
+    cfg.link = LinkProfile::ideal(); // the degenerate config
+    let mut sim = NetSim::new(
+        Torus2::new(COLS as f64, ROWS as f64),
+        shapes::torus_grid(COLS, ROWS, 1.0),
+        cfg,
+    );
+    run_net_scenario(&mut sim, &shared_scenario())
+}
+
+#[test]
+fn degenerate_config_reproduces_engine_population_arithmetic() {
+    let engine = engine_alive_per_round(11);
+    let netsim: Vec<usize> = netsim_history(11).iter().map(|m| m.alive_nodes).collect();
+    assert_eq!(engine.len(), 55);
+    assert_eq!(
+        engine, netsim,
+        "the two substrates disagree on who is alive after the same script"
+    );
+    // Spot-check the script against the hand-computed arithmetic, so a
+    // *joint* regression of both substrates cannot slip through.
+    assert_eq!(netsim[19], 32, "pre-failure population");
+    assert_eq!(netsim[20], 16, "half torus down");
+    assert_eq!(netsim[26], 14, "two churn rounds");
+    assert_eq!(*netsim.last().unwrap(), 30, "after re-injection");
+}
+
+#[test]
+fn degenerate_config_recovers_the_shape_like_the_engine() {
+    let history = netsim_history(11);
+    let last = history.last().expect("ran");
+    assert!(
+        last.homogeneity < last.reference_homogeneity,
+        "netsim failed to reshape: {} vs reference {}",
+        last.homogeneity,
+        last.reference_homogeneity
+    );
+    assert!(
+        last.surviving_points > 0.8,
+        "netsim lost too many points: {}",
+        last.surviving_points
+    );
+    // An ideal link drops nothing and leaves nothing in flight between
+    // rounds — delivery is round-synchronized.
+    assert_eq!(last.dropped_messages, 0);
+    assert!(history.iter().all(|m| m.in_flight == 0));
+    assert!(history.iter().all(|m| m.parked_points == 0));
+}
+
+#[test]
+fn reference_homogeneity_agrees_with_the_engine_formula() {
+    for (area, nodes) in [(3200.0, 3200), (3200.0, 1600), (64.0, 7), (1.0, 1)] {
+        assert_eq!(
+            polystyrene_netsim::metrics::reference_homogeneity(area, nodes),
+            polystyrene_sim::metrics::reference_homogeneity(area, nodes),
+            "the two substrates' reference bounds drifted apart"
+        );
+    }
+}

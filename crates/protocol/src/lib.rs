@@ -12,10 +12,18 @@
 //!   [`wire::Event`]s in and [`wire::Effect`]s out — it never touches a
 //!   socket, a channel, or a clock;
 //! * [`scenario`] holds the timed event scripts ([`scenario::Scenario`],
-//!   including the paper's three-phase evaluation and the continuous
-//!   [`scenario::ScenarioEvent::Churn`] extension) together with the
+//!   including the paper's three-phase evaluation, continuous
+//!   [`scenario::ScenarioEvent::Churn`] windows and
+//!   [`scenario::ScenarioEvent::Partition`] masks) together with the
 //!   [`scenario::ScenarioSubstrate`] trait, so the *same* script value
-//!   runs unchanged on the cycle engine and on a live threaded cluster.
+//!   runs unchanged on the cycle engine, the discrete-event network
+//!   simulator, and a live threaded cluster;
+//! * [`net`] defines the shared network model ([`net::NetworkModel`],
+//!   [`net::LinkProfile`], [`net::FaultyNetwork`]): what a driver's
+//!   fabric does to each message — deliver after a latency, drop, or
+//!   block across a partition;
+//! * [`codec`] pins the byte encoding of the sans-IO surface before any
+//!   real transport exists, guarded by property round-trips.
 //!
 //! # Driving the state machine
 //!
@@ -65,7 +73,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod config;
+pub mod net;
 pub mod node;
 pub mod scenario;
 pub mod wire;
@@ -73,10 +83,11 @@ pub mod wire;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::ProtocolConfig;
+    pub use crate::net::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
     pub use crate::node::{Phase, ProtocolNode};
     pub use crate::scenario::{
-        apply_event, drive_scenario, select_victims, PaperScenario, Scenario, ScenarioEvent,
-        ScenarioSubstrate,
+        apply_event, drive_scenario, sample_bootstrap_contacts, select_region_victims,
+        select_victims, PaperScenario, Scenario, ScenarioEvent, ScenarioSubstrate,
     };
     pub use crate::wire::{Channel, Effect, Event, Wire};
 }

@@ -76,6 +76,10 @@ fn backup_pool_size(replication: usize) -> usize {
 #[derive(Clone, Debug)]
 struct PendingMigration {
     partner: NodeId,
+    /// Exchange generation: a reply only resolves this exchange if it
+    /// echoes the generation (a slower, already-timed-out exchange's
+    /// reply takes the late-absorb path instead).
+    xid: u64,
     started: u64,
     /// Ids of the guests shipped in the request. The responder's reply
     /// only redistributes *these* points plus its own — anything the node
@@ -83,6 +87,25 @@ struct PendingMigration {
     /// ghosts, say) is unknown to the split and must survive the
     /// guest-set replacement when the reply lands.
     shipped: BTreeSet<PointId>,
+}
+
+/// Points a migration responder mailed back to an initiator but does not
+/// consider delivered yet. A split moves ownership of these points out of
+/// the responder's guest set; over an unreliable transport the carrying
+/// [`Wire::MigrationReply`] may never arrive, so they stay parked here
+/// until the initiator's [`Wire::MigrationAck`] lands — or are re-adopted
+/// after the migration timeout (possibly duplicating them, never losing
+/// them).
+#[derive(Clone, Debug)]
+struct ParkedHandout<P> {
+    /// Generation of the exchange that produced this handout; only an
+    /// ack echoing it clears the parking (a stale ack from a previous
+    /// generation must not release a newer handout whose reply is still
+    /// in flight — that would let a subsequent reply drop destroy the
+    /// points).
+    xid: u64,
+    points: Vec<DataPoint<P>>,
+    started: u64,
 }
 
 /// The full protocol stack of one node, transport-agnostic.
@@ -104,6 +127,11 @@ pub struct ProtocolNode<S: MetricSpace> {
     clock: u64,
     /// In-flight migration, if any.
     pending_migration: Option<PendingMigration>,
+    /// Exchange-generation counter for migrations this node initiates.
+    migration_seq: u64,
+    /// Migration-split points handed out but not yet acknowledged, by
+    /// initiator (see [`ParkedHandout`]).
+    handouts: BTreeMap<NodeId, ParkedHandout<S::Point>>,
 }
 
 impl<S: MetricSpace> ProtocolNode<S> {
@@ -137,6 +165,8 @@ impl<S: MetricSpace> ProtocolNode<S> {
             last_seen: BTreeMap::new(),
             clock: 0,
             pending_migration: None,
+            migration_seq: 0,
+            handouts: BTreeMap::new(),
         }
     }
 
@@ -158,6 +188,37 @@ impl<S: MetricSpace> ProtocolNode<S> {
     /// The partner of the in-flight migration, if one is pending.
     pub fn pending_migration(&self) -> Option<NodeId> {
         self.pending_migration.as_ref().map(|p| p.partner)
+    }
+
+    /// Number of migration-split points currently parked awaiting an
+    /// initiator's [`Wire::MigrationAck`] (zero under a synchronous
+    /// driver, whose acks arrive in the same instant as the replies).
+    pub fn parked_points(&self) -> usize {
+        self.handouts.values().map(|h| h.points.len()).sum()
+    }
+
+    /// Ids of the parked handout points. Survival accounting must count
+    /// these: mid-handover a point may exist *only* here (the carrying
+    /// reply still in flight), yet it is not lost.
+    pub fn parked_ids(&self) -> Vec<PointId> {
+        self.handouts
+            .values()
+            .flat_map(|h| h.points.iter().map(|p| p.id))
+            .collect()
+    }
+
+    /// Advances the node's local protocol clock by one unit without
+    /// running any phase — for drivers (and tests) that pass time
+    /// explicitly between individual [`ProtocolNode::on_phase`] calls,
+    /// so the tick-denominated timeouts (the in-flight migration lock,
+    /// the parked-handout re-adoption) make progress.
+    ///
+    /// Do **not** combine with [`ProtocolNode::on_tick`] or
+    /// [`ProtocolNode::on_round`]: both advance the clock themselves (the
+    /// discrete-event network simulator drives nodes through `on_round`
+    /// alone), and adding this on top would halve every timeout.
+    pub fn advance_clock(&mut self) {
+        self.clock += 1;
     }
 
     /// A fresh descriptor of this node at its current position.
@@ -220,15 +281,43 @@ impl<S: MetricSpace> ProtocolNode<S> {
         self.clock += 1;
         let suspects = self.suspects();
         let fd = move |id: NodeId| suspects.contains(&id);
+        self.run_local_round(&fd, rng)
+    }
+
+    /// One full local protocol round with failure verdicts supplied by
+    /// the driver — the asynchronous *phase-external* twin of
+    /// [`ProtocolNode::on_tick`], for drivers that own the failure
+    /// knowledge themselves (the discrete-event network simulator feeds
+    /// its crash-detection events here) but still deliver effects
+    /// asynchronously, so the clock must advance and recoveries must
+    /// re-project immediately.
+    pub fn on_round<R: Rng + ?Sized>(
+        &mut self,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
+        self.clock += 1;
+        self.run_local_round(fd, rng)
+    }
+
+    /// Shared body of [`ProtocolNode::on_tick`] / [`ProtocolNode::on_round`]:
+    /// every phase in order, with the asynchronous-driver recovery rule
+    /// (re-project right away — a migration that would otherwise fix the
+    /// position may stall for rounds).
+    fn run_local_round<R: Rng + ?Sized>(
+        &mut self,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> Vec<Effect<S::Point>> {
         let mut effects = Vec::new();
         for phase in Phase::ALL {
             if phase == Phase::Recovery {
-                if !self.recover_ghosts(&fd).is_empty() {
+                if !self.recover_ghosts(fd).is_empty() {
                     self.poly.project(&self.space, &self.config.poly, rng);
                 }
                 continue;
             }
-            effects.extend(self.on_phase(phase, &fd, rng));
+            effects.extend(self.on_phase(phase, fd, rng));
         }
         effects
     }
@@ -390,12 +479,25 @@ impl<S: MetricSpace> ProtocolNode<S> {
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
     ) -> Vec<Effect<S::Point>> {
+        // Re-adopt parked handouts whose ack never came: the reply (or
+        // its ack) was lost in transit, or the initiator crashed. Taking
+        // the points back may duplicate them (if the reply did land) but
+        // can never lose them — the at-least-once direction.
+        let timeout = u64::from(self.config.migration_timeout_ticks);
+        let expired: Vec<NodeId> = self
+            .handouts
+            .iter()
+            .filter(|(_, h)| self.clock.saturating_sub(h.started) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let handout = self.handouts.remove(&id).expect("collected above");
+            self.poly.absorb_guests(handout.points);
+        }
         // One in-flight exchange at a time (Sec. III-F); a partner that
         // never answered is presumed dead after the timeout.
         if let Some(pending) = &self.pending_migration {
-            if self.clock.saturating_sub(pending.started)
-                > u64::from(self.config.migration_timeout_ticks)
-            {
+            if self.clock.saturating_sub(pending.started) > timeout {
                 self.pending_migration = None;
             }
         }
@@ -471,14 +573,18 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 }]
             }
             Channel::Migration => {
+                self.migration_seq += 1;
+                let xid = self.migration_seq;
                 self.pending_migration = Some(PendingMigration {
                     partner: peer,
+                    xid,
                     started: self.clock,
                     shipped: self.poly.guests.iter().map(|g| g.id).collect(),
                 });
                 vec![Effect::Send {
                     to: peer,
                     wire: Wire::MigrationRequest {
+                        xid,
                         from_pos: self.poly.pos.clone(),
                         guests: self.poly.guests.clone(),
                     },
@@ -502,6 +608,12 @@ impl<S: MetricSpace> ProtocolNode<S> {
             Channel::Migration => {
                 if self.pending_migration() == Some(peer) {
                     self.pending_migration = None;
+                }
+                // A reply we handed points to never made it (the driver
+                // saw the delivery fail): re-adopt them right away rather
+                // than waiting out the ack timeout.
+                if let Some(handout) = self.handouts.remove(&peer) {
+                    self.poly.absorb_guests(handout.points);
                 }
             }
             Channel::Backup | Channel::Heartbeat => {
@@ -551,13 +663,18 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 self.tman.integrate(self.id, &pos, &descriptors);
                 Vec::new()
             }
-            Wire::MigrationRequest { from_pos, guests } => {
+            Wire::MigrationRequest {
+                xid,
+                from_pos,
+                guests,
+            } => {
                 if self.pending_migration.is_some() {
                     // Busy: bounce the guests back untouched (the pairwise
                     // exclusivity requirement of Algorithm 3).
                     return vec![Effect::Send {
                         to: from,
                         wire: Wire::MigrationReply {
+                            xid,
                             points: guests,
                             busy: true,
                             pulled: 0,
@@ -565,6 +682,14 @@ impl<S: MetricSpace> ProtocolNode<S> {
                         },
                     }];
                 }
+                // A still-parked handout for the same initiator means our
+                // previous reply (or its ack) never made it and the
+                // initiator gave up and retried: take those points back
+                // into the union before splitting again.
+                if let Some(stale) = self.handouts.remove(&from) {
+                    self.poly.absorb_guests(stale.points);
+                }
+                let incoming: BTreeSet<PointId> = guests.iter().map(|g| g.id).collect();
                 let outcome = absorb_and_split(
                     &self.space,
                     &self.config.poly,
@@ -573,9 +698,32 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     guests,
                     rng,
                 );
+                // Park the part of the reply only *we* could lose: our own
+                // contribution to the split. The initiator's shipped
+                // points need no parking — it keeps them until the reply
+                // lands (its timeout re-owns them), so re-adopting those
+                // too would duplicate the whole shipped set on every lost
+                // reply instead of the minimal at-least-once remainder.
+                let own_contribution: Vec<DataPoint<S::Point>> = outcome
+                    .for_initiator
+                    .iter()
+                    .filter(|p| !incoming.contains(&p.id))
+                    .cloned()
+                    .collect();
+                if !own_contribution.is_empty() {
+                    self.handouts.insert(
+                        from,
+                        ParkedHandout {
+                            xid,
+                            points: own_contribution,
+                            started: self.clock,
+                        },
+                    );
+                }
                 vec![Effect::Send {
                     to: from,
                     wire: Wire::MigrationReply {
+                        xid,
                         points: outcome.for_initiator,
                         busy: false,
                         pulled: outcome.pulled,
@@ -583,8 +731,18 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     },
                 }]
             }
-            Wire::MigrationReply { points, busy, .. } => {
-                if self.pending_migration() == Some(from) {
+            Wire::MigrationReply {
+                xid, points, busy, ..
+            } => {
+                // Only the reply echoing the *current* generation resolves
+                // the pending exchange; a stale reply (we timed out and
+                // retried) falls through to the late-absorb path below and
+                // must not disturb the newer exchange's state.
+                let resolves_pending = self
+                    .pending_migration
+                    .as_ref()
+                    .is_some_and(|p| p.partner == from && p.xid == xid);
+                if resolves_pending {
                     let pending = self.pending_migration.take().expect("matched above");
                     if !busy {
                         // The reply redistributes the shipped guests and
@@ -603,14 +761,36 @@ impl<S: MetricSpace> ProtocolNode<S> {
                             self.poly.absorb_guests(acquired);
                         }
                         self.poly.project(&self.space, &self.config.poly, rng);
+                        // Confirm custody so the responder un-parks its
+                        // handout instead of re-adopting it at timeout.
+                        return vec![Effect::Send {
+                            to: from,
+                            wire: Wire::MigrationAck { xid },
+                        }];
                     }
                 } else if !busy {
                     // Late reply after our timeout: the responder already
                     // gave these points away, so we are their only owner —
                     // dropping them would lose data. Absorb instead; any
-                    // duplication with our kept guests dedups by id.
+                    // duplication with our kept guests dedups by id. The
+                    // ack carries the stale generation, so it can only
+                    // clear *this* reply's handout, never a newer one.
                     self.poly.absorb_guests(points);
                     self.poly.project(&self.space, &self.config.poly, rng);
+                    return vec![Effect::Send {
+                        to: from,
+                        wire: Wire::MigrationAck { xid },
+                    }];
+                }
+                // A stale *busy* bounce is ignored outright: its points
+                // are a subset of guests we still hold.
+                Vec::new()
+            }
+            Wire::MigrationAck { xid } => {
+                // The initiator holds the handed-out points: stop parking —
+                // but only for the acknowledged generation.
+                if self.handouts.get(&from).is_some_and(|h| h.xid == xid) {
+                    self.handouts.remove(&from);
                 }
                 Vec::new()
             }
@@ -767,6 +947,7 @@ mod tests {
             Event::Message {
                 from: NodeId::new(0),
                 wire: Wire::MigrationRequest {
+                    xid: 7,
                     from_pos: [0.0, 0.0],
                     guests: incoming.clone(),
                 },
@@ -798,6 +979,7 @@ mod tests {
             Event::Message {
                 from: NodeId::new(0),
                 wire: Wire::MigrationRequest {
+                    xid: 7,
                     from_pos: [0.0, 0.0],
                     guests: vec![DataPoint::new(PointId::new(20), [1.0, 0.0])],
                 },
@@ -812,6 +994,7 @@ mod tests {
                         busy,
                         pulled,
                         pushed,
+                        ..
                     },
                 ..
             }] => {
@@ -822,6 +1005,173 @@ mod tests {
             }
             other => panic!("expected a split reply, got {other:?}"),
         }
+    }
+
+    /// A responder at x = 10 holding its own point plus one near the
+    /// initiator (x = 0.3): the split hands back the shipped point *and*
+    /// one the responder contributed — only the latter needs parking.
+    fn responder_with_contribution(rng: &mut StdRng) -> ProtocolNode<Euclidean2> {
+        let mut b = founder(1, 10.0, vec![desc(0, 0.0, 0.0)]);
+        b.poly
+            .absorb_guests(vec![DataPoint::new(PointId::new(30), [0.3, 0.0])]);
+        let effects = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::MigrationRequest {
+                    xid: 7,
+                    from_pos: [0.0, 0.0],
+                    guests: vec![DataPoint::new(PointId::new(20), [1.0, 0.0])],
+                },
+            },
+            rng,
+        );
+        match effects.as_slice() {
+            [Effect::Send {
+                wire: Wire::MigrationReply { points, busy, .. },
+                ..
+            }] => {
+                assert!(!busy);
+                assert!(
+                    points.iter().any(|p| p.id == PointId::new(30)),
+                    "the contributed point must travel to the initiator"
+                );
+                assert!(
+                    points.iter().any(|p| p.id == PointId::new(20)),
+                    "the shipped point must come back"
+                );
+            }
+            other => panic!("expected a split reply, got {other:?}"),
+        }
+        b
+    }
+
+    #[test]
+    fn split_reply_parks_own_contribution_until_ack() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = responder_with_contribution(&mut rng);
+        // Only point 30 is parked: the shipped point 20 stays safe with
+        // the initiator until the reply lands, so parking it too would
+        // just duplicate it on every lost reply.
+        assert_eq!(b.parked_ids(), vec![PointId::new(30)]);
+        // A stale ack — from an exchange generation the initiator already
+        // timed out — must NOT release this handout: its reply may still
+        // be dropped, and the parking is the only safety copy.
+        let _ = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::MigrationAck { xid: 6 },
+            },
+            &mut rng,
+        );
+        assert_eq!(
+            b.parked_points(),
+            1,
+            "a stale-generation ack must not clear a newer handout"
+        );
+        let follow_up = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::MigrationAck { xid: 7 },
+            },
+            &mut rng,
+        );
+        assert!(follow_up.is_empty());
+        assert_eq!(b.parked_points(), 0, "ack must clear the handout");
+    }
+
+    #[test]
+    fn stale_reply_takes_the_late_path_without_touching_the_new_exchange() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut a = founder(0, 0.0, vec![desc(1, 1.0, 0.0)]);
+        // Exchange 1 with node 1, which times out…
+        let _ = a.on_event(
+            Event::ProbeOk {
+                peer: NodeId::new(1),
+                channel: Channel::Migration,
+                pos: None,
+            },
+            &mut rng,
+        );
+        for _ in 0..=a.config().migration_timeout_ticks {
+            a.advance_clock();
+        }
+        let _ = a.on_phase(Phase::Migration, &|id| id != NodeId::new(1), &mut rng);
+        // …then exchange 2 with the same partner.
+        let _ = a.on_event(
+            Event::ProbeOk {
+                peer: NodeId::new(1),
+                channel: Channel::Migration,
+                pos: None,
+            },
+            &mut rng,
+        );
+        assert_eq!(a.pending_migration(), Some(NodeId::new(1)));
+        // The slow reply to exchange 1 finally lands: it must be absorbed
+        // via the late path and acked with ITS generation — exchange 2
+        // stays pending, so its real reply can still resolve it.
+        let effects = a.on_event(
+            Event::Message {
+                from: NodeId::new(1),
+                wire: Wire::MigrationReply {
+                    xid: 1,
+                    points: vec![DataPoint::new(PointId::new(77), [0.5, 0.0])],
+                    busy: false,
+                    pulled: 1,
+                    pushed: 0,
+                },
+            },
+            &mut rng,
+        );
+        match effects.as_slice() {
+            [Effect::Send {
+                wire: Wire::MigrationAck { xid },
+                ..
+            }] => assert_eq!(*xid, 1, "the ack must carry the stale generation"),
+            other => panic!("expected a stale-generation ack, got {other:?}"),
+        }
+        assert!(a.poly.guests.iter().any(|g| g.id == PointId::new(77)));
+        assert_eq!(
+            a.pending_migration(),
+            Some(NodeId::new(1)),
+            "the stale reply must not resolve the newer exchange"
+        );
+    }
+
+    #[test]
+    fn unacked_handout_is_readopted_after_timeout() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut b = responder_with_contribution(&mut rng);
+        assert_eq!(b.parked_points(), 1);
+        // The ack never arrives (reply lost in transit). Past the timeout
+        // the migration phase re-adopts the parked contribution.
+        for _ in 0..=b.config().migration_timeout_ticks {
+            b.advance_clock();
+        }
+        let _ = b.on_phase(Phase::Migration, &|_| false, &mut rng);
+        assert_eq!(b.parked_points(), 0);
+        assert!(
+            b.poly.guests.iter().any(|g| g.id == PointId::new(30)),
+            "the contributed point must be owned again"
+        );
+    }
+
+    #[test]
+    fn failed_reply_delivery_readopts_handout_immediately() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut b = responder_with_contribution(&mut rng);
+        assert_eq!(b.parked_points(), 1);
+        let _ = b.on_event(
+            Event::PeerUnreachable {
+                peer: NodeId::new(0),
+                channel: Channel::Migration,
+            },
+            &mut rng,
+        );
+        assert_eq!(b.parked_points(), 0);
+        assert!(
+            b.poly.guests.iter().any(|g| g.id == PointId::new(30)),
+            "the contributed point must be owned again"
+        );
     }
 
     #[test]

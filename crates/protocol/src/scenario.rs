@@ -12,7 +12,8 @@
 //! [`apply_event`], so what "crash", "inject" and "churn" mean cannot
 //! drift between them.
 
-use polystyrene_membership::NodeId;
+use polystyrene::prelude::DataPoint;
+use polystyrene_membership::{Descriptor, NodeId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -37,6 +38,25 @@ pub enum ScenarioEvent<P> {
         /// Number of consecutive rounds the churn window lasts.
         rounds: u32,
     },
+    /// Network partition: for `rounds` consecutive rounds, nodes listed in
+    /// different groups cannot exchange messages (nodes absent from every
+    /// group form one implicit extra group — "the rest of the network" —
+    /// so a script can name just the minority side). Nobody crashes; the
+    /// fabric heals when the window expires. Only substrates with a
+    /// network model honor this ([`ScenarioSubstrate::partition`] is a
+    /// no-op elsewhere — the cycle engine and the in-process runtime have
+    /// no fabric to cut).
+    ///
+    /// Windows do not stack: a later `Partition` event *replaces* the
+    /// whole mask and restarts the heal clock from its own window, ending
+    /// the previous event's cut early. Scripts needing several cuts at
+    /// once express them as multiple `groups` of one event.
+    Partition {
+        /// The separated groups.
+        groups: Vec<Vec<NodeId>>,
+        /// Number of consecutive rounds the partition lasts.
+        rounds: u32,
+    },
 }
 
 impl<P> std::fmt::Debug for ScenarioEvent<P> {
@@ -47,6 +67,9 @@ impl<P> std::fmt::Debug for ScenarioEvent<P> {
             Self::FailNodes(ids) => write!(f, "FailNodes({} nodes)", ids.len()),
             Self::Inject(ps) => write!(f, "Inject({} nodes)", ps.len()),
             Self::Churn { rate, rounds } => write!(f, "Churn({rate}/round for {rounds} rounds)"),
+            Self::Partition { groups, rounds } => {
+                write!(f, "Partition({} groups for {rounds} rounds)", groups.len())
+            }
         }
     }
 }
@@ -91,7 +114,8 @@ impl<P> Scenario<P> {
     }
 
     /// The first round at which a failure event fires, if any — the
-    /// reference point of the reshaping-time metric.
+    /// reference point of the reshaping-time metric. Partitions do not
+    /// count: they disrupt connectivity without destroying any node.
     pub fn first_failure_round(&self) -> Option<u32> {
         self.events
             .iter()
@@ -128,6 +152,13 @@ pub trait ScenarioSubstrate<P> {
     /// Runs one protocol round (one engine cycle, or one tick-equivalent
     /// of wall-clock progress on a live cluster).
     fn advance_round(&mut self);
+    /// Installs a network partition (see [`ScenarioEvent::Partition`]).
+    /// Default: no-op, for substrates without a network fabric to cut —
+    /// the cycle engine's atomic exchanges and the runtime's in-process
+    /// channels cannot model one.
+    fn partition(&mut self, _groups: &[Vec<NodeId>]) {}
+    /// Heals a previously installed partition. Default: no-op.
+    fn heal(&mut self) {}
 }
 
 /// Selects the victims of a random-fraction failure: shuffles the alive
@@ -155,6 +186,50 @@ pub fn select_victims<R: rand::Rng + ?Sized>(
     alive
 }
 
+/// Selects the victims of a correlated regional failure: every *founding*
+/// node whose original data point satisfies `predicate` and is still
+/// alive. Encodes the founding convention — node `i` founded data point
+/// `i` — in exactly one place; every substrate's `fail_region` routes
+/// through this, so what "kill a region" means cannot drift between the
+/// cycle engine, the discrete-event network simulator, and the threaded
+/// runtime.
+pub fn select_region_victims<P>(
+    original_points: &[DataPoint<P>],
+    predicate: &(dyn Fn(&P) -> bool + Send + Sync),
+    is_alive: &dyn Fn(NodeId) -> bool,
+) -> Vec<NodeId> {
+    original_points
+        .iter()
+        .filter(|point| predicate(&point.pos))
+        .map(|point| NodeId::new(point.id.as_u64()))
+        .filter(|&id| is_alive(id))
+        .collect()
+}
+
+/// Draws bootstrap contacts for a freshly injected node: `count` uniform
+/// draws over the alive population (with replacement — duplicate
+/// descriptors are the receiving view's problem to fold), positions
+/// resolved through the substrate's current belief (draws whose position
+/// cannot be resolved are skipped without retry). Deterministic
+/// substrates share this so what "inject" bootstraps — and how much
+/// driver entropy it consumes — cannot drift between them.
+pub fn sample_bootstrap_contacts<P, R: rand::Rng + ?Sized>(
+    alive: &[NodeId],
+    position_of: &dyn Fn(NodeId) -> Option<P>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Descriptor<P>> {
+    if alive.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .filter_map(|_| {
+            let peer = alive[rng.random_range(0..alive.len())];
+            position_of(peer).map(|pos| Descriptor::new(peer, pos))
+        })
+        .collect()
+}
+
 /// Applies one event to a substrate — the single code path both the
 /// simulator and the runtime use, so they cannot drift on what an event
 /// means. A [`ScenarioEvent::Churn`] applied here executes one round's
@@ -176,22 +251,40 @@ pub fn apply_event<P>(substrate: &mut dyn ScenarioSubstrate<P>, event: &Scenario
         ScenarioEvent::Churn { rate, .. } => {
             substrate.fail_fraction(*rate);
         }
+        ScenarioEvent::Partition { groups, .. } => {
+            substrate.partition(groups);
+        }
     }
 }
 
 /// Drives `substrate` through `scenario`: for each round, applies the
 /// events scheduled for it (churn events open a window that then fires
-/// every round until it expires), and advances one round.
+/// every round until it expires; partition events install a mask that is
+/// healed when their window expires), and advances one round.
 pub fn drive_scenario<P>(substrate: &mut impl ScenarioSubstrate<P>, scenario: &Scenario<P>) {
     // Active churn windows: (first round NOT churned, rate).
     let mut churns: Vec<(u32, f64)> = Vec::new();
+    // First round past the active partition window. A later Partition
+    // event replaces the mask AND the window (windows do not stack; see
+    // `ScenarioEvent::Partition`) — keeping the substrate's single mask
+    // and the heal schedule in lockstep.
+    let mut partition_heal: Option<u32> = None;
     for round in 0..scenario.total_rounds() {
+        if partition_heal.is_some_and(|h| round >= h) {
+            substrate.heal();
+            partition_heal = None;
+        }
         if let Some(events) = scenario.events_at(round) {
             for event in events {
-                if let ScenarioEvent::Churn { rate, rounds } = event {
-                    churns.push((round.saturating_add(*rounds), *rate));
-                } else {
-                    apply_event(substrate, event);
+                match event {
+                    ScenarioEvent::Churn { rate, rounds } => {
+                        churns.push((round.saturating_add(*rounds), *rate));
+                    }
+                    ScenarioEvent::Partition { rounds, .. } => {
+                        apply_event(substrate, event);
+                        partition_heal = Some(round.saturating_add(*rounds));
+                    }
+                    _ => apply_event(substrate, event),
                 }
             }
         }
@@ -200,6 +293,10 @@ pub fn drive_scenario<P>(substrate: &mut impl ScenarioSubstrate<P>, scenario: &S
             substrate.fail_fraction(rate);
         }
         substrate.advance_round();
+    }
+    // A window outlasting the scenario still heals the fabric on exit.
+    if partition_heal.is_some() {
+        substrate.heal();
     }
 }
 
@@ -340,6 +437,13 @@ mod tests {
         fn advance_round(&mut self) {
             self.rounds += 1;
         }
+        fn partition(&mut self, groups: &[Vec<NodeId>]) {
+            self.calls
+                .push(format!("partition({})@{}", groups.len(), self.rounds));
+        }
+        fn heal(&mut self) {
+            self.calls.push(format!("heal@{}", self.rounds));
+        }
     }
 
     #[test]
@@ -412,6 +516,89 @@ mod tests {
             rec.calls,
             vec!["fraction(0.1)@0", "fraction(0.1)@1", "fraction(0.2)@1"]
         );
+    }
+
+    #[test]
+    fn partition_window_installs_then_heals() {
+        let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
+            1,
+            ScenarioEvent::Partition {
+                groups: vec![vec![NodeId::new(0)], vec![NodeId::new(1)]],
+                rounds: 2,
+            },
+        );
+        let mut rec = Recorder::default();
+        drive_scenario(&mut rec, &scenario);
+        assert_eq!(rec.calls, vec!["partition(2)@1", "heal@3"]);
+    }
+
+    #[test]
+    fn partition_outlasting_the_scenario_still_heals() {
+        let scenario: Scenario<[f64; 2]> = Scenario::new(3).at(
+            2,
+            ScenarioEvent::Partition {
+                groups: vec![vec![NodeId::new(5)]],
+                rounds: 10,
+            },
+        );
+        let mut rec = Recorder::default();
+        drive_scenario(&mut rec, &scenario);
+        assert_eq!(rec.calls, vec!["partition(1)@2", "heal@3"]);
+    }
+
+    #[test]
+    fn later_partition_replaces_mask_and_window() {
+        let scenario: Scenario<[f64; 2]> = Scenario::new(8)
+            .at(
+                0,
+                ScenarioEvent::Partition {
+                    groups: vec![vec![NodeId::new(0)]],
+                    rounds: 5,
+                },
+            )
+            .at(
+                2,
+                ScenarioEvent::Partition {
+                    groups: vec![vec![NodeId::new(1)]],
+                    rounds: 1,
+                },
+            );
+        let mut rec = Recorder::default();
+        drive_scenario(&mut rec, &scenario);
+        // Windows do not stack: the round-2 event replaces both the mask
+        // and the window, so its own 1-round cut ends at round 3 — the
+        // first event's longer window dies with its mask (the substrate
+        // holds exactly one mask, so mask and heal stay in lockstep).
+        assert_eq!(
+            rec.calls,
+            vec!["partition(1)@0", "partition(1)@2", "heal@3"]
+        );
+    }
+
+    #[test]
+    fn partition_is_not_a_failure_event() {
+        let s: Scenario<[f64; 2]> = Scenario::new(10).at(
+            3,
+            ScenarioEvent::Partition {
+                groups: vec![],
+                rounds: 2,
+            },
+        );
+        assert_eq!(s.first_failure_round(), None);
+    }
+
+    #[test]
+    fn region_victims_follow_the_founding_convention() {
+        use polystyrene::prelude::PointId;
+        let originals: Vec<DataPoint<[f64; 2]>> = (0..6)
+            .map(|i| DataPoint::new(PointId::new(i), [i as f64, 0.0]))
+            .collect();
+        let victims = select_region_victims(
+            &originals,
+            &|p: &[f64; 2]| p[0] >= 3.0,
+            &|id| id != NodeId::new(4), // node 4 already dead
+        );
+        assert_eq!(victims, vec![NodeId::new(3), NodeId::new(5)]);
     }
 
     #[test]

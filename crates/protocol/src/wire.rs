@@ -22,9 +22,17 @@ pub enum Channel {
 
 /// Everything that can cross the network between two protocol nodes.
 ///
-/// Channels are assumed reliable and in-order (the paper's TCP stand-in);
-/// a message to a crashed node is silently lost — crash-stop semantics.
-#[derive(Clone, Debug)]
+/// The cycle engine delivers these atomically (the paper's reliable
+/// in-order TCP stand-in); asynchronous drivers — the threaded runtime
+/// and the discrete-event network simulator — may delay, drop, or reorder
+/// any of them. The vocabulary is designed so that every loss is safe in
+/// the *at-least-once* direction: a dropped message can duplicate a data
+/// point (both endpoints keep a copy) but never destroy the last copy.
+/// The migration pull-push exchange achieves this with [`Wire::MigrationAck`]:
+/// the responder parks the points it handed out until the initiator
+/// acknowledges them, and re-adopts them if the acknowledgment never
+/// arrives.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Wire<P> {
     /// Cyclon shuffle request (peer-sampling layer).
     RpsRequest {
@@ -54,6 +62,13 @@ pub enum Wire<P> {
     /// ships its whole guest set; the responder runs `SPLIT` and returns
     /// the initiator's share.
     MigrationRequest {
+        /// Exchange generation, from the initiator's private counter.
+        /// Echoed by the reply and its ack so that, over a delaying
+        /// fabric, a *stale* reply (from an exchange the initiator
+        /// already timed out and retried) can never be mistaken for the
+        /// current one — and a stale ack can never clear a newer parked
+        /// handout.
+        xid: u64,
         /// Initiator's current position (`pos_p` of the split).
         from_pos: P,
         /// Initiator's guests (the *pull* leg).
@@ -64,6 +79,8 @@ pub enum Wire<P> {
     /// responder was itself mid-exchange ("q should not be interacting
     /// with anyone else than p while the exchange occurs", Sec. III-F).
     MigrationReply {
+        /// The request's exchange generation, echoed back.
+        xid: u64,
         /// Points now owned by the initiator.
         points: Vec<DataPoint<P>>,
         /// Whether this is a busy-bounce rather than a real split.
@@ -73,6 +90,20 @@ pub enum Wire<P> {
         pulled: usize,
         /// Points the responder kept after the split — the *push* leg.
         pushed: usize,
+    },
+    /// Confirms that a (non-busy) [`Wire::MigrationReply`] was received
+    /// and applied. The responder of a migration split no longer owns the
+    /// points it mailed back to the initiator; until this ack arrives it
+    /// *parks* them, and re-adopts them after a timeout — so a dropped
+    /// reply duplicates points (benign, deduplicated by id within a node)
+    /// instead of losing them. Synchronous drivers deliver the ack in the
+    /// same instant as the reply, making the parking invisible.
+    MigrationAck {
+        /// The acknowledged reply's exchange generation: the responder
+        /// only un-parks the handout of *this* generation, so an ack for
+        /// an older exchange cannot clear a newer handout whose reply is
+        /// still in flight.
+        xid: u64,
     },
     /// Replica push (paper Algorithm 1): `ghosts[from] ← points`, with
     /// the incremental-delta accounting of Sec. III-D.
@@ -99,7 +130,9 @@ impl<P> Wire<P> {
         match self {
             Wire::RpsRequest { .. } | Wire::RpsReply { .. } => Channel::PeerSampling,
             Wire::TManRequest { .. } | Wire::TManReply { .. } => Channel::Topology,
-            Wire::MigrationRequest { .. } | Wire::MigrationReply { .. } => Channel::Migration,
+            Wire::MigrationRequest { .. }
+            | Wire::MigrationReply { .. }
+            | Wire::MigrationAck { .. } => Channel::Migration,
             Wire::BackupPush { .. } => Channel::Backup,
             Wire::Heartbeat => Channel::Heartbeat,
         }
@@ -114,6 +147,7 @@ impl<P> Wire<P> {
             Wire::TManReply { .. } => "tman_reply",
             Wire::MigrationRequest { .. } => "migration_request",
             Wire::MigrationReply { .. } => "migration_reply",
+            Wire::MigrationAck { .. } => "migration_ack",
             Wire::BackupPush { .. } => "backup_push",
             Wire::Heartbeat => "heartbeat",
         }
@@ -121,7 +155,7 @@ impl<P> Wire<P> {
 }
 
 /// Everything a driver can feed into [`crate::node::ProtocolNode::on_event`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Event<P> {
     /// A wire message arrived from `from`.
     Message {
@@ -157,7 +191,7 @@ pub enum Event<P> {
 }
 
 /// Everything a node can ask its driver to do.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Effect<P> {
     /// Check whether `peer` is reachable before opening an exchange on
     /// `channel`; the driver must answer with [`Event::ProbeOk`] or
@@ -192,11 +226,13 @@ mod tests {
                 descriptors: vec![],
             },
             Wire::MigrationReply {
+                xid: 1,
                 points: vec![],
                 busy: false,
                 pulled: 0,
                 pushed: 0,
             },
+            Wire::MigrationAck { xid: 1 },
             Wire::BackupPush {
                 points: vec![],
                 added_points: 0,
@@ -211,6 +247,7 @@ mod tests {
                 "rps_request",
                 "tman_reply",
                 "migration_reply",
+                "migration_ack",
                 "backup_push",
                 "heartbeat"
             ]
@@ -218,7 +255,8 @@ mod tests {
         assert_eq!(wires[0].channel(), Channel::PeerSampling);
         assert_eq!(wires[1].channel(), Channel::Topology);
         assert_eq!(wires[2].channel(), Channel::Migration);
-        assert_eq!(wires[3].channel(), Channel::Backup);
-        assert_eq!(wires[4].channel(), Channel::Heartbeat);
+        assert_eq!(wires[3].channel(), Channel::Migration);
+        assert_eq!(wires[4].channel(), Channel::Backup);
+        assert_eq!(wires[5].channel(), Channel::Heartbeat);
     }
 }

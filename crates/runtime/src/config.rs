@@ -1,7 +1,7 @@
 //! Runtime deployment configuration.
 
 use polystyrene::prelude::PolystyreneConfig;
-use polystyrene_protocol::ProtocolConfig;
+use polystyrene_protocol::{LinkProfile, ProtocolConfig};
 use polystyrene_topology::TManConfig;
 use std::time::Duration;
 
@@ -33,6 +33,12 @@ pub struct RuntimeConfig {
     /// Ticks an initiated migration may stay unanswered before the
     /// initiator gives up and unlocks.
     pub migration_timeout_ticks: u32,
+    /// Link-fault injection for the in-process fabric. The runtime honors
+    /// the loss probability (messages silently vanish in transit, via the
+    /// shared [`polystyrene_protocol::NetworkModel`] hook in the
+    /// registry); latency and jitter need a timer fabric and are the
+    /// discrete-event simulator's domain — they are ignored here.
+    pub link: LinkProfile,
     /// Base RNG seed (each node derives its own from this and its id).
     pub seed: u64,
 }
@@ -52,6 +58,7 @@ impl Default for RuntimeConfig {
             rps_shuffle_len: 6,
             bootstrap_contacts: 8,
             migration_timeout_ticks: 3,
+            link: LinkProfile::ideal(),
             seed: 1,
         }
     }
@@ -73,6 +80,7 @@ impl RuntimeConfig {
             self.migration_timeout_ticks > 0,
             "migration timeout must be at least one tick"
         );
+        self.link.validate();
         self.poly.validate();
         self.tman.validate();
     }

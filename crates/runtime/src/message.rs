@@ -49,6 +49,7 @@ mod tests {
             Message::Protocol {
                 from: NodeId::new(1),
                 wire: Wire::MigrationReply {
+                    xid: 1,
                     points: vec![],
                     busy: false,
                     pulled: 0,

@@ -145,6 +145,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
                     .values()
                     .flat_map(|pts| pts.iter().map(|p| p.id))
                     .collect(),
+                parked_ids: self.node.parked_ids(),
                 stored_points: self.node.poly.stored_points(),
                 ticks: self.node.clock(),
             },

@@ -18,6 +18,12 @@ pub struct NodeReport<P> {
     /// Ids of ghost replicas stored here (survival accounting: a point
     /// whose primary holder is mid-migration still exists as a replica).
     pub ghost_ids: Vec<PointId>,
+    /// Ids of migration-handout points parked here awaiting the
+    /// initiator's ack. On a lossy fabric a point can exist *only* in
+    /// this set (the carrying reply dropped, the next backup push already
+    /// rewrote the ghosts without it) — it is stored on this node and
+    /// must count as held, exactly as the netsim substrate counts it.
+    pub parked_ids: Vec<PointId>,
     /// Total stored points (guests + ghosts).
     pub stored_points: usize,
     /// Ticks executed so far.
@@ -86,7 +92,9 @@ pub fn observe<S: MetricSpace>(
     let alive = snapshot.len();
     let mut holder_positions: HashMap<PointId, Vec<&S::Point>> = HashMap::new();
     for report in snapshot.values() {
-        for pid in &report.guest_ids {
+        // Parked handover points are physically stored on the parking
+        // node until the initiator takes custody: held here.
+        for pid in report.guest_ids.iter().chain(&report.parked_ids) {
             holder_positions.entry(*pid).or_default().push(&report.pos);
         }
     }
@@ -149,6 +157,7 @@ mod tests {
             pos,
             guest_ids: ids.iter().map(|&i| PointId::new(i)).collect(),
             ghost_ids: Vec::new(),
+            parked_ids: Vec::new(),
             stored_points: stored,
             ticks: 5,
         }
@@ -197,6 +206,21 @@ mod tests {
         // point 0 at distance 0; point 1 at distance 6 from the nearest
         // node (4,0) → mean 3.
         assert!((obs.homogeneity - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parked_points_count_as_held() {
+        let pts = originals(&[[0.0, 0.0], [6.0, 0.0]]);
+        let mut snap = HashMap::new();
+        snap.insert(NodeId::new(0), report([0.0, 0.0], &[0], 1));
+        // Point 1 exists only as a parked handout on the node at (5,0).
+        let mut parked = report([5.0, 0.0], &[], 0);
+        parked.parked_ids = vec![PointId::new(1)];
+        snap.insert(NodeId::new(1), parked);
+        let obs = observe(&Euclidean2, &pts, &snap);
+        assert_eq!(obs.surviving_points, 1.0, "mid-handover is not lost");
+        // Point 1 measured against its parking node, distance 1 → mean 0.5.
+        assert!((obs.homogeneity - 0.5).abs() < 1e-12);
     }
 
     #[test]

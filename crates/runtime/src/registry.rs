@@ -4,23 +4,47 @@
 //! registry per message; sending to a crashed node (receiver dropped or
 //! deregistered) silently loses the message, like a TCP connection reset
 //! under crash-stop.
+//!
+//! An optional [`NetworkModel`] can be installed to inject *transit*
+//! loss on top of the crash-stop semantics: a dropped message vanishes
+//! silently (the sender still sees success — loss in flight is not
+//! observable, unlike a dead mailbox), so live-cluster scenarios can
+//! exercise lossy links through the same model the discrete-event
+//! simulator uses. The runtime honors the loss probability only:
+//! latency would need timers the in-process fabric does not have (a
+//! model's delay is ignored), and no runtime code path installs a
+//! partition mask — scripted [`ScenarioEvent::Partition`] windows are
+//! the discrete-event simulator's domain and are a documented no-op on
+//! a cluster.
+//!
+//! [`ScenarioEvent::Partition`]: polystyrene_protocol::ScenarioEvent::Partition
 
 use crate::message::Message;
 use crossbeam::channel::Sender;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use polystyrene_membership::NodeId;
+use polystyrene_protocol::{Fate, NetworkModel};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Thread-safe address book shared by every node of a [`crate::Cluster`].
 pub struct Registry<P> {
     inner: RwLock<HashMap<NodeId, Sender<Message<P>>>>,
+    /// Transit-fault injection, if any. Serialized behind a mutex: the
+    /// model's entropy stream must not interleave racily even though
+    /// sends come from every node thread.
+    network: Mutex<Option<Box<dyn NetworkModel>>>,
+    /// Messages the installed model has dropped in transit.
+    injected_drops: AtomicU64,
 }
 
 impl<P> Default for Registry<P> {
     fn default() -> Self {
         Self {
             inner: RwLock::new(HashMap::new()),
+            network: Mutex::new(None),
+            injected_drops: AtomicU64::new(0),
         }
     }
 }
@@ -42,9 +66,43 @@ impl<P> Registry<P> {
         self.inner.write().remove(&id);
     }
 
+    /// Installs a network model; every subsequent protocol message is
+    /// routed through it (control messages — shutdown — are exempt: the
+    /// harness must always be able to stop a node).
+    pub fn install_network(&self, model: Box<dyn NetworkModel>) {
+        *self.network.lock() = Some(model);
+    }
+
+    /// Protocol messages the installed network model dropped in transit.
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops.load(Ordering::Relaxed)
+    }
+
     /// Sends `message` to `to`; returns `false` if the destination is
     /// unknown or its mailbox is gone (message lost, crash-stop style).
+    ///
+    /// The crash-stop contract is unchanged by an installed
+    /// [`NetworkModel`]: a model-injected drop returns `true` when the
+    /// destination exists — transit loss is invisible to the sender,
+    /// only a dead mailbox is observable — so delivery-failure feedback
+    /// (and the purging built on it) stays exactly as accurate as on a
+    /// lossless fabric.
     pub fn send(&self, to: NodeId, message: Message<P>) -> bool {
+        if let Message::Protocol { from, wire } = &message {
+            let dropped = {
+                let mut network = self.network.lock();
+                match network.as_mut() {
+                    Some(model) => {
+                        matches!(model.route(*from, to, wire.channel(), 0), Fate::Drop)
+                    }
+                    None => false,
+                }
+            };
+            if dropped {
+                self.injected_drops.fetch_add(1, Ordering::Relaxed);
+                return self.inner.read().contains_key(&to);
+            }
+        }
         let sender = self.inner.read().get(&to).cloned();
         match sender {
             Some(s) => s.send(message).is_ok(),
@@ -115,5 +173,46 @@ mod tests {
         let (tx, _rx) = unbounded();
         registry.register(NodeId::new(7), tx);
         assert_eq!(registry.ids(), vec![NodeId::new(7)]);
+    }
+
+    #[test]
+    fn injected_loss_is_silent_but_counted() {
+        use polystyrene_protocol::{FaultyNetwork, LinkProfile, Wire};
+        let registry: Arc<Registry<f64>> = Registry::new();
+        let (tx, rx) = unbounded();
+        registry.register(NodeId::new(1), tx);
+        registry.install_network(Box::new(FaultyNetwork::new(
+            LinkProfile {
+                latency: 0,
+                jitter: 0,
+                loss: 1.0, // everything vanishes in transit
+            },
+            0,
+        )));
+        let delivered = registry.send(
+            NodeId::new(1),
+            Message::Protocol {
+                from: NodeId::new(0),
+                wire: Wire::Heartbeat,
+            },
+        );
+        assert!(
+            delivered,
+            "transit loss must be invisible to the sender (the mailbox exists)"
+        );
+        assert_eq!(registry.injected_drops(), 1);
+        assert!(rx.try_recv().is_err(), "the message must not arrive");
+        // Crash-stop reporting stays exact: a dead mailbox is observable
+        // even while the model is dropping everything.
+        assert!(!registry.send(
+            NodeId::new(9),
+            Message::Protocol {
+                from: NodeId::new(0),
+                wire: Wire::Heartbeat,
+            },
+        ));
+        // Control messages bypass the model entirely.
+        assert!(registry.send(NodeId::new(1), Message::Shutdown));
+        assert!(matches!(rx.recv().unwrap(), Message::Shutdown));
     }
 }

@@ -313,14 +313,17 @@ impl<S: MetricSpace> Engine<S> {
     /// Crashes every alive *founding* node whose original data point
     /// satisfies `predicate` — the paper's correlated catastrophic
     /// failure, e.g. "all the 1600 nodes located in one half of the torus"
-    /// (Sec. IV-A Phase 2). Returns the crashed ids.
-    pub fn fail_original_region(&mut self, predicate: impl Fn(&S::Point) -> bool) -> Vec<NodeId> {
-        let mut killed = Vec::new();
-        for i in 0..self.original_points.len() {
-            if self.nodes[i].is_some() && predicate(&self.original_points[i].pos) {
-                killed.push(NodeId::new(i as u64));
-            }
-        }
+    /// (Sec. IV-A Phase 2). Victim selection goes through the shared
+    /// [`polystyrene_protocol::select_region_victims`] path, like every
+    /// other substrate's. Returns the crashed ids.
+    pub fn fail_original_region(
+        &mut self,
+        predicate: impl Fn(&S::Point) -> bool + Send + Sync,
+    ) -> Vec<NodeId> {
+        let killed =
+            polystyrene_protocol::select_region_victims(&self.original_points, &predicate, &|id| {
+                self.nodes.get(id.index()).is_some_and(Option::is_some)
+            });
         for &id in &killed {
             self.crash(id);
         }
@@ -357,29 +360,38 @@ impl<S: MetricSpace> Engine<S> {
 
     /// Injects fresh nodes at the given positions: no data points, `pos`
     /// initialized (Sec. IV-A Phase 3), both gossip layers bootstrapped
-    /// from random alive contacts. Returns the new ids.
+    /// from random alive contacts drawn through the shared
+    /// [`polystyrene_protocol::sample_bootstrap_contacts`] path. Returns
+    /// the new ids.
     pub fn inject(&mut self, positions: Vec<S::Point>) -> Vec<NodeId> {
         let alive = self.alive_ids();
         let protocol = self.config.protocol();
         let mut new_ids = Vec::with_capacity(positions.len());
         for pos in positions {
             let id = NodeId::new(self.nodes.len() as u64);
-            let mut contacts = Vec::new();
-            let mut boot = Vec::new();
-            if !alive.is_empty() {
-                for _ in 0..self.config.rps_view_cap {
-                    let j = alive[self.rng.random_range(0..alive.len())];
-                    if let Some(p) = self.position_of(j) {
-                        contacts.push(Descriptor::new(j, p));
-                    }
-                }
-                for _ in 0..self.config.tman_bootstrap {
-                    let j = alive[self.rng.random_range(0..alive.len())];
-                    if let Some(p) = self.position_of(j) {
-                        boot.push(Descriptor::new(j, p));
-                    }
-                }
-            }
+            let (contacts, boot) = {
+                let nodes = &self.nodes;
+                let pos_of = |j: NodeId| {
+                    nodes
+                        .get(j.index())
+                        .and_then(|c| c.as_ref())
+                        .map(|c| c.poly.pos.clone())
+                };
+                (
+                    polystyrene_protocol::sample_bootstrap_contacts(
+                        &alive,
+                        &pos_of,
+                        self.config.rps_view_cap,
+                        &mut self.rng,
+                    ),
+                    polystyrene_protocol::sample_bootstrap_contacts(
+                        &alive,
+                        &pos_of,
+                        self.config.tman_bootstrap,
+                        &mut self.rng,
+                    ),
+                )
+            };
             self.nodes.push(Some(ProtocolNode::new(
                 id,
                 self.space.clone(),
@@ -554,9 +566,12 @@ impl<S: MetricSpace> Engine<S> {
             Wire::MigrationReply { pulled, pushed, .. } => {
                 self.cost.migration_units += ((pulled + pushed) * prices.units_per_point) as u64;
             }
+            // The migration ack is a constant-size control message, like
+            // the RPS traffic the paper leaves out of its accounting.
             Wire::RpsRequest { .. }
             | Wire::RpsReply { .. }
             | Wire::MigrationRequest { .. }
+            | Wire::MigrationAck { .. }
             | Wire::Heartbeat => {}
         }
     }

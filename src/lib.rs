@@ -13,6 +13,7 @@
 //! | **protocol** | [`protocol`] | the sans-IO per-node state machine + shared scenario scripts |
 //! | routing | [`routing`] | greedy routing + key-value facade (the motivating application) |
 //! | simulation | [`sim`] | cycle-driven engine + every paper experiment |
+//! | network simulation | [`netsim`] | deterministic discrete-event substrate: latency, loss, partitions |
 //! | deployment | [`runtime`] | threaded message-passing cluster |
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the architecture
@@ -44,6 +45,7 @@
 
 pub use polystyrene as core;
 pub use polystyrene_membership as membership;
+pub use polystyrene_netsim as netsim;
 pub use polystyrene_protocol as protocol;
 pub use polystyrene_routing as routing;
 pub use polystyrene_runtime as runtime;
@@ -55,6 +57,11 @@ pub use polystyrene_topology as topology;
 pub mod prelude {
     pub use polystyrene::prelude::*;
     pub use polystyrene_membership::{Descriptor, FailureDetector, NodeId, PeerSampling, View};
+    // Named (not glob) so netsim's `reference_homogeneity` twin does not
+    // collide with the simulator's.
+    pub use polystyrene_netsim::{
+        net_reshaping_time, run_net_scenario, NetRoundMetrics, NetSim, NetSimConfig,
+    };
     pub use polystyrene_protocol::prelude::*;
     pub use polystyrene_routing::prelude::*;
     pub use polystyrene_runtime::{run_cluster_scenario, Cluster, RuntimeConfig};
