@@ -15,7 +15,7 @@
 //!     --cols 40 --rows 25 --runs 3 --net-latency 2 --net-jitter 1
 //! ```
 
-use polystyrene_bench::CommonArgs;
+use polystyrene_bench::{json_f64, CommonArgs};
 use polystyrene_membership::NodeId;
 use polystyrene_netsim::prelude::*;
 use polystyrene_space::prelude::*;
@@ -135,6 +135,9 @@ fn sweep_point(args: &CommonArgs, loss: f64) -> SweepPoint {
 
 /// Hand-rolled JSON (the serde shim has no serialization machinery, by
 /// design): numbers, bools and flat arrays only — nothing to escape.
+/// Every float goes through [`json_f64`]: a degenerate sweep (empty
+/// surviving population → infinite homogeneity, zero recovered runs)
+/// must yield `null`, not the invalid-JSON tokens `NaN`/`inf`.
 fn to_json(args: &CommonArgs, points: &[SweepPoint]) -> String {
     let mut out = String::new();
     let _ = write!(
@@ -149,25 +152,25 @@ fn to_json(args: &CommonArgs, points: &[SweepPoint]) -> String {
             out.push(',');
         }
         let reshaping = match p.mean_reshaping() {
-            Some(mean) => format!("{mean:.2}"),
+            Some(mean) => json_f64(mean, 2),
             None => "null".to_string(),
         };
         let _ = write!(
             out,
             "{{\"loss\":{},\"latency\":{},\"jitter\":{},\"recovered\":{},\"recovered_runs\":{},\"mean_reshaping_rounds\":{reshaping},\
-             \"final_homogeneity\":{:.6},\"reference_homogeneity\":{:.6},\"surviving_points\":{:.6},\"points_per_node\":{:.3},\
-             \"sent_messages\":{:.0},\"dropped_messages\":{:.0}}}",
-            p.loss,
+             \"final_homogeneity\":{},\"reference_homogeneity\":{},\"surviving_points\":{},\"points_per_node\":{},\
+             \"sent_messages\":{},\"dropped_messages\":{}}}",
+            json_f64(p.loss, 4),
             p.latency,
             p.jitter,
             p.recovered(),
             p.recovered_runs(),
-            p.final_homogeneity,
-            p.reference_homogeneity,
-            p.surviving_points,
-            p.points_per_node,
-            p.sent_messages,
-            p.dropped_messages,
+            json_f64(p.final_homogeneity, 6),
+            json_f64(p.reference_homogeneity, 6),
+            json_f64(p.surviving_points, 6),
+            json_f64(p.points_per_node, 3),
+            json_f64(p.sent_messages, 0),
+            json_f64(p.dropped_messages, 0),
         );
     }
     out.push_str("]}");

@@ -358,6 +358,24 @@ pub fn steady_state(series: &[f64], n: usize) -> f64 {
     ci95(tail).mean
 }
 
+/// A float as a JSON number token, with `precision` fractional digits —
+/// or the JSON literal `null` when the value is not finite.
+///
+/// The experiment binaries hand-roll their JSON (the serde shim has no
+/// serialization machinery, by design), and `format!("{v:.6}")` happily
+/// prints `NaN` or `inf` for the degenerate sweeps that produce them
+/// (an empty cluster's infinite homogeneity, a 0-run mean) — which is
+/// not JSON, and silently breaks every `BENCH_*.json` consumer
+/// downstream. Every hand-rolled emitter must route floats through
+/// here.
+pub fn json_f64(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +482,17 @@ mod tests {
         assert!((steady_state(&[1.0, 2.0, 3.0, 5.0], 2) - 4.0).abs() < 1e-12);
         assert!(steady_state(&[], 3).is_nan());
         assert!((steady_state(&[2.0], 10) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_f64_emits_null_for_non_finite_values() {
+        assert_eq!(json_f64(1.25, 2), "1.25");
+        assert_eq!(json_f64(-0.5, 3), "-0.500");
+        assert_eq!(json_f64(0.0, 0), "0");
+        // The degenerate-sweep values that used to produce invalid JSON.
+        assert_eq!(json_f64(f64::NAN, 6), "null");
+        assert_eq!(json_f64(f64::INFINITY, 6), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY, 2), "null");
     }
 
     #[test]

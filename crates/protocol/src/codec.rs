@@ -29,6 +29,38 @@ use polystyrene_membership::{Descriptor, NodeId};
 /// Format version written as the first byte of every encoded value.
 pub const FORMAT_VERSION: u8 = 1;
 
+/// Version byte of the *frame* layer a stream transport wraps encoded
+/// values in — pinned here, next to [`FORMAT_VERSION`], so the two wire
+/// versions evolve in one place.
+///
+/// # Frame format
+///
+/// A byte stream carrying codec values (the TCP transport in
+/// `polystyrene-transport`) frames each one as:
+///
+/// ```text
+/// ┌──────────────┬───────────────┬─────────────────────────────┐
+/// │ len: u32 LE  │ FRAME_VERSION │ payload (len − 1 bytes)     │
+/// └──────────────┴───────────────┴─────────────────────────────┘
+/// ```
+///
+/// * `len` counts everything after the length prefix (the version byte
+///   plus the payload), so `len ≥ 1` always;
+/// * `len` must not exceed [`MAX_FRAME_BYTES`] — a reader rejects the
+///   frame *before* allocating, so a corrupt or adversarial prefix can
+///   never drive a giant allocation;
+/// * the payload is one encoded value of this module (its own leading
+///   byte is [`FORMAT_VERSION`] — the frame version guards the framing
+///   rules, the format version guards the value encoding).
+pub const FRAME_VERSION: u8 = 1;
+
+/// Upper bound on the declared length of one frame (version byte +
+/// payload). Generous for the protocol's largest messages — a migration
+/// request ships a whole guest set, tens of kilobytes at paper scales —
+/// while keeping the worst-case allocation a corrupt prefix can cause
+/// far below memory-exhaustion territory.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
 /// Why a byte string failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CodecError {

@@ -171,3 +171,55 @@ proptest! {
         prop_assert_eq!(back.as_ref(), Ok(&wire));
     }
 }
+
+// ---------------------------------------------------------------------
+// Decoder fuzzing: raw bytes off a socket are attacker-controlled. The
+// decoders must return `Err` (never panic, never allocate unboundedly)
+// on every input that is not a valid encoding.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(bytes in vec(0..=255u8, 0..512)) {
+        // Either outcome is fine; returning at all is the property. A
+        // length-prefix attack (huge declared count) must be rejected by
+        // the remaining-input cap before any allocation happens — the
+        // 512-byte inputs here would otherwise OOM on a u64::MAX prefix.
+        let _ = decode_wire::<f64>(&bytes);
+        let _ = decode_wire::<[f64; 2]>(&bytes);
+        let _ = decode_event::<f64>(&bytes);
+        let _ = decode_event::<[f64; 2]>(&bytes);
+        let _ = decode_effect::<f64>(&bytes);
+        let _ = decode_effect::<[f64; 2]>(&bytes);
+    }
+
+    #[test]
+    fn corrupted_valid_encodings_never_panic(
+        wire in wire_strategy(),
+        at in 0..4096usize,
+        bit in 0..8u8,
+    ) {
+        // A single bit flipped anywhere in a *valid* encoding exercises
+        // the deep decoder paths (mid-sequence tags, length prefixes,
+        // truncation boundaries) that uniformly random bytes rarely
+        // reach past the version check.
+        let mut bytes = encode_wire(&wire);
+        let at = at % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let _ = decode_wire::<Pos>(&bytes);
+        let _ = decode_event::<Pos>(&bytes);
+        let _ = decode_effect::<Pos>(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_encodings_never_panic_and_never_decode(
+        event in event_strategy(),
+        cut in 0..4096usize,
+    ) {
+        let bytes = encode_event(&event);
+        let cut = cut % bytes.len();
+        prop_assert!(decode_event::<Pos>(&bytes[..cut]).is_err());
+    }
+}

@@ -2,6 +2,8 @@
 //! joiners, observes global health, and shuts everything down.
 
 use crate::config::RuntimeConfig;
+use crate::fabric::RegistryFabric;
+use crate::harness::{contacts_from_board, contacts_from_shape, ClusterHarness};
 use crate::message::Message;
 use crate::node::NodeRuntime;
 use crate::observe::{observe, ClusterObservation, ObservationBoard};
@@ -11,7 +13,7 @@ use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -70,9 +72,11 @@ impl<S: MetricSpace> Cluster<S> {
             next_id: Mutex::new(shape.len() as u64),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
         };
-        let n = shape.len();
         for (i, pos) in shape.iter().enumerate() {
-            let contacts = cluster.random_contacts_from_shape(&shape, i, n);
+            let contacts = {
+                let mut rng = cluster.rng.lock();
+                contacts_from_shape(&shape, i, cluster.config.bootstrap_contacts, &mut rng)
+            };
             cluster.spawn_node(
                 NodeId::new(i as u64),
                 Some(original_points[i].clone()),
@@ -81,30 +85,6 @@ impl<S: MetricSpace> Cluster<S> {
             );
         }
         cluster
-    }
-
-    fn random_contacts_from_shape(
-        &self,
-        shape: &[S::Point],
-        own: usize,
-        n: usize,
-    ) -> Vec<Descriptor<S::Point>> {
-        let mut rng = self.rng.lock();
-        let mut contacts = Vec::new();
-        for _ in 0..self.config.bootstrap_contacts * 2 {
-            if contacts.len() >= self.config.bootstrap_contacts {
-                break;
-            }
-            let j = rng.random_range(0..n);
-            if j != own
-                && !contacts
-                    .iter()
-                    .any(|d: &Descriptor<S::Point>| d.id.index() == j)
-            {
-                contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
-            }
-        }
-        contacts
     }
 
     fn spawn_node(
@@ -123,7 +103,7 @@ impl<S: MetricSpace> Cluster<S> {
             origin,
             position,
             contacts,
-            Arc::clone(&self.registry),
+            Box::new(RegistryFabric::new(id, Arc::clone(&self.registry))),
             Arc::clone(&self.board),
             rx,
         );
@@ -172,15 +152,10 @@ impl<S: MetricSpace> Cluster<S> {
 
     /// Crashes every founding node whose original data point satisfies
     /// `predicate` — the paper's correlated regional failure, with victim
-    /// selection shared with the other substrates
-    /// ([`polystyrene_protocol::select_region_victims`]). Returns the
-    /// crashed ids.
+    /// selection shared with the other substrates through the
+    /// [`ClusterHarness`] default. Returns the crashed ids.
     pub fn kill_region(&self, predicate: impl Fn(&S::Point) -> bool + Send + Sync) -> Vec<NodeId> {
-        let victims =
-            polystyrene_protocol::select_region_victims(&self.original_points, &predicate, &|id| {
-                self.registry.contains(id)
-            });
-        victims.into_iter().filter(|&id| self.kill(id)).collect()
+        ClusterHarness::kill_region(self, &predicate)
     }
 
     /// Injects a fresh node with no data points at `position`
@@ -196,18 +171,12 @@ impl<S: MetricSpace> Cluster<S> {
         let alive = self.alive_ids();
         let contacts: Vec<Descriptor<S::Point>> = {
             let mut rng = self.rng.lock();
-            let snapshot = self.board.snapshot();
-            (0..self.config.bootstrap_contacts)
-                .filter_map(|_| {
-                    if alive.is_empty() {
-                        return None;
-                    }
-                    let peer = alive[rng.random_range(0..alive.len())];
-                    snapshot
-                        .get(&peer)
-                        .map(|r| Descriptor::new(peer, r.pos.clone()))
-                })
-                .collect()
+            contacts_from_board(
+                &alive,
+                &self.board.snapshot(),
+                self.config.bootstrap_contacts,
+                &mut rng,
+            )
         };
         self.spawn_node(id, None, position, contacts);
         id
@@ -256,6 +225,36 @@ impl<S: MetricSpace> Cluster<S> {
         for (_, handle) in handles {
             let _ = handle.join();
         }
+    }
+}
+
+impl<S: MetricSpace> ClusterHarness<S::Point> for Cluster<S> {
+    fn original_points(&self) -> &[DataPoint<S::Point>] {
+        self.original_points()
+    }
+
+    fn alive_ids(&self) -> Vec<NodeId> {
+        self.alive_ids()
+    }
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        self.registry.contains(id)
+    }
+
+    fn kill(&self, id: NodeId) -> bool {
+        self.kill(id)
+    }
+
+    fn inject(&self, position: S::Point) -> NodeId {
+        self.inject(position)
+    }
+
+    fn await_ticks(&self, ticks: u64, max_wait: Duration) {
+        self.await_ticks(ticks, max_wait);
+    }
+
+    fn observe(&self) -> ClusterObservation {
+        self.observe()
     }
 }
 

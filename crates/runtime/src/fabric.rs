@@ -1,0 +1,90 @@
+//! The node-side transport abstraction: how one node's thread reaches
+//! the rest of the deployment.
+//!
+//! [`crate::node::NodeRuntime`] is a mailbox-and-timer driver around the
+//! sans-IO `ProtocolNode`; everything transport-specific — how a wire
+//! message actually travels, and how the address book answers a
+//! reachability probe — sits behind [`NodeFabric`]. The in-process
+//! deployment implements it with the shared [`Registry`]
+//! ([`RegistryFabric`]); the TCP substrate (`polystyrene-transport`)
+//! implements it with framed sockets and a per-peer connection cache.
+//! The node loop is byte-for-byte the same over both.
+
+use crate::message::Message;
+use crate::registry::Registry;
+use polystyrene_membership::NodeId;
+use polystyrene_protocol::Wire;
+use std::sync::Arc;
+
+/// One node's view of the deployment's message fabric.
+///
+/// Methods take `&mut self` because a fabric may own per-node mutable
+/// state (a connection cache, buffered writers); each node thread owns
+/// its fabric exclusively.
+pub trait NodeFabric<P>: Send {
+    /// Delivers `wire` from this node to `to`. Returns `false` only for
+    /// an *observable* delivery failure (unknown destination, dead
+    /// mailbox, refused or reset connection) — the crash-stop signal the
+    /// node surfaces as `Event::PeerUnreachable`. Silent transit loss
+    /// must return `true`.
+    fn send(&mut self, to: NodeId, wire: Wire<P>) -> bool;
+
+    /// Whether `id` is currently reachable according to the fabric's
+    /// address book — the answer to a protocol reachability probe.
+    fn contains(&mut self, id: NodeId) -> bool;
+}
+
+/// The in-process fabric: sends become mailbox messages through the
+/// shared [`Registry`].
+pub struct RegistryFabric<P> {
+    id: NodeId,
+    registry: Arc<Registry<P>>,
+}
+
+impl<P> RegistryFabric<P> {
+    /// A fabric view for node `id` over the shared registry.
+    pub fn new(id: NodeId, registry: Arc<Registry<P>>) -> Self {
+        Self { id, registry }
+    }
+}
+
+impl<P: Clone + Send> NodeFabric<P> for RegistryFabric<P> {
+    fn send(&mut self, to: NodeId, wire: Wire<P>) -> bool {
+        self.registry.send(
+            to,
+            Message::Protocol {
+                from: self.id,
+                wire,
+            },
+        )
+    }
+
+    fn contains(&mut self, id: NodeId) -> bool {
+        self.registry.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn registry_fabric_wraps_sends_with_the_sender_id() {
+        let registry: Arc<Registry<f64>> = Registry::new();
+        let (tx, rx) = unbounded();
+        registry.register(NodeId::new(2), tx);
+        let mut fabric = RegistryFabric::new(NodeId::new(1), Arc::clone(&registry));
+        assert!(fabric.contains(NodeId::new(2)));
+        assert!(!fabric.contains(NodeId::new(9)));
+        assert!(fabric.send(NodeId::new(2), Wire::Heartbeat));
+        match rx.recv().unwrap() {
+            Message::Protocol { from, wire } => {
+                assert_eq!(from, NodeId::new(1));
+                assert_eq!(wire, Wire::Heartbeat);
+            }
+            other => panic!("expected a protocol message, got {}", other.kind()),
+        }
+        assert!(!fabric.send(NodeId::new(9), Wire::Heartbeat));
+    }
+}

@@ -1,0 +1,147 @@
+//! The substrate-agnostic cluster-harness surface.
+//!
+//! A live deployment — whatever carries its messages — answers the same
+//! harness questions: who is alive, kill this node, inject a joiner,
+//! wait for progress, measure health. [`ClusterHarness`] captures that
+//! surface so the scenario driver ([`crate::scenario::run_cluster_scenario`])
+//! and the cross-substrate test suites run unchanged over the in-process
+//! [`crate::Cluster`] and the TCP deployment (`polystyrene-transport`),
+//! and regional failure injection routes through the one shared
+//! [`select_region_victims`] path on both.
+//!
+//! The bootstrap-contact sampling both harnesses perform at spawn and
+//! inject time lives here too, so what a founding node or a fresh joiner
+//! initially knows cannot drift between transports.
+
+use crate::observe::{ClusterObservation, NodeReport};
+use polystyrene::prelude::DataPoint;
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_protocol::{sample_bootstrap_contacts, select_region_victims};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What every live cluster deployment offers the harness, independent of
+/// the transport carrying its messages.
+pub trait ClusterHarness<P> {
+    /// The original data points (the target shape).
+    fn original_points(&self) -> &[DataPoint<P>];
+
+    /// Ids currently registered (alive).
+    fn alive_ids(&self) -> Vec<NodeId>;
+
+    /// Whether `id` is currently alive.
+    fn is_alive(&self, id: NodeId) -> bool;
+
+    /// Hard-crashes a node (crash-stop: in-flight messages are lost, no
+    /// goodbyes). Returns whether the node was alive.
+    fn kill(&self, id: NodeId) -> bool;
+
+    /// Injects a fresh node with no data points at `position`; returns
+    /// its id.
+    fn inject(&self, position: P) -> NodeId;
+
+    /// Blocks until every alive node has executed at least `ticks` local
+    /// rounds (with a safety timeout of `max_wait`).
+    fn await_ticks(&self, ticks: u64, max_wait: Duration);
+
+    /// Measures cluster health from the observation plane.
+    fn observe(&self) -> ClusterObservation;
+
+    /// Crashes every founding node whose original data point satisfies
+    /// `predicate` — the paper's correlated regional failure, with
+    /// victim selection shared across all substrates. Returns the
+    /// crashed ids.
+    fn kill_region(&self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId> {
+        let victims =
+            select_region_victims(self.original_points(), predicate, &|id| self.is_alive(id));
+        victims.into_iter().filter(|&id| self.kill(id)).collect()
+    }
+}
+
+/// Draws up to `count` distinct bootstrap contacts for founding node
+/// `own` from the target shape: the contact set every deployment seeds
+/// its nodes' gossip layers with at spawn.
+pub fn contacts_from_shape<P: Clone>(
+    shape: &[P],
+    own: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<Descriptor<P>> {
+    let n = shape.len();
+    let mut contacts = Vec::new();
+    for _ in 0..count * 2 {
+        if contacts.len() >= count {
+            break;
+        }
+        let j = rng.random_range(0..n);
+        if j != own && !contacts.iter().any(|d: &Descriptor<P>| d.id.index() == j) {
+            contacts.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
+        }
+    }
+    contacts
+}
+
+/// Draws `count` bootstrap contacts for a fresh joiner from the alive
+/// population, with positions resolved through the observation board —
+/// a board-backed view over the one shared sampling path
+/// ([`sample_bootstrap_contacts`]), so what "inject" bootstraps (and
+/// how much entropy it consumes) cannot drift from the deterministic
+/// substrates.
+pub fn contacts_from_board<P: Clone>(
+    alive: &[NodeId],
+    snapshot: &HashMap<NodeId, NodeReport<P>>,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<Descriptor<P>> {
+    sample_bootstrap_contacts(
+        alive,
+        &|id| snapshot.get(&id).map(|r| r.pos.clone()),
+        count,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_contacts_exclude_self_and_duplicates() {
+        let shape: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let contacts = contacts_from_shape(&shape, 3, 5, &mut rng);
+        assert!(contacts.len() <= 5);
+        assert!(contacts.iter().all(|d| d.id.index() != 3));
+        let mut ids: Vec<usize> = contacts.iter().map(|d| d.id.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), contacts.len(), "no duplicate contacts");
+    }
+
+    #[test]
+    fn board_contacts_resolve_positions_from_reports() {
+        let mut snapshot: HashMap<NodeId, NodeReport<f64>> = HashMap::new();
+        snapshot.insert(
+            NodeId::new(4),
+            NodeReport {
+                pos: 4.5,
+                guest_ids: Vec::new(),
+                ghost_ids: Vec::new(),
+                parked_ids: Vec::new(),
+                stored_points: 0,
+                ticks: 1,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        // Node 9 never published: draws landing on it are skipped.
+        let alive = vec![NodeId::new(4), NodeId::new(9)];
+        let contacts = contacts_from_board(&alive, &snapshot, 8, &mut rng);
+        assert!(!contacts.is_empty());
+        assert!(contacts.iter().all(|d| d.id == NodeId::new(4)));
+        assert!(contacts.iter().all(|d| d.pos == 4.5));
+        assert!(contacts_from_board(&[], &snapshot, 4, &mut rng).is_empty());
+    }
+}

@@ -38,6 +38,8 @@
 
 pub mod cluster;
 pub mod config;
+pub mod fabric;
+pub mod harness;
 pub mod message;
 pub mod node;
 pub mod observe;
@@ -46,6 +48,8 @@ pub mod scenario;
 
 pub use cluster::Cluster;
 pub use config::RuntimeConfig;
+pub use fabric::{NodeFabric, RegistryFabric};
+pub use harness::ClusterHarness;
 pub use message::Message;
 pub use observe::ClusterObservation;
 pub use registry::Registry;

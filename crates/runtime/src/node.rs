@@ -6,15 +6,16 @@
 //! and is byte-for-byte the same state machine the cycle simulator
 //! drives. This thread only does IO: it feeds incoming mailbox messages
 //! to [`ProtocolNode::on_event`], fires [`ProtocolNode::on_tick`] on a
-//! wall-clock timer, and executes the returned effects over the shared
-//! [`Registry`] — probes answered from the address book, sends mapped to
-//! mailbox messages, failed deliveries reported back as
+//! wall-clock timer, and executes the returned effects over its
+//! [`NodeFabric`] — probes answered from the fabric's address book,
+//! sends mapped to transport deliveries (in-process mailboxes or framed
+//! TCP, the loop cannot tell), failed deliveries reported back as
 //! [`Event::PeerUnreachable`].
 
 use crate::config::RuntimeConfig;
+use crate::fabric::NodeFabric;
 use crate::message::Message;
 use crate::observe::{NodeReport, ObservationBoard};
-use crate::registry::Registry;
 use polystyrene::prelude::{DataPoint, PolyState};
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::{Effect, Event, ProtocolNode};
@@ -35,7 +36,7 @@ const MAX_DRAIN_PER_TICK: usize = 512;
 pub struct NodeRuntime<S: MetricSpace> {
     node: ProtocolNode<S>,
     tick: std::time::Duration,
-    registry: Arc<Registry<S::Point>>,
+    fabric: Box<dyn NodeFabric<S::Point>>,
     board: Arc<ObservationBoard<S::Point>>,
     rx: crossbeam::channel::Receiver<Message<S::Point>>,
     rng: StdRng,
@@ -52,7 +53,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
         origin: Option<DataPoint<S::Point>>,
         position: S::Point,
         contacts: Vec<Descriptor<S::Point>>,
-        registry: Arc<Registry<S::Point>>,
+        fabric: Box<dyn NodeFabric<S::Point>>,
         board: Arc<ObservationBoard<S::Point>>,
         rx: crossbeam::channel::Receiver<Message<S::Point>>,
     ) -> Self {
@@ -71,7 +72,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
         Self {
             node,
             tick: config.tick,
-            registry,
+            fabric,
             board,
             rx,
             rng: StdRng::seed_from_u64(config.seed.wrapping_add(id.as_u64() * 0x9E37)),
@@ -165,8 +166,8 @@ impl<S: MetricSpace> NodeRuntime<S> {
     }
 
     /// Executes effects against the real transport: probes consult the
-    /// address book, sends go through the registry, and a send whose
-    /// destination mailbox is gone comes back as
+    /// fabric's address book, sends go through the fabric, and a send
+    /// whose destination is observably gone comes back as
     /// [`Event::PeerUnreachable`] (message lost, crash-stop style).
     fn execute(&mut self, effects: Vec<Effect<S::Point>>) {
         let mut queue: VecDeque<Effect<S::Point>> = effects.into();
@@ -176,7 +177,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
                     // No ground truth here: the address book is the best
                     // knowledge available, and the peer's position stays
                     // whatever the view believes (`pos: None`).
-                    let event = if self.registry.contains(peer) {
+                    let event = if self.fabric.contains(peer) {
                         Event::ProbeOk {
                             peer,
                             channel,
@@ -189,13 +190,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
                 }
                 Effect::Send { to, wire } => {
                     let channel = wire.channel();
-                    let delivered = self.registry.send(
-                        to,
-                        Message::Protocol {
-                            from: self.node.id(),
-                            wire,
-                        },
-                    );
+                    let delivered = self.fabric.send(to, wire);
                     if !delivered {
                         let event = Event::PeerUnreachable { peer: to, channel };
                         queue.extend(self.node.on_event(event, &mut self.rng));

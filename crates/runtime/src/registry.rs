@@ -100,7 +100,18 @@ impl<P> Registry<P> {
             };
             if dropped {
                 self.injected_drops.fetch_add(1, Ordering::Relaxed);
-                return self.inner.read().contains_key(&to);
+                // Report exactly what the real send path would have: a
+                // registered node whose mailbox receiver is gone (crashed
+                // without deregistering) is observably dead on both
+                // paths. `contains_key` alone answered `true` for such a
+                // node here and `false` below — the crash-stop feedback
+                // (and the view purging built on it) must not depend on
+                // whether the loss draw fired.
+                return self
+                    .inner
+                    .read()
+                    .get(&to)
+                    .is_some_and(|s| !s.is_disconnected());
             }
         }
         let sender = self.inner.read().get(&to).cloned();
@@ -110,10 +121,16 @@ impl<P> Registry<P> {
         }
     }
 
-    /// Whether `id` currently has a registered mailbox — the runtime's
-    /// answer to a protocol reachability probe.
+    /// Whether `id` currently has a registered, *live* mailbox — the
+    /// runtime's answer to a protocol reachability probe. A node whose
+    /// receiver is gone (crashed without deregistering) is dead to the
+    /// send paths, so probes must agree — crash-stop observability
+    /// cannot depend on which path asks.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.inner.read().contains_key(&id)
+        self.inner
+            .read()
+            .get(&id)
+            .is_some_and(|s| !s.is_disconnected())
     }
 
     /// Number of registered nodes.
@@ -214,5 +231,41 @@ mod tests {
         // Control messages bypass the model entirely.
         assert!(registry.send(NodeId::new(1), Message::Shutdown));
         assert!(matches!(rx.recv().unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn crash_stop_reporting_is_consistent_under_injected_loss() {
+        use polystyrene_protocol::{FaultyNetwork, LinkProfile, Wire};
+        let registry: Arc<Registry<f64>> = Registry::new();
+        let (tx, rx) = unbounded();
+        registry.register(NodeId::new(1), tx);
+        drop(rx); // crashed without deregistering: still in the book
+        let protocol = || Message::Protocol {
+            from: NodeId::new(0),
+            wire: Wire::Heartbeat,
+        };
+        // Real send path: the dead mailbox is observable.
+        assert!(!registry.send(NodeId::new(1), protocol()));
+        // Reachability probes agree: registered-but-dead is dead.
+        assert!(
+            !registry.contains(NodeId::new(1)),
+            "a probe must not report a crashed node reachable while sends report it dead"
+        );
+        // Injected-drop path must report the same verdict, not
+        // `contains_key` (which would say `true` and suppress the
+        // PeerUnreachable feedback the failure detector relies on).
+        registry.install_network(Box::new(FaultyNetwork::new(
+            LinkProfile {
+                latency: 0,
+                jitter: 0,
+                loss: 1.0,
+            },
+            0,
+        )));
+        assert!(
+            !registry.send(NodeId::new(1), protocol()),
+            "a crashed-but-registered node must be reported dead on the drop path too"
+        );
+        assert_eq!(registry.injected_drops(), 1);
     }
 }

@@ -1,29 +1,30 @@
 //! Scenario execution on a live threaded cluster.
 //!
 //! The scenario language lives in `polystyrene-protocol` and is shared
-//! with the cycle simulator; this module plugs a [`Cluster`] in as a
+//! with the cycle simulator; this module plugs any [`ClusterHarness`] —
+//! the in-process [`crate::Cluster`] or the TCP deployment — in as a
 //! [`ScenarioSubstrate`], with one cluster *round* defined as every alive
 //! node completing one more local tick. The same [`Scenario`] value —
 //! including continuous [`polystyrene_protocol::ScenarioEvent::Churn`]
-//! windows — therefore runs unchanged on both execution substrates, and
+//! windows — therefore runs unchanged on every execution substrate, and
 //! failure injection goes through the identical shared code path.
 //!
 //! Wall-clock asynchrony means cluster runs are *not* bit-reproducible
 //! (unlike the engine): the returned [`ClusterObservation`]s are one
 //! snapshot per round, for trend assertions rather than exact replay.
 
-use crate::cluster::Cluster;
+use crate::harness::ClusterHarness;
 use crate::observe::ClusterObservation;
 use polystyrene_membership::NodeId;
 use polystyrene_protocol::scenario::{drive_scenario, select_victims, Scenario, ScenarioSubstrate};
-use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-/// A [`Cluster`] viewed as a scenario substrate.
-struct ClusterSubstrate<'a, S: MetricSpace> {
-    cluster: &'a Cluster<S>,
+/// Any [`ClusterHarness`] — the in-process [`crate::Cluster`] or the TCP
+/// deployment — viewed as a scenario substrate.
+struct ClusterSubstrate<'a, P, H: ClusterHarness<P>> {
+    cluster: &'a H,
     /// Entropy for the random-fraction events (node threads have their
     /// own RNGs; this one only picks victims).
     rng: StdRng,
@@ -32,14 +33,12 @@ struct ClusterSubstrate<'a, S: MetricSpace> {
     target_ticks: u64,
     round_timeout: Duration,
     observations: Vec<ClusterObservation>,
+    _point: std::marker::PhantomData<P>,
 }
 
-impl<S: MetricSpace> ScenarioSubstrate<S::Point> for ClusterSubstrate<'_, S> {
-    fn fail_region(
-        &mut self,
-        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
-    ) -> Vec<NodeId> {
-        self.cluster.kill_region(|p| predicate(p))
+impl<P: Clone, H: ClusterHarness<P>> ScenarioSubstrate<P> for ClusterSubstrate<'_, P, H> {
+    fn fail_region(&mut self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId> {
+        self.cluster.kill_region(predicate)
     }
 
     fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
@@ -59,7 +58,7 @@ impl<S: MetricSpace> ScenarioSubstrate<S::Point> for ClusterSubstrate<'_, S> {
             .collect()
     }
 
-    fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
+    fn inject(&mut self, positions: &[P]) -> Vec<NodeId> {
         positions
             .iter()
             .map(|p| self.cluster.inject(p.clone()))
@@ -76,15 +75,16 @@ impl<S: MetricSpace> ScenarioSubstrate<S::Point> for ClusterSubstrate<'_, S> {
 
 /// Drives `cluster` through `scenario` — the runtime twin of the
 /// simulator's `run_scenario` — returning one [`ClusterObservation`] per
-/// round.
+/// round. Accepts any [`ClusterHarness`], so the same call drives the
+/// in-process [`crate::Cluster`] and the TCP deployment.
 ///
 /// `round_timeout` bounds how long one round may take (a safety valve:
 /// freshly injected nodes start at tick zero and need wall-clock time to
 /// catch up to the cluster's round count); `seed` drives victim selection
 /// for the random-failure and churn events.
-pub fn run_cluster_scenario<S: MetricSpace>(
-    cluster: &Cluster<S>,
-    scenario: &Scenario<S::Point>,
+pub fn run_cluster_scenario<P: Clone, H: ClusterHarness<P>>(
+    cluster: &H,
+    scenario: &Scenario<P>,
     round_timeout: Duration,
     seed: u64,
 ) -> Vec<ClusterObservation> {
@@ -94,6 +94,7 @@ pub fn run_cluster_scenario<S: MetricSpace>(
         target_ticks: 0,
         round_timeout,
         observations: Vec::with_capacity(scenario.total_rounds() as usize),
+        _point: std::marker::PhantomData,
     };
     drive_scenario(&mut substrate, scenario);
     substrate.observations
@@ -102,6 +103,7 @@ pub fn run_cluster_scenario<S: MetricSpace>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::Cluster;
     use crate::config::RuntimeConfig;
     use polystyrene::prelude::PolystyreneConfig;
     use polystyrene_protocol::ScenarioEvent;

@@ -1,0 +1,746 @@
+//! The TCP deployment: the unchanged `ProtocolNode` stack as
+//! socket-connected processes-in-miniature on localhost.
+//!
+//! Every node owns a real `TcpListener`; every protocol message is one
+//! length-framed codec payload ([`crate::framing`]) on a cached per-peer
+//! `TcpStream`. The node loop is `polystyrene-runtime`'s [`NodeRuntime`]
+//! verbatim — only its [`NodeFabric`] differs, so any behavioral gap
+//! between the in-process cluster and this one is a *wire* bug by
+//! construction, which is exactly what this substrate exists to surface.
+//!
+//! Failure semantics are crash-stop, carried by the sockets themselves:
+//! killing a node closes its listener and tears down its connections, so
+//! a peer's next send hits a reset or a refused reconnect, reports
+//! delivery failure, and feeds the same `Event::PeerUnreachable` purge
+//! path every other substrate uses. An installed
+//! [`NetworkModel`] is honored at the send boundary (loss only, like the
+//! in-process registry), so `--net-loss` experiments run over real
+//! sockets too.
+
+use crate::framing::{read_frame, write_frame, FrameRead};
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use polystyrene::prelude::{DataPoint, PointId};
+use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_protocol::codec::{decode_event, encode_event, PointCodec};
+use polystyrene_protocol::{Event, Fate, NetworkModel, Wire};
+use polystyrene_runtime::harness::{contacts_from_board, contacts_from_shape, ClusterHarness};
+use polystyrene_runtime::node::NodeRuntime;
+use polystyrene_runtime::observe::{observe, ClusterObservation, ObservationBoard};
+use polystyrene_runtime::{Message, NodeFabric, RuntimeConfig};
+use polystyrene_space::MetricSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Parameters of the TCP deployment, over and above the runtime ones.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// The shared node-loop configuration (tick, timeouts, protocol
+    /// parameters, seed; `link.loss` installs the network model).
+    pub runtime: RuntimeConfig,
+    /// Outgoing connections a node keeps open at once; the
+    /// least-recently-*used* is closed when a send to a new peer needs a
+    /// slot. Bounds the deployment's file-descriptor and reader-thread
+    /// footprint at `nodes × cap` instead of `nodes²`, while the LRU
+    /// policy keeps the stable working set — heartbeat targets, the
+    /// topology neighborhood — cached across the one-shot random-peer
+    /// traffic (RPS shuffles) that would churn a FIFO cache into a
+    /// connect-per-message storm.
+    pub connection_cap: usize,
+    /// How long a reader blocks before re-checking its shutdown flag —
+    /// the upper bound on how long a killed node's reader threads
+    /// linger. Blocked readers cost nothing; each poll expiry is a
+    /// wakeup, so this is deliberately long (readers exit *immediately*
+    /// on connection close regardless — the flag only reaps readers
+    /// whose peer outlives their node).
+    pub reader_poll: Duration,
+    /// Timeout for opening a connection and for a blocked write (a peer
+    /// that accepts but never drains is indistinguishable from a dead
+    /// one past this point).
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            runtime: RuntimeConfig::default(),
+            connection_cap: 24,
+            reader_poll: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero connection cap or zero timeouts, and on an
+    /// invalid runtime configuration.
+    pub fn validate(&self) {
+        self.runtime.validate();
+        assert!(self.connection_cap > 0, "connection cap must be non-zero");
+        assert!(!self.reader_poll.is_zero(), "reader poll must be non-zero");
+        assert!(!self.io_timeout.is_zero(), "io timeout must be non-zero");
+    }
+}
+
+/// The shared socket-level address book plus fault-injection state —
+/// the TCP analogue of the runtime's `Registry`.
+pub struct TcpFabric {
+    addrs: RwLock<HashMap<NodeId, SocketAddr>>,
+    /// Transit-fault injection, if any — same serialization rationale as
+    /// the registry's: one entropy stream, many sending threads.
+    network: Mutex<Option<Box<dyn NetworkModel>>>,
+    injected_drops: AtomicU64,
+    sent_frames: AtomicU64,
+}
+
+impl TcpFabric {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            addrs: RwLock::new(HashMap::new()),
+            network: Mutex::new(None),
+            injected_drops: AtomicU64::new(0),
+            sent_frames: AtomicU64::new(0),
+        })
+    }
+
+    fn addr_of(&self, id: NodeId) -> Option<SocketAddr> {
+        self.addrs.read().get(&id).copied()
+    }
+
+    fn contains(&self, id: NodeId) -> bool {
+        self.addrs.read().contains_key(&id)
+    }
+}
+
+/// One node's sending half: the per-peer connection cache behind the
+/// [`NodeFabric`] surface. Owned exclusively by its node thread.
+struct TcpLink<P> {
+    id: NodeId,
+    fabric: Arc<TcpFabric>,
+    conns: HashMap<NodeId, TcpStream>,
+    /// Recency order for LRU eviction: front = coldest, back = just
+    /// used. Every successful cache hit refreshes its entry.
+    order: VecDeque<NodeId>,
+    cap: usize,
+    io_timeout: Duration,
+    _point: std::marker::PhantomData<P>,
+}
+
+impl<P> TcpLink<P> {
+    fn new(id: NodeId, fabric: Arc<TcpFabric>, config: &TcpConfig) -> Self {
+        Self {
+            id,
+            fabric,
+            conns: HashMap::new(),
+            order: VecDeque::new(),
+            cap: config.connection_cap,
+            io_timeout: config.io_timeout,
+            _point: std::marker::PhantomData,
+        }
+    }
+
+    fn drop_conn(&mut self, to: NodeId) {
+        if self.conns.remove(&to).is_some() {
+            self.order.retain(|&id| id != to);
+        }
+    }
+
+    /// Marks `to` most-recently-used.
+    fn touch(&mut self, to: NodeId) {
+        self.order.retain(|&id| id != to);
+        self.order.push_back(to);
+    }
+
+    /// Writes one frame to `to`, connecting if no cached stream exists.
+    /// `false` = observable delivery failure (connect refused, write
+    /// error/timeout); the broken stream is dropped either way.
+    fn try_write(&mut self, to: NodeId, addr: SocketAddr, payload: &[u8]) -> bool {
+        if !self.conns.contains_key(&to) {
+            let Ok(stream) = TcpStream::connect_timeout(&addr, self.io_timeout) else {
+                return false;
+            };
+            // Frames are small and latency-sensitive at millisecond
+            // ticks; a blocked write past the timeout is treated as a
+            // dead peer rather than hanging the whole node loop.
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(self.io_timeout));
+            while self.conns.len() >= self.cap {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.conns.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.conns.insert(to, stream);
+        }
+        self.touch(to);
+        let ok = {
+            let stream = self.conns.get_mut(&to).expect("inserted above");
+            write_frame(stream, payload).is_ok()
+        };
+        if !ok {
+            self.drop_conn(to);
+        }
+        ok
+    }
+}
+
+impl<P: PointCodec + Clone + Send + 'static> NodeFabric<P> for TcpLink<P> {
+    fn send(&mut self, to: NodeId, wire: Wire<P>) -> bool {
+        let dropped = {
+            let mut network = self.fabric.network.lock();
+            match network.as_mut() {
+                Some(model) => matches!(model.route(self.id, to, wire.channel(), 0), Fate::Drop),
+                None => false,
+            }
+        };
+        if dropped {
+            self.fabric.injected_drops.fetch_add(1, Ordering::Relaxed);
+            return self.fabric.contains(to);
+        }
+        let Some(addr) = self.fabric.addr_of(to) else {
+            // Deregistered: close any cached stream so a later rebind of
+            // the same port cannot resurrect the old connection.
+            self.drop_conn(to);
+            return false;
+        };
+        let payload = encode_event(&Event::Message {
+            from: self.id,
+            wire,
+        });
+        // Reconnect-on-failure, but only when the first attempt went
+        // through a *pre-existing cached* stream — it may be stale (the
+        // peer restarted, or evicted this end's connection from its own
+        // accept side), so one fresh connection gets one more chance. A
+        // failed fresh connect is retried by nothing: repeating it with
+        // nothing changed would just double the blocking time on an
+        // unreachable peer before the crash-stop report.
+        let had_cached = self.conns.contains_key(&to);
+        let delivered = self.try_write(to, addr, &payload)
+            || (had_cached && self.try_write(to, addr, &payload));
+        if delivered {
+            self.fabric.sent_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        delivered
+    }
+
+    fn contains(&mut self, id: NodeId) -> bool {
+        self.fabric.contains(id)
+    }
+}
+
+/// Everything the harness keeps per node.
+struct TcpNode<P> {
+    mailbox: Sender<Message<P>>,
+    /// Shared with the acceptor and every reader thread it spawned.
+    stop: Arc<AtomicBool>,
+    node_thread: JoinHandle<()>,
+    acceptor: JoinHandle<()>,
+}
+
+/// A running TCP deployment: one listener, one node thread and a set of
+/// per-connection reader threads per node, all on localhost.
+///
+/// The API mirrors [`polystyrene_runtime::Cluster`] — both implement
+/// [`ClusterHarness`], so scenario scripts and the observation plane
+/// are shared verbatim.
+pub struct TcpCluster<S: MetricSpace>
+where
+    S::Point: PointCodec,
+{
+    space: S,
+    config: TcpConfig,
+    fabric: Arc<TcpFabric>,
+    board: Arc<ObservationBoard<S::Point>>,
+    original_points: Vec<DataPoint<S::Point>>,
+    nodes: Mutex<HashMap<NodeId, TcpNode<S::Point>>>,
+    /// Threads of killed nodes, joined at shutdown. A kill is
+    /// crash-stop: it must not wait for the dying threads (a node
+    /// mid-write to another dead peer can take a full io_timeout to
+    /// notice), or killing a region would stall the harness while the
+    /// survivors' clocks keep running.
+    graveyard: Mutex<Vec<JoinHandle<()>>>,
+    next_id: Mutex<u64>,
+    rng: Mutex<StdRng>,
+}
+
+impl<S: MetricSpace> TcpCluster<S>
+where
+    S::Point: PointCodec,
+{
+    /// Spawns one socket-backed node per position of `shape`, each
+    /// founding the data point at its position — the same founding
+    /// convention as every other substrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty, the configuration is invalid, or a
+    /// loopback listener cannot be bound.
+    pub fn spawn(space: S, shape: Vec<S::Point>, config: TcpConfig) -> Self {
+        assert!(!shape.is_empty(), "cannot spawn an empty cluster");
+        config.validate();
+        let fabric = TcpFabric::new();
+        if config.runtime.link.loss > 0.0 {
+            // Same fault model, same send-boundary hook, same
+            // seed-decoupling tag as the in-process registry.
+            *fabric.network.lock() = Some(Box::new(polystyrene_protocol::FaultyNetwork::new(
+                config.runtime.link,
+                config.runtime.seed ^ 0x6c6f_7373,
+            )));
+        }
+        let original_points: Vec<DataPoint<S::Point>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
+            .collect();
+        let cluster = Self {
+            space,
+            config,
+            fabric,
+            board: ObservationBoard::new(),
+            original_points: original_points.clone(),
+            nodes: Mutex::new(HashMap::new()),
+            graveyard: Mutex::new(Vec::new()),
+            next_id: Mutex::new(shape.len() as u64),
+            rng: Mutex::new(StdRng::seed_from_u64(config.runtime.seed)),
+        };
+        for (i, pos) in shape.iter().enumerate() {
+            let contacts = {
+                let mut rng = cluster.rng.lock();
+                contacts_from_shape(
+                    &shape,
+                    i,
+                    cluster.config.runtime.bootstrap_contacts,
+                    &mut rng,
+                )
+            };
+            cluster.spawn_node(
+                NodeId::new(i as u64),
+                Some(original_points[i].clone()),
+                pos.clone(),
+                contacts,
+            );
+        }
+        cluster
+    }
+
+    fn spawn_node(
+        &self,
+        id: NodeId,
+        origin: Option<DataPoint<S::Point>>,
+        position: S::Point,
+        contacts: Vec<Descriptor<S::Point>>,
+    ) {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").expect("failed to bind a loopback listener");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        // Polled, never parked: a blocking `accept` can only be woken by
+        // an incoming connection, and a kill must not depend on being
+        // able to open one (fd pressure, full backlog) — an acceptor
+        // that misses its wake-up would hang `shutdown` forever.
+        listener
+            .set_nonblocking(true)
+            .expect("loopback listener accepts nonblocking mode");
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        // Register before the node runs: a peer that learns of this node
+        // can reach it from the first tick.
+        self.fabric.addrs.write().insert(id, addr);
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            let poll = self.config.reader_poll;
+            // Accept-poll sized to the protocol tick: first-contact
+            // delivery waits out at most half a tick before its reader
+            // exists (frames buffer in the kernel meanwhile), while big
+            // slow-tick deployments keep acceptor wakeups cheap.
+            let accept_poll = (self.config.runtime.tick / 2)
+                .clamp(Duration::from_millis(1), Duration::from_millis(20));
+            std::thread::Builder::new()
+                .name(format!("poly-tcp-accept-{id}"))
+                .spawn(move || accept_loop::<S::Point>(listener, tx, stop, poll, accept_poll))
+                .expect("failed to spawn acceptor thread")
+        };
+
+        let node = NodeRuntime::new(
+            id,
+            self.space.clone(),
+            self.config.runtime,
+            origin,
+            position,
+            contacts,
+            Box::new(TcpLink::new(id, Arc::clone(&self.fabric), &self.config)),
+            Arc::clone(&self.board),
+            rx,
+        );
+        let node_thread = std::thread::Builder::new()
+            .name(format!("poly-tcp-{id}"))
+            .spawn(move || node.run())
+            .expect("failed to spawn node thread");
+
+        self.nodes.lock().insert(
+            id,
+            TcpNode {
+                mailbox: tx,
+                stop,
+                node_thread,
+                acceptor,
+            },
+        );
+    }
+
+    /// The original data points (the target shape).
+    pub fn original_points(&self) -> &[DataPoint<S::Point>] {
+        &self.original_points
+    }
+
+    /// Ids currently registered (alive).
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.fabric.addrs.read().keys().copied().collect()
+    }
+
+    /// Protocol frames successfully written to a socket so far.
+    pub fn sent_frames(&self) -> u64 {
+        self.fabric.sent_frames.load(Ordering::Relaxed)
+    }
+
+    /// Protocol messages dropped in transit by the injected link faults
+    /// (zero on an ideal link).
+    pub fn injected_drops(&self) -> u64 {
+        self.fabric.injected_drops.load(Ordering::Relaxed)
+    }
+
+    /// Hard-crashes a node: deregisters it, closes its listener and
+    /// signals its threads to stop *without waiting for them* —
+    /// crash-stop, so killing half a torus costs milliseconds, not a
+    /// serial walk of io timeouts, while the survivors' clocks run.
+    /// Peers discover the crash through their sockets — resets on
+    /// cached connections, refused reconnects — and the node's mailbox
+    /// backlog dies with it. The dying threads (which exit within one
+    /// mailbox poll) are reaped at [`TcpCluster::shutdown`]. Returns
+    /// whether the node was alive.
+    pub fn kill(&self, id: NodeId) -> bool {
+        let node = self.nodes.lock().remove(&id);
+        match node {
+            Some(node) => {
+                // Deregister first: probes and loss-path delivery
+                // reports turn negative before the sockets even close.
+                self.fabric.addrs.write().remove(&id);
+                node.stop.store(true, Ordering::Release);
+                let _ = node.mailbox.send(Message::Shutdown);
+                let mut graveyard = self.graveyard.lock();
+                graveyard.push(node.node_thread);
+                graveyard.push(node.acceptor);
+                drop(graveyard);
+                self.board.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Injects a fresh node with no data points at `position` (the
+    /// paper's Phase 3 joiners), bootstrapped from alive contacts.
+    /// Returns its id.
+    pub fn inject(&self, position: S::Point) -> NodeId {
+        let id = {
+            let mut next = self.next_id.lock();
+            let id = NodeId::new(*next);
+            *next += 1;
+            id
+        };
+        let alive = self.alive_ids();
+        let contacts = {
+            let mut rng = self.rng.lock();
+            contacts_from_board(
+                &alive,
+                &self.board.snapshot(),
+                self.config.runtime.bootstrap_contacts,
+                &mut rng,
+            )
+        };
+        self.spawn_node(id, None, position, contacts);
+        id
+    }
+
+    /// Lets the cluster run for a wall-clock duration.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Blocks until every alive node has executed at least `ticks` local
+    /// rounds (with a safety timeout of `max_wait`).
+    pub fn await_ticks(&self, ticks: u64, max_wait: Duration) {
+        let deadline = Instant::now() + max_wait;
+        loop {
+            let obs = self.observe();
+            let registered = self.fabric.addrs.read().len();
+            if obs.alive_nodes >= registered && obs.alive_nodes > 0 && obs.min_ticks >= ticks {
+                return;
+            }
+            if Instant::now() > deadline {
+                return;
+            }
+            std::thread::sleep(self.config.runtime.tick);
+        }
+    }
+
+    /// Measures cluster health from the observation plane. Reports are
+    /// filtered to currently registered nodes: kills do not wait for
+    /// the dying threads, and a node wedged in a socket timeout may
+    /// publish one last report after its crash — which must not count.
+    pub fn observe(&self) -> ClusterObservation {
+        let mut snapshot = self.board.snapshot();
+        snapshot.retain(|id, _| self.fabric.contains(*id));
+        observe(&self.space, &self.original_points, &snapshot)
+    }
+
+    /// Orderly shutdown: stops every node and joins its node and
+    /// acceptor threads, including those of previously killed nodes.
+    /// Per-connection reader threads are not tracked and wind down
+    /// asynchronously — immediately when their connection closes (node
+    /// teardown closes every stream this cluster owns), or within one
+    /// `reader_poll` of the stop flag otherwise.
+    pub fn shutdown(&self) {
+        let ids: Vec<NodeId> = self.nodes.lock().keys().copied().collect();
+        for id in ids {
+            self.kill(id);
+        }
+        let handles: Vec<JoinHandle<()>> = self.graveyard.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts inbound connections off a *nonblocking* listener and spawns
+/// one reader thread per stream. Polling every `accept_poll` (instead
+/// of a blocking `accept`) makes acceptor exit unconditional on the
+/// stop flag — a parked `accept` can only be woken by an incoming
+/// connection, which a kill under fd pressure might not be able to
+/// fabricate.
+///
+/// Reader threads decode frames into mailbox messages and die on stream
+/// close, malformed input (a corrupt stream cannot be resynchronized —
+/// the sender reconnects), mailbox teardown, or the shared stop flag
+/// (checked every `reader_poll`).
+fn accept_loop<P: PointCodec + Send + 'static>(
+    listener: TcpListener,
+    tx: Sender<Message<P>>,
+    stop: Arc<AtomicBool>,
+    reader_poll: Duration,
+    accept_poll: Duration,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted streams must block (with a read timeout):
+                // `read_frame` rides out timeouts mid-frame, but a
+                // nonblocking stream would spin instead of sleep.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(reader_poll));
+                let tx = tx.clone();
+                let stop = Arc::clone(&stop);
+                // Readers mostly sleep in `read`; a small stack keeps
+                // hundreds of connections per deployment cheap.
+                let _ = std::thread::Builder::new()
+                    .name("poly-tcp-read".into())
+                    .stack_size(128 * 1024)
+                    .spawn(move || reader_loop(stream, tx, stop));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(accept_poll);
+            }
+            Err(_) => {
+                // Transient accept failures (fd pressure, interrupted
+                // syscalls) must not busy-spin the acceptor.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn reader_loop<P: PointCodec>(stream: TcpStream, tx: Sender<Message<P>>, stop: Arc<AtomicBool>) {
+    let mut stream = std::io::BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match read_frame(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => match decode_event::<P>(&payload) {
+                Ok(Event::Message { from, wire }) => {
+                    if tx.send(Message::Protocol { from, wire }).is_err() {
+                        break;
+                    }
+                }
+                // Anything else — a decode error, or an event kind that
+                // has no business crossing the wire — poisons the
+                // connection. Dropping it is safe: the protocol already
+                // tolerates message loss, and the peer reconnects.
+                _ => break,
+            },
+            Ok(FrameRead::Idle) => {}
+            Ok(FrameRead::Closed) | Err(_) => break,
+        }
+    }
+}
+
+impl<S: MetricSpace> ClusterHarness<S::Point> for TcpCluster<S>
+where
+    S::Point: PointCodec,
+{
+    fn original_points(&self) -> &[DataPoint<S::Point>] {
+        self.original_points()
+    }
+
+    fn alive_ids(&self) -> Vec<NodeId> {
+        self.alive_ids()
+    }
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        self.fabric.contains(id)
+    }
+
+    fn kill(&self, id: NodeId) -> bool {
+        self.kill(id)
+    }
+
+    fn inject(&self, position: S::Point) -> NodeId {
+        self.inject(position)
+    }
+
+    fn await_ticks(&self, ticks: u64, max_wait: Duration) {
+        self.await_ticks(ticks, max_wait);
+    }
+
+    fn observe(&self) -> ClusterObservation {
+        self.observe()
+    }
+}
+
+impl<S: MetricSpace> Drop for TcpCluster<S>
+where
+    S::Point: PointCodec,
+{
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polystyrene::prelude::PolystyreneConfig;
+    use polystyrene_space::prelude::*;
+    use polystyrene_space::shapes;
+
+    fn fast_config() -> TcpConfig {
+        let mut c = TcpConfig::default();
+        c.runtime.tick = Duration::from_millis(4);
+        c.runtime.poly = PolystyreneConfig::builder().replication(3).build();
+        c.reader_poll = Duration::from_millis(50);
+        c
+    }
+
+    fn spawn_grid(cols: usize, rows: usize) -> TcpCluster<Torus2> {
+        TcpCluster::spawn(
+            Torus2::new(cols as f64, rows as f64),
+            shapes::torus_grid(cols, rows, 1.0),
+            fast_config(),
+        )
+    }
+
+    #[test]
+    fn tcp_cluster_spawns_replicates_and_reports() {
+        let cluster = spawn_grid(4, 4);
+        cluster.await_ticks(10, Duration::from_secs(20));
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 16);
+        assert!(obs.min_ticks >= 10);
+        assert!(
+            obs.surviving_points >= 0.95,
+            "points vanished over TCP: {}",
+            obs.surviving_points
+        );
+        assert!(
+            obs.points_per_node > 2.0,
+            "replication never took hold over TCP: {} points/node",
+            obs.points_per_node
+        );
+        assert!(cluster.sent_frames() > 0, "no frames crossed the sockets");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn kill_is_crash_stop_over_sockets() {
+        let cluster = spawn_grid(4, 4);
+        cluster.await_ticks(4, Duration::from_secs(10));
+        assert!(cluster.kill(NodeId::new(0)));
+        assert!(!cluster.kill(NodeId::new(0)), "second kill must be a no-op");
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 15);
+        // The survivors keep making progress without the dead peer.
+        let before = cluster.observe().min_ticks;
+        cluster.await_ticks(before + 5, Duration::from_secs(10));
+        assert!(cluster.observe().min_ticks >= before + 5);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn injection_spawns_empty_joiners_over_sockets() {
+        let cluster = spawn_grid(3, 3);
+        cluster.await_ticks(5, Duration::from_secs(10));
+        let id = cluster.inject([0.5, 0.5]);
+        assert!(id.as_u64() >= 9);
+        cluster.run_for(Duration::from_millis(200));
+        assert_eq!(cluster.observe().alive_nodes, 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn lossy_tcp_cluster_still_replicates_and_counts_drops() {
+        let mut config = fast_config();
+        config.runtime.link = polystyrene_protocol::LinkProfile {
+            latency: 0,
+            jitter: 0,
+            loss: 0.10,
+        };
+        let cluster =
+            TcpCluster::spawn(Torus2::new(4.0, 4.0), shapes::torus_grid(4, 4, 1.0), config);
+        cluster.await_ticks(12, Duration::from_secs(20));
+        let obs = cluster.observe();
+        assert_eq!(obs.alive_nodes, 16);
+        assert!(
+            cluster.injected_drops() > 0,
+            "a 10% lossy fabric that dropped nothing is not lossy"
+        );
+        assert!(
+            obs.surviving_points >= 0.95,
+            "points vanished under transit loss: {}",
+            obs.surviving_points
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let cluster = spawn_grid(2, 2);
+        cluster.shutdown();
+        cluster.shutdown();
+        drop(cluster);
+    }
+}

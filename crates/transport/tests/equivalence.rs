@@ -1,0 +1,95 @@
+//! Cross-substrate equivalence over real sockets: the shared scenario
+//! script (`tests/cross_substrate.rs` at the workspace root — failure +
+//! churn + inject) executes on the TCP deployment through the same
+//! generic scenario driver the in-process cluster uses, and produces
+//! the same population arithmetic plus shape recovery.
+//!
+//! This is the fourth substrate's anchor: every event routes through
+//! the shared `ScenarioSubstrate` code path, every protocol message
+//! crosses a real loopback socket as framed codec bytes, and the
+//! numbers must still match the cycle engine's.
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_protocol::{Scenario, ScenarioEvent};
+use polystyrene_runtime::run_cluster_scenario;
+use polystyrene_space::prelude::*;
+use polystyrene_transport::{TcpCluster, TcpConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const COLS: usize = 8;
+const ROWS: usize = 4;
+
+/// Converge 20 rounds → kill the right half-torus → 2 rounds of 5%
+/// churn → re-inject 16 fresh nodes → observe to round 55. Identical to
+/// the script the engine/cluster equivalence test runs.
+fn shared_scenario() -> Scenario<[f64; 2]> {
+    Scenario::new(55)
+        .at(
+            20,
+            ScenarioEvent::FailOriginalRegion(Arc::new(|p: &[f64; 2]| p[0] >= COLS as f64 / 2.0)),
+        )
+        .at(
+            25,
+            ScenarioEvent::Churn {
+                rate: 0.05,
+                rounds: 2,
+            },
+        )
+        .at(
+            35,
+            ScenarioEvent::Inject(shapes::torus_grid_offset(COLS / 2, ROWS, 1.0)),
+        )
+}
+
+/// Population after the script: 32 founders − 16 (half torus) − 1 − 1
+/// (5% churn of 16 then 15, rounded) + 16 injected.
+const EXPECTED_FINAL_ALIVE: usize = 30;
+
+#[test]
+fn tcp_cluster_runs_the_shared_scenario_and_recovers() {
+    let scenario = shared_scenario();
+    let mut config = TcpConfig::default();
+    // Same protocol parameters as the in-process run of this script;
+    // the tick leaves socket-IO headroom per round on a loaded CI box.
+    config.runtime.tick = Duration::from_millis(8);
+    config.runtime.poly = PolystyreneConfig::builder().replication(4).build();
+    let cluster = TcpCluster::spawn(
+        Torus2::new(COLS as f64, ROWS as f64),
+        shapes::torus_grid(COLS, ROWS, 1.0),
+        config,
+    );
+    let observations = run_cluster_scenario(&cluster, &scenario, Duration::from_secs(10), 11);
+    assert_eq!(observations.len(), 55);
+    // The population arithmetic is identical to the engine's and the
+    // in-process cluster's: all three route events through the one
+    // shared application path.
+    assert_eq!(observations[19].alive_nodes, 32, "pre-failure population");
+    assert_eq!(observations[20].alive_nodes, 16, "half torus down");
+    assert_eq!(observations[26].alive_nodes, 14, "two churn rounds");
+    let last = observations.last().unwrap();
+    assert_eq!(last.alive_nodes, EXPECTED_FINAL_ALIVE);
+    // Shape recovery with the in-process cluster's thresholds: the
+    // wall-clock substrates snapshot points mid-migration, so the bar
+    // is the same qualitative one — homogeneity back under threshold,
+    // points survived the blast.
+    let best_tail_homogeneity = observations[40..]
+        .iter()
+        .map(|o| o.homogeneity)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_tail_homogeneity < 1.0,
+        "TCP cluster failed to reshape: best tail homogeneity {best_tail_homogeneity}"
+    );
+    assert!(
+        last.surviving_points > 0.6,
+        "TCP cluster lost too many points: {}",
+        last.surviving_points
+    );
+    assert!(
+        cluster.sent_frames() > 1000,
+        "a 55-round scenario must push real traffic through the sockets (saw {})",
+        cluster.sent_frames()
+    );
+    cluster.shutdown();
+}

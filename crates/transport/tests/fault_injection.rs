@@ -1,0 +1,84 @@
+//! Loopback fault injection: the migration `xid`/`MigrationAck`
+//! machinery — parked handouts, stale-generation acks, timeout
+//! re-adoption — exercised over real sockets for the first time.
+//!
+//! The cluster runs under injected transit loss, so migration replies
+//! and acks genuinely vanish off the wire and responders park their
+//! handed-out points; nodes are then killed cold while exchanges are in
+//! flight (at millisecond ticks every tick opens migrations, so a kill
+//! lands mid-exchange with near certainty). The protocol's at-least-once
+//! guarantee must hold end-to-end: loss and crashes may *duplicate*
+//! points, but with K replicas no point is ever destroyed — every
+//! original survives, and the parked-handout re-adoption path returns
+//! them to circulation.
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_membership::NodeId;
+use polystyrene_protocol::LinkProfile;
+use polystyrene_space::prelude::*;
+use polystyrene_transport::{TcpCluster, TcpConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn mid_migration_kills_under_loss_never_destroy_points() {
+    let mut config = TcpConfig::default();
+    // 8 ms leaves socket-IO and scheduling headroom per round when the
+    // whole workspace tests on a loaded single-core box.
+    config.runtime.tick = Duration::from_millis(8);
+    config.runtime.poly = PolystyreneConfig::builder().replication(4).build();
+    // 15% of frames vanish in transit: migration replies get lost (the
+    // responder's handout stays parked until re-adoption) and acks get
+    // lost (the initiator holds the points *and* the responder re-adopts
+    // them — the benign duplication direction).
+    config.runtime.link = LinkProfile {
+        latency: 0,
+        jitter: 0,
+        loss: 0.15,
+    };
+    config.reader_poll = Duration::from_millis(50);
+    let cluster = TcpCluster::spawn(Torus2::new(6.0, 4.0), shapes::torus_grid(6, 4, 1.0), config);
+    // Let replication take hold so kills cannot trivially lose points.
+    cluster.await_ticks(15, Duration::from_secs(30));
+    assert!(
+        cluster.injected_drops() > 0,
+        "the lossy fabric must actually drop frames"
+    );
+
+    // Kill three nodes cold, one tick apart, while every survivor keeps
+    // opening migration exchanges — some victims are mid-exchange as
+    // partner or initiator, leaving unacked handouts and dangling
+    // pending-migration locks behind on the survivors.
+    for id in [0u64, 7, 13] {
+        assert!(cluster.kill(NodeId::new(id)));
+        cluster.run_for(Duration::from_millis(8));
+    }
+    assert_eq!(cluster.observe().alive_nodes, 21);
+
+    // Recovery: heartbeat timeouts detect the crashes, ghosts
+    // reactivate, parked handouts re-adopt at the migration timeout.
+    // Poll rather than sleep once, with a deadline sized for a loaded
+    // single-core CI box running the whole workspace — the assertion is
+    // about *what* recovers, never about how fast.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut obs = cluster.observe();
+    while Instant::now() < deadline {
+        cluster.run_for(Duration::from_millis(100));
+        obs = cluster.observe();
+        if obs.surviving_points >= 1.0 && obs.homogeneity < 1.0 {
+            break;
+        }
+    }
+    assert_eq!(obs.alive_nodes, 21);
+    assert!(
+        obs.surviving_points >= 1.0,
+        "a point was destroyed: only {:.3} survive — loss and crashes may \
+         duplicate points but must never lose the last copy",
+        obs.surviving_points
+    );
+    assert!(
+        obs.homogeneity < 1.0,
+        "shape not recovered after mid-migration kills: homogeneity {}",
+        obs.homogeneity
+    );
+    cluster.shutdown();
+}

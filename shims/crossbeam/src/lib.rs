@@ -1,19 +1,96 @@
 //! Offline stand-in for the parts of `crossbeam` this workspace uses:
-//! the unbounded MPSC channel, re-exported from `std::sync::mpsc` under
+//! the unbounded MPSC channel, wrapping `std::sync::mpsc` under
 //! crossbeam's names. Only the multi-producer/single-consumer subset is
 //! provided — each runtime node owns its receiver exclusively, so the
 //! missing multi-consumer cloning is never exercised.
+//!
+//! Unlike a bare re-export of `std`'s types, the [`channel::Sender`]
+//! here mirrors crossbeam's [`channel::Sender::is_disconnected`]: the
+//! receiver flips a shared flag when it drops, so a sender can observe
+//! that its counterpart is gone *without* consuming a message. The
+//! runtime's registry relies on this to report crash-stop delivery
+//! failures consistently on paths that never perform the actual send
+//! (injected transit loss).
 
 /// Channel types under crossbeam's module layout.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
 
-    /// The receiving half. `std`'s receiver under crossbeam's name.
-    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    /// The sending half: `std`'s sender plus a receiver-liveness flag.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+        receiver_alive: Arc<AtomicBool>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+                receiver_alive: Arc::clone(&self.receiver_alive),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; errors if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if !self.receiver_alive.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            self.inner.send(value)
+        }
+
+        /// Whether the channel's receiver has been dropped (crossbeam's
+        /// `Sender::is_disconnected`). A `true` answer is final: a
+        /// dropped receiver never comes back.
+        pub fn is_disconnected(&self) -> bool {
+            !self.receiver_alive.load(Ordering::Acquire)
+        }
+    }
+
+    /// The receiving half. Dropping it flips the senders' liveness flag.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+        alive: Arc<AtomicBool>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
 
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = mpsc::channel();
+        let alive = Arc::new(AtomicBool::new(true));
+        (
+            Sender {
+                inner: tx,
+                receiver_alive: Arc::clone(&alive),
+            },
+            Receiver { inner: rx, alive },
+        )
     }
 }
 
@@ -41,5 +118,17 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn sender_observes_receiver_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        assert!(!tx.is_disconnected());
+        assert!(!tx2.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected(), "drop must flip the shared flag");
+        assert!(tx2.is_disconnected(), "clones share the flag");
+        assert_eq!(tx.send(1), Err(SendError(1)));
     }
 }

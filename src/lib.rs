@@ -15,6 +15,7 @@
 //! | simulation | [`sim`] | cycle-driven engine + every paper experiment |
 //! | network simulation | [`netsim`] | deterministic discrete-event substrate: latency, loss, partitions |
 //! | deployment | [`runtime`] | threaded message-passing cluster |
+//! | wire deployment | [`transport`] | the byte codec, length-framed, over real TCP sockets |
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the architecture
 //! and per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
@@ -52,6 +53,7 @@ pub use polystyrene_runtime as runtime;
 pub use polystyrene_sim as sim;
 pub use polystyrene_space as space;
 pub use polystyrene_topology as topology;
+pub use polystyrene_transport as transport;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
@@ -64,10 +66,11 @@ pub mod prelude {
     };
     pub use polystyrene_protocol::prelude::*;
     pub use polystyrene_routing::prelude::*;
-    pub use polystyrene_runtime::{run_cluster_scenario, Cluster, RuntimeConfig};
+    pub use polystyrene_runtime::{run_cluster_scenario, Cluster, ClusterHarness, RuntimeConfig};
     pub use polystyrene_sim::prelude::*;
     pub use polystyrene_space::prelude::*;
     pub use polystyrene_topology::{
         TMan, TManConfig, TopologyConstruction, Vicinity, VicinityConfig,
     };
+    pub use polystyrene_transport::{TcpCluster, TcpConfig};
 }
