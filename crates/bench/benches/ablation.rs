@@ -5,9 +5,11 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use polystyrene::prelude::{BackupPlacement, ProjectionStrategy, SplitStrategy};
-use polystyrene_bench::{experiment_config, render_reshaping_table};
+use polystyrene_bench::{experiment_config, render_reshaping_table, ReshapingRow};
+use polystyrene_lab::{run_experiment, ExperimentTrace};
 use polystyrene_sim::prelude::*;
 use polystyrene_space::torus::Torus2;
+use std::time::Instant;
 
 fn ablation_paper() -> PaperScenario {
     PaperScenario::reshaping_only(20, 10, 15, 50)
@@ -18,7 +20,7 @@ fn run_with(
     split: SplitStrategy,
     k: usize,
     seed: u64,
-) -> RunRecord {
+) -> ExperimentTrace {
     let paper = ablation_paper();
     let (w, h) = paper.extents();
     let mut cfg = experiment_config(k, split, seed);
@@ -29,8 +31,7 @@ fn run_with(
         .projection(projection)
         .build();
     let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
-    let metrics = run_scenario(&mut engine, &paper.script());
-    RunRecord::analyze(metrics, Some(paper.failure_round))
+    run_experiment(&mut engine, &paper.script())
 }
 
 fn print_projection_ablation() {
@@ -44,20 +45,23 @@ fn print_projection_ablation() {
         let mut times = Vec::new();
         let mut unreshaped = 0usize;
         let mut reliabilities = Vec::new();
+        let started = Instant::now();
         for seed in 0..3u64 {
-            let rec = run_with(projection, SplitStrategy::Advanced, 4, seed);
-            match rec.reshaping_time {
+            let trace = run_with(projection, SplitStrategy::Advanced, 4, seed);
+            match trace.reshaping_rounds() {
                 Some(t) => times.push(t as f64),
                 None => unreshaped += 1,
             }
-            reliabilities.push(rec.reliability * 100.0);
+            reliabilities.push(trace.reliability() * 100.0);
         }
+        let elapsed = started.elapsed();
         rows.push(ReshapingRow {
             label: name.to_string(),
             nodes: ablation_paper().node_count(),
             reshaping: polystyrene_space::stats::ci95(&times),
             unreshaped,
             reliability: polystyrene_space::stats::ci95(&reliabilities),
+            elapsed,
         });
     }
     println!("{}", render_reshaping_table("Projection ablation", &rows));
@@ -70,20 +74,23 @@ fn print_k_ablation() {
         let mut times = Vec::new();
         let mut unreshaped = 0usize;
         let mut reliabilities = Vec::new();
+        let started = Instant::now();
         for seed in 0..3u64 {
-            let rec = run_with(ProjectionStrategy::Medoid, SplitStrategy::Advanced, k, seed);
-            match rec.reshaping_time {
+            let trace = run_with(ProjectionStrategy::Medoid, SplitStrategy::Advanced, k, seed);
+            match trace.reshaping_rounds() {
                 Some(t) => times.push(t as f64),
                 None => unreshaped += 1,
             }
-            reliabilities.push(rec.reliability * 100.0);
+            reliabilities.push(trace.reliability() * 100.0);
         }
+        let elapsed = started.elapsed();
         rows.push(ReshapingRow {
             label: format!("K={k}"),
             nodes: ablation_paper().node_count(),
             reshaping: polystyrene_space::stats::ci95(&times),
             unreshaped,
             reliability: polystyrene_space::stats::ci95(&reliabilities),
+            elapsed,
         });
     }
     println!("{}", render_reshaping_table("Replication ablation", &rows));
@@ -105,6 +112,7 @@ fn print_placement_ablation() {
         let mut times = Vec::new();
         let mut unreshaped = 0usize;
         let mut reliabilities = Vec::new();
+        let started = Instant::now();
         for seed in 0..3u64 {
             let mut cfg = experiment_config(4, SplitStrategy::Advanced, seed);
             cfg.area = paper.area();
@@ -113,20 +121,21 @@ fn print_placement_ablation() {
                 .backup_placement(placement)
                 .build();
             let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
-            let metrics = run_scenario(&mut engine, &paper.script());
-            let rec = RunRecord::analyze(metrics, Some(paper.failure_round));
-            match rec.reshaping_time {
+            let trace = run_experiment(&mut engine, &paper.script());
+            match trace.reshaping_rounds() {
                 Some(t) => times.push(t as f64),
                 None => unreshaped += 1,
             }
-            reliabilities.push(rec.reliability * 100.0);
+            reliabilities.push(trace.reliability() * 100.0);
         }
+        let elapsed = started.elapsed();
         rows.push(ReshapingRow {
             label: name.to_string(),
             nodes: paper.node_count(),
             reshaping: polystyrene_space::stats::ci95(&times),
             unreshaped,
             reliability: polystyrene_space::stats::ci95(&reliabilities),
+            elapsed,
         });
     }
     println!(

@@ -10,7 +10,9 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use polystyrene::prelude::SplitStrategy;
 use polystyrene_bench::{
     experiment_config, render_reshaping_table, run_quality, scaling_sweep, summarize, table2_row,
+    ReshapingRow, StackKind,
 };
+use polystyrene_lab::{run_experiment, LabConfig, SubstrateKind};
 use polystyrene_sim::prelude::*;
 use polystyrene_space::shapes;
 use polystyrene_space::torus::Torus2;
@@ -83,7 +85,16 @@ fn print_table2() {
     let paper = PaperScenario::reshaping_only(20, 10, 15, 40);
     let rows: Vec<ReshapingRow> = [2usize, 4, 8]
         .iter()
-        .map(|&k| table2_row(&paper, k, SplitStrategy::Advanced, 3, 1))
+        .map(|&k| {
+            table2_row(
+                SubstrateKind::Engine,
+                &paper,
+                k,
+                SplitStrategy::Advanced,
+                3,
+                &LabConfig::default(),
+            )
+        })
         .collect();
     println!(
         "{}",
@@ -95,14 +106,30 @@ fn print_fig10() {
     println!("================ Fig. 10 (mini): scalability & split ablation ================");
     let sizes = [(10usize, 10usize), (20, 10), (20, 20), (40, 20)];
     for &k in &[4usize, 8] {
-        let rows = scaling_sweep(&sizes, k, SplitStrategy::Advanced, 2, 1, 60);
+        let rows = scaling_sweep(
+            SubstrateKind::Engine,
+            &sizes,
+            k,
+            SplitStrategy::Advanced,
+            2,
+            &LabConfig::default(),
+            60,
+        );
         println!(
             "{}",
             render_reshaping_table(&format!("Fig. 10a — K={k}"), &rows)
         );
     }
     for strategy in [SplitStrategy::Basic, SplitStrategy::Advanced] {
-        let rows = scaling_sweep(&sizes, 4, strategy, 2, 1, 80);
+        let rows = scaling_sweep(
+            SubstrateKind::Engine,
+            &sizes,
+            4,
+            strategy,
+            2,
+            &LabConfig::default(),
+            80,
+        );
         println!(
             "{}",
             render_reshaping_table(&format!("Fig. 10b — {strategy}"), &rows)
@@ -158,7 +185,7 @@ fn bench_full_mini_scenario(c: &mut Criterion) {
             let mut cfg = experiment_config(4, SplitStrategy::Advanced, 1);
             cfg.area = paper.area();
             let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
-            run_scenario(&mut engine, &paper.script())
+            run_experiment(&mut engine, &paper.script())
         });
     });
     group.finish();

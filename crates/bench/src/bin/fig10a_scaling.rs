@@ -2,13 +2,23 @@
 //! with `SPLIT_ADVANCED`. The paper reports near-logarithmic growth,
 //! reaching 14.08 ± 0.11 rounds at 51 200 nodes with K = 8.
 //!
+//! Runs on any execution substrate via `--substrate` (default: the
+//! cycle engine, the only one that reaches paper scale on one box —
+//! live substrates spawn threads per node, so their default sweep is
+//! capped lower). Each table row reports its wall-clock cost, so
+//! observation-path performance regressions are visible in the sweep
+//! output itself.
+//!
 //! ```sh
 //! cargo run --release -p polystyrene-bench --bin fig10a_scaling -- \
 //!     --max-nodes 51200 --runs 25       # full paper scale (slow!)
+//! cargo run --release -p polystyrene-bench --bin fig10a_scaling -- \
+//!     --substrate netsim --max-nodes 1600 --runs 3
 //! ```
 
 use polystyrene::prelude::SplitStrategy;
 use polystyrene_bench::{render_reshaping_table, scaling_sizes, scaling_sweep, CommonArgs};
+use polystyrene_lab::SubstrateKind;
 use polystyrene_sim::prelude::write_csv;
 
 fn main() {
@@ -19,20 +29,37 @@ fn main() {
         },
         &["max-nodes"],
     );
-    let max_nodes = args.extra_usize("max-nodes", 6400);
+    // Thread-per-node substrates default to a much smaller sweep.
+    let default_max = match args.substrate {
+        SubstrateKind::Engine | SubstrateKind::Netsim => 6400,
+        SubstrateKind::Cluster | SubstrateKind::Tcp => 400,
+    };
+    let max_nodes = args.extra_usize("max-nodes", default_max);
     let sizes = scaling_sizes(max_nodes);
     println!(
-        "Fig. 10a sweep: sizes {:?}, K ∈ {{2, 4, 8}}, {} runs each\n",
+        "Fig. 10a sweep on {}: sizes {:?}, K ∈ {{2, 4, 8}}, {} runs each\n",
+        args.substrate,
         sizes.iter().map(|&(c, r)| c * r).collect::<Vec<_>>(),
         args.runs
     );
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for &k in &[8usize, 4, 2] {
-        let rows = scaling_sweep(&sizes, k, SplitStrategy::Advanced, args.runs, args.seed, 60);
+        let rows = scaling_sweep(
+            args.substrate,
+            &sizes,
+            k,
+            SplitStrategy::Advanced,
+            args.runs,
+            &args.lab_config(SplitStrategy::Advanced),
+            60,
+        );
         println!(
             "{}",
-            render_reshaping_table(&format!("Fig. 10a — Polystyrene_K{k}"), &rows)
+            render_reshaping_table(
+                &format!("Fig. 10a — Polystyrene_K{k} on {}", args.substrate),
+                &rows
+            )
         );
         for r in &rows {
             csv_rows.push(vec![
@@ -40,12 +67,19 @@ fn main() {
                 r.nodes.to_string(),
                 format!("{:.3}", r.reshaping.mean),
                 format!("{:.3}", r.reshaping.half_width),
+                format!("{:.3}", r.elapsed.as_secs_f64()),
             ]);
         }
     }
     write_csv(
         args.out.join("fig10a_scaling.csv"),
-        &["K", "nodes", "reshaping_mean", "reshaping_ci95"],
+        &[
+            "K",
+            "nodes",
+            "reshaping_mean",
+            "reshaping_ci95",
+            "wall_secs",
+        ],
         &csv_rows,
     )
     .expect("failed to write CSV");

@@ -10,7 +10,10 @@
 
 use polystyrene::prelude::SplitStrategy;
 use polystyrene_bench::{render_reshaping_table, scaling_sizes, scaling_sweep, CommonArgs};
+use polystyrene_lab::SubstrateKind;
 use polystyrene_sim::prelude::write_csv;
+
+// Runs on any execution substrate via `--substrate` (default: engine).
 
 fn main() {
     let args = CommonArgs::parse_with(
@@ -20,10 +23,16 @@ fn main() {
         },
         &["max-nodes"],
     );
-    let max_nodes = args.extra_usize("max-nodes", 6400);
+    // Thread-per-node substrates default to a much smaller sweep.
+    let default_max = match args.substrate {
+        SubstrateKind::Engine | SubstrateKind::Netsim => 6400,
+        SubstrateKind::Cluster | SubstrateKind::Tcp => 400,
+    };
+    let max_nodes = args.extra_usize("max-nodes", default_max);
     let sizes = scaling_sizes(max_nodes);
     println!(
-        "Fig. 10b sweep: sizes {:?}, K = {}, {} runs each, all split functions\n",
+        "Fig. 10b sweep on {}: sizes {:?}, K = {}, {} runs each, all split functions\n",
+        args.substrate,
         sizes.iter().map(|&(c, r)| c * r).collect::<Vec<_>>(),
         args.k,
         args.runs
@@ -31,7 +40,15 @@ fn main() {
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for strategy in SplitStrategy::ALL {
-        let rows = scaling_sweep(&sizes, args.k, strategy, args.runs, args.seed, 80);
+        let rows = scaling_sweep(
+            args.substrate,
+            &sizes,
+            args.k,
+            strategy,
+            args.runs,
+            &args.lab_config(strategy),
+            80,
+        );
         println!(
             "{}",
             render_reshaping_table(&format!("Fig. 10b — {strategy}"), &rows)

@@ -8,7 +8,7 @@
 //! ```
 
 use polystyrene::prelude::SplitStrategy;
-use polystyrene_bench::{run_quality, summarize, CommonArgs};
+use polystyrene_bench::{run_quality, summarize, CommonArgs, StackKind};
 use polystyrene_sim::prelude::*;
 
 fn main() {

@@ -8,7 +8,7 @@
 //! ```
 
 use polystyrene::prelude::SplitStrategy;
-use polystyrene_bench::{run_quality, steady_state, CommonArgs};
+use polystyrene_bench::{run_quality, steady_state, CommonArgs, StackKind};
 use polystyrene_sim::prelude::*;
 
 fn main() {

@@ -1,26 +1,31 @@
 //! **Loss/latency sweep** (beyond the paper) — convergence and recovery
-//! quality vs message-drop rate and link latency, on the discrete-event
-//! network simulator. The paper's evaluation assumes reliable atomic
-//! exchanges; this figure measures how far the protocol degrades when the
-//! fabric delays, reorders and loses messages — and pins that it still
-//! recovers the shape at 10% loss.
+//! quality vs message-drop rate and link latency. The paper's
+//! evaluation assumes reliable atomic exchanges; this figure measures
+//! how far the protocol degrades when the fabric delays, reorders and
+//! loses messages — and pins that it still recovers the shape at 10%
+//! loss.
 //!
-//! Emits machine-readable JSON (one record per sweep point) for the CI
-//! perf/quality trajectory, and exits nonzero if any point at or below
-//! 10% loss fails to recover — so the artifact upload doubles as a
-//! regression gate.
+//! Runs through the unified experiment plane on any substrate with a
+//! network model: the discrete-event kernel by default (`--substrate
+//! netsim`, the only one honoring latency/jitter), or the live clusters
+//! (which honor the loss probability at their send boundary). The cycle
+//! engine has no fabric to disturb and is rejected.
+//!
+//! Emits machine-readable JSON (one record per sweep point, via the
+//! shared emitter) for the CI perf/quality trajectory, and exits
+//! nonzero if any netsim point at or below 10% loss fails to recover —
+//! so the artifact upload doubles as a regression gate.
 //!
 //! ```sh
 //! cargo run --release -p polystyrene-bench --bin fig_loss_latency -- \
 //!     --cols 40 --rows 25 --runs 3 --net-latency 2 --net-jitter 1
 //! ```
 
-use polystyrene_bench::{json_f64, CommonArgs};
+use polystyrene::prelude::SplitStrategy;
+use polystyrene_bench::CommonArgs;
+use polystyrene_lab::{summary_json, ExperimentSummary, SubstrateKind};
 use polystyrene_membership::NodeId;
-use polystyrene_netsim::prelude::*;
-use polystyrene_space::prelude::*;
-use polystyrene_space::shapes;
-use std::fmt::Write as _;
+use polystyrene_protocol::{PaperScenario, Scenario, ScenarioEvent};
 
 /// The baseline drop rates swept (≥ 3 points, per the netsim acceptance
 /// bar); an explicit `--net-loss` is merged in as an extra point.
@@ -43,138 +48,39 @@ const FAILURE_ROUND: u32 = 20;
 /// needs ~50-60 rounds; see the JSON for the measured reshaping times).
 const TAIL_ROUNDS: u32 = 80;
 
-/// One sweep point. Every scalar field is the **mean over the runs** at
-/// this point (reshaping keeps the per-run list so non-recovering runs
-/// stay visible), so the recorded trajectory reflects all seeds, not
-/// just the last one.
-struct SweepPoint {
-    loss: f64,
-    latency: u64,
-    jitter: u64,
-    reshaping_rounds: Vec<Option<u32>>,
-    final_homogeneity: f64,
-    reference_homogeneity: f64,
-    surviving_points: f64,
-    points_per_node: f64,
-    dropped_messages: f64,
-    sent_messages: f64,
-}
-
-impl SweepPoint {
-    fn recovered_runs(&self) -> usize {
-        self.reshaping_rounds.iter().flatten().count()
-    }
-
-    fn recovered(&self) -> bool {
-        self.recovered_runs() == self.reshaping_rounds.len()
-    }
-
-    fn mean_reshaping(&self) -> Option<f64> {
-        let done: Vec<u32> = self.reshaping_rounds.iter().flatten().copied().collect();
-        if done.is_empty() {
-            None
-        } else {
-            Some(done.iter().sum::<u32>() as f64 / done.len() as f64)
-        }
-    }
-}
-
-fn sweep_point(args: &CommonArgs, loss: f64) -> SweepPoint {
-    let (cols, rows) = (args.cols, args.rows);
-    let mut reshaping_rounds = Vec::with_capacity(args.runs);
-    let mut finals: Vec<NetRoundMetrics> = Vec::with_capacity(args.runs);
-    for run in 0..args.runs {
-        let mut cfg = NetSimConfig::default();
-        cfg.area = (cols * rows) as f64;
-        cfg.seed = args.seed + run as u64;
-        cfg.link = LinkProfile {
-            latency: args.net_latency,
-            jitter: args.net_jitter,
-            loss,
-        };
-        let mut sim = NetSim::new(
-            Torus2::new(cols as f64, rows as f64),
-            shapes::torus_grid(cols, rows, 1.0),
-            cfg,
-        );
-        sim.run(FAILURE_ROUND);
-        sim.fail_original_region(&shapes::in_right_half(cols as f64));
-        if args.partition_rounds > 0 {
-            // `--partition-rounds N`: on top of the kill, isolate the
-            // left quarter of the surviving founders for N rounds — a
-            // regional cut during recovery — then heal.
-            let minority: Vec<NodeId> = sim
-                .original_points()
-                .iter()
-                .filter(|p| p.pos[0] < cols as f64 / 4.0)
-                .map(|p| NodeId::new(p.id.as_u64()))
-                .collect();
-            sim.network_mut().set_partition(&[minority]);
-            sim.run(args.partition_rounds);
-            sim.network_mut().heal();
-        }
-        sim.run(TAIL_ROUNDS);
-        reshaping_rounds.push(net_reshaping_time(sim.history(), FAILURE_ROUND));
-        finals.push(*sim.history().last().expect("ran"));
-    }
-    let mean =
-        |f: fn(&NetRoundMetrics) -> f64| finals.iter().map(f).sum::<f64>() / finals.len() as f64;
-    SweepPoint {
-        loss,
-        latency: args.net_latency,
-        jitter: args.net_jitter,
-        reshaping_rounds,
-        final_homogeneity: mean(|m| m.homogeneity),
-        reference_homogeneity: mean(|m| m.reference_homogeneity),
-        surviving_points: mean(|m| m.surviving_points),
-        points_per_node: mean(|m| m.points_per_node),
-        dropped_messages: mean(|m| m.dropped_messages as f64),
-        sent_messages: mean(|m| m.sent_messages as f64),
-    }
-}
-
-/// Hand-rolled JSON (the serde shim has no serialization machinery, by
-/// design): numbers, bools and flat arrays only — nothing to escape.
-/// Every float goes through [`json_f64`]: a degenerate sweep (empty
-/// surviving population → infinite homogeneity, zero recovered runs)
-/// must yield `null`, not the invalid-JSON tokens `NaN`/`inf`.
-fn to_json(args: &CommonArgs, points: &[SweepPoint]) -> String {
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\"figure\":\"fig_loss_latency\",\"nodes\":{},\"runs\":{},\"failure_round\":{FAILURE_ROUND},\"tail_rounds\":{TAIL_ROUNDS},\"partition_rounds\":{},\"sweep\":[",
-        args.cols * args.rows,
-        args.runs,
-        args.partition_rounds,
+/// The sweep's scenario: converge, kill the right half-torus, and — with
+/// `--partition-rounds N` — additionally isolate the left quarter of the
+/// surviving founders for N rounds mid-recovery, expressed as a scripted
+/// [`ScenarioEvent::Partition`] (substrates without a fabric to cut
+/// no-op it). The partition window *extends* the scenario, so the
+/// post-heal recovery budget stays the full `TAIL_ROUNDS` regardless of
+/// the flag.
+fn sweep_scenario(args: &CommonArgs) -> Scenario<[f64; 2]> {
+    let paper = PaperScenario::reshaping_only(
+        args.cols,
+        args.rows,
+        FAILURE_ROUND,
+        TAIL_ROUNDS + args.partition_rounds,
     );
-    for (i, p) in points.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let reshaping = match p.mean_reshaping() {
-            Some(mean) => json_f64(mean, 2),
-            None => "null".to_string(),
-        };
-        let _ = write!(
-            out,
-            "{{\"loss\":{},\"latency\":{},\"jitter\":{},\"recovered\":{},\"recovered_runs\":{},\"mean_reshaping_rounds\":{reshaping},\
-             \"final_homogeneity\":{},\"reference_homogeneity\":{},\"surviving_points\":{},\"points_per_node\":{},\
-             \"sent_messages\":{},\"dropped_messages\":{}}}",
-            json_f64(p.loss, 4),
-            p.latency,
-            p.jitter,
-            p.recovered(),
-            p.recovered_runs(),
-            json_f64(p.final_homogeneity, 6),
-            json_f64(p.reference_homogeneity, 6),
-            json_f64(p.surviving_points, 6),
-            json_f64(p.points_per_node, 3),
-            json_f64(p.sent_messages, 0),
-            json_f64(p.dropped_messages, 0),
+    let mut scenario = paper.script();
+    if args.partition_rounds > 0 {
+        let quarter = args.cols as f64 / 4.0;
+        let minority: Vec<NodeId> = paper
+            .shape()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p[0] < quarter)
+            .map(|(i, _)| NodeId::new(i as u64))
+            .collect();
+        scenario = scenario.at(
+            FAILURE_ROUND,
+            ScenarioEvent::Partition {
+                groups: vec![minority],
+                rounds: args.partition_rounds,
+            },
         );
     }
-    out.push_str("]}");
-    out
+    scenario
 }
 
 fn main() {
@@ -182,16 +88,39 @@ fn main() {
         cols: 40,
         rows: 25, // 1000 nodes — the sweep's minimum scale
         runs: 1,
+        substrate: SubstrateKind::Netsim,
         ..Default::default()
     });
     assert!(
-        args.cols * args.rows >= 1000,
-        "the loss/latency sweep is specified at >= 1k nodes (got {})",
+        args.substrate.has_network_model(),
+        "the loss/latency sweep needs a substrate with a network model \
+         (netsim, cluster or tcp — the cycle engine has no fabric to disturb)"
+    );
+    assert!(
+        args.cols * args.rows >= 1000 || args.substrate != SubstrateKind::Netsim,
+        "the netsim loss/latency sweep is specified at >= 1k nodes (got {})",
+        args.cols * args.rows
+    );
+    // The thread-per-node substrates cannot take the netsim default of
+    // 1000 nodes × 4 sweep points on modest hardware: demand an explicit
+    // small grid instead of silently grinding the box.
+    assert!(
+        args.cols * args.rows <= 256 || matches!(args.substrate, SubstrateKind::Netsim),
+        "{} spawns threads (and sockets) per node: pass --cols/--rows with <= 256 nodes \
+         (e.g. --cols 8 --rows 8), got {}",
+        args.substrate,
         args.cols * args.rows
     );
     let losses = sweep_losses(&args);
+    let scenario_paper = PaperScenario::reshaping_only(
+        args.cols,
+        args.rows,
+        FAILURE_ROUND,
+        TAIL_ROUNDS + args.partition_rounds,
+    );
     println!(
-        "Loss/latency sweep: {} nodes, losses {:?}, latency {} ± {} ticks, {} run(s) per point{}\n",
+        "Loss/latency sweep on {}: {} nodes, losses {:?}, latency {} ± {} ticks, {} run(s) per point{}\n",
+        args.substrate,
         args.cols * args.rows,
         losses,
         args.net_latency,
@@ -207,47 +136,106 @@ fn main() {
         },
     );
 
-    let mut points = Vec::new();
+    // One summary per sweep point, every run through the one unified
+    // driver with the one (possibly partition-extended) script.
+    let scenario = sweep_scenario(&args);
+    let mut summaries: Vec<(String, ExperimentSummary)> = Vec::new();
     for &loss in &losses {
-        let p = sweep_point(&args, loss);
-        let reshaping = match p.mean_reshaping() {
+        let mut base = args.lab_config(SplitStrategy::Advanced);
+        base.link.loss = loss;
+        let mut summary = ExperimentSummary::default();
+        for run in 0..args.runs {
+            let mut cfg = base;
+            cfg.seed = base.seed + run as u64;
+            let mut substrate = polystyrene_lab::build_substrate(
+                args.substrate,
+                polystyrene_space::torus::Torus2::new(args.cols as f64, args.rows as f64),
+                scenario_paper.shape(),
+                &cfg,
+            );
+            summary.push(&polystyrene_lab::run_experiment(
+                substrate.as_mut(),
+                &scenario,
+            ));
+        }
+        let summary = summary;
+        let reshaping = match summary.mean_reshaping_rounds() {
             Some(mean) => format!(
                 "{mean:.1} rounds ({}/{} runs)",
-                p.recovered_runs(),
+                summary.recovered_runs(),
                 args.runs
             ),
             None => "never".to_string(),
         };
+        let last_h = summary
+            .homogeneity
+            .last()
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let last_ref = summary
+            .reference_homogeneity
+            .last()
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let last_survival = summary
+            .surviving_points
+            .last()
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let last_points = summary
+            .points_per_node
+            .last()
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
         println!(
-            "loss {:>4.0}% → reshaping {reshaping}, final homogeneity {:.3} (ref {:.3}), \
-             survival {:.1}%, {:.1} pts/node, {:.0} of {:.0} msgs dropped",
+            "loss {:>4.0}% → reshaping {reshaping}, final homogeneity {last_h:.3} (ref {last_ref:.3}), \
+             survival {:.1}%, {last_points:.1} pts/node",
             loss * 100.0,
-            p.final_homogeneity,
-            p.reference_homogeneity,
-            p.surviving_points * 100.0,
-            p.points_per_node,
-            p.dropped_messages,
-            p.sent_messages,
+            last_survival * 100.0,
         );
-        points.push(p);
+        summaries.push((format!("loss={loss}"), summary));
     }
 
     std::fs::create_dir_all(&args.out).expect("failed to create output directory");
+    let entries: Vec<(String, &ExperimentSummary)> = summaries
+        .iter()
+        .map(|(label, s)| (label.clone(), s))
+        .collect();
+    let json = summary_json(
+        "fig_loss_latency",
+        &[
+            ("substrate", format!("\"{}\"", args.substrate)),
+            ("nodes", (args.cols * args.rows).to_string()),
+            ("runs", args.runs.to_string()),
+            ("failure_round", FAILURE_ROUND.to_string()),
+            ("tail_rounds", TAIL_ROUNDS.to_string()),
+            ("partition_rounds", args.partition_rounds.to_string()),
+            ("latency", args.net_latency.to_string()),
+            ("jitter", args.net_jitter.to_string()),
+        ],
+        &entries,
+    );
     let json_path = args.out.join("fig_loss_latency.json");
-    std::fs::write(&json_path, to_json(&args, &points)).expect("failed to write JSON");
+    std::fs::write(&json_path, json).expect("failed to write JSON");
     println!("\nJSON written to {}", json_path.display());
 
     // Regression gate: the protocol must recover everywhere at <= 10%
-    // loss. Only the plain kill scenario is gated — an explicit
-    // `--partition-rounds` makes the run a diagnostic, not a baseline.
+    // loss. Only the plain netsim kill scenario is gated — an explicit
+    // `--partition-rounds` (or a wall-clock substrate, whose runs are
+    // scheduling-sensitive) makes the run a diagnostic, not a baseline.
     if args.partition_rounds > 0 {
         println!("(recovery gate skipped: custom partition scenario)");
         return;
     }
-    let failed: Vec<f64> = points
+    if args.substrate != SubstrateKind::Netsim {
+        println!("(recovery gate skipped: gate is pinned on the deterministic netsim substrate)");
+        return;
+    }
+    let failed: Vec<&str> = losses
         .iter()
-        .filter(|p| p.loss <= 0.10 && !p.recovered())
-        .map(|p| p.loss)
+        .zip(&summaries)
+        .filter(|(&loss, (_, s))| loss <= 0.10 && s.recovered_runs() < s.runs)
+        .map(|(_, (label, _))| label.as_str())
         .collect();
     if !failed.is_empty() {
         eprintln!("FAIL: no recovery at drop rates {failed:?} (<= 10% loss must recover)");

@@ -1,16 +1,20 @@
 //! **TCP loopback benchmark** (beyond the paper) — the reproduction's
-//! first numbers off a real network stack: the catastrophic-failure
-//! scenario at ≥ 256 socket-connected nodes on localhost, with the
-//! in-process runtime as the baseline the wire must not degrade.
+//! numbers off a real network stack: the catastrophic-failure scenario
+//! at ≥ 256 socket-connected nodes on localhost, with the in-process
+//! runtime as the baseline the wire must not degrade.
 //!
 //! Both deployments run the identical node loop (`NodeRuntime` behind
-//! its fabric seam) with identical protocol parameters; the only
-//! difference is the fabric — in-process mailboxes vs length-framed
-//! codec bytes over cached TCP connections. The figure measures
-//! rounds-to-reshape after killing half the torus, plus frames/sec over
-//! loopback, and **gates** on the TCP deployment reshaping within 2× of
-//! the in-process rounds: serialization, framing and socket IO may cost
-//! wall-clock time, but they must not cost *protocol* rounds.
+//! its fabric seam) with identical protocol parameters, driven by the
+//! *same* scenario script through the *same* unified experiment driver
+//! (`polystyrene-lab`); the only difference is the fabric — in-process
+//! mailboxes vs length-framed codec bytes over cached TCP connections.
+//! The figure measures reshaping denominated in protocol ticks from the
+//! kill (wall-clock kill hiccups can't distort it), plus frames/sec
+//! over loopback, and **gates** on the measured deployment reshaping
+//! within 2× of the in-process ticks: serialization, framing and socket
+//! IO may cost wall-clock time, but they must not cost *protocol*
+//! rounds. `--substrate` swaps the measured side (default: tcp), so the
+//! same harness compares any substrate against the in-process baseline.
 //!
 //! The default 50 ms tick is sized for modest CI hardware: at 256 nodes
 //! a shorter tick saturates small core counts with connection churn and
@@ -22,14 +26,15 @@
 //!     --cols 16 --rows 16 --tick-ms 50
 //! ```
 
+use polystyrene::prelude::SplitStrategy;
 use polystyrene_bench::{json_f64, CommonArgs};
-use polystyrene_netsim::prelude::reference_homogeneity;
-use polystyrene_runtime::harness::ClusterHarness;
-use polystyrene_runtime::{Cluster, ClusterObservation, RuntimeConfig};
+use polystyrene_lab::{
+    build_substrate, run_experiment, summary_json, ExperimentSummary, LiveSubstrate, SubstrateKind,
+};
+use polystyrene_protocol::PaperScenario;
 use polystyrene_space::prelude::*;
 use polystyrene_space::shapes;
 use polystyrene_transport::{TcpCluster, TcpConfig};
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Rounds of convergence before the catastrophic failure.
@@ -37,136 +42,17 @@ const FAILURE_ROUND: u32 = 15;
 /// Observation rounds after the failure.
 const TAIL_ROUNDS: u32 = 60;
 
-/// One deployment's aggregate over `--runs` seeded repetitions.
+/// One deployment's aggregate plus the transport counters the unified
+/// record deliberately does not carry.
 struct SubstrateResult {
-    label: &'static str,
-    /// Per-run reshaping ticks (`None` = that run never reshaped), so
-    /// non-recovering runs stay visible in the JSON.
-    reshaping_ticks: Vec<Option<u64>>,
-    /// Means over the runs.
-    final_homogeneity: f64,
-    surviving_points: f64,
+    label: String,
+    summary: ExperimentSummary,
     /// Total wall clock across the runs.
     elapsed: Duration,
-    /// Frames written to sockets, summed (TCP only; the in-process
-    /// fabric has no frame counter — `None` keeps the JSON honest
-    /// instead of faking 0).
+    /// Frames written to sockets, summed (TCP only; other fabrics have
+    /// no frame counter — `None` keeps the JSON honest instead of
+    /// faking 0).
     frames: Option<u64>,
-}
-
-impl SubstrateResult {
-    fn recovered_runs(&self) -> usize {
-        self.reshaping_ticks.iter().flatten().count()
-    }
-
-    fn mean_reshaping(&self) -> Option<f64> {
-        let done: Vec<u64> = self.reshaping_ticks.iter().flatten().copied().collect();
-        if done.is_empty() {
-            None
-        } else {
-            Some(done.iter().sum::<u64>() as f64 / done.len() as f64)
-        }
-    }
-}
-
-/// Drives any [`ClusterHarness`] through the kill-half-the-torus
-/// scenario round by round — the shared measurement loop both
-/// deployments go through, so the comparison cannot drift. Returns one
-/// observation per round plus the *survivors'* protocol-tick floor at
-/// kill completion (observed after `kill_region`, when only survivors
-/// report): reshaping is denominated in ticks elapsed since the kill,
-/// read off each observation's `min_ticks`, so neither wall-clock
-/// hiccups in the harness nor tick lag of the about-to-die half can
-/// flatter or inflate either deployment.
-fn drive<H: ClusterHarness<[f64; 2]>>(
-    cluster: &H,
-    cols: usize,
-    round_timeout: Duration,
-) -> (Vec<ClusterObservation>, u64) {
-    let mut observations = Vec::new();
-    let mut kill_tick = 0;
-    for round in 0..FAILURE_ROUND + TAIL_ROUNDS {
-        if round == FAILURE_ROUND {
-            let right_half = move |p: &[f64; 2]| p[0] >= cols as f64 / 2.0;
-            cluster.kill_region(&right_half);
-            kill_tick = cluster.observe().min_ticks;
-        }
-        cluster.await_ticks(u64::from(round) + 1, round_timeout);
-        observations.push(cluster.observe());
-    }
-    (observations, kill_tick)
-}
-
-/// Protocol ticks from the kill until the first observation whose
-/// homogeneity beats the reference bound for the then-alive population.
-///
-/// `min_ticks` is the *slowest* survivor's clock, so on a loaded box a
-/// deployment with more clock spread (TCP runs ~3 threads per node)
-/// reads fewer elapsed ticks for the same recovery — a conservative
-/// bias for this gate, which only fails when TCP reads *slower*.
-fn reshaping_time(observations: &[ClusterObservation], kill_tick: u64, area: f64) -> Option<u64> {
-    observations
-        .iter()
-        .skip(FAILURE_ROUND as usize)
-        .find(|o| o.homogeneity < reference_homogeneity(area, o.alive_nodes))
-        .map(|o| o.min_ticks.saturating_sub(kill_tick).max(1))
-}
-
-/// Mean of one observation field over the final observations of each run.
-fn mean(finals: &[ClusterObservation], f: impl Fn(&ClusterObservation) -> f64) -> f64 {
-    finals.iter().map(f).sum::<f64>() / finals.len() as f64
-}
-
-fn runtime_config(args: &CommonArgs, tick_ms: usize, run: usize) -> RuntimeConfig {
-    let mut config = RuntimeConfig::default();
-    config.tick = Duration::from_millis(tick_ms as u64);
-    config.poly = polystyrene::prelude::PolystyreneConfig::builder()
-        .replication(args.k)
-        .build();
-    config.seed = args.seed + run as u64;
-    config
-}
-
-fn to_json(args: &CommonArgs, tick_ms: usize, results: &[SubstrateResult]) -> String {
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\"figure\":\"fig_tcp_loopback\",\"nodes\":{},\"k\":{},\"tick_ms\":{tick_ms},\"runs\":{},\
-         \"failure_round\":{FAILURE_ROUND},\"tail_rounds\":{TAIL_ROUNDS},\"substrates\":[",
-        args.cols * args.rows,
-        args.k,
-        args.runs,
-    );
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let reshaping = match r.mean_reshaping() {
-            Some(mean) => json_f64(mean, 2),
-            None => "null".to_string(),
-        };
-        let frames = match r.frames {
-            Some(n) => n.to_string(),
-            None => "null".to_string(),
-        };
-        let frames_per_sec = match r.frames {
-            Some(n) => json_f64(n as f64 / r.elapsed.as_secs_f64(), 0),
-            None => "null".to_string(),
-        };
-        let _ = write!(
-            out,
-            "{{\"substrate\":\"{}\",\"mean_reshaping_ticks\":{reshaping},\"recovered_runs\":{},\
-             \"final_homogeneity\":{},\"surviving_points\":{},\"elapsed_secs\":{},\
-             \"frames\":{frames},\"frames_per_sec\":{frames_per_sec}}}",
-            r.label,
-            r.recovered_runs(),
-            json_f64(r.final_homogeneity, 6),
-            json_f64(r.surviving_points, 6),
-            json_f64(r.elapsed.as_secs_f64(), 2),
-        );
-    }
-    out.push_str("]}");
-    out
 }
 
 fn main() {
@@ -181,112 +67,156 @@ fn main() {
         &["tick-ms"],
     );
     let tick_ms = args.extra_usize("tick-ms", 50);
+    let measured_kind = if args.substrate_given {
+        args.substrate
+    } else {
+        SubstrateKind::Tcp
+    };
+    assert!(
+        measured_kind != SubstrateKind::Cluster,
+        "the in-process cluster IS the baseline: pick a different --substrate to measure"
+    );
     let (cols, rows) = (args.cols, args.rows);
     let nodes = cols * rows;
-    let area = (cols * rows) as f64;
-    let round_timeout = Duration::from_secs(30);
+    let paper = PaperScenario::reshaping_only(cols, rows, FAILURE_ROUND, TAIL_ROUNDS);
+    let scenario = paper.script();
+    let mut base = args.lab_config(SplitStrategy::Advanced);
+    base.tick = Duration::from_millis(tick_ms as u64);
+    base.round_timeout = Duration::from_secs(30);
     println!(
-        "TCP loopback vs in-process: {nodes} nodes, K={}, {tick_ms} ms ticks, \
+        "{measured_kind} vs in-process: {nodes} nodes, K={}, {tick_ms} ms ticks, \
          failure at round {FAILURE_ROUND}, observed {TAIL_ROUNDS} rounds\n",
         args.k,
     );
 
     let mut results = Vec::new();
-
-    // Baseline: the in-process cluster, same node loop, same parameters.
-    let started = Instant::now();
-    let mut reshaping = Vec::with_capacity(args.runs);
-    let mut finals = Vec::with_capacity(args.runs);
-    for run in 0..args.runs {
-        let cluster = Cluster::spawn(
-            Torus2::new(cols as f64, rows as f64),
-            shapes::torus_grid(cols, rows, 1.0),
-            runtime_config(&args, tick_ms, run),
-        );
-        let (observations, kill_tick) = drive(&cluster, cols, round_timeout);
-        cluster.shutdown();
-        reshaping.push(reshaping_time(&observations, kill_tick, area));
-        finals.push(observations.last().expect("ran").clone());
+    for kind in [SubstrateKind::Cluster, measured_kind] {
+        let started = Instant::now();
+        let mut summary = ExperimentSummary::default();
+        let mut frames = (kind == SubstrateKind::Tcp).then_some(0u64);
+        for run in 0..args.runs {
+            let mut cfg = base;
+            cfg.seed = base.seed + run as u64;
+            cfg.area = paper.area();
+            let space = Torus2::new(cols as f64, rows as f64);
+            let shape = shapes::torus_grid(cols, rows, 1.0);
+            if kind == SubstrateKind::Tcp {
+                // Built concretely so the socket frame counter stays
+                // readable; the driving is the shared path regardless.
+                let mut tcp_config = TcpConfig::default();
+                tcp_config.runtime = cfg.runtime();
+                let mut substrate = LiveSubstrate::new(
+                    TcpCluster::spawn(space, shape, tcp_config),
+                    cfg.seed,
+                    cfg.round_timeout,
+                );
+                summary.push(&run_experiment(&mut substrate, &scenario));
+                *frames.as_mut().unwrap() += substrate.cluster().sent_frames();
+            } else {
+                let mut substrate = build_substrate(kind, space, shape, &cfg);
+                summary.push(&run_experiment(substrate.as_mut(), &scenario));
+            }
+        }
+        results.push(SubstrateResult {
+            label: if kind == SubstrateKind::Cluster {
+                "in-process".to_string()
+            } else {
+                format!("{kind}-measured")
+            },
+            summary,
+            elapsed: started.elapsed(),
+            frames,
+        });
     }
-    results.push(SubstrateResult {
-        label: "in-process",
-        reshaping_ticks: reshaping,
-        final_homogeneity: mean(&finals, |o| o.homogeneity),
-        surviving_points: mean(&finals, |o| o.surviving_points),
-        elapsed: started.elapsed(),
-        frames: None,
-    });
-
-    // The wire: every message serialized, framed, and pushed through a
-    // loopback socket.
-    let started = Instant::now();
-    let mut reshaping = Vec::with_capacity(args.runs);
-    let mut finals = Vec::with_capacity(args.runs);
-    let mut frames = 0u64;
-    for run in 0..args.runs {
-        let mut tcp_config = TcpConfig::default();
-        tcp_config.runtime = runtime_config(&args, tick_ms, run);
-        let cluster = TcpCluster::spawn(
-            Torus2::new(cols as f64, rows as f64),
-            shapes::torus_grid(cols, rows, 1.0),
-            tcp_config,
-        );
-        let (observations, kill_tick) = drive(&cluster, cols, round_timeout);
-        frames += cluster.sent_frames();
-        cluster.shutdown();
-        reshaping.push(reshaping_time(&observations, kill_tick, area));
-        finals.push(observations.last().expect("ran").clone());
-    }
-    results.push(SubstrateResult {
-        label: "tcp-loopback",
-        reshaping_ticks: reshaping,
-        final_homogeneity: mean(&finals, |o| o.homogeneity),
-        surviving_points: mean(&finals, |o| o.surviving_points),
-        elapsed: started.elapsed(),
-        frames: Some(frames),
-    });
 
     for r in &results {
-        let reshaping = match r.mean_reshaping() {
-            Some(m) => format!("{m:.1} ticks ({}/{} runs)", r.recovered_runs(), args.runs),
+        let reshaping = match r.summary.mean_reshaping_ticks() {
+            Some(m) => format!(
+                "{m:.1} ticks ({}/{} runs)",
+                r.summary.recovered_runs(),
+                args.runs
+            ),
             None => "never".to_string(),
         };
         let throughput = match r.frames {
             Some(n) => format!(", {n} frames ({:.0}/s)", n as f64 / r.elapsed.as_secs_f64()),
             None => String::new(),
         };
+        let final_h = r
+            .summary
+            .homogeneity
+            .last()
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let final_survival = r
+            .summary
+            .surviving_points
+            .last()
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
         println!(
-            "{:>12}: reshaping {reshaping}, final homogeneity {:.3}, survival {:.1}%, \
+            "{:>16}: reshaping {reshaping}, final homogeneity {final_h:.3}, survival {:.1}%, \
              {:.1} s wall{throughput}",
             r.label,
-            r.final_homogeneity,
-            r.surviving_points * 100.0,
+            final_survival * 100.0,
             r.elapsed.as_secs_f64(),
         );
     }
 
     std::fs::create_dir_all(&args.out).expect("failed to create output directory");
+    let entries: Vec<(String, &ExperimentSummary)> = results
+        .iter()
+        .map(|r| (r.label.clone(), &r.summary))
+        .collect();
+    let mut meta = vec![
+        ("nodes", nodes.to_string()),
+        ("k", args.k.to_string()),
+        ("tick_ms", tick_ms.to_string()),
+        ("runs", args.runs.to_string()),
+        ("failure_round", FAILURE_ROUND.to_string()),
+        ("tail_rounds", TAIL_ROUNDS.to_string()),
+    ];
+    if let Some(r) = results.iter().find(|r| r.frames.is_some()) {
+        let frames = r.frames.unwrap();
+        meta.push(("frames", frames.to_string()));
+        meta.push((
+            "frames_per_sec",
+            json_f64(frames as f64 / r.elapsed.as_secs_f64(), 0),
+        ));
+    }
+    let json = summary_json("fig_tcp_loopback", &meta, &entries);
     let json_path = args.out.join("fig_tcp_loopback.json");
-    std::fs::write(&json_path, to_json(&args, tick_ms, &results)).expect("failed to write JSON");
+    std::fs::write(&json_path, json).expect("failed to write JSON");
     println!("\nJSON written to {}", json_path.display());
 
     // Regression gate: the wire may cost wall-clock, never protocol
-    // rounds — mean TCP reshaping must stay within 2× of the in-process
-    // mean, plus a couple of ticks of integer-noise headroom so a
-    // single-run CI invocation comparing small counts (observation
+    // rounds — mean measured reshaping must stay within 2× of the
+    // in-process mean, plus a couple of ticks of integer-noise headroom
+    // so a single-run CI invocation comparing small counts (observation
     // sampling quantizes to whole rounds) does not flap.
-    let (Some(baseline), Some(tcp)) = (results[0].mean_reshaping(), results[1].mean_reshaping())
-    else {
+    let (Some(baseline), Some(measured)) = (
+        results[0].summary.mean_reshaping_ticks(),
+        results[1].summary.mean_reshaping_ticks(),
+    ) else {
         eprintln!("FAIL: a deployment never reshaped");
         std::process::exit(1);
     };
-    if results.iter().any(|r| r.recovered_runs() < args.runs) {
+    if results
+        .iter()
+        .any(|r| r.summary.recovered_runs() < args.runs)
+    {
         eprintln!("FAIL: not every run reshaped");
         std::process::exit(1);
     }
-    if tcp > baseline.max(1.0) * 2.0 + 2.0 {
-        eprintln!("FAIL: TCP reshaped in {tcp:.1} ticks vs {baseline:.1} in-process (> 2x)");
+    if measured > baseline.max(1.0) * 2.0 + 2.0 {
+        eprintln!(
+            "FAIL: {} reshaped in {measured:.1} ticks vs {baseline:.1} in-process (> 2x)",
+            results[1].label
+        );
         std::process::exit(1);
     }
-    println!("OK: TCP reshaping within 2x of in-process ({tcp:.1} vs {baseline:.1} ticks)");
+    println!(
+        "OK: {} reshaping within 2x of in-process ({measured:.1} vs {baseline:.1} ticks)",
+        results[1].label
+    );
 }

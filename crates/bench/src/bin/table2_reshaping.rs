@@ -1,17 +1,23 @@
 //! **Table II** — reshaping time and reliability on the 40×80 torus for
 //! K ∈ {2, 4, 8}, averaged over repeated runs with 95 % confidence
-//! intervals.
+//! intervals — on any execution substrate via `--substrate`.
 //!
-//! Paper values: K=2 → 5.00 ± 0.000 rounds / 87.73 ± 0.18 %;
-//! K=4 → 6.96 ± 0.083 / 96.88 ± 0.10; K=8 → 9.08 ± 0.114 / 99.80 ± 0.03.
+//! Paper values (cycle engine): K=2 → 5.00 ± 0.000 rounds / 87.73 ±
+//! 0.18 %; K=4 → 6.96 ± 0.083 / 96.88 ± 0.10; K=8 → 9.08 ± 0.114 /
+//! 99.80 ± 0.03.
 //!
 //! ```sh
 //! cargo run --release -p polystyrene-bench --bin table2_reshaping -- --runs 25
+//! cargo run --release -p polystyrene-bench --bin table2_reshaping -- \
+//!     --substrate cluster --cols 16 --rows 8 --runs 2
 //! ```
 
 use polystyrene::prelude::SplitStrategy;
 use polystyrene_bench::{render_reshaping_table, table2_row, CommonArgs};
 use polystyrene_sim::prelude::*;
+
+// `--substrate` picks the backend; `--net-*` flags reach the ones that
+// honor a network model through the shared lab configuration.
 
 fn main() {
     let args = CommonArgs::parse(CommonArgs {
@@ -22,20 +28,30 @@ fn main() {
     // half the torus, watch the reshaping.
     let paper = PaperScenario::reshaping_only(args.cols, args.rows, 20, 40);
     println!(
-        "Table II scenario: {}-node torus, failure at r=20, {} runs per K\n",
+        "Table II scenario on {}: {}-node torus, failure at r=20, {} runs per K\n",
+        args.substrate,
         paper.node_count(),
         args.runs
     );
-    let rows: Vec<ReshapingRow> = [2usize, 4, 8]
+    let rows: Vec<_> = [2usize, 4, 8]
         .iter()
-        .map(|&k| table2_row(&paper, k, SplitStrategy::Advanced, args.runs, args.seed))
+        .map(|&k| {
+            table2_row(
+                args.substrate,
+                &paper,
+                k,
+                SplitStrategy::Advanced,
+                args.runs,
+                &args.lab_config(SplitStrategy::Advanced),
+            )
+        })
         .collect();
     println!(
         "{}",
         render_reshaping_table(
             &format!(
-                "Table II — reshaping time and reliability ({}×{} torus)",
-                args.cols, args.rows
+                "Table II — reshaping time and reliability ({}×{} torus, {})",
+                args.cols, args.rows, args.substrate
             ),
             &rows
         )

@@ -9,17 +9,30 @@
 //! --runs N        repeated seeded runs  (paper: 25)
 //! --k N           replication factor    (paper: 2, 4 or 8)
 //! --seed N        base seed
-//! --out DIR       CSV output directory  (default: target/experiments)
+//! --out DIR       CSV/JSON output dir   (default: target/experiments)
+//! --substrate S   execution substrate: engine|netsim|cluster|tcp
 //! ```
+//!
+//! The figure benches drive whatever `--substrate` names through the
+//! unified experiment plane (`polystyrene-lab`): one `Substrate` seam,
+//! one scenario driver, one observation record — so every scenario runs
+//! on every substrate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use polystyrene::prelude::SplitStrategy;
+use polystyrene::prelude::{PolystyreneConfig, SplitStrategy};
+use polystyrene_lab::{
+    build_substrate, run_experiment, ExperimentSummary, LabConfig, SubstrateKind,
+};
 use polystyrene_sim::prelude::*;
-use polystyrene_space::stats::ci95;
-use std::collections::HashMap;
+use polystyrene_space::stats::{ci95, ConfidenceInterval, SeriesAccumulator};
+use polystyrene_space::torus::Torus2;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use polystyrene_lab::json_f64;
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Clone, Debug)]
@@ -34,8 +47,14 @@ pub struct CommonArgs {
     pub k: usize,
     /// Base seed.
     pub seed: u64,
-    /// Output directory for CSV dumps.
+    /// Output directory for CSV/JSON dumps.
     pub out: PathBuf,
+    /// Execution substrate the figure runs on (`--substrate`;
+    /// out-of-vocabulary values are rejected at parse time).
+    pub substrate: SubstrateKind,
+    /// Whether `--substrate` was passed explicitly (binaries whose
+    /// default substrate is figure-specific check this).
+    pub substrate_given: bool,
     /// Base link latency in simulated ticks (`--net-latency`; netsim
     /// substrate only).
     pub net_latency: u64,
@@ -53,13 +72,14 @@ pub struct CommonArgs {
 }
 
 /// The flags every experiment binary accepts.
-const COMMON_KEYS: [&str; 10] = [
+const COMMON_KEYS: [&str; 11] = [
     "cols",
     "rows",
     "runs",
     "k",
     "seed",
     "out",
+    "substrate",
     "net-latency",
     "net-jitter",
     "net-loss",
@@ -75,6 +95,8 @@ impl Default for CommonArgs {
             k: 4,
             seed: 1,
             out: PathBuf::from("target/experiments"),
+            substrate: SubstrateKind::Engine,
+            substrate_given: false,
             net_latency: 2,
             net_jitter: 1,
             net_loss: 0.0,
@@ -104,12 +126,14 @@ impl CommonArgs {
     ///
     /// Unknown flags are rejected with a usage message listing every
     /// accepted one — a typo like `--max-node` must fail loudly instead
-    /// of silently sweeping with defaults.
+    /// of silently sweeping with defaults. So must a *repeated* flag:
+    /// last-one-wins silently discarded half of a sweep script's intent
+    /// when a line was copy-pasted and only one occurrence edited.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments or unknown
-    /// flags.
+    /// Panics with a usage message on malformed arguments, unknown
+    /// flags, or duplicate occurrences of the same flag.
     pub fn parse_with(defaults: CommonArgs, extra_keys: &[&str]) -> Self {
         Self::parse_argv(defaults, extra_keys, std::env::args().skip(1).collect())
     }
@@ -125,6 +149,7 @@ impl CommonArgs {
             format!("accepted flags (each takes a value): {}", keys.join(" "))
         };
         let mut args = defaults;
+        let mut seen: HashSet<String> = HashSet::new();
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i]
@@ -134,6 +159,11 @@ impl CommonArgs {
                 .get(i + 1)
                 .unwrap_or_else(|| panic!("missing value for --{key}\n{}", usage()))
                 .clone();
+            assert!(
+                seen.insert(key.to_string()),
+                "duplicate flag --{key} (each flag may appear once)\n{}",
+                usage()
+            );
             match key {
                 "cols" => args.cols = value.parse().expect("--cols expects an integer"),
                 "rows" => args.rows = value.parse().expect("--rows expects an integer"),
@@ -141,6 +171,12 @@ impl CommonArgs {
                 "k" => args.k = value.parse().expect("--k expects an integer"),
                 "seed" => args.seed = value.parse().expect("--seed expects an integer"),
                 "out" => args.out = PathBuf::from(value),
+                "substrate" => {
+                    args.substrate = value
+                        .parse()
+                        .unwrap_or_else(|e: String| panic!("{e}\n{}", usage()));
+                    args.substrate_given = true;
+                }
                 "net-latency" => {
                     args.net_latency = value.parse().expect("--net-latency expects an integer")
                 }
@@ -199,14 +235,29 @@ impl CommonArgs {
             loss: self.net_loss,
         }
     }
+
+    /// The substrate-agnostic lab configuration for these args: K and
+    /// split applied to the protocol, the `--net-*` link profile
+    /// installed, area left at the grid's surface.
+    pub fn lab_config(&self, split: SplitStrategy) -> LabConfig {
+        let mut cfg = LabConfig::default();
+        cfg.poly = PolystyreneConfig::builder()
+            .replication(self.k)
+            .split(split)
+            .build();
+        cfg.seed = self.seed;
+        cfg.area = (self.cols * self.rows) as f64;
+        cfg.link = self.link_profile();
+        cfg
+    }
 }
 
-/// The engine configuration used by all experiments unless overridden:
-/// paper parameters, with the replication factor and split strategy
-/// applied on top.
+/// The engine configuration used by engine-specific experiments unless
+/// overridden: paper parameters, with the replication factor and split
+/// strategy applied on top.
 pub fn experiment_config(k: usize, split: SplitStrategy, seed: u64) -> EngineConfig {
     let mut cfg = EngineConfig::default();
-    cfg.poly = polystyrene::prelude::PolystyreneConfig::builder()
+    cfg.poly = PolystyreneConfig::builder()
         .replication(k)
         .split(split)
         .build();
@@ -214,7 +265,58 @@ pub fn experiment_config(k: usize, split: SplitStrategy, seed: u64) -> EngineCon
     cfg
 }
 
-/// Runs the three-phase paper scenario for one `(stack, K)` configuration.
+/// Which protocol stack a comparison run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackKind {
+    /// The full stack: Polystyrene over T-Man over RPS.
+    Polystyrene,
+    /// T-Man alone (the paper's baseline): equivalent to Polystyrene with
+    /// migration, backup and recovery disabled. Engine-only.
+    TManOnly,
+}
+
+/// Aggregated engine series of repeated runs — the per-round curves of
+/// the quality/overhead figures (6 and 7), which need the
+/// engine-internal metrics (proximity, cost split) on top of the
+/// unified observations. The driving still goes through the one lab
+/// code path; only the series extraction reads the engine history.
+#[derive(Clone, Debug, Default)]
+pub struct QualityResult {
+    /// Per-round homogeneity across runs.
+    pub homogeneity: SeriesAccumulator,
+    /// Per-round proximity across runs.
+    pub proximity: SeriesAccumulator,
+    /// Per-round stored points per node across runs.
+    pub points_per_node: SeriesAccumulator,
+    /// Per-round message cost per node across runs.
+    pub cost_per_node: SeriesAccumulator,
+    /// Per-round reference homogeneity (population-driven, identical
+    /// across runs with the same scenario).
+    pub reference_homogeneity: Vec<f64>,
+    /// Reshaping time of each run that reshaped, in rounds.
+    pub reshaping_times: Vec<f64>,
+    /// Number of runs that never reshaped within the scenario.
+    pub unreshaped_runs: usize,
+    /// Reliability of each run.
+    pub reliabilities: Vec<f64>,
+}
+
+impl QualityResult {
+    /// Mean ± CI95 of the reshaping time (over runs that reshaped).
+    pub fn reshaping_ci(&self) -> ConfidenceInterval {
+        ci95(&self.reshaping_times)
+    }
+
+    /// Mean ± CI95 of the reliability, in percent (Table II convention).
+    pub fn reliability_percent_ci(&self) -> ConfidenceInterval {
+        let percents: Vec<f64> = self.reliabilities.iter().map(|r| r * 100.0).collect();
+        ci95(&percents)
+    }
+}
+
+/// Runs the three-phase paper scenario for one `(stack, K)`
+/// configuration on the cycle engine, `runs` times with consecutive
+/// seeds, through the unified scenario driver.
 pub fn run_quality(
     paper: &PaperScenario,
     stack: StackKind,
@@ -222,62 +324,168 @@ pub fn run_quality(
     split: SplitStrategy,
     runs: usize,
     seed: u64,
-) -> ExperimentResult {
-    run_paper_experiment(
-        paper,
-        experiment_config(k, split, seed),
-        stack,
-        runs,
-        |_| {},
-    )
+) -> QualityResult {
+    let mut result = QualityResult::default();
+    let (w, h) = paper.extents();
+    for run in 0..runs {
+        let mut config = experiment_config(k, split, seed + run as u64);
+        config.area = paper.area();
+        let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), config);
+        if stack == StackKind::TManOnly {
+            engine.disable_polystyrene();
+        }
+        let trace = polystyrene_lab::run_experiment(&mut engine, &paper.script());
+        let metrics = engine.history();
+        result
+            .homogeneity
+            .push_run(metrics.iter().map(|m| m.homogeneity).collect());
+        result
+            .proximity
+            .push_run(metrics.iter().map(|m| m.proximity).collect());
+        result
+            .points_per_node
+            .push_run(metrics.iter().map(|m| m.points_per_node).collect());
+        result
+            .cost_per_node
+            .push_run(metrics.iter().map(|m| m.cost_per_node).collect());
+        if result.reference_homogeneity.len() < metrics.len() {
+            result.reference_homogeneity =
+                metrics.iter().map(|m| m.reference_homogeneity).collect();
+        }
+        match trace.reshaping_rounds() {
+            Some(t) => result.reshaping_times.push(f64::from(t)),
+            None => result.unreshaped_runs += 1,
+        }
+        result.reliabilities.push(trace.reliability());
+    }
+    result
+}
+
+/// Runs `paper`'s script `runs` times with consecutive seeds on the
+/// given substrate and aggregates the unified observations — the
+/// workhorse behind every reshaping table and every `--substrate`
+/// sweep.
+pub fn run_summary(
+    kind: SubstrateKind,
+    paper: &PaperScenario,
+    base: &LabConfig,
+    runs: usize,
+) -> ExperimentSummary {
+    let (w, h) = paper.extents();
+    let mut summary = ExperimentSummary::default();
+    for run in 0..runs {
+        let mut cfg = *base;
+        cfg.seed = base.seed + run as u64;
+        cfg.area = paper.area();
+        let mut substrate = build_substrate(kind, Torus2::new(w, h), paper.shape(), &cfg);
+        let trace = run_experiment(substrate.as_mut(), &paper.script());
+        summary.push(&trace);
+    }
+    summary
+}
+
+/// One row of the Table II / Fig. 10 reshaping-time sweeps.
+#[derive(Clone, Debug)]
+pub struct ReshapingRow {
+    /// Label of the row (e.g. "K=4" or a network size).
+    pub label: String,
+    /// Number of founding nodes.
+    pub nodes: usize,
+    /// Reshaping time mean ± CI95 (rounds).
+    pub reshaping: ConfidenceInterval,
+    /// Runs that never reshaped.
+    pub unreshaped: usize,
+    /// Reliability mean ± CI95 (percent).
+    pub reliability: ConfidenceInterval,
+    /// Wall clock spent producing this row (all its runs).
+    pub elapsed: Duration,
+}
+
+impl ReshapingRow {
+    /// Builds a row from a lab summary.
+    pub fn from_summary(
+        label: String,
+        nodes: usize,
+        summary: &ExperimentSummary,
+        elapsed: Duration,
+    ) -> Self {
+        Self {
+            label,
+            nodes,
+            reshaping: summary.reshaping_ci(),
+            unreshaped: summary.unreshaped_runs(),
+            reliability: summary.reliability_percent_ci(),
+            elapsed,
+        }
+    }
 }
 
 /// Produces one Table II row: reshaping time and reliability for a given
-/// K over `runs` repetitions of the failure-only scenario.
+/// K over `runs` repetitions of the failure-only scenario, on the given
+/// substrate. `base` supplies everything but K and the split — seed,
+/// link profile, tick — so the `--net-*` flags reach the substrates
+/// that honor them instead of being silently dropped.
 pub fn table2_row(
+    kind: SubstrateKind,
     paper: &PaperScenario,
     k: usize,
     split: SplitStrategy,
     runs: usize,
-    seed: u64,
+    base: &LabConfig,
 ) -> ReshapingRow {
-    let result = run_quality(paper, StackKind::Polystyrene, k, split, runs, seed);
-    ReshapingRow {
-        label: format!("K={k}"),
-        nodes: paper.node_count(),
-        reshaping: result.reshaping_ci(),
-        unreshaped: result.unreshaped_runs,
-        reliability: result.reliability_percent_ci(),
-    }
+    let mut cfg = *base;
+    cfg.poly = PolystyreneConfig::builder()
+        .replication(k)
+        .split(split)
+        .build();
+    let started = Instant::now();
+    let summary = run_summary(kind, paper, &cfg, runs);
+    ReshapingRow::from_summary(
+        format!("K={k}"),
+        paper.node_count(),
+        &summary,
+        started.elapsed(),
+    )
 }
 
 /// The reshaping-time sweep of Fig. 10: one row per network size for a
-/// fixed K and split strategy. `sizes` are `(cols, rows)` grid shapes.
+/// fixed K and split strategy, on the given substrate. `sizes` are
+/// `(cols, rows)` grid shapes; `base` supplies seed, link profile and
+/// tick (K and split override its protocol parameters). Each row
+/// carries its wall-clock cost, so observation-path performance
+/// regressions show up in the sweep output itself.
 pub fn scaling_sweep(
+    kind: SubstrateKind,
     sizes: &[(usize, usize)],
     k: usize,
     split: SplitStrategy,
     runs: usize,
-    seed: u64,
+    base: &LabConfig,
     tail_rounds: u32,
 ) -> Vec<ReshapingRow> {
     sizes
         .iter()
         .map(|&(cols, rows)| {
             let paper = PaperScenario::reshaping_only(cols, rows, 20, tail_rounds);
-            let result = run_quality(&paper, StackKind::Polystyrene, k, split, runs, seed);
-            ReshapingRow {
-                label: format!("{} nodes", cols * rows),
-                nodes: cols * rows,
-                reshaping: result.reshaping_ci(),
-                unreshaped: result.unreshaped_runs,
-                reliability: result.reliability_percent_ci(),
-            }
+            let mut cfg = *base;
+            cfg.poly = PolystyreneConfig::builder()
+                .replication(k)
+                .split(split)
+                .build();
+            let started = Instant::now();
+            let summary = run_summary(kind, &paper, &cfg, runs);
+            ReshapingRow::from_summary(
+                format!("{} nodes", cols * rows),
+                cols * rows,
+                &summary,
+                started.elapsed(),
+            )
         })
         .collect()
 }
 
-/// Formats a [`ReshapingRow`] table in the paper's Table II layout.
+/// Formats a [`ReshapingRow`] table in the paper's Table II layout,
+/// plus the wall-clock column of the sweep harness.
 pub fn render_reshaping_table(title: &str, rows: &[ReshapingRow]) -> String {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
@@ -297,6 +505,7 @@ pub fn render_reshaping_table(title: &str, rows: &[ReshapingRow]) -> String {
                     "{:.2} ± {:.2}",
                     r.reliability.mean, r.reliability.half_width
                 ),
+                format!("{:.2}", r.elapsed.as_secs_f64()),
             ]
         })
         .collect();
@@ -307,6 +516,7 @@ pub fn render_reshaping_table(title: &str, rows: &[ReshapingRow]) -> String {
             "nodes",
             "reshaping time (rounds)",
             "reliability (%)",
+            "wall (s)",
         ],
         &table_rows,
     )
@@ -333,8 +543,8 @@ pub fn scaling_sizes(max_nodes: usize) -> Vec<(usize, usize)> {
     .collect()
 }
 
-/// Summarizes an experiment's headline numbers for terminal output.
-pub fn summarize(result: &ExperimentResult, label: &str) -> String {
+/// Summarizes a quality run's headline numbers for terminal output.
+pub fn summarize(result: &QualityResult, label: &str) -> String {
     let reshaping = result.reshaping_ci();
     let reliability = result.reliability_percent_ci();
     let final_h = result
@@ -358,24 +568,6 @@ pub fn steady_state(series: &[f64], n: usize) -> f64 {
     ci95(tail).mean
 }
 
-/// A float as a JSON number token, with `precision` fractional digits —
-/// or the JSON literal `null` when the value is not finite.
-///
-/// The experiment binaries hand-roll their JSON (the serde shim has no
-/// serialization machinery, by design), and `format!("{v:.6}")` happily
-/// prints `NaN` or `inf` for the degenerate sweeps that produce them
-/// (an empty cluster's infinite homogeneity, a 0-run mean) — which is
-/// not JSON, and silently breaks every `BENCH_*.json` consumer
-/// downstream. Every hand-rolled emitter must route floats through
-/// here.
-pub fn json_f64(v: f64, precision: usize) -> String {
-    if v.is_finite() {
-        format!("{v:.precision$}")
-    } else {
-        "null".to_string()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +584,63 @@ mod tests {
         );
         assert_eq!(args.cols, 8);
         assert_eq!(args.extra_usize("max-nodes", 0), 400);
+        assert!(!args.substrate_given);
+    }
+
+    #[test]
+    fn parse_argv_accepts_every_substrate() {
+        for (name, kind) in [
+            ("engine", SubstrateKind::Engine),
+            ("netsim", SubstrateKind::Netsim),
+            ("cluster", SubstrateKind::Cluster),
+            ("tcp", SubstrateKind::Tcp),
+        ] {
+            let args = CommonArgs::parse_argv(
+                CommonArgs::default(),
+                &[],
+                vec!["--substrate".to_string(), name.to_string()],
+            );
+            assert_eq!(args.substrate, kind);
+            assert!(args.substrate_given);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown substrate \"engien\"")]
+    fn parse_argv_rejects_unknown_substrate() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--substrate".to_string(), "engien".to_string()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flag --seed")]
+    fn parse_argv_rejects_duplicate_flags() {
+        // Last-one-wins used to hide the copy-paste typo here: the
+        // second --seed silently overrode the first.
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--seed", "1", "--cols", "8", "--seed", "2"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flag --max-nodes")]
+    fn parse_argv_rejects_duplicate_extra_flags() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &["max-nodes"],
+            vec!["--max-nodes", "400", "--max-nodes", "800"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        );
     }
 
     #[test]
@@ -467,6 +716,31 @@ mod tests {
     }
 
     #[test]
+    fn lab_config_carries_k_split_and_link() {
+        let args = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec![
+                "--k",
+                "8",
+                "--cols",
+                "10",
+                "--rows",
+                "10",
+                "--net-loss",
+                "0.2",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        );
+        let cfg = args.lab_config(SplitStrategy::Advanced);
+        assert_eq!(cfg.poly.replication, 8);
+        assert_eq!(cfg.area, 100.0);
+        assert!((cfg.link.loss - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
     fn scaling_sizes_filtered_and_sorted() {
         let sizes = scaling_sizes(3200);
         assert_eq!(sizes.first(), Some(&(10, 10)));
@@ -497,7 +771,6 @@ mod tests {
 
     #[test]
     fn reshaping_table_renders_unreshaped_marker() {
-        use polystyrene_space::stats::ConfidenceInterval;
         let rows = vec![ReshapingRow {
             label: "K=2".into(),
             nodes: 100,
@@ -512,16 +785,64 @@ mod tests {
                 half_width: 1.0,
                 n: 3,
             },
+            elapsed: Duration::from_millis(1234),
         }];
         let t = render_reshaping_table("T", &rows);
         assert!(t.contains("never reshaped"));
+        assert!(t.contains("wall (s)"));
+        assert!(t.contains("1.23"));
     }
 
     #[test]
     fn tiny_end_to_end_table2_row() {
         let paper = PaperScenario::reshaping_only(12, 6, 8, 25);
-        let row = table2_row(&paper, 3, SplitStrategy::Advanced, 2, 1);
+        let row = table2_row(
+            SubstrateKind::Engine,
+            &paper,
+            3,
+            SplitStrategy::Advanced,
+            2,
+            &LabConfig::default(),
+        );
         assert_eq!(row.nodes, 72);
         assert!(row.reliability.mean > 70.0);
+    }
+
+    #[test]
+    fn tiny_quality_run_aggregates() {
+        let paper = PaperScenario {
+            cols: 12,
+            rows: 6,
+            step: 1.0,
+            failure_round: 10,
+            inject_round: None,
+            total_rounds: 30,
+        };
+        let result = run_quality(
+            &paper,
+            StackKind::Polystyrene,
+            3,
+            SplitStrategy::Advanced,
+            2,
+            1,
+        );
+        assert_eq!(result.homogeneity.run_count(), 2);
+        assert_eq!(result.homogeneity.rounds(), 30);
+        assert_eq!(result.reference_homogeneity.len(), 30);
+        assert_eq!(result.reliabilities.len(), 2);
+        assert_eq!(result.reshaping_times.len() + result.unreshaped_runs, 2);
+        assert!(result.unreshaped_runs == 0, "tiny torus must reshape");
+        // The baseline heals links but the shape is lost for good.
+        let tman = run_quality(
+            &paper,
+            StackKind::TManOnly,
+            3,
+            SplitStrategy::Advanced,
+            1,
+            1,
+        );
+        assert_eq!(tman.reshaping_times.len(), 0);
+        assert_eq!(tman.unreshaped_runs, 1);
+        assert!(tman.reliability_percent_ci().mean < 60.0);
     }
 }

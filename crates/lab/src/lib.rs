@@ -1,0 +1,62 @@
+//! One experiment plane over every execution substrate.
+//!
+//! The reproduction grew four ways to execute the same protocol stack —
+//! the cycle engine (`polystyrene-sim`), the discrete-event network
+//! kernel (`polystyrene-netsim`), the threaded in-process cluster
+//! (`polystyrene-runtime`) and the TCP deployment
+//! (`polystyrene-transport`) — precisely to test the paper's core claim
+//! (conf_icdcs_BougetKKT14): the self-organizing shape survives the
+//! *same* failure scenarios regardless of how messages move. This crate
+//! is the plane that makes the claim checkable by construction:
+//!
+//! * [`Substrate`] — the one seam (kill / inject / partition / step /
+//!   observe) all four backends implement;
+//! * [`build_substrate`] — the `--substrate engine|netsim|cluster|tcp`
+//!   switchboard behind every experiment binary;
+//! * [`run_experiment`] — the single scenario driver (churn windows,
+//!   partition masks, failure bookkeeping) producing an
+//!   [`ExperimentTrace`] of unified
+//!   [`polystyrene_protocol::RoundObservation`]s;
+//! * [`ExperimentSummary`] / [`summary_json`] — streaming
+//!   min/mean/max aggregation over repeated seeded runs and the one
+//!   hand-rolled JSON emitter every `BENCH_*.json` artifact shares.
+//!
+//! Scenario × substrate composes freely: any script written in
+//! [`polystyrene_protocol::Scenario`] runs unchanged on anything
+//! [`build_substrate`] returns.
+//!
+//! # Example: the same script on two substrates
+//!
+//! ```
+//! use polystyrene_lab::{build_substrate, run_experiment, LabConfig, SubstrateKind};
+//! use polystyrene_protocol::{Scenario, ScenarioEvent};
+//! use polystyrene_space::prelude::*;
+//!
+//! let scenario: Scenario<[f64; 2]> =
+//!     Scenario::new(4).at(1, ScenarioEvent::FailNodes(vec![1.into(), 2.into()]));
+//! let mut cfg = LabConfig::default();
+//! cfg.area = 16.0;
+//! for kind in [SubstrateKind::Engine, SubstrateKind::Netsim] {
+//!     let mut substrate = build_substrate(
+//!         kind,
+//!         Torus2::new(4.0, 4.0),
+//!         shapes::torus_grid(4, 4, 1.0),
+//!         &cfg,
+//!     );
+//!     let trace = run_experiment(substrate.as_mut(), &scenario);
+//!     assert_eq!(trace.populations(), vec![16, 14, 14, 14]);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod substrate;
+
+pub use experiment::{
+    json_f64, run_experiment, summary_json, ExperimentSummary, ExperimentTrace, RoundStat,
+    SeriesStats,
+};
+pub use polystyrene_protocol::observe::RoundObservation;
+pub use substrate::{build_substrate, LabConfig, LiveSubstrate, Substrate, SubstrateKind};

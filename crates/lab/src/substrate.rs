@@ -1,0 +1,534 @@
+//! The one seam every execution substrate stands behind.
+//!
+//! [`Substrate`] collapses the two parallel seams the repository grew —
+//! the deterministic simulators' `ScenarioSubstrate` and the live
+//! clusters' `ClusterHarness` — into a single trait: kill, inject,
+//! partition, step, observe. The cycle engine and the discrete-event
+//! kernel implement it directly; the wall-clock deployments plug in
+//! through [`LiveSubstrate`], which owns the round bookkeeping
+//! (tick targets, victim entropy) that asynchronous clusters need and
+//! deterministic simulators don't.
+//!
+//! [`build_substrate`] is the `scenario × substrate` switchboard: given
+//! a [`SubstrateKind`] and one [`LabConfig`], it returns any of the four
+//! backends behind `Box<dyn Substrate>`, so every experiment binary and
+//! every cross-substrate test is one `--substrate` flag away from
+//! running on a different execution model.
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_membership::NodeId;
+use polystyrene_netsim::{NetSim, NetSimConfig};
+use polystyrene_protocol::codec::PointCodec;
+use polystyrene_protocol::observe::RoundObservation;
+use polystyrene_protocol::scenario::select_victims;
+use polystyrene_protocol::LinkProfile;
+use polystyrene_runtime::{Cluster, RuntimeConfig};
+use polystyrene_sim::engine::{Engine, EngineConfig};
+use polystyrene_sim::metrics::RoundMetrics;
+use polystyrene_space::torus::Torus2;
+use polystyrene_space::MetricSpace;
+use polystyrene_topology::TManConfig;
+use polystyrene_transport::{TcpCluster, TcpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// What a scenario needs from an execution substrate — implemented by
+/// all four backends, so failure injection, observation and round
+/// advancement have exactly one meaning across the whole matrix.
+pub trait Substrate<P> {
+    /// Crashes every alive founding node whose original data point
+    /// satisfies `predicate`; returns the crashed ids.
+    fn kill_region(&mut self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId>;
+    /// Crashes a uniformly random `fraction` of the alive population;
+    /// returns the crashed ids.
+    fn kill_fraction(&mut self, fraction: f64) -> Vec<NodeId>;
+    /// Crashes these specific nodes (dead ones are skipped); returns the
+    /// ids actually crashed.
+    fn kill_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId>;
+    /// Injects fresh, empty nodes at `positions`; returns the new ids.
+    fn inject(&mut self, positions: &[P]) -> Vec<NodeId>;
+    /// Installs a network partition
+    /// (see [`polystyrene_protocol::ScenarioEvent::Partition`]).
+    /// Default: no-op, for substrates without a network fabric to cut —
+    /// the cycle engine's atomic exchanges and the live clusters'
+    /// reliable channels cannot model one.
+    fn partition(&mut self, _groups: &[Vec<NodeId>]) {}
+    /// Heals a previously installed partition. Default: no-op.
+    fn heal(&mut self) {}
+    /// Runs one protocol round (one engine cycle, one event-kernel
+    /// round, or one tick-equivalent of wall-clock progress on a live
+    /// cluster) and returns the observation measured at its end.
+    fn step(&mut self) -> RoundObservation;
+    /// Measures the current state without advancing. On the
+    /// deterministic substrates this re-reads the last round's metrics
+    /// (or measures round zero) and consumes no entropy; on the live
+    /// clusters it snapshots the observation board.
+    fn observe(&self) -> RoundObservation;
+}
+
+fn engine_observation(m: &RoundMetrics) -> RoundObservation {
+    RoundObservation {
+        round: m.round,
+        alive_nodes: m.alive_nodes,
+        homogeneity: m.homogeneity,
+        reference_homogeneity: m.reference_homogeneity,
+        surviving_points: m.surviving_points,
+        points_per_node: m.points_per_node,
+        // Cycle exchanges are atomic: a handout is never parked.
+        parked_points: 0,
+        cost_units: m.cost_per_node,
+        ticks: u64::from(m.round),
+    }
+}
+
+impl<S: MetricSpace> Substrate<S::Point> for Engine<S> {
+    fn kill_region(
+        &mut self,
+        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
+    ) -> Vec<NodeId> {
+        self.fail_original_region(|p: &S::Point| predicate(p))
+    }
+
+    fn kill_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        self.fail_random_fraction(fraction)
+    }
+
+    fn kill_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+        let mut killed = Vec::new();
+        for &id in ids {
+            let was_alive = self.poly_state(id).is_some();
+            self.crash(id);
+            if was_alive {
+                killed.push(id);
+            }
+        }
+        killed
+    }
+
+    fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
+        Engine::inject(self, positions.to_vec())
+    }
+
+    fn step(&mut self) -> RoundObservation {
+        engine_observation(&Engine::step(self))
+    }
+
+    fn observe(&self) -> RoundObservation {
+        match self.history().last() {
+            Some(m) => engine_observation(m),
+            None => engine_observation(&self.compute_metrics()),
+        }
+    }
+}
+
+impl<S: MetricSpace> Substrate<S::Point> for NetSim<S> {
+    fn kill_region(
+        &mut self,
+        predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync),
+    ) -> Vec<NodeId> {
+        self.fail_original_region(predicate)
+    }
+
+    fn kill_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        self.fail_random_fraction(fraction)
+    }
+
+    fn kill_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+        ids.iter().copied().filter(|&id| self.crash(id)).collect()
+    }
+
+    fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
+        NetSim::inject(self, positions.to_vec())
+    }
+
+    fn partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.network_mut().set_partition(groups);
+    }
+
+    fn heal(&mut self) {
+        self.network_mut().heal();
+    }
+
+    fn step(&mut self) -> RoundObservation {
+        net_observation(&NetSim::step(self))
+    }
+
+    fn observe(&self) -> RoundObservation {
+        match self.history().last() {
+            Some(m) => net_observation(m),
+            None => net_observation(&self.compute_metrics()),
+        }
+    }
+}
+
+fn net_observation(m: &polystyrene_netsim::NetRoundMetrics) -> RoundObservation {
+    RoundObservation {
+        round: m.round,
+        alive_nodes: m.alive_nodes,
+        homogeneity: m.homogeneity,
+        reference_homogeneity: m.reference_homogeneity,
+        surviving_points: m.surviving_points,
+        points_per_node: m.points_per_node,
+        parked_points: m.parked_points,
+        // The kernel counts messages, not paper cost units.
+        cost_units: 0.0,
+        ticks: u64::from(m.round),
+    }
+}
+
+/// What the [`LiveSubstrate`] adapter needs from a wall-clock cluster —
+/// the thin forwarding layer over the identical inherent APIs of the
+/// in-process [`Cluster`] and the TCP deployment, private to this crate
+/// so the public seam stays exactly one trait.
+trait LiveCluster<P> {
+    fn alive_ids(&self) -> Vec<NodeId>;
+    fn kill(&self, id: NodeId) -> bool;
+    fn kill_region(&self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId>;
+    fn inject(&self, position: P) -> NodeId;
+    fn await_ticks(&self, ticks: u64, max_wait: Duration);
+    fn observe(&self) -> RoundObservation;
+}
+
+impl<S: MetricSpace> LiveCluster<S::Point> for Cluster<S> {
+    fn alive_ids(&self) -> Vec<NodeId> {
+        Cluster::alive_ids(self)
+    }
+    fn kill(&self, id: NodeId) -> bool {
+        Cluster::kill(self, id)
+    }
+    fn kill_region(&self, predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync)) -> Vec<NodeId> {
+        Cluster::kill_region(self, |p: &S::Point| predicate(p))
+    }
+    fn inject(&self, position: S::Point) -> NodeId {
+        Cluster::inject(self, position)
+    }
+    fn await_ticks(&self, ticks: u64, max_wait: Duration) {
+        Cluster::await_ticks(self, ticks, max_wait);
+    }
+    fn observe(&self) -> RoundObservation {
+        Cluster::observe(self)
+    }
+}
+
+impl<S: MetricSpace> LiveCluster<S::Point> for TcpCluster<S>
+where
+    S::Point: PointCodec,
+{
+    fn alive_ids(&self) -> Vec<NodeId> {
+        TcpCluster::alive_ids(self)
+    }
+    fn kill(&self, id: NodeId) -> bool {
+        TcpCluster::kill(self, id)
+    }
+    fn kill_region(&self, predicate: &(dyn Fn(&S::Point) -> bool + Send + Sync)) -> Vec<NodeId> {
+        TcpCluster::kill_region(self, |p: &S::Point| predicate(p))
+    }
+    fn inject(&self, position: S::Point) -> NodeId {
+        TcpCluster::inject(self, position)
+    }
+    fn await_ticks(&self, ticks: u64, max_wait: Duration) {
+        TcpCluster::await_ticks(self, ticks, max_wait);
+    }
+    fn observe(&self) -> RoundObservation {
+        TcpCluster::observe(self)
+    }
+}
+
+/// A wall-clock deployment viewed as a [`Substrate`]: one scenario round
+/// is "every alive node has completed one more local tick", and victim
+/// selection for random-failure events draws from a seeded RNG owned
+/// here (node threads have their own entropy; this one only picks who
+/// dies).
+///
+/// Wall-clock asynchrony means live runs are *not* bit-reproducible
+/// (unlike the deterministic substrates): observations are one snapshot
+/// per round, for trend assertions rather than exact replay.
+pub struct LiveSubstrate<C> {
+    cluster: C,
+    rng: StdRng,
+    target_ticks: u64,
+    round_timeout: Duration,
+}
+
+impl<C> LiveSubstrate<C> {
+    /// Wraps a running cluster. `seed` drives victim selection for
+    /// random-failure and churn events; `round_timeout` bounds how long
+    /// one round may take (a safety valve: freshly injected nodes start
+    /// at tick zero and need wall-clock time to catch up).
+    pub fn new(cluster: C, seed: u64, round_timeout: Duration) -> Self {
+        Self {
+            cluster,
+            rng: StdRng::seed_from_u64(seed),
+            target_ticks: 0,
+            round_timeout,
+        }
+    }
+
+    /// The wrapped cluster (e.g. for transport-specific counters).
+    pub fn cluster(&self) -> &C {
+        &self.cluster
+    }
+
+    /// Unwraps the cluster.
+    pub fn into_inner(self) -> C {
+        self.cluster
+    }
+}
+
+impl<P: Clone, C: LiveCluster<P>> Substrate<P> for LiveSubstrate<C> {
+    fn kill_region(&mut self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId> {
+        self.cluster.kill_region(predicate)
+    }
+
+    fn kill_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        // Sorted first: alive_ids comes out of a HashMap, and the shared
+        // selection must shuffle a well-defined base order.
+        let mut alive = self.cluster.alive_ids();
+        alive.sort();
+        let mut victims = select_victims(alive, fraction, &mut self.rng);
+        victims.retain(|&id| self.cluster.kill(id));
+        victims
+    }
+
+    fn kill_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| self.cluster.kill(id))
+            .collect()
+    }
+
+    fn inject(&mut self, positions: &[P]) -> Vec<NodeId> {
+        positions
+            .iter()
+            .map(|p| self.cluster.inject(p.clone()))
+            .collect()
+    }
+
+    fn step(&mut self) -> RoundObservation {
+        self.target_ticks += 1;
+        self.cluster
+            .await_ticks(self.target_ticks, self.round_timeout);
+        let mut obs = self.cluster.observe();
+        obs.round = self.target_ticks as u32;
+        obs
+    }
+
+    fn observe(&self) -> RoundObservation {
+        let mut obs = self.cluster.observe();
+        obs.round = self.target_ticks as u32;
+        obs
+    }
+}
+
+/// The four execution substrates, as a value — what `--substrate`
+/// parses into and [`build_substrate`] dispatches on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SubstrateKind {
+    /// The cycle engine: atomic exchanges, bit-reproducible.
+    Engine,
+    /// The discrete-event network kernel: latency, loss, partitions —
+    /// deterministic *and* asynchronous.
+    Netsim,
+    /// The threaded in-process cluster: real asynchrony over channels.
+    Cluster,
+    /// The TCP deployment: framed codec bytes over loopback sockets.
+    Tcp,
+}
+
+impl SubstrateKind {
+    /// Every substrate, in canonical matrix order.
+    pub const ALL: [SubstrateKind; 4] = [
+        SubstrateKind::Engine,
+        SubstrateKind::Netsim,
+        SubstrateKind::Cluster,
+        SubstrateKind::Tcp,
+    ];
+
+    /// The flag-value name of this substrate.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubstrateKind::Engine => "engine",
+            SubstrateKind::Netsim => "netsim",
+            SubstrateKind::Cluster => "cluster",
+            SubstrateKind::Tcp => "tcp",
+        }
+    }
+
+    /// Whether this substrate honors a network model (loss, latency,
+    /// partitions).
+    pub fn has_network_model(self) -> bool {
+        !matches!(self, SubstrateKind::Engine)
+    }
+}
+
+impl std::fmt::Display for SubstrateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SubstrateKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "engine" => Ok(SubstrateKind::Engine),
+            "netsim" => Ok(SubstrateKind::Netsim),
+            "cluster" => Ok(SubstrateKind::Cluster),
+            "tcp" => Ok(SubstrateKind::Tcp),
+            other => Err(format!(
+                "unknown substrate {other:?}: expected engine, netsim, cluster or tcp"
+            )),
+        }
+    }
+}
+
+/// The substrate-agnostic slice of an experiment's configuration: the
+/// protocol parameters every backend applies, plus the knobs only some
+/// honor (documented per field). One value drives all four backends, so
+/// a `--substrate` sweep compares like with like.
+#[derive(Clone, Copy, Debug)]
+pub struct LabConfig {
+    /// Polystyrene parameters (K, split strategy, projection, …).
+    pub poly: PolystyreneConfig,
+    /// T-Man parameters.
+    pub tman: TManConfig,
+    /// Surface area of the data space, for the reference homogeneity.
+    pub area: f64,
+    /// Master seed: engine/netsim runs are bit-reproducible under it;
+    /// on the live substrates it seeds node entropy and victim
+    /// selection, but wall-clock scheduling still varies.
+    pub seed: u64,
+    /// Link faults. Netsim honors all of it; the live clusters honor
+    /// the loss probability at the send boundary; the cycle engine has
+    /// no fabric and ignores it.
+    pub link: LinkProfile,
+    /// Protocol tick of the live substrates (ignored by the
+    /// deterministic ones).
+    pub tick: Duration,
+    /// Per-round safety timeout of the live substrates.
+    pub round_timeout: Duration,
+    /// Run plain T-Man without the Polystyrene layer — the paper's
+    /// baseline. Only the cycle engine can switch the layer off.
+    pub tman_only: bool,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        Self {
+            poly: PolystyreneConfig::default(),
+            tman: TManConfig::default(),
+            area: 3200.0,
+            seed: 1,
+            link: LinkProfile::ideal(),
+            tick: Duration::from_millis(10),
+            round_timeout: Duration::from_secs(10),
+            tman_only: false,
+        }
+    }
+}
+
+impl LabConfig {
+    /// The live-cluster slice of this configuration — public so
+    /// harnesses that must construct a cluster concretely (e.g. to read
+    /// transport-specific counters) still share the one mapping.
+    pub fn runtime(&self) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::default();
+        cfg.tick = self.tick;
+        cfg.tman = self.tman;
+        cfg.poly = self.poly;
+        cfg.link = self.link;
+        cfg.seed = self.seed;
+        cfg.area = self.area;
+        cfg
+    }
+}
+
+/// Builds the requested execution substrate over a torus-grid shape —
+/// the switchboard behind every `--substrate` flag. The scenario then
+/// runs through [`crate::run_experiment`] identically on whatever this
+/// returns.
+///
+/// # Panics
+///
+/// Panics if `cfg.tman_only` is set for anything but the cycle engine
+/// (only the engine can switch the Polystyrene layer off), or if the
+/// underlying backend rejects the configuration.
+pub fn build_substrate(
+    kind: SubstrateKind,
+    space: Torus2,
+    shape: Vec<[f64; 2]>,
+    cfg: &LabConfig,
+) -> Box<dyn Substrate<[f64; 2]>> {
+    assert!(
+        !cfg.tman_only || kind == SubstrateKind::Engine,
+        "the T-Man-only baseline needs the cycle engine (--substrate engine)"
+    );
+    match kind {
+        SubstrateKind::Engine => {
+            let mut e = EngineConfig::default();
+            e.tman = cfg.tman;
+            e.poly = cfg.poly;
+            e.area = cfg.area;
+            e.seed = cfg.seed;
+            let mut engine = Engine::new(space, shape, e);
+            if cfg.tman_only {
+                engine.disable_polystyrene();
+            }
+            Box::new(engine)
+        }
+        SubstrateKind::Netsim => {
+            let mut n = NetSimConfig::default();
+            n.tman = cfg.tman;
+            n.poly = cfg.poly;
+            n.area = cfg.area;
+            n.seed = cfg.seed;
+            n.link = cfg.link;
+            Box::new(NetSim::new(space, shape, n))
+        }
+        SubstrateKind::Cluster => Box::new(LiveSubstrate::new(
+            Cluster::spawn(space, shape, cfg.runtime()),
+            cfg.seed,
+            cfg.round_timeout,
+        )),
+        SubstrateKind::Tcp => {
+            let mut t = TcpConfig::default();
+            t.runtime = cfg.runtime();
+            Box::new(LiveSubstrate::new(
+                TcpCluster::spawn(space, shape, t),
+                cfg.seed,
+                cfg.round_timeout,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_kind_round_trips_through_names() {
+        for kind in SubstrateKind::ALL {
+            assert_eq!(kind.name().parse::<SubstrateKind>().unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert!("enginee".parse::<SubstrateKind>().is_err());
+        assert!(!SubstrateKind::Engine.has_network_model());
+        assert!(SubstrateKind::Tcp.has_network_model());
+    }
+
+    #[test]
+    #[should_panic(expected = "T-Man-only baseline needs the cycle engine")]
+    fn tman_only_rejected_off_engine() {
+        let mut cfg = LabConfig::default();
+        cfg.tman_only = true;
+        let _ = build_substrate(
+            SubstrateKind::Netsim,
+            Torus2::new(4.0, 4.0),
+            polystyrene_space::shapes::torus_grid(4, 4, 1.0),
+            &cfg,
+        );
+    }
+}

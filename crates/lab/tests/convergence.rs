@@ -1,10 +1,10 @@
 //! Convergence of the threaded runtime, promoted from the old
 //! `probe_homogeneity` example into a real regression test: a live
-//! cluster driven through an event-free shared [`Scenario`] must settle
-//! into the paper's steady state — homogeneity near zero and stored
-//! points per node near `1 + K` — instead of the unbounded guest
-//! duplication the mailbox-starvation death spiral used to produce
-//! (points/node exploding past 100).
+//! cluster driven through an event-free shared [`Scenario`] on the
+//! unified experiment plane must settle into the paper's steady state —
+//! homogeneity near zero and stored points per node near `1 + K` —
+//! instead of the unbounded guest duplication the mailbox-starvation
+//! death spiral used to produce (points/node exploding past 100).
 //!
 //! Wall-clock caution: scheduler jitter can stretch a tick past the
 //! heartbeat timeout, causing *false* suspicion → spurious recovery →
@@ -16,38 +16,36 @@
 //! debug-build message handling headroom on a loaded CI box.
 
 use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_lab::{build_substrate, run_experiment, LabConfig, SubstrateKind};
 use polystyrene_protocol::Scenario;
-use polystyrene_runtime::{run_cluster_scenario, Cluster, RuntimeConfig};
+use polystyrene_space::prelude::*;
 use polystyrene_space::shapes;
-use polystyrene_space::torus::Torus2;
 use std::time::Duration;
 
 #[test]
 fn cluster_settles_at_one_plus_k_points_per_node() {
     let (cols, rows) = (8usize, 4usize);
     let k = 4;
-    let mut config = RuntimeConfig::default();
-    config.tick = Duration::from_millis(8);
-    config.poly = PolystyreneConfig::builder().replication(k).build();
-    let cluster = Cluster::spawn(
+    let mut cfg = LabConfig::default();
+    cfg.area = (cols * rows) as f64;
+    cfg.tick = Duration::from_millis(8);
+    cfg.poly = PolystyreneConfig::builder().replication(k).build();
+    let mut substrate = build_substrate(
+        SubstrateKind::Cluster,
         Torus2::new(cols as f64, rows as f64),
         shapes::torus_grid(cols, rows, 1.0),
-        config,
+        &cfg,
     );
 
-    // 60 event-free rounds through the shared scenario driver.
+    // 60 event-free rounds through the unified experiment driver.
     let scenario: Scenario<[f64; 2]> = Scenario::new(60);
-    let observations = run_cluster_scenario(&cluster, &scenario, Duration::from_secs(10), 1);
-    assert_eq!(observations.len(), 60);
+    let trace = run_experiment(substrate.as_mut(), &scenario);
+    assert_eq!(trace.observations.len(), 60);
 
     // Nobody died, nothing was lost, and the cluster made progress.
-    let last = observations.last().unwrap();
+    let last = trace.final_observation().unwrap();
     assert_eq!(last.alive_nodes, cols * rows);
-    assert!(
-        last.min_ticks >= 60,
-        "cluster stalled at {} ticks",
-        last.min_ticks
-    );
+    assert!(last.ticks >= 60, "cluster stalled at {} ticks", last.ticks);
     assert!(
         last.surviving_points >= 0.95,
         "points vanished: {}",
@@ -56,7 +54,7 @@ fn cluster_settles_at_one_plus_k_points_per_node() {
 
     // Steady state over the tail window (a single snapshot can catch
     // points mid-migration or a transient post-recovery replica spike).
-    let tail = &observations[30..];
+    let tail = &trace.observations[30..];
     let best_homogeneity = tail
         .iter()
         .map(|o| o.homogeneity)
@@ -80,5 +78,4 @@ fn cluster_settles_at_one_plus_k_points_per_node() {
         best_points < 2.0 * (1 + k) as f64,
         "stored points ran away: window minimum {best_points} per node"
     );
-    cluster.shutdown();
 }

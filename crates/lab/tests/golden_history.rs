@@ -2,13 +2,15 @@
 //!
 //! The fingerprints below were captured from the engine as it existed
 //! *before* the protocol stack was extracted into `polystyrene-protocol`
-//! (the monolithic `rps_phase`/`tman_phase`/… implementation). The
-//! refactored engine must reproduce every `RoundMetrics` field of the
-//! paper's three-phase scenario bit for bit — same seeds, same shim rand
-//! stream, same activation orders, same cost accounting. Any change to
-//! the protocol core or the engine driver that shifts a single RNG draw
-//! or reorders one exchange shows up here.
+//! (the monolithic `rps_phase`/`tman_phase`/… implementation), and have
+//! survived every refactor since — including the move onto the unified
+//! experiment plane: `run_experiment` must consume entropy in exactly
+//! the order the engine's original scenario driver did. Any change to
+//! the protocol core, the engine driver, the measurement pass, or the
+//! lab driver that shifts a single RNG draw or reorders one exchange
+//! shows up here.
 
+use polystyrene_lab::run_experiment;
 use polystyrene_sim::prelude::*;
 use polystyrene_space::prelude::*;
 
@@ -53,7 +55,8 @@ fn paper_history(seed: u64) -> Vec<RoundMetrics> {
     cfg.tman.m = 10;
     let (w, h) = paper.extents();
     let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
-    run_scenario(&mut engine, &paper.script())
+    run_experiment(&mut engine, &paper.script());
+    engine.history().to_vec()
 }
 
 #[test]

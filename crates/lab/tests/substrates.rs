@@ -1,0 +1,258 @@
+//! Scenario execution per substrate, through the one driver — the
+//! tests that used to live next to each per-substrate scenario module,
+//! now parameterized over the unified seam wherever the assertion is
+//! substrate-agnostic.
+
+use polystyrene::prelude::PolystyreneConfig;
+use polystyrene_lab::{build_substrate, run_experiment, LabConfig, Substrate, SubstrateKind};
+use polystyrene_membership::NodeId;
+use polystyrene_netsim::{NetRoundMetrics, NetSim, NetSimConfig};
+use polystyrene_protocol::{PaperScenario, Scenario, ScenarioEvent};
+use polystyrene_sim::prelude::*;
+use polystyrene_space::prelude::*;
+use polystyrene_space::shapes;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_lab_config(seed: u64) -> LabConfig {
+    let p = PaperScenario::small();
+    let mut cfg = LabConfig::default();
+    cfg.area = p.area();
+    cfg.seed = seed;
+    cfg.tman.view_cap = 30;
+    cfg.tman.m = 10;
+    cfg
+}
+
+fn small_substrate(kind: SubstrateKind, seed: u64) -> Box<dyn Substrate<[f64; 2]>> {
+    let p = PaperScenario::small();
+    let (w, h) = p.extents();
+    build_substrate(
+        kind,
+        Torus2::new(w, h),
+        shapes::torus_grid(p.cols, p.rows, 1.0),
+        &small_lab_config(seed),
+    )
+}
+
+#[test]
+fn paper_script_population_arithmetic_on_deterministic_substrates() {
+    let p = PaperScenario::small();
+    for kind in [SubstrateKind::Engine, SubstrateKind::Netsim] {
+        let mut substrate = small_substrate(kind, 1);
+        let trace = run_experiment(substrate.as_mut(), &p.script());
+        let alive = trace.populations();
+        assert_eq!(alive.len(), p.total_rounds as usize, "{kind}");
+        assert_eq!(alive[(p.failure_round - 1) as usize], 200, "{kind}");
+        assert_eq!(alive[p.failure_round as usize], 100, "{kind}");
+        let ir = p.inject_round.expect("small scenario has phase 3") as usize;
+        assert_eq!(alive[ir], 200, "{kind}");
+    }
+}
+
+#[test]
+fn churn_window_drains_population_identically() {
+    let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
+        2,
+        ScenarioEvent::Churn {
+            rate: 0.1,
+            rounds: 3,
+        },
+    );
+    for kind in [SubstrateKind::Engine, SubstrateKind::Netsim] {
+        let mut substrate = small_substrate(kind, 4);
+        let trace = run_experiment(substrate.as_mut(), &scenario);
+        assert_eq!(
+            trace.populations(),
+            vec![200, 200, 180, 162, 146, 146],
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn fail_nodes_event_applies_on_the_engine() {
+    let mut substrate = small_substrate(SubstrateKind::Engine, 2);
+    let scenario: Scenario<[f64; 2]> = Scenario::new(3).at(
+        1,
+        ScenarioEvent::FailNodes(vec![NodeId::new(0), NodeId::new(1)]),
+    );
+    let trace = run_experiment(substrate.as_mut(), &scenario);
+    assert_eq!(trace.populations(), vec![200, 198, 198]);
+}
+
+#[test]
+fn region_failure_uses_the_shared_selection_on_netsim() {
+    let mut substrate = small_substrate(SubstrateKind::Netsim, 6);
+    let scenario: Scenario<[f64; 2]> = Scenario::new(3).at(
+        1,
+        ScenarioEvent::FailOriginalRegion(Arc::new(|p: &[f64; 2]| p[0] < 10.0)),
+    );
+    let trace = run_experiment(substrate.as_mut(), &scenario);
+    assert_eq!(trace.populations()[0], 200);
+    assert_eq!(trace.populations()[1], 100, "half the 20×10 grid");
+}
+
+#[test]
+fn reshaping_only_variant_recovers_on_the_engine() {
+    let p = PaperScenario::reshaping_only(16, 8, 10, 30);
+    assert_eq!(p.total_rounds, 40);
+    assert_eq!(p.script().event_rounds(), vec![10]);
+    let (w, h) = p.extents();
+    let mut cfg = LabConfig::default();
+    cfg.area = p.area();
+    cfg.seed = 3;
+    cfg.tman.view_cap = 30;
+    cfg.tman.m = 10;
+    let mut substrate = build_substrate(
+        SubstrateKind::Engine,
+        Torus2::new(w, h),
+        shapes::torus_grid(p.cols, p.rows, 1.0),
+        &cfg,
+    );
+    let trace = run_experiment(substrate.as_mut(), &p.script());
+    assert!(
+        trace.reshaping_rounds().is_some(),
+        "small torus failed to reshape in 30 rounds"
+    );
+}
+
+#[test]
+fn pre_run_engine_traces_cover_only_their_own_rounds() {
+    let p = PaperScenario::small();
+    let (w, h) = p.extents();
+    let mut e_cfg = EngineConfig::default();
+    e_cfg.area = p.area();
+    e_cfg.seed = 5;
+    e_cfg.tman.view_cap = 30;
+    e_cfg.tman.m = 10;
+    let mut engine = Engine::new(
+        Torus2::new(w, h),
+        shapes::torus_grid(p.cols, p.rows, 1.0),
+        e_cfg,
+    );
+    engine.run(3);
+    let scenario: Scenario<[f64; 2]> = Scenario::new(2);
+    let trace = run_experiment(&mut engine, &scenario);
+    assert_eq!(trace.observations.len(), 2);
+    assert_eq!(engine.history().len(), 5);
+    assert_eq!(trace.observations[0].round, 4);
+}
+
+#[test]
+fn partition_script_cuts_and_heals_the_netsim_fabric() {
+    // Converge, isolate a corner of founders for 3 rounds, observe.
+    // Drop counters are netsim-internal, so this drives the kernel
+    // directly — through the same unified driver.
+    let p = PaperScenario::small();
+    let (w, h) = p.extents();
+    let mut cfg = NetSimConfig::default();
+    cfg.area = p.area();
+    cfg.seed = 5;
+    cfg.tman.view_cap = 30;
+    cfg.tman.m = 10;
+    let mut sim = NetSim::new(Torus2::new(w, h), p.shape(), cfg);
+    let minority: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+    let scenario: Scenario<[f64; 2]> = Scenario::new(16).at(
+        6,
+        ScenarioEvent::Partition {
+            groups: vec![minority],
+            rounds: 3,
+        },
+    );
+    let trace = run_experiment(&mut sim, &scenario);
+    // Nobody crashes in a partition.
+    assert!(trace.populations().iter().all(|&n| n == 200));
+    let metrics: Vec<NetRoundMetrics> = sim.history().to_vec();
+    // Cross-partition traffic was dropped during the window…
+    let during = metrics[8].dropped_messages - metrics[5].dropped_messages;
+    assert!(during > 0, "partition dropped no traffic");
+    // …and stops being dropped once healed.
+    let after = metrics[15].dropped_messages - metrics[11].dropped_messages;
+    assert_eq!(after, 0, "healed fabric must not drop");
+}
+
+#[test]
+fn injected_netsim_nodes_attract_points() {
+    let p = PaperScenario::small();
+    let (w, h) = p.extents();
+    let mut cfg = NetSimConfig::default();
+    cfg.area = p.area();
+    cfg.seed = 7;
+    cfg.tman.view_cap = 30;
+    cfg.tman.m = 10;
+    let mut sim = NetSim::new(Torus2::new(w, h), p.shape(), cfg);
+    sim.run(10);
+    sim.fail_original_region(&shapes::in_right_half(20.0));
+    sim.run(10);
+    let fresh = sim.inject(shapes::torus_grid_offset(10, 10, 1.0));
+    assert_eq!(fresh.len(), 100);
+    sim.run(15);
+    let with_points = fresh
+        .iter()
+        .filter(|&&id| !sim.poly_state(id).expect("alive").guests.is_empty())
+        .count();
+    assert!(
+        with_points > fresh.len() / 2,
+        "only {with_points}/100 injected nodes acquired data points"
+    );
+}
+
+#[test]
+fn scripted_kill_and_inject_apply_on_the_live_cluster() {
+    let mut cfg = LabConfig::default();
+    cfg.area = 16.0;
+    cfg.seed = 1;
+    cfg.tick = Duration::from_millis(2);
+    cfg.poly = PolystyreneConfig::builder().replication(3).build();
+    cfg.round_timeout = Duration::from_secs(5);
+    let mut substrate = build_substrate(
+        SubstrateKind::Cluster,
+        Torus2::new(4.0, 4.0),
+        shapes::torus_grid(4, 4, 1.0),
+        &cfg,
+    );
+    let scenario: Scenario<[f64; 2]> = Scenario::new(8)
+        .at(
+            2,
+            ScenarioEvent::FailNodes(vec![NodeId::new(0), NodeId::new(1)]),
+        )
+        .at(
+            5,
+            ScenarioEvent::Inject(vec![[0.5, 0.5], [1.5, 0.5], [2.5, 0.5]]),
+        );
+    let trace = run_experiment(substrate.as_mut(), &scenario);
+    let alive = trace.populations();
+    assert_eq!(alive.len(), 8);
+    assert_eq!(alive[2], 14);
+    assert_eq!(*alive.last().unwrap(), 17);
+}
+
+#[test]
+fn churn_window_shrinks_the_live_cluster() {
+    let mut cfg = LabConfig::default();
+    cfg.area = 16.0;
+    cfg.seed = 2;
+    cfg.tick = Duration::from_millis(2);
+    cfg.poly = PolystyreneConfig::builder().replication(3).build();
+    cfg.round_timeout = Duration::from_secs(5);
+    let mut substrate = build_substrate(
+        SubstrateKind::Cluster,
+        Torus2::new(4.0, 4.0),
+        shapes::torus_grid(4, 4, 1.0),
+        &cfg,
+    );
+    let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
+        1,
+        ScenarioEvent::Churn {
+            rate: 0.25,
+            rounds: 2,
+        },
+    );
+    let trace = run_experiment(substrate.as_mut(), &scenario);
+    let alive = trace.populations();
+    assert_eq!(alive[0], 16);
+    assert_eq!(alive[1], 12); // 16 - 25%
+    assert_eq!(alive[2], 9); // 12 - 25%
+    assert_eq!(*alive.last().unwrap(), 9);
+}

@@ -22,11 +22,11 @@
 //! `tests/equivalence.rs`), which anchors every lossy result to the
 //! validated baseline.
 //!
-//! Scenario scripts are the shared ones: [`scenario`] implements
-//! [`polystyrene_protocol::ScenarioSubstrate`] for [`kernel::NetSim`], so
-//! any script written for the engine or the live cluster — including
-//! churn windows and the partition events only this substrate can honor —
-//! runs here unchanged.
+//! Scenario scripts are the shared ones: the experiment plane
+//! (`polystyrene-lab`) plugs [`kernel::NetSim`] in as one of its
+//! `Substrate`s, so any script written for the engine or the live
+//! cluster — including churn windows and the partition events only a
+//! substrate with a network model can honor — runs here unchanged.
 //!
 //! # Example: convergence under a lossy, laggy network
 //!
@@ -50,14 +50,12 @@
 pub mod config;
 pub mod kernel;
 pub mod metrics;
-pub mod scenario;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::NetSimConfig;
     pub use crate::kernel::NetSim;
     pub use crate::metrics::{net_reshaping_time, reference_homogeneity, NetRoundMetrics};
-    pub use crate::scenario::run_net_scenario;
     pub use polystyrene_protocol::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
 }
 

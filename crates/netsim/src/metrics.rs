@@ -32,16 +32,7 @@ pub struct NetRoundMetrics {
     pub dropped_messages: u64,
 }
 
-/// Reference homogeneity `H_A^{|N|} = 1/2 · sqrt(A / |N|)` (paper
-/// Sec. IV-A) — the same bound the cycle engine uses
-/// (`polystyrene_sim::metrics::reference_homogeneity`; a cross-check
-/// test in that direction pins the two against each other).
-pub fn reference_homogeneity(area: f64, nodes: usize) -> f64 {
-    if nodes == 0 {
-        return f64::INFINITY;
-    }
-    0.5 * (area / nodes as f64).sqrt()
-}
+pub use polystyrene_protocol::observe::reference_homogeneity;
 
 /// Rounds after `failure_round` until homogeneity first drops below the
 /// reference value, or `None` if it never does (the cycle engine's

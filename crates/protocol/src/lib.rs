@@ -15,9 +15,14 @@
 //!   including the paper's three-phase evaluation, continuous
 //!   [`scenario::ScenarioEvent::Churn`] windows and
 //!   [`scenario::ScenarioEvent::Partition`] masks) together with the
-//!   [`scenario::ScenarioSubstrate`] trait, so the *same* script value
-//!   runs unchanged on the cycle engine, the discrete-event network
-//!   simulator, and a live threaded cluster;
+//!   shared victim-selection helpers; the `polystyrene-lab` experiment
+//!   plane executes the *same* script value unchanged on the cycle
+//!   engine, the discrete-event network simulator, and the live
+//!   clusters;
+//! * [`observe`] defines the unified [`observe::RoundObservation`]
+//!   record every substrate reports experiment results in, and the
+//!   shared reference-homogeneity bound the reshaping-time metric is
+//!   defined against;
 //! * [`net`] defines the shared network model ([`net::NetworkModel`],
 //!   [`net::LinkProfile`], [`net::FaultyNetwork`]): what a driver's
 //!   fabric does to each message — deliver after a latency, drop, or
@@ -77,6 +82,7 @@ pub mod codec;
 pub mod config;
 pub mod net;
 pub mod node;
+pub mod observe;
 pub mod scenario;
 pub mod wire;
 
@@ -85,9 +91,10 @@ pub mod prelude {
     pub use crate::config::ProtocolConfig;
     pub use crate::net::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
     pub use crate::node::{Phase, ProtocolNode};
+    pub use crate::observe::{reference_homogeneity, RoundObservation};
     pub use crate::scenario::{
-        apply_event, drive_scenario, sample_bootstrap_contacts, select_region_victims,
-        select_victims, PaperScenario, Scenario, ScenarioEvent, ScenarioSubstrate,
+        sample_bootstrap_contacts, select_region_victims, select_victims, PaperScenario, Scenario,
+        ScenarioEvent,
     };
     pub use crate::wire::{Channel, Effect, Event, Wire};
 }

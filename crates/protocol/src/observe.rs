@@ -1,0 +1,81 @@
+//! The unified observation record of the experiment plane.
+//!
+//! Every execution substrate used to publish its own observation type —
+//! the cycle engine's `RoundMetrics`, the network kernel's
+//! `NetRoundMetrics`, the live clusters' `ClusterObservation` — which
+//! meant every experiment harness was hand-wired to exactly one
+//! substrate. [`RoundObservation`] is the one record they all can
+//! produce: the paper's population arithmetic and quality metrics, plus
+//! the progress clock the wall-clock substrates denominate reshaping in.
+//! Substrate-specific extras (the engine's proximity and cost split, the
+//! kernel's drop counters) stay on the substrate-internal history types;
+//! anything that crosses the experiment plane crosses it as this record.
+
+/// What any substrate reports after one protocol round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundObservation {
+    /// Protocol round the sample was taken at (after the round ran).
+    pub round: u32,
+    /// Number of alive nodes.
+    pub alive_nodes: usize,
+    /// Mean distance from each initial data point to its nearest holder
+    /// (or the nearest alive node if the point has none) — the paper's
+    /// homogeneity metric.
+    pub homogeneity: f64,
+    /// Reference homogeneity `H` for the current population.
+    pub reference_homogeneity: f64,
+    /// Fraction of the initial data points that still exist somewhere —
+    /// as a guest, a ghost replica, or a parked migration handout.
+    pub surviving_points: f64,
+    /// Mean stored data points per node (guests + ghosts).
+    pub points_per_node: f64,
+    /// Migration-handout points parked awaiting acknowledgment across
+    /// the population (always zero on substrates whose exchanges are
+    /// atomic).
+    pub parked_points: usize,
+    /// Message cost per node this round, in the paper's units — zero on
+    /// substrates that do not meter wire cost.
+    pub cost_units: f64,
+    /// Monotone protocol-progress clock: the slowest alive node's local
+    /// round count. Deterministic substrates report the round number;
+    /// wall-clock substrates report the survivors' tick floor, so
+    /// reshaping can be denominated in protocol progress rather than
+    /// wall time.
+    pub ticks: u64,
+}
+
+/// Reference homogeneity `H_A^{|N|} = 1/2 · sqrt(A / |N|)` (paper
+/// Sec. IV-A): the highest homogeneity an ideally uniform placement of
+/// `nodes` nodes over a surface of area `area` would exhibit — the
+/// bound the reshaping-time metric is defined against, shared by every
+/// substrate so the recovery criterion cannot drift between them.
+///
+/// # Example
+///
+/// ```
+/// use polystyrene_protocol::observe::reference_homogeneity;
+///
+/// // The paper's 80×40 torus: H = 1/2 before the failure…
+/// assert!((reference_homogeneity(3200.0, 3200) - 0.5).abs() < 1e-12);
+/// // …and √2/2 ≈ 0.71 for the 1600 survivors.
+/// assert!((reference_homogeneity(3200.0, 1600) - 0.7071).abs() < 1e-3);
+/// ```
+pub fn reference_homogeneity(area: f64, nodes: usize) -> f64 {
+    if nodes == 0 {
+        return f64::INFINITY;
+    }
+    0.5 * (area / nodes as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values_match_paper() {
+        assert!((reference_homogeneity(3200.0, 3200) - 0.5).abs() < 1e-12);
+        let h1600 = reference_homogeneity(3200.0, 1600);
+        assert!((h1600 - std::f64::consts::SQRT_2 / 2.0).abs() < 1e-12);
+        assert_eq!(reference_homogeneity(3200.0, 0), f64::INFINITY);
+    }
+}

@@ -5,12 +5,13 @@
 //! 20, and re-injection of 1600 fresh nodes at round 100, observed until
 //! round 200. [`Scenario`] generalizes that — arbitrary events at
 //! arbitrary rounds, including continuous [`ScenarioEvent::Churn`]
-//! windows — and [`ScenarioSubstrate`] abstracts *what* executes it, so
-//! one script value runs unchanged on the cycle engine
-//! (`polystyrene-sim`) and on a live threaded cluster
-//! (`polystyrene-runtime`). Both substrates route every injection through
-//! [`apply_event`], so what "crash", "inject" and "churn" mean cannot
-//! drift between them.
+//! windows and [`ScenarioEvent::Partition`] masks. *Executing* a script
+//! is the experiment plane's job: `polystyrene-lab`'s `Substrate` trait
+//! and `run_experiment` driver run any script value unchanged on every
+//! execution substrate. What stays here, next to the script language,
+//! are the shared victim-selection and bootstrap-sampling helpers every
+//! substrate routes through, so what "crash", "inject" and "churn" mean
+//! cannot drift between them.
 
 use polystyrene::prelude::DataPoint;
 use polystyrene_membership::{Descriptor, NodeId};
@@ -43,7 +44,7 @@ pub enum ScenarioEvent<P> {
     /// group form one implicit extra group — "the rest of the network" —
     /// so a script can name just the minority side). Nobody crashes; the
     /// fabric heals when the window expires. Only substrates with a
-    /// network model honor this ([`ScenarioSubstrate::partition`] is a
+    /// network model honor this (the substrate's partition hook is a
     /// no-op elsewhere — the cycle engine and the in-process runtime have
     /// no fabric to cut).
     ///
@@ -134,33 +135,6 @@ impl<P> Scenario<P> {
     }
 }
 
-/// What a scenario needs from an execution substrate — implemented by the
-/// cycle engine and by the threaded-cluster driver, so failure injection
-/// has exactly one meaning across both.
-pub trait ScenarioSubstrate<P> {
-    /// Crashes every alive founding node whose original data point
-    /// satisfies `predicate`; returns the crashed ids.
-    fn fail_region(&mut self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId>;
-    /// Crashes a uniformly random `fraction` of the alive population;
-    /// returns the crashed ids.
-    fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId>;
-    /// Crashes these specific nodes (dead ones are skipped); returns the
-    /// ids actually crashed.
-    fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId>;
-    /// Injects fresh, empty nodes at `positions`; returns the new ids.
-    fn inject(&mut self, positions: &[P]) -> Vec<NodeId>;
-    /// Runs one protocol round (one engine cycle, or one tick-equivalent
-    /// of wall-clock progress on a live cluster).
-    fn advance_round(&mut self);
-    /// Installs a network partition (see [`ScenarioEvent::Partition`]).
-    /// Default: no-op, for substrates without a network fabric to cut —
-    /// the cycle engine's atomic exchanges and the runtime's in-process
-    /// channels cannot model one.
-    fn partition(&mut self, _groups: &[Vec<NodeId>]) {}
-    /// Heals a previously installed partition. Default: no-op.
-    fn heal(&mut self) {}
-}
-
 /// Selects the victims of a random-fraction failure: shuffles the alive
 /// population and takes the rounded fraction. Both substrates'
 /// `fail_fraction` implementations must route through this, so the
@@ -228,76 +202,6 @@ pub fn sample_bootstrap_contacts<P, R: rand::Rng + ?Sized>(
             position_of(peer).map(|pos| Descriptor::new(peer, pos))
         })
         .collect()
-}
-
-/// Applies one event to a substrate — the single code path both the
-/// simulator and the runtime use, so they cannot drift on what an event
-/// means. A [`ScenarioEvent::Churn`] applied here executes one round's
-/// worth of churn; [`drive_scenario`] handles the window bookkeeping.
-pub fn apply_event<P>(substrate: &mut dyn ScenarioSubstrate<P>, event: &ScenarioEvent<P>) {
-    match event {
-        ScenarioEvent::FailOriginalRegion(pred) => {
-            substrate.fail_region(pred.as_ref());
-        }
-        ScenarioEvent::FailRandomFraction(fraction) => {
-            substrate.fail_fraction(*fraction);
-        }
-        ScenarioEvent::FailNodes(ids) => {
-            substrate.fail_nodes(ids);
-        }
-        ScenarioEvent::Inject(positions) => {
-            substrate.inject(positions);
-        }
-        ScenarioEvent::Churn { rate, .. } => {
-            substrate.fail_fraction(*rate);
-        }
-        ScenarioEvent::Partition { groups, .. } => {
-            substrate.partition(groups);
-        }
-    }
-}
-
-/// Drives `substrate` through `scenario`: for each round, applies the
-/// events scheduled for it (churn events open a window that then fires
-/// every round until it expires; partition events install a mask that is
-/// healed when their window expires), and advances one round.
-pub fn drive_scenario<P>(substrate: &mut impl ScenarioSubstrate<P>, scenario: &Scenario<P>) {
-    // Active churn windows: (first round NOT churned, rate).
-    let mut churns: Vec<(u32, f64)> = Vec::new();
-    // First round past the active partition window. A later Partition
-    // event replaces the mask AND the window (windows do not stack; see
-    // `ScenarioEvent::Partition`) — keeping the substrate's single mask
-    // and the heal schedule in lockstep.
-    let mut partition_heal: Option<u32> = None;
-    for round in 0..scenario.total_rounds() {
-        if partition_heal.is_some_and(|h| round >= h) {
-            substrate.heal();
-            partition_heal = None;
-        }
-        if let Some(events) = scenario.events_at(round) {
-            for event in events {
-                match event {
-                    ScenarioEvent::Churn { rate, rounds } => {
-                        churns.push((round.saturating_add(*rounds), *rate));
-                    }
-                    ScenarioEvent::Partition { rounds, .. } => {
-                        apply_event(substrate, event);
-                        partition_heal = Some(round.saturating_add(*rounds));
-                    }
-                    _ => apply_event(substrate, event),
-                }
-            }
-        }
-        churns.retain(|&(until, _)| round < until);
-        for &(_, rate) in &churns {
-            substrate.fail_fraction(rate);
-        }
-        substrate.advance_round();
-    }
-    // A window outlasting the scenario still heals the fabric on exit.
-    if partition_heal.is_some() {
-        substrate.heal();
-    }
 }
 
 /// The paper's three-phase evaluation scenario on a `cols × rows` torus
@@ -407,45 +311,6 @@ impl PaperScenario {
 mod tests {
     use super::*;
 
-    /// A substrate that records what was done to it.
-    #[derive(Default)]
-    struct Recorder {
-        calls: Vec<String>,
-        rounds: u32,
-    }
-
-    impl ScenarioSubstrate<[f64; 2]> for Recorder {
-        fn fail_region(&mut self, _: &(dyn Fn(&[f64; 2]) -> bool + Send + Sync)) -> Vec<NodeId> {
-            self.calls.push(format!("region@{}", self.rounds));
-            Vec::new()
-        }
-        fn fail_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
-            self.calls
-                .push(format!("fraction({fraction})@{}", self.rounds));
-            Vec::new()
-        }
-        fn fail_nodes(&mut self, ids: &[NodeId]) -> Vec<NodeId> {
-            self.calls
-                .push(format!("nodes({})@{}", ids.len(), self.rounds));
-            Vec::new()
-        }
-        fn inject(&mut self, positions: &[[f64; 2]]) -> Vec<NodeId> {
-            self.calls
-                .push(format!("inject({})@{}", positions.len(), self.rounds));
-            Vec::new()
-        }
-        fn advance_round(&mut self) {
-            self.rounds += 1;
-        }
-        fn partition(&mut self, groups: &[Vec<NodeId>]) {
-            self.calls
-                .push(format!("partition({})@{}", groups.len(), self.rounds));
-        }
-        fn heal(&mut self) {
-            self.calls.push(format!("heal@{}", self.rounds));
-        }
-    }
-
     #[test]
     fn scenario_event_rounds_and_failure_detection() {
         let s: Scenario<[f64; 2]> = Scenario::new(50)
@@ -463,116 +328,6 @@ mod tests {
             },
         );
         assert_eq!(s3.first_failure_round(), Some(3));
-    }
-
-    #[test]
-    fn drive_scenario_runs_every_round_and_applies_in_order() {
-        let scenario: Scenario<[f64; 2]> = Scenario::new(5)
-            .at(1, ScenarioEvent::FailNodes(vec![NodeId::new(0)]))
-            .at(3, ScenarioEvent::Inject(vec![[0.0, 0.0], [1.0, 0.0]]));
-        let mut rec = Recorder::default();
-        drive_scenario(&mut rec, &scenario);
-        assert_eq!(rec.rounds, 5);
-        assert_eq!(rec.calls, vec!["nodes(1)@1", "inject(2)@3"]);
-    }
-
-    #[test]
-    fn churn_window_fires_every_round_until_expiry() {
-        let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
-            2,
-            ScenarioEvent::Churn {
-                rate: 0.25,
-                rounds: 3,
-            },
-        );
-        let mut rec = Recorder::default();
-        drive_scenario(&mut rec, &scenario);
-        assert_eq!(
-            rec.calls,
-            vec!["fraction(0.25)@2", "fraction(0.25)@3", "fraction(0.25)@4"]
-        );
-    }
-
-    #[test]
-    fn overlapping_churn_windows_stack() {
-        let scenario: Scenario<[f64; 2]> = Scenario::new(4)
-            .at(
-                0,
-                ScenarioEvent::Churn {
-                    rate: 0.1,
-                    rounds: 2,
-                },
-            )
-            .at(
-                1,
-                ScenarioEvent::Churn {
-                    rate: 0.2,
-                    rounds: 1,
-                },
-            );
-        let mut rec = Recorder::default();
-        drive_scenario(&mut rec, &scenario);
-        assert_eq!(
-            rec.calls,
-            vec!["fraction(0.1)@0", "fraction(0.1)@1", "fraction(0.2)@1"]
-        );
-    }
-
-    #[test]
-    fn partition_window_installs_then_heals() {
-        let scenario: Scenario<[f64; 2]> = Scenario::new(6).at(
-            1,
-            ScenarioEvent::Partition {
-                groups: vec![vec![NodeId::new(0)], vec![NodeId::new(1)]],
-                rounds: 2,
-            },
-        );
-        let mut rec = Recorder::default();
-        drive_scenario(&mut rec, &scenario);
-        assert_eq!(rec.calls, vec!["partition(2)@1", "heal@3"]);
-    }
-
-    #[test]
-    fn partition_outlasting_the_scenario_still_heals() {
-        let scenario: Scenario<[f64; 2]> = Scenario::new(3).at(
-            2,
-            ScenarioEvent::Partition {
-                groups: vec![vec![NodeId::new(5)]],
-                rounds: 10,
-            },
-        );
-        let mut rec = Recorder::default();
-        drive_scenario(&mut rec, &scenario);
-        assert_eq!(rec.calls, vec!["partition(1)@2", "heal@3"]);
-    }
-
-    #[test]
-    fn later_partition_replaces_mask_and_window() {
-        let scenario: Scenario<[f64; 2]> = Scenario::new(8)
-            .at(
-                0,
-                ScenarioEvent::Partition {
-                    groups: vec![vec![NodeId::new(0)]],
-                    rounds: 5,
-                },
-            )
-            .at(
-                2,
-                ScenarioEvent::Partition {
-                    groups: vec![vec![NodeId::new(1)]],
-                    rounds: 1,
-                },
-            );
-        let mut rec = Recorder::default();
-        drive_scenario(&mut rec, &scenario);
-        // Windows do not stack: the round-2 event replaces both the mask
-        // and the window, so its own 1-round cut ends at round 3 — the
-        // first event's longer window dies with its mask (the substrate
-        // holds exactly one mask, so mask and heal stay in lockstep).
-        assert_eq!(
-            rec.calls,
-            vec!["partition(1)@0", "partition(1)@2", "heal@3"]
-        );
     }
 
     #[test]

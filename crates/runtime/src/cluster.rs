@@ -3,14 +3,16 @@
 
 use crate::config::RuntimeConfig;
 use crate::fabric::RegistryFabric;
-use crate::harness::{contacts_from_board, contacts_from_shape, ClusterHarness};
+use crate::harness::{contacts_from_board, contacts_from_shape};
 use crate::message::Message;
 use crate::node::NodeRuntime;
-use crate::observe::{observe, ClusterObservation, ObservationBoard};
+use crate::observe::{observe, ObservationBoard};
 use crate::registry::Registry;
 use parking_lot::Mutex;
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_protocol::observe::RoundObservation;
+use polystyrene_protocol::select_region_victims;
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,12 +152,19 @@ impl<S: MetricSpace> Cluster<S> {
         }
     }
 
+    /// Whether `id` is currently alive (registered).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.registry.contains(id)
+    }
+
     /// Crashes every founding node whose original data point satisfies
-    /// `predicate` — the paper's correlated regional failure, with victim
-    /// selection shared with the other substrates through the
-    /// [`ClusterHarness`] default. Returns the crashed ids.
+    /// `predicate` — the paper's correlated regional failure, with
+    /// victim selection shared with every other substrate through
+    /// [`select_region_victims`]. Returns the crashed ids.
     pub fn kill_region(&self, predicate: impl Fn(&S::Point) -> bool + Send + Sync) -> Vec<NodeId> {
-        ClusterHarness::kill_region(self, &predicate)
+        let victims =
+            select_region_victims(&self.original_points, &predicate, &|id| self.is_alive(id));
+        victims.into_iter().filter(|&id| self.kill(id)).collect()
     }
 
     /// Injects a fresh node with no data points at `position`
@@ -196,10 +205,7 @@ impl<S: MetricSpace> Cluster<S> {
             // Every *registered* node must have published and progressed —
             // counting only publishers would return before slow starters
             // ever appear on the board.
-            if obs.alive_nodes >= self.registry.len()
-                && obs.alive_nodes > 0
-                && obs.min_ticks >= ticks
-            {
+            if obs.alive_nodes >= self.registry.len() && obs.alive_nodes > 0 && obs.ticks >= ticks {
                 return;
             }
             if std::time::Instant::now() > deadline {
@@ -209,9 +215,15 @@ impl<S: MetricSpace> Cluster<S> {
         }
     }
 
-    /// Measures cluster health from the observation plane.
-    pub fn observe(&self) -> ClusterObservation {
-        observe(&self.space, &self.original_points, &self.board.snapshot())
+    /// Measures cluster health from the observation plane, reported as
+    /// the unified [`RoundObservation`] record.
+    pub fn observe(&self) -> RoundObservation {
+        observe(
+            &self.space,
+            &self.original_points,
+            &self.board.snapshot(),
+            self.config.area,
+        )
     }
 
     /// Orderly shutdown: stops every node thread and joins it.
@@ -225,36 +237,6 @@ impl<S: MetricSpace> Cluster<S> {
         for (_, handle) in handles {
             let _ = handle.join();
         }
-    }
-}
-
-impl<S: MetricSpace> ClusterHarness<S::Point> for Cluster<S> {
-    fn original_points(&self) -> &[DataPoint<S::Point>] {
-        self.original_points()
-    }
-
-    fn alive_ids(&self) -> Vec<NodeId> {
-        self.alive_ids()
-    }
-
-    fn is_alive(&self, id: NodeId) -> bool {
-        self.registry.contains(id)
-    }
-
-    fn kill(&self, id: NodeId) -> bool {
-        self.kill(id)
-    }
-
-    fn inject(&self, position: S::Point) -> NodeId {
-        self.inject(position)
-    }
-
-    fn await_ticks(&self, ticks: u64, max_wait: Duration) {
-        self.await_ticks(ticks, max_wait);
-    }
-
-    fn observe(&self) -> ClusterObservation {
-        self.observe()
     }
 }
 
@@ -300,7 +282,7 @@ mod tests {
             "points vanished: {}",
             obs.surviving_points
         );
-        assert!(obs.min_ticks >= 5);
+        assert!(obs.ticks >= 5);
         cluster.shutdown();
     }
 

@@ -41,6 +41,10 @@ pub struct RuntimeConfig {
     pub link: LinkProfile,
     /// Base RNG seed (each node derives its own from this and its id).
     pub seed: u64,
+    /// Surface area of the data space, for the reference homogeneity
+    /// reported by the observation plane (3200 for the paper's 80×40
+    /// torus).
+    pub area: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +64,7 @@ impl Default for RuntimeConfig {
             migration_timeout_ticks: 3,
             link: LinkProfile::ideal(),
             seed: 1,
+            area: 3200.0,
         }
     }
 }

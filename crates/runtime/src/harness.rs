@@ -1,64 +1,23 @@
-//! The substrate-agnostic cluster-harness surface.
+//! Spawn-time bootstrap sampling shared by every live deployment.
 //!
-//! A live deployment — whatever carries its messages — answers the same
-//! harness questions: who is alive, kill this node, inject a joiner,
-//! wait for progress, measure health. [`ClusterHarness`] captures that
-//! surface so the scenario driver ([`crate::scenario::run_cluster_scenario`])
-//! and the cross-substrate test suites run unchanged over the in-process
-//! [`crate::Cluster`] and the TCP deployment (`polystyrene-transport`),
-//! and regional failure injection routes through the one shared
-//! [`select_region_victims`] path on both.
+//! Whatever carries a cluster's messages — in-process channels or real
+//! sockets — what a founding node or a fresh joiner initially *knows*
+//! must not depend on the transport. The contact-sampling helpers here
+//! are that shared knowledge path; the in-process
+//! [`crate::Cluster`] and the TCP deployment (`polystyrene-transport`)
+//! both route spawn and inject bootstrapping through them.
 //!
-//! The bootstrap-contact sampling both harnesses perform at spawn and
-//! inject time lives here too, so what a founding node or a fresh joiner
-//! initially knows cannot drift between transports.
+//! The substrate seam itself — kill, inject, step, observe — lives in
+//! the experiment plane (`polystyrene-lab`'s `Substrate` trait), which
+//! both deployments plug into; this module is only the spawn-time slice
+//! they additionally share.
 
-use crate::observe::{ClusterObservation, NodeReport};
-use polystyrene::prelude::DataPoint;
+use crate::observe::NodeReport;
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_protocol::{sample_bootstrap_contacts, select_region_victims};
+use polystyrene_protocol::sample_bootstrap_contacts;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use std::collections::HashMap;
-use std::time::Duration;
-
-/// What every live cluster deployment offers the harness, independent of
-/// the transport carrying its messages.
-pub trait ClusterHarness<P> {
-    /// The original data points (the target shape).
-    fn original_points(&self) -> &[DataPoint<P>];
-
-    /// Ids currently registered (alive).
-    fn alive_ids(&self) -> Vec<NodeId>;
-
-    /// Whether `id` is currently alive.
-    fn is_alive(&self, id: NodeId) -> bool;
-
-    /// Hard-crashes a node (crash-stop: in-flight messages are lost, no
-    /// goodbyes). Returns whether the node was alive.
-    fn kill(&self, id: NodeId) -> bool;
-
-    /// Injects a fresh node with no data points at `position`; returns
-    /// its id.
-    fn inject(&self, position: P) -> NodeId;
-
-    /// Blocks until every alive node has executed at least `ticks` local
-    /// rounds (with a safety timeout of `max_wait`).
-    fn await_ticks(&self, ticks: u64, max_wait: Duration);
-
-    /// Measures cluster health from the observation plane.
-    fn observe(&self) -> ClusterObservation;
-
-    /// Crashes every founding node whose original data point satisfies
-    /// `predicate` — the paper's correlated regional failure, with
-    /// victim selection shared across all substrates. Returns the
-    /// crashed ids.
-    fn kill_region(&self, predicate: &(dyn Fn(&P) -> bool + Send + Sync)) -> Vec<NodeId> {
-        let victims =
-            select_region_victims(self.original_points(), predicate, &|id| self.is_alive(id));
-        victims.into_iter().filter(|&id| self.kill(id)).collect()
-    }
-}
 
 /// Draws up to `count` distinct bootstrap contacts for founding node
 /// `own` from the target shape: the contact set every deployment seeds

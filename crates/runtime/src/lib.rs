@@ -44,13 +44,10 @@ pub mod message;
 pub mod node;
 pub mod observe;
 pub mod registry;
-pub mod scenario;
 
 pub use cluster::Cluster;
 pub use config::RuntimeConfig;
 pub use fabric::{NodeFabric, RegistryFabric};
-pub use harness::ClusterHarness;
 pub use message::Message;
-pub use observe::ClusterObservation;
+pub use polystyrene_protocol::observe::RoundObservation;
 pub use registry::Registry;
-pub use scenario::run_cluster_scenario;

@@ -1,9 +1,16 @@
 //! Observation plane: a shared board nodes report to, so the harness can
 //! measure homogeneity and survival without perturbing the protocol.
+//!
+//! Aggregation produces the unified
+//! [`polystyrene_protocol::observe::RoundObservation`] record — the same
+//! type every other execution substrate reports in, so experiment
+//! harnesses read one observation pipeline regardless of what carries
+//! the messages.
 
 use parking_lot::RwLock;
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::NodeId;
+use polystyrene_protocol::observe::{reference_homogeneity, RoundObservation};
 use polystyrene_space::MetricSpace;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -65,35 +72,24 @@ impl<P: Clone> ObservationBoard<P> {
     }
 }
 
-/// Cluster-level aggregate computed from a board snapshot — the runtime
-/// analogue of the simulator's `RoundMetrics`.
-#[derive(Clone, Debug, PartialEq)]
-pub struct ClusterObservation {
-    /// Nodes currently reporting.
-    pub alive_nodes: usize,
-    /// Mean distance from each original data point to the nearest node
-    /// hosting it (paper homogeneity).
-    pub homogeneity: f64,
-    /// Fraction of original points with at least one primary holder.
-    pub surviving_points: f64,
-    /// Mean stored points per node.
-    pub points_per_node: f64,
-    /// Minimum ticks executed across alive nodes (progress indicator).
-    pub min_ticks: u64,
-}
-
-/// Computes the aggregate over a snapshot, against the original target
-/// shape.
+/// Computes the unified [`RoundObservation`] over a snapshot, against
+/// the original target shape; `area` is the data-space surface the
+/// reference homogeneity is computed from. The `round` field is left at
+/// zero — the experiment driver stamps it, since only the driver knows
+/// which scenario round a wall-clock snapshot corresponds to.
 pub fn observe<S: MetricSpace>(
     space: &S,
     original_points: &[DataPoint<S::Point>],
     snapshot: &HashMap<NodeId, NodeReport<S::Point>>,
-) -> ClusterObservation {
+    area: f64,
+) -> RoundObservation {
     let alive = snapshot.len();
+    let mut parked_points = 0usize;
     let mut holder_positions: HashMap<PointId, Vec<&S::Point>> = HashMap::new();
     for report in snapshot.values() {
         // Parked handover points are physically stored on the parking
         // node until the initiator takes custody: held here.
+        parked_points += report.parked_ids.len();
         for pid in report.guest_ids.iter().chain(&report.parked_ids) {
             holder_positions.entry(*pid).or_default().push(&report.pos);
         }
@@ -130,9 +126,11 @@ pub fn observe<S: MetricSpace>(
     } else {
         homogeneity_acc / original_points.len() as f64
     };
-    ClusterObservation {
+    RoundObservation {
+        round: 0,
         alive_nodes: alive,
         homogeneity,
+        reference_homogeneity: reference_homogeneity(area, alive),
         surviving_points: if original_points.is_empty() {
             1.0
         } else {
@@ -143,7 +141,9 @@ pub fn observe<S: MetricSpace>(
         } else {
             snapshot.values().map(|r| r.stored_points).sum::<usize>() as f64 / alive as f64
         },
-        min_ticks: snapshot.values().map(|r| r.ticks).min().unwrap_or(0),
+        parked_points,
+        cost_units: 0.0,
+        ticks: snapshot.values().map(|r| r.ticks).min().unwrap_or(0),
     }
 }
 
@@ -186,12 +186,14 @@ mod tests {
         let mut snap = HashMap::new();
         snap.insert(NodeId::new(0), report([0.0, 0.0], &[0], 1));
         snap.insert(NodeId::new(1), report([1.0, 0.0], &[1], 1));
-        let obs = observe(&Euclidean2, &pts, &snap);
+        let obs = observe(&Euclidean2, &pts, &snap, 4.0);
         assert_eq!(obs.alive_nodes, 2);
         assert!(obs.homogeneity.abs() < 1e-12);
         assert_eq!(obs.surviving_points, 1.0);
         assert_eq!(obs.points_per_node, 1.0);
-        assert_eq!(obs.min_ticks, 5);
+        assert_eq!(obs.ticks, 5);
+        assert_eq!(obs.parked_points, 0);
+        assert_eq!(obs.reference_homogeneity, 0.5 * (4.0f64 / 2.0).sqrt());
     }
 
     #[test]
@@ -201,7 +203,7 @@ mod tests {
         // Only point 0 has a holder; point 1 is lost.
         snap.insert(NodeId::new(0), report([0.0, 0.0], &[0], 1));
         snap.insert(NodeId::new(1), report([4.0, 0.0], &[], 0));
-        let obs = observe(&Euclidean2, &pts, &snap);
+        let obs = observe(&Euclidean2, &pts, &snap, 4.0);
         assert_eq!(obs.surviving_points, 0.5);
         // point 0 at distance 0; point 1 at distance 6 from the nearest
         // node (4,0) → mean 3.
@@ -217,8 +219,9 @@ mod tests {
         let mut parked = report([5.0, 0.0], &[], 0);
         parked.parked_ids = vec![PointId::new(1)];
         snap.insert(NodeId::new(1), parked);
-        let obs = observe(&Euclidean2, &pts, &snap);
+        let obs = observe(&Euclidean2, &pts, &snap, 4.0);
         assert_eq!(obs.surviving_points, 1.0, "mid-handover is not lost");
+        assert_eq!(obs.parked_points, 1);
         // Point 1 measured against its parking node, distance 1 → mean 0.5.
         assert!((obs.homogeneity - 0.5).abs() < 1e-12);
     }
@@ -227,7 +230,7 @@ mod tests {
     fn empty_cluster_observation() {
         let pts = originals(&[[0.0, 0.0]]);
         let snap = HashMap::new();
-        let obs = observe(&Euclidean2, &pts, &snap);
+        let obs = observe(&Euclidean2, &pts, &snap, 4.0);
         assert_eq!(obs.alive_nodes, 0);
         assert!(obs.homogeneity.is_infinite());
     }

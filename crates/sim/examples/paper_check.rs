@@ -23,8 +23,13 @@ fn main() {
     let mut engine = Engine::new(Torus2::new(w, h), paper.shape(), cfg);
     println!("built {} nodes in {:?}", engine.alive_count(), t0.elapsed());
 
+    // The paper's failure-only scenario, driven directly on the engine
+    // (the full scenario × substrate matrix lives in `polystyrene-lab`).
     let t0 = Instant::now();
-    let metrics = run_scenario(&mut engine, &paper.script());
+    engine.run(paper.failure_round);
+    engine.fail_original_region(polystyrene_space::shapes::in_right_half(w));
+    engine.run(paper.total_rounds - paper.failure_round);
+    let metrics = engine.history().to_vec();
     println!("ran {} rounds in {:?}", metrics.len(), t0.elapsed());
 
     for m in &metrics {

@@ -36,7 +36,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Below this many alive nodes the engine skips building the spatial-grid
 /// candidate index and scans exhaustively: at small scale the build costs
@@ -151,6 +151,33 @@ pub struct Engine<S: MetricSpace> {
     cost: RoundCost,
     history: Vec<RoundMetrics>,
     poly_enabled: bool,
+    scratch: MetricsScratch,
+}
+
+/// Reusable buffers of the per-round measurement pass. At scale the
+/// pass ran tens of thousands of allocations per round — a fresh
+/// holder map (one `Vec` per data point), a ghost set, and the
+/// per-node/per-point result vectors — all dropped again at round end.
+/// Keeping them on the engine and clearing instead of dropping makes
+/// the observation hot path allocation-free in steady state. The holder
+/// and ghost tables are dense, indexed by point id (founding ids are
+/// contiguous by construction), which also replaces per-point hashing
+/// with direct indexing. Results are bit-identical: same insertion
+/// order, same lookup semantics, pinned by the golden-history
+/// fingerprints and the grid-index equivalence test.
+#[derive(Default)]
+struct MetricsScratch {
+    /// Indices of alive nodes.
+    alive: Vec<usize>,
+    /// `holders[point]` = alive node indices hosting that point as a
+    /// guest (empty = no holder).
+    holders: Vec<Vec<usize>>,
+    /// Whether any alive node stores a ghost replica of the point.
+    ghost_present: Vec<bool>,
+    /// Per-node (proximity sum, sample count).
+    per_node: Vec<(f64, usize)>,
+    /// Per-point (nearest-holder distance, survived).
+    per_point: Vec<(f64, bool)>,
 }
 
 impl<S: MetricSpace> Engine<S> {
@@ -220,6 +247,7 @@ impl<S: MetricSpace> Engine<S> {
             cost: RoundCost::default(),
             history: Vec::new(),
             poly_enabled: true,
+            scratch: MetricsScratch::default(),
         }
     }
 
@@ -444,7 +472,11 @@ impl<S: MetricSpace> Engine<S> {
             self.run_phase(Phase::Migration);
         }
         self.position_refresh_phase();
-        let metrics = self.compute_metrics();
+        // Reuse the engine-owned scratch buffers (taken and restored
+        // around the `&self` measurement pass to satisfy the borrows).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let metrics = self.measure(&mut scratch);
+        self.scratch = scratch;
         self.history.push(metrics);
         metrics
     }
@@ -626,8 +658,8 @@ impl<S: MetricSpace> Engine<S> {
 
     /// Measures the paper's metrics over the current state.
     ///
-    /// At scale this is the engine's hot spot, so it uses two
-    /// accelerations — neither changes any measured value:
+    /// At scale this is the engine's hot spot, so it uses three
+    /// accelerations — none changes any measured value:
     ///
     /// * a [`GridIndex`] over the alive nodes' positions answers the
     ///   "nearest alive node" queries of the homogeneity metric for data
@@ -636,16 +668,30 @@ impl<S: MetricSpace> Engine<S> {
     ///   this pass `O(points × nodes)`);
     /// * the per-node and per-point measurement loops fan out across
     ///   cores with rayon, folding partial sums back in input order so
-    ///   results stay bit-identical to a sequential pass.
+    ///   results stay bit-identical to a sequential pass;
+    /// * repeated rounds reuse the engine-owned `MetricsScratch` buffers
+    ///   (this public entry point measures into a throwaway scratch, so
+    ///   ad-hoc callers pay the allocations instead of holding them).
     pub fn compute_metrics(&self) -> RoundMetrics {
-        let alive: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_some())
-            .collect();
+        self.measure(&mut MetricsScratch::default())
+    }
+
+    fn measure(&self, scratch: &mut MetricsScratch) -> RoundMetrics {
+        let MetricsScratch {
+            alive,
+            holders,
+            ghost_present,
+            per_node,
+            per_point,
+        } = scratch;
+        alive.clear();
+        alive.extend((0..self.nodes.len()).filter(|&i| self.nodes[i].is_some()));
+        let alive: &[usize] = alive;
         let alive_count = alive.len();
 
         // Proximity: mean distance to the k closest T-Man neighbors,
         // measured against the neighbors' *true* current positions.
-        let per_node: Vec<(f64, usize)> = alive
+        alive
             .par_iter()
             .map(|&i| {
                 let node = self.nodes[i].as_ref().unwrap();
@@ -662,10 +708,10 @@ impl<S: MetricSpace> Engine<S> {
                 }
                 (acc, samples)
             })
-            .collect();
+            .collect_into_vec(per_node);
         let (proximity_acc, proximity_samples) = per_node
-            .into_iter()
-            .fold((0.0, 0usize), |(a, n), (pa, pn)| (a + pa, n + pn));
+            .iter()
+            .fold((0.0, 0usize), |(a, n), &(pa, pn)| (a + pa, n + pn));
         let proximity = if proximity_samples == 0 {
             0.0
         } else {
@@ -673,33 +719,39 @@ impl<S: MetricSpace> Engine<S> {
         };
 
         // Homogeneity: map every original data point to its primary
-        // holders (paper Sec. IV-A's ĝuests⁻¹).
-        let mut holders: HashMap<PointId, Vec<usize>> = HashMap::new();
-        for &i in &alive {
+        // holders (paper Sec. IV-A's ĝuests⁻¹). Dense tables indexed by
+        // point id (founding ids are contiguous by construction); ghost
+        // presence also counts for survival (the copy exists even if
+        // not yet reactivated).
+        let n_points = self.original_points.len();
+        for slot in holders.iter_mut() {
+            slot.clear();
+        }
+        holders.resize_with(n_points, Vec::new);
+        ghost_present.clear();
+        ghost_present.resize(n_points, false);
+        for &i in alive {
             let node = self.nodes[i].as_ref().unwrap();
             for g in &node.poly.guests {
-                holders.entry(g.id).or_default().push(i);
+                if let Some(slot) = holders.get_mut(g.id.index()) {
+                    slot.push(i);
+                }
             }
-        }
-        // Ghost presence also counts for survival (the copy exists even if
-        // not yet reactivated).
-        let mut ghost_present: HashMap<PointId, ()> = HashMap::new();
-        for &i in &alive {
-            let node = self.nodes[i].as_ref().unwrap();
             for pts in node.poly.ghosts.values() {
                 for p in pts {
-                    ghost_present.insert(p.id, ());
+                    if let Some(flag) = ghost_present.get_mut(p.id.index()) {
+                        *flag = true;
+                    }
                 }
             }
         }
+        let holders: &[Vec<usize>] = holders;
+        let ghost_present: &[bool] = ghost_present;
         // Exact nearest-alive-node index for holderless points. `None`
         // (small network, grid off, gridless space, or no holderless
         // point to serve — the common healthy-round case) falls back to
         // the exhaustive scan; both paths return identical distances.
-        let any_holderless = self
-            .original_points
-            .iter()
-            .any(|p| holders.get(&p.id).is_none_or(Vec::is_empty));
+        let any_holderless = holders.iter().any(Vec::is_empty);
         let alive_index: Option<GridIndex<S>> =
             if self.config.grid_index && any_holderless && alive_count >= GRID_INDEX_MIN_NODES {
                 GridIndex::build(
@@ -711,19 +763,19 @@ impl<S: MetricSpace> Engine<S> {
             } else {
                 None
             };
-        let per_point: Vec<(f64, bool)> = self
-            .original_points
+        self.original_points
             .par_iter()
             .map(|point| {
-                let nearest = match holders.get(&point.id) {
-                    Some(hs) if !hs.is_empty() => hs
-                        .iter()
+                let hs = &holders[point.id.index()];
+                let nearest = if !hs.is_empty() {
+                    hs.iter()
                         .map(|&i| {
                             let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
                             self.space.distance(&point.pos, pos)
                         })
-                        .fold(f64::INFINITY, f64::min),
-                    _ => match &alive_index {
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    match &alive_index {
                         Some(index) => index
                             .nearest(&point.pos)
                             .map(|(_, d)| d)
@@ -735,16 +787,15 @@ impl<S: MetricSpace> Engine<S> {
                                 self.space.distance(&point.pos, pos)
                             })
                             .fold(f64::INFINITY, f64::min),
-                    },
+                    }
                 };
-                let survived =
-                    holders.contains_key(&point.id) || ghost_present.contains_key(&point.id);
+                let survived = !hs.is_empty() || ghost_present[point.id.index()];
                 (nearest, survived)
             })
-            .collect();
+            .collect_into_vec(per_point);
         let mut homogeneity_acc = 0.0;
         let mut surviving = 0usize;
-        for (nearest, survived) in per_point {
+        for &(nearest, survived) in per_point.iter() {
             if nearest.is_finite() {
                 homogeneity_acc += nearest;
             }

@@ -9,10 +9,6 @@
 //!   reference homogeneity / reshaping time, data points per node,
 //!   message cost);
 //! * [`cost`] — wire-cost accounting in the paper's units;
-//! * [`scenario`] — timed event scripts, including the paper's three-phase
-//!   evaluation scenario;
-//! * [`experiment`] — repeated seeded runs aggregated with 95 % confidence
-//!   intervals;
 //! * [`snapshot`] — point-cloud captures for the visual figures;
 //! * [`report`] — ASCII tables, terminal plots and CSV output.
 //!
@@ -63,23 +59,18 @@
 
 pub mod cost;
 pub mod engine;
-pub mod experiment;
 pub mod metrics;
 pub mod report;
-pub mod scenario;
 pub mod snapshot;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::cost::{CostModel, RoundCost};
     pub use crate::engine::{Engine, EngineConfig};
-    pub use crate::experiment::{
-        run_paper_experiment, ExperimentResult, ReshapingRow, RunRecord, StackKind,
-    };
     pub use crate::metrics::{reference_homogeneity, reshaping_time, RoundMetrics};
     pub use crate::report::{ascii_plot, render_table, series_rows, write_csv};
-    pub use crate::scenario::{run_scenario, PaperScenario, Scenario, ScenarioEvent};
     pub use crate::snapshot::Snapshot;
+    pub use polystyrene_protocol::scenario::{PaperScenario, Scenario, ScenarioEvent};
 }
 
 pub use prelude::*;

@@ -36,26 +36,7 @@ pub struct RoundMetrics {
     pub surviving_points: f64,
 }
 
-/// Reference homogeneity `H_A^{|N|} = 1/2 · sqrt(A / |N|)` (Sec. IV-A):
-/// the highest homogeneity an ideally uniform placement of `nodes` nodes
-/// over a surface of area `area` would exhibit.
-///
-/// # Example
-///
-/// ```
-/// use polystyrene_sim::metrics::reference_homogeneity;
-///
-/// // The paper's 80×40 torus: H = 1/2 before the failure…
-/// assert!((reference_homogeneity(3200.0, 3200) - 0.5).abs() < 1e-12);
-/// // …and √2/2 ≈ 0.71 for the 1600 survivors.
-/// assert!((reference_homogeneity(3200.0, 1600) - 0.7071).abs() < 1e-3);
-/// ```
-pub fn reference_homogeneity(area: f64, nodes: usize) -> f64 {
-    if nodes == 0 {
-        return f64::INFINITY;
-    }
-    0.5 * (area / nodes as f64).sqrt()
-}
+pub use polystyrene_protocol::observe::reference_homogeneity;
 
 /// Detects the reshaping time from a homogeneity series (Sec. IV-A): the
 /// number of rounds after `failure_round` until homogeneity first drops

@@ -23,10 +23,12 @@ use parking_lot::{Mutex, RwLock};
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::codec::{decode_event, encode_event, PointCodec};
+use polystyrene_protocol::observe::RoundObservation;
+use polystyrene_protocol::select_region_victims;
 use polystyrene_protocol::{Event, Fate, NetworkModel, Wire};
-use polystyrene_runtime::harness::{contacts_from_board, contacts_from_shape, ClusterHarness};
+use polystyrene_runtime::harness::{contacts_from_board, contacts_from_shape};
 use polystyrene_runtime::node::NodeRuntime;
-use polystyrene_runtime::observe::{observe, ClusterObservation, ObservationBoard};
+use polystyrene_runtime::observe::{observe, ObservationBoard};
 use polystyrene_runtime::{Message, NodeFabric, RuntimeConfig};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
@@ -252,9 +254,9 @@ struct TcpNode<P> {
 /// A running TCP deployment: one listener, one node thread and a set of
 /// per-connection reader threads per node, all on localhost.
 ///
-/// The API mirrors [`polystyrene_runtime::Cluster`] — both implement
-/// [`ClusterHarness`], so scenario scripts and the observation plane
-/// are shared verbatim.
+/// The API mirrors [`polystyrene_runtime::Cluster`] — both plug into the
+/// experiment plane (`polystyrene-lab`'s `Substrate` trait), so scenario
+/// scripts and the observation plane are shared verbatim.
 pub struct TcpCluster<S: MetricSpace>
 where
     S::Point: PointCodec,
@@ -477,6 +479,21 @@ where
         id
     }
 
+    /// Whether `id` is currently alive (registered in the address book).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.fabric.contains(id)
+    }
+
+    /// Crashes every founding node whose original data point satisfies
+    /// `predicate` — the paper's correlated regional failure, with
+    /// victim selection shared with every other substrate through
+    /// [`select_region_victims`]. Returns the crashed ids.
+    pub fn kill_region(&self, predicate: impl Fn(&S::Point) -> bool + Send + Sync) -> Vec<NodeId> {
+        let victims =
+            select_region_victims(&self.original_points, &predicate, &|id| self.is_alive(id));
+        victims.into_iter().filter(|&id| self.kill(id)).collect()
+    }
+
     /// Lets the cluster run for a wall-clock duration.
     pub fn run_for(&self, duration: Duration) {
         std::thread::sleep(duration);
@@ -489,7 +506,7 @@ where
         loop {
             let obs = self.observe();
             let registered = self.fabric.addrs.read().len();
-            if obs.alive_nodes >= registered && obs.alive_nodes > 0 && obs.min_ticks >= ticks {
+            if obs.alive_nodes >= registered && obs.alive_nodes > 0 && obs.ticks >= ticks {
                 return;
             }
             if Instant::now() > deadline {
@@ -503,10 +520,15 @@ where
     /// filtered to currently registered nodes: kills do not wait for
     /// the dying threads, and a node wedged in a socket timeout may
     /// publish one last report after its crash — which must not count.
-    pub fn observe(&self) -> ClusterObservation {
+    pub fn observe(&self) -> RoundObservation {
         let mut snapshot = self.board.snapshot();
         snapshot.retain(|id, _| self.fabric.contains(*id));
-        observe(&self.space, &self.original_points, &snapshot)
+        observe(
+            &self.space,
+            &self.original_points,
+            &snapshot,
+            self.config.runtime.area,
+        )
     }
 
     /// Orderly shutdown: stops every node and joins its node and
@@ -599,39 +621,6 @@ fn reader_loop<P: PointCodec>(stream: TcpStream, tx: Sender<Message<P>>, stop: A
     }
 }
 
-impl<S: MetricSpace> ClusterHarness<S::Point> for TcpCluster<S>
-where
-    S::Point: PointCodec,
-{
-    fn original_points(&self) -> &[DataPoint<S::Point>] {
-        self.original_points()
-    }
-
-    fn alive_ids(&self) -> Vec<NodeId> {
-        self.alive_ids()
-    }
-
-    fn is_alive(&self, id: NodeId) -> bool {
-        self.fabric.contains(id)
-    }
-
-    fn kill(&self, id: NodeId) -> bool {
-        self.kill(id)
-    }
-
-    fn inject(&self, position: S::Point) -> NodeId {
-        self.inject(position)
-    }
-
-    fn await_ticks(&self, ticks: u64, max_wait: Duration) {
-        self.await_ticks(ticks, max_wait);
-    }
-
-    fn observe(&self) -> ClusterObservation {
-        self.observe()
-    }
-}
-
 impl<S: MetricSpace> Drop for TcpCluster<S>
 where
     S::Point: PointCodec,
@@ -670,7 +659,7 @@ mod tests {
         cluster.await_ticks(10, Duration::from_secs(20));
         let obs = cluster.observe();
         assert_eq!(obs.alive_nodes, 16);
-        assert!(obs.min_ticks >= 10);
+        assert!(obs.ticks >= 10);
         assert!(
             obs.surviving_points >= 0.95,
             "points vanished over TCP: {}",
@@ -694,9 +683,9 @@ mod tests {
         let obs = cluster.observe();
         assert_eq!(obs.alive_nodes, 15);
         // The survivors keep making progress without the dead peer.
-        let before = cluster.observe().min_ticks;
+        let before = cluster.observe().ticks;
         cluster.await_ticks(before + 5, Duration::from_secs(10));
-        assert!(cluster.observe().min_ticks >= before + 5);
+        assert!(cluster.observe().ticks >= before + 5);
         cluster.shutdown();
     }
 

@@ -14,8 +14,9 @@
 //!
 //! The node loop is `polystyrene-runtime`'s `NodeRuntime`, verbatim,
 //! behind its `NodeFabric` seam; the scenario driver and observation
-//! plane are shared through `ClusterHarness`. A scenario script that
-//! runs on the in-process cluster runs unchanged here:
+//! plane are shared through the experiment plane (`polystyrene-lab`'s
+//! `Substrate` trait). A scenario script that runs on the in-process
+//! cluster runs unchanged here:
 //!
 //! ```
 //! use polystyrene_transport::{TcpCluster, TcpConfig};

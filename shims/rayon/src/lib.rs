@@ -218,6 +218,15 @@ pub mod iter {
             self.0.into_iter().collect()
         }
 
+        /// Collects the mapped values into `target`, reusing its
+        /// allocation (mirrors rayon's
+        /// `IndexedParallelIterator::collect_into_vec`, so swapping the
+        /// shim for the registry crate is still a one-line pin change).
+        pub fn collect_into_vec(self, target: &mut Vec<U>) {
+            target.clear();
+            target.extend(self.0);
+        }
+
         /// Sums the mapped values.
         pub fn sum<S: std::iter::Sum<U>>(self) -> S {
             self.0.into_iter().sum()

@@ -16,6 +16,7 @@
 //! | network simulation | [`netsim`] | deterministic discrete-event substrate: latency, loss, partitions |
 //! | deployment | [`runtime`] | threaded message-passing cluster |
 //! | wire deployment | [`transport`] | the byte codec, length-framed, over real TCP sockets |
+//! | **experiment plane** | [`lab`] | one `Substrate` seam + one driver over all four substrates |
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the architecture
 //! and per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use polystyrene as core;
+pub use polystyrene_lab as lab;
 pub use polystyrene_membership as membership;
 pub use polystyrene_netsim as netsim;
 pub use polystyrene_protocol as protocol;
@@ -58,15 +60,15 @@ pub use polystyrene_transport as transport;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use polystyrene::prelude::*;
-    pub use polystyrene_membership::{Descriptor, FailureDetector, NodeId, PeerSampling, View};
-    // Named (not glob) so netsim's `reference_homogeneity` twin does not
-    // collide with the simulator's.
-    pub use polystyrene_netsim::{
-        net_reshaping_time, run_net_scenario, NetRoundMetrics, NetSim, NetSimConfig,
+    pub use polystyrene_lab::{
+        build_substrate, run_experiment, summary_json, ExperimentSummary, ExperimentTrace,
+        LabConfig, LiveSubstrate, Substrate, SubstrateKind,
     };
+    pub use polystyrene_membership::{Descriptor, FailureDetector, NodeId, PeerSampling, View};
+    pub use polystyrene_netsim::{net_reshaping_time, NetRoundMetrics, NetSim, NetSimConfig};
     pub use polystyrene_protocol::prelude::*;
     pub use polystyrene_routing::prelude::*;
-    pub use polystyrene_runtime::{run_cluster_scenario, Cluster, ClusterHarness, RuntimeConfig};
+    pub use polystyrene_runtime::{Cluster, RuntimeConfig};
     pub use polystyrene_sim::prelude::*;
     pub use polystyrene_space::prelude::*;
     pub use polystyrene_topology::{

@@ -4,6 +4,11 @@
 
 use polystyrene_repro::prelude::*;
 
+fn run_script(engine: &mut Engine<Torus2>, paper: &PaperScenario) -> Vec<RoundMetrics> {
+    run_experiment(engine, &paper.script());
+    engine.history().to_vec()
+}
+
 fn engine_for(paper: &PaperScenario, k: usize, seed: u64) -> Engine<Torus2> {
     let (w, h) = paper.extents();
     let mut cfg = EngineConfig::default();
@@ -28,7 +33,7 @@ fn paper() -> PaperScenario {
 fn three_phases_follow_the_paper() {
     let paper = paper();
     let mut engine = engine_for(&paper, 4, 11);
-    let metrics = run_scenario(&mut engine, &paper.script());
+    let metrics = run_script(&mut engine, &paper);
 
     // Phase 1: convergence. Homogeneity 0 (every node hosts its point),
     // proximity near the grid optimum (4 neighbors at distance 1).
@@ -78,7 +83,7 @@ fn tman_baseline_loses_the_shape_forever() {
     let paper = paper();
     let mut engine = engine_for(&paper, 4, 13);
     engine.disable_polystyrene();
-    let metrics = run_scenario(&mut engine, &paper.script());
+    let metrics = run_script(&mut engine, &paper);
 
     // The baseline never reshapes…
     assert_eq!(reshaping_time(&metrics, paper.failure_round), None);
@@ -101,9 +106,8 @@ fn replication_factor_trades_speed_for_reliability() {
     let paper = PaperScenario::reshaping_only(24, 12, 15, 40);
     let run = |k: usize| {
         let mut engine = engine_for(&paper, k, 17);
-        let metrics = run_scenario(&mut engine, &paper.script());
-        let rec = RunRecord::analyze(metrics, Some(paper.failure_round));
-        (rec.reshaping_time, rec.reliability)
+        let trace = run_experiment(&mut engine, &paper.script());
+        (trace.reshaping_rounds(), trace.reliability())
     };
     let (_t2, r2) = run(2);
     let (t4, r4) = run(4);
@@ -123,7 +127,7 @@ fn deterministic_replay() {
     let paper = paper();
     let run = || {
         let mut engine = engine_for(&paper, 4, 99);
-        run_scenario(&mut engine, &paper.script())
+        run_script(&mut engine, &paper)
     };
     let a = run();
     let b = run();
