@@ -1,6 +1,9 @@
 //! **Figure 10a** — reshaping time vs network size for K ∈ {2, 4, 8}
 //! with `SPLIT_ADVANCED`. The paper reports near-logarithmic growth,
-//! reaching 14.08 ± 0.11 rounds at 51 200 nodes with K = 8.
+//! reaching 14.08 ± 0.11 rounds at 51 200 nodes with K = 8; the sweep
+//! here continues one step past the paper's largest measured run, to
+//! the 100 000-node top of its axis (`--max-nodes 102400`, a 320×320
+//! torus on the slab-pooled engine).
 //!
 //! Runs on any execution substrate via `--substrate` (default: the
 //! cycle engine, the only one that reaches paper scale on one box —
@@ -11,7 +14,7 @@
 //!
 //! ```sh
 //! cargo run --release -p polystyrene-bench --bin fig10a_scaling -- \
-//!     --max-nodes 51200 --runs 25       # full paper scale (slow!)
+//!     --max-nodes 102400 --runs 25      # full axis scale (slow!)
 //! cargo run --release -p polystyrene-bench --bin fig10a_scaling -- \
 //!     --substrate netsim --max-nodes 1600 --runs 3
 //! ```

@@ -85,6 +85,7 @@ fn main() {
     let mut failures = Vec::new();
     let mut reference_populations: Option<Vec<usize>> = None;
     let mut summaries: Vec<(String, ExperimentSummary)> = Vec::new();
+    let mut walls: Vec<(String, f64)> = Vec::new();
     for &kind in &kinds {
         let started = std::time::Instant::now();
         let mut substrate = build_substrate(
@@ -145,6 +146,7 @@ fn main() {
         let mut summary = ExperimentSummary::default();
         summary.push(&trace);
         summaries.push((kind.name().to_string(), summary));
+        walls.push((kind.name().to_string(), started.elapsed().as_secs_f64()));
     }
 
     std::fs::create_dir_all(&args.out).expect("failed to create output directory");
@@ -165,6 +167,21 @@ fn main() {
                     kinds
                         .iter()
                         .map(|k| format!("\"{k}\""))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            ),
+            (
+                // Per-substrate wall-clock, for the baseline differ.
+                "wall_secs",
+                format!(
+                    "{{{}}}",
+                    walls
+                        .iter()
+                        .map(|(label, secs)| format!(
+                            "\"{label}\":{}",
+                            polystyrene_lab::json_f64(*secs, 3)
+                        ))
                         .collect::<Vec<_>>()
                         .join(",")
                 ),

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod minijson;
+
 use polystyrene::prelude::{PolystyreneConfig, SplitStrategy};
 use polystyrene_lab::{
     build_substrate, run_experiment, ExperimentSummary, LabConfig, SubstrateKind,
@@ -522,9 +524,11 @@ pub fn render_reshaping_table(title: &str, rows: &[ReshapingRow]) -> String {
     )
 }
 
-/// Standard grid shapes for the scaling sweeps (Fig. 10), from 100 to
-/// 51 200 nodes as in the paper ("Size of network" axis, 100 → 100 000
-/// log scale; the paper's largest run is a 320×160 torus).
+/// Standard grid shapes for the scaling sweeps (Fig. 10), from 100
+/// nodes to the top of the paper's "Size of network" axis (100 →
+/// 100 000, log scale). The paper's largest *measured* run is the
+/// 320×160 torus (51 200 nodes); the final 320×320 step carries the
+/// sweep to the axis limit.
 pub fn scaling_sizes(max_nodes: usize) -> Vec<(usize, usize)> {
     [
         (10, 10),
@@ -537,6 +541,7 @@ pub fn scaling_sizes(max_nodes: usize) -> Vec<(usize, usize)> {
         (160, 80),
         (160, 160),
         (320, 160),
+        (320, 320),
     ]
     .into_iter()
     .filter(|&(c, r)| c * r <= max_nodes)
@@ -747,8 +752,9 @@ mod tests {
         assert_eq!(sizes.last(), Some(&(80, 40)));
         assert!(sizes.iter().all(|&(c, r)| c * r <= 3200));
         let all = scaling_sizes(usize::MAX);
-        assert_eq!(all.last(), Some(&(320, 160)));
-        assert_eq!(all.last().map(|&(c, r)| c * r), Some(51200));
+        assert_eq!(all.last(), Some(&(320, 320)));
+        assert_eq!(all.last().map(|&(c, r)| c * r), Some(102_400));
+        assert_eq!(scaling_sizes(51_200).last(), Some(&(320, 160)));
     }
 
     #[test]

@@ -330,6 +330,14 @@ impl ExperimentSummary {
         (!done.is_empty()).then(|| done.iter().sum::<f64>() / done.len() as f64)
     }
 
+    /// Mean cost units per node per round over the whole series, or
+    /// `None` before any run was pushed — the one-number traffic figure
+    /// the baseline differ tracks per substrate.
+    pub fn mean_cost_units(&self) -> Option<f64> {
+        let means = self.cost_units.means();
+        (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
+    }
+
     /// Mean ± CI95 of the reshaping time in rounds (over runs that
     /// reshaped).
     pub fn reshaping_ci(&self) -> ConfidenceInterval {
@@ -409,10 +417,15 @@ pub fn summary_json(
             Some(m) => json_f64(m, 2),
             None => "null".to_string(),
         };
+        let cost_units = match s.mean_cost_units() {
+            Some(m) => json_f64(m, 3),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "{{\"label\":\"{label}\",\"runs\":{},\"recovered_runs\":{},\
              \"mean_reshaping_rounds\":{reshaping_rounds},\"mean_reshaping_ticks\":{reshaping_ticks},\
+             \"mean_cost_units\":{cost_units},\
              \"reliability_mean\":{},\"final_alive_nodes\":",
             s.runs,
             s.recovered_runs(),

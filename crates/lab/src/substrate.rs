@@ -171,8 +171,7 @@ fn net_observation(m: &polystyrene_netsim::NetRoundMetrics) -> RoundObservation 
         surviving_points: m.surviving_points,
         points_per_node: m.points_per_node,
         parked_points: m.parked_points,
-        // The kernel counts messages, not paper cost units.
-        cost_units: 0.0,
+        cost_units: m.cost_per_node,
         ticks: u64::from(m.round),
     }
 }
@@ -249,6 +248,11 @@ pub struct LiveSubstrate<C> {
     rng: StdRng,
     target_ticks: u64,
     round_timeout: Duration,
+    /// Cumulative per-node cost at the end of the previous round — live
+    /// clusters report running totals (no round boundary to reset at),
+    /// and differencing them here recovers the per-round `cost_units`
+    /// the deterministic substrates report directly.
+    cost_baseline: f64,
 }
 
 impl<C> LiveSubstrate<C> {
@@ -262,6 +266,7 @@ impl<C> LiveSubstrate<C> {
             rng: StdRng::seed_from_u64(seed),
             target_ticks: 0,
             round_timeout,
+            cost_baseline: 0.0,
         }
     }
 
@@ -311,12 +316,18 @@ impl<P: Clone, C: LiveCluster<P>> Substrate<P> for LiveSubstrate<C> {
             .await_ticks(self.target_ticks, self.round_timeout);
         let mut obs = self.cluster.observe();
         obs.round = self.target_ticks as u32;
+        let cumulative = obs.cost_units;
+        // Clamp: a crash removes its victim's running total from the sum,
+        // which can pull the cumulative average backwards.
+        obs.cost_units = (cumulative - self.cost_baseline).max(0.0);
+        self.cost_baseline = cumulative;
         obs
     }
 
     fn observe(&self) -> RoundObservation {
         let mut obs = self.cluster.observe();
         obs.round = self.target_ticks as u32;
+        obs.cost_units = (obs.cost_units - self.cost_baseline).max(0.0);
         obs
     }
 }

@@ -46,6 +46,53 @@ impl From<u64> for NodeId {
     }
 }
 
+/// A multiply-rotate hasher for integer keys (FxHash-style).
+///
+/// `NodeId`-keyed maps sit on gossip hot paths — T-Man's per-exchange
+/// view dedup alone hashes every merged descriptor on every exchange of
+/// every node — where SipHash's per-insert cost dominates the whole
+/// lookup. Ids are not attacker-controlled (they are allocated by the
+/// driver), so HashDoS resistance buys nothing here.
+///
+/// Only the fixed-width integer `write_*` entry points are implemented
+/// with mixing; keys that hash arbitrary byte strings should keep the
+/// default hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer inputs (rare on these maps): fold the
+        // bytes through the same mix.
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// A `HashMap` keyed by [`NodeId`] (or other trusted integers) using
+/// [`IdHasher`].
+pub type IdHashMap<K, V> = std::collections::HashMap<K, V, std::hash::BuildHasherDefault<IdHasher>>;
+
+/// A `HashSet` over [`NodeId`]-like trusted integers using [`IdHasher`].
+pub type IdHashSet<K> = std::collections::HashSet<K, std::hash::BuildHasherDefault<IdHasher>>;
+
 impl From<NodeId> for u64 {
     fn from(id: NodeId) -> Self {
         id.0
@@ -90,5 +137,32 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", NodeId::new(5)).is_empty());
+    }
+
+    #[test]
+    fn id_hash_map_behaves_like_a_map() {
+        let mut m: IdHashMap<NodeId, u32> = IdHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(NodeId::new(i), i as u32);
+        }
+        m.insert(NodeId::new(7), 99);
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&NodeId::new(7)], 99);
+        assert_eq!(m[&NodeId::new(999)], 999);
+        assert!(!m.contains_key(&NodeId::new(1000)));
+    }
+
+    #[test]
+    fn id_hasher_spreads_sequential_ids() {
+        use std::hash::{Hash, Hasher};
+        // Sequential ids (the simulator's allocation pattern) must not
+        // collapse onto a few buckets.
+        let mut lows = HashSet::new();
+        for i in 0..256u64 {
+            let mut h = IdHasher::default();
+            NodeId::new(i).hash(&mut h);
+            lows.insert(h.finish() & 0xff);
+        }
+        assert!(lows.len() > 128, "only {} distinct low bytes", lows.len());
     }
 }

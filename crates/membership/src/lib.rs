@@ -42,6 +42,6 @@ pub use descriptor::Descriptor;
 pub use fd::{
     DelayedFailureDetector, FailureDetector, FlakyFailureDetector, SharedFailureDetector,
 };
-pub use id::NodeId;
+pub use id::{IdHashMap, IdHashSet, IdHasher, NodeId};
 pub use rps::PeerSampling;
 pub use view::View;

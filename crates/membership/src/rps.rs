@@ -161,6 +161,14 @@ impl<P: Clone> PeerSampling<P> {
     pub fn random_peers<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<NodeId> {
         self.view.sample(n, rng).into_iter().map(|d| d.id).collect()
     }
+
+    /// Appends up to `n` distinct random peers from the view into `out` —
+    /// the scratch-buffer twin of [`PeerSampling::random_peers`] for hot
+    /// per-round callers. Draws from the RNG exactly as `random_peers`
+    /// does, so seeded histories are identical either way.
+    pub fn random_peers_into<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, out: &mut Vec<NodeId>) {
+        out.extend(self.view.sample(n, rng).into_iter().map(|d| d.id));
+    }
 }
 
 /// Outcome of a complete pairwise shuffle, for engines that drive both

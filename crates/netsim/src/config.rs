@@ -1,7 +1,7 @@
 //! Configuration of the discrete-event network simulator.
 
 use polystyrene::prelude::PolystyreneConfig;
-use polystyrene_protocol::{LinkProfile, ProtocolConfig};
+use polystyrene_protocol::{CostModel, LinkProfile, ProtocolConfig};
 use polystyrene_topology::TManConfig;
 
 /// Simulator-level configuration: protocol parameters plus the network
@@ -25,6 +25,10 @@ pub struct NetSimConfig {
     pub tman_bootstrap: usize,
     /// The link model every message is routed through.
     pub link: LinkProfile,
+    /// Unit prices charged per outbound wire message (paper Sec. IV-A) —
+    /// the same prices the cycle engine uses, applied at this kernel's
+    /// send boundary.
+    pub cost: CostModel,
     /// Simulated time units per protocol round. Latency is expressed in
     /// the same units, so `latency >= ticks_per_round` means a message
     /// arrives in a *later* round than it was sent in. Node activations
@@ -53,6 +57,7 @@ impl Default for NetSimConfig {
             rps_shuffle_len: 8,
             tman_bootstrap: 10,
             link: LinkProfile::ideal(),
+            cost: CostModel::default(),
             ticks_per_round: 16,
             detection_delay_ticks: 0,
             migration_timeout_rounds: 3,

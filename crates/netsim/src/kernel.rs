@@ -29,7 +29,9 @@ use crate::config::NetSimConfig;
 use crate::metrics::{reference_homogeneity, NetRoundMetrics};
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_protocol::{Effect, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, Wire};
+use polystyrene_protocol::{
+    Effect, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, RoundCost, Wire,
+};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -119,6 +121,9 @@ pub struct NetSim<S: MetricSpace> {
     history: Vec<NetRoundMetrics>,
     sent_messages: u64,
     dropped_messages: u64,
+    /// This round's traffic in the paper's cost units, tallied at the
+    /// send boundary (a dropped message still cost its sender the bytes).
+    cost: RoundCost,
 }
 
 impl<S: MetricSpace> NetSim<S> {
@@ -207,6 +212,7 @@ impl<S: MetricSpace> NetSim<S> {
             history: Vec::new(),
             sent_messages: 0,
             dropped_messages: 0,
+            cost: RoundCost::default(),
         }
     }
 
@@ -402,6 +408,7 @@ impl<S: MetricSpace> NetSim<S> {
     /// mid-exchange, and the network would busy-bounce forever.
     pub fn step(&mut self) -> NetRoundMetrics {
         self.round += 1;
+        self.cost.reset();
         let round_start = self.now;
         let round_end = round_start + self.config.ticks_per_round;
         let mut order: Vec<usize> = (0..self.nodes.len())
@@ -473,6 +480,7 @@ impl<S: MetricSpace> NetSim<S> {
                 }
                 Effect::Send { to, wire } => {
                     self.sent_messages += 1;
+                    self.cost.charge_wire(&self.config.cost, &wire);
                     match self.net.route(from, to, wire.channel(), self.now) {
                         Fate::Drop => self.dropped_messages += 1,
                         Fate::Deliver { delay } => {
@@ -572,7 +580,7 @@ impl<S: MetricSpace> NetSim<S> {
             // they are *held here* for the homogeneity measurement (the
             // bytes are on this node, whatever the ownership paperwork
             // says).
-            for id in node.parked_ids() {
+            for id in node.parked_point_ids() {
                 holders.entry(id).or_default().push(i);
                 existing.insert(id);
                 parked_points += 1;
@@ -631,6 +639,12 @@ impl<S: MetricSpace> NetSim<S> {
             in_flight: self.in_flight(),
             sent_messages: self.sent_messages,
             dropped_messages: self.dropped_messages,
+            cost_per_node: if alive_count == 0 {
+                0.0
+            } else {
+                self.cost.total() as f64 / alive_count as f64
+            },
+            tman_cost_share: self.cost.tman_share(),
         }
     }
 }

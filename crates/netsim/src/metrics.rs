@@ -30,6 +30,13 @@ pub struct NetRoundMetrics {
     /// Messages the network dropped so far (loss and partitions,
     /// cumulative).
     pub dropped_messages: u64,
+    /// Traffic this round in the paper's cost units, divided by the
+    /// alive population — charged at the send boundary with the same
+    /// unit prices as the cycle engine (Fig. 7b's y-axis).
+    pub cost_per_node: f64,
+    /// Fraction of this round's cost units attributable to T-Man view
+    /// exchanges.
+    pub tman_cost_share: f64,
 }
 
 pub use polystyrene_protocol::observe::reference_homogeneity;

@@ -80,6 +80,7 @@
 
 pub mod codec;
 pub mod config;
+pub mod cost;
 pub mod net;
 pub mod node;
 pub mod observe;
@@ -89,6 +90,7 @@ pub mod wire;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::ProtocolConfig;
+    pub use crate::cost::{CostModel, RoundCost};
     pub use crate::net::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
     pub use crate::node::{Phase, ProtocolNode};
     pub use crate::observe::{reference_homogeneity, RoundObservation};
@@ -96,7 +98,7 @@ pub mod prelude {
         sample_bootstrap_contacts, select_region_victims, select_victims, PaperScenario, Scenario,
         ScenarioEvent,
     };
-    pub use crate::wire::{Channel, Effect, Event, Wire};
+    pub use crate::wire::{Channel, Effect, EffectSink, Event, Wire};
 }
 
 pub use prelude::*;

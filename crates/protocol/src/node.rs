@@ -23,7 +23,7 @@
 //!   stall (see [`ProtocolNode::on_tick`]).
 
 use crate::config::ProtocolConfig;
-use crate::wire::{Channel, Effect, Event, Wire};
+use crate::wire::{Channel, Effect, EffectSink, Event, Wire};
 use polystyrene::prelude::*;
 use polystyrene::recovery::{recover, RecoveryOutcome};
 use polystyrene_membership::{Descriptor, NodeId, PeerSampling};
@@ -200,11 +200,21 @@ impl<S: MetricSpace> ProtocolNode<S> {
     /// Ids of the parked handout points. Survival accounting must count
     /// these: mid-handover a point may exist *only* here (the carrying
     /// reply still in flight), yet it is not lost.
+    ///
+    /// Allocates a fresh `Vec`; observation paths that only need to walk
+    /// or count the ids should use [`ProtocolNode::parked_point_ids`]
+    /// instead.
     pub fn parked_ids(&self) -> Vec<PointId> {
+        self.parked_point_ids().collect()
+    }
+
+    /// Iterator over the parked handout points' ids — the allocation-free
+    /// accessor for per-round observation (counting every node's parked
+    /// ids used to build a throwaway `Vec<PointId>` per node per round).
+    pub fn parked_point_ids(&self) -> impl Iterator<Item = PointId> + '_ {
         self.handouts
             .values()
             .flat_map(|h| h.points.iter().map(|p| p.id))
-            .collect()
     }
 
     /// Advances the node's local protocol clock by one unit without
@@ -278,10 +288,19 @@ impl<S: MetricSpace> ProtocolNode<S> {
     /// topology layer must not keep advertising coordinates unrelated to
     /// the newly adopted guests.
     pub fn on_tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<Effect<S::Point>> {
+        let mut sink = EffectSink::new();
+        self.on_tick_into(rng, &mut sink);
+        sink.into_effects()
+    }
+
+    /// Sink-based twin of [`ProtocolNode::on_tick`]: pushes the round's
+    /// effects into a caller-supplied (and typically reused) buffer
+    /// instead of allocating a fresh `Vec` per activation.
+    pub fn on_tick_into<R: Rng + ?Sized>(&mut self, rng: &mut R, sink: &mut EffectSink<S::Point>) {
         self.clock += 1;
         let suspects = self.suspects();
         let fd = move |id: NodeId| suspects.contains(&id);
-        self.run_local_round(&fd, rng)
+        self.run_local_round(&fd, rng, sink);
     }
 
     /// One full local protocol round with failure verdicts supplied by
@@ -296,8 +315,20 @@ impl<S: MetricSpace> ProtocolNode<S> {
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
     ) -> Vec<Effect<S::Point>> {
+        let mut sink = EffectSink::new();
+        self.on_round_into(fd, rng, &mut sink);
+        sink.into_effects()
+    }
+
+    /// Sink-based twin of [`ProtocolNode::on_round`].
+    pub fn on_round_into<R: Rng + ?Sized>(
+        &mut self,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+        sink: &mut EffectSink<S::Point>,
+    ) {
         self.clock += 1;
-        self.run_local_round(fd, rng)
+        self.run_local_round(fd, rng, sink);
     }
 
     /// Shared body of [`ProtocolNode::on_tick`] / [`ProtocolNode::on_round`]:
@@ -308,8 +339,8 @@ impl<S: MetricSpace> ProtocolNode<S> {
         &mut self,
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
-    ) -> Vec<Effect<S::Point>> {
-        let mut effects = Vec::new();
+        sink: &mut EffectSink<S::Point>,
+    ) {
         for phase in Phase::ALL {
             if phase == Phase::Recovery {
                 if !self.recover_ghosts(fd).is_empty() {
@@ -317,9 +348,8 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 }
                 continue;
             }
-            effects.extend(self.on_phase(phase, fd, rng));
+            self.on_phase_into(phase, fd, rng, sink);
         }
-        effects
     }
 
     /// One protocol phase, with failure verdicts supplied by the driver —
@@ -331,16 +361,30 @@ impl<S: MetricSpace> ProtocolNode<S> {
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
     ) -> Vec<Effect<S::Point>> {
+        let mut sink = EffectSink::new();
+        self.on_phase_into(phase, fd, rng, &mut sink);
+        sink.into_effects()
+    }
+
+    /// Sink-based twin of [`ProtocolNode::on_phase`] — the cycle engine's
+    /// hot entry point: one sink serves the whole population, so the
+    /// steady state of a phase sweep performs no effect allocation at all.
+    pub fn on_phase_into<R: Rng + ?Sized>(
+        &mut self,
+        phase: Phase,
+        fd: &dyn Fn(NodeId) -> bool,
+        rng: &mut R,
+        sink: &mut EffectSink<S::Point>,
+    ) {
         match phase {
-            Phase::Heartbeat => self.heartbeat_phase(),
-            Phase::PeerSampling => self.peer_sampling_phase(),
-            Phase::Topology => self.topology_phase(fd, rng),
+            Phase::Heartbeat => self.heartbeat_phase(sink),
+            Phase::PeerSampling => self.peer_sampling_phase(sink),
+            Phase::Topology => self.topology_phase(fd, rng, sink),
             Phase::Recovery => {
                 self.recover_ghosts(fd);
-                Vec::new()
             }
-            Phase::Backup => self.backup_phase(fd, rng),
-            Phase::Migration => self.migration_phase(fd, rng),
+            Phase::Backup => self.backup_phase(fd, rng, sink),
+            Phase::Migration => self.migration_phase(fd, rng, sink),
         }
     }
 
@@ -350,15 +394,28 @@ impl<S: MetricSpace> ProtocolNode<S> {
         event: Event<S::Point>,
         rng: &mut R,
     ) -> Vec<Effect<S::Point>> {
+        let mut sink = EffectSink::new();
+        self.on_event_into(event, rng, &mut sink);
+        sink.into_effects()
+    }
+
+    /// Sink-based twin of [`ProtocolNode::on_event`].
+    pub fn on_event_into<R: Rng + ?Sized>(
+        &mut self,
+        event: Event<S::Point>,
+        rng: &mut R,
+        sink: &mut EffectSink<S::Point>,
+    ) {
         match event {
-            Event::ProbeOk { peer, channel, pos } => self.open_exchange(peer, channel, pos, rng),
+            Event::ProbeOk { peer, channel, pos } => {
+                self.open_exchange(peer, channel, pos, rng, sink)
+            }
             Event::PeerUnreachable { peer, channel } => {
                 self.peer_unreachable(peer, channel);
-                Vec::new()
             }
             Event::Message { from, wire } => {
                 self.heard_from(from);
-                self.handle_message(from, wire, rng)
+                self.handle_message(from, wire, rng, sink);
             }
         }
     }
@@ -375,38 +432,35 @@ impl<S: MetricSpace> ProtocolNode<S> {
     // Phases
     // ------------------------------------------------------------------
 
-    fn heartbeat_phase(&mut self) -> Vec<Effect<S::Point>> {
+    fn heartbeat_phase(&mut self, sink: &mut EffectSink<S::Point>) {
         // No detector, no beacons: when the driver supplies failure
         // verdicts externally (heartbeat_timeout_ticks == u32::MAX),
         // nothing would ever consume these sends.
         if !self.heartbeats_enabled() {
-            return Vec::new();
+            return;
         }
         // Heartbeats along the backup relationships (Sec. III-A suggests
         // "a reactive ping mechanism, or heartbeats").
-        let monitored: Vec<NodeId> = self
+        for peer in self
             .poly
             .backups
             .iter()
             .copied()
             .chain(self.poly.ghosts.keys().copied())
-            .collect();
-        monitored
-            .into_iter()
-            .map(|peer| Effect::Send {
+        {
+            sink.push(Effect::Send {
                 to: peer,
                 wire: Wire::Heartbeat,
-            })
-            .collect()
+            });
+        }
     }
 
-    fn peer_sampling_phase(&mut self) -> Vec<Effect<S::Point>> {
-        match self.rps.begin_round() {
-            Some(partner) => vec![Effect::Probe {
+    fn peer_sampling_phase(&mut self, sink: &mut EffectSink<S::Point>) {
+        if let Some(partner) = self.rps.begin_round() {
+            sink.push(Effect::Probe {
                 peer: partner,
                 channel: Channel::PeerSampling,
-            }],
-            None => Vec::new(),
+            });
         }
     }
 
@@ -414,7 +468,8 @@ impl<S: MetricSpace> ProtocolNode<S> {
         &mut self,
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
-    ) -> Vec<Effect<S::Point>> {
+        sink: &mut EffectSink<S::Point>,
+    ) {
         // Freshen the view: age entries, purge detected failures, and
         // fold in one random RPS descriptor (the random injection that
         // "guarantees the convergence of the topology", Sec. II-B).
@@ -427,12 +482,11 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 self.tman.integrate(self.id, &pos, &[d]);
             }
         }
-        match self.tman.select_partner(&pos, rng) {
-            Some(partner) => vec![Effect::Probe {
+        if let Some(partner) = self.tman.select_partner(&pos, rng) {
+            sink.push(Effect::Probe {
                 peer: partner,
                 channel: Channel::Topology,
-            }],
-            None => Vec::new(),
+            });
         }
     }
 
@@ -440,57 +494,63 @@ impl<S: MetricSpace> ProtocolNode<S> {
         &mut self,
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
-    ) -> Vec<Effect<S::Point>> {
+        sink: &mut EffectSink<S::Point>,
+    ) {
         let k = self.config.poly.replication;
         // Candidate backup targets come from the random peer-sampling
         // layer (Sec. III-D: "we spread copies as randomly as possible …
         // using the underlying peer-sampling layer"), or from the
         // topology layer for the localized-placement ablation.
-        let pool: Vec<NodeId> = match self.config.poly.backup_placement {
-            BackupPlacement::UniformRandom => self.rps.random_peers(backup_pool_size(k), rng),
-            BackupPlacement::NeighborhoodBiased => self
-                .tman
-                .closest(&self.poly.pos, backup_pool_size(k))
-                .into_iter()
-                .map(|d| d.id)
-                .collect(),
+        let mut pool = sink.take_ids();
+        match self.config.poly.backup_placement {
+            BackupPlacement::UniformRandom => {
+                self.rps
+                    .random_peers_into(backup_pool_size(k), rng, &mut pool)
+            }
+            BackupPlacement::NeighborhoodBiased => pool.extend(
+                self.tman
+                    .closest(&self.poly.pos, backup_pool_size(k))
+                    .into_iter()
+                    .map(|d| d.id),
+            ),
         };
-        let mut pool_iter = pool.into_iter();
+        let mut pool_iter = pool.drain(..);
         let self_id = self.id;
         let pushes = plan_backups(&mut self.poly, self_id, k, fd, || pool_iter.next());
-        pushes
-            .into_iter()
-            .map(|push| {
-                self.heard_from_if_new(push.target);
-                Effect::Send {
-                    to: push.target,
-                    wire: Wire::BackupPush {
-                        points: push.points,
-                        added_points: push.added_points,
-                        removed_ids: push.removed_ids,
-                    },
-                }
-            })
-            .collect()
+        drop(pool_iter);
+        sink.put_ids(pool);
+        for push in pushes {
+            self.heard_from_if_new(push.target);
+            sink.push(Effect::Send {
+                to: push.target,
+                wire: Wire::BackupPush {
+                    points: push.points,
+                    added_points: push.added_points,
+                    removed_ids: push.removed_ids,
+                },
+            });
+        }
     }
 
     fn migration_phase<R: Rng + ?Sized>(
         &mut self,
         fd: &dyn Fn(NodeId) -> bool,
         rng: &mut R,
-    ) -> Vec<Effect<S::Point>> {
+        sink: &mut EffectSink<S::Point>,
+    ) {
         // Re-adopt parked handouts whose ack never came: the reply (or
         // its ack) was lost in transit, or the initiator crashed. Taking
         // the points back may duplicate them (if the reply did land) but
         // can never lose them — the at-least-once direction.
         let timeout = u64::from(self.config.migration_timeout_ticks);
-        let expired: Vec<NodeId> = self
-            .handouts
-            .iter()
-            .filter(|(_, h)| self.clock.saturating_sub(h.started) > timeout)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
+        let mut ids = sink.take_ids();
+        ids.extend(
+            self.handouts
+                .iter()
+                .filter(|(_, h)| self.clock.saturating_sub(h.started) > timeout)
+                .map(|(&id, _)| id),
+        );
+        for id in ids.drain(..) {
             let handout = self.handouts.remove(&id).expect("collected above");
             self.poly.absorb_guests(handout.points);
         }
@@ -502,31 +562,35 @@ impl<S: MetricSpace> ProtocolNode<S> {
             }
         }
         if self.pending_migration.is_some() {
-            return Vec::new();
+            sink.put_ids(ids);
+            return;
         }
         // Candidates: the ψ closest topology neighbors plus random RPS
-        // peers (Algorithm 3 lines 1-2).
-        let mut candidates: Vec<NodeId> = self
-            .tman
-            .closest(&self.poly.pos, self.config.poly.psi)
-            .into_iter()
-            .map(|d| d.id)
-            .collect();
+        // peers (Algorithm 3 lines 1-2) — gathered in the same scratch,
+        // empty again after the drain above.
+        ids.extend(
+            self.tman
+                .closest(&self.poly.pos, self.config.poly.psi)
+                .into_iter()
+                .map(|d| d.id),
+        );
         for _ in 0..self.config.poly.random_candidates {
             if let Some(r) = self.rps.random_peer(rng) {
-                candidates.push(r);
+                ids.push(r);
             }
         }
         let self_id = self.id;
-        candidates.retain(|&c| c != self_id && !fd(c));
-        if candidates.is_empty() {
-            return Vec::new();
+        ids.retain(|&c| c != self_id && !fd(c));
+        if ids.is_empty() {
+            sink.put_ids(ids);
+            return;
         }
-        let q = candidates[rng.random_range(0..candidates.len())];
-        vec![Effect::Probe {
+        let q = ids[rng.random_range(0..ids.len())];
+        sink.put_ids(ids);
+        sink.push(Effect::Probe {
             peer: q,
             channel: Channel::Migration,
-        }]
+        });
     }
 
     // ------------------------------------------------------------------
@@ -539,38 +603,34 @@ impl<S: MetricSpace> ProtocolNode<S> {
         channel: Channel,
         pos: Option<S::Point>,
         rng: &mut R,
-    ) -> Vec<Effect<S::Point>> {
+        sink: &mut EffectSink<S::Point>,
+    ) {
         match channel {
             Channel::PeerSampling => {
                 let descriptors = self.rps.make_request(self.descriptor(), peer, rng);
-                vec![Effect::Send {
+                sink.push(Effect::Send {
                     to: peer,
                     wire: Wire::RpsRequest { descriptors },
-                }]
+                });
             }
             Channel::Topology => {
                 // Rank the buffer for where the partner actually is (when
                 // the driver knows) or where the view believes it is.
                 let target = match pos {
                     Some(p) => Some(p),
-                    None => self
-                        .tman
-                        .view_entries()
-                        .into_iter()
-                        .find(|d| d.id == peer)
-                        .map(|d| d.pos),
+                    None => self.tman.position_of(peer),
                 };
                 let Some(target) = target else {
-                    return Vec::new();
+                    return;
                 };
                 let descriptors = self.tman.prepare_message(self.descriptor(), &target);
-                vec![Effect::Send {
+                sink.push(Effect::Send {
                     to: peer,
                     wire: Wire::TManRequest {
                         from_pos: self.poly.pos.clone(),
                         descriptors,
                     },
-                }]
+                });
             }
             Channel::Migration => {
                 self.migration_seq += 1;
@@ -581,18 +641,18 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     started: self.clock,
                     shipped: self.poly.guests.iter().map(|g| g.id).collect(),
                 });
-                vec![Effect::Send {
+                sink.push(Effect::Send {
                     to: peer,
                     wire: Wire::MigrationRequest {
                         xid,
                         from_pos: self.poly.pos.clone(),
                         guests: self.poly.guests.clone(),
                     },
-                }]
+                });
             }
             // Backups and heartbeats are fire-and-forget: no probe is ever
             // issued for them, so there is nothing to open.
-            Channel::Backup | Channel::Heartbeat => Vec::new(),
+            Channel::Backup | Channel::Heartbeat => {}
         }
     }
 
@@ -629,22 +689,22 @@ impl<S: MetricSpace> ProtocolNode<S> {
         from: NodeId,
         wire: Wire<S::Point>,
         rng: &mut R,
-    ) -> Vec<Effect<S::Point>> {
+        sink: &mut EffectSink<S::Point>,
+    ) {
         match wire {
-            Wire::Heartbeat => Vec::new(),
+            Wire::Heartbeat => {}
             Wire::RpsRequest { descriptors } => {
                 let reply = self.rps.handle_request(self.id, &descriptors, rng);
-                vec![Effect::Send {
+                sink.push(Effect::Send {
                     to: from,
                     wire: Wire::RpsReply {
                         sent: descriptors,
                         descriptors: reply,
                     },
-                }]
+                });
             }
             Wire::RpsReply { sent, descriptors } => {
                 self.rps.handle_reply(self.id, &sent, &descriptors);
-                Vec::new()
             }
             Wire::TManRequest {
                 from_pos,
@@ -653,15 +713,14 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 let reply = self.tman.prepare_message(self.descriptor(), &from_pos);
                 let pos = self.poly.pos.clone();
                 self.tman.integrate(self.id, &pos, &descriptors);
-                vec![Effect::Send {
+                sink.push(Effect::Send {
                     to: from,
                     wire: Wire::TManReply { descriptors: reply },
-                }]
+                });
             }
             Wire::TManReply { descriptors } => {
                 let pos = self.poly.pos.clone();
                 self.tman.integrate(self.id, &pos, &descriptors);
-                Vec::new()
             }
             Wire::MigrationRequest {
                 xid,
@@ -671,7 +730,7 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 if self.pending_migration.is_some() {
                     // Busy: bounce the guests back untouched (the pairwise
                     // exclusivity requirement of Algorithm 3).
-                    return vec![Effect::Send {
+                    sink.push(Effect::Send {
                         to: from,
                         wire: Wire::MigrationReply {
                             xid,
@@ -680,7 +739,8 @@ impl<S: MetricSpace> ProtocolNode<S> {
                             pulled: 0,
                             pushed: 0,
                         },
-                    }];
+                    });
+                    return;
                 }
                 // A still-parked handout for the same initiator means our
                 // previous reply (or its ack) never made it and the
@@ -720,7 +780,7 @@ impl<S: MetricSpace> ProtocolNode<S> {
                         },
                     );
                 }
-                vec![Effect::Send {
+                sink.push(Effect::Send {
                     to: from,
                     wire: Wire::MigrationReply {
                         xid,
@@ -729,7 +789,7 @@ impl<S: MetricSpace> ProtocolNode<S> {
                         pulled: outcome.pulled,
                         pushed: outcome.pushed,
                     },
-                }]
+                });
             }
             Wire::MigrationReply {
                 xid, points, busy, ..
@@ -763,10 +823,10 @@ impl<S: MetricSpace> ProtocolNode<S> {
                         self.poly.project(&self.space, &self.config.poly, rng);
                         // Confirm custody so the responder un-parks its
                         // handout instead of re-adopting it at timeout.
-                        return vec![Effect::Send {
+                        sink.push(Effect::Send {
                             to: from,
                             wire: Wire::MigrationAck { xid },
-                        }];
+                        });
                     }
                 } else if !busy {
                     // Late reply after our timeout: the responder already
@@ -777,14 +837,13 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     // clear *this* reply's handout, never a newer one.
                     self.poly.absorb_guests(points);
                     self.poly.project(&self.space, &self.config.poly, rng);
-                    return vec![Effect::Send {
+                    sink.push(Effect::Send {
                         to: from,
                         wire: Wire::MigrationAck { xid },
-                    }];
+                    });
                 }
                 // A stale *busy* bounce is ignored outright: its points
                 // are a subset of guests we still hold.
-                Vec::new()
             }
             Wire::MigrationAck { xid } => {
                 // The initiator holds the handed-out points: stop parking —
@@ -792,11 +851,9 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 if self.handouts.get(&from).is_some_and(|h| h.xid == xid) {
                     self.handouts.remove(&from);
                 }
-                Vec::new()
             }
             Wire::BackupPush { points, .. } => {
                 self.poly.store_ghosts(from, points);
-                Vec::new()
             }
         }
     }

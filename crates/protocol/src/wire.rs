@@ -212,9 +212,125 @@ pub enum Effect<P> {
     },
 }
 
+/// A reusable buffer the phase pipeline pushes [`Effect`]s into.
+///
+/// The `on_tick`/`on_phase`/`on_event` family used to return a freshly
+/// allocated `Vec<Effect>` per call — two to six allocations per node per
+/// round, which dominates the cycle engine's hot loop past ~50k nodes. A
+/// batch driver now owns **one** sink, clears it between activations, and
+/// passes it to the `*_into` twins; the effect and id scratch capacities
+/// warm up over the first round and are reused for the rest of the run.
+///
+/// The legacy `Vec`-returning entry points still exist as thin wrappers
+/// (they build a throwaway sink), so occasional-use drivers — the
+/// threaded runtime, the TCP cluster — compile unchanged.
+#[derive(Debug)]
+pub struct EffectSink<P> {
+    effects: Vec<Effect<P>>,
+    /// Scratch for the phases' per-call `Vec<NodeId>` temporaries
+    /// (expired handouts, migration candidates, backup pools). Taken with
+    /// `mem::take` while a phase runs so it can coexist with effect
+    /// pushes, and handed back — cleared but with capacity intact — when
+    /// the phase finishes.
+    ids: Vec<NodeId>,
+}
+
+impl<P> EffectSink<P> {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self {
+            effects: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Queues one effect for the driver.
+    pub fn push(&mut self, effect: Effect<P>) {
+        self.effects.push(effect);
+    }
+
+    /// The effects queued so far.
+    pub fn effects(&self) -> &[Effect<P>] {
+        &self.effects
+    }
+
+    /// Number of queued effects.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Whether no effects are queued.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// Clears the queued effects, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.effects.clear();
+    }
+
+    /// Removes and yields the queued effects, keeping capacity.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Effect<P>> {
+        self.effects.drain(..)
+    }
+
+    /// Consumes the sink into the queued effects (the compat wrappers'
+    /// return value).
+    pub fn into_effects(self) -> Vec<Effect<P>> {
+        self.effects
+    }
+
+    /// Borrows the id scratch out of the sink (empty, capacity warm).
+    /// Return it with [`EffectSink::put_ids`] so the capacity survives to
+    /// the next activation.
+    pub fn take_ids(&mut self) -> Vec<NodeId> {
+        let mut ids = std::mem::take(&mut self.ids);
+        ids.clear();
+        ids
+    }
+
+    /// Hands the id scratch back after a phase is done with it.
+    pub fn put_ids(&mut self, mut ids: Vec<NodeId>) {
+        ids.clear();
+        self.ids = ids;
+    }
+}
+
+impl<P> Default for EffectSink<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effect_sink_reuses_capacity_across_rounds() {
+        let mut sink: EffectSink<f64> = EffectSink::new();
+        sink.push(Effect::Probe {
+            peer: NodeId::new(1),
+            channel: Channel::Topology,
+        });
+        sink.push(Effect::Send {
+            to: NodeId::new(2),
+            wire: Wire::Heartbeat,
+        });
+        assert_eq!(sink.len(), 2);
+        let drained: Vec<_> = sink.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+
+        let mut ids = sink.take_ids();
+        ids.extend([NodeId::new(7), NodeId::new(8)]);
+        let cap = ids.capacity();
+        sink.put_ids(ids);
+        let again = sink.take_ids();
+        assert!(again.is_empty());
+        assert!(again.capacity() >= cap, "scratch capacity must survive");
+        sink.put_ids(again);
+    }
 
     #[test]
     fn kinds_and_channels_are_consistent() {

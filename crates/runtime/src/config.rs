@@ -1,7 +1,7 @@
 //! Runtime deployment configuration.
 
 use polystyrene::prelude::PolystyreneConfig;
-use polystyrene_protocol::{LinkProfile, ProtocolConfig};
+use polystyrene_protocol::{CostModel, LinkProfile, ProtocolConfig};
 use polystyrene_topology::TManConfig;
 use std::time::Duration;
 
@@ -39,6 +39,9 @@ pub struct RuntimeConfig {
     /// registry); latency and jitter need a timer fabric and are the
     /// discrete-event simulator's domain — they are ignored here.
     pub link: LinkProfile,
+    /// Unit prices charged per outbound wire message (paper Sec. IV-A),
+    /// tallied by each node thread at its send boundary.
+    pub cost: CostModel,
     /// Base RNG seed (each node derives its own from this and its id).
     pub seed: u64,
     /// Surface area of the data space, for the reference homogeneity
@@ -63,6 +66,7 @@ impl Default for RuntimeConfig {
             bootstrap_contacts: 8,
             migration_timeout_ticks: 3,
             link: LinkProfile::ideal(),
+            cost: CostModel::default(),
             seed: 1,
             area: 3200.0,
         }

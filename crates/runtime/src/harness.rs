@@ -92,6 +92,7 @@ mod tests {
                 parked_ids: Vec::new(),
                 stored_points: 0,
                 ticks: 1,
+                cost_units: 0,
             },
         );
         let mut rng = StdRng::seed_from_u64(2);

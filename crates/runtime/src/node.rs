@@ -18,7 +18,7 @@ use crate::message::Message;
 use crate::observe::{NodeReport, ObservationBoard};
 use polystyrene::prelude::{DataPoint, PolyState};
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_protocol::{Effect, Event, ProtocolNode};
+use polystyrene_protocol::{CostModel, Effect, Event, ProtocolNode};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,6 +40,11 @@ pub struct NodeRuntime<S: MetricSpace> {
     board: Arc<ObservationBoard<S::Point>>,
     rx: crossbeam::channel::Receiver<Message<S::Point>>,
     rng: StdRng,
+    cost_model: CostModel,
+    /// Cumulative units this node has handed to the fabric, in the
+    /// paper's prices — charged at the send boundary whether or not the
+    /// delivery succeeds (the bytes left the node either way).
+    sent_units: u64,
 }
 
 impl<S: MetricSpace> NodeRuntime<S> {
@@ -76,6 +81,8 @@ impl<S: MetricSpace> NodeRuntime<S> {
             board,
             rx,
             rng: StdRng::seed_from_u64(config.seed.wrapping_add(id.as_u64() * 0x9E37)),
+            cost_model: config.cost,
+            sent_units: 0,
         }
     }
 
@@ -146,9 +153,10 @@ impl<S: MetricSpace> NodeRuntime<S> {
                     .values()
                     .flat_map(|pts| pts.iter().map(|p| p.id))
                     .collect(),
-                parked_ids: self.node.parked_ids(),
+                parked_ids: self.node.parked_point_ids().collect(),
                 stored_points: self.node.poly.stored_points(),
                 ticks: self.node.clock(),
+                cost_units: self.sent_units,
             },
         );
     }
@@ -190,6 +198,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
                 }
                 Effect::Send { to, wire } => {
                     let channel = wire.channel();
+                    self.sent_units += self.cost_model.wire_units(&wire);
                     let delivered = self.fabric.send(to, wire);
                     if !delivered {
                         let event = Event::PeerUnreachable { peer: to, channel };

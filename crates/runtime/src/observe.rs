@@ -35,6 +35,8 @@ pub struct NodeReport<P> {
     pub stored_points: usize,
     /// Ticks executed so far.
     pub ticks: u64,
+    /// Cumulative wire cost this node has sent, in the paper's units.
+    pub cost_units: u64,
 }
 
 /// The shared board.
@@ -142,7 +144,15 @@ pub fn observe<S: MetricSpace>(
             snapshot.values().map(|r| r.stored_points).sum::<usize>() as f64 / alive as f64
         },
         parked_points,
-        cost_units: 0.0,
+        // Cumulative units per alive node, not this-round units: node
+        // threads report running totals (a wall-clock snapshot has no
+        // round boundary to reset at). The lab's live-substrate adapter
+        // differences consecutive snapshots to recover per-round cost.
+        cost_units: if alive == 0 {
+            0.0
+        } else {
+            snapshot.values().map(|r| r.cost_units).sum::<u64>() as f64 / alive as f64
+        },
         ticks: snapshot.values().map(|r| r.ticks).min().unwrap_or(0),
     }
 }
@@ -160,6 +170,7 @@ mod tests {
             parked_ids: Vec::new(),
             stored_points: stored,
             ticks: 5,
+            cost_units: 0,
         }
     }
 

@@ -1,111 +1,9 @@
 //! Message-cost accounting in the paper's units (Sec. IV-A).
 //!
-//! "We assume a single coordinate uses the same size as a node ID, and
-//! take this as our arbitrary communication unit. Under these assumptions,
-//! sending a node descriptor (its ID, plus its coordinates) counts as 3
-//! units, while a set of 2D coordinates counts as 2. In a first
-//! approximation, we ignore overheads caused by the underlying
-//! communication network (e.g. headers, checksums), and do not include the
-//! peer sampling protocol in our measurements."
+//! The unit prices and the per-round tally now live next to the wire
+//! format itself, in [`polystyrene_protocol::cost`], so every substrate
+//! (engine, netsim, runtime, TCP) charges the same prices off the same
+//! [`Wire`](polystyrene_protocol::Wire) routing. This module re-exports
+//! them under their historical simulator path.
 
-use serde::{Deserialize, Serialize};
-
-/// Unit prices for the quantities that cross the wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CostModel {
-    /// Units per bare data point (a set of coordinates; 2 for 2-D).
-    pub units_per_point: usize,
-    /// Units per node descriptor (ID + coordinates; 3 for 2-D).
-    pub units_per_descriptor: usize,
-    /// Units per bare node/point id.
-    pub units_per_id: usize,
-}
-
-impl CostModel {
-    /// The paper's cost model for a `dim`-dimensional coordinate space:
-    /// one unit per coordinate, one per id.
-    pub fn for_dimension(dim: usize) -> Self {
-        Self {
-            units_per_point: dim,
-            units_per_descriptor: dim + 1,
-            units_per_id: 1,
-        }
-    }
-}
-
-impl Default for CostModel {
-    /// The 2-D torus model of the paper's evaluation.
-    fn default() -> Self {
-        Self::for_dimension(2)
-    }
-}
-
-/// Per-round traffic tally, split by origin so Fig. 7b's observation
-/// ("most of the communication overhead … is caused by T-Man") can be
-/// reproduced exactly.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RoundCost {
-    /// Units spent by T-Man view exchanges.
-    pub tman_units: u64,
-    /// Units spent migrating data points (pull + push legs).
-    pub migration_units: u64,
-    /// Units spent pushing backup deltas.
-    pub backup_units: u64,
-}
-
-impl RoundCost {
-    /// Total units this round across all protocols (peer sampling is
-    /// excluded by the paper's convention).
-    pub fn total(&self) -> u64 {
-        self.tman_units + self.migration_units + self.backup_units
-    }
-
-    /// Resets the tally for the next round.
-    pub fn reset(&mut self) {
-        *self = Self::default();
-    }
-
-    /// Fraction of the total attributable to T-Man (≈ 93.6 % for K = 8 in
-    /// the paper).
-    pub fn tman_share(&self) -> f64 {
-        let total = self.total();
-        if total == 0 {
-            0.0
-        } else {
-            self.tman_units as f64 / total as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_prices_for_2d() {
-        let m = CostModel::default();
-        assert_eq!(m.units_per_point, 2);
-        assert_eq!(m.units_per_descriptor, 3);
-        assert_eq!(m.units_per_id, 1);
-    }
-
-    #[test]
-    fn dimension_scaling() {
-        let m = CostModel::for_dimension(3);
-        assert_eq!(m.units_per_point, 3);
-        assert_eq!(m.units_per_descriptor, 4);
-    }
-
-    #[test]
-    fn tally_totals_and_share() {
-        let mut c = RoundCost::default();
-        c.tman_units = 90;
-        c.migration_units = 6;
-        c.backup_units = 4;
-        assert_eq!(c.total(), 100);
-        assert!((c.tman_share() - 0.9).abs() < 1e-12);
-        c.reset();
-        assert_eq!(c.total(), 0);
-        assert_eq!(c.tman_share(), 0.0);
-    }
-}
+pub use polystyrene_protocol::cost::{CostModel, RoundCost};

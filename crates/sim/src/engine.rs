@@ -6,7 +6,7 @@
 //! atomically. The per-node protocol itself lives in
 //! [`polystyrene_protocol::ProtocolNode`]; this engine is a *driver*: it
 //! owns ground truth (who is really alive), activates each node
-//! phase-by-phase across the population, and executes the returned
+//! phase-by-phase across the population, and executes the resulting
 //! effects synchronously — a [`Effect::Send`] is delivered to the
 //! destination node in the same instant, which is exactly the atomic
 //! pairwise exchange of the cycle model:
@@ -22,12 +22,30 @@
 //! seeded histories are bit-identical to the engine that predates the
 //! protocol extraction. The engine also injects failures and fresh
 //! nodes, and measures the paper's five metrics after each round.
+//!
+//! # Storage and the hot loop
+//!
+//! The population lives in a [`NodePool`]: dense
+//! recycled slots with generation ids, a slot-indexed position slab, and
+//! an incrementally maintained sorted alive list (see the pool module
+//! docs for the layout). The phase pipeline drives each node through the
+//! sink-based `*_into` protocol entry points with one engine-owned
+//! [`EffectSink`] and one reusable dispatch queue, so a steady-state
+//! round performs no per-activation allocation. Failure verdicts are
+//! snapshotted into a dense flag table once per phase instead of taking
+//! a read lock per view-membership test. All of it is bit-identical to
+//! the boxed `Vec<Option<ProtocolNode>>` layout it replaced — same
+//! activation order, same RNG draws, same delivery order — which is
+//! pinned by the golden-history fingerprint suites.
 
 use crate::cost::{CostModel, RoundCost};
 use crate::metrics::{reference_homogeneity, RoundMetrics};
+use crate::pool::NodePool;
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId, SharedFailureDetector};
-use polystyrene_protocol::{Channel, Effect, Event, Phase, ProtocolConfig, ProtocolNode, Wire};
+use polystyrene_protocol::{
+    Channel, Effect, EffectSink, Event, Phase, ProtocolConfig, ProtocolNode,
+};
 use polystyrene_space::MetricSpace;
 use polystyrene_topology::rank::GridIndex;
 use polystyrene_topology::{TManConfig, TopologyConstruction};
@@ -141,7 +159,7 @@ impl EngineConfig {
 pub struct Engine<S: MetricSpace> {
     space: S,
     config: EngineConfig,
-    nodes: Vec<Option<ProtocolNode<S>>>,
+    pool: NodePool<S>,
     /// The initial data points of the founding population — the target
     /// shape, and the reference set of the homogeneity metric.
     original_points: Vec<DataPoint<S::Point>>,
@@ -152,6 +170,12 @@ pub struct Engine<S: MetricSpace> {
     history: Vec<RoundMetrics>,
     poly_enabled: bool,
     scratch: MetricsScratch,
+    /// The one effect buffer every activation pushes into.
+    sink: EffectSink<S::Point>,
+    /// Reusable synchronous-delivery queue of [`Engine::dispatch`].
+    queue: VecDeque<(NodeId, Effect<S::Point>)>,
+    /// Reusable activation-order buffer of [`Engine::run_phase`].
+    order: Vec<NodeId>,
 }
 
 /// Reusable buffers of the per-round measurement pass. At scale the
@@ -167,9 +191,9 @@ pub struct Engine<S: MetricSpace> {
 /// fingerprints and the grid-index equivalence test.
 #[derive(Default)]
 struct MetricsScratch {
-    /// Indices of alive nodes.
-    alive: Vec<usize>,
-    /// `holders[point]` = alive node indices hosting that point as a
+    /// Ids of alive nodes, ascending.
+    alive: Vec<NodeId>,
+    /// `holders[point]` = slots of alive nodes hosting that point as a
     /// guest (empty = no holder).
     holders: Vec<Vec<usize>>,
     /// Whether any alive node stores a ghost replica of the point.
@@ -201,7 +225,7 @@ impl<S: MetricSpace> Engine<S> {
             .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
             .collect();
 
-        let mut nodes: Vec<Option<ProtocolNode<S>>> = Vec::with_capacity(n);
+        let mut pool = NodePool::with_capacity(n);
         for (i, origin) in original_points.iter().enumerate() {
             let mut contacts = Vec::new();
             while contacts.len() < config.rps_view_cap.min(n - 1) {
@@ -226,20 +250,24 @@ impl<S: MetricSpace> Engine<S> {
                 }
             }
 
-            nodes.push(Some(ProtocolNode::new(
-                NodeId::new(i as u64),
-                space.clone(),
-                protocol,
-                PolyState::with_initial_point(origin.clone()),
-                contacts,
-                boot,
-            )));
+            let space = &space;
+            pool.insert_with(|id| {
+                debug_assert_eq!(id.index(), i, "founding ids must be contiguous");
+                ProtocolNode::new(
+                    id,
+                    space.clone(),
+                    protocol,
+                    PolyState::with_initial_point(origin.clone()),
+                    contacts,
+                    boot,
+                )
+            });
         }
 
         Self {
             space,
             config,
-            nodes,
+            pool,
             original_points,
             fd: SharedFailureDetector::new(),
             round: 0,
@@ -248,6 +276,9 @@ impl<S: MetricSpace> Engine<S> {
             history: Vec::new(),
             poly_enabled: true,
             scratch: MetricsScratch::default(),
+            sink: EffectSink::new(),
+            queue: VecDeque::new(),
+            order: Vec::new(),
         }
     }
 
@@ -279,19 +310,22 @@ impl<S: MetricSpace> Engine<S> {
         &self.space
     }
 
-    /// Ids of currently alive nodes.
+    /// Ids of currently alive nodes, ascending.
+    ///
+    /// Allocates; bulk readers should prefer [`Engine::alive_id_slice`],
+    /// which borrows the pool's incrementally maintained list.
     pub fn alive_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_some())
-            .map(|(i, _)| NodeId::new(i as u64))
-            .collect()
+        self.pool.alive_ids().to_vec()
+    }
+
+    /// Ids of currently alive nodes, ascending, borrowed from the pool.
+    pub fn alive_id_slice(&self) -> &[NodeId] {
+        self.pool.alive_ids()
     }
 
     /// Number of currently alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.nodes.iter().filter(|c| c.is_some()).count()
+        self.pool.alive_count()
     }
 
     /// The initial data points defining the target shape.
@@ -305,25 +339,29 @@ impl<S: MetricSpace> Engine<S> {
     }
 
     /// The published position of a node, if alive.
+    ///
+    /// Reads the live node state, not the slab: mid-round callers (the
+    /// probe ground truth of `Engine::dispatch`) need the position as
+    /// of *now*, including moves earlier in the same round.
     pub fn position_of(&self, id: NodeId) -> Option<S::Point> {
-        self.nodes
-            .get(id.index())
-            .and_then(|c| c.as_ref())
-            .map(|c| c.poly.pos.clone())
+        self.pool.get(id).map(|c| c.poly.pos.clone())
     }
 
     /// Read access to a node's Polystyrene state, if alive (tests and
     /// snapshot tooling).
     pub fn poly_state(&self, id: NodeId) -> Option<&PolyState<S::Point>> {
-        self.nodes
-            .get(id.index())
-            .and_then(|c| c.as_ref())
-            .map(|c| &c.poly)
+        self.pool.get(id).map(|c| &c.poly)
+    }
+
+    /// Number of migration-split points the node currently has parked,
+    /// if alive — counted without materializing the id list.
+    pub fn parked_points_of(&self, id: NodeId) -> Option<usize> {
+        self.pool.get(id).map(|c| c.parked_points())
     }
 
     /// The `k` closest T-Man neighbors a node currently reports.
     pub fn neighbors_of(&self, id: NodeId, k: usize) -> Vec<NodeId> {
-        match self.nodes.get(id.index()).and_then(|c| c.as_ref()) {
+        match self.pool.get(id) {
             Some(node) => node
                 .tman
                 .closest(&node.poly.pos, k)
@@ -350,7 +388,7 @@ impl<S: MetricSpace> Engine<S> {
     ) -> Vec<NodeId> {
         let killed =
             polystyrene_protocol::select_region_victims(&self.original_points, &predicate, &|id| {
-                self.nodes.get(id.index()).is_some_and(Option::is_some)
+                self.pool.contains(id)
             });
         for &id in &killed {
             self.crash(id);
@@ -377,12 +415,11 @@ impl<S: MetricSpace> Engine<S> {
         killed
     }
 
-    /// Crashes one specific node (no-op if already dead).
+    /// Crashes one specific node (no-op if already dead). The pool frees
+    /// and recycles the slot; the id is never reused.
     pub fn crash(&mut self, id: NodeId) {
-        if let Some(cell) = self.nodes.get_mut(id.index()) {
-            if cell.take().is_some() {
-                self.fd.mark_failed(id, self.round);
-            }
+        if self.pool.remove(id).is_some() {
+            self.fd.mark_failed(id, self.round);
         }
     }
 
@@ -392,19 +429,13 @@ impl<S: MetricSpace> Engine<S> {
     /// [`polystyrene_protocol::sample_bootstrap_contacts`] path. Returns
     /// the new ids.
     pub fn inject(&mut self, positions: Vec<S::Point>) -> Vec<NodeId> {
-        let alive = self.alive_ids();
+        let alive = self.pool.alive_ids().to_vec();
         let protocol = self.config.protocol();
         let mut new_ids = Vec::with_capacity(positions.len());
         for pos in positions {
-            let id = NodeId::new(self.nodes.len() as u64);
             let (contacts, boot) = {
-                let nodes = &self.nodes;
-                let pos_of = |j: NodeId| {
-                    nodes
-                        .get(j.index())
-                        .and_then(|c| c.as_ref())
-                        .map(|c| c.poly.pos.clone())
-                };
+                let pool = &self.pool;
+                let pos_of = |j: NodeId| pool.get(j).map(|c| c.poly.pos.clone());
                 (
                     polystyrene_protocol::sample_bootstrap_contacts(
                         &alive,
@@ -420,14 +451,17 @@ impl<S: MetricSpace> Engine<S> {
                     ),
                 )
             };
-            self.nodes.push(Some(ProtocolNode::new(
-                id,
-                self.space.clone(),
-                protocol,
-                PolyState::empty_at(pos),
-                contacts,
-                boot,
-            )));
+            let space = &self.space;
+            let id = self.pool.insert_with(|id| {
+                ProtocolNode::new(
+                    id,
+                    space.clone(),
+                    protocol,
+                    PolyState::empty_at(pos),
+                    contacts,
+                    boot,
+                )
+            });
             new_ids.push(id);
         }
         new_ids
@@ -442,7 +476,7 @@ impl<S: MetricSpace> Engine<S> {
         for point in &mut self.original_points {
             point.pos = transform(&point.pos);
         }
-        for node in self.nodes.iter_mut().flatten() {
+        for node in self.pool.slots_mut().iter_mut().flatten() {
             for g in &mut node.poly.guests {
                 g.pos = transform(&g.pos);
             }
@@ -488,63 +522,68 @@ impl<S: MetricSpace> Engine<S> {
         }
     }
 
-    fn activation_order(&mut self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_some())
-            .collect();
-        order.shuffle(&mut self.rng);
-        order
-    }
-
-    fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.index())
-            .map(|c| c.is_some())
-            .unwrap_or(false)
-    }
-
-    /// The engine's failure-detector view at the current round: a crash
+    /// Dense per-id failure verdicts at the current round: a crash
     /// becomes visible `detection_delay` rounds after it happened.
-    fn detector(&self) -> impl Fn(NodeId) -> bool + Send + Sync {
-        let fd = self.fd.clone();
+    ///
+    /// One lock acquisition per phase; the phases then test membership
+    /// against a flag table instead of a shared `RwLock`-guarded map
+    /// (T-Man's per-entry purges alone query the detector millions of
+    /// times per round at 10k+ nodes). Verdicts cannot change mid-phase —
+    /// crashes are injected only between rounds — so the snapshot is
+    /// exactly the closure it replaced.
+    fn detector_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.pool.peek_next_id().index()];
         let delay = self.config.detection_delay;
         let now = self.round;
-        move |id: NodeId| match fd.failure_round(id) {
-            Some(at) => now >= at.saturating_add(delay),
-            None => false,
+        for (id, at) in self.fd.failure_records() {
+            if now >= at.saturating_add(delay) {
+                if let Some(f) = flags.get_mut(id.index()) {
+                    *f = true;
+                }
+            }
         }
+        flags
     }
 
     /// One protocol phase across the whole population, each node
     /// activated once in a fresh random order (the cycle-driven model).
     fn run_phase(&mut self, phase: Phase) {
-        let detected = self.detector();
-        for i in self.activation_order() {
-            if self.nodes[i].is_none() {
+        let flags = self.detector_flags();
+        let detected = |id: NodeId| flags.get(id.index()).copied().unwrap_or(false);
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend_from_slice(self.pool.alive_ids());
+        order.shuffle(&mut self.rng);
+        let mut sink = std::mem::take(&mut self.sink);
+        for &id in &order {
+            let Some(node) = self.pool.get_mut(id) else {
                 continue;
-            }
-            let effects = {
-                let node = self.nodes[i].as_mut().unwrap();
-                node.on_phase(phase, &detected, &mut self.rng)
             };
-            if !effects.is_empty() {
-                self.dispatch(i, effects);
+            sink.clear();
+            node.on_phase_into(phase, &detected, &mut self.rng, &mut sink);
+            if !sink.is_empty() {
+                self.dispatch(id, &mut sink);
             }
         }
+        self.sink = sink;
+        self.order = order;
     }
 
-    /// Executes one node's effects synchronously: probes are answered
-    /// from ground truth (with the peer's live position — the atomic
-    /// exchange of the cycle model), sends are delivered to the
+    /// Executes one node's queued effects synchronously: probes are
+    /// answered from ground truth (with the peer's live position — the
+    /// atomic exchange of the cycle model), sends are delivered to the
     /// destination node in the same instant, and wire traffic is
-    /// converted to the paper's cost units as it passes through.
-    fn dispatch(&mut self, origin: usize, effects: Vec<Effect<S::Point>>) {
-        let mut queue: VecDeque<(usize, Effect<S::Point>)> =
-            effects.into_iter().map(|e| (origin, e)).collect();
+    /// converted to the paper's cost units as it passes through. Drains
+    /// `sink` into the engine's reusable queue and hands it back empty to
+    /// the event handlers for their follow-up effects.
+    fn dispatch(&mut self, origin: NodeId, sink: &mut EffectSink<S::Point>) {
+        let mut queue = std::mem::take(&mut self.queue);
+        debug_assert!(queue.is_empty());
+        queue.extend(sink.drain().map(|e| (origin, e)));
         while let Some((at, effect)) = queue.pop_front() {
             match effect {
                 Effect::Probe { peer, channel } => {
-                    let event = if self.is_alive(peer) {
+                    let event = if self.pool.contains(peer) {
                         Event::ProbeOk {
                             peer,
                             channel,
@@ -559,63 +598,32 @@ impl<S: MetricSpace> Engine<S> {
                         }
                         Event::PeerUnreachable { peer, channel }
                     };
-                    let node = self.nodes[at].as_mut().expect("active node vanished");
-                    let more = node.on_event(event, &mut self.rng);
-                    queue.extend(more.into_iter().map(|e| (at, e)));
+                    let node = self.pool.get_mut(at).expect("active node vanished");
+                    node.on_event_into(event, &mut self.rng, sink);
+                    queue.extend(sink.drain().map(|e| (at, e)));
                 }
                 Effect::Send { to, wire } => {
-                    self.charge(&wire);
-                    if self.is_alive(to) {
-                        let from = NodeId::new(at as u64);
-                        let node = self.nodes[to.index()].as_mut().unwrap();
-                        let more = node.on_event(Event::Message { from, wire }, &mut self.rng);
-                        queue.extend(more.into_iter().map(|e| (to.index(), e)));
+                    self.cost.charge_wire(&self.config.cost, &wire);
+                    if let Some(node) = self.pool.get_mut(to) {
+                        node.on_event_into(Event::Message { from: at, wire }, &mut self.rng, sink);
+                        queue.extend(sink.drain().map(|e| (to, e)));
                     }
                     // A send to an undetected-dead node is simply lost.
                 }
             }
         }
-    }
-
-    /// Converts one wire message to the paper's cost units (Sec. IV-A:
-    /// a descriptor costs 3 units, a data point 2). RPS traffic is not
-    /// accounted, per the paper's convention; a migration's two legs are
-    /// charged on its reply, which carries the pull/push accounting.
-    fn charge(&mut self, wire: &Wire<S::Point>) {
-        let prices = &self.config.cost;
-        match wire {
-            Wire::TManRequest { descriptors, .. } | Wire::TManReply { descriptors } => {
-                self.cost.tman_units += (descriptors.len() * prices.units_per_descriptor) as u64;
-            }
-            Wire::BackupPush {
-                added_points,
-                removed_ids,
-                ..
-            } => {
-                self.cost.backup_units +=
-                    push_cost_units(*added_points, *removed_ids, prices.units_per_point) as u64;
-            }
-            Wire::MigrationReply { pulled, pushed, .. } => {
-                self.cost.migration_units += ((pulled + pushed) * prices.units_per_point) as u64;
-            }
-            // The migration ack is a constant-size control message, like
-            // the RPS traffic the paper leaves out of its accounting.
-            Wire::RpsRequest { .. }
-            | Wire::RpsReply { .. }
-            | Wire::MigrationRequest { .. }
-            | Wire::MigrationAck { .. }
-            | Wire::Heartbeat => {}
-        }
+        self.queue = queue;
     }
 
     /// Recovery pass (Step 3 of Fig. 4, Algorithm 2): reactivate ghosts of
     /// crashed holders. Purely local, no traffic, no randomness — which
     /// makes it the one protocol step that parallelizes freely: each node
     /// only touches its own state, so the outcome is identical in any
-    /// activation order and the pass fans out across cores.
+    /// activation order and the pass fans out across the pool's slots.
     fn recovery_phase(&mut self) {
-        let detected = self.detector();
-        self.nodes.par_iter_mut().for_each(|slot| {
+        let flags = self.detector_flags();
+        let detected = move |id: NodeId| flags.get(id.index()).copied().unwrap_or(false);
+        self.pool.slots_mut().par_iter_mut().for_each(|slot| {
             if let Some(node) = slot.as_mut() {
                 node.recover_ghosts(&detected);
             }
@@ -628,27 +636,14 @@ impl<S: MetricSpace> Engine<S> {
     /// causing most of the traffic" (Sec. IV-B) — each *changed* entry is
     /// charged as one descriptor. When nodes are stationary (T-Man alone,
     /// or a converged Polystyrene network at rest) this costs nothing.
+    ///
+    /// The phases above are the last movers of the round, so this is also
+    /// where the pool's position slab is brought up to date — the
+    /// measurement pass below then reads coordinates off the dense slab.
     fn position_refresh_phase(&mut self) {
-        let positions: Vec<Option<S::Point>> = self
-            .nodes
-            .iter()
-            .map(|c| c.as_ref().map(|c| c.poly.pos.clone()))
-            .collect();
+        self.pool.sync_positions();
         let unit = self.config.cost.units_per_descriptor as u64;
-        // Per-node, deterministic, rng-free: fan out across cores against
-        // the immutable position snapshot taken above.
-        let positions = &positions;
-        let changed_total: u64 = self
-            .nodes
-            .par_iter_mut()
-            .map(|slot| match slot.as_mut() {
-                Some(node) => node
-                    .tman
-                    .refresh_positions(|id| positions.get(id.index()).cloned().flatten())
-                    as u64,
-                None => 0,
-            })
-            .sum();
+        let changed_total = self.pool.refresh_tman_positions();
         self.cost.tman_units += changed_total * unit;
     }
 
@@ -668,7 +663,9 @@ impl<S: MetricSpace> Engine<S> {
     ///   this pass `O(points × nodes)`);
     /// * the per-node and per-point measurement loops fan out across
     ///   cores with rayon, folding partial sums back in input order so
-    ///   results stay bit-identical to a sequential pass;
+    ///   results stay bit-identical to a sequential pass, and read
+    ///   coordinates off the pool's position slab instead of chasing
+    ///   into each node;
     /// * repeated rounds reuse the engine-owned `MetricsScratch` buffers
     ///   (this public entry point measures into a throwaway scratch, so
     ///   ad-hoc callers pay the allocations instead of holding them).
@@ -685,24 +682,26 @@ impl<S: MetricSpace> Engine<S> {
             per_point,
         } = scratch;
         alive.clear();
-        alive.extend((0..self.nodes.len()).filter(|&i| self.nodes[i].is_some()));
-        let alive: &[usize] = alive;
+        alive.extend_from_slice(self.pool.alive_ids());
+        let alive: &[NodeId] = alive;
         let alive_count = alive.len();
+        let positions = self.pool.positions();
 
         // Proximity: mean distance to the k closest T-Man neighbors,
-        // measured against the neighbors' *true* current positions.
+        // measured against the neighbors' *true* current positions (the
+        // slab mirrors them whenever measurement runs).
         alive
             .par_iter()
-            .map(|&i| {
-                let node = self.nodes[i].as_ref().unwrap();
+            .map(|&id| {
+                let node = self.pool.get(id).expect("alive id");
                 let neighbors = node
                     .tman
                     .closest(&node.poly.pos, self.config.report_neighbors);
                 let mut acc = 0.0;
                 let mut samples = 0usize;
                 for d in neighbors {
-                    if let Some(actual) = self.position_of(d.id) {
-                        acc += self.space.distance(&node.poly.pos, &actual);
+                    if let Some(actual) = self.pool.position(d.id) {
+                        acc += self.space.distance(&node.poly.pos, actual);
                         samples += 1;
                     }
                 }
@@ -722,7 +721,8 @@ impl<S: MetricSpace> Engine<S> {
         // holders (paper Sec. IV-A's ĝuests⁻¹). Dense tables indexed by
         // point id (founding ids are contiguous by construction); ghost
         // presence also counts for survival (the copy exists even if
-        // not yet reactivated).
+        // not yet reactivated). Holders are recorded by pool slot, so
+        // the distance loops below are straight slab reads.
         let n_points = self.original_points.len();
         for slot in holders.iter_mut() {
             slot.clear();
@@ -730,11 +730,12 @@ impl<S: MetricSpace> Engine<S> {
         holders.resize_with(n_points, Vec::new);
         ghost_present.clear();
         ghost_present.resize(n_points, false);
-        for &i in alive {
-            let node = self.nodes[i].as_ref().unwrap();
+        for &id in alive {
+            let s = self.pool.slot_of(id).expect("alive id");
+            let node = self.pool.slots()[s].as_ref().expect("occupied slot");
             for g in &node.poly.guests {
                 if let Some(slot) = holders.get_mut(g.id.index()) {
-                    slot.push(i);
+                    slot.push(s);
                 }
             }
             for pts in node.poly.ghosts.values() {
@@ -756,9 +757,12 @@ impl<S: MetricSpace> Engine<S> {
             if self.config.grid_index && any_holderless && alive_count >= GRID_INDEX_MIN_NODES {
                 GridIndex::build(
                     &self.space,
-                    alive
-                        .iter()
-                        .map(|&i| (i as u64, self.nodes[i].as_ref().unwrap().poly.pos.clone())),
+                    alive.iter().map(|&id| {
+                        (
+                            id.as_u64(),
+                            self.pool.position(id).expect("alive id").clone(),
+                        )
+                    }),
                 )
             } else {
                 None
@@ -769,10 +773,7 @@ impl<S: MetricSpace> Engine<S> {
                 let hs = &holders[point.id.index()];
                 let nearest = if !hs.is_empty() {
                     hs.iter()
-                        .map(|&i| {
-                            let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
-                            self.space.distance(&point.pos, pos)
-                        })
+                        .map(|&s| self.space.distance(&point.pos, &positions[s]))
                         .fold(f64::INFINITY, f64::min)
                 } else {
                     match &alive_index {
@@ -782,8 +783,8 @@ impl<S: MetricSpace> Engine<S> {
                             .unwrap_or(f64::INFINITY),
                         None => alive
                             .iter()
-                            .map(|&i| {
-                                let pos = &self.nodes[i].as_ref().unwrap().poly.pos;
+                            .map(|&id| {
+                                let pos = self.pool.position(id).expect("alive id");
                                 self.space.distance(&point.pos, pos)
                             })
                             .fold(f64::INFINITY, f64::min),
@@ -814,7 +815,7 @@ impl<S: MetricSpace> Engine<S> {
         } else {
             alive
                 .iter()
-                .map(|&i| self.nodes[i].as_ref().unwrap().poly.stored_points())
+                .map(|&id| self.pool.get(id).expect("alive id").poly.stored_points())
                 .sum::<usize>() as f64
                 / alive_count as f64
         };
@@ -842,14 +843,13 @@ impl<S: MetricSpace> Engine<S> {
         }
     }
 
-    /// Positions of all alive nodes, for the snapshot figures (1, 8, 9).
+    /// Positions of all alive nodes, for the snapshot figures (1, 8, 9) —
+    /// read off the pool's position slab in ascending id order.
     pub fn snapshot_positions(&self) -> Vec<(NodeId, S::Point)> {
-        (0..self.nodes.len())
-            .filter_map(|i| {
-                self.nodes[i]
-                    .as_ref()
-                    .map(|c| (NodeId::new(i as u64), c.poly.pos.clone()))
-            })
+        self.pool
+            .alive_ids()
+            .iter()
+            .map(|&id| (id, self.pool.position(id).expect("alive id").clone()))
             .collect()
     }
 }

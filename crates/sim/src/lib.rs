@@ -60,6 +60,7 @@
 pub mod cost;
 pub mod engine;
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod snapshot;
 

@@ -83,7 +83,21 @@ impl Torus2 {
 
     /// Shortest signed displacement along one axis of circumference `len`.
     fn axis_delta(a: f64, b: f64, len: f64) -> f64 {
-        let d = (a - b).rem_euclid(len);
+        // `rem_euclid` is an fmod library call, and this function runs
+        // inside every distance evaluation of every ranking pass. For
+        // in-range coordinates (|a − b| < len, the overwhelmingly common
+        // case) fmod's quotient is zero and the operation reduces to the
+        // branch below — bit-identical, since fmod is exact.
+        let diff = a - b;
+        let d = if -len < diff && diff < len {
+            if diff < 0.0 {
+                diff + len
+            } else {
+                diff
+            }
+        } else {
+            diff.rem_euclid(len)
+        };
         if d > len / 2.0 {
             len - d
         } else {

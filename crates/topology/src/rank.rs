@@ -11,8 +11,37 @@
 //!   are needed, a linear-time partial selection bounds the sort to the
 //!   `k`-prefix.
 
-use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_membership::{Descriptor, IdHashMap, NodeId};
 use polystyrene_space::{GridSpec, MetricSpace};
+use std::collections::hash_map::Entry;
+
+// Reusable decorate-sort-undecorate buffer, one per thread.
+//
+// Every gossip exchange of every node runs several ranking passes over
+// ~100-entry views; a fresh key vector per pass made the allocator the
+// hottest shared path of a large simulation. The buffer only ever grows
+// to the largest view ranked on the thread (a few KB), and none of the
+// ranking helpers call back into each other, so a simple per-thread
+// scratch is safe.
+thread_local! {
+    static KEY_SCRATCH: std::cell::RefCell<Vec<(u64, NodeId, usize)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Fills the thread-local key scratch for `descriptors` and hands it to
+/// `f`. See [`rank_keys_into`] for the key layout.
+fn with_rank_keys<S: MetricSpace, R>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    f: impl FnOnce(&mut Vec<(u64, NodeId, usize)>) -> R,
+) -> R {
+    KEY_SCRATCH.with(|cell| {
+        let mut keyed = cell.borrow_mut();
+        rank_keys_into(space, target, descriptors, &mut keyed);
+        f(&mut keyed)
+    })
+}
 
 /// Returns the indices of `descriptors` sorted by increasing distance to
 /// `target`, ties broken by node id for determinism.
@@ -24,9 +53,10 @@ pub fn ranked_indices<S: MetricSpace>(
     target: &S::Point,
     descriptors: &[Descriptor<S::Point>],
 ) -> Vec<usize> {
-    let mut keyed = rank_keys(space, target, descriptors);
-    keyed.sort_unstable_by(compare_keys);
-    keyed.into_iter().map(|(_, _, i)| i).collect()
+    with_rank_keys(space, target, descriptors, |keyed| {
+        keyed.sort_unstable_by(compare_keys);
+        keyed.iter().map(|&(_, _, i)| i).collect()
+    })
 }
 
 /// Returns the indices of the `k` descriptors closest to `target`, in
@@ -39,34 +69,70 @@ pub fn k_ranked_indices<S: MetricSpace>(
     descriptors: &[Descriptor<S::Point>],
     k: usize,
 ) -> Vec<usize> {
-    let mut keyed = rank_keys(space, target, descriptors);
+    with_rank_keys(space, target, descriptors, |keyed| {
+        select_k(keyed, k);
+        keyed.iter().map(|&(_, _, i)| i).collect()
+    })
+}
+
+/// Partially sorts `keyed` so its first `min(k, len)` entries are the k
+/// smallest in increasing order, and truncates to them.
+fn select_k(keyed: &mut Vec<(u64, NodeId, usize)>, k: usize) {
     let k = k.min(keyed.len());
     if k == 0 {
-        return Vec::new();
+        keyed.clear();
+        return;
     }
     if k < keyed.len() {
         keyed.select_nth_unstable_by(k - 1, compare_keys);
         keyed.truncate(k);
     }
     keyed.sort_unstable_by(compare_keys);
-    keyed.into_iter().map(|(_, _, i)| i).collect()
 }
 
-/// Distance-decorated index keys: `(distance, id, index)`.
-fn rank_keys<S: MetricSpace>(
+/// Distance-decorated index keys: `(total-order distance bits, id, index)`,
+/// written into a caller-supplied buffer.
+///
+/// Ranking uses the *squared* distance ([`MetricSpace::distance_sq`]):
+/// `sqrt` is strictly increasing, so the order is the same, and skipping
+/// it both saves the call and ranks more precisely — two squared
+/// distances can be distinct where their rounded square roots tie.
+///
+/// The value is stored through [`distance_sort_key`], so the sort and
+/// selection passes compare plain integers instead of calling
+/// `f64::total_cmp` — these ranking passes run a handful of times per node
+/// per gossip round, which makes the comparator the hottest code in a
+/// large simulation. The ordering is exactly the one `total_cmp` defines.
+fn rank_keys_into<S: MetricSpace>(
     space: &S,
     target: &S::Point,
     descriptors: &[Descriptor<S::Point>],
-) -> Vec<(f64, NodeId, usize)> {
-    descriptors
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (space.distance(target, &d.pos), d.id, i))
-        .collect()
+    out: &mut Vec<(u64, NodeId, usize)>,
+) {
+    out.clear();
+    out.extend(descriptors.iter().enumerate().map(|(i, d)| {
+        (
+            distance_sort_key(space.distance_sq(target, &d.pos)),
+            d.id,
+            i,
+        )
+    }));
 }
 
-fn compare_keys(a: &(f64, NodeId, usize), b: &(f64, NodeId, usize)) -> std::cmp::Ordering {
-    a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+/// Maps an `f64` to a `u64` whose unsigned order equals `f64::total_cmp`
+/// order (the standard sign-flip trick: negative values have all bits
+/// inverted, non-negative values just get the sign bit set).
+fn distance_sort_key(d: f64) -> u64 {
+    let bits = d.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+fn compare_keys(a: &(u64, NodeId, usize), b: &(u64, NodeId, usize)) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
 }
 
 /// The `k` descriptors of `descriptors` closest to `target` (cloned), in
@@ -77,10 +143,13 @@ pub fn k_closest<S: MetricSpace>(
     descriptors: &[Descriptor<S::Point>],
     k: usize,
 ) -> Vec<Descriptor<S::Point>> {
-    k_ranked_indices(space, target, descriptors, k)
-        .into_iter()
-        .map(|i| descriptors[i].clone())
-        .collect()
+    with_rank_keys(space, target, descriptors, |keyed| {
+        select_k(keyed, k);
+        keyed
+            .iter()
+            .map(|&(_, _, i)| descriptors[i].clone())
+            .collect()
+    })
 }
 
 /// A spatial-grid candidate index over a set of positioned entries.
@@ -338,25 +407,151 @@ fn wrap_or_clip(c: isize, n: usize, wrap: bool) -> Option<usize> {
 /// Deduplicates descriptors by id, keeping the freshest (lowest age) copy
 /// of each node — essential because Polystyrene nodes move, so stale
 /// descriptors carry wrong positions.
-pub fn dedup_freshest<P: Clone>(descriptors: Vec<Descriptor<P>>) -> Vec<Descriptor<P>> {
-    let mut out: Vec<Descriptor<P>> = Vec::with_capacity(descriptors.len());
-    for d in descriptors {
-        match out.iter_mut().find(|e| e.id == d.id) {
-            Some(existing) => {
-                if d.age < existing.age {
-                    *existing = d;
+pub fn dedup_freshest<P: Clone>(mut descriptors: Vec<Descriptor<P>>) -> Vec<Descriptor<P>> {
+    dedup_freshest_in_place(&mut descriptors);
+    descriptors
+}
+
+/// In-place [`dedup_freshest`]: first-occurrence order is preserved and a
+/// duplicate replaces the kept copy only when strictly fresher (lower
+/// age). The id→slot map makes each lookup O(1) and the compaction swaps
+/// elements instead of reallocating — T-Man's integrate step calls this
+/// on every view merge, so a linear scan per descriptor dominated
+/// whole-round time at 10k+ nodes.
+pub fn dedup_freshest_in_place<P>(descriptors: &mut Vec<Descriptor<P>>) {
+    thread_local! {
+        static SLOT_SCRATCH: std::cell::RefCell<IdHashMap<NodeId, usize>> =
+            std::cell::RefCell::new(IdHashMap::default());
+    }
+    SLOT_SCRATCH.with(|cell| {
+        let mut slot_by_id = cell.borrow_mut();
+        slot_by_id.clear();
+        slot_by_id.reserve(descriptors.len());
+        dedup_freshest_with(descriptors, &mut slot_by_id);
+    });
+}
+
+fn dedup_freshest_with<P>(
+    descriptors: &mut Vec<Descriptor<P>>,
+    slot_by_id: &mut IdHashMap<NodeId, usize>,
+) {
+    let mut w = 0;
+    for r in 0..descriptors.len() {
+        match slot_by_id.entry(descriptors[r].id) {
+            Entry::Occupied(e) => {
+                let slot = *e.get();
+                if descriptors[r].age < descriptors[slot].age {
+                    descriptors.swap(slot, r);
                 }
             }
-            None => out.push(d),
+            Entry::Vacant(e) => {
+                e.insert(w);
+                descriptors.swap(w, r);
+                w += 1;
+            }
         }
     }
-    out
+    descriptors.truncate(w);
+}
+
+/// Keeps only the `k` descriptors closest to `target` (same selection as
+/// [`k_ranked_indices`]: distance, ties by id), compacting in place and
+/// *preserving input order* among the survivors rather than sorting them.
+///
+/// For callers that treat their descriptor collection as an unordered
+/// set — T-Man's view cap, where every read re-ranks on demand — this
+/// skips the `O(k log k)` sort and the rebuild of the output vector that
+/// a select-and-sort pass pays on every gossip exchange.
+pub fn retain_k_closest<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &mut Vec<Descriptor<S::Point>>,
+    k: usize,
+) {
+    if descriptors.len() <= k {
+        return;
+    }
+    if k == 0 {
+        descriptors.clear();
+        return;
+    }
+    thread_local! {
+        static KEEP_SCRATCH: std::cell::RefCell<Vec<bool>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    KEEP_SCRATCH.with(|cell| {
+        let mut keep = cell.borrow_mut();
+        keep.clear();
+        keep.resize(descriptors.len(), false);
+        with_rank_keys(space, target, descriptors, |keyed| {
+            keyed.select_nth_unstable_by(k - 1, compare_keys);
+            for &(_, _, i) in &keyed[..k] {
+                keep[i] = true;
+            }
+        });
+        let mut i = 0;
+        descriptors.retain(|_| {
+            let kept = keep[i];
+            i += 1;
+            kept
+        });
+    });
 }
 
 /// Removes descriptors whose id equals `self_id` (a node never keeps a
 /// descriptor of itself in its own view).
 pub fn drop_self<P>(descriptors: &mut Vec<Descriptor<P>>, self_id: NodeId) {
     descriptors.retain(|d| d.id != self_id);
+}
+
+/// Folds a single descriptor into a view that is already deduplicated and
+/// within its capacity — the random-contact integration that runs once
+/// per node per gossip round.
+///
+/// Produces exactly what the full merge pipeline ([`dedup_freshest`] then
+/// [`retain_k_closest`]) would for `view ++ [d]`, exploiting the view
+/// invariants to skip it: a known id only needs a strictly-fresher
+/// replacement check (no distance evaluated at all), and a new id at
+/// capacity only needs the single farthest entry of `view ∪ {d}` evicted.
+pub fn insert_one_capped<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    view: &mut Vec<Descriptor<S::Point>>,
+    cap: usize,
+    d: &Descriptor<S::Point>,
+) {
+    if let Some(slot) = view.iter_mut().find(|e| e.id == d.id) {
+        if d.age < slot.age {
+            *slot = d.clone();
+        }
+        return;
+    }
+    if view.len() < cap {
+        view.push(d.clone());
+        return;
+    }
+    // At capacity: evict the maximum of `view ∪ {d}` under the ranking
+    // order (distance, ties by id) — the one entry `retain_k_closest`
+    // would drop from the merged set.
+    let mut worst = (
+        distance_sort_key(space.distance_sq(target, &d.pos)),
+        d.id,
+        usize::MAX,
+    );
+    for (i, e) in view.iter().enumerate() {
+        let key = (
+            distance_sort_key(space.distance_sq(target, &e.pos)),
+            e.id,
+            i,
+        );
+        if compare_keys(&key, &worst) == std::cmp::Ordering::Greater {
+            worst = key;
+        }
+    }
+    if worst.2 != usize::MAX {
+        view.remove(worst.2);
+        view.push(d.clone());
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +616,35 @@ mod tests {
         drop_self(&mut ds, NodeId::new(1));
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].id, NodeId::new(2));
+    }
+
+    #[test]
+    fn insert_one_capped_matches_merge_pipeline() {
+        use rand::{Rng, SeedableRng};
+        let space = Torus2::new(20.0, 20.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for cap in [1usize, 2, 5, 8] {
+            let mut fast: Vec<Descriptor<[f64; 2]>> = Vec::new();
+            let mut slow: Vec<Descriptor<[f64; 2]>> = Vec::new();
+            let target = [3.0, 4.0];
+            for _ in 0..300 {
+                // Small id range to exercise the known-id replacement path.
+                let d = Descriptor::with_age(
+                    NodeId::new(rng.random_range(0..12)),
+                    [rng.random_range(0.0..20.0), rng.random_range(0.0..20.0)],
+                    rng.random_range(0..4),
+                );
+                insert_one_capped(&space, &target, &mut fast, cap, &d);
+                slow.push(d);
+                dedup_freshest_in_place(&mut slow);
+                retain_k_closest(&space, &target, &mut slow, cap);
+                assert_eq!(
+                    fast.iter().map(|e| (e.id, e.age)).collect::<Vec<_>>(),
+                    slow.iter().map(|e| (e.id, e.age)).collect::<Vec<_>>(),
+                    "cap {cap}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! cap. The paper runs it with `m = 20`, `ψ = 5` and views "capped to 100
 //! peers (rather than being unbounded as in \[1\])" (Sec. IV-A).
 
-use crate::rank::{dedup_freshest, drop_self, k_closest, k_ranked_indices};
+use crate::rank::{
+    dedup_freshest_in_place, drop_self, insert_one_capped, k_closest, k_ranked_indices,
+    retain_k_closest,
+};
 use crate::traits::TopologyConstruction;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_space::MetricSpace;
@@ -172,16 +175,24 @@ impl<S: MetricSpace> TopologyConstruction<S> for TMan<S> {
     }
 
     fn integrate(&mut self, self_id: NodeId, pos: &S::Point, incoming: &[Descriptor<S::Point>]) {
+        // The once-per-round random-contact fold is a single descriptor;
+        // the view is always deduplicated and within its cap (every write
+        // below maintains that), so it can skip the merge pipeline.
+        if let [d] = incoming {
+            if d.id != self_id {
+                insert_one_capped(&self.space, pos, &mut self.view, self.config.view_cap, d);
+            }
+            return;
+        }
+        // The merged buffer is unordered until `retain_k_closest` ranks
+        // it; nothing between the extend and the rank may assume any
+        // ordering of `merged`.
         let mut merged = std::mem::take(&mut self.view);
         merged.extend(incoming.iter().cloned());
         drop_self(&mut merged, self_id);
-        let merged = dedup_freshest(merged);
-        let order = k_ranked_indices(&self.space, pos, &merged, self.config.view_cap);
-        let mut out = Vec::with_capacity(order.len());
-        for i in order {
-            out.push(merged[i].clone());
-        }
-        self.view = out;
+        dedup_freshest_in_place(&mut merged);
+        retain_k_closest(&self.space, pos, &mut merged, self.config.view_cap);
+        self.view = merged;
     }
 
     fn purge_failed(&mut self, is_failed: &dyn Fn(NodeId) -> bool) -> usize {
@@ -196,6 +207,10 @@ impl<S: MetricSpace> TopologyConstruction<S> for TMan<S> {
 
     fn view_entries(&self) -> Vec<Descriptor<S::Point>> {
         self.view.clone()
+    }
+
+    fn position_of(&self, id: NodeId) -> Option<S::Point> {
+        self.view.iter().find(|d| d.id == id).map(|d| d.pos.clone())
     }
 }
 

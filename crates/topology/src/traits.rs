@@ -38,4 +38,17 @@ pub trait TopologyConstruction<S: MetricSpace> {
 
     /// All view entries (for metrics and snapshots).
     fn view_entries(&self) -> Vec<Descriptor<S::Point>>;
+
+    /// The position this view currently believes `id` is at, or `None`
+    /// when `id` is not in the view.
+    ///
+    /// Equivalent to scanning [`view_entries`](Self::view_entries), without
+    /// cloning the view — exchange setup does this lookup once per gossip
+    /// partner, which made the clone measurable at large network sizes.
+    fn position_of(&self, id: NodeId) -> Option<S::Point> {
+        self.view_entries()
+            .into_iter()
+            .find(|d| d.id == id)
+            .map(|d| d.pos)
+    }
 }

@@ -189,6 +189,10 @@ impl<S: MetricSpace> TopologyConstruction<S> for Vicinity<S> {
     fn view_entries(&self) -> Vec<Descriptor<S::Point>> {
         self.view.clone()
     }
+
+    fn position_of(&self, id: NodeId) -> Option<S::Point> {
+        self.view.iter().find(|d| d.id == id).map(|d| d.pos.clone())
+    }
 }
 
 #[cfg(test)]
