@@ -8,12 +8,43 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_netsim::prelude::{LinkProfile, NetSim, NetSimConfig};
 use polystyrene_space::diameter::{diameter_exact, diameter_sampled, diameter_two_sweep};
 use polystyrene_space::medoid::{medoid_index, medoid_index_sampled};
+use polystyrene_space::shapes;
 use polystyrene_space::torus::Torus2;
 use polystyrene_topology::{tman_exchange, TMan, TManConfig, TopologyConstruction};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with an allocation counter, so the netsim
+/// steady-state gate below can assert on the *count* of heap
+/// allocations, not just time them.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn random_points(n: usize, seed: u64) -> Vec<[f64; 2]> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -138,12 +169,59 @@ fn bench_tman_exchange(c: &mut Criterion) {
     group.finish();
 }
 
+/// Steady-state allocation gate for the event kernel's activation loop.
+///
+/// After warm-up, a netsim round should allocate only for protocol
+/// payloads — wire messages own their descriptor and point vectors — and
+/// protocol-internal working sets. The kernel's own machinery (calendar
+/// event queue, effect sink, dispatch queue, activation order,
+/// measurement tables) is reusable scratch and must contribute nothing.
+/// The bound is the empirical payload-dominated per-round count with
+/// roughly 3× headroom: a regression that reintroduces per-event or
+/// per-node kernel allocations (one heap node per scheduled event alone
+/// used to be thousands per round) blows well past it.
+fn assert_netsim_steady_state_allocations(sim: &mut NetSim<Torus2>) {
+    const ROUNDS: u64 = 8;
+    const PER_ROUND_BOUND: u64 = 20_000;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..ROUNDS {
+        sim.step();
+    }
+    let per_round = (ALLOCATIONS.load(Ordering::Relaxed) - before) / ROUNDS;
+    println!("netsim steady-state: {per_round} allocations/round (bound {PER_ROUND_BOUND})");
+    assert!(
+        per_round <= PER_ROUND_BOUND,
+        "netsim activation loop allocated {per_round} times per steady-state round \
+         (bound {PER_ROUND_BOUND}): kernel hot-path allocations have regressed"
+    );
+}
+
+fn bench_netsim_round(c: &mut Criterion) {
+    let mut cfg = NetSimConfig::default();
+    cfg.area = 256.0;
+    cfg.seed = 21;
+    cfg.link = LinkProfile {
+        latency: 2,
+        jitter: 1,
+        loss: 0.05,
+    };
+    let mut sim = NetSim::new(Torus2::new(32.0, 8.0), shapes::torus_grid(32, 8, 1.0), cfg);
+    // Warm-up: views fill, the event queue and kernel scratch reach
+    // their steady capacities.
+    sim.run(10);
+    assert_netsim_steady_state_allocations(&mut sim);
+    let mut group = c.benchmark_group("netsim_round");
+    group.bench_function("n256_loss5", |b| b.iter(|| sim.step()));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_medoid,
     bench_diameter,
     bench_split,
     bench_migration_exchange,
-    bench_tman_exchange
+    bench_tman_exchange,
+    bench_netsim_round
 );
 criterion_main!(benches);

@@ -11,25 +11,42 @@
 //! (which honor the loss probability at their send boundary). The cycle
 //! engine has no fabric to disturb and is rejected.
 //!
-//! Emits machine-readable JSON (one record per sweep point, via the
-//! shared emitter) for the CI perf/quality trajectory, and exits
-//! nonzero if any netsim point at or below 10% loss fails to recover —
+//! Two sweep modes share the machinery:
+//!
+//! * the default **loss sweep** holds the grid fixed and sweeps the
+//!   drop rate ([`LOSSES`] plus any explicit `--net-loss`);
+//! * `--sweep-nodes MAX` holds the drop rate fixed (`--net-loss`,
+//!   defaulting to 5%) and sweeps the population over the standard
+//!   scaling grids up to `MAX` nodes — the netsim scale axis, timed
+//!   per row.
+//!
+//! Emits machine-readable JSON (one record per sweep point plus a
+//! `wall_secs` object with each row's wall-clock, via the shared
+//! emitter) for the CI perf/quality trajectory, and exits nonzero if
+//! any netsim loss-sweep point at or below 10% loss fails to recover —
 //! so the artifact upload doubles as a regression gate.
 //!
 //! ```sh
 //! cargo run --release -p polystyrene-bench --bin fig_loss_latency -- \
 //!     --cols 40 --rows 25 --runs 3 --net-latency 2 --net-jitter 1
+//! cargo run --release -p polystyrene-bench --bin fig_loss_latency -- \
+//!     --sweep-nodes 25600 --runs 1
 //! ```
 
 use polystyrene::prelude::SplitStrategy;
-use polystyrene_bench::CommonArgs;
-use polystyrene_lab::{summary_json, ExperimentSummary, SubstrateKind};
+use polystyrene_bench::{scaling_sizes, CommonArgs};
+use polystyrene_lab::{json_f64, summary_json, ExperimentSummary, SubstrateKind};
 use polystyrene_membership::NodeId;
 use polystyrene_protocol::{PaperScenario, Scenario, ScenarioEvent};
 
 /// The baseline drop rates swept (≥ 3 points, per the netsim acceptance
 /// bar); an explicit `--net-loss` is merged in as an extra point.
 const LOSSES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// Drop rate of the `--sweep-nodes` scale sweep when `--net-loss` is
+/// left at zero: lossless scaling rows would not exercise the retry and
+/// parking machinery the scale axis is meant to time.
+const SCALE_SWEEP_LOSS: f64 = 0.05;
 
 /// The sweep's drop-rate points: the baseline plus `--net-loss` when it
 /// names a rate not already swept — the flag must never be a silent
@@ -47,6 +64,20 @@ const FAILURE_ROUND: u32 = 20;
 /// Observation rounds after the failure (lossy recovery at 1k nodes
 /// needs ~50-60 rounds; see the JSON for the measured reshaping times).
 const TAIL_ROUNDS: u32 = 80;
+
+/// One completed sweep row: everything the report, the JSON emitter and
+/// the recovery gate need.
+struct SweepRow {
+    /// Entry label in the JSON (`loss=0.05` or `n=1600`).
+    label: String,
+    /// Population of this row's grid.
+    nodes: usize,
+    /// Drop rate this row ran under.
+    loss: f64,
+    summary: ExperimentSummary,
+    /// Wall-clock for the row's runs, in seconds.
+    wall_secs: f64,
+}
 
 /// The sweep's scenario: converge, kill the right half-torus, and — with
 /// `--partition-rounds N` — additionally isolate the left quarter of the
@@ -83,21 +114,119 @@ fn sweep_scenario(args: &CommonArgs) -> Scenario<[f64; 2]> {
     scenario
 }
 
+/// Runs one sweep row (`args.runs` seeded repetitions of the scripted
+/// scenario on `args`'s grid at `loss`) and times it.
+fn run_row(args: &CommonArgs, loss: f64, label: String) -> SweepRow {
+    let scenario = sweep_scenario(args);
+    let scenario_paper = PaperScenario::reshaping_only(
+        args.cols,
+        args.rows,
+        FAILURE_ROUND,
+        TAIL_ROUNDS + args.partition_rounds,
+    );
+    let mut base = args.lab_config(SplitStrategy::Advanced);
+    base.link.loss = loss;
+    let started = std::time::Instant::now();
+    let mut summary = ExperimentSummary::default();
+    for run in 0..args.runs {
+        let mut cfg = base;
+        cfg.seed = base.seed + run as u64;
+        let mut substrate = polystyrene_lab::build_substrate(
+            args.substrate,
+            polystyrene_space::torus::Torus2::new(args.cols as f64, args.rows as f64),
+            scenario_paper.shape(),
+            &cfg,
+        );
+        summary.push(&polystyrene_lab::run_experiment(
+            substrate.as_mut(),
+            &scenario,
+        ));
+    }
+    SweepRow {
+        label,
+        nodes: args.cols * args.rows,
+        loss,
+        summary,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Prints one row's headline numbers.
+fn report_row(row: &SweepRow, runs: usize) {
+    let reshaping = match row.summary.mean_reshaping_rounds() {
+        Some(mean) => format!(
+            "{mean:.1} rounds ({}/{} runs)",
+            row.summary.recovered_runs(),
+            runs
+        ),
+        None => "never".to_string(),
+    };
+    let last = |s: &polystyrene_lab::SeriesStats| s.last().map(|v| v.mean()).unwrap_or(f64::NAN);
+    println!(
+        "{:>10} → reshaping {reshaping}, final homogeneity {:.3} (ref {:.3}), \
+         survival {:.1}%, {:.1} pts/node, {:.1}s wall",
+        row.label,
+        last(&row.summary.homogeneity),
+        last(&row.summary.reference_homogeneity),
+        last(&row.summary.surviving_points) * 100.0,
+        last(&row.summary.points_per_node),
+        row.wall_secs,
+    );
+}
+
+/// The recovery gate's failure report: names every tripped sweep row
+/// with its size, drop rate, recovery ratio and the reshaping rounds
+/// actually observed — a bare "no recovery at loss=0.1" forced a rerun
+/// just to learn which scale failed and how close it came.
+fn gate_failure_report(failed: &[&SweepRow]) -> String {
+    let rows: Vec<String> = failed
+        .iter()
+        .map(|r| {
+            let observed = match r.summary.mean_reshaping_rounds() {
+                Some(mean) => format!("mean reshaping {mean:.1} rounds"),
+                None => format!("no run reshaped within {TAIL_ROUNDS} tail rounds"),
+            };
+            format!(
+                "  {}: {} nodes at {:.0}% loss — {}/{} runs recovered, {}",
+                r.label,
+                r.nodes,
+                r.loss * 100.0,
+                r.summary.recovered_runs(),
+                r.summary.runs,
+                observed
+            )
+        })
+        .collect();
+    format!(
+        "FAIL: recovery gate (<= 10% loss must recover) tripped on {} sweep row(s):\n{}",
+        failed.len(),
+        rows.join("\n")
+    )
+}
+
 fn main() {
-    let args = CommonArgs::parse(CommonArgs {
-        cols: 40,
-        rows: 25, // 1000 nodes — the sweep's minimum scale
-        runs: 1,
-        substrate: SubstrateKind::Netsim,
-        ..Default::default()
-    });
+    let args = CommonArgs::parse_with(
+        CommonArgs {
+            cols: 40,
+            rows: 25, // 1000 nodes — the sweep's minimum scale
+            runs: 1,
+            substrate: SubstrateKind::Netsim,
+            ..Default::default()
+        },
+        &["sweep-nodes"],
+    );
     assert!(
         args.substrate.has_network_model(),
         "the loss/latency sweep needs a substrate with a network model \
          (netsim, cluster or tcp — the cycle engine has no fabric to disturb)"
     );
+    let sweep_nodes = args.extra_usize("sweep-nodes", 0);
     assert!(
-        args.cols * args.rows >= 1000 || args.substrate != SubstrateKind::Netsim,
+        sweep_nodes == 0 || args.substrate == SubstrateKind::Netsim,
+        "--sweep-nodes is the netsim scale axis; thread-per-node substrates cannot take it"
+    );
+    assert!(
+        sweep_nodes > 0 || args.cols * args.rows >= 1000 || args.substrate != SubstrateKind::Netsim,
         "the netsim loss/latency sweep is specified at >= 1k nodes (got {})",
         args.cols * args.rows
     );
@@ -111,100 +240,79 @@ fn main() {
         args.substrate,
         args.cols * args.rows
     );
-    let losses = sweep_losses(&args);
-    let scenario_paper = PaperScenario::reshaping_only(
-        args.cols,
-        args.rows,
-        FAILURE_ROUND,
-        TAIL_ROUNDS + args.partition_rounds,
-    );
-    println!(
-        "Loss/latency sweep on {}: {} nodes, losses {:?}, latency {} ± {} ticks, {} run(s) per point{}\n",
-        args.substrate,
-        args.cols * args.rows,
-        losses,
-        args.net_latency,
-        args.net_jitter,
-        args.runs,
-        if args.partition_rounds > 0 {
-            format!(
-                ", {}-round partition during recovery",
-                args.partition_rounds
-            )
-        } else {
-            String::new()
-        },
-    );
 
     // One summary per sweep point, every run through the one unified
     // driver with the one (possibly partition-extended) script.
-    let scenario = sweep_scenario(&args);
-    let mut summaries: Vec<(String, ExperimentSummary)> = Vec::new();
-    for &loss in &losses {
-        let mut base = args.lab_config(SplitStrategy::Advanced);
-        base.link.loss = loss;
-        let mut summary = ExperimentSummary::default();
-        for run in 0..args.runs {
-            let mut cfg = base;
-            cfg.seed = base.seed + run as u64;
-            let mut substrate = polystyrene_lab::build_substrate(
-                args.substrate,
-                polystyrene_space::torus::Torus2::new(args.cols as f64, args.rows as f64),
-                scenario_paper.shape(),
-                &cfg,
-            );
-            summary.push(&polystyrene_lab::run_experiment(
-                substrate.as_mut(),
-                &scenario,
-            ));
-        }
-        let summary = summary;
-        let reshaping = match summary.mean_reshaping_rounds() {
-            Some(mean) => format!(
-                "{mean:.1} rounds ({}/{} runs)",
-                summary.recovered_runs(),
-                args.runs
-            ),
-            None => "never".to_string(),
+    let mut rows: Vec<SweepRow> = Vec::new();
+    if sweep_nodes > 0 {
+        let loss = if args.net_loss > 0.0 {
+            args.net_loss
+        } else {
+            SCALE_SWEEP_LOSS
         };
-        let last_h = summary
-            .homogeneity
-            .last()
-            .map(|s| s.mean())
-            .unwrap_or(f64::NAN);
-        let last_ref = summary
-            .reference_homogeneity
-            .last()
-            .map(|s| s.mean())
-            .unwrap_or(f64::NAN);
-        let last_survival = summary
-            .surviving_points
-            .last()
-            .map(|s| s.mean())
-            .unwrap_or(f64::NAN);
-        let last_points = summary
-            .points_per_node
-            .last()
-            .map(|s| s.mean())
-            .unwrap_or(f64::NAN);
+        let sizes = scaling_sizes(sweep_nodes);
+        assert!(!sizes.is_empty(), "--sweep-nodes below the smallest grid");
         println!(
-            "loss {:>4.0}% → reshaping {reshaping}, final homogeneity {last_h:.3} (ref {last_ref:.3}), \
-             survival {:.1}%, {last_points:.1} pts/node",
+            "Scale sweep on {}: up to {} nodes at {:.0}% loss, latency {} ± {} ticks, {} run(s) per size\n",
+            args.substrate,
+            sizes.last().map(|&(c, r)| c * r).unwrap_or(0),
             loss * 100.0,
-            last_survival * 100.0,
+            args.net_latency,
+            args.net_jitter,
+            args.runs,
         );
-        summaries.push((format!("loss={loss}"), summary));
+        for (cols, rows_) in sizes {
+            let mut row_args = args.clone();
+            row_args.cols = cols;
+            row_args.rows = rows_;
+            let row = run_row(&row_args, loss, format!("n={}", cols * rows_));
+            report_row(&row, args.runs);
+            rows.push(row);
+        }
+    } else {
+        let losses = sweep_losses(&args);
+        println!(
+            "Loss/latency sweep on {}: {} nodes, losses {:?}, latency {} ± {} ticks, {} run(s) per point{}\n",
+            args.substrate,
+            args.cols * args.rows,
+            losses,
+            args.net_latency,
+            args.net_jitter,
+            args.runs,
+            if args.partition_rounds > 0 {
+                format!(
+                    ", {}-round partition during recovery",
+                    args.partition_rounds
+                )
+            } else {
+                String::new()
+            },
+        );
+        for &loss in &losses {
+            let row = run_row(&args, loss, format!("loss={loss}"));
+            report_row(&row, args.runs);
+            rows.push(row);
+        }
     }
 
     std::fs::create_dir_all(&args.out).expect("failed to create output directory");
-    let entries: Vec<(String, &ExperimentSummary)> = summaries
-        .iter()
-        .map(|(label, s)| (label.clone(), s))
-        .collect();
+    let entries: Vec<(String, &ExperimentSummary)> =
+        rows.iter().map(|r| (r.label.clone(), &r.summary)).collect();
+    let wall_secs = format!(
+        "{{{}}}",
+        rows.iter()
+            .map(|r| format!("\"{}\":{}", r.label, json_f64(r.wall_secs, 3)))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     let json = summary_json(
         "fig_loss_latency",
         &[
             ("substrate", format!("\"{}\"", args.substrate)),
+            (
+                "mode",
+                format!("\"{}\"", if sweep_nodes > 0 { "scale" } else { "loss" }),
+            ),
             ("nodes", (args.cols * args.rows).to_string()),
             ("runs", args.runs.to_string()),
             ("failure_round", FAILURE_ROUND.to_string()),
@@ -212,6 +320,10 @@ fn main() {
             ("partition_rounds", args.partition_rounds.to_string()),
             ("latency", args.net_latency.to_string()),
             ("jitter", args.net_jitter.to_string()),
+            // Per-row wall-clock, for the baseline differ and the scale
+            // axis: quality regressions and time regressions travel in
+            // the same artifact.
+            ("wall_secs", wall_secs),
         ],
         &entries,
     );
@@ -220,9 +332,15 @@ fn main() {
     println!("\nJSON written to {}", json_path.display());
 
     // Regression gate: the protocol must recover everywhere at <= 10%
-    // loss. Only the plain netsim kill scenario is gated — an explicit
-    // `--partition-rounds` (or a wall-clock substrate, whose runs are
-    // scheduling-sensitive) makes the run a diagnostic, not a baseline.
+    // loss. Only the plain netsim kill scenario at the pinned 1k scale
+    // is gated — an explicit `--partition-rounds`, a wall-clock
+    // substrate (scheduling-sensitive runs), or the scale sweep (whose
+    // larger grids legitimately need more than the fixed tail budget)
+    // makes the run a diagnostic, not a baseline.
+    if sweep_nodes > 0 {
+        println!("(recovery gate skipped: --sweep-nodes rows are a scale diagnostic)");
+        return;
+    }
     if args.partition_rounds > 0 {
         println!("(recovery gate skipped: custom partition scenario)");
         return;
@@ -231,15 +349,62 @@ fn main() {
         println!("(recovery gate skipped: gate is pinned on the deterministic netsim substrate)");
         return;
     }
-    let failed: Vec<&str> = losses
+    let failed: Vec<&SweepRow> = rows
         .iter()
-        .zip(&summaries)
-        .filter(|(&loss, (_, s))| loss <= 0.10 && s.recovered_runs() < s.runs)
-        .map(|(_, (label, _))| label.as_str())
+        .filter(|r| r.loss <= 0.10 && r.summary.recovered_runs() < r.summary.runs)
         .collect();
     if !failed.is_empty() {
-        eprintln!("FAIL: no recovery at drop rates {failed:?} (<= 10% loss must recover)");
+        eprintln!("{}", gate_failure_report(&failed));
         std::process::exit(1);
     }
     println!("OK: recovery holds at every drop rate <= 10%");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unrecovered_row(label: &str, nodes: usize, loss: f64, runs: usize) -> SweepRow {
+        SweepRow {
+            label: label.to_string(),
+            nodes,
+            loss,
+            summary: ExperimentSummary {
+                runs,
+                ..Default::default()
+            },
+            wall_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn gate_failure_report_names_size_loss_and_observed_rounds() {
+        let a = unrecovered_row("loss=0.1", 1000, 0.10, 3);
+        let b = unrecovered_row("n=6400", 6400, 0.05, 1);
+        let report = gate_failure_report(&[&a, &b]);
+        assert!(report.starts_with("FAIL: recovery gate"));
+        assert!(report.contains("tripped on 2 sweep row(s)"));
+        assert!(
+            report.contains("loss=0.1: 1000 nodes at 10% loss — 0/3 runs recovered"),
+            "missing per-row size/loss/ratio detail:\n{report}"
+        );
+        assert!(
+            report.contains(&format!("no run reshaped within {TAIL_ROUNDS} tail rounds")),
+            "missing observed-rounds detail:\n{report}"
+        );
+        assert!(report.contains("n=6400: 6400 nodes at 5% loss — 0/1 runs recovered"));
+    }
+
+    #[test]
+    fn gate_failure_report_shows_partial_recovery_means() {
+        // A row where some runs reshaped: the mean must be printed so the
+        // report says how close the gate came.
+        let mut row = unrecovered_row("loss=0.05", 1000, 0.05, 2);
+        row.summary.reshaping_rounds = vec![Some(41), None];
+        let report = gate_failure_report(&[&row]);
+        assert!(
+            report.contains("1/2 runs recovered, mean reshaping 41.0 rounds"),
+            "partial recovery must report the observed mean:\n{report}"
+        );
+    }
 }

@@ -139,7 +139,7 @@ impl<S: MetricSpace> Substrate<S::Point> for NetSim<S> {
     }
 
     fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
-        NetSim::inject(self, positions.to_vec())
+        NetSim::inject(self, positions)
     }
 
     fn partition(&mut self, groups: &[Vec<NodeId>]) {

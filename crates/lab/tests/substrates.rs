@@ -185,7 +185,7 @@ fn injected_netsim_nodes_attract_points() {
     sim.run(10);
     sim.fail_original_region(&shapes::in_right_half(20.0));
     sim.run(10);
-    let fresh = sim.inject(shapes::torus_grid_offset(10, 10, 1.0));
+    let fresh = sim.inject(&shapes::torus_grid_offset(10, 10, 1.0));
     assert_eq!(fresh.len(), 100);
     sim.run(15);
     let with_points = fresh

@@ -1,5 +1,5 @@
-//! The discrete-event kernel: a binary-heap future-event queue driving
-//! the sans-IO protocol stack through an explicit network model.
+//! The discrete-event kernel: a calendar future-event queue driving the
+//! sans-IO protocol stack through an explicit network model.
 //!
 //! Where the cycle engine applies every [`Effect::Send`] synchronously —
 //! the atomic pairwise exchange of PeerSim's cycle-driven mode — this
@@ -12,43 +12,52 @@
 //! `t + detection_delay`.
 //!
 //! The protocol stack is the unchanged [`ProtocolNode`] both other
-//! substrates drive. Reachability probes are answered from the *kernel's
-//! failure knowledge* (what has been detected so far) — not from ground
-//! truth, so an undetected crash lets exchanges start and then time out,
-//! exactly as a deployment would experience it. Partitions never fail a
-//! probe: nothing crashed, so the failure detector has nothing to say —
-//! the opened exchange's traffic simply vanishes in the fabric, and
-//! views survive the window intact (see `execute`).
+//! substrates drive, stored in the same dense
+//! [`polystyrene_protocol::pool::NodePool`] slab the cycle engine uses —
+//! activation order, liveness and positions come off the pool's sorted
+//! alive list instead of a grow-only id-indexed vector. Reachability
+//! probes are answered from the *kernel's failure knowledge* (what has
+//! been detected so far) — not from ground truth, so an undetected crash
+//! lets exchanges start and then time out, exactly as a deployment would
+//! experience it. Partitions never fail a probe: nothing crashed, so the
+//! failure detector has nothing to say — the opened exchange's traffic
+//! simply vanishes in the fabric, and views survive the window intact
+//! (see `execute`).
+//!
+//! The hot loop is allocation-free in steady state: future events live
+//! in a [`CalendarQueue`] of reusable per-tick buckets, node effects are
+//! pushed into one kernel-owned [`EffectSink`] and dispatched through
+//! one reusable queue, and the per-round measurement pass reuses dense
+//! point-id-indexed holder/ghost tables instead of rebuilding hash maps.
 //!
 //! Determinism: one seeded RNG drives bootstrap, activation orders and
 //! node entropy in a fixed order; the network model draws from its own
 //! seeded stream in event order. Identical configurations replay
-//! bit-identical histories.
+//! bit-identical histories — pinned across the pool/queue/metrics swap
+//! by `tests/golden_history.rs`.
 
 use crate::config::NetSimConfig;
 use crate::metrics::{reference_homogeneity, NetRoundMetrics};
+use crate::queue::CalendarQueue;
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId};
+use polystyrene_protocol::pool::NodePool;
 use polystyrene_protocol::{
-    Effect, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, RoundCost, Wire,
+    Effect, EffectSink, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, RoundCost, Wire,
 };
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Seed offset separating the network model's entropy stream from the
 /// kernel's, so link faults and protocol randomness never interleave.
 const NET_SEED_TAG: u64 = 0x6e65_7473_696d; // "netsim"
 
-/// A queued future event.
-struct Scheduled<P> {
-    at: u64,
-    seq: u64,
-    what: Pending<P>,
-}
-
+/// A queued future event. The tick it fires at and its position within
+/// that tick are carried by the [`CalendarQueue`] (bucket + FIFO slot),
+/// not stored per event.
 enum Pending<P> {
     /// A wire message completes its transit.
     Deliver {
@@ -64,26 +73,30 @@ enum Pending<P> {
     Crash { id: NodeId },
 }
 
-// The heap orders by (at, seq) with the *smallest* first: comparisons are
-// reversed because `BinaryHeap` is a max-heap. `seq` is unique, so the
-// order is total and deterministic regardless of payload.
-impl<P> PartialEq for Scheduled<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Reusable dense tables for the per-round measurement pass, replacing
+/// the `HashMap<PointId, Vec<usize>>` / `HashSet<PointId>` the kernel
+/// used to rebuild every round. Founding point ids are contiguous from
+/// zero, so point-id-indexed vectors cover them exactly; holder entries
+/// are pool *slot* indices, read back off the dense slot array.
+#[derive(Default)]
+struct MeasureScratch {
+    /// Slot of every alive node, in ascending-id order.
+    alive_slots: Vec<u32>,
+    /// Point-id-indexed holder slots (guests + parked handouts).
+    holders: Vec<Vec<u32>>,
+    /// Point-id-indexed "some alive node still stores this point".
+    existing: Vec<bool>,
 }
-impl<P> Eq for Scheduled<P> {}
-impl<P> PartialOrd for Scheduled<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Scheduled<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+impl MeasureScratch {
+    fn reset(&mut self, n_points: usize) {
+        self.alive_slots.clear();
+        for h in &mut self.holders {
+            h.clear();
+        }
+        self.holders.resize_with(n_points, Vec::new);
+        self.existing.clear();
+        self.existing.resize(n_points, false);
     }
 }
 
@@ -108,22 +121,33 @@ impl<P> Ord for Scheduled<P> {
 pub struct NetSim<S: MetricSpace> {
     space: S,
     config: NetSimConfig,
-    nodes: Vec<Option<ProtocolNode<S>>>,
+    nodes: NodePool<S>,
     original_points: Vec<DataPoint<S::Point>>,
     net: Box<dyn NetworkModel>,
     /// Crashes the population's failure knowledge has caught up with.
     detected: BTreeSet<NodeId>,
-    queue: BinaryHeap<Scheduled<S::Point>>,
-    seq: u64,
+    queue: CalendarQueue<Pending<S::Point>>,
     now: u64,
     round: u32,
     rng: StdRng,
     history: Vec<NetRoundMetrics>,
     sent_messages: u64,
     dropped_messages: u64,
+    /// Messages currently in transit (scheduled, not yet popped).
+    in_flight: usize,
     /// This round's traffic in the paper's cost units, tallied at the
     /// send boundary (a dropped message still cost its sender the bytes).
     cost: RoundCost,
+    /// Kernel-owned effect sink every node activation/delivery pushes
+    /// into — one buffer for the whole simulation instead of a fresh
+    /// `Vec` per protocol call.
+    sink: EffectSink<S::Point>,
+    /// Reusable effect-dispatch queue for [`Self::execute`].
+    pending: VecDeque<(NodeId, Effect<S::Point>)>,
+    /// Reusable activation-order buffer for [`Self::step`].
+    order: Vec<NodeId>,
+    /// Reusable measurement tables for [`Self::step`].
+    scratch: MeasureScratch,
 }
 
 impl<S: MetricSpace> NetSim<S> {
@@ -164,7 +188,7 @@ impl<S: MetricSpace> NetSim<S> {
             .map(|(i, p)| DataPoint::new(PointId::new(i as u64), p.clone()))
             .collect();
 
-        let mut nodes: Vec<Option<ProtocolNode<S>>> = Vec::with_capacity(n);
+        let mut nodes: NodePool<S> = NodePool::with_capacity(n);
         for (i, origin) in original_points.iter().enumerate() {
             let mut contacts = Vec::new();
             while contacts.len() < config.rps_view_cap.min(n - 1) {
@@ -187,14 +211,18 @@ impl<S: MetricSpace> NetSim<S> {
                     boot.push(Descriptor::new(NodeId::new(j as u64), shape[j].clone()));
                 }
             }
-            nodes.push(Some(ProtocolNode::new(
-                NodeId::new(i as u64),
-                space.clone(),
-                protocol,
-                PolyState::with_initial_point(origin.clone()),
-                contacts,
-                boot,
-            )));
+            let space = space.clone();
+            let id = nodes.insert_with(move |id| {
+                ProtocolNode::new(
+                    id,
+                    space,
+                    protocol,
+                    PolyState::with_initial_point(origin.clone()),
+                    contacts,
+                    boot,
+                )
+            });
+            debug_assert_eq!(id.index(), i, "founding ids are positional");
         }
 
         Self {
@@ -204,15 +232,19 @@ impl<S: MetricSpace> NetSim<S> {
             original_points,
             net,
             detected: BTreeSet::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: CalendarQueue::new(),
             now: 0,
             round: 0,
             rng,
             history: Vec::new(),
             sent_messages: 0,
             dropped_messages: 0,
+            in_flight: 0,
             cost: RoundCost::default(),
+            sink: EffectSink::new(),
+            pending: VecDeque::new(),
+            order: Vec::new(),
+            scratch: MeasureScratch::default(),
         }
     }
 
@@ -231,19 +263,21 @@ impl<S: MetricSpace> NetSim<S> {
         &self.config
     }
 
-    /// Ids of currently alive nodes.
-    pub fn alive_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_some())
-            .map(|(i, _)| NodeId::new(i as u64))
-            .collect()
+    /// Ids of currently alive nodes, sorted ascending — a borrow of the
+    /// pool's incrementally maintained list, not a fresh `Vec`.
+    pub fn alive_ids(&self) -> &[NodeId] {
+        self.nodes.alive_ids()
     }
 
     /// Number of currently alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.nodes.iter().filter(|c| c.is_some()).count()
+        self.nodes.alive_count()
+    }
+
+    /// The node pool itself — slot handles, positions, generation
+    /// checks — for diagnostics and the freelist property tests.
+    pub fn pool(&self) -> &NodePool<S> {
+        &self.nodes
     }
 
     /// The initial data points defining the target shape.
@@ -258,18 +292,12 @@ impl<S: MetricSpace> NetSim<S> {
 
     /// Read access to a node's Polystyrene state, if alive.
     pub fn poly_state(&self, id: NodeId) -> Option<&PolyState<S::Point>> {
-        self.nodes
-            .get(id.index())
-            .and_then(|c| c.as_ref())
-            .map(|c| &c.poly)
+        self.nodes.get(id).map(|c| &c.poly)
     }
 
     /// Messages currently in transit (scheduled but undelivered).
     pub fn in_flight(&self) -> usize {
-        self.queue
-            .iter()
-            .filter(|s| matches!(s.what, Pending::Deliver { .. }))
-            .count()
+        self.in_flight
     }
 
     /// Mutable access to the network model (install partitions, tweak a
@@ -288,19 +316,16 @@ impl<S: MetricSpace> NetSim<S> {
     /// survivors' failure knowledge learns of the crash — fires
     /// `detection_delay_ticks` later.
     pub fn crash(&mut self, id: NodeId) -> bool {
-        match self.nodes.get_mut(id.index()) {
-            Some(cell) if cell.is_some() => {
-                *cell = None;
-                if self.config.detection_delay_ticks == 0 {
-                    self.detected.insert(id);
-                } else {
-                    let at = self.now + self.config.detection_delay_ticks;
-                    self.schedule(at, Pending::Detect { id });
-                }
-                true
-            }
-            _ => false,
+        if self.nodes.remove(id).is_none() {
+            return false;
         }
+        if self.config.detection_delay_ticks == 0 {
+            self.detected.insert(id);
+        } else {
+            let at = self.now + self.config.detection_delay_ticks;
+            self.schedule(at, Pending::Detect { id });
+        }
+        true
     }
 
     /// Schedules a crash `in_ticks` simulated time units from now — mid-
@@ -320,7 +345,7 @@ impl<S: MetricSpace> NetSim<S> {
     ) -> Vec<NodeId> {
         let killed =
             polystyrene_protocol::select_region_victims(&self.original_points, predicate, &|id| {
-                self.nodes.get(id.index()).is_some_and(Option::is_some)
+                self.nodes.contains(id)
             });
         for &id in &killed {
             self.crash(id);
@@ -330,10 +355,11 @@ impl<S: MetricSpace> NetSim<S> {
 
     /// Crashes a uniformly random fraction of the alive population, with
     /// victim selection shared with the other substrates. Returns the
-    /// crashed ids.
+    /// crashed ids. (The one copy of the alive list is forced by the
+    /// shared selector's shuffle-in-place contract.)
     pub fn fail_random_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
         let killed = polystyrene_protocol::scenario::select_victims(
-            self.alive_ids(),
+            self.nodes.alive_ids().to_vec(),
             fraction,
             &mut self.rng,
         );
@@ -347,43 +373,51 @@ impl<S: MetricSpace> NetSim<S> {
     /// alive contacts drawn through the shared
     /// [`polystyrene_protocol::sample_bootstrap_contacts`] path (same
     /// semantics as the cycle engine's inject). Returns the new ids.
-    pub fn inject(&mut self, positions: Vec<S::Point>) -> Vec<NodeId> {
-        let alive = self.alive_ids();
+    ///
+    /// All contact sampling reads the pre-inject population directly off
+    /// the pool's alive list (new joiners never bootstrap each other);
+    /// positions are borrowed and cloned once, into the node that owns
+    /// them.
+    pub fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
         let protocol = self.config.protocol();
+        let mut seeds = Vec::with_capacity(positions.len());
+        {
+            let Self {
+                nodes, rng, config, ..
+            } = &mut *self;
+            let alive = nodes.alive_ids();
+            let pos_of = |j: NodeId| nodes.get(j).map(|c| c.poly.pos.clone());
+            for _ in positions {
+                seeds.push((
+                    polystyrene_protocol::sample_bootstrap_contacts(
+                        alive,
+                        &pos_of,
+                        config.rps_view_cap,
+                        rng,
+                    ),
+                    polystyrene_protocol::sample_bootstrap_contacts(
+                        alive,
+                        &pos_of,
+                        config.tman_bootstrap,
+                        rng,
+                    ),
+                ));
+            }
+        }
         let mut new_ids = Vec::with_capacity(positions.len());
-        for pos in positions {
-            let id = NodeId::new(self.nodes.len() as u64);
-            let (contacts, boot) = {
-                let nodes = &self.nodes;
-                let pos_of = |j: NodeId| {
-                    nodes
-                        .get(j.index())
-                        .and_then(|c| c.as_ref())
-                        .map(|c| c.poly.pos.clone())
-                };
-                (
-                    polystyrene_protocol::sample_bootstrap_contacts(
-                        &alive,
-                        &pos_of,
-                        self.config.rps_view_cap,
-                        &mut self.rng,
-                    ),
-                    polystyrene_protocol::sample_bootstrap_contacts(
-                        &alive,
-                        &pos_of,
-                        self.config.tman_bootstrap,
-                        &mut self.rng,
-                    ),
+        for (pos, (contacts, boot)) in positions.iter().zip(seeds) {
+            let space = self.space.clone();
+            let pos = pos.clone();
+            let id = self.nodes.insert_with(move |id| {
+                ProtocolNode::new(
+                    id,
+                    space,
+                    protocol,
+                    PolyState::empty_at(pos),
+                    contacts,
+                    boot,
                 )
-            };
-            self.nodes.push(Some(ProtocolNode::new(
-                id,
-                self.space.clone(),
-                protocol,
-                PolyState::empty_at(pos),
-                contacts,
-                boot,
-            )));
+            });
             new_ids.push(id);
         }
         new_ids
@@ -411,25 +445,23 @@ impl<S: MetricSpace> NetSim<S> {
         self.cost.reset();
         let round_start = self.now;
         let round_end = round_start + self.config.ticks_per_round;
-        let mut order: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_some())
-            .collect();
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend_from_slice(self.nodes.alive_ids());
         order.shuffle(&mut self.rng);
-        for i in order {
+        for &id in &order {
             let offset = self.rng.random_range(0..self.config.ticks_per_round);
-            self.schedule(
-                round_start + offset,
-                Pending::Activate {
-                    id: NodeId::new(i as u64),
-                },
-            );
+            self.schedule(round_start + offset, Pending::Activate { id });
         }
+        self.order = order;
         // Everything due before the round boundary — activations, the
         // deliveries they cause, crashes, detections — happens now, in
         // time order; later arrivals stay queued for future rounds.
         self.drain(round_end - 1);
         self.now = round_end;
-        let metrics = self.compute_metrics();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let metrics = self.measure_into(&mut scratch);
+        self.scratch = scratch;
         self.history.push(metrics);
         metrics
     }
@@ -442,18 +474,21 @@ impl<S: MetricSpace> NetSim<S> {
     }
 
     fn schedule(&mut self, at: u64, what: Pending<S::Point>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { at, seq, what });
+        if matches!(what, Pending::Deliver { .. }) {
+            self.in_flight += 1;
+        }
+        self.queue.push(at, what);
     }
 
-    /// Executes one node's effects: probes are answered from the kernel's
-    /// failure knowledge, sends are routed through the network model.
-    fn execute(&mut self, origin: usize, effects: Vec<Effect<S::Point>>) {
-        let mut pending: VecDeque<(usize, Effect<S::Point>)> =
-            effects.into_iter().map(|e| (origin, e)).collect();
+    /// Executes the effects currently in the sink as `origin`'s output:
+    /// probes are answered from the kernel's failure knowledge, sends are
+    /// routed through the network model. Cascading effects (a probe
+    /// answer opening an exchange) flow through one reusable dispatch
+    /// queue.
+    fn execute(&mut self, origin: NodeId) {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.extend(self.sink.drain().map(|e| (origin, e)));
         while let Some((at, effect)) = pending.pop_front() {
-            let from = NodeId::new(at as u64);
             match effect {
                 Effect::Probe { peer, channel } => {
                     // Failure *knowledge*, not ground truth: an undetected
@@ -474,35 +509,35 @@ impl<S: MetricSpace> NetSim<S> {
                     } else {
                         Event::PeerUnreachable { peer, channel }
                     };
-                    let node = self.nodes[at].as_mut().expect("active node vanished");
-                    let more = node.on_event(event, &mut self.rng);
-                    pending.extend(more.into_iter().map(|e| (at, e)));
+                    let Self {
+                        nodes, rng, sink, ..
+                    } = &mut *self;
+                    let node = nodes.get_mut(at).expect("active node vanished");
+                    node.on_event_into(event, rng, sink);
+                    pending.extend(self.sink.drain().map(|e| (at, e)));
                 }
                 Effect::Send { to, wire } => {
                     self.sent_messages += 1;
                     self.cost.charge_wire(&self.config.cost, &wire);
-                    match self.net.route(from, to, wire.channel(), self.now) {
+                    match self.net.route(at, to, wire.channel(), self.now) {
                         Fate::Drop => self.dropped_messages += 1,
                         Fate::Deliver { delay } => {
-                            let at = self.now + delay;
-                            self.schedule(at, Pending::Deliver { from, to, wire });
+                            let deliver_at = self.now + delay;
+                            self.schedule(deliver_at, Pending::Deliver { from: at, to, wire });
                         }
                     }
                 }
             }
         }
+        self.pending = pending;
     }
 
     /// Processes every queued event with `at <= limit` in `(at, seq)`
     /// order, advancing the simulated clock to each event's time.
     fn drain(&mut self, limit: u64) {
-        while let Some(top) = self.queue.peek() {
-            if top.at > limit {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked above");
-            self.now = self.now.max(event.at);
-            match event.what {
+        while let Some((at, what)) = self.queue.pop_next(limit) {
+            self.now = self.now.max(at);
+            match what {
                 Pending::Detect { id } => {
                     self.detected.insert(id);
                 }
@@ -510,12 +545,7 @@ impl<S: MetricSpace> NetSim<S> {
                     self.crash(id);
                 }
                 Pending::Activate { id } => {
-                    // Crashed since it was scheduled: the activation
-                    // evaporates with the node.
-                    if self.nodes.get(id.index()).is_none_or(Option::is_none) {
-                        continue;
-                    }
-                    let effects = {
+                    {
                         // Split borrow: `detected` cannot change during
                         // one activation, so the closure reads it in
                         // place — no per-activation snapshot clone.
@@ -523,24 +553,39 @@ impl<S: MetricSpace> NetSim<S> {
                             nodes,
                             detected,
                             rng,
+                            sink,
                             ..
                         } = &mut *self;
+                        // Crashed since it was scheduled: the activation
+                        // evaporates with the node.
+                        let Some(node) = nodes.get_mut(id) else {
+                            continue;
+                        };
                         let fd = |peer: NodeId| detected.contains(&peer);
-                        let node = nodes[id.index()].as_mut().expect("checked above");
-                        node.on_round(&fd, rng)
-                    };
-                    if !effects.is_empty() {
-                        self.execute(id.index(), effects);
+                        node.on_round_into(&fd, rng, sink);
+                    }
+                    if !self.sink.is_empty() {
+                        self.execute(id);
                     }
                 }
                 Pending::Deliver { from, to, wire } => {
-                    // A message to a node that died mid-flight evaporates.
-                    let Some(node) = self.nodes.get_mut(to.index()).and_then(Option::as_mut) else {
-                        continue;
+                    self.in_flight -= 1;
+                    let delivered = {
+                        let Self {
+                            nodes, rng, sink, ..
+                        } = &mut *self;
+                        match nodes.get_mut(to) {
+                            Some(node) => {
+                                node.on_event_into(Event::Message { from, wire }, rng, sink);
+                                true
+                            }
+                            // A message to a node that died mid-flight
+                            // evaporates.
+                            None => false,
+                        }
                     };
-                    let effects = node.on_event(Event::Message { from, wire }, &mut self.rng);
-                    if !effects.is_empty() {
-                        self.execute(to.index(), effects);
+                    if delivered && !self.sink.is_empty() {
+                        self.execute(to);
                     }
                 }
             }
@@ -552,27 +597,37 @@ impl<S: MetricSpace> NetSim<S> {
     // ------------------------------------------------------------------
 
     /// Measures the quality metrics over the current state (exhaustive
-    /// nearest-node scans; the kernel targets networks of a few thousand
-    /// nodes, where the event queue — not measurement — dominates).
+    /// nearest-node scans off the pool's dense slot arrays; the event
+    /// queue — not measurement — dominates the kernel's profile).
+    ///
+    /// Allocates fresh scratch tables; the round loop goes through the
+    /// kernel-owned reusable scratch instead.
     pub fn compute_metrics(&self) -> NetRoundMetrics {
-        let alive: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_some())
-            .collect();
-        let alive_count = alive.len();
+        self.measure_into(&mut MeasureScratch::default())
+    }
 
-        let mut holders: HashMap<PointId, Vec<usize>> = HashMap::new();
-        let mut existing: HashSet<PointId> = HashSet::new();
+    /// The measurement body, writing its working set into `scratch` so
+    /// the per-round path reuses one set of dense tables.
+    fn measure_into(&self, scratch: &mut MeasureScratch) -> NetRoundMetrics {
+        let n_points = self.original_points.len();
+        scratch.reset(n_points);
+        let alive_count = self.nodes.alive_count();
+        let slots = self.nodes.slots();
+
         let mut stored = 0usize;
         let mut parked_points = 0usize;
-        for &i in &alive {
-            let node = self.nodes[i].as_ref().expect("filtered alive");
+        for &id in self.nodes.alive_ids() {
+            let slot = self.nodes.slot_of(id).expect("alive id has a slot") as u32;
+            scratch.alive_slots.push(slot);
+            let node = slots[slot as usize].as_ref().expect("alive slot occupied");
             for g in &node.poly.guests {
-                holders.entry(g.id).or_default().push(i);
-                existing.insert(g.id);
+                debug_assert!(g.id.index() < n_points, "guests hold founding points");
+                scratch.holders[g.id.index()].push(slot);
+                scratch.existing[g.id.index()] = true;
             }
             for pts in node.poly.ghosts.values() {
                 for p in pts {
-                    existing.insert(p.id);
+                    scratch.existing[p.id.index()] = true;
                 }
             }
             // Mid-handover points physically remain on the responder
@@ -580,37 +635,38 @@ impl<S: MetricSpace> NetSim<S> {
             // they are *held here* for the homogeneity measurement (the
             // bytes are on this node, whatever the ownership paperwork
             // says).
-            for id in node.parked_point_ids() {
-                holders.entry(id).or_default().push(i);
-                existing.insert(id);
+            for pid in node.parked_point_ids() {
+                scratch.holders[pid.index()].push(slot);
+                scratch.existing[pid.index()] = true;
                 parked_points += 1;
             }
             stored += node.poly.stored_points();
         }
 
+        let pos_of = |slot: u32| {
+            &slots[slot as usize]
+                .as_ref()
+                .expect("holder alive")
+                .poly
+                .pos
+        };
         let mut homogeneity_acc = 0.0;
         let mut surviving = 0usize;
         for point in &self.original_points {
-            let nearest = match holders.get(&point.id) {
-                Some(hs) if !hs.is_empty() => hs
-                    .iter()
-                    .map(|&i| {
-                        let pos = &self.nodes[i].as_ref().expect("holder alive").poly.pos;
-                        self.space.distance(&point.pos, pos)
-                    })
-                    .fold(f64::INFINITY, f64::min),
-                _ => alive
-                    .iter()
-                    .map(|&i| {
-                        let pos = &self.nodes[i].as_ref().expect("filtered alive").poly.pos;
-                        self.space.distance(&point.pos, pos)
-                    })
-                    .fold(f64::INFINITY, f64::min),
+            let holders = &scratch.holders[point.id.index()];
+            let candidates: &[u32] = if holders.is_empty() {
+                &scratch.alive_slots
+            } else {
+                holders
             };
+            let nearest = candidates
+                .iter()
+                .map(|&s| self.space.distance(&point.pos, pos_of(s)))
+                .fold(f64::INFINITY, f64::min);
             if nearest.is_finite() {
                 homogeneity_acc += nearest;
             }
-            if existing.contains(&point.id) {
+            if scratch.existing[point.id.index()] {
                 surviving += 1;
             }
         }
@@ -636,7 +692,7 @@ impl<S: MetricSpace> NetSim<S> {
                 stored as f64 / alive_count as f64
             },
             parked_points,
-            in_flight: self.in_flight(),
+            in_flight: self.in_flight,
             sent_messages: self.sent_messages,
             dropped_messages: self.dropped_messages,
             cost_per_node: if alive_count == 0 {
@@ -683,7 +739,7 @@ mod tests {
         let sim = tiny_sim(1, LinkProfile::ideal());
         assert_eq!(sim.alive_count(), 64);
         assert_eq!(sim.original_points().len(), 64);
-        for id in sim.alive_ids() {
+        for &id in sim.alive_ids() {
             let s = sim.poly_state(id).expect("alive");
             assert_eq!(s.guests.len(), 1);
             assert_eq!(s.guests[0].id.as_u64(), id.as_u64());
@@ -826,6 +882,22 @@ mod tests {
             m.homogeneity < m.reference_homogeneity,
             "healed and settled"
         );
+    }
+
+    #[test]
+    fn injected_nodes_recycle_slots_of_the_dead() {
+        let mut sim = tiny_sim(9, LinkProfile::ideal());
+        sim.run(3);
+        let victim = NodeId::new(5);
+        let victim_slot = sim.pool().slot_ref(victim).expect("alive");
+        assert!(sim.crash(victim));
+        let fresh = sim.inject(&[[3.5, 1.5]]);
+        assert_eq!(fresh, vec![NodeId::new(64)], "ids stay monotonic");
+        let fresh_slot = sim.pool().slot_ref(fresh[0]).expect("alive");
+        assert_eq!(fresh_slot.slot, victim_slot.slot, "slot recycled");
+        assert!(fresh_slot.gen > victim_slot.gen, "generation bumped");
+        assert!(sim.poly_state(victim).is_none(), "dead id stays dead");
+        assert_eq!(sim.alive_count(), 64);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! * crash detection lag expressed as future events,
 //!
 //! — all deterministic under a fixed seed, driving the **unchanged**
-//! sans-IO [`polystyrene_protocol::ProtocolNode`]. Messages become heap
-//! events keyed by `(deliver_at, seq)`; a zero-latency, zero-loss
+//! sans-IO [`polystyrene_protocol::ProtocolNode`]. Messages become future
+//! events in a calendar queue ([`queue::CalendarQueue`]) ordered by
+//! `(deliver_at, seq)`; a zero-latency, zero-loss
 //! configuration collapses to round-synchronized delivery and reproduces
 //! the cycle engine's per-round population arithmetic (pinned by
 //! `tests/equivalence.rs`), which anchors every lossy result to the
@@ -50,12 +51,14 @@
 pub mod config;
 pub mod kernel;
 pub mod metrics;
+pub mod queue;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::NetSimConfig;
     pub use crate::kernel::NetSim;
     pub use crate::metrics::{net_reshaping_time, reference_homogeneity, NetRoundMetrics};
+    pub use crate::queue::CalendarQueue;
     pub use polystyrene_protocol::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
 }
 

@@ -387,8 +387,11 @@ fn get_wire<P: PointCodec>(r: &mut Reader<'_>) -> Result<Wire<P>, CodecError> {
     })
 }
 
-fn start() -> Vec<u8> {
-    vec![FORMAT_VERSION]
+/// Resets `out` to a fresh value start (version byte only), keeping its
+/// capacity — the reuse point of every `encode_*_into` entry.
+fn start_into(out: &mut Vec<u8>) {
+    out.clear();
+    out.push(FORMAT_VERSION);
 }
 
 fn open(bytes: &[u8]) -> Result<Reader<'_>, CodecError> {
@@ -409,9 +412,17 @@ fn finish<T>(r: Reader<'_>, value: T) -> Result<T, CodecError> {
 
 /// Encodes one wire message.
 pub fn encode_wire<P: PointCodec>(wire: &Wire<P>) -> Vec<u8> {
-    let mut out = start();
-    put_wire(&mut out, wire);
+    let mut out = Vec::new();
+    encode_wire_into(&mut out, wire);
     out
+}
+
+/// Encodes one wire message into `out`, replacing its contents but
+/// keeping its capacity — the allocation-free path for send loops that
+/// serialize many values through one buffer.
+pub fn encode_wire_into<P: PointCodec>(out: &mut Vec<u8>, wire: &Wire<P>) {
+    start_into(out);
+    put_wire(out, wire);
 }
 
 /// Decodes one wire message, rejecting trailing bytes.
@@ -423,32 +434,39 @@ pub fn decode_wire<P: PointCodec>(bytes: &[u8]) -> Result<Wire<P>, CodecError> {
 
 /// Encodes one driver event.
 pub fn encode_event<P: PointCodec>(event: &Event<P>) -> Vec<u8> {
-    let mut out = start();
+    let mut out = Vec::new();
+    encode_event_into(&mut out, event);
+    out
+}
+
+/// Encodes one driver event into `out`, replacing its contents but
+/// keeping its capacity (see [`encode_wire_into`]).
+pub fn encode_event_into<P: PointCodec>(out: &mut Vec<u8>, event: &Event<P>) {
+    start_into(out);
     match event {
         Event::Message { from, wire } => {
             out.push(0);
-            put_u64(&mut out, from.as_u64());
-            put_wire(&mut out, wire);
+            put_u64(out, from.as_u64());
+            put_wire(out, wire);
         }
         Event::ProbeOk { peer, channel, pos } => {
             out.push(1);
-            put_u64(&mut out, peer.as_u64());
+            put_u64(out, peer.as_u64());
             out.push(channel_tag(*channel));
             match pos {
                 Some(p) => {
                     out.push(1);
-                    p.encode_point(&mut out);
+                    p.encode_point(out);
                 }
                 None => out.push(0),
             }
         }
         Event::PeerUnreachable { peer, channel } => {
             out.push(2);
-            put_u64(&mut out, peer.as_u64());
+            put_u64(out, peer.as_u64());
             out.push(channel_tag(*channel));
         }
     }
-    out
 }
 
 /// Decodes one driver event, rejecting trailing bytes.
@@ -484,20 +502,27 @@ pub fn decode_event<P: PointCodec>(bytes: &[u8]) -> Result<Event<P>, CodecError>
 
 /// Encodes one node effect.
 pub fn encode_effect<P: PointCodec>(effect: &Effect<P>) -> Vec<u8> {
-    let mut out = start();
+    let mut out = Vec::new();
+    encode_effect_into(&mut out, effect);
+    out
+}
+
+/// Encodes one node effect into `out`, replacing its contents but
+/// keeping its capacity (see [`encode_wire_into`]).
+pub fn encode_effect_into<P: PointCodec>(out: &mut Vec<u8>, effect: &Effect<P>) {
+    start_into(out);
     match effect {
         Effect::Probe { peer, channel } => {
             out.push(0);
-            put_u64(&mut out, peer.as_u64());
+            put_u64(out, peer.as_u64());
             out.push(channel_tag(*channel));
         }
         Effect::Send { to, wire } => {
             out.push(1);
-            put_u64(&mut out, to.as_u64());
-            put_wire(&mut out, wire);
+            put_u64(out, to.as_u64());
+            put_wire(out, wire);
         }
     }
-    out
 }
 
 /// Decodes one node effect, rejecting trailing bytes.
@@ -565,6 +590,41 @@ mod tests {
             decode_wire::<f64>(&out),
             Err(CodecError::BadLength(u64::MAX))
         );
+    }
+
+    #[test]
+    fn into_variants_reuse_a_dirty_buffer() {
+        // One buffer round-trips wire, event and effect back to back:
+        // each encode must fully replace the previous (longer) contents,
+        // not append to them, and must match the allocating encoder.
+        let wire: Wire<[f64; 2]> = Wire::RpsReply {
+            sent: vec![Descriptor::new(NodeId::new(1), [0.5, 1.5])],
+            descriptors: vec![Descriptor::new(NodeId::new(2), [2.5, 3.5])],
+        };
+        let event: Event<[f64; 2]> = Event::ProbeOk {
+            peer: NodeId::new(9),
+            channel: Channel::Migration,
+            pos: Some([4.0, 5.0]),
+        };
+        let effect: Effect<[f64; 2]> = Effect::Send {
+            to: NodeId::new(4),
+            wire: Wire::Heartbeat,
+        };
+
+        let mut buf = vec![0xAA; 256]; // deliberately dirty and oversized
+        encode_wire_into(&mut buf, &wire);
+        assert_eq!(buf, encode_wire(&wire));
+        assert_eq!(decode_wire::<[f64; 2]>(&buf).unwrap(), wire);
+
+        let cap = buf.capacity();
+        encode_event_into(&mut buf, &event);
+        assert_eq!(buf, encode_event(&event));
+        assert_eq!(decode_event::<[f64; 2]>(&buf).unwrap(), event);
+
+        encode_effect_into(&mut buf, &effect);
+        assert_eq!(buf, encode_effect(&effect));
+        assert_eq!(decode_effect::<[f64; 2]>(&buf).unwrap(), effect);
+        assert_eq!(buf.capacity(), cap, "reuse must keep the allocation");
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //!   fabric does to each message — deliver after a latency, drop, or
 //!   block across a partition;
 //! * [`codec`] pins the byte encoding of the sans-IO surface before any
-//!   real transport exists, guarded by property round-trips.
+//!   real transport exists, guarded by property round-trips;
+//! * [`pool`] is the dense slot pool (free list, generation-stamped
+//!   [`pool::SlotRef`]s, struct-of-arrays position slab) the
+//!   deterministic drivers store their [`node::ProtocolNode`]
+//!   populations in.
 //!
 //! # Driving the state machine
 //!
@@ -84,6 +88,7 @@ pub mod cost;
 pub mod net;
 pub mod node;
 pub mod observe;
+pub mod pool;
 pub mod scenario;
 pub mod wire;
 
@@ -94,6 +99,7 @@ pub mod prelude {
     pub use crate::net::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
     pub use crate::node::{Phase, ProtocolNode};
     pub use crate::observe::{reference_homogeneity, RoundObservation};
+    pub use crate::pool::{NodePool, SlotRef};
     pub use crate::scenario::{
         sample_bootstrap_contacts, select_region_victims, select_victims, PaperScenario, Scenario,
         ScenarioEvent,

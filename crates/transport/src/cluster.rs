@@ -22,7 +22,7 @@ use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_protocol::codec::{decode_event, encode_event, PointCodec};
+use polystyrene_protocol::codec::{decode_event, encode_event_into, PointCodec};
 use polystyrene_protocol::observe::RoundObservation;
 use polystyrene_protocol::select_region_victims;
 use polystyrene_protocol::{Event, Fate, NetworkModel, Wire};
@@ -135,6 +135,9 @@ struct TcpLink<P> {
     order: VecDeque<NodeId>,
     cap: usize,
     io_timeout: Duration,
+    /// Reusable encode buffer: every outgoing frame is serialized into
+    /// this one allocation instead of a fresh `Vec` per send.
+    buf: Vec<u8>,
     _point: std::marker::PhantomData<P>,
 }
 
@@ -147,6 +150,7 @@ impl<P> TcpLink<P> {
             order: VecDeque::new(),
             cap: config.connection_cap,
             io_timeout: config.io_timeout,
+            buf: Vec::new(),
             _point: std::marker::PhantomData,
         }
     }
@@ -217,10 +221,14 @@ impl<P: PointCodec + Clone + Send + 'static> NodeFabric<P> for TcpLink<P> {
             self.drop_conn(to);
             return false;
         };
-        let payload = encode_event(&Event::Message {
-            from: self.id,
-            wire,
-        });
+        let mut payload = std::mem::take(&mut self.buf);
+        encode_event_into(
+            &mut payload,
+            &Event::Message {
+                from: self.id,
+                wire,
+            },
+        );
         // Reconnect-on-failure, but only when the first attempt went
         // through a *pre-existing cached* stream — it may be stale (the
         // peer restarted, or evicted this end's connection from its own
@@ -231,6 +239,7 @@ impl<P: PointCodec + Clone + Send + 'static> NodeFabric<P> for TcpLink<P> {
         let had_cached = self.conns.contains_key(&to);
         let delivered = self.try_write(to, addr, &payload)
             || (had_cached && self.try_write(to, addr, &payload));
+        self.buf = payload;
         if delivered {
             self.fabric.sent_frames.fetch_add(1, Ordering::Relaxed);
         }
