@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_netsim::prelude::{LinkProfile, NetSim, NetSimConfig};
+use polystyrene_sim::prelude::{Engine, EngineConfig};
 use polystyrene_space::diameter::{diameter_exact, diameter_sampled, diameter_two_sweep};
 use polystyrene_space::medoid::{medoid_index, medoid_index_sampled};
 use polystyrene_space::shapes;
@@ -171,18 +172,20 @@ fn bench_tman_exchange(c: &mut Criterion) {
 
 /// Steady-state allocation gate for the event kernel's activation loop.
 ///
-/// After warm-up, a netsim round should allocate only for protocol
-/// payloads — wire messages own their descriptor and point vectors — and
-/// protocol-internal working sets. The kernel's own machinery (calendar
-/// event queue, effect sink, dispatch queue, activation order,
-/// measurement tables) is reusable scratch and must contribute nothing.
-/// The bound is the empirical payload-dominated per-round count with
-/// roughly 3× headroom: a regression that reintroduces per-event or
-/// per-node kernel allocations (one heap node per scheduled event alone
-/// used to be thousands per round) blows well past it.
+/// After warm-up, a netsim round should allocate almost nothing: the
+/// kernel's machinery (calendar event queue, effect sink, dispatch
+/// queue, activation order, measurement tables) is reusable scratch,
+/// and since the payload pool landed the wire messages' descriptor and
+/// point vectors recycle through `EffectSink`'s `BufPool` too. What
+/// remains is protocol-internal churn that genuinely varies per round
+/// (split/merge working sets, occasional view growth). The bound is the
+/// empirical pooled per-round count (~580 at 256 nodes) with ~2.5×
+/// headroom; the pre-pool payload-dominated count was ~5 700, so a
+/// regression that reintroduces per-message payload allocations — let
+/// alone per-event kernel ones — blows well past it.
 fn assert_netsim_steady_state_allocations(sim: &mut NetSim<Torus2>) {
     const ROUNDS: u64 = 8;
-    const PER_ROUND_BOUND: u64 = 20_000;
+    const PER_ROUND_BOUND: u64 = 1_500;
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..ROUNDS {
         sim.step();
@@ -192,8 +195,46 @@ fn assert_netsim_steady_state_allocations(sim: &mut NetSim<Torus2>) {
     assert!(
         per_round <= PER_ROUND_BOUND,
         "netsim activation loop allocated {per_round} times per steady-state round \
-         (bound {PER_ROUND_BOUND}): kernel hot-path allocations have regressed"
+         (bound {PER_ROUND_BOUND}): protocol/kernel hot-path allocations have regressed"
     );
+}
+
+/// Steady-state allocation gate for the cycle engine's round loop —
+/// the same budget idea as the netsim gate, on the slab-pooled engine.
+///
+/// The engine's round machinery (slab phase pipeline, dispatch queue,
+/// metric tables) reuses its scratch, and the protocol payloads recycle
+/// through the sink's pool, so a steady-state round at 256 nodes is
+/// down to protocol-internal churn plus the rayon fan-out of the
+/// measurement pass. Bound = measured (~800) with ~3× headroom; the
+/// pre-pool count was ~6 000.
+fn assert_engine_steady_state_allocations(engine: &mut Engine<Torus2>) {
+    const ROUNDS: u64 = 8;
+    const PER_ROUND_BOUND: u64 = 2_500;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..ROUNDS {
+        engine.step();
+    }
+    let per_round = (ALLOCATIONS.load(Ordering::Relaxed) - before) / ROUNDS;
+    println!("engine steady-state: {per_round} allocations/round (bound {PER_ROUND_BOUND})");
+    assert!(
+        per_round <= PER_ROUND_BOUND,
+        "engine round loop allocated {per_round} times per steady-state round \
+         (bound {PER_ROUND_BOUND}): protocol/engine hot-path allocations have regressed"
+    );
+}
+
+fn bench_engine_round(c: &mut Criterion) {
+    let mut cfg = EngineConfig::default();
+    cfg.area = 256.0;
+    cfg.seed = 21;
+    let mut engine = Engine::new(Torus2::new(32.0, 8.0), shapes::torus_grid(32, 8, 1.0), cfg);
+    // Warm-up: views fill, slabs and scratch reach steady capacities.
+    engine.run(10);
+    assert_engine_steady_state_allocations(&mut engine);
+    let mut group = c.benchmark_group("engine_round");
+    group.bench_function("n256", |b| b.iter(|| engine.step()));
+    group.finish();
 }
 
 fn bench_netsim_round(c: &mut Criterion) {
@@ -222,6 +263,7 @@ criterion_group!(
     bench_split,
     bench_migration_exchange,
     bench_tman_exchange,
+    bench_engine_round,
     bench_netsim_round
 );
 criterion_main!(benches);

@@ -8,7 +8,10 @@
 //! * `mean_reshaping_rounds` per substrate entry — convergence speed,
 //! * `mean_cost_units` per substrate entry — the paper's bandwidth
 //!   unit price (Sec. IV-A),
-//! * `wall_secs` per substrate from the artifact metadata — real time.
+//! * `wall_secs` per substrate from the artifact metadata — real time,
+//! * `allocs_per_round` from the artifact metadata, when present — the
+//!   netsim sweep's deterministic steady-state allocation count (gated
+//!   exactly: the probe is seeded and single-threaded).
 //!
 //! Improvements (lower values) always pass; a substrate present in the
 //! baseline but missing from the current run is a failure, so the gate
@@ -203,6 +206,24 @@ fn main() {
                     "{label}/wall_secs: measured in baseline, missing from current run"
                 )),
             }
+        }
+    }
+
+    // Scalar metadata metrics (lower-is-better, exact): currently the
+    // netsim sweep's deterministic allocation telemetry. A baseline
+    // that measured it must keep being measured — dropping the scalar
+    // is a failure, exactly like dropping a substrate.
+    if let Some(b) = baseline.get("allocs_per_round").and_then(Json::as_f64) {
+        match current.get("allocs_per_round").and_then(Json::as_f64) {
+            Some(c) => comparisons.push(Comparison {
+                what: "allocs_per_round".to_string(),
+                baseline: b,
+                current: c,
+                floor: 0.0,
+            }),
+            None => failures.push(
+                "allocs_per_round: measured in baseline, missing from current run".to_string(),
+            ),
         }
     }
 

@@ -37,7 +37,66 @@ use polystyrene::prelude::SplitStrategy;
 use polystyrene_bench::{scaling_sizes, CommonArgs};
 use polystyrene_lab::{json_f64, summary_json, ExperimentSummary, SubstrateKind};
 use polystyrene_membership::NodeId;
+use polystyrene_netsim::prelude::{LinkProfile, NetSim, NetSimConfig};
 use polystyrene_protocol::{PaperScenario, Scenario, ScenarioEvent};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with an allocation counter, mirroring the
+/// microbench alloc gate: the sweep artifact carries a deterministic
+/// `allocs_per_round` scalar so `baseline_diff` catches allocation
+/// regressions in CI, not just locally.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Measures steady-state heap allocations per netsim round on the
+/// microbench gate's 256-node scenario (same grid, seed and link
+/// profile, so the numbers are directly comparable). Deterministic:
+/// netsim is single-threaded and fully seeded, so the committed
+/// baseline can gate this exactly.
+fn measure_allocs_per_round() -> u64 {
+    const ROUNDS: u64 = 8;
+    let mut cfg = NetSimConfig::default();
+    cfg.area = 256.0;
+    cfg.seed = 21;
+    cfg.link = LinkProfile {
+        latency: 2,
+        jitter: 1,
+        loss: 0.05,
+    };
+    let mut sim = NetSim::new(
+        polystyrene_space::torus::Torus2::new(32.0, 8.0),
+        polystyrene_space::shapes::torus_grid(32, 8, 1.0),
+        cfg,
+    );
+    sim.run(10); // warm-up: views fill, pools reach steady capacity
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..ROUNDS {
+        sim.step();
+    }
+    (ALLOCATIONS.load(Ordering::Relaxed) - before) / ROUNDS
+}
 
 /// The baseline drop rates swept (≥ 3 points, per the netsim acceptance
 /// bar); an explicit `--net-loss` is merged in as an extra point.
@@ -295,6 +354,15 @@ fn main() {
         }
     }
 
+    // Allocation telemetry for the CI trajectory: only the deterministic
+    // netsim substrate measures it (the live substrates' thread and
+    // socket machinery would make the count scheduling-dependent). The
+    // probe reuses the microbench gate's 256-node scenario, so the
+    // artifact scalar and the local gate speak the same unit.
+    let allocs_per_round = (args.substrate == SubstrateKind::Netsim)
+        .then(measure_allocs_per_round)
+        .inspect(|n| println!("\nnetsim steady-state: {n} allocations/round (256-node probe)"));
+
     std::fs::create_dir_all(&args.out).expect("failed to create output directory");
     let entries: Vec<(String, &ExperimentSummary)> =
         rows.iter().map(|r| (r.label.clone(), &r.summary)).collect();
@@ -305,28 +373,31 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",")
     );
-    let json = summary_json(
-        "fig_loss_latency",
-        &[
-            ("substrate", format!("\"{}\"", args.substrate)),
-            (
-                "mode",
-                format!("\"{}\"", if sweep_nodes > 0 { "scale" } else { "loss" }),
-            ),
-            ("nodes", (args.cols * args.rows).to_string()),
-            ("runs", args.runs.to_string()),
-            ("failure_round", FAILURE_ROUND.to_string()),
-            ("tail_rounds", TAIL_ROUNDS.to_string()),
-            ("partition_rounds", args.partition_rounds.to_string()),
-            ("latency", args.net_latency.to_string()),
-            ("jitter", args.net_jitter.to_string()),
-            // Per-row wall-clock, for the baseline differ and the scale
-            // axis: quality regressions and time regressions travel in
-            // the same artifact.
-            ("wall_secs", wall_secs),
-        ],
-        &entries,
-    );
+    let mut meta: Vec<(&str, String)> = vec![
+        ("substrate", format!("\"{}\"", args.substrate)),
+        (
+            "mode",
+            format!("\"{}\"", if sweep_nodes > 0 { "scale" } else { "loss" }),
+        ),
+        ("nodes", (args.cols * args.rows).to_string()),
+        ("runs", args.runs.to_string()),
+        ("failure_round", FAILURE_ROUND.to_string()),
+        ("tail_rounds", TAIL_ROUNDS.to_string()),
+        ("partition_rounds", args.partition_rounds.to_string()),
+        ("latency", args.net_latency.to_string()),
+        ("jitter", args.net_jitter.to_string()),
+        // Per-row wall-clock, for the baseline differ and the scale
+        // axis: quality regressions and time regressions travel in
+        // the same artifact.
+        ("wall_secs", wall_secs),
+    ];
+    if let Some(n) = allocs_per_round {
+        // Steady-state heap allocations per round on the 256-node
+        // probe — exact on netsim, so `baseline_diff` gates it with no
+        // noise floor.
+        meta.push(("allocs_per_round", n.to_string()));
+    }
+    let json = summary_json("fig_loss_latency", &meta, &entries);
     let json_path = args.out.join("fig_loss_latency.json");
     std::fs::write(&json_path, json).expect("failed to write JSON");
     println!("\nJSON written to {}", json_path.display());

@@ -22,7 +22,7 @@
 use crate::datapoint::{DataPoint, PointId};
 use crate::state::PolyState;
 use polystyrene_membership::NodeId;
-use std::collections::BTreeSet;
+use std::cmp::Ordering;
 
 /// One planned replica push from a node to one of its backup targets.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +56,30 @@ pub fn push_cost_units(added_points: usize, removed_ids: usize, units_per_point:
     added_points * units_per_point + removed_ids
 }
 
+/// Added/removed counts between two **sorted** id slices, via one linear
+/// merge walk — the allocation-free core of the delta elision.
+fn sorted_delta_counts(current: &[PointId], previous: &[PointId]) -> (usize, usize) {
+    let (mut i, mut j) = (0, 0);
+    let (mut added, mut removed) = (0, 0);
+    while i < current.len() && j < previous.len() {
+        match current[i].cmp(&previous[j]) {
+            Ordering::Less => {
+                added += 1;
+                i += 1;
+            }
+            Ordering::Greater => {
+                removed += 1;
+                j += 1;
+            }
+            Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (added + current.len() - i, removed + previous.len() - j)
+}
+
 /// Runs Algorithm 1 for `state`, owned by `self_id`:
 ///
 /// 1. drops failed backup targets,
@@ -65,6 +89,11 @@ pub fn push_cost_units(added_points: usize, removed_ids: usize, units_per_point:
 ///    a bounded number of draws so a shrunken network cannot hang it),
 /// 3. plans one [`BackupPush`] per target whose replica is stale.
 ///
+/// `ids_scratch` is caller-owned scratch for the current guest-id
+/// snapshot (a pooled buffer under a batch driver); it is cleared and
+/// refilled here. In the converged steady state — replicas up to date,
+/// no failures — the whole call allocates nothing.
+///
 /// The caller (simulator or runtime) is responsible for delivering each
 /// push, i.e. executing `target.ghosts[self_id] ← push.points`.
 pub fn plan_backups<P: Clone>(
@@ -73,15 +102,12 @@ pub fn plan_backups<P: Clone>(
     replication: usize,
     is_failed: impl Fn(NodeId) -> bool,
     mut candidates: impl FnMut() -> Option<NodeId>,
+    ids_scratch: &mut Vec<PointId>,
 ) -> Vec<BackupPush<P>> {
     // Line 1: backups ← backups \ failed (their delta records go too).
-    let dead: Vec<NodeId> = state
-        .backups
-        .iter()
-        .copied()
-        .filter(|&b| is_failed(b))
-        .collect();
-    for b in dead {
+    // `retain` on the set would be cleaner but the records must go in the
+    // same pass; collect-free double walk keeps this allocation-free.
+    while let Some(&b) = state.backups.iter().find(|&&b| is_failed(b)) {
         state.backups.remove(&b);
         state.last_sent.remove(&b);
     }
@@ -101,15 +127,15 @@ pub fn plan_backups<P: Clone>(
     }
 
     // Lines 3-5: plan pushes, eliding unchanged replicas.
-    let current_ids: BTreeSet<PointId> = state.guests.iter().map(|g| g.id).collect();
+    ids_scratch.clear();
+    ids_scratch.extend(state.guests.iter().map(|g| g.id));
+    ids_scratch.sort_unstable();
     let mut pushes = Vec::new();
     for &target in &state.backups {
         let previous = state.last_sent.get(&target);
         let new_target = previous.is_none();
-        let empty = BTreeSet::new();
-        let previous = previous.unwrap_or(&empty);
-        let added = current_ids.difference(previous).count();
-        let removed = previous.difference(&current_ids).count();
+        let previous = previous.map(Vec::as_slice).unwrap_or_default();
+        let (added, removed) = sorted_delta_counts(ids_scratch, previous);
         if !new_target && added == 0 && removed == 0 {
             continue; // replica already up to date: no traffic at all
         }
@@ -122,7 +148,14 @@ pub fn plan_backups<P: Clone>(
         });
     }
     for push in &pushes {
-        state.last_sent.insert(push.target, current_ids.clone());
+        state
+            .last_sent
+            .entry(push.target)
+            .and_modify(|ids| {
+                ids.clear();
+                ids.extend_from_slice(ids_scratch);
+            })
+            .or_insert_with(|| ids_scratch.clone());
     }
     pushes
 }
@@ -157,6 +190,7 @@ mod tests {
             3,
             |_| false,
             cycle_candidates(vec![1, 2, 3, 4]),
+            &mut Vec::new(),
         );
         assert_eq!(s.backups.len(), 3);
         assert_eq!(pushes.len(), 3);
@@ -178,6 +212,7 @@ mod tests {
             2,
             |_| false,
             cycle_candidates(vec![1, 2]),
+            &mut Vec::new(),
         );
         let again = plan_backups(
             &mut s,
@@ -185,6 +220,7 @@ mod tests {
             2,
             |_| false,
             cycle_candidates(vec![1, 2]),
+            &mut Vec::new(),
         );
         assert!(again.is_empty(), "idle steady state must cost zero traffic");
     }
@@ -198,6 +234,7 @@ mod tests {
             1,
             |_| false,
             cycle_candidates(vec![1]),
+            &mut Vec::new(),
         );
         s.absorb_guests(vec![dp(5, 1.0), dp(6, 2.0)]);
         s.guests.retain(|g| g.id != PointId::new(0));
@@ -207,6 +244,7 @@ mod tests {
             1,
             |_| false,
             cycle_candidates(vec![1]),
+            &mut Vec::new(),
         );
         assert_eq!(pushes.len(), 1);
         let p = &pushes[0];
@@ -225,6 +263,7 @@ mod tests {
             2,
             |_| false,
             cycle_candidates(vec![1, 2]),
+            &mut Vec::new(),
         );
         assert!(s.backups.contains(&NodeId::new(1)));
         // Node 1 dies; a replacement (3) must be enrolled and receive a
@@ -235,6 +274,7 @@ mod tests {
             2,
             |id| id == NodeId::new(1),
             cycle_candidates(vec![3]),
+            &mut Vec::new(),
         );
         assert!(!s.backups.contains(&NodeId::new(1)));
         assert!(s.backups.contains(&NodeId::new(3)));
@@ -252,6 +292,7 @@ mod tests {
             3,
             |id| id == NodeId::new(9),
             cycle_candidates(vec![0, 9, 1, 1, 2, 3]),
+            &mut Vec::new(),
         );
         assert!(!s.backups.contains(&NodeId::new(0)), "enrolled itself");
         assert!(!s.backups.contains(&NodeId::new(9)), "enrolled a dead node");
@@ -268,12 +309,20 @@ mod tests {
             4,
             |_| false,
             cycle_candidates(vec![1]),
+            &mut Vec::new(),
         );
         assert_eq!(s.backups.len(), 1);
         assert_eq!(pushes.len(), 1);
         // And a `None`-returning supplier terminates immediately.
         let mut s2 = PolyState::with_initial_point(dp(0, 0.0));
-        let pushes = plan_backups(&mut s2, NodeId::new(0), 4, |_| false, || None);
+        let pushes = plan_backups(
+            &mut s2,
+            NodeId::new(0),
+            4,
+            |_| false,
+            || None,
+            &mut Vec::new(),
+        );
         assert!(pushes.is_empty());
     }
 
@@ -286,6 +335,7 @@ mod tests {
             1,
             |_| false,
             cycle_candidates(vec![1]),
+            &mut Vec::new(),
         );
         // Backup 1 dies; its delta record must die with it so that a
         // re-enrollment of the *same id* (e.g. id reuse) is a full push.
@@ -295,6 +345,7 @@ mod tests {
             1,
             |id| id == NodeId::new(1),
             || None,
+            &mut Vec::new(),
         );
         assert!(s.last_sent.is_empty());
         let pushes = plan_backups(
@@ -303,6 +354,7 @@ mod tests {
             1,
             |_| false,
             cycle_candidates(vec![1]),
+            &mut Vec::new(),
         );
         assert_eq!(pushes.len(), 1);
         assert!(pushes[0].new_target);

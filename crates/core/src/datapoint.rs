@@ -75,12 +75,31 @@ impl<P> DataPoint<P> {
     }
 }
 
+thread_local! {
+    /// Reusable id set for [`dedup_by_id_in_place`] — the dedup runs once
+    /// per migration union, and a fresh `HashSet` there was a steady
+    /// per-exchange allocation.
+    static SEEN_IDS: std::cell::RefCell<std::collections::HashSet<PointId>> =
+        std::cell::RefCell::new(std::collections::HashSet::new());
+}
+
 /// Removes duplicate data points by id, keeping the first occurrence —
 /// the dedup rule of the migration union ("all points ← p.guests ∪
 /// q.guests", Algorithm 3 line 4, where ∪ is a set union over identities).
-pub fn dedup_by_id<P>(points: Vec<DataPoint<P>>) -> Vec<DataPoint<P>> {
-    let mut seen = std::collections::HashSet::with_capacity(points.len());
-    points.into_iter().filter(|p| seen.insert(p.id)).collect()
+pub fn dedup_by_id<P>(mut points: Vec<DataPoint<P>>) -> Vec<DataPoint<P>> {
+    dedup_by_id_in_place(&mut points);
+    points
+}
+
+/// [`dedup_by_id`] on a buffer in place: order-preserving `retain` over a
+/// thread-local seen-set, so the union → dedup step of every exchange
+/// costs zero steady-state allocations.
+pub fn dedup_by_id_in_place<P>(points: &mut Vec<DataPoint<P>>) {
+    SEEN_IDS.with(|cell| {
+        let mut seen = cell.borrow_mut();
+        seen.clear();
+        points.retain(|p| seen.insert(p.id));
+    });
 }
 
 #[cfg(test)]

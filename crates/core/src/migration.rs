@@ -20,7 +20,7 @@
 //! re-projection both participants perform afterwards.
 
 use crate::config::PolystyreneConfig;
-use crate::datapoint::{dedup_by_id, DataPoint, PointId};
+use crate::datapoint::{dedup_by_id_in_place, DataPoint, PointId};
 use crate::split::split;
 use crate::state::PolyState;
 use polystyrene_space::MetricSpace;
@@ -149,7 +149,7 @@ pub fn absorb_and_split<S: MetricSpace, R: Rng + ?Sized>(
     let mut all_points = incoming;
     all_points.extend(std::mem::take(&mut responder.guests));
     let total_before = all_points.len();
-    let all_points = dedup_by_id(all_points);
+    dedup_by_id_in_place(&mut all_points);
     let deduplicated = total_before - all_points.len();
 
     let (for_initiator, for_responder) = split(

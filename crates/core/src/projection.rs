@@ -9,7 +9,7 @@
 //! are provided for the modularity ablations of DESIGN.md §6.
 
 use crate::datapoint::DataPoint;
-use polystyrene_space::medoid::{medoid_index, medoid_index_sampled};
+use polystyrene_space::medoid::{medoid_index_by, medoid_index_sampled_by};
 use polystyrene_space::MetricSpace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -42,15 +42,14 @@ impl ProjectionStrategy {
         if guests.is_empty() {
             return None;
         }
-        let positions: Vec<S::Point> = guests.iter().map(|g| g.pos.clone()).collect();
         let idx = match self {
-            Self::Medoid => medoid_index(space, &positions),
+            Self::Medoid => medoid_index_by(space, guests, |g| &g.pos),
             Self::MedoidSampled(candidates) => {
-                medoid_index_sampled(space, &positions, *candidates, rng)
+                medoid_index_sampled_by(space, guests, |g| &g.pos, *candidates, rng)
             }
             Self::FirstGuest => Some(0),
         }?;
-        Some(positions[idx].clone())
+        Some(guests[idx].pos.clone())
     }
 }
 

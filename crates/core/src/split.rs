@@ -13,8 +13,8 @@
 //!   the ablations of paper Fig. 10b.
 
 use crate::datapoint::DataPoint;
-use polystyrene_space::diameter::diameter_of;
-use polystyrene_space::medoid::medoid_index;
+use polystyrene_space::diameter::diameter_of_by;
+use polystyrene_space::medoid::medoid_index_by;
 use polystyrene_space::MetricSpace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -124,23 +124,23 @@ pub fn split<S: MetricSpace, R: Rng + ?Sized>(
 
 /// `SPLIT_BASIC` (Algorithm 4): strict-closer points go to `p`, ties and
 /// closer-to-q points go to `q` (the paper's `<` / `≤` asymmetry).
+///
+/// The p-side stays in the input buffer (a stable `retain`), so the
+/// exchange's union `Vec` — typically a pooled wire buffer — survives as
+/// one of the two outputs instead of being dropped for two fresh ones.
 #[allow(clippy::type_complexity)]
 fn split_basic<S: MetricSpace>(
     space: &S,
-    points: Vec<DataPoint<S::Point>>,
+    mut points: Vec<DataPoint<S::Point>>,
     pos_p: &S::Point,
     pos_q: &S::Point,
 ) -> (Vec<DataPoint<S::Point>>, Vec<DataPoint<S::Point>>) {
-    let mut for_p = Vec::new();
-    let mut for_q = Vec::new();
-    for x in points {
-        if space.distance(&x.pos, pos_p) < space.distance(&x.pos, pos_q) {
-            for_p.push(x);
-        } else {
-            for_q.push(x);
-        }
-    }
-    (for_p, for_q)
+    let for_q: Vec<DataPoint<S::Point>> = points
+        .extract_if(.., |x| {
+            space.distance(&x.pos, pos_p) >= space.distance(&x.pos, pos_q)
+        })
+        .collect();
+    (points, for_q)
 }
 
 /// The PD heuristic (Algorithm 5 lines 2-4): find a diameter `(u, v)` of
@@ -149,25 +149,22 @@ fn split_basic<S: MetricSpace>(
 #[allow(clippy::type_complexity)]
 fn partition_along_diameter<S: MetricSpace, R: Rng + ?Sized>(
     space: &S,
-    points: Vec<DataPoint<S::Point>>,
+    mut points: Vec<DataPoint<S::Point>>,
     exact_threshold: usize,
     rng: &mut R,
 ) -> (Vec<DataPoint<S::Point>>, Vec<DataPoint<S::Point>>) {
-    let positions: Vec<S::Point> = points.iter().map(|p| p.pos.clone()).collect();
-    let diameter = diameter_of(space, &positions, exact_threshold, rng)
+    let diameter = diameter_of_by(space, &points, |p| &p.pos, exact_threshold, rng)
         .expect("partition_along_diameter requires at least two points");
-    let u = positions[diameter.a].clone();
-    let v = positions[diameter.b].clone();
-    let mut u_side = Vec::new();
-    let mut v_side = Vec::new();
-    for x in points {
-        if space.distance(&x.pos, &u) < space.distance(&x.pos, &v) {
-            u_side.push(x);
-        } else {
-            v_side.push(x);
-        }
-    }
-    (u_side, v_side)
+    let u = points[diameter.a].pos.clone();
+    let v = points[diameter.b].pos.clone();
+    // The u-side stays in the input buffer (order preserved), the v-side
+    // moves out — same outputs as the old two-fresh-`Vec` build.
+    let v_side: Vec<DataPoint<S::Point>> = points
+        .extract_if(.., |x| {
+            space.distance(&x.pos, &u) >= space.distance(&x.pos, &v)
+        })
+        .collect();
+    (points, v_side)
 }
 
 /// The MD heuristic (Algorithm 5 lines 5-13): compute each cluster's
@@ -186,8 +183,7 @@ fn assign_minimizing_displacement<S: MetricSpace>(
     pos_q: &S::Point,
 ) -> (Vec<DataPoint<S::Point>>, Vec<DataPoint<S::Point>>) {
     let medoid_of = |cluster: &[DataPoint<S::Point>]| -> Option<S::Point> {
-        let positions: Vec<S::Point> = cluster.iter().map(|p| p.pos.clone()).collect();
-        medoid_index(space, &positions).map(|i| positions[i].clone())
+        medoid_index_by(space, cluster, |p| &p.pos).map(|i| cluster[i].pos.clone())
     };
     let displacement = |m: &Option<S::Point>, target: &S::Point| -> f64 {
         m.as_ref().map_or(0.0, |m| space.distance(m, target))

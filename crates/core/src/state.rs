@@ -8,7 +8,7 @@
 //! | `backups` | the nodes where the local node has replicated its state      |
 
 use crate::config::PolystyreneConfig;
-use crate::datapoint::{dedup_by_id, DataPoint, PointId};
+use crate::datapoint::{dedup_by_id_in_place, DataPoint, PointId};
 use polystyrene_membership::NodeId;
 use polystyrene_space::MetricSpace;
 use rand::Rng;
@@ -39,9 +39,12 @@ pub struct PolyState<P> {
     pub ghosts: BTreeMap<NodeId, Vec<DataPoint<P>>>,
     /// The nodes currently holding a replica of `guests`.
     pub backups: BTreeSet<NodeId>,
-    /// Per-backup record of the point ids last pushed there, enabling the
-    /// incremental-delta traffic optimization of paper Sec. III-D.
-    pub(crate) last_sent: BTreeMap<NodeId, BTreeSet<PointId>>,
+    /// Per-backup record of the point ids last pushed there (sorted
+    /// ascending), enabling the incremental-delta traffic optimization of
+    /// paper Sec. III-D. Sorted `Vec`s instead of sets: the delta walk is
+    /// a linear merge, and an unchanged replica costs zero allocations to
+    /// re-verify each round.
+    pub(crate) last_sent: BTreeMap<NodeId, Vec<PointId>>,
 }
 
 impl<P: Clone> PolyState<P> {
@@ -84,9 +87,8 @@ impl<P: Clone> PolyState<P> {
 
     /// Adds guests, deduplicating by id against the existing set.
     pub fn absorb_guests(&mut self, incoming: Vec<DataPoint<P>>) {
-        let mut merged = std::mem::take(&mut self.guests);
-        merged.extend(incoming);
-        self.guests = dedup_by_id(merged);
+        self.guests.extend(incoming);
+        dedup_by_id_in_place(&mut self.guests);
     }
 
     /// Recomputes `pos` from the guests using the configured projection
@@ -107,9 +109,15 @@ impl<P: Clone> PolyState<P> {
     }
 
     /// Records an incoming backup push: `from` replicated its guest set
-    /// here (Step 2' of paper Fig. 4).
-    pub fn store_ghosts(&mut self, from: NodeId, points: Vec<DataPoint<P>>) {
-        self.ghosts.insert(from, points);
+    /// here (Step 2' of paper Fig. 4). Returns the replica it replaces,
+    /// if any, so a pooling driver can recycle the buffer instead of
+    /// dropping one per received push.
+    pub fn store_ghosts(
+        &mut self,
+        from: NodeId,
+        points: Vec<DataPoint<P>>,
+    ) -> Option<Vec<DataPoint<P>>> {
+        self.ghosts.insert(from, points)
     }
 }
 

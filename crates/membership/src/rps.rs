@@ -88,10 +88,24 @@ impl<P: Clone> PeerSampling<P> {
         partner: NodeId,
         rng: &mut R,
     ) -> Vec<Descriptor<P>> {
-        self.view.remove(partner);
-        let mut out = self.view.sample(self.shuffle_len.saturating_sub(1), rng);
-        out.push(self_descriptor);
+        let mut out = Vec::new();
+        self.make_request_into(self_descriptor, partner, rng, &mut out);
         out
+    }
+
+    /// [`PeerSampling::make_request`] appending into a caller-owned
+    /// (typically pooled) buffer. Rng draw sequence is identical.
+    pub fn make_request_into<R: Rng + ?Sized>(
+        &mut self,
+        self_descriptor: Descriptor<P>,
+        partner: NodeId,
+        rng: &mut R,
+        out: &mut Vec<Descriptor<P>>,
+    ) {
+        self.view.remove(partner);
+        self.view
+            .sample_into(self.shuffle_len.saturating_sub(1), rng, out);
+        out.push(self_descriptor);
     }
 
     /// Handles an incoming shuffle request: replies with a random sample of
@@ -102,9 +116,23 @@ impl<P: Clone> PeerSampling<P> {
         incoming: &[Descriptor<P>],
         rng: &mut R,
     ) -> Vec<Descriptor<P>> {
-        let reply = self.view.sample(self.shuffle_len, rng);
-        self.merge(self_id, incoming, &reply);
+        let mut reply = Vec::new();
+        self.handle_request_into(self_id, incoming, rng, &mut reply);
         reply
+    }
+
+    /// [`PeerSampling::handle_request`] building the reply in a
+    /// caller-owned (typically pooled) buffer. Rng draw sequence is
+    /// identical.
+    pub fn handle_request_into<R: Rng + ?Sized>(
+        &mut self,
+        self_id: NodeId,
+        incoming: &[Descriptor<P>],
+        rng: &mut R,
+        reply: &mut Vec<Descriptor<P>>,
+    ) {
+        self.view.sample_into(self.shuffle_len, rng, reply);
+        self.merge(self_id, incoming, reply);
     }
 
     /// Handles the shuffle reply: merges received entries, preferring to
@@ -167,7 +195,7 @@ impl<P: Clone> PeerSampling<P> {
     /// per-round callers. Draws from the RNG exactly as `random_peers`
     /// does, so seeded histories are identical either way.
     pub fn random_peers_into<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, out: &mut Vec<NodeId>) {
-        out.extend(self.view.sample(n, rng).into_iter().map(|d| d.id));
+        self.view.sample_ids_into(n, rng, out);
     }
 }
 

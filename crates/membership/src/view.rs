@@ -10,6 +10,13 @@ use crate::id::NodeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Index-permutation scratch for [`View::sample_into`] — reused across
+    /// every sample taken on this thread.
+    static SAMPLE_IDX: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A bounded list of [`Descriptor`]s, unique per [`NodeId`].
 ///
@@ -148,10 +155,43 @@ impl<P: Clone> View<P> {
 
     /// Up to `n` distinct descriptors sampled uniformly at random.
     pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Descriptor<P>> {
-        let mut idx: Vec<usize> = (0..self.entries.len()).collect();
-        idx.shuffle(rng);
-        idx.truncate(n);
-        idx.into_iter().map(|i| self.entries[i].clone()).collect()
+        let mut out = Vec::new();
+        self.sample_into(n, rng, &mut out);
+        out
+    }
+
+    /// [`View::sample`] appending into a caller-owned buffer: the index
+    /// permutation lives in thread-local scratch, so steady-state sampling
+    /// does not touch the allocator. The rng draw sequence is identical to
+    /// [`View::sample`] (the shuffle depends only on the view length).
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<Descriptor<P>>,
+    ) {
+        SAMPLE_IDX.with(|cell| {
+            let mut idx = cell.borrow_mut();
+            idx.clear();
+            idx.extend(0..self.entries.len());
+            idx.shuffle(rng);
+            idx.truncate(n);
+            out.extend(idx.iter().map(|&i| self.entries[i].clone()));
+        });
+    }
+
+    /// The ids of up to `n` distinct uniformly sampled descriptors,
+    /// appended into `out` — rng-equivalent to [`View::sample`] without
+    /// cloning any descriptor.
+    pub fn sample_ids_into<R: Rng + ?Sized>(&self, n: usize, rng: &mut R, out: &mut Vec<NodeId>) {
+        SAMPLE_IDX.with(|cell| {
+            let mut idx = cell.borrow_mut();
+            idx.clear();
+            idx.extend(0..self.entries.len());
+            idx.shuffle(rng);
+            idx.truncate(n);
+            out.extend(idx.iter().map(|&i| self.entries[i].id));
+        });
     }
 
     /// Keeps only the `n` best entries according to `score` (lower is

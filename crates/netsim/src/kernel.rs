@@ -520,7 +520,12 @@ impl<S: MetricSpace> NetSim<S> {
                     self.sent_messages += 1;
                     self.cost.charge_wire(&self.config.cost, &wire);
                     match self.net.route(at, to, wire.channel(), self.now) {
-                        Fate::Drop => self.dropped_messages += 1,
+                        Fate::Drop => {
+                            self.dropped_messages += 1;
+                            // Lost in the fabric: the payload buffer goes
+                            // back to the sink's pool.
+                            self.sink.recycle_wire(wire);
+                        }
                         Fate::Deliver { delay } => {
                             let deliver_at = self.now + delay;
                             self.schedule(deliver_at, Pending::Deliver { from: at, to, wire });
@@ -580,8 +585,11 @@ impl<S: MetricSpace> NetSim<S> {
                                 true
                             }
                             // A message to a node that died mid-flight
-                            // evaporates.
-                            None => false,
+                            // evaporates; its buffer is recycled.
+                            None => {
+                                sink.recycle_wire(wire);
+                                false
+                            }
                         }
                     };
                     if delivered && !self.sink.is_empty() {

@@ -81,12 +81,15 @@ struct PendingMigration {
     /// reply takes the late-absorb path instead).
     xid: u64,
     started: u64,
-    /// Ids of the guests shipped in the request. The responder's reply
-    /// only redistributes *these* points plus its own — anything the node
-    /// acquires while the exchange is in flight (a recovery reactivating
-    /// ghosts, say) is unknown to the split and must survive the
-    /// guest-set replacement when the reply lands.
-    shipped: BTreeSet<PointId>,
+    /// Ids of the guests shipped in the request, sorted for binary
+    /// search (the buffer is pooled — guest ids are unique within a
+    /// node, so a sorted `Vec` is an exact stand-in for the old
+    /// `BTreeSet`). The responder's reply only redistributes *these*
+    /// points plus its own — anything the node acquires while the
+    /// exchange is in flight (a recovery reactivating ghosts, say) is
+    /// unknown to the split and must survive the guest-set replacement
+    /// when the reply lands.
+    shipped: Vec<PointId>,
 }
 
 /// Points a migration responder mailed back to an initiator but does not
@@ -475,14 +478,13 @@ impl<S: MetricSpace> ProtocolNode<S> {
         // "guarantees the convergence of the topology", Sec. II-B).
         self.tman.begin_round();
         self.tman.purge_failed(&|id| fd(id));
-        let pos = self.poly.pos.clone();
         let random_contact = self.rps.view().random(rng).cloned();
         if let Some(d) = random_contact {
             if !fd(d.id) && d.id != self.id {
-                self.tman.integrate(self.id, &pos, &[d]);
+                self.tman.integrate(self.id, &self.poly.pos, &[d]);
             }
         }
-        if let Some(partner) = self.tman.select_partner(&pos, rng) {
+        if let Some(partner) = self.tman.select_partner(&self.poly.pos, rng) {
             sink.push(Effect::Probe {
                 peer: partner,
                 channel: Channel::Topology,
@@ -507,18 +509,25 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 self.rps
                     .random_peers_into(backup_pool_size(k), rng, &mut pool)
             }
-            BackupPlacement::NeighborhoodBiased => pool.extend(
+            BackupPlacement::NeighborhoodBiased => {
                 self.tman
-                    .closest(&self.poly.pos, backup_pool_size(k))
-                    .into_iter()
-                    .map(|d| d.id),
-            ),
+                    .closest_ids_into(&self.poly.pos, backup_pool_size(k), &mut pool)
+            }
         };
+        let mut ids_scratch = sink.take_point_ids();
         let mut pool_iter = pool.drain(..);
         let self_id = self.id;
-        let pushes = plan_backups(&mut self.poly, self_id, k, fd, || pool_iter.next());
+        let pushes = plan_backups(
+            &mut self.poly,
+            self_id,
+            k,
+            fd,
+            || pool_iter.next(),
+            &mut ids_scratch,
+        );
         drop(pool_iter);
         sink.put_ids(pool);
+        sink.put_point_ids(ids_scratch);
         for push in pushes {
             self.heard_from_if_new(push.target);
             sink.push(Effect::Send {
@@ -568,12 +577,8 @@ impl<S: MetricSpace> ProtocolNode<S> {
         // Candidates: the ψ closest topology neighbors plus random RPS
         // peers (Algorithm 3 lines 1-2) — gathered in the same scratch,
         // empty again after the drain above.
-        ids.extend(
-            self.tman
-                .closest(&self.poly.pos, self.config.poly.psi)
-                .into_iter()
-                .map(|d| d.id),
-        );
+        self.tman
+            .closest_ids_into(&self.poly.pos, self.config.poly.psi, &mut ids);
         for _ in 0..self.config.poly.random_candidates {
             if let Some(r) = self.rps.random_peer(rng) {
                 ids.push(r);
@@ -607,7 +612,9 @@ impl<S: MetricSpace> ProtocolNode<S> {
     ) {
         match channel {
             Channel::PeerSampling => {
-                let descriptors = self.rps.make_request(self.descriptor(), peer, rng);
+                let mut descriptors = sink.take_descriptors();
+                self.rps
+                    .make_request_into(self.descriptor(), peer, rng, &mut descriptors);
                 sink.push(Effect::Send {
                     to: peer,
                     wire: Wire::RpsRequest { descriptors },
@@ -616,14 +623,20 @@ impl<S: MetricSpace> ProtocolNode<S> {
             Channel::Topology => {
                 // Rank the buffer for where the partner actually is (when
                 // the driver knows) or where the view believes it is.
-                let target = match pos {
+                let mut descriptors = sink.take_descriptors();
+                let target = match &pos {
                     Some(p) => Some(p),
                     None => self.tman.position_of(peer),
                 };
                 let Some(target) = target else {
+                    sink.put_descriptors(descriptors);
                     return;
                 };
-                let descriptors = self.tman.prepare_message(self.descriptor(), &target);
+                self.tman.prepare_message_into(
+                    Descriptor::new(self.id, self.poly.pos.clone()),
+                    target,
+                    &mut descriptors,
+                );
                 sink.push(Effect::Send {
                     to: peer,
                     wire: Wire::TManRequest {
@@ -635,18 +648,23 @@ impl<S: MetricSpace> ProtocolNode<S> {
             Channel::Migration => {
                 self.migration_seq += 1;
                 let xid = self.migration_seq;
+                let mut shipped = sink.take_point_ids();
+                shipped.extend(self.poly.guests.iter().map(|g| g.id));
+                shipped.sort_unstable();
                 self.pending_migration = Some(PendingMigration {
                     partner: peer,
                     xid,
                     started: self.clock,
-                    shipped: self.poly.guests.iter().map(|g| g.id).collect(),
+                    shipped,
                 });
+                let mut guests = sink.take_points();
+                guests.extend(self.poly.guests.iter().cloned());
                 sink.push(Effect::Send {
                     to: peer,
                     wire: Wire::MigrationRequest {
                         xid,
                         from_pos: self.poly.pos.clone(),
-                        guests: self.poly.guests.clone(),
+                        guests,
                     },
                 });
             }
@@ -694,7 +712,9 @@ impl<S: MetricSpace> ProtocolNode<S> {
         match wire {
             Wire::Heartbeat => {}
             Wire::RpsRequest { descriptors } => {
-                let reply = self.rps.handle_request(self.id, &descriptors, rng);
+                let mut reply = sink.take_descriptors();
+                self.rps
+                    .handle_request_into(self.id, &descriptors, rng, &mut reply);
                 sink.push(Effect::Send {
                     to: from,
                     wire: Wire::RpsReply {
@@ -705,22 +725,26 @@ impl<S: MetricSpace> ProtocolNode<S> {
             }
             Wire::RpsReply { sent, descriptors } => {
                 self.rps.handle_reply(self.id, &sent, &descriptors);
+                sink.put_descriptors(sent);
+                sink.put_descriptors(descriptors);
             }
             Wire::TManRequest {
                 from_pos,
                 descriptors,
             } => {
-                let reply = self.tman.prepare_message(self.descriptor(), &from_pos);
-                let pos = self.poly.pos.clone();
-                self.tman.integrate(self.id, &pos, &descriptors);
+                let mut reply = sink.take_descriptors();
+                self.tman
+                    .prepare_message_into(self.descriptor(), &from_pos, &mut reply);
+                self.tman.integrate(self.id, &self.poly.pos, &descriptors);
+                sink.put_descriptors(descriptors);
                 sink.push(Effect::Send {
                     to: from,
                     wire: Wire::TManReply { descriptors: reply },
                 });
             }
             Wire::TManReply { descriptors } => {
-                let pos = self.poly.pos.clone();
-                self.tman.integrate(self.id, &pos, &descriptors);
+                self.tman.integrate(self.id, &self.poly.pos, &descriptors);
+                sink.put_descriptors(descriptors);
             }
             Wire::MigrationRequest {
                 xid,
@@ -749,7 +773,9 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 if let Some(stale) = self.handouts.remove(&from) {
                     self.poly.absorb_guests(stale.points);
                 }
-                let incoming: BTreeSet<PointId> = guests.iter().map(|g| g.id).collect();
+                let mut incoming = sink.take_point_ids();
+                incoming.extend(guests.iter().map(|g| g.id));
+                incoming.sort_unstable();
                 let outcome = absorb_and_split(
                     &self.space,
                     &self.config.poly,
@@ -764,13 +790,18 @@ impl<S: MetricSpace> ProtocolNode<S> {
                 // lands (its timeout re-owns them), so re-adopting those
                 // too would duplicate the whole shipped set on every lost
                 // reply instead of the minimal at-least-once remainder.
-                let own_contribution: Vec<DataPoint<S::Point>> = outcome
-                    .for_initiator
-                    .iter()
-                    .filter(|p| !incoming.contains(&p.id))
-                    .cloned()
-                    .collect();
-                if !own_contribution.is_empty() {
+                let mut own_contribution = sink.take_points();
+                own_contribution.extend(
+                    outcome
+                        .for_initiator
+                        .iter()
+                        .filter(|p| incoming.binary_search(&p.id).is_err())
+                        .cloned(),
+                );
+                sink.put_point_ids(incoming);
+                if own_contribution.is_empty() {
+                    sink.put_points(own_contribution);
+                } else {
                     self.handouts.insert(
                         from,
                         ParkedHandout {
@@ -810,14 +841,15 @@ impl<S: MetricSpace> ProtocolNode<S> {
                         // exchange was in flight (e.g. a recovery
                         // reactivating ghosts) are unknown to the split —
                         // replacing the guest set wholesale would orphan
-                        // them, so they are re-absorbed.
-                        let acquired: Vec<DataPoint<S::Point>> =
-                            std::mem::take(&mut self.poly.guests)
-                                .into_iter()
-                                .filter(|g| !pending.shipped.contains(&g.id))
-                                .collect();
-                        self.poly.guests = points;
-                        if !acquired.is_empty() {
+                        // them, so they are re-absorbed. `retain` keeps
+                        // them in arrival order, exactly as the old
+                        // filter-collect did, and lets the replaced
+                        // buffer recycle when nothing was acquired.
+                        let mut acquired = std::mem::replace(&mut self.poly.guests, points);
+                        acquired.retain(|g| pending.shipped.binary_search(&g.id).is_err());
+                        if acquired.is_empty() {
+                            sink.put_points(acquired);
+                        } else {
                             self.poly.absorb_guests(acquired);
                         }
                         self.poly.project(&self.space, &self.config.poly, rng);
@@ -827,7 +859,12 @@ impl<S: MetricSpace> ProtocolNode<S> {
                             to: from,
                             wire: Wire::MigrationAck { xid },
                         });
+                    } else {
+                        // Busy bounce: the points are a subset of guests
+                        // we still hold — only the buffer is salvageable.
+                        sink.put_points(points);
                     }
+                    sink.put_point_ids(pending.shipped);
                 } else if !busy {
                     // Late reply after our timeout: the responder already
                     // gave these points away, so we are their only owner —
@@ -841,19 +878,25 @@ impl<S: MetricSpace> ProtocolNode<S> {
                         to: from,
                         wire: Wire::MigrationAck { xid },
                     });
+                } else {
+                    // A stale *busy* bounce is ignored outright: its
+                    // points are a subset of guests we still hold.
+                    sink.put_points(points);
                 }
-                // A stale *busy* bounce is ignored outright: its points
-                // are a subset of guests we still hold.
             }
             Wire::MigrationAck { xid } => {
                 // The initiator holds the handed-out points: stop parking —
                 // but only for the acknowledged generation.
                 if self.handouts.get(&from).is_some_and(|h| h.xid == xid) {
-                    self.handouts.remove(&from);
+                    if let Some(handout) = self.handouts.remove(&from) {
+                        sink.put_points(handout.points);
+                    }
                 }
             }
             Wire::BackupPush { points, .. } => {
-                self.poly.store_ghosts(from, points);
+                if let Some(replaced) = self.poly.store_ghosts(from, points) {
+                    sink.put_points(replaced);
+                }
             }
         }
     }

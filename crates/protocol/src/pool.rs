@@ -284,10 +284,10 @@ impl<S: MetricSpace> NodePool<S> {
         let positions: &[S::Point] = positions;
         let slot_gen: &[u32] = slot_gen;
         let id_to_slot: &[Option<SlotRef>] = id_to_slot;
-        let lookup = move |id: NodeId| -> Option<S::Point> {
+        let lookup = move |id: NodeId| -> Option<&S::Point> {
             let handle = (*id_to_slot.get(id.index())?)?;
             let s = handle.slot as usize;
-            (slot_gen[s] == handle.gen).then(|| positions[s].clone())
+            (slot_gen[s] == handle.gen).then(|| &positions[s])
         };
         slots
             .par_iter_mut()

@@ -1,7 +1,7 @@
 //! The sans-IO surface: what crosses the wire ([`Wire`]), what the driver
 //! feeds in ([`Event`]) and what the node asks for ([`Effect`]).
 
-use polystyrene::prelude::DataPoint;
+use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 
 /// The protocol layer an exchange belongs to — used to route
@@ -212,6 +212,169 @@ pub enum Effect<P> {
     },
 }
 
+/// Total element capacity one payload kind may retain across all its
+/// pooled buffers. A batch driver keeps hundreds of payloads in flight
+/// per round (one request plus one reply per node), so the bound is on
+/// retained *elements*, not buffer count: surplus returns beyond the
+/// budget are dropped, capping the pool's resident memory at roughly
+/// `MAX_POOLED_ELEMENTS × size_of::<element>()` per kind regardless of
+/// network size.
+const MAX_POOLED_ELEMENTS: usize = 1 << 21;
+
+/// Largest element capacity worth retaining. A burst (a catastrophic
+/// failure shipping a 100k-point payload) must not pin its peak buffer in
+/// the pool forever: oversized buffers are dropped on return.
+const MAX_POOLED_CAPACITY: usize = 4096;
+
+/// A recycler for the three payload buffer shapes that cross the wire:
+/// `Vec<Descriptor<P>>` (gossip views), `Vec<DataPoint<P>>` (migration and
+/// backup payloads) and `Vec<PointId>` (id scratch for membership tests).
+///
+/// Every [`Wire`] payload used to be allocated fresh by the sender and
+/// dropped by the receiver — the dominant steady-state allocation source
+/// once the drivers went slab-based. The pool lives inside the driver's
+/// [`EffectSink`], so sender and receiver share it under a batch driver:
+/// a request's buffer is recycled by the receiving node's handler and
+/// comes back out for the very next reply.
+///
+/// Buffers are cleared on return (a recycled buffer can never leak stale
+/// descriptors into a fresh payload) and bounded two ways: each buffer
+/// holds at most `MAX_POOLED_CAPACITY` elements of capacity, and each
+/// kind retains at most `MAX_POOLED_ELEMENTS` elements of capacity in
+/// total — enough for every in-flight payload of a large batch round to
+/// recycle, small enough that a one-off spike cannot pin unbounded
+/// memory.
+#[derive(Debug)]
+pub struct BufPool<P> {
+    descriptors: Vec<Vec<Descriptor<P>>>,
+    points: Vec<Vec<DataPoint<P>>>,
+    point_ids: Vec<Vec<PointId>>,
+    /// Retained element capacity per kind, same order as the stacks.
+    descriptors_retained: usize,
+    points_retained: usize,
+    point_ids_retained: usize,
+}
+
+impl<P> BufPool<P> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            descriptors: Vec::new(),
+            points: Vec::new(),
+            point_ids: Vec::new(),
+            descriptors_retained: 0,
+            points_retained: 0,
+            point_ids_retained: 0,
+        }
+    }
+
+    fn put<T>(stack: &mut Vec<Vec<T>>, retained: &mut usize, mut buf: Vec<T>) {
+        buf.clear();
+        let cap = buf.capacity();
+        if cap > 0 && cap <= MAX_POOLED_CAPACITY && *retained + cap <= MAX_POOLED_ELEMENTS {
+            *retained += cap;
+            stack.push(buf);
+        }
+    }
+
+    fn take<T>(stack: &mut Vec<Vec<T>>, retained: &mut usize) -> Vec<T> {
+        match stack.pop() {
+            Some(buf) => {
+                *retained -= buf.capacity();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// A cleared descriptor buffer (pooled capacity when available).
+    pub fn take_descriptors(&mut self) -> Vec<Descriptor<P>> {
+        Self::take(&mut self.descriptors, &mut self.descriptors_retained)
+    }
+
+    /// Returns a descriptor buffer to the pool.
+    pub fn put_descriptors(&mut self, buf: Vec<Descriptor<P>>) {
+        Self::put(&mut self.descriptors, &mut self.descriptors_retained, buf);
+    }
+
+    /// A cleared data-point buffer (pooled capacity when available).
+    pub fn take_points(&mut self) -> Vec<DataPoint<P>> {
+        Self::take(&mut self.points, &mut self.points_retained)
+    }
+
+    /// Returns a data-point buffer to the pool.
+    pub fn put_points(&mut self, buf: Vec<DataPoint<P>>) {
+        Self::put(&mut self.points, &mut self.points_retained, buf);
+    }
+
+    /// A cleared point-id buffer (pooled capacity when available).
+    pub fn take_point_ids(&mut self) -> Vec<PointId> {
+        Self::take(&mut self.point_ids, &mut self.point_ids_retained)
+    }
+
+    /// Returns a point-id buffer to the pool.
+    pub fn put_point_ids(&mut self, buf: Vec<PointId>) {
+        Self::put(&mut self.point_ids, &mut self.point_ids_retained, buf);
+    }
+
+    /// Salvages the payload buffers of a wire message that reached the end
+    /// of its life without transferring ownership — dropped by the fabric,
+    /// addressed to a dead node, or fully consumed by a handler.
+    pub fn recycle_wire(&mut self, wire: Wire<P>) {
+        match wire {
+            Wire::RpsRequest { descriptors } | Wire::TManReply { descriptors } => {
+                self.put_descriptors(descriptors);
+            }
+            Wire::RpsReply { sent, descriptors } => {
+                self.put_descriptors(sent);
+                self.put_descriptors(descriptors);
+            }
+            Wire::TManRequest { descriptors, .. } => self.put_descriptors(descriptors),
+            Wire::MigrationRequest { guests, .. } => self.put_points(guests),
+            Wire::MigrationReply { points, .. } => self.put_points(points),
+            Wire::BackupPush { points, .. } => self.put_points(points),
+            Wire::MigrationAck { .. } | Wire::Heartbeat => {}
+        }
+    }
+
+    /// Buffers currently retained per kind: `(descriptors, points,
+    /// point_ids)` — test/diagnostic surface for the retention bounds.
+    pub fn pooled_counts(&self) -> (usize, usize, usize) {
+        (
+            self.descriptors.len(),
+            self.points.len(),
+            self.point_ids.len(),
+        )
+    }
+
+    /// Element capacity currently retained per kind: `(descriptors,
+    /// points, point_ids)`. Each component is bounded by the per-kind
+    /// element budget [`BufPool::max_pooled_elements`].
+    pub fn pooled_elements(&self) -> (usize, usize, usize) {
+        (
+            self.descriptors_retained,
+            self.points_retained,
+            self.point_ids_retained,
+        )
+    }
+
+    /// The per-kind retained-element budget (test/diagnostic surface).
+    pub fn max_pooled_elements() -> usize {
+        MAX_POOLED_ELEMENTS
+    }
+
+    /// The per-buffer retained-capacity cap (test/diagnostic surface).
+    pub fn max_pooled_capacity() -> usize {
+        MAX_POOLED_CAPACITY
+    }
+}
+
+impl<P> Default for BufPool<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A reusable buffer the phase pipeline pushes [`Effect`]s into.
 ///
 /// The `on_tick`/`on_phase`/`on_event` family used to return a freshly
@@ -233,6 +396,10 @@ pub struct EffectSink<P> {
     /// pushes, and handed back — cleared but with capacity intact — when
     /// the phase finishes.
     ids: Vec<NodeId>,
+    /// Recycler for wire payload buffers; shared between every node a
+    /// batch driver activates with this sink, so a consumed request's
+    /// buffer resurfaces for the next reply.
+    pool: BufPool<P>,
 }
 
 impl<P> EffectSink<P> {
@@ -241,6 +408,7 @@ impl<P> EffectSink<P> {
         Self {
             effects: Vec::new(),
             ids: Vec::new(),
+            pool: BufPool::new(),
         }
     }
 
@@ -293,6 +461,47 @@ impl<P> EffectSink<P> {
     pub fn put_ids(&mut self, mut ids: Vec<NodeId>) {
         ids.clear();
         self.ids = ids;
+    }
+
+    /// A cleared descriptor payload buffer from the sink's [`BufPool`].
+    pub fn take_descriptors(&mut self) -> Vec<Descriptor<P>> {
+        self.pool.take_descriptors()
+    }
+
+    /// Recycles a descriptor payload buffer.
+    pub fn put_descriptors(&mut self, buf: Vec<Descriptor<P>>) {
+        self.pool.put_descriptors(buf);
+    }
+
+    /// A cleared data-point payload buffer from the sink's [`BufPool`].
+    pub fn take_points(&mut self) -> Vec<DataPoint<P>> {
+        self.pool.take_points()
+    }
+
+    /// Recycles a data-point payload buffer.
+    pub fn put_points(&mut self, buf: Vec<DataPoint<P>>) {
+        self.pool.put_points(buf);
+    }
+
+    /// A cleared point-id scratch buffer from the sink's [`BufPool`].
+    pub fn take_point_ids(&mut self) -> Vec<PointId> {
+        self.pool.take_point_ids()
+    }
+
+    /// Recycles a point-id scratch buffer.
+    pub fn put_point_ids(&mut self, buf: Vec<PointId>) {
+        self.pool.put_point_ids(buf);
+    }
+
+    /// Salvages the payload buffers of a terminal wire message (see
+    /// [`BufPool::recycle_wire`]).
+    pub fn recycle_wire(&mut self, wire: Wire<P>) {
+        self.pool.recycle_wire(wire);
+    }
+
+    /// Read access to the payload pool (tests, diagnostics).
+    pub fn buf_pool(&self) -> &BufPool<P> {
+        &self.pool
     }
 }
 

@@ -18,7 +18,7 @@ use crate::message::Message;
 use crate::observe::{NodeReport, ObservationBoard};
 use polystyrene::prelude::{DataPoint, PolyState};
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_protocol::{CostModel, Effect, Event, ProtocolNode};
+use polystyrene_protocol::{CostModel, Effect, EffectSink, Event, ProtocolNode};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +45,12 @@ pub struct NodeRuntime<S: MetricSpace> {
     /// paper's prices — charged at the send boundary whether or not the
     /// delivery succeeds (the bytes left the node either way).
     sent_units: u64,
+    /// Thread-owned effect buffer every protocol call pushes into — one
+    /// buffer (and payload pool) for the thread's lifetime instead of a
+    /// fresh `Vec` per tick and per inbound message.
+    sink: EffectSink<S::Point>,
+    /// Reusable dispatch queue of [`Self::execute`].
+    queue: VecDeque<Effect<S::Point>>,
 }
 
 impl<S: MetricSpace> NodeRuntime<S> {
@@ -83,6 +89,8 @@ impl<S: MetricSpace> NodeRuntime<S> {
             rng: StdRng::seed_from_u64(config.seed.wrapping_add(id.as_u64() * 0x9E37)),
             cost_model: config.cost,
             sent_units: 0,
+            sink: EffectSink::new(),
+            queue: VecDeque::new(),
         }
     }
 
@@ -139,8 +147,11 @@ impl<S: MetricSpace> NodeRuntime<S> {
 
     /// One local protocol round, then publish to the observation plane.
     fn on_tick(&mut self) {
-        let effects = self.node.on_tick(&mut self.rng);
-        self.execute(effects);
+        let mut sink = std::mem::take(&mut self.sink);
+        sink.clear();
+        self.node.on_tick_into(&mut self.rng, &mut sink);
+        self.execute(&mut sink);
+        self.sink = sink;
         self.board.publish(
             self.node.id(),
             NodeReport {
@@ -164,10 +175,12 @@ impl<S: MetricSpace> NodeRuntime<S> {
     fn handle(&mut self, message: Message<S::Point>) {
         match message {
             Message::Protocol { from, wire } => {
-                let effects = self
-                    .node
-                    .on_event(Event::Message { from, wire }, &mut self.rng);
-                self.execute(effects);
+                let mut sink = std::mem::take(&mut self.sink);
+                sink.clear();
+                self.node
+                    .on_event_into(Event::Message { from, wire }, &mut self.rng, &mut sink);
+                self.execute(&mut sink);
+                self.sink = sink;
             }
             Message::Shutdown => unreachable!("handled by the run loop"),
         }
@@ -177,8 +190,10 @@ impl<S: MetricSpace> NodeRuntime<S> {
     /// fabric's address book, sends go through the fabric, and a send
     /// whose destination is observably gone comes back as
     /// [`Event::PeerUnreachable`] (message lost, crash-stop style).
-    fn execute(&mut self, effects: Vec<Effect<S::Point>>) {
-        let mut queue: VecDeque<Effect<S::Point>> = effects.into();
+    fn execute(&mut self, sink: &mut EffectSink<S::Point>) {
+        let mut queue = std::mem::take(&mut self.queue);
+        debug_assert!(queue.is_empty());
+        queue.extend(sink.drain());
         while let Some(effect) = queue.pop_front() {
             match effect {
                 Effect::Probe { peer, channel } => {
@@ -194,18 +209,24 @@ impl<S: MetricSpace> NodeRuntime<S> {
                     } else {
                         Event::PeerUnreachable { peer, channel }
                     };
-                    queue.extend(self.node.on_event(event, &mut self.rng));
+                    self.node.on_event_into(event, &mut self.rng, sink);
+                    queue.extend(sink.drain());
                 }
                 Effect::Send { to, wire } => {
                     let channel = wire.channel();
                     self.sent_units += self.cost_model.wire_units(&wire);
+                    // The fabric takes ownership of the wire (in-process
+                    // delivery hands the very buffer to the receiver), so
+                    // there is nothing to recycle on this path.
                     let delivered = self.fabric.send(to, wire);
                     if !delivered {
                         let event = Event::PeerUnreachable { peer: to, channel };
-                        queue.extend(self.node.on_event(event, &mut self.rng));
+                        self.node.on_event_into(event, &mut self.rng, sink);
+                        queue.extend(sink.drain());
                     }
                 }
             }
         }
+        self.queue = queue;
     }
 }

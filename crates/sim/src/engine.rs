@@ -607,8 +607,11 @@ impl<S: MetricSpace> Engine<S> {
                     if let Some(node) = self.pool.get_mut(to) {
                         node.on_event_into(Event::Message { from: at, wire }, &mut self.rng, sink);
                         queue.extend(sink.drain().map(|e| (to, e)));
+                    } else {
+                        // A send to an undetected-dead node is simply
+                        // lost — its payload buffer goes back to the pool.
+                        sink.recycle_wire(wire);
                     }
-                    // A send to an undetected-dead node is simply lost.
                 }
             }
         }
@@ -694,17 +697,18 @@ impl<S: MetricSpace> Engine<S> {
             .par_iter()
             .map(|&id| {
                 let node = self.pool.get(id).expect("alive id");
-                let neighbors = node
-                    .tman
-                    .closest(&node.poly.pos, self.config.report_neighbors);
                 let mut acc = 0.0;
                 let mut samples = 0usize;
-                for d in neighbors {
-                    if let Some(actual) = self.pool.position(d.id) {
-                        acc += self.space.distance(&node.poly.pos, actual);
-                        samples += 1;
-                    }
-                }
+                // Visitor form of `closest`: same ranking, same order, no
+                // per-node result vector (the rank scratch is per-thread,
+                // so this is safe under the rayon fan-out).
+                node.tman
+                    .for_closest(&node.poly.pos, self.config.report_neighbors, |d| {
+                        if let Some(actual) = self.pool.position(d.id) {
+                            acc += self.space.distance(&node.poly.pos, actual);
+                            samples += 1;
+                        }
+                    });
                 (acc, samples)
             })
             .collect_into_vec(per_node);

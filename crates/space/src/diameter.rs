@@ -34,7 +34,17 @@ pub struct Diameter {
 /// assert_eq!((d.a, d.b, d.length), (0, 2, 5.0));
 /// ```
 pub fn diameter_exact<S: MetricSpace>(space: &S, points: &[S::Point]) -> Option<Diameter> {
-    if points.len() < 2 {
+    diameter_exact_by(space, points, |p| p)
+}
+
+/// [`diameter_exact`] over any item type through a position accessor —
+/// same enumeration order and tie-breaking, no temporary position `Vec`.
+pub fn diameter_exact_by<S: MetricSpace, T>(
+    space: &S,
+    items: &[T],
+    pos: impl Fn(&T) -> &S::Point,
+) -> Option<Diameter> {
+    if items.len() < 2 {
         return None;
     }
     let mut best = Diameter {
@@ -42,9 +52,9 @@ pub fn diameter_exact<S: MetricSpace>(space: &S, points: &[S::Point]) -> Option<
         b: 1,
         length: -1.0,
     };
-    for i in 0..points.len() {
-        for j in (i + 1)..points.len() {
-            let d = space.distance(&points[i], &points[j]);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let d = space.distance(pos(&items[i]), pos(&items[j]));
             if d > best.length {
                 best = Diameter {
                     a: i,
@@ -68,14 +78,26 @@ pub fn diameter_sampled<S: MetricSpace, R: Rng + ?Sized>(
     pairs: usize,
     rng: &mut R,
 ) -> Option<Diameter> {
-    let n = points.len();
+    diameter_sampled_by(space, points, |p| p, pairs, rng)
+}
+
+/// [`diameter_sampled`] through a position accessor, with the identical
+/// pair-draw sequence for a given `rng` state.
+pub fn diameter_sampled_by<S: MetricSpace, T, R: Rng + ?Sized>(
+    space: &S,
+    items: &[T],
+    pos: impl Fn(&T) -> &S::Point,
+    pairs: usize,
+    rng: &mut R,
+) -> Option<Diameter> {
+    let n = items.len();
     if n < 2 {
         return None;
     }
     let mut best = Diameter {
         a: 0,
         b: 1,
-        length: space.distance(&points[0], &points[1]),
+        length: space.distance(pos(&items[0]), pos(&items[1])),
     };
     for _ in 0..pairs {
         let i = rng.random_range(0..n);
@@ -83,7 +105,7 @@ pub fn diameter_sampled<S: MetricSpace, R: Rng + ?Sized>(
         if j >= i {
             j += 1;
         }
-        let d = space.distance(&points[i], &points[j]);
+        let d = space.distance(pos(&items[i]), pos(&items[j]));
         if d > best.length {
             best = Diameter {
                 a: i,
@@ -147,10 +169,22 @@ pub fn diameter_of<S: MetricSpace, R: Rng + ?Sized>(
     exact_threshold: usize,
     rng: &mut R,
 ) -> Option<Diameter> {
-    if points.len() <= exact_threshold {
-        diameter_exact(space, points)
+    diameter_of_by(space, points, |p| p, exact_threshold, rng)
+}
+
+/// [`diameter_of`] through a position accessor — the adaptive policy on
+/// wrapped points, without a temporary position `Vec`.
+pub fn diameter_of_by<S: MetricSpace, T, R: Rng + ?Sized>(
+    space: &S,
+    items: &[T],
+    pos: impl Fn(&T) -> &S::Point,
+    exact_threshold: usize,
+    rng: &mut R,
+) -> Option<Diameter> {
+    if items.len() <= exact_threshold {
+        diameter_exact_by(space, items, pos)
     } else {
-        diameter_sampled(space, points, points.len() * 4, rng)
+        diameter_sampled_by(space, items, pos, items.len() * 4, rng)
     }
 }
 

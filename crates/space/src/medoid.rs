@@ -32,13 +32,28 @@ pub fn sum_sq_to<S: MetricSpace>(space: &S, q: &S::Point, points: &[S::Point]) -
 /// assert_eq!(medoid_index(&Euclidean2, &pts), Some(1));
 /// ```
 pub fn medoid_index<S: MetricSpace>(space: &S, points: &[S::Point]) -> Option<usize> {
-    if points.is_empty() {
+    medoid_index_by(space, points, |p| p)
+}
+
+/// [`medoid_index`] over any item type through a position accessor, so a
+/// caller holding wrapped points (e.g. id-tagged data points) can find
+/// the medoid without first collecting positions into a temporary `Vec`.
+/// Identical objective, iteration order and tie-breaking.
+pub fn medoid_index_by<S: MetricSpace, T>(
+    space: &S,
+    items: &[T],
+    pos: impl Fn(&T) -> &S::Point,
+) -> Option<usize> {
+    if items.is_empty() {
         return None;
     }
     let mut best = 0;
     let mut best_cost = f64::INFINITY;
-    for (i, candidate) in points.iter().enumerate() {
-        let cost = sum_sq_to(space, candidate, points);
+    for (i, candidate) in items.iter().enumerate() {
+        let cost: f64 = items
+            .iter()
+            .map(|p| space.distance_sq(pos(candidate), pos(p)))
+            .sum();
         if cost < best_cost {
             best_cost = cost;
             best = i;
@@ -78,14 +93,30 @@ pub fn medoid_index_sampled<S: MetricSpace, R: Rng + ?Sized>(
     candidates: usize,
     rng: &mut R,
 ) -> Option<usize> {
-    if points.len() <= candidates {
-        return medoid_index(space, points);
+    medoid_index_sampled_by(space, points, |p| p, candidates, rng)
+}
+
+/// [`medoid_index_sampled`] through a position accessor — the sampled
+/// counterpart of [`medoid_index_by`], with the identical candidate draw
+/// sequence for a given `rng` state.
+pub fn medoid_index_sampled_by<S: MetricSpace, T, R: Rng + ?Sized>(
+    space: &S,
+    items: &[T],
+    pos: impl Fn(&T) -> &S::Point,
+    candidates: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    if items.len() <= candidates {
+        return medoid_index_by(space, items, pos);
     }
-    let picks = sample(rng, points.len(), candidates);
+    let picks = sample(rng, items.len(), candidates);
     let mut best = None;
     let mut best_cost = f64::INFINITY;
     for i in picks {
-        let cost = sum_sq_to(space, &points[i], points);
+        let cost: f64 = items
+            .iter()
+            .map(|p| space.distance_sq(pos(&items[i]), pos(p)))
+            .sum();
         if cost < best_cost {
             best_cost = cost;
             best = Some(i);

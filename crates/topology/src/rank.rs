@@ -75,6 +75,29 @@ pub fn k_ranked_indices<S: MetricSpace>(
     })
 }
 
+/// Ranks like [`k_ranked_indices`] but never materializes the index
+/// vector: `choose` receives the number of ranked candidates
+/// (`min(k, len)`) and returns the rank to pick; the corresponding
+/// descriptor index is returned. `None` on an empty input, with `choose`
+/// never called — the allocation-free partner-selection path, which
+/// runs once per node per gossip round.
+pub fn choose_ranked<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    k: usize,
+    choose: impl FnOnce(usize) -> usize,
+) -> Option<usize> {
+    with_rank_keys(space, target, descriptors, |keyed| {
+        select_k(keyed, k);
+        if keyed.is_empty() {
+            None
+        } else {
+            Some(keyed[choose(keyed.len())].2)
+        }
+    })
+}
+
 /// Partially sorts `keyed` so its first `min(k, len)` entries are the k
 /// smallest in increasing order, and truncates to them.
 fn select_k(keyed: &mut Vec<(u64, NodeId, usize)>, k: usize) {
@@ -143,13 +166,58 @@ pub fn k_closest<S: MetricSpace>(
     descriptors: &[Descriptor<S::Point>],
     k: usize,
 ) -> Vec<Descriptor<S::Point>> {
+    let mut out = Vec::new();
+    k_closest_into(space, target, descriptors, k, &mut out);
+    out
+}
+
+/// [`k_closest`] appending into a caller-owned (typically pooled) buffer
+/// instead of allocating the result.
+pub fn k_closest_into<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    k: usize,
+    out: &mut Vec<Descriptor<S::Point>>,
+) {
     with_rank_keys(space, target, descriptors, |keyed| {
         select_k(keyed, k);
-        keyed
-            .iter()
-            .map(|&(_, _, i)| descriptors[i].clone())
-            .collect()
-    })
+        out.extend(keyed.iter().map(|&(_, _, i)| descriptors[i].clone()));
+    });
+}
+
+/// The ids of the `k` closest descriptors, appended into `out` — the
+/// clone-free twin of [`k_closest`] for callers that only need identities
+/// (backup pools, migration candidate sets).
+pub fn k_closest_ids_into<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    k: usize,
+    out: &mut Vec<NodeId>,
+) {
+    with_rank_keys(space, target, descriptors, |keyed| {
+        select_k(keyed, k);
+        out.extend(keyed.iter().map(|&(_, id, _)| id));
+    });
+}
+
+/// Visits the `k` closest descriptors in increasing distance order without
+/// cloning anything — the zero-copy twin of [`k_closest`] for read-only
+/// consumers (the engine's proximity observation path).
+pub fn for_k_closest<S: MetricSpace>(
+    space: &S,
+    target: &S::Point,
+    descriptors: &[Descriptor<S::Point>],
+    k: usize,
+    mut visit: impl FnMut(&Descriptor<S::Point>),
+) {
+    with_rank_keys(space, target, descriptors, |keyed| {
+        select_k(keyed, k);
+        for &(_, _, i) in keyed.iter() {
+            visit(&descriptors[i]);
+        }
+    });
 }
 
 /// A spatial-grid candidate index over a set of positioned entries.

@@ -9,8 +9,8 @@
 //! peers (rather than being unbounded as in \[1\])" (Sec. IV-A).
 
 use crate::rank::{
-    dedup_freshest_in_place, drop_self, insert_one_capped, k_closest, k_ranked_indices,
-    retain_k_closest,
+    choose_ranked, dedup_freshest_in_place, drop_self, for_k_closest, insert_one_capped, k_closest,
+    k_closest_ids_into, k_closest_into, retain_k_closest,
 };
 use crate::traits::TopologyConstruction;
 use polystyrene_membership::{Descriptor, NodeId};
@@ -118,15 +118,21 @@ impl<S: MetricSpace> TMan<S> {
     /// explicitly: "Because nodes move, T-Man must update their positions
     /// in its view in each round, causing most of the traffic"
     /// (Sec. IV-B) — the driver charges one descriptor per changed entry.
-    pub fn refresh_positions(
+    /// `lookup` borrows the current position out of the driver's position
+    /// slab (or returns `None` if unknown/dead), so a full refresh pass
+    /// clones a position only for the entries that actually moved.
+    pub fn refresh_positions<'a>(
         &mut self,
-        mut lookup: impl FnMut(NodeId) -> Option<S::Point>,
-    ) -> usize {
+        mut lookup: impl FnMut(NodeId) -> Option<&'a S::Point>,
+    ) -> usize
+    where
+        S::Point: 'a,
+    {
         let mut changed = 0;
         for entry in &mut self.view {
             if let Some(current) = lookup(entry.id) {
-                if current != entry.pos {
-                    entry.pos = current;
+                if *current != entry.pos {
+                    entry.pos = current.clone();
                     changed += 1;
                 }
                 entry.age = 0;
@@ -143,14 +149,41 @@ impl<S: MetricSpace> TMan<S> {
         self_descriptor: Descriptor<S::Point>,
         target_pos: &S::Point,
     ) -> Vec<Descriptor<S::Point>> {
-        let mut buffer = k_closest(
+        let mut buffer = Vec::new();
+        self.prepare_message_into(self_descriptor, target_pos, &mut buffer);
+        buffer
+    }
+
+    /// [`TMan::prepare_message`] appending into a caller-owned (typically
+    /// pooled) buffer.
+    pub fn prepare_message_into(
+        &self,
+        self_descriptor: Descriptor<S::Point>,
+        target_pos: &S::Point,
+        buffer: &mut Vec<Descriptor<S::Point>>,
+    ) {
+        k_closest_into(
             &self.space,
             target_pos,
             &self.view,
             self.config.m.saturating_sub(1),
+            buffer,
         );
         buffer.push(self_descriptor);
-        buffer
+    }
+
+    /// Appends the ids of the `k` view entries closest to `pos` into
+    /// `out` — the clone-free twin of [`TopologyConstruction::closest`] for
+    /// callers that only need identities.
+    pub fn closest_ids_into(&self, pos: &S::Point, k: usize, out: &mut Vec<NodeId>) {
+        k_closest_ids_into(&self.space, pos, &self.view, k, out);
+    }
+
+    /// Visits the `k` view entries closest to `pos` in distance order
+    /// without cloning them. `visit` must not re-enter a ranking helper
+    /// (they share one per-thread scratch).
+    pub fn for_closest(&self, pos: &S::Point, k: usize, visit: impl FnMut(&Descriptor<S::Point>)) {
+        for_k_closest(&self.space, pos, &self.view, k, visit);
     }
 }
 
@@ -166,11 +199,12 @@ impl<S: MetricSpace> TopologyConstruction<S> for TMan<S> {
     }
 
     fn select_partner<R: Rng + ?Sized>(&self, pos: &S::Point, rng: &mut R) -> Option<NodeId> {
-        if self.view.is_empty() {
-            return None;
-        }
-        let ranked = k_ranked_indices(&self.space, pos, &self.view, self.config.psi);
-        let pick = ranked[rng.random_range(0..ranked.len())];
+        // The ψ-closest candidates are ranked in the thread-local key
+        // scratch and the pick drawn in place: same candidates, same
+        // draw, no index vector allocated per round.
+        let pick = choose_ranked(&self.space, pos, &self.view, self.config.psi, |n| {
+            rng.random_range(0..n)
+        })?;
         Some(self.view[pick].id)
     }
 
@@ -205,12 +239,8 @@ impl<S: MetricSpace> TopologyConstruction<S> for TMan<S> {
         self.view.len()
     }
 
-    fn view_entries(&self) -> Vec<Descriptor<S::Point>> {
-        self.view.clone()
-    }
-
-    fn position_of(&self, id: NodeId) -> Option<S::Point> {
-        self.view.iter().find(|d| d.id == id).map(|d| d.pos.clone())
+    fn view_entries(&self) -> &[Descriptor<S::Point>] {
+        &self.view
     }
 }
 
@@ -437,9 +467,11 @@ mod tests {
         );
         t.begin_round(); // age everything to 1
                          // Node 1 moved, node 2 stayed, node 3 is unknown to the lookup.
+        let moved = [5.0, 0.0];
+        let stayed = [2.0, 0.0];
         let changed = t.refresh_positions(|id| match id.as_u64() {
-            1 => Some([5.0, 0.0]),
-            2 => Some([2.0, 0.0]),
+            1 => Some(&moved),
+            2 => Some(&stayed),
             _ => None,
         });
         assert_eq!(changed, 1);

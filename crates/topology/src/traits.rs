@@ -36,19 +36,22 @@ pub trait TopologyConstruction<S: MetricSpace> {
     /// Number of entries currently in the view.
     fn view_len(&self) -> usize;
 
-    /// All view entries (for metrics and snapshots).
-    fn view_entries(&self) -> Vec<Descriptor<S::Point>>;
+    /// All view entries (for metrics and snapshots), borrowed in the
+    /// protocol's internal order. Returning a slice instead of a cloned
+    /// `Vec` keeps the per-round observation and lookup paths off the
+    /// allocator — callers that need ownership clone explicitly.
+    fn view_entries(&self) -> &[Descriptor<S::Point>];
 
     /// The position this view currently believes `id` is at, or `None`
     /// when `id` is not in the view.
     ///
-    /// Equivalent to scanning [`view_entries`](Self::view_entries), without
-    /// cloning the view — exchange setup does this lookup once per gossip
-    /// partner, which made the clone measurable at large network sizes.
-    fn position_of(&self, id: NodeId) -> Option<S::Point> {
+    /// A borrow into the view — exchange setup does this lookup once per
+    /// gossip partner, which made the old per-lookup clone measurable at
+    /// large network sizes.
+    fn position_of(&self, id: NodeId) -> Option<&S::Point> {
         self.view_entries()
-            .into_iter()
+            .iter()
             .find(|d| d.id == id)
-            .map(|d| d.pos)
+            .map(|d| &d.pos)
     }
 }

@@ -9,12 +9,21 @@
 //! The random component guarantees convergence from arbitrary states at
 //! the price of slightly slower greedy progress.
 
-use crate::rank::{dedup_freshest, drop_self, k_closest, k_ranked_indices};
+use crate::rank::{
+    choose_ranked, dedup_freshest, drop_self, k_closest, k_closest_into, k_ranked_indices,
+};
 use crate::traits::TopologyConstruction;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_space::MetricSpace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Index-pool scratch for [`Vicinity::prepare_message_into`]'s random
+    /// filler — reused across every message built on this thread.
+    static FILLER_POOL: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Vicinity protocol parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -100,15 +109,18 @@ impl<S: MetricSpace> Vicinity<S> {
     /// Refreshes the positions of view entries from `lookup`, returning
     /// how many entries changed — see
     /// [`crate::tman::TMan::refresh_positions`].
-    pub fn refresh_positions(
+    pub fn refresh_positions<'a>(
         &mut self,
-        mut lookup: impl FnMut(NodeId) -> Option<S::Point>,
-    ) -> usize {
+        mut lookup: impl FnMut(NodeId) -> Option<&'a S::Point>,
+    ) -> usize
+    where
+        S::Point: 'a,
+    {
         let mut changed = 0;
         for entry in &mut self.view {
             if let Some(current) = lookup(entry.id) {
-                if current != entry.pos {
-                    entry.pos = current;
+                if *current != entry.pos {
+                    entry.pos = current.clone();
                     changed += 1;
                 }
                 entry.age = 0;
@@ -126,21 +138,46 @@ impl<S: MetricSpace> Vicinity<S> {
         target_pos: &S::Point,
         rng: &mut R,
     ) -> Vec<Descriptor<S::Point>> {
-        let m = self.config.m;
-        let greedy = k_closest(&self.space, target_pos, &self.view, m.saturating_sub(1) / 2);
-        let mut buffer = greedy;
-        // Fill the rest with random entries for exploration.
-        let mut pool: Vec<usize> = (0..self.view.len()).collect();
-        while buffer.len() + 1 < m && !pool.is_empty() {
-            let k = rng.random_range(0..pool.len());
-            let idx = pool.swap_remove(k);
-            let d = &self.view[idx];
-            if !buffer.iter().any(|e| e.id == d.id) {
-                buffer.push(d.clone());
-            }
-        }
-        buffer.push(self_descriptor);
+        let mut buffer = Vec::new();
+        self.prepare_message_into(self_descriptor, target_pos, rng, &mut buffer);
         buffer
+    }
+
+    /// [`Vicinity::prepare_message`] appending into a caller-owned
+    /// (typically pooled) buffer. The filler's index pool lives in
+    /// thread-local scratch; rng draw sequence is identical (the draws
+    /// depend only on the view length).
+    pub fn prepare_message_into<R: Rng + ?Sized>(
+        &self,
+        self_descriptor: Descriptor<S::Point>,
+        target_pos: &S::Point,
+        rng: &mut R,
+        buffer: &mut Vec<Descriptor<S::Point>>,
+    ) {
+        let m = self.config.m;
+        let base = buffer.len();
+        k_closest_into(
+            &self.space,
+            target_pos,
+            &self.view,
+            m.saturating_sub(1) / 2,
+            buffer,
+        );
+        // Fill the rest with random entries for exploration.
+        FILLER_POOL.with(|cell| {
+            let mut pool = cell.borrow_mut();
+            pool.clear();
+            pool.extend(0..self.view.len());
+            while buffer.len() - base + 1 < m && !pool.is_empty() {
+                let k = rng.random_range(0..pool.len());
+                let idx = pool.swap_remove(k);
+                let d = &self.view[idx];
+                if !buffer[base..].iter().any(|e| e.id == d.id) {
+                    buffer.push(d.clone());
+                }
+            }
+        });
+        buffer.push(self_descriptor);
     }
 }
 
@@ -163,8 +200,9 @@ impl<S: MetricSpace> TopologyConstruction<S> for Vicinity<S> {
             let i = rng.random_range(0..self.view.len());
             return Some(self.view[i].id);
         }
-        let ranked = k_ranked_indices(&self.space, pos, &self.view, 1);
-        Some(self.view[ranked[0]].id)
+        let pick = choose_ranked(&self.space, pos, &self.view, 1, |_| 0)
+            .expect("view checked non-empty above");
+        Some(self.view[pick].id)
     }
 
     fn integrate(&mut self, self_id: NodeId, pos: &S::Point, incoming: &[Descriptor<S::Point>]) {
@@ -186,12 +224,8 @@ impl<S: MetricSpace> TopologyConstruction<S> for Vicinity<S> {
         self.view.len()
     }
 
-    fn view_entries(&self) -> Vec<Descriptor<S::Point>> {
-        self.view.clone()
-    }
-
-    fn position_of(&self, id: NodeId) -> Option<S::Point> {
-        self.view.iter().find(|d| d.id == id).map(|d| d.pos.clone())
+    fn view_entries(&self) -> &[Descriptor<S::Point>] {
+        &self.view
     }
 }
 
@@ -299,7 +333,8 @@ mod tests {
         let mut v = Vicinity::new(Euclidean2, cfg());
         v.integrate(NodeId::new(0), &[0.0, 0.0], &[d(1, 1.0), d(2, 2.0)]);
         v.begin_round();
-        let changed = v.refresh_positions(|id| (id == NodeId::new(1)).then_some([9.0, 0.0]));
+        let moved = [9.0, 0.0];
+        let changed = v.refresh_positions(|id| (id == NodeId::new(1)).then_some(&moved));
         assert_eq!(changed, 1);
         let view = v.view_entries();
         assert_eq!(

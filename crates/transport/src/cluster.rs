@@ -17,7 +17,7 @@
 //! in-process registry), so `--net-loss` experiments run over real
 //! sockets too.
 
-use crate::framing::{read_frame, write_frame, FrameRead};
+use crate::framing::{read_frame_into, write_frame_into, FrameStatus, MID_FRAME_DEADLINE};
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use polystyrene::prelude::{DataPoint, PointId};
@@ -138,6 +138,9 @@ struct TcpLink<P> {
     /// Reusable encode buffer: every outgoing frame is serialized into
     /// this one allocation instead of a fresh `Vec` per send.
     buf: Vec<u8>,
+    /// Reusable frame-assembly scratch for [`write_frame_into`] — the
+    /// length-prefixed copy that goes to `write_all` in one syscall.
+    frame: Vec<u8>,
     _point: std::marker::PhantomData<P>,
 }
 
@@ -151,6 +154,7 @@ impl<P> TcpLink<P> {
             cap: config.connection_cap,
             io_timeout: config.io_timeout,
             buf: Vec::new(),
+            frame: Vec::new(),
             _point: std::marker::PhantomData,
         }
     }
@@ -191,10 +195,12 @@ impl<P> TcpLink<P> {
             self.conns.insert(to, stream);
         }
         self.touch(to);
+        let mut frame = std::mem::take(&mut self.frame);
         let ok = {
             let stream = self.conns.get_mut(&to).expect("inserted above");
-            write_frame(stream, payload).is_ok()
+            write_frame_into(stream, payload, &mut frame).is_ok()
         };
+        self.frame = frame;
         if !ok {
             self.drop_conn(to);
         }
@@ -607,12 +613,17 @@ fn accept_loop<P: PointCodec + Send + 'static>(
 
 fn reader_loop<P: PointCodec>(stream: TcpStream, tx: Sender<Message<P>>, stop: Arc<AtomicBool>) {
     let mut stream = std::io::BufReader::new(stream);
+    // Per-connection decode scratch: one frame-body buffer amortized
+    // over the connection's lifetime. The decoded wire payload itself
+    // is necessarily owned — it crosses the mailbox channel into the
+    // node — so the decode allocation per frame is down to that one.
+    let mut payload = Vec::new();
     loop {
         if stop.load(Ordering::Acquire) {
             break;
         }
-        match read_frame(&mut stream) {
-            Ok(FrameRead::Frame(payload)) => match decode_event::<P>(&payload) {
+        match read_frame_into(&mut stream, MID_FRAME_DEADLINE, &mut payload) {
+            Ok(FrameStatus::Frame) => match decode_event::<P>(&payload) {
                 Ok(Event::Message { from, wire }) => {
                     if tx.send(Message::Protocol { from, wire }).is_err() {
                         break;
@@ -624,8 +635,8 @@ fn reader_loop<P: PointCodec>(stream: TcpStream, tx: Sender<Message<P>>, stop: A
                 // tolerates message loss, and the peer reconnects.
                 _ => break,
             },
-            Ok(FrameRead::Idle) => {}
-            Ok(FrameRead::Closed) | Err(_) => break,
+            Ok(FrameStatus::Idle) => {}
+            Ok(FrameStatus::Closed) | Err(_) => break,
         }
     }
 }

@@ -30,6 +30,19 @@ pub enum FrameRead {
     Idle,
 }
 
+/// Outcome of one [`read_frame_into`] attempt — [`FrameRead`] with the
+/// payload landing in the caller's reused buffer instead of a fresh
+/// allocation per frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// A complete frame; its payload is in the caller's buffer.
+    Frame,
+    /// The stream closed cleanly at a frame boundary.
+    Closed,
+    /// A read timeout fired before any byte of a new frame arrived.
+    Idle,
+}
+
 /// Whether an IO error is a read-timeout expiry (both kinds, for
 /// platform portability).
 fn is_timeout(e: &io::Error) -> bool {
@@ -131,9 +144,30 @@ pub fn read_frame_deadline(
     r: &mut impl Read,
     deadline: std::time::Duration,
 ) -> io::Result<FrameRead> {
+    let mut payload = Vec::new();
+    Ok(match read_frame_into(r, deadline, &mut payload)? {
+        FrameStatus::Frame => FrameRead::Frame(payload),
+        FrameStatus::Closed => FrameRead::Closed,
+        FrameStatus::Idle => FrameRead::Idle,
+    })
+}
+
+/// [`read_frame_deadline`] reading the payload into a caller-owned
+/// buffer (cleared and overwritten), so a connection's reader amortizes
+/// one allocation over every frame it will ever receive instead of
+/// paying a fresh frame-body `Vec` per message. Length sanity is still
+/// checked *before* the buffer is grown.
+pub fn read_frame_into(
+    r: &mut impl Read,
+    deadline: std::time::Duration,
+    payload: &mut Vec<u8>,
+) -> io::Result<FrameStatus> {
     let mut len_buf = [0u8; 4];
     if let Some(outcome) = fill(r, &mut len_buf, true, deadline)? {
-        return Ok(outcome);
+        return Ok(match outcome {
+            FrameRead::Closed => FrameStatus::Closed,
+            _ => FrameStatus::Idle,
+        });
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if len == 0 || len > MAX_FRAME_BYTES {
@@ -150,9 +184,10 @@ pub fn read_frame_deadline(
             format!("frame version {} (expected {FRAME_VERSION})", version[0]),
         ));
     }
-    let mut payload = vec![0u8; len - 1];
-    fill(r, &mut payload, false, deadline)?;
-    Ok(FrameRead::Frame(payload))
+    payload.clear();
+    payload.resize(len - 1, 0);
+    fill(r, payload, false, deadline)?;
+    Ok(FrameStatus::Frame)
 }
 
 /// Writes one frame (length prefix, version byte, payload) as a single
@@ -164,6 +199,14 @@ pub fn read_frame_deadline(
 /// read back), or any underlying write failure — `write_all` retries
 /// short writes internally.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::new();
+    write_frame_into(w, payload, &mut frame)
+}
+
+/// [`write_frame`] assembling the frame in a caller-owned scratch buffer
+/// (cleared and overwritten), so a send loop serializes every outgoing
+/// frame through one reused allocation.
+pub fn write_frame_into(w: &mut impl Write, payload: &[u8], frame: &mut Vec<u8>) -> io::Result<()> {
     let len = payload.len() + 1;
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -171,11 +214,12 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
             format!("payload of {} bytes exceeds the max frame", payload.len()),
         ));
     }
-    let mut buf = Vec::with_capacity(4 + len);
-    buf.extend_from_slice(&(len as u32).to_le_bytes());
-    buf.push(FRAME_VERSION);
-    buf.extend_from_slice(payload);
-    w.write_all(&buf)
+    frame.clear();
+    frame.reserve(4 + len);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(FRAME_VERSION);
+    frame.extend_from_slice(payload);
+    w.write_all(frame)
 }
 
 #[cfg(test)]
@@ -243,6 +287,35 @@ mod tests {
         );
         assert_eq!(read_frame(&mut cursor).unwrap(), FrameRead::Frame(vec![]));
         assert_eq!(read_frame(&mut cursor).unwrap(), FrameRead::Closed);
+    }
+
+    #[test]
+    fn into_variants_reuse_dirty_buffers() {
+        // One payload buffer and one frame scratch survive several
+        // frames of different sizes: every read must fully replace the
+        // previous (possibly longer) contents.
+        let mut frame_scratch = vec![0xAA; 64];
+        let mut wire = Vec::new();
+        write_frame_into(&mut wire, b"first frame", &mut frame_scratch).unwrap();
+        write_frame_into(&mut wire, b"2nd", &mut frame_scratch).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = vec![0xBB; 128]; // deliberately dirty and oversized
+        assert_eq!(
+            read_frame_into(&mut cursor, MID_FRAME_DEADLINE, &mut payload).unwrap(),
+            FrameStatus::Frame
+        );
+        assert_eq!(payload, b"first frame");
+        let cap = payload.capacity();
+        assert_eq!(
+            read_frame_into(&mut cursor, MID_FRAME_DEADLINE, &mut payload).unwrap(),
+            FrameStatus::Frame
+        );
+        assert_eq!(payload, b"2nd");
+        assert_eq!(payload.capacity(), cap, "reuse must keep the allocation");
+        assert_eq!(
+            read_frame_into(&mut cursor, MID_FRAME_DEADLINE, &mut payload).unwrap(),
+            FrameStatus::Closed
+        );
     }
 
     #[test]

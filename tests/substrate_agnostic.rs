@@ -153,6 +153,7 @@ impl MiniDriver {
                     self.cfg.replication,
                     |id| failed.contains(&id),
                     || pool_iter.next(),
+                    &mut Vec::new(),
                 )
             };
             for push in pushes {
