@@ -8,6 +8,9 @@
 //! * `mean_reshaping_rounds` per substrate entry — convergence speed,
 //! * `mean_cost_units` per substrate entry — the paper's bandwidth
 //!   unit price (Sec. IV-A),
+//! * `mean_traffic_availability` per substrate entry, when present —
+//!   the traffic plane's served fraction, gated as its complement
+//!   (unavailability is lower-is-better) against an absolute floor,
 //! * `wall_secs` per substrate from the artifact metadata — real time,
 //! * `allocs_per_round` from the artifact metadata, when present — the
 //!   netsim sweep's deterministic steady-state allocation count (gated
@@ -45,6 +48,15 @@ const WALL_FLOOR_SECS: f64 = 5.0;
 /// (engine, netsim) reproduce their round counts exactly and are gated
 /// with no floor.
 const LIVE_ROUNDS_FLOOR: f64 = 20.0;
+
+/// Denominator floor for the traffic plane's unserved fraction
+/// (`1 − mean_traffic_availability`). The deterministic substrates
+/// serve the catastrophe scenario at ~98–99% mean availability, so the
+/// baseline unavailability is a couple of percent; gating it exactly
+/// would let one extra dropped query per run trip the diff. A 25% gate
+/// on a 0.02 floor allows half a point of absolute availability drift
+/// while a substrate that stops serving queries still fails loudly.
+const UNAVAILABILITY_FLOOR: f64 = 0.02;
 
 /// Substrates whose scenario runs are bit-reproducible; everything
 /// else is a live threaded deployment with wall-clock jitter.
@@ -183,6 +195,31 @@ fn main() {
                 }
                 // Metric absent from the baseline: nothing to gate on.
                 (None, _) => {}
+            }
+        }
+        // Availability is the one higher-is-better metric; gate its
+        // complement (the unserved fraction) through the same
+        // lower-is-better machinery. The floor keeps a near-perfect
+        // baseline (unavailability ~0.01) from turning sub-percent
+        // drift into a huge relative regression: 25% of a 0.02 floor
+        // allows half a point of absolute availability drift.
+        if let Some(b) = base_entry
+            .get("mean_traffic_availability")
+            .and_then(Json::as_f64)
+        {
+            match cur_entry
+                .get("mean_traffic_availability")
+                .and_then(Json::as_f64)
+            {
+                Some(c) => comparisons.push(Comparison {
+                    what: format!("{label}/traffic_unavailability"),
+                    baseline: 1.0 - b,
+                    current: 1.0 - c,
+                    floor: UNAVAILABILITY_FLOOR,
+                }),
+                None => failures.push(format!(
+                    "{label}/mean_traffic_availability: measured in baseline, null now"
+                )),
             }
         }
     }

@@ -68,13 +68,22 @@ pub struct CommonArgs {
     /// Duration of scripted partitions in rounds (`--partition-rounds`;
     /// 0 = the scenario has no partition window).
     pub partition_rounds: u32,
+    /// Application queries offered per round (`--traffic-rate`; 0 = no
+    /// workload rides the scenario).
+    pub traffic_rate: usize,
+    /// Size of the workload's key universe (`--traffic-keys`; must be
+    /// positive when the rate is).
+    pub traffic_keys: usize,
+    /// Fraction of traffic requests that are reads (`--read-fraction`;
+    /// out-of-range values are rejected at parse time).
+    pub read_fraction: f64,
     /// Figure-specific `--key value` pairs, restricted to the keys the
     /// binary declared via [`CommonArgs::parse_with`].
     pub extra: HashMap<String, String>,
 }
 
 /// The flags every experiment binary accepts.
-const COMMON_KEYS: [&str; 11] = [
+const COMMON_KEYS: [&str; 14] = [
     "cols",
     "rows",
     "runs",
@@ -86,6 +95,9 @@ const COMMON_KEYS: [&str; 11] = [
     "net-jitter",
     "net-loss",
     "partition-rounds",
+    "traffic-rate",
+    "traffic-keys",
+    "read-fraction",
 ];
 
 impl Default for CommonArgs {
@@ -103,6 +115,9 @@ impl Default for CommonArgs {
             net_jitter: 1,
             net_loss: 0.0,
             partition_rounds: 0,
+            traffic_rate: 16,
+            traffic_keys: 64,
+            read_fraction: 0.9,
             extra: HashMap::new(),
         }
     }
@@ -198,6 +213,28 @@ impl CommonArgs {
                     args.partition_rounds = value
                         .parse()
                         .expect("--partition-rounds expects an integer")
+                }
+                "traffic-rate" => {
+                    args.traffic_rate = value.parse().expect("--traffic-rate expects an integer")
+                }
+                "traffic-keys" => {
+                    let keys: usize = value.parse().expect("--traffic-keys expects an integer");
+                    assert!(
+                        keys > 0,
+                        "--traffic-keys must be positive (use --traffic-rate 0 to \
+                         disable the workload)\n{}",
+                        usage()
+                    );
+                    args.traffic_keys = keys;
+                }
+                "read-fraction" => {
+                    let fraction: f64 = value.parse().expect("--read-fraction expects a number");
+                    assert!(
+                        (0.0..=1.0).contains(&fraction),
+                        "--read-fraction must be a fraction in [0, 1], got {fraction}\n{}",
+                        usage()
+                    );
+                    args.read_fraction = fraction;
                 }
                 _ if extra_keys.contains(&key) => {
                     args.extra.insert(key.to_string(), value);
@@ -683,6 +720,58 @@ mod tests {
             CommonArgs::default(),
             &[],
             vec!["--net-loss".to_string(), "1.5".to_string()],
+        );
+    }
+
+    #[test]
+    fn parse_argv_accepts_traffic_flags() {
+        let args = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec![
+                "--traffic-rate",
+                "32",
+                "--traffic-keys",
+                "128",
+                "--read-fraction",
+                "0.75",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        );
+        assert_eq!(args.traffic_rate, 32);
+        assert_eq!(args.traffic_keys, 128);
+        assert!((args.read_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "--read-fraction must be a fraction in [0, 1]")]
+    fn parse_argv_rejects_out_of_range_read_fraction() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--read-fraction".to_string(), "-0.2".to_string()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--traffic-keys must be positive")]
+    fn parse_argv_rejects_empty_key_universe() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--traffic-keys".to_string(), "0".to_string()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag --traffic-rat")]
+    fn parse_argv_rejects_typoed_traffic_flag() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--traffic-rat".to_string(), "8".to_string()],
         );
     }
 

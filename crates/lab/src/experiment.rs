@@ -10,6 +10,7 @@
 //! experiment binary shares.
 
 use crate::substrate::Substrate;
+use crate::traffic::TrafficLoad;
 use polystyrene_protocol::observe::RoundObservation;
 use polystyrene_protocol::scenario::{Scenario, ScenarioEvent};
 use polystyrene_space::stats::{ci95, ConfidenceInterval};
@@ -27,9 +28,24 @@ use std::fmt::Write as _;
 /// this scenario's rounds, and its analytics are positional (round `i`
 /// of the scenario is observation `i`), so they are independent of the
 /// substrate's own round labels.
-pub fn run_experiment<P>(
+pub fn run_experiment<P: Clone>(
     substrate: &mut (impl Substrate<P> + ?Sized),
     scenario: &Scenario<P>,
+) -> ExperimentTrace {
+    run_experiment_with_traffic(substrate, scenario, None)
+}
+
+/// [`run_experiment`] with an application workload riding along: each
+/// round, the load's key batch is offered to the substrate *before* the
+/// round advances (queries resolve while the shape reshapes), and the
+/// round's drained [`polystyrene_protocol::observe::TrafficStats`]
+/// replace the observation's `traffic` field. With `traffic = None` this is exactly [`run_experiment`] —
+/// the drain seam is never touched, so scenario-only runs cannot
+/// perturb or be perturbed by the traffic plane.
+pub fn run_experiment_with_traffic<P: Clone>(
+    substrate: &mut (impl Substrate<P> + ?Sized),
+    scenario: &Scenario<P>,
+    mut traffic: Option<&mut TrafficLoad<P>>,
 ) -> ExperimentTrace {
     let failure_round = scenario.first_failure_round();
     let mut observations = Vec::with_capacity(scenario.total_rounds() as usize);
@@ -81,7 +97,16 @@ pub fn run_experiment<P>(
         if kill_tick.is_none() && failure_round == Some(round) {
             kill_tick = Some(substrate.observe().ticks);
         }
-        observations.push(substrate.step());
+        if let Some(load) = traffic.as_deref_mut() {
+            let ttl = load.ttl();
+            let keys = load.next_round();
+            substrate.offer_traffic(keys, ttl);
+        }
+        let mut obs = substrate.step();
+        if traffic.is_some() {
+            obs.traffic = substrate.drain_traffic();
+        }
+        observations.push(obs);
     }
     // A window outlasting the scenario still heals the fabric on exit.
     if partition_heal.is_some() {
@@ -268,6 +293,11 @@ pub struct ExperimentSummary {
     pub points_per_node: SeriesStats,
     /// Per-round cost units per node (zero on unmetered substrates).
     pub cost_units: SeriesStats,
+    /// Per-round query availability (delivered / offered; `1.0` on
+    /// quiet rounds, so scenario-only runs stay trivially available).
+    pub traffic_availability: SeriesStats,
+    /// Per-round p99 query latency, in protocol ticks.
+    pub traffic_p99: SeriesStats,
     /// Per-run reshaping time in rounds (`None` = never reshaped).
     pub reshaping_rounds: Vec<Option<u32>>,
     /// Per-run reshaping time in protocol ticks.
@@ -292,6 +322,10 @@ impl ExperimentSummary {
             .push_run(trace.observations.iter().map(|o| o.points_per_node));
         self.cost_units
             .push_run(trace.observations.iter().map(|o| o.cost_units));
+        self.traffic_availability
+            .push_run(trace.observations.iter().map(|o| o.traffic.availability()));
+        self.traffic_p99
+            .push_run(trace.observations.iter().map(|o| o.traffic.latency_p99));
         self.reshaping_rounds.push(trace.reshaping_rounds());
         self.reshaping_ticks.push(trace.reshaping_ticks());
         self.reliabilities.push(trace.reliability());
@@ -336,6 +370,23 @@ impl ExperimentSummary {
     pub fn mean_cost_units(&self) -> Option<f64> {
         let means = self.cost_units.means();
         (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
+    }
+
+    /// Mean per-round query availability over the whole series, or
+    /// `None` before any run was pushed — the one-number traffic figure
+    /// the availability gates and the baseline differ track.
+    pub fn mean_traffic_availability(&self) -> Option<f64> {
+        let means = self.traffic_availability.means();
+        (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
+    }
+
+    /// The worst per-round mean availability across the series — the
+    /// collapse depth an availability gate checks at the kill round.
+    pub fn min_traffic_availability(&self) -> Option<f64> {
+        self.traffic_availability
+            .means()
+            .into_iter()
+            .min_by(f64::total_cmp)
     }
 
     /// Mean ± CI95 of the reshaping time in rounds (over runs that
@@ -421,11 +472,21 @@ pub fn summary_json(
             Some(m) => json_f64(m, 3),
             None => "null".to_string(),
         };
+        let traffic_availability = match s.mean_traffic_availability() {
+            Some(m) => json_f64(m, 4),
+            None => "null".to_string(),
+        };
+        let min_traffic_availability = match s.min_traffic_availability() {
+            Some(m) => json_f64(m, 4),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "{{\"label\":\"{label}\",\"runs\":{},\"recovered_runs\":{},\
              \"mean_reshaping_rounds\":{reshaping_rounds},\"mean_reshaping_ticks\":{reshaping_ticks},\
              \"mean_cost_units\":{cost_units},\
+             \"mean_traffic_availability\":{traffic_availability},\
+             \"min_traffic_availability\":{min_traffic_availability},\
              \"reliability_mean\":{},\"final_alive_nodes\":",
             s.runs,
             s.recovered_runs(),
@@ -440,6 +501,10 @@ pub fn summary_json(
         json_stat(&mut out, s.surviving_points.last(), 6);
         out.push_str(",\"final_points_per_node\":");
         json_stat(&mut out, s.points_per_node.last(), 3);
+        out.push_str(",\"final_traffic_availability\":");
+        json_stat(&mut out, s.traffic_availability.last(), 4);
+        out.push_str(",\"final_traffic_p99\":");
+        json_stat(&mut out, s.traffic_p99.last(), 2);
         out.push('}');
     }
     out.push_str("]}");
@@ -450,6 +515,7 @@ pub fn summary_json(
 mod tests {
     use super::*;
     use polystyrene_membership::NodeId;
+    use polystyrene_protocol::observe::TrafficStats;
 
     /// A substrate that records what was done to it — pins the driver's
     /// window semantics independently of any real backend.
@@ -501,6 +567,7 @@ mod tests {
                 parked_points: 0,
                 cost_units: 0.0,
                 ticks: u64::from(self.rounds),
+                traffic: TrafficStats::default(),
             }
         }
     }
@@ -516,6 +583,7 @@ mod tests {
             parked_points: 0,
             cost_units: 0.0,
             ticks,
+            traffic: TrafficStats::default(),
         }
     }
 
@@ -746,11 +814,19 @@ mod tests {
         assert!(json.contains("\"label\":\"engine\""));
         assert!(json.contains("\"mean_reshaping_rounds\":2.00"));
         assert!(json.contains("\"final_homogeneity\":{\"min\":0.500000"));
+        // Quiet observations count as fully available (nothing offered,
+        // nothing lost) and carry a zero p99.
+        assert!(json.contains("\"mean_traffic_availability\":1.0000"));
+        assert!(json.contains("\"min_traffic_availability\":1.0000"));
+        assert!(json.contains("\"final_traffic_availability\":{\"min\":1.0000"));
+        assert!(json.contains("\"final_traffic_p99\":{\"min\":0.00"));
         assert!(json.ends_with("]}"));
         assert!(!json.contains("NaN") && !json.contains("inf"));
         // Empty summary: stats are null, not NaN tokens.
         let empty = ExperimentSummary::default();
         let json = summary_json("t", &[], &[("x".to_string(), &empty)]);
         assert!(json.contains("\"final_homogeneity\":null"));
+        assert!(json.contains("\"mean_traffic_availability\":null"));
+        assert!(json.contains("\"final_traffic_availability\":null"));
     }
 }

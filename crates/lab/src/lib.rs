@@ -53,10 +53,12 @@
 
 pub mod experiment;
 pub mod substrate;
+pub mod traffic;
 
 pub use experiment::{
-    json_f64, run_experiment, summary_json, ExperimentSummary, ExperimentTrace, RoundStat,
-    SeriesStats,
+    json_f64, run_experiment, run_experiment_with_traffic, summary_json, ExperimentSummary,
+    ExperimentTrace, RoundStat, SeriesStats,
 };
-pub use polystyrene_protocol::observe::RoundObservation;
+pub use polystyrene_protocol::observe::{RoundObservation, TrafficStats};
 pub use substrate::{build_substrate, LabConfig, LiveSubstrate, Substrate, SubstrateKind};
+pub use traffic::TrafficLoad;

@@ -19,7 +19,7 @@ use polystyrene::prelude::PolystyreneConfig;
 use polystyrene_membership::NodeId;
 use polystyrene_netsim::{NetSim, NetSimConfig};
 use polystyrene_protocol::codec::PointCodec;
-use polystyrene_protocol::observe::RoundObservation;
+use polystyrene_protocol::observe::{RoundObservation, TrafficStats};
 use polystyrene_protocol::scenario::select_victims;
 use polystyrene_protocol::LinkProfile;
 use polystyrene_runtime::{Cluster, RuntimeConfig};
@@ -56,6 +56,17 @@ pub trait Substrate<P> {
     fn partition(&mut self, _groups: &[Vec<NodeId>]) {}
     /// Heals a previously installed partition. Default: no-op.
     fn heal(&mut self) {}
+    /// Offers application queries — one per key, each entering at a
+    /// uniformly random alive gateway and resolving hop-by-hop through
+    /// node views. Default: no-op, so scenario-only substrates (and the
+    /// driver tests' recorders) need not carry a traffic plane.
+    fn offer_traffic(&mut self, _keys: &[P], _ttl: u32) {}
+    /// Collects and resets the traffic accounting accumulated since the
+    /// previous drain — the per-round [`TrafficStats`] the experiment
+    /// driver stores into its observations. Default: zero stats.
+    fn drain_traffic(&mut self) -> TrafficStats {
+        TrafficStats::default()
+    }
     /// Runs one protocol round (one engine cycle, one event-kernel
     /// round, or one tick-equivalent of wall-clock progress on a live
     /// cluster) and returns the observation measured at its end.
@@ -79,6 +90,9 @@ fn engine_observation(m: &RoundMetrics) -> RoundObservation {
         parked_points: 0,
         cost_units: m.cost_per_node,
         ticks: u64::from(m.round),
+        // Traffic is accounted through the drain seam, not the
+        // substrate-internal metric history.
+        traffic: TrafficStats::default(),
     }
 }
 
@@ -108,6 +122,16 @@ impl<S: MetricSpace> Substrate<S::Point> for Engine<S> {
 
     fn inject(&mut self, positions: &[S::Point]) -> Vec<NodeId> {
         Engine::inject(self, positions.to_vec())
+    }
+
+    fn offer_traffic(&mut self, keys: &[S::Point], ttl: u32) {
+        Engine::offer_traffic(self, keys, ttl);
+    }
+
+    fn drain_traffic(&mut self) -> TrafficStats {
+        let mut samples = Vec::new();
+        let (offered, delivered, dropped) = Engine::drain_traffic(self, &mut samples);
+        TrafficStats::from_samples(offered, delivered, dropped, &mut samples)
     }
 
     fn step(&mut self) -> RoundObservation {
@@ -143,11 +167,23 @@ impl<S: MetricSpace> Substrate<S::Point> for NetSim<S> {
     }
 
     fn partition(&mut self, groups: &[Vec<NodeId>]) {
-        self.network_mut().set_partition(groups);
+        // The kernel-level cut severs both fabrics — protocol gossip and
+        // query traffic — so a partition is a partition for everyone.
+        NetSim::set_partition(self, groups);
     }
 
     fn heal(&mut self) {
-        self.network_mut().heal();
+        NetSim::heal(self);
+    }
+
+    fn offer_traffic(&mut self, keys: &[S::Point], ttl: u32) {
+        NetSim::offer_traffic(self, keys, ttl);
+    }
+
+    fn drain_traffic(&mut self) -> TrafficStats {
+        let mut samples = Vec::new();
+        let (offered, delivered, dropped) = NetSim::drain_traffic(self, &mut samples);
+        TrafficStats::from_samples(offered, delivered, dropped, &mut samples)
     }
 
     fn step(&mut self) -> RoundObservation {
@@ -173,6 +209,7 @@ fn net_observation(m: &polystyrene_netsim::NetRoundMetrics) -> RoundObservation 
         parked_points: m.parked_points,
         cost_units: m.cost_per_node,
         ticks: u64::from(m.round),
+        traffic: TrafficStats::default(),
     }
 }
 
@@ -187,6 +224,7 @@ trait LiveCluster<P> {
     fn inject(&self, position: P) -> NodeId;
     fn await_ticks(&self, ticks: u64, max_wait: Duration);
     fn observe(&self) -> RoundObservation;
+    fn offer_traffic(&self, keys: &[P], ttl: u32);
 }
 
 impl<S: MetricSpace> LiveCluster<S::Point> for Cluster<S> {
@@ -207,6 +245,9 @@ impl<S: MetricSpace> LiveCluster<S::Point> for Cluster<S> {
     }
     fn observe(&self) -> RoundObservation {
         Cluster::observe(self)
+    }
+    fn offer_traffic(&self, keys: &[S::Point], ttl: u32) {
+        Cluster::offer_traffic(self, keys, ttl);
     }
 }
 
@@ -232,6 +273,9 @@ where
     fn observe(&self) -> RoundObservation {
         TcpCluster::observe(self)
     }
+    fn offer_traffic(&self, keys: &[S::Point], ttl: u32) {
+        TcpCluster::offer_traffic(self, keys, ttl);
+    }
 }
 
 /// A wall-clock deployment viewed as a [`Substrate`]: one scenario round
@@ -253,6 +297,10 @@ pub struct LiveSubstrate<C> {
     /// and differencing them here recovers the per-round `cost_units`
     /// the deterministic substrates report directly.
     cost_baseline: f64,
+    /// Cumulative traffic counters at the previous drain —
+    /// `(offered, delivered, dropped)` — differenced for the same
+    /// reason as `cost_baseline`.
+    traffic_baseline: (u64, u64, u64),
 }
 
 impl<C> LiveSubstrate<C> {
@@ -267,6 +315,7 @@ impl<C> LiveSubstrate<C> {
             target_ticks: 0,
             round_timeout,
             cost_baseline: 0.0,
+            traffic_baseline: (0, 0, 0),
         }
     }
 
@@ -310,6 +359,25 @@ impl<P: Clone, C: LiveCluster<P>> Substrate<P> for LiveSubstrate<C> {
             .collect()
     }
 
+    fn offer_traffic(&mut self, keys: &[P], ttl: u32) {
+        self.cluster.offer_traffic(keys, ttl);
+    }
+
+    fn drain_traffic(&mut self) -> TrafficStats {
+        // Node threads publish running totals plus a trailing sample
+        // window; differencing the totals recovers per-drain counters,
+        // while the window's hop/latency estimates pass through.
+        let cumulative = self.cluster.observe().traffic;
+        let stats = TrafficStats {
+            offered: cumulative.offered.saturating_sub(self.traffic_baseline.0),
+            delivered: cumulative.delivered.saturating_sub(self.traffic_baseline.1),
+            dropped: cumulative.dropped.saturating_sub(self.traffic_baseline.2),
+            ..cumulative
+        };
+        self.traffic_baseline = (cumulative.offered, cumulative.delivered, cumulative.dropped);
+        stats
+    }
+
     fn step(&mut self) -> RoundObservation {
         self.target_ticks += 1;
         self.cluster
@@ -321,6 +389,10 @@ impl<P: Clone, C: LiveCluster<P>> Substrate<P> for LiveSubstrate<C> {
         // which can pull the cumulative average backwards.
         obs.cost_units = (cumulative - self.cost_baseline).max(0.0);
         self.cost_baseline = cumulative;
+        // Traffic flows through the drain seam; the raw cumulative
+        // counters would not be comparable with the per-round stats the
+        // deterministic substrates report.
+        obs.traffic = TrafficStats::default();
         obs
     }
 
@@ -328,6 +400,7 @@ impl<P: Clone, C: LiveCluster<P>> Substrate<P> for LiveSubstrate<C> {
         let mut obs = self.cluster.observe();
         obs.round = self.target_ticks as u32;
         obs.cost_units = (obs.cost_units - self.cost_baseline).max(0.0);
+        obs.traffic = TrafficStats::default();
         obs
     }
 }

@@ -1,0 +1,151 @@
+//! The query workload of the traffic plane.
+//!
+//! [`TrafficLoad`] turns three user-facing knobs — requests per round, a
+//! key universe, a read fraction — into the per-round key batches the
+//! [`crate::Substrate::offer_traffic`] seam consumes, on every backend
+//! identically. Its entropy is its own: the generator draws from a
+//! dedicated stream (seeded off the experiment seed with the shared
+//! [`TRAFFIC_SEED_TAG`]), so the *same* request sequence hits the cycle
+//! engine, the event kernel and the live clusters, and switching the
+//! load on cannot perturb a substrate's protocol entropy.
+
+use polystyrene_protocol::TRAFFIC_SEED_TAG;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded application workload: `rate` key lookups per round, keys
+/// drawn uniformly from a fixed universe, split into reads and writes
+/// by `read_fraction` (both resolve through the same greedy query
+/// plane; the split is recorded for workload accounting).
+#[derive(Clone, Debug)]
+pub struct TrafficLoad<P> {
+    keys: Vec<P>,
+    rate: usize,
+    read_fraction: f64,
+    ttl: u32,
+    rng: StdRng,
+    batch: Vec<P>,
+    reads: u64,
+    writes: u64,
+}
+
+impl<P: Clone> TrafficLoad<P> {
+    /// Builds a workload over `keys`, issuing `rate` requests per round
+    /// with the given read/write split and per-query hop budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty while `rate > 0`, if `read_fraction`
+    /// is outside `[0, 1]`, or if `ttl` is zero.
+    pub fn new(keys: Vec<P>, rate: usize, read_fraction: f64, ttl: u32, seed: u64) -> Self {
+        assert!(
+            rate == 0 || !keys.is_empty(),
+            "a non-zero request rate needs a non-empty key universe"
+        );
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be within [0, 1]"
+        );
+        assert!(ttl > 0, "query ttl must be at least one hop");
+        Self {
+            keys,
+            rate,
+            read_fraction,
+            ttl,
+            rng: StdRng::seed_from_u64(seed ^ TRAFFIC_SEED_TAG),
+            batch: Vec::with_capacity(rate),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Draws the next round's key batch. The returned slice is valid
+    /// until the next call; the backing buffer is reused.
+    pub fn next_round(&mut self) -> &[P] {
+        self.batch.clear();
+        for _ in 0..self.rate {
+            let key = self.keys[self.rng.random_range(0..self.keys.len())].clone();
+            if self.rng.random_bool(self.read_fraction) {
+                self.reads += 1;
+            } else {
+                self.writes += 1;
+            }
+            self.batch.push(key);
+        }
+        &self.batch
+    }
+
+    /// Per-query hop budget.
+    pub fn ttl(&self) -> u32 {
+        self.ttl
+    }
+
+    /// Requests issued per round.
+    pub fn rate(&self) -> usize {
+        self.rate
+    }
+
+    /// Reads issued so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes issued so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_seed_reproducible_and_sized() {
+        let keys: Vec<[f64; 2]> = (0..8).map(|i| [f64::from(i), 0.0]).collect();
+        let mut a = TrafficLoad::new(keys.clone(), 5, 0.8, 6, 42);
+        let mut b = TrafficLoad::new(keys, 5, 0.8, 6, 42);
+        for _ in 0..4 {
+            assert_eq!(a.next_round(), b.next_round());
+            assert_eq!(a.next_round().len(), 5);
+            b.next_round();
+        }
+        assert_eq!(a.reads() + a.writes(), 5 * 8);
+    }
+
+    #[test]
+    fn read_fraction_extremes_split_cleanly() {
+        let keys = vec![[0.0, 0.0]];
+        let mut all_reads = TrafficLoad::new(keys.clone(), 10, 1.0, 4, 1);
+        all_reads.next_round();
+        assert_eq!(all_reads.reads(), 10);
+        assert_eq!(all_reads.writes(), 0);
+        let mut all_writes = TrafficLoad::new(keys, 10, 0.0, 4, 1);
+        all_writes.next_round();
+        assert_eq!(all_writes.writes(), 10);
+    }
+
+    #[test]
+    fn zero_rate_allows_empty_universe() {
+        let mut idle: TrafficLoad<[f64; 2]> = TrafficLoad::new(Vec::new(), 0, 0.5, 4, 1);
+        assert!(idle.next_round().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty key universe")]
+    fn rate_without_keys_rejected() {
+        let _ = TrafficLoad::<[f64; 2]>::new(Vec::new(), 1, 0.5, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn out_of_range_read_fraction_rejected() {
+        let _ = TrafficLoad::new(vec![[0.0, 0.0]], 1, 1.5, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "query ttl")]
+    fn zero_ttl_rejected() {
+        let _ = TrafficLoad::new(vec![[0.0, 0.0]], 1, 0.5, 0, 1);
+    }
+}

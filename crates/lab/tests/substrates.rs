@@ -4,7 +4,10 @@
 //! substrate-agnostic.
 
 use polystyrene::prelude::PolystyreneConfig;
-use polystyrene_lab::{build_substrate, run_experiment, LabConfig, Substrate, SubstrateKind};
+use polystyrene_lab::{
+    build_substrate, run_experiment, run_experiment_with_traffic, LabConfig, Substrate,
+    SubstrateKind, TrafficLoad,
+};
 use polystyrene_membership::NodeId;
 use polystyrene_netsim::{NetRoundMetrics, NetSim, NetSimConfig};
 use polystyrene_protocol::{PaperScenario, Scenario, ScenarioEvent};
@@ -255,6 +258,103 @@ fn churn_window_shrinks_the_live_cluster() {
     assert_eq!(alive[1], 12); // 16 - 25%
     assert_eq!(alive[2], 9); // 12 - 25%
     assert_eq!(*alive.last().unwrap(), 9);
+}
+
+#[test]
+fn traffic_load_serves_queries_on_the_deterministic_substrates() {
+    // Quiet convergence first, then a region kill mid-script: queries
+    // must flow every round, and every offer must be accounted as
+    // delivered or dropped by the end-of-round drain (the engine routes
+    // atomically; netsim expires stragglers lazily, so its last rounds
+    // may still carry a small in-flight tail — hence the per-run, not
+    // per-round, accounting check).
+    let p = PaperScenario::small();
+    let scenario: Scenario<[f64; 2]> = Scenario::new(20).at(
+        10,
+        ScenarioEvent::FailOriginalRegion(Arc::new(shapes::in_right_half(20.0))),
+    );
+    for kind in [SubstrateKind::Engine, SubstrateKind::Netsim] {
+        let mut substrate = small_substrate(kind, 9);
+        let mut load = TrafficLoad::new(p.shape(), 16, 0.9, 8, 9);
+        let trace = run_experiment_with_traffic(substrate.as_mut(), &scenario, Some(&mut load));
+        let offered: u64 = trace.observations.iter().map(|o| o.traffic.offered).sum();
+        let resolved: u64 = trace
+            .observations
+            .iter()
+            .map(|o| o.traffic.delivered + o.traffic.dropped)
+            .sum();
+        assert_eq!(offered, 16 * 20, "{kind}: every round offers its batch");
+        assert!(resolved <= offered, "{kind}");
+        assert!(
+            resolved >= offered - 16,
+            "{kind}: more than one round's worth of queries unaccounted \
+             ({resolved}/{offered})"
+        );
+        // A converged fabric serves essentially everything it is offered.
+        let settled = &trace.observations[5..10];
+        for o in settled {
+            assert!(
+                o.traffic.availability() >= 0.99,
+                "{kind}: converged availability {} below the gate",
+                o.traffic.availability()
+            );
+            assert!(o.traffic.mean_hops <= 8.0, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn traffic_load_does_not_perturb_the_scenario_plane() {
+    // The tentpole invariant at the lab layer: switching the workload on
+    // must leave the protocol's evolution untouched — same populations,
+    // same homogeneity trajectory, same cost — on both deterministic
+    // substrates (the netsim kernel additionally proves byte-identical
+    // history in its own tests).
+    let scenario: Scenario<[f64; 2]> = Scenario::new(12).at(
+        5,
+        ScenarioEvent::FailOriginalRegion(Arc::new(shapes::in_right_half(20.0))),
+    );
+    for kind in [SubstrateKind::Engine, SubstrateKind::Netsim] {
+        let mut quiet_sub = small_substrate(kind, 13);
+        let quiet = run_experiment(quiet_sub.as_mut(), &scenario);
+        let mut loaded_sub = small_substrate(kind, 13);
+        let mut load = TrafficLoad::new(PaperScenario::small().shape(), 24, 0.5, 8, 13);
+        let loaded = run_experiment_with_traffic(loaded_sub.as_mut(), &scenario, Some(&mut load));
+        assert_eq!(quiet.populations(), loaded.populations(), "{kind}");
+        for (q, l) in quiet.observations.iter().zip(&loaded.observations) {
+            assert_eq!(q.homogeneity, l.homogeneity, "{kind}");
+            assert_eq!(q.cost_units, l.cost_units, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn traffic_load_flows_on_the_live_cluster() {
+    let mut cfg = LabConfig::default();
+    cfg.area = 16.0;
+    cfg.seed = 3;
+    cfg.tick = Duration::from_millis(2);
+    cfg.poly = PolystyreneConfig::builder().replication(3).build();
+    cfg.round_timeout = Duration::from_secs(5);
+    let shape = shapes::torus_grid(4, 4, 1.0);
+    let mut substrate = build_substrate(
+        SubstrateKind::Cluster,
+        Torus2::new(4.0, 4.0),
+        shape.clone(),
+        &cfg,
+    );
+    let scenario: Scenario<[f64; 2]> = Scenario::new(10);
+    let mut load = TrafficLoad::new(shape, 8, 0.8, 6, 3);
+    let trace = run_experiment_with_traffic(substrate.as_mut(), &scenario, Some(&mut load));
+    let offered: u64 = trace.observations.iter().map(|o| o.traffic.offered).sum();
+    let delivered: u64 = trace.observations.iter().map(|o| o.traffic.delivered).sum();
+    let dropped: u64 = trace.observations.iter().map(|o| o.traffic.dropped).sum();
+    assert!(offered >= 8 * 9, "wall-clock rounds lag offers: {offered}");
+    assert!(delivered + dropped <= offered);
+    assert!(
+        delivered >= offered.saturating_sub(8 + dropped) * 4 / 5,
+        "live availability collapsed: {delivered}/{offered} ({dropped} dropped)"
+    );
 }
 
 #[test]

@@ -101,6 +101,7 @@ impl NetSimConfig {
             rps_shuffle_len: self.rps_shuffle_len,
             heartbeat_timeout_ticks: u32::MAX,
             migration_timeout_ticks: self.migration_timeout_rounds,
+            query_timeout_ticks: ProtocolConfig::default().query_timeout_ticks,
         }
     }
 }

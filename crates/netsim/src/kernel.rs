@@ -43,9 +43,11 @@ use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::pool::NodePool;
 use polystyrene_protocol::{
-    Effect, EffectSink, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, RoundCost, Wire,
+    Channel, Effect, EffectSink, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, RoundCost,
+    Wire,
 };
 use polystyrene_space::MetricSpace;
+use polystyrene_topology::TopologyConstruction;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -54,6 +56,8 @@ use std::collections::{BTreeSet, VecDeque};
 /// Seed offset separating the network model's entropy stream from the
 /// kernel's, so link faults and protocol randomness never interleave.
 const NET_SEED_TAG: u64 = 0x6e65_7473_696d; // "netsim"
+
+use polystyrene_protocol::TRAFFIC_SEED_TAG;
 
 /// A queued future event. The tick it fires at and its position within
 /// that tick are carried by the [`CalendarQueue`] (bucket + FIFO slot),
@@ -124,6 +128,18 @@ pub struct NetSim<S: MetricSpace> {
     nodes: NodePool<S>,
     original_points: Vec<DataPoint<S::Point>>,
     net: Box<dyn NetworkModel>,
+    /// The network model application-plane queries ride. A separate
+    /// fault/jitter stream from `net`, so query traffic never perturbs
+    /// the protocol plane's draw order — golden histories stay
+    /// byte-identical with traffic enabled.
+    traffic_net: Box<dyn NetworkModel>,
+    /// Gateway-selection stream for [`Self::offer_traffic`].
+    traffic_rng: StdRng,
+    /// Query ids, unique per simulator.
+    next_qid: u64,
+    /// Query messages currently in transit — kept out of `in_flight`,
+    /// which feeds the pinned protocol metric history.
+    traffic_in_flight: usize,
     /// Crashes the population's failure knowledge has caught up with.
     detected: BTreeSet<NodeId>,
     queue: CalendarQueue<Pending<S::Point>>,
@@ -231,6 +247,13 @@ impl<S: MetricSpace> NetSim<S> {
             nodes,
             original_points,
             net,
+            traffic_net: Box::new(FaultyNetwork::new(
+                config.link,
+                config.seed ^ TRAFFIC_SEED_TAG,
+            )),
+            traffic_rng: StdRng::seed_from_u64(config.seed ^ TRAFFIC_SEED_TAG),
+            next_qid: 0,
+            traffic_in_flight: 0,
             detected: BTreeSet::new(),
             queue: CalendarQueue::new(),
             now: 0,
@@ -304,6 +327,94 @@ impl<S: MetricSpace> NetSim<S> {
     /// custom model mid-run).
     pub fn network_mut(&mut self) -> &mut dyn NetworkModel {
         self.net.as_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic plane — application queries over the live fabric
+    // ------------------------------------------------------------------
+
+    /// Mutable access to the traffic plane's network model. Partitions
+    /// installed on the protocol fabric via [`Self::network_mut`] do not
+    /// automatically apply here; [`Self::set_partition`] /
+    /// [`Self::heal`] cut and restore both planes at once.
+    pub fn traffic_network_mut(&mut self) -> &mut dyn NetworkModel {
+        self.traffic_net.as_mut()
+    }
+
+    /// Installs a partition on both the protocol and traffic fabrics.
+    pub fn set_partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.net.set_partition(groups);
+        self.traffic_net.set_partition(groups);
+    }
+
+    /// Heals both fabrics.
+    pub fn heal(&mut self) {
+        self.net.heal();
+        self.traffic_net.heal();
+    }
+
+    /// Query messages currently in transit on the traffic fabric.
+    pub fn traffic_in_flight(&self) -> usize {
+        self.traffic_in_flight
+    }
+
+    /// A node's current T-Man view entries, if alive — the hearsay the
+    /// traffic plane forwards over and `routing::ViewOracle` is built
+    /// from.
+    pub fn view_entries_of(&self, id: NodeId) -> Option<&[Descriptor<S::Point>]> {
+        self.nodes.get(id).map(|c| c.tman.view_entries())
+    }
+
+    /// Injects one query per key at a uniformly random alive gateway.
+    /// Each query is scheduled as a self-addressed delivery at the
+    /// current instant — the start of the next [`Self::step`] — and then
+    /// forwards hop-by-hop through node views as real messages on the
+    /// traffic fabric. Gateway choice and query transit draw from
+    /// dedicated streams, so enabling traffic leaves the protocol
+    /// history byte-identical.
+    pub fn offer_traffic(&mut self, keys: &[S::Point], ttl: u32) {
+        if self.nodes.alive_count() == 0 {
+            return;
+        }
+        for key in keys {
+            let n = self.nodes.alive_count();
+            let gateway = self.nodes.alive_ids()[self.traffic_rng.random_range(0..n)];
+            self.next_qid += 1;
+            let wire = Wire::Query {
+                qid: self.next_qid,
+                origin: gateway,
+                key: key.clone(),
+                ttl,
+                hops: 0,
+            };
+            self.schedule(
+                self.now,
+                Pending::Deliver {
+                    from: gateway,
+                    to: gateway,
+                    wire,
+                },
+            );
+        }
+    }
+
+    /// Drains per-node traffic accounting accumulated since the last
+    /// call: returns `(offered, delivered, dropped)` totals and appends
+    /// each resolved query's `(hops, latency)` sample to `samples`.
+    /// Node clocks advance once per activation here, so latency is in
+    /// *rounds* and an unanswered query expires as dropped after
+    /// `query_timeout_ticks` rounds.
+    pub fn drain_traffic(&mut self, samples: &mut Vec<(u32, u64)>) -> (u64, u64, u64) {
+        let mut offered = 0;
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for node in self.nodes.slots_mut().iter_mut().flatten() {
+            let (o, de, dr) = node.take_traffic(samples);
+            offered += o;
+            delivered += de;
+            dropped += dr;
+        }
+        (offered, delivered, dropped)
     }
 
     // ------------------------------------------------------------------
@@ -474,8 +585,12 @@ impl<S: MetricSpace> NetSim<S> {
     }
 
     fn schedule(&mut self, at: u64, what: Pending<S::Point>) {
-        if matches!(what, Pending::Deliver { .. }) {
-            self.in_flight += 1;
+        if let Pending::Deliver { wire, .. } = &what {
+            if wire.channel() == Channel::Query {
+                self.traffic_in_flight += 1;
+            } else {
+                self.in_flight += 1;
+            }
         }
         self.queue.push(at, what);
     }
@@ -517,6 +632,21 @@ impl<S: MetricSpace> NetSim<S> {
                     pending.extend(self.sink.drain().map(|e| (at, e)));
                 }
                 Effect::Send { to, wire } => {
+                    if wire.channel() == Channel::Query {
+                        // Application traffic rides its own fabric and is
+                        // metered node-side (a query dropped here simply
+                        // never resolves and expires at its origin): the
+                        // protocol plane's counters, cost tally and rng
+                        // streams are untouched.
+                        match self.traffic_net.route(at, to, Channel::Query, self.now) {
+                            Fate::Drop => self.sink.recycle_wire(wire),
+                            Fate::Deliver { delay } => {
+                                let deliver_at = self.now + delay;
+                                self.schedule(deliver_at, Pending::Deliver { from: at, to, wire });
+                            }
+                        }
+                        continue;
+                    }
                     self.sent_messages += 1;
                     self.cost.charge_wire(&self.config.cost, &wire);
                     match self.net.route(at, to, wire.channel(), self.now) {
@@ -574,7 +704,11 @@ impl<S: MetricSpace> NetSim<S> {
                     }
                 }
                 Pending::Deliver { from, to, wire } => {
-                    self.in_flight -= 1;
+                    if wire.channel() == Channel::Query {
+                        self.traffic_in_flight -= 1;
+                    } else {
+                        self.in_flight -= 1;
+                    }
                     let delivered = {
                         let Self {
                             nodes, rng, sink, ..
@@ -912,5 +1046,84 @@ mod tests {
     #[should_panic(expected = "empty network")]
     fn empty_shape_rejected() {
         let _ = NetSim::new(Torus2::new(4.0, 4.0), Vec::new(), NetSimConfig::default());
+    }
+
+    #[test]
+    fn traffic_leaves_protocol_history_untouched() {
+        // The byte-identity contract behind the golden fingerprints: a
+        // run serving query traffic every round must replay the exact
+        // protocol history of a quiet run — same seeds, same lossy link.
+        let lossy = LinkProfile {
+            latency: 3,
+            jitter: 2,
+            loss: 0.05,
+        };
+        let mut quiet = tiny_sim(7, lossy);
+        let mut loaded = tiny_sim(7, lossy);
+        let keys: Vec<[f64; 2]> = (0..8).map(|i| [i as f64 * 2.0 + 0.5, 1.5]).collect();
+        let mut samples = Vec::new();
+        for _ in 0..8 {
+            quiet.step();
+            loaded.offer_traffic(&keys, 32);
+            loaded.step();
+            loaded.drain_traffic(&mut samples);
+        }
+        assert_eq!(quiet.history(), loaded.history());
+        assert_eq!(quiet.compute_metrics(), loaded.compute_metrics());
+    }
+
+    #[test]
+    fn queries_resolve_over_a_converged_fabric() {
+        let mut sim = tiny_sim(11, LinkProfile::ideal());
+        sim.run(12);
+        let keys: Vec<[f64; 2]> = (0..16).map(|i| [i as f64 + 0.5, 1.5]).collect();
+        let mut samples = Vec::new();
+        let (mut offered, mut delivered) = (0, 0);
+        for _ in 0..12 {
+            sim.offer_traffic(&keys, 32);
+            sim.step();
+            let (o, d, _) = sim.drain_traffic(&mut samples);
+            offered += o;
+            delivered += d;
+        }
+        assert_eq!(offered, 16 * 12, "every query reaches a live gateway");
+        assert!(
+            delivered as f64 >= 0.99 * offered as f64,
+            "converged fabric must serve queries: {delivered}/{offered}"
+        );
+        assert_eq!(samples.len() as u64, delivered);
+        assert!(
+            samples.iter().all(|&(hops, _)| hops <= 32),
+            "hop counts stay within the ttl"
+        );
+    }
+
+    #[test]
+    fn partitioned_traffic_expires_as_dropped() {
+        let mut sim = tiny_sim(12, LinkProfile::ideal());
+        sim.run(10);
+        // Cut both planes down the middle, then offer traffic: queries
+        // whose greedy path crosses the cut vanish on the traffic fabric
+        // and expire at their origins as drops.
+        let (left, right): (Vec<NodeId>, Vec<NodeId>) =
+            sim.alive_ids().iter().partition(|id| id.index() % 16 < 8);
+        sim.set_partition(&[left, right]);
+        let keys: Vec<[f64; 2]> = (0..16).map(|i| [i as f64 + 0.5, 1.5]).collect();
+        let mut samples = Vec::new();
+        let (mut offered, mut delivered, mut dropped) = (0, 0, 0);
+        // Enough rounds past the query timeout for expiries to land.
+        for _ in 0..16 {
+            sim.offer_traffic(&keys, 32);
+            sim.step();
+            let (o, d, dr) = sim.drain_traffic(&mut samples);
+            offered += o;
+            delivered += d;
+            dropped += dr;
+        }
+        assert!(dropped > 0, "cross-cut queries must expire as dropped");
+        assert!(
+            delivered + dropped <= offered,
+            "conservation: {delivered} + {dropped} vs {offered}"
+        );
     }
 }

@@ -264,6 +264,7 @@ fn channel_tag(channel: Channel) -> u8 {
         Channel::Migration => 2,
         Channel::Backup => 3,
         Channel::Heartbeat => 4,
+        Channel::Query => 5,
     }
 }
 
@@ -274,6 +275,7 @@ fn channel_from_tag(tag: u8) -> Result<Channel, CodecError> {
         2 => Channel::Migration,
         3 => Channel::Backup,
         4 => Channel::Heartbeat,
+        5 => Channel::Query,
         tag => {
             return Err(CodecError::BadTag {
                 what: "Channel",
@@ -345,6 +347,26 @@ fn put_wire<P: PointCodec>(out: &mut Vec<u8>, wire: &Wire<P>) {
             put_u64(out, *removed_ids as u64);
         }
         Wire::Heartbeat => out.push(8),
+        Wire::Query {
+            qid,
+            origin,
+            key,
+            ttl,
+            hops,
+        } => {
+            out.push(9);
+            put_u64(out, *qid);
+            put_u64(out, origin.as_u64());
+            key.encode_point(out);
+            put_u32(out, *ttl);
+            put_u32(out, *hops);
+        }
+        Wire::QueryReply { qid, hops, pos } => {
+            out.push(10);
+            put_u64(out, *qid);
+            put_u32(out, *hops);
+            pos.encode_point(out);
+        }
     }
 }
 
@@ -383,6 +405,18 @@ fn get_wire<P: PointCodec>(r: &mut Reader<'_>) -> Result<Wire<P>, CodecError> {
             removed_ids: r.u64()? as usize,
         },
         8 => Wire::Heartbeat,
+        9 => Wire::Query {
+            qid: r.u64()?,
+            origin: NodeId::new(r.u64()?),
+            key: P::decode_point(r)?,
+            ttl: r.u32()?,
+            hops: r.u32()?,
+        },
+        10 => Wire::QueryReply {
+            qid: r.u64()?,
+            hops: r.u32()?,
+            pos: P::decode_point(r)?,
+        },
         tag => return Err(CodecError::BadTag { what: "Wire", tag }),
     })
 }
@@ -625,6 +659,31 @@ mod tests {
         assert_eq!(buf, encode_effect(&effect));
         assert_eq!(decode_effect::<[f64; 2]>(&buf).unwrap(), effect);
         assert_eq!(buf.capacity(), cap, "reuse must keep the allocation");
+    }
+
+    #[test]
+    fn query_variants_roundtrip_through_a_dirty_buffer() {
+        let query: Wire<[f64; 2]> = Wire::Query {
+            qid: 0xFEED_BEEF,
+            origin: NodeId::new(17),
+            key: [3.25, 7.5],
+            ttl: 64,
+            hops: 5,
+        };
+        let reply: Wire<[f64; 2]> = Wire::QueryReply {
+            qid: 0xFEED_BEEF,
+            hops: 9,
+            pos: [1.0, 2.0],
+        };
+        let mut buf = vec![0x55; 300]; // dirty and oversized
+        for wire in [&query, &reply] {
+            encode_wire_into(&mut buf, wire);
+            assert_eq!(buf, encode_wire(wire));
+            assert_eq!(&decode_wire::<[f64; 2]>(&buf).unwrap(), wire);
+            for cut in 0..buf.len() {
+                assert!(decode_wire::<[f64; 2]>(&buf[..cut]).is_err());
+            }
+        }
     }
 
     #[test]

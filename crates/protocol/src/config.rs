@@ -27,6 +27,11 @@ pub struct ProtocolConfig {
     /// Ticks an initiated migration may stay unanswered before the
     /// initiator gives up and unlocks (asynchronous drivers only).
     pub migration_timeout_ticks: u32,
+    /// Ticks a gateway waits for a [`crate::wire::Wire::QueryReply`]
+    /// before writing the query off as dropped-in-hole. Expiry is lazy
+    /// (checked when traffic counters are drained), so the timeout never
+    /// touches the protocol phases or their entropy.
+    pub query_timeout_ticks: u32,
 }
 
 impl Default for ProtocolConfig {
@@ -38,6 +43,7 @@ impl Default for ProtocolConfig {
             rps_shuffle_len: 8,
             heartbeat_timeout_ticks: 4,
             migration_timeout_ticks: 3,
+            query_timeout_ticks: 8,
         }
     }
 }
@@ -59,6 +65,10 @@ impl ProtocolConfig {
         assert!(
             self.migration_timeout_ticks > 0,
             "migration timeout must be at least one tick"
+        );
+        assert!(
+            self.query_timeout_ticks > 0,
+            "query timeout must be at least one tick"
         );
         // rps_view_cap / rps_shuffle_len are validated by PeerSampling::new.
     }

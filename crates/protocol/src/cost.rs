@@ -60,11 +60,16 @@ impl CostModel {
             Wire::MigrationReply { pulled, pushed, .. } => {
                 ((pulled + pushed) * self.units_per_point) as u64
             }
+            // Application-plane queries are load, not protocol overhead:
+            // the paper's Fig. 7b meters the maintenance protocols only,
+            // so traffic must not move the cost baselines.
             Wire::RpsRequest { .. }
             | Wire::RpsReply { .. }
             | Wire::MigrationRequest { .. }
             | Wire::MigrationAck { .. }
-            | Wire::Heartbeat => 0,
+            | Wire::Heartbeat
+            | Wire::Query { .. }
+            | Wire::QueryReply { .. } => 0,
         }
     }
 }

@@ -82,6 +82,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Seed offset separating the application traffic plane's entropy —
+/// gateway selection and query-link faults — from every protocol-plane
+/// stream. Shared by all substrates so that enabling query traffic on
+/// any of them leaves the protocol history (and the pinned golden
+/// fingerprints) byte-identical.
+pub const TRAFFIC_SEED_TAG: u64 = 0x0074_7261_6666_6963; // "traffic"
+
 pub mod codec;
 pub mod config;
 pub mod cost;
@@ -98,7 +105,7 @@ pub mod prelude {
     pub use crate::cost::{CostModel, RoundCost};
     pub use crate::net::{Fate, FaultyNetwork, LinkProfile, NetworkModel};
     pub use crate::node::{Phase, ProtocolNode};
-    pub use crate::observe::{reference_homogeneity, RoundObservation};
+    pub use crate::observe::{reference_homogeneity, RoundObservation, TrafficStats};
     pub use crate::pool::{NodePool, SlotRef};
     pub use crate::scenario::{
         sample_bootstrap_contacts, select_region_victims, select_victims, PaperScenario, Scenario,

@@ -135,6 +135,16 @@ pub struct ProtocolNode<S: MetricSpace> {
     /// Migration-split points handed out but not yet acknowledged, by
     /// initiator (see [`ParkedHandout`]).
     handouts: BTreeMap<NodeId, ParkedHandout<S::Point>>,
+    /// Queries this node gatewayed that still await a
+    /// [`Wire::QueryReply`], by query id → local clock at issue.
+    pending_queries: BTreeMap<u64, u64>,
+    /// Queries issued through this gateway since the last drain.
+    traffic_offered: u64,
+    /// Query completions recorded since the last drain, as
+    /// `(hops, latency ticks)` pairs.
+    traffic_samples: Vec<(u32, u64)>,
+    /// Pending queries written off by lazy timeout since the last drain.
+    traffic_dropped: u64,
 }
 
 impl<S: MetricSpace> ProtocolNode<S> {
@@ -170,6 +180,10 @@ impl<S: MetricSpace> ProtocolNode<S> {
             pending_migration: None,
             migration_seq: 0,
             handouts: BTreeMap::new(),
+            pending_queries: BTreeMap::new(),
+            traffic_offered: 0,
+            traffic_samples: Vec::new(),
+            traffic_dropped: 0,
         }
     }
 
@@ -273,6 +287,62 @@ impl<S: MetricSpace> ProtocolNode<S> {
             .filter(|&(_, &seen)| self.clock.saturating_sub(seen) > timeout)
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic plane
+    // ------------------------------------------------------------------
+
+    /// Queries gatewayed through this node still awaiting a reply.
+    pub fn pending_query_count(&self) -> usize {
+        self.pending_queries.len()
+    }
+
+    /// Drains the gateway-side traffic counters accumulated since the
+    /// last call: appends the `(hops, latency ticks)` completion samples
+    /// to `samples` and returns `(offered, delivered, dropped)`.
+    ///
+    /// Expiry is lazy: pending queries older than
+    /// [`ProtocolConfig::query_timeout_ticks`] are written off as dropped
+    /// here, at observation time, so the timeout never touches the
+    /// protocol phases or their entropy.
+    pub fn take_traffic(&mut self, samples: &mut Vec<(u32, u64)>) -> (u64, u64, u64) {
+        let timeout = u64::from(self.config.query_timeout_ticks);
+        let clock = self.clock;
+        let before = self.pending_queries.len();
+        self.pending_queries
+            .retain(|_, &mut issued| clock.saturating_sub(issued) <= timeout);
+        self.traffic_dropped += (before - self.pending_queries.len()) as u64;
+        let delivered = self.traffic_samples.len() as u64;
+        samples.append(&mut self.traffic_samples);
+        let offered = std::mem::take(&mut self.traffic_offered);
+        let dropped = std::mem::take(&mut self.traffic_dropped);
+        (offered, delivered, dropped)
+    }
+
+    /// Writes every still-pending query off as dropped right now — for
+    /// atomic (cycle) drivers, whose exchanges resolve within the round
+    /// they start in: a query still unanswered at drain time lost a hop
+    /// to a stale view entry and can never complete later.
+    pub fn expire_all_pending_queries(&mut self) {
+        self.traffic_dropped += self.pending_queries.len() as u64;
+        self.pending_queries.clear();
+    }
+
+    /// The view entry strictly closer to `key` than this node itself —
+    /// the next hop of greedy query forwarding. Deterministic (pure
+    /// argmin over the T-Man view, no entropy) and strictly improving,
+    /// so routes terminate without a visited set.
+    fn closer_view_entry(&self, key: &S::Point) -> Option<NodeId> {
+        let own = self.space.distance(&self.poly.pos, key);
+        let mut best: Option<(NodeId, f64)> = None;
+        for entry in self.tman.view_entries() {
+            let d = self.space.distance(&entry.pos, key);
+            if d < own && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((entry.id, d));
+            }
+        }
+        best.map(|(id, _)| id)
     }
 
     // ------------------------------------------------------------------
@@ -668,9 +738,9 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     },
                 });
             }
-            // Backups and heartbeats are fire-and-forget: no probe is ever
-            // issued for them, so there is nothing to open.
-            Channel::Backup | Channel::Heartbeat => {}
+            // Backups, heartbeats and queries are fire-and-forget: no
+            // probe is ever issued for them, so there is nothing to open.
+            Channel::Backup | Channel::Heartbeat | Channel::Query => {}
         }
     }
 
@@ -694,10 +764,10 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     self.poly.absorb_guests(handout.points);
                 }
             }
-            Channel::Backup | Channel::Heartbeat => {
-                // Lost replica / beacon: the heartbeat detector will
-                // notice the silence and the next backup pass replaces
-                // the target.
+            Channel::Backup | Channel::Heartbeat | Channel::Query => {
+                // Lost replica / beacon / query hop: the heartbeat
+                // detector (or the gateway's query timeout) notices the
+                // silence; nothing to unwind here.
             }
         }
     }
@@ -896,6 +966,59 @@ impl<S: MetricSpace> ProtocolNode<S> {
             Wire::BackupPush { points, .. } => {
                 if let Some(replaced) = self.poly.store_ghosts(from, points) {
                     sink.put_points(replaced);
+                }
+            }
+            Wire::Query {
+                qid,
+                origin,
+                key,
+                ttl,
+                hops,
+            } => {
+                // A query arriving at its own origin with zero hops is
+                // the gateway injection: register it before routing.
+                if origin == self.id && hops == 0 {
+                    self.traffic_offered += 1;
+                    self.pending_queries.insert(qid, self.clock);
+                }
+                match self.closer_view_entry(&key) {
+                    Some(next) if hops < ttl => {
+                        sink.push(Effect::Send {
+                            to: next,
+                            wire: Wire::Query {
+                                qid,
+                                origin,
+                                key,
+                                ttl,
+                                hops: hops + 1,
+                            },
+                        });
+                    }
+                    // Terminal: nobody in the view is closer (greedy
+                    // minimum — ideally the key's true closest node) or
+                    // the budget ran out. Answer the gateway.
+                    _ => {
+                        if origin == self.id {
+                            if self.pending_queries.remove(&qid).is_some() {
+                                self.traffic_samples.push((hops, 0));
+                            }
+                        } else {
+                            sink.push(Effect::Send {
+                                to: origin,
+                                wire: Wire::QueryReply {
+                                    qid,
+                                    hops,
+                                    pos: self.poly.pos.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+            Wire::QueryReply { qid, hops, .. } => {
+                if let Some(issued) = self.pending_queries.remove(&qid) {
+                    self.traffic_samples
+                        .push((hops, self.clock.saturating_sub(issued)));
                 }
             }
         }
@@ -1305,6 +1428,171 @@ mod tests {
         assert!(a.suspects().contains(&NodeId::new(5)));
         assert!(a.poly.ghosts.is_empty());
         assert!(a.poly.guests.iter().any(|g| g.id == PointId::new(50)));
+    }
+
+    /// Injects a query at `node` through its own gateway, as a driver
+    /// would: `Event::Message` from the node itself with zero hops.
+    fn inject_query(
+        node: &mut ProtocolNode<Euclidean2>,
+        qid: u64,
+        key: [f64; 2],
+        ttl: u32,
+        rng: &mut StdRng,
+    ) -> Vec<Effect<[f64; 2]>> {
+        let origin = node.id();
+        node.on_event(
+            Event::Message {
+                from: origin,
+                wire: Wire::Query {
+                    qid,
+                    origin,
+                    key,
+                    ttl,
+                    hops: 0,
+                },
+            },
+            rng,
+        )
+    }
+
+    #[test]
+    fn query_with_no_closer_neighbor_completes_at_the_gateway() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // a's only view entry (node 1 at x=1) is farther from the key
+        // than a itself: the query terminates locally, zero hops.
+        let mut a = founder(0, 0.0, vec![desc(1, 1.0, 0.0)]);
+        let effects = inject_query(&mut a, 7, [-0.4, 0.0], 8, &mut rng);
+        assert!(effects.is_empty(), "local completion sends nothing");
+        let mut samples = Vec::new();
+        let (offered, delivered, dropped) = a.take_traffic(&mut samples);
+        assert_eq!((offered, delivered, dropped), (1, 1, 0));
+        assert_eq!(samples, vec![(0, 0)]);
+        assert_eq!(a.pending_query_count(), 0);
+    }
+
+    #[test]
+    fn query_forwards_to_the_strictly_closest_view_entry() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut a = founder(0, 0.0, vec![desc(1, 1.0, 0.0), desc(2, 3.0, 0.0)]);
+        let effects = inject_query(&mut a, 9, [3.1, 0.0], 8, &mut rng);
+        match effects.as_slice() {
+            [Effect::Send {
+                to,
+                wire: Wire::Query { qid, hops, .. },
+            }] => {
+                assert_eq!(
+                    *to,
+                    NodeId::new(2),
+                    "argmin of the view, not just any closer"
+                );
+                assert_eq!(*qid, 9);
+                assert_eq!(*hops, 1);
+            }
+            other => panic!("expected a forwarded query, got {other:?}"),
+        }
+        assert_eq!(a.pending_query_count(), 1);
+        // The remote terminus answers; the gateway records the completion.
+        let _ = a.on_event(
+            Event::Message {
+                from: NodeId::new(2),
+                wire: Wire::QueryReply {
+                    qid: 9,
+                    hops: 1,
+                    pos: [3.0, 0.0],
+                },
+            },
+            &mut rng,
+        );
+        let mut samples = Vec::new();
+        let (offered, delivered, dropped) = a.take_traffic(&mut samples);
+        assert_eq!((offered, delivered, dropped), (1, 1, 0));
+        assert_eq!(samples, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn non_origin_terminus_replies_to_the_gateway() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut b = founder(1, 1.0, vec![desc(5, 9.0, 0.0)]);
+        // b is the closest to the key among what it can see: terminal.
+        let effects = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::Query {
+                    qid: 4,
+                    origin: NodeId::new(0),
+                    key: [1.2, 0.0],
+                    ttl: 8,
+                    hops: 3,
+                },
+            },
+            &mut rng,
+        );
+        match effects.as_slice() {
+            [Effect::Send {
+                to,
+                wire: Wire::QueryReply { qid, hops, pos },
+            }] => {
+                assert_eq!(*to, NodeId::new(0));
+                assert_eq!(*qid, 4);
+                assert_eq!(*hops, 3);
+                assert_eq!(*pos, [1.0, 0.0]);
+            }
+            other => panic!("expected a reply to the gateway, got {other:?}"),
+        }
+        // Relaying leaves no gateway state behind on the terminus.
+        assert_eq!(b.pending_query_count(), 0);
+    }
+
+    #[test]
+    fn exhausted_ttl_terminates_at_the_current_hop() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut b = founder(1, 1.0, vec![desc(2, 3.0, 0.0)]);
+        // Node 2 is strictly closer to the key, but the budget is spent.
+        let effects = b.on_event(
+            Event::Message {
+                from: NodeId::new(0),
+                wire: Wire::Query {
+                    qid: 5,
+                    origin: NodeId::new(0),
+                    key: [3.0, 0.0],
+                    ttl: 2,
+                    hops: 2,
+                },
+            },
+            &mut rng,
+        );
+        assert!(
+            matches!(
+                effects.as_slice(),
+                [Effect::Send {
+                    wire: Wire::QueryReply { .. },
+                    ..
+                }]
+            ),
+            "a spent budget must answer from where the query stands"
+        );
+    }
+
+    #[test]
+    fn unanswered_query_is_written_off_at_drain_after_the_timeout() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut a = founder(0, 0.0, vec![desc(2, 3.0, 0.0)]);
+        let effects = inject_query(&mut a, 11, [3.0, 0.0], 8, &mut rng);
+        assert_eq!(effects.len(), 1, "forwarded into the (lossy) world");
+        let mut samples = Vec::new();
+        // Drains before the timeout leave the query pending…
+        let (offered, delivered, dropped) = a.take_traffic(&mut samples);
+        assert_eq!((offered, delivered, dropped), (1, 0, 0));
+        assert_eq!(a.pending_query_count(), 1);
+        // …and once the gateway's clock passes the timeout, the next
+        // drain writes it off as dropped-in-hole.
+        for _ in 0..=a.config().query_timeout_ticks {
+            a.advance_clock();
+        }
+        let (offered, delivered, dropped) = a.take_traffic(&mut samples);
+        assert_eq!((offered, delivered, dropped), (0, 0, 1));
+        assert!(samples.is_empty());
+        assert_eq!(a.pending_query_count(), 0);
     }
 
     #[test]

@@ -11,6 +11,91 @@
 //! kernel's drop counters) stay on the substrate-internal history types;
 //! anything that crosses the experiment plane crosses it as this record.
 
+/// Per-round application-traffic telemetry: what happened to the
+/// queries a workload generator offered this round.
+///
+/// All-zero ([`TrafficStats::default`]) on substrates or rounds without
+/// traffic, so the scenario plane's records are unchanged when no load
+/// is offered. Offered/delivered/dropped are counted at the *gateway*
+/// nodes (the node a query was issued through records its completion),
+/// and a round's delivered count may answer queries offered in an
+/// earlier round on substrates with real message latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Queries issued through gateways this round.
+    pub offered: u64,
+    /// Query replies received by their gateways this round.
+    pub delivered: u64,
+    /// Queries written off this round: their gateway waited longer than
+    /// the query timeout — the signature of a route into a hole.
+    pub dropped: u64,
+    /// Mean hops over the queries completed this round.
+    pub mean_hops: f64,
+    /// Median query latency in protocol ticks over this round's
+    /// completions (0 when nothing completed).
+    pub latency_p50: f64,
+    /// 99th-percentile query latency in protocol ticks over this
+    /// round's completions.
+    pub latency_p99: f64,
+}
+
+impl TrafficStats {
+    /// Builds a record from raw per-query `(hops, latency_ticks)`
+    /// samples as drained from the nodes, sorting `samples` in place by
+    /// latency to take the percentiles. `delivered` is passed separately
+    /// because a wall-clock substrate may expose only a bounded recent
+    /// sample window alongside exact counters.
+    pub fn from_samples(
+        offered: u64,
+        delivered: u64,
+        dropped: u64,
+        samples: &mut [(u32, u64)],
+    ) -> Self {
+        let mut stats = TrafficStats {
+            offered,
+            delivered,
+            dropped,
+            ..TrafficStats::default()
+        };
+        if samples.is_empty() {
+            return stats;
+        }
+        samples.sort_unstable_by_key(|&(_, latency)| latency);
+        stats.mean_hops =
+            samples.iter().map(|&(h, _)| f64::from(h)).sum::<f64>() / samples.len() as f64;
+        let at = |q: f64| ((samples.len() - 1) as f64 * q).round() as usize;
+        stats.latency_p50 = samples[at(0.5)].1 as f64;
+        stats.latency_p99 = samples[at(0.99)].1 as f64;
+        stats
+    }
+
+    /// Delivered fraction of the offered queries (`1.0` when none were
+    /// offered — an idle round is trivially available).
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+
+    /// Folds another round's counters into this one (percentile fields
+    /// keep the worst of the two — an aggregate bound, not a re-rank).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        let completed = self.delivered + other.delivered;
+        if completed > 0 {
+            self.mean_hops = (self.mean_hops * self.delivered as f64
+                + other.mean_hops * other.delivered as f64)
+                / completed as f64;
+        }
+        self.offered += other.offered;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.latency_p50 = self.latency_p50.max(other.latency_p50);
+        self.latency_p99 = self.latency_p99.max(other.latency_p99);
+    }
+}
+
 /// What any substrate reports after one protocol round.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RoundObservation {
@@ -42,6 +127,9 @@ pub struct RoundObservation {
     /// reshaping can be denominated in protocol progress rather than
     /// wall time.
     pub ticks: u64,
+    /// Application-traffic telemetry for the round (all-zero when no
+    /// workload is attached; see [`TrafficStats`]).
+    pub traffic: TrafficStats,
 }
 
 /// Reference homogeneity `H_A^{|N|} = 1/2 · sqrt(A / |N|)` (paper
@@ -70,6 +158,50 @@ pub fn reference_homogeneity(area: f64, nodes: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traffic_stats_availability_and_merge() {
+        let idle = TrafficStats::default();
+        assert_eq!(idle.availability(), 1.0);
+        let mut a = TrafficStats {
+            offered: 10,
+            delivered: 8,
+            dropped: 1,
+            mean_hops: 4.0,
+            latency_p50: 1.0,
+            latency_p99: 3.0,
+        };
+        let b = TrafficStats {
+            offered: 10,
+            delivered: 2,
+            dropped: 5,
+            mean_hops: 9.0,
+            latency_p50: 2.0,
+            latency_p99: 8.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.offered, 20);
+        assert_eq!(a.delivered, 10);
+        assert_eq!(a.dropped, 6);
+        assert!((a.availability() - 0.5).abs() < 1e-12);
+        assert!((a.mean_hops - 5.0).abs() < 1e-12);
+        assert_eq!(a.latency_p99, 8.0);
+    }
+
+    #[test]
+    fn traffic_stats_from_samples_ranks_latencies() {
+        let mut samples = vec![(4, 7), (2, 1), (6, 3)];
+        let stats = TrafficStats::from_samples(5, 3, 1, &mut samples);
+        assert_eq!(stats.offered, 5);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(stats.dropped, 1);
+        assert!((stats.mean_hops - 4.0).abs() < 1e-12);
+        assert_eq!(stats.latency_p50, 3.0);
+        assert_eq!(stats.latency_p99, 7.0);
+        let empty = TrafficStats::from_samples(2, 0, 2, &mut []);
+        assert_eq!(empty.latency_p99, 0.0);
+        assert!((empty.availability() - 0.0).abs() < 1e-12);
+    }
 
     #[test]
     fn reference_values_match_paper() {

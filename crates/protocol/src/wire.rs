@@ -18,6 +18,8 @@ pub enum Channel {
     Backup,
     /// Liveness beacons.
     Heartbeat,
+    /// Application-plane key lookups (the traffic plane).
+    Query,
 }
 
 /// Everything that can cross the network between two protocol nodes.
@@ -122,6 +124,36 @@ pub enum Wire<P> {
     },
     /// Liveness beacon along backup relationships.
     Heartbeat,
+    /// Application-plane key lookup hopping greedily toward `key`: each
+    /// node forwards to the view entry strictly closest to the key, so
+    /// the route is served entirely from local knowledge — exactly what
+    /// degrades when the overlay loses its shape. Handling a query draws
+    /// **no protocol entropy** (forwarding is a deterministic argmin over
+    /// the view), so enabling traffic cannot shift a single rng draw of
+    /// the fingerprint-pinned protocol schedules.
+    Query {
+        /// Query generation id, unique per origin substrate.
+        qid: u64,
+        /// The gateway node that issued the lookup and awaits the reply.
+        origin: NodeId,
+        /// The key's position in the data space.
+        key: P,
+        /// Remaining hop budget.
+        ttl: u32,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Terminal answer to a [`Wire::Query`], sent straight back to the
+    /// origin by the node whose view has no entry closer to the key.
+    QueryReply {
+        /// The answered query's generation id.
+        qid: u64,
+        /// Hops the query took to reach the terminal node.
+        hops: u32,
+        /// The terminal node's position (the resolved "responsible"
+        /// location for the key).
+        pos: P,
+    },
 }
 
 impl<P> Wire<P> {
@@ -135,6 +167,7 @@ impl<P> Wire<P> {
             | Wire::MigrationAck { .. } => Channel::Migration,
             Wire::BackupPush { .. } => Channel::Backup,
             Wire::Heartbeat => Channel::Heartbeat,
+            Wire::Query { .. } | Wire::QueryReply { .. } => Channel::Query,
         }
     }
 
@@ -150,6 +183,8 @@ impl<P> Wire<P> {
             Wire::MigrationAck { .. } => "migration_ack",
             Wire::BackupPush { .. } => "backup_push",
             Wire::Heartbeat => "heartbeat",
+            Wire::Query { .. } => "query",
+            Wire::QueryReply { .. } => "query_reply",
         }
     }
 }
@@ -333,7 +368,10 @@ impl<P> BufPool<P> {
             Wire::MigrationRequest { guests, .. } => self.put_points(guests),
             Wire::MigrationReply { points, .. } => self.put_points(points),
             Wire::BackupPush { points, .. } => self.put_points(points),
-            Wire::MigrationAck { .. } | Wire::Heartbeat => {}
+            Wire::MigrationAck { .. }
+            | Wire::Heartbeat
+            | Wire::Query { .. }
+            | Wire::QueryReply { .. } => {}
         }
     }
 
@@ -564,6 +602,18 @@ mod tests {
                 removed_ids: 0,
             },
             Wire::Heartbeat,
+            Wire::Query {
+                qid: 9,
+                origin: NodeId::new(3),
+                key: 0.5,
+                ttl: 16,
+                hops: 2,
+            },
+            Wire::QueryReply {
+                qid: 9,
+                hops: 4,
+                pos: 0.25,
+            },
         ];
         let kinds: Vec<&str> = wires.iter().map(Wire::kind).collect();
         assert_eq!(
@@ -574,7 +624,9 @@ mod tests {
                 "migration_reply",
                 "migration_ack",
                 "backup_push",
-                "heartbeat"
+                "heartbeat",
+                "query",
+                "query_reply"
             ]
         );
         assert_eq!(wires[0].channel(), Channel::PeerSampling);
@@ -583,5 +635,7 @@ mod tests {
         assert_eq!(wires[3].channel(), Channel::Migration);
         assert_eq!(wires[4].channel(), Channel::Backup);
         assert_eq!(wires[5].channel(), Channel::Heartbeat);
+        assert_eq!(wires[6].channel(), Channel::Query);
+        assert_eq!(wires[7].channel(), Channel::Query);
     }
 }

@@ -57,6 +57,30 @@ proptest! {
         prop_assert!(pool.take_points().is_empty());
     }
 
+    /// The traffic plane's wires are heap-free: recycling a query or a
+    /// query reply must retain nothing — no pooled buffer appears, no
+    /// element capacity is pinned — whatever the payload values are.
+    #[test]
+    fn query_wires_recycle_without_retention(
+        qid in 0..u64::MAX,
+        origin in 0..10_000u64,
+        key in [-1e6..1e6f64, -1e6..1e6f64],
+        ttl in 0..64u32,
+        hops in 0..64u32,
+    ) {
+        let mut pool: BufPool<Pos> = BufPool::new();
+        pool.recycle_wire(Wire::Query {
+            qid,
+            origin: NodeId::new(origin),
+            key,
+            ttl,
+            hops,
+        });
+        pool.recycle_wire(Wire::QueryReply { qid, hops, pos: key });
+        prop_assert_eq!(pool.pooled_counts(), (0, 0, 0));
+        prop_assert_eq!(pool.pooled_elements(), (0, 0, 0));
+    }
+
     /// A payload rebuilt in a dirty-history pooled buffer encodes — via
     /// the `*_into` path over a dirty out-buffer — to exactly the bytes
     /// of the fresh-allocation encoding, and round-trips.

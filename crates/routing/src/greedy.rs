@@ -21,7 +21,11 @@ pub struct RouteResult {
     pub delivered: bool,
     /// Hops taken (edges traversed).
     pub hops: usize,
-    /// Nodes visited, in order (starts with the source).
+    /// The node the route ended at (the source itself for a dead start).
+    pub terminus: NodeId,
+    /// Nodes visited, in order (starts with the source) — recorded only
+    /// by [`greedy_route_with_path`]; empty for [`greedy_route`], which
+    /// keeps survey-scale routing free of per-route path buffers.
     pub path: Vec<NodeId>,
     /// Distance from the final node to the target position.
     pub final_distance: f64,
@@ -34,6 +38,9 @@ pub struct RouteResult {
 /// is *also* the globally closest alive node to the target (the best any
 /// routing scheme could do). A greedy minimum that is not globally
 /// closest counts as a failure — that is the signature of a torn shape.
+///
+/// The result's `path` is left empty; callers that need the visited
+/// sequence (figures, debugging) opt into [`greedy_route_with_path`].
 pub fn greedy_route<S: MetricSpace>(
     space: &S,
     oracle: &impl NeighborOracle<S::Point>,
@@ -42,14 +49,44 @@ pub fn greedy_route<S: MetricSpace>(
     ttl: usize,
     delivery_radius: f64,
 ) -> RouteResult {
-    let mut path = vec![start];
+    route_impl(space, oracle, start, target, ttl, delivery_radius, false)
+}
+
+/// [`greedy_route`] with the full visited sequence materialized in
+/// `path` — same routing decisions, plus one `Vec` per call.
+pub fn greedy_route_with_path<S: MetricSpace>(
+    space: &S,
+    oracle: &impl NeighborOracle<S::Point>,
+    start: NodeId,
+    target: &S::Point,
+    ttl: usize,
+    delivery_radius: f64,
+) -> RouteResult {
+    route_impl(space, oracle, start, target, ttl, delivery_radius, true)
+}
+
+fn route_impl<S: MetricSpace>(
+    space: &S,
+    oracle: &impl NeighborOracle<S::Point>,
+    start: NodeId,
+    target: &S::Point,
+    ttl: usize,
+    delivery_radius: f64,
+    record_path: bool,
+) -> RouteResult {
+    // The visited set is the loop guard (plateau hops may revisit
+    // otherwise); it doubles as the optional path since it is exactly
+    // the visit sequence.
+    let mut visited = vec![start];
+    let result = |delivered, hops, terminus, final_distance, visited: Vec<NodeId>| RouteResult {
+        delivered,
+        hops,
+        terminus,
+        path: if record_path { visited } else { Vec::new() },
+        final_distance,
+    };
     let Some(mut current_pos) = oracle.position(start) else {
-        return RouteResult {
-            delivered: false,
-            hops: 0,
-            path,
-            final_distance: f64::INFINITY,
-        };
+        return result(false, 0, start, f64::INFINITY, visited);
     };
     let mut current = start;
     let mut hops = 0;
@@ -57,20 +94,10 @@ pub fn greedy_route<S: MetricSpace>(
     loop {
         let current_distance = space.distance(&current_pos, target);
         if current_distance <= delivery_radius {
-            return RouteResult {
-                delivered: true,
-                hops,
-                path,
-                final_distance: current_distance,
-            };
+            return result(true, hops, current, current_distance, visited);
         }
         if hops >= ttl {
-            return RouteResult {
-                delivered: false,
-                hops,
-                path,
-                final_distance: current_distance,
-            };
+            return result(false, hops, current, current_distance, visited);
         }
         // Best unvisited neighbor. Plateau hops (equal distance) are
         // allowed — after a recovery wave several nodes may project to
@@ -79,7 +106,7 @@ pub fn greedy_route<S: MetricSpace>(
         // plateau walks finite.
         let mut best: Option<(NodeId, S::Point, f64)> = None;
         for n in oracle.neighbors(current) {
-            if path.contains(&n) {
+            if visited.contains(&n) {
                 continue; // loop guard
             }
             let Some(pos) = oracle.position(n) else {
@@ -96,7 +123,7 @@ pub fn greedy_route<S: MetricSpace>(
             Some((n, pos, _)) => {
                 current = n;
                 current_pos = pos;
-                path.push(n);
+                visited.push(n);
                 hops += 1;
             }
             None => {
@@ -109,12 +136,7 @@ pub fn greedy_route<S: MetricSpace>(
                     .map(|p| space.distance(&p, target))
                     .fold(f64::INFINITY, f64::min);
                 let delivered = current_distance <= globally_best + 1e-9;
-                return RouteResult {
-                    delivered,
-                    hops,
-                    path,
-                    final_distance: current_distance,
-                };
+                return result(delivered, hops, current, current_distance, visited);
             }
         }
     }
@@ -137,8 +159,14 @@ mod tests {
         let r = greedy_route(&Euclidean2, &oracle, NodeId::new(0), &[9.0, 0.0], 20, 0.25);
         assert!(r.delivered);
         assert_eq!(r.hops, 9);
-        assert_eq!(r.path.len(), 10);
+        assert_eq!(r.terminus, NodeId::new(9));
+        assert!(r.path.is_empty(), "path is opt-in");
         assert!(r.final_distance < 0.25);
+        let with_path =
+            greedy_route_with_path(&Euclidean2, &oracle, NodeId::new(0), &[9.0, 0.0], 20, 0.25);
+        assert_eq!(with_path.path.len(), 10);
+        assert_eq!(*with_path.path.last().unwrap(), with_path.terminus);
+        assert_eq!(with_path.hops, r.hops);
     }
 
     #[test]
@@ -177,7 +205,7 @@ mod tests {
         }
         let r = greedy_route(&Euclidean2, &oracle, NodeId::new(0), &[9.0, 0.0], 20, 0.25);
         assert!(!r.delivered, "route through the hole must fail");
-        assert_eq!(*r.path.last().unwrap(), NodeId::new(3)); // rim of the hole
+        assert_eq!(r.terminus, NodeId::new(3)); // rim of the hole
     }
 
     #[test]
@@ -187,7 +215,7 @@ mod tests {
         let oracle = line_oracle(10);
         let r = greedy_route(&Euclidean2, &oracle, NodeId::new(0), &[14.0, 0.0], 20, 0.25);
         assert!(r.delivered);
-        assert_eq!(*r.path.last().unwrap(), NodeId::new(9));
+        assert_eq!(r.terminus, NodeId::new(9));
         assert_eq!(r.final_distance, 5.0);
     }
 
@@ -199,9 +227,10 @@ mod tests {
             i.abs_diff(j) == 1 || i.abs_diff(j) == 9 // ring links incl. seam
         });
         // From 1 to 9: the short way crosses the seam via 0.
-        let r = greedy_route(&t, &oracle, NodeId::new(1), &[9.0, 0.0], 10, 0.25);
+        let r = greedy_route_with_path(&t, &oracle, NodeId::new(1), &[9.0, 0.0], 10, 0.25);
         assert!(r.delivered);
         assert_eq!(r.hops, 2);
         assert_eq!(r.path, vec![NodeId::new(1), NodeId::new(0), NodeId::new(9)]);
+        assert_eq!(r.terminus, NodeId::new(9));
     }
 }

@@ -136,7 +136,7 @@ impl KeyValueStore {
                 self.delivery_radius,
             );
             if route.delivered {
-                return Ok(*route.path.last().expect("path always contains the source"));
+                return Ok(route.terminus);
             }
         }
         Err(KvError::Unroutable)

@@ -45,9 +45,9 @@ pub mod survey;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::greedy::{greedy_route, RouteResult};
+    pub use crate::greedy::{greedy_route, greedy_route_with_path, RouteResult};
     pub use crate::kv::{KeyValueStore, KvError};
-    pub use crate::oracle::{EngineOracle, NeighborOracle, TableOracle};
+    pub use crate::oracle::{EngineOracle, NeighborOracle, TableOracle, ViewOracle};
     pub use crate::survey::{routing_survey, RoutingSurvey};
     pub use polystyrene_membership::NodeId;
 }

@@ -1,6 +1,6 @@
 //! Neighbor oracles: where the router learns each node's links.
 
-use polystyrene_membership::NodeId;
+use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_sim::engine::Engine;
 use polystyrene_space::MetricSpace;
 use std::collections::HashMap;
@@ -78,6 +78,103 @@ impl<P: Clone> NeighborOracle<P> for TableOracle<P> {
     }
 }
 
+/// An oracle answering from the *local knowledge* of each protocol node:
+/// a snapshot of every alive node's self-reported position and T-Man
+/// view, exactly the information a hop-by-hop lookup riding a live
+/// substrate would see.
+///
+/// The contrast with [`EngineOracle`] is the point: the engine oracle
+/// answers positions from ground truth and prunes dead neighbors, while
+/// this one keeps stale view entries — a link to a crashed peer dangles
+/// (known position, no outgoing links), so routes that trust a torn
+/// view dead-end at the hole instead of teleporting across it.
+pub struct ViewOracle<P> {
+    /// Alive nodes' self-reported positions.
+    alive: HashMap<NodeId, P>,
+    /// Positions the views *believe* — including entries naming dead
+    /// peers. Alive self-reports take precedence at lookup.
+    hearsay: HashMap<NodeId, P>,
+    /// Each alive node's k-closest view entries (possibly dead).
+    adjacency: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl<P: Clone> ViewOracle<P> {
+    /// Snapshots the per-node views: each item is one alive node's id,
+    /// self-reported position, and raw topology view; `k` caps the
+    /// neighbors kept per node (closest first, as routing would try
+    /// them).
+    pub fn from_views<'a, S>(
+        space: &S,
+        k: usize,
+        views: impl IntoIterator<Item = (NodeId, P, &'a [Descriptor<P>])>,
+    ) -> Self
+    where
+        S: MetricSpace<Point = P>,
+        P: 'a,
+    {
+        let mut out = Self {
+            alive: HashMap::new(),
+            hearsay: HashMap::new(),
+            adjacency: HashMap::new(),
+        };
+        for (id, pos, entries) in views {
+            let mut ranked: Vec<&Descriptor<P>> = entries.iter().collect();
+            ranked.sort_by(|a, b| {
+                space
+                    .distance(&pos, &a.pos)
+                    .total_cmp(&space.distance(&pos, &b.pos))
+            });
+            ranked.truncate(k);
+            for d in entries {
+                out.hearsay.entry(d.id).or_insert_with(|| d.pos.clone());
+            }
+            out.adjacency
+                .insert(id, ranked.into_iter().map(|d| d.id).collect());
+            out.alive.insert(id, pos);
+        }
+        out
+    }
+}
+
+impl<P: Clone> ViewOracle<P> {
+    /// Snapshots a live engine's per-node views — the view-knowledge
+    /// counterpart of [`EngineOracle::new`], for the same `k`.
+    pub fn from_engine<S: MetricSpace<Point = P>>(engine: &Engine<S>, k: usize) -> Self {
+        Self::from_views(
+            engine.space(),
+            k,
+            engine.alive_id_slice().iter().map(|&id| {
+                (
+                    id,
+                    engine.position_of(id).expect("alive id"),
+                    engine.view_entries_of(id).expect("alive id"),
+                )
+            }),
+        )
+    }
+}
+
+impl<P: Clone> NeighborOracle<P> for ViewOracle<P> {
+    fn position(&self, node: NodeId) -> Option<P> {
+        self.alive
+            .get(&node)
+            .or_else(|| self.hearsay.get(&node))
+            .cloned()
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        // Dead (hearsay-only) nodes have no outgoing links: a route led
+        // into a stale entry strands there.
+        self.adjacency.get(&node).cloned().unwrap_or_default()
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.alive.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
 /// An oracle answering from a live simulation engine: each node's links
 /// are its `k` closest T-Man view entries — the neighborhood the paper
 /// draws in its figures (k = 4).
@@ -114,6 +211,9 @@ mod tests {
     use polystyrene_space::prelude::*;
     use polystyrene_space::shapes;
 
+    /// One node's snapshot: id, self-reported position, raw view.
+    type ViewRow = (NodeId, [f64; 2], Vec<Descriptor<[f64; 2]>>);
+
     #[test]
     fn table_oracle_basics() {
         let positions: Vec<[f64; 2]> = (0..4).map(|i| [i as f64, 0.0]).collect();
@@ -130,6 +230,85 @@ mod tests {
         // Dangling link from 1 to the removed 2 still listed; the router
         // must skip unknown-position hops.
         assert!(oracle.neighbors(NodeId::new(1)).contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn view_oracle_keeps_stale_entries_and_dead_ends_them() {
+        use polystyrene_space::prelude::Euclidean2;
+        // Two alive nodes; node 0's view still names the dead node 9.
+        let views: Vec<ViewRow> = vec![
+            (
+                NodeId::new(0),
+                [0.0, 0.0],
+                vec![
+                    Descriptor::new(NodeId::new(1), [1.0, 0.0]),
+                    Descriptor::new(NodeId::new(9), [2.0, 0.0]),
+                ],
+            ),
+            (
+                NodeId::new(1),
+                [1.0, 0.0],
+                vec![Descriptor::new(NodeId::new(0), [0.0, 0.0])],
+            ),
+        ];
+        let oracle = ViewOracle::from_views(
+            &Euclidean2,
+            4,
+            views.iter().map(|(id, pos, v)| (*id, *pos, v.as_slice())),
+        );
+        assert_eq!(oracle.nodes(), vec![NodeId::new(0), NodeId::new(1)]);
+        // The dead peer is addressable at its believed position…
+        assert_eq!(oracle.position(NodeId::new(9)), Some([2.0, 0.0]));
+        // …still listed as a neighbor (closest first)…
+        assert_eq!(
+            oracle.neighbors(NodeId::new(0)),
+            vec![NodeId::new(1), NodeId::new(9)]
+        );
+        // …but has no outgoing links: a route led there strands.
+        assert!(oracle.neighbors(NodeId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn view_oracle_prefers_self_reported_positions() {
+        use polystyrene_space::prelude::Euclidean2;
+        // Node 1's view holds a stale position for node 0; node 0's own
+        // report must win.
+        let views: Vec<ViewRow> = vec![
+            (
+                NodeId::new(1),
+                [1.0, 0.0],
+                vec![Descriptor::new(NodeId::new(0), [5.0, 5.0])],
+            ),
+            (NodeId::new(0), [0.0, 0.0], vec![]),
+        ];
+        let oracle = ViewOracle::from_views(
+            &Euclidean2,
+            4,
+            views.iter().map(|(id, pos, v)| (*id, *pos, v.as_slice())),
+        );
+        assert_eq!(oracle.position(NodeId::new(0)), Some([0.0, 0.0]));
+    }
+
+    #[test]
+    fn view_oracle_from_engine_matches_local_knowledge() {
+        let mut cfg = EngineConfig::default();
+        cfg.area = 32.0;
+        cfg.tman.view_cap = 16;
+        cfg.tman.m = 6;
+        let mut engine = Engine::new(Torus2::new(8.0, 4.0), shapes::torus_grid(8, 4, 1.0), cfg);
+        engine.run(10);
+        let oracle = ViewOracle::from_engine(&engine, 4);
+        assert_eq!(oracle.nodes().len(), 32);
+        let n0 = NodeId::new(0);
+        assert_eq!(oracle.position(n0), engine.position_of(n0));
+        assert_eq!(oracle.neighbors(n0).len(), 4);
+        // Converged healthy overlay: view knowledge equals ground truth
+        // (rank ties may order differently, so compare as sets).
+        let mut ours = oracle.neighbors(n0);
+        let mut truth = engine.neighbors_of(n0, 4);
+        ours.sort();
+        truth.sort();
+        assert_eq!(ours, truth);
     }
 
     #[test]

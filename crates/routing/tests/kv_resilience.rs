@@ -1,0 +1,163 @@
+//! Property tests for the key-value facade under catastrophe: whatever
+//! the seed and wherever the blast boundary falls, once the shape has
+//! reshaped every surviving value must be addressable again — through
+//! the ideal engine oracle *and* through the view oracle (what the
+//! traffic plane's query wires actually route over), on the cycle
+//! engine and on the discrete-event network kernel alike.
+
+use polystyrene_netsim::prelude::{NetSim, NetSimConfig};
+use polystyrene_routing::kv::{KeyValueStore, KvError};
+use polystyrene_routing::oracle::{EngineOracle, NeighborOracle, ViewOracle};
+use polystyrene_sim::engine::{Engine, EngineConfig};
+use polystyrene_space::prelude::*;
+use polystyrene_space::shapes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const COLS: usize = 12;
+const ROWS: usize = 6;
+const W: f64 = COLS as f64;
+const H: f64 = ROWS as f64;
+
+/// Delivery radius sized for the post-failure density (half the nodes
+/// gone ⇒ spacing ~sqrt(2), a key can sit ~1 cell-diagonal out).
+const RADIUS: f64 = 2.0;
+const TTL: usize = 64;
+
+/// The store-level property: after a rebalance, every surviving value
+/// is addressable again. Each `get` already routes through up to three
+/// random gateways and fails with [`KvError::ValueLost`] when the
+/// holder is dead, so a success *is* the liveness proof; because greedy
+/// routing is gateway-dependent, a client-side retry (fresh gateways
+/// each attempt) absorbs the residual source sensitivity exactly as a
+/// deployed lookup would.
+fn assert_addressable(
+    store: &mut KeyValueStore,
+    space: &Torus2,
+    oracle: &impl NeighborOracle<[f64; 2]>,
+    keys: &[String],
+    rng: &mut StdRng,
+) {
+    let (_moved, lost) = store.rebalance(space, oracle, rng);
+    assert!(
+        lost < keys.len(),
+        "the blast spares half the torus, some values must survive"
+    );
+    let mut served = 0usize;
+    for key in keys {
+        let mut outcome = Err(KvError::Unroutable);
+        for _attempt in 0..3 {
+            outcome = store.get(space, oracle, key, rng);
+            if !matches!(outcome, Err(KvError::Unroutable)) {
+                break;
+            }
+        }
+        match outcome {
+            Ok(_) => served += 1,
+            Err(KvError::NotFound) => {} // dropped by the rebalance: its holder died
+            Err(e) => panic!("{key}: surviving value unaddressable after reshape: {e}"),
+        }
+    }
+    assert_eq!(
+        served,
+        store.len(),
+        "every value the rebalance kept must be served"
+    );
+}
+
+proptest! {
+    // Each case converges a full overlay and reshapes it after a kill;
+    // a handful of cases already sweeps seeds and blast boundaries.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cycle engine: both oracles serve every surviving key after the
+    /// reshape, wherever the blast boundary fell.
+    #[test]
+    fn engine_keys_resolve_after_any_regional_blast(
+        seed in 0u64..1_000,
+        boundary in 4u32..9,
+    ) {
+        let mut cfg = EngineConfig::default();
+        cfg.area = W * H;
+        cfg.seed = seed;
+        cfg.tman.view_cap = 24;
+        cfg.tman.m = 8;
+        let mut engine = Engine::new(
+            Torus2::new(W, H),
+            shapes::torus_grid(COLS, ROWS, 1.0),
+            cfg,
+        );
+        engine.run(12);
+        let space = *engine.space();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6b76);
+        let mut store = KeyValueStore::new(W, H, TTL, RADIUS);
+        let keys: Vec<String> = (0..32).map(|i| format!("key:{i}")).collect();
+        {
+            let oracle = EngineOracle::new(&engine, 8);
+            for k in &keys {
+                store.put(&space, &oracle, k, "v", &mut rng).expect("put on a converged overlay");
+            }
+        }
+
+        let cut = f64::from(boundary);
+        engine.fail_original_region(move |p: &[f64; 2]| p[0] >= cut);
+        engine.run(15); // Polystyrene reshapes
+
+        let ideal = EngineOracle::new(&engine, 8);
+        assert_addressable(&mut store, &space, &ideal, &keys, &mut rng);
+        let view = ViewOracle::from_engine(&engine, 8);
+        assert_addressable(&mut store, &space, &view, &keys, &mut rng);
+    }
+
+    /// Network kernel: the same property through the view oracle built
+    /// from the kernel's per-node protocol views — message latency and
+    /// per-node clocks instead of the engine's atomic rounds.
+    #[test]
+    fn netsim_keys_resolve_after_any_regional_blast(
+        seed in 0u64..1_000,
+        boundary in 4u32..9,
+    ) {
+        let mut cfg = NetSimConfig::default();
+        cfg.area = W * H;
+        cfg.seed = seed;
+        cfg.tman.view_cap = 24;
+        cfg.tman.m = 8;
+        let mut sim = NetSim::new(
+            Torus2::new(W, H),
+            shapes::torus_grid(COLS, ROWS, 1.0),
+            cfg,
+        );
+        sim.run(12);
+        let space = Torus2::new(W, H);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6b76);
+        let mut store = KeyValueStore::new(W, H, TTL, RADIUS);
+        let keys: Vec<String> = (0..32).map(|i| format!("key:{i}")).collect();
+        let snapshot = |sim: &NetSim<Torus2>| {
+            ViewOracle::from_views(
+                &space,
+                8,
+                sim.alive_ids().to_vec().into_iter().map(|id| {
+                    (
+                        id,
+                        *sim.pool().position(id).expect("alive id"),
+                        sim.view_entries_of(id).expect("alive id"),
+                    )
+                }),
+            )
+        };
+        {
+            let oracle = snapshot(&sim);
+            for k in &keys {
+                store.put(&space, &oracle, k, "v", &mut rng).expect("put on a converged overlay");
+            }
+        }
+
+        let cut = f64::from(boundary);
+        sim.fail_original_region(&move |p: &[f64; 2]| p[0] >= cut);
+        sim.run(15);
+
+        let view = snapshot(&sim);
+        assert_addressable(&mut store, &space, &view, &keys, &mut rng);
+    }
+}

@@ -12,10 +12,10 @@ use parking_lot::Mutex;
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::observe::RoundObservation;
-use polystyrene_protocol::select_region_victims;
+use polystyrene_protocol::{select_region_victims, Wire, TRAFFIC_SEED_TAG};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,6 +33,9 @@ pub struct Cluster<S: MetricSpace> {
     handles: Mutex<HashMap<NodeId, JoinHandle<()>>>,
     next_id: Mutex<u64>,
     rng: Mutex<StdRng>,
+    /// Traffic-plane state: gateway draws come from a dedicated stream
+    /// (`seed ^ TRAFFIC_SEED_TAG`, the shared tag), qids stay unique.
+    traffic: Mutex<(StdRng, u64)>,
 }
 
 impl<S: MetricSpace> Cluster<S> {
@@ -73,6 +76,7 @@ impl<S: MetricSpace> Cluster<S> {
             handles: Mutex::new(HashMap::new()),
             next_id: Mutex::new(shape.len() as u64),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            traffic: Mutex::new((StdRng::seed_from_u64(config.seed ^ TRAFFIC_SEED_TAG), 0)),
         };
         for (i, pos) in shape.iter().enumerate() {
             let contacts = {
@@ -194,6 +198,37 @@ impl<S: MetricSpace> Cluster<S> {
     /// Lets the cluster run for a wall-clock duration.
     pub fn run_for(&self, duration: Duration) {
         std::thread::sleep(duration);
+    }
+
+    /// Offers one application query per key, each issued through a
+    /// uniformly random alive gateway node: the self-addressed
+    /// [`Wire::Query`] lands in the gateway's mailbox like any other
+    /// message, registers there, and forwards hop-by-hop through node
+    /// views as real cluster traffic. Resolution (or expiry) shows up in
+    /// the observation plane's cumulative traffic counters.
+    pub fn offer_traffic(&self, keys: &[S::Point], ttl: u32) {
+        let alive = self.alive_ids();
+        if alive.is_empty() {
+            return;
+        }
+        let mut traffic = self.traffic.lock();
+        for key in keys {
+            let gateway = alive[traffic.0.random_range(0..alive.len())];
+            traffic.1 += 1;
+            self.registry.send(
+                gateway,
+                Message::Protocol {
+                    from: gateway,
+                    wire: Wire::Query {
+                        qid: traffic.1,
+                        origin: gateway,
+                        key: key.clone(),
+                        ttl,
+                        hops: 0,
+                    },
+                },
+            );
+        }
     }
 
     /// Blocks until every alive node has executed at least `ticks` local
@@ -387,6 +422,42 @@ mod tests {
             obs.surviving_points >= 0.95,
             "points vanished under transit loss: {}",
             obs.surviving_points
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn traffic_queries_resolve_on_the_live_cluster() {
+        let cluster = spawn_grid(6, 4);
+        cluster.await_ticks(10, Duration::from_secs(5));
+        let keys: Vec<[f64; 2]> = (0..6).map(|i| [i as f64 + 0.5, 1.5]).collect();
+        for _ in 0..10 {
+            cluster.offer_traffic(&keys, 32);
+            cluster.run_for(Duration::from_millis(10));
+        }
+        // Every offered query eventually resolves or expires; poll with a
+        // deadline rather than a fixed sleep (loaded CI boxes stretch the
+        // pipeline).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut obs = cluster.observe();
+        while std::time::Instant::now() < deadline {
+            obs = cluster.observe();
+            if obs.traffic.offered >= 60
+                && obs.traffic.delivered + obs.traffic.dropped >= obs.traffic.offered
+            {
+                break;
+            }
+            cluster.run_for(Duration::from_millis(20));
+        }
+        assert!(
+            obs.traffic.offered >= 60,
+            "gateways must register offered queries: {:?}",
+            obs.traffic
+        );
+        assert!(
+            obs.traffic.availability() > 0.8,
+            "a healthy cluster must serve most queries: {:?}",
+            obs.traffic
         );
         cluster.shutdown();
     }

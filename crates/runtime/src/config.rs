@@ -104,6 +104,7 @@ impl RuntimeConfig {
             rps_shuffle_len: self.rps_shuffle_len,
             heartbeat_timeout_ticks: self.heartbeat_timeout_ticks,
             migration_timeout_ticks: self.migration_timeout_ticks,
+            query_timeout_ticks: ProtocolConfig::default().query_timeout_ticks,
         }
     }
 }

@@ -93,6 +93,10 @@ mod tests {
                 stored_points: 0,
                 ticks: 1,
                 cost_units: 0,
+                traffic_offered: 0,
+                traffic_delivered: 0,
+                traffic_dropped: 0,
+                traffic_samples: Vec::new(),
             },
         );
         let mut rng = StdRng::seed_from_u64(2);

@@ -32,6 +32,11 @@ use std::time::Instant;
 /// dozen messages per round at most).
 const MAX_DRAIN_PER_TICK: usize = 512;
 
+/// Bound on the recent resolved-query samples a node republishes to the
+/// observation board: enough for a stable tail-latency estimate, small
+/// enough that the per-tick report clone stays cheap.
+const MAX_TRAFFIC_SAMPLES: usize = 128;
+
 /// Everything a node thread owns.
 pub struct NodeRuntime<S: MetricSpace> {
     node: ProtocolNode<S>,
@@ -51,6 +56,12 @@ pub struct NodeRuntime<S: MetricSpace> {
     sink: EffectSink<S::Point>,
     /// Reusable dispatch queue of [`Self::execute`].
     queue: VecDeque<Effect<S::Point>>,
+    /// Cumulative traffic-plane gateway counters, published every tick.
+    traffic_offered: u64,
+    traffic_delivered: u64,
+    traffic_dropped: u64,
+    /// Trailing window of resolved-query `(hops, latency)` samples.
+    traffic_recent: Vec<(u32, u64)>,
 }
 
 impl<S: MetricSpace> NodeRuntime<S> {
@@ -91,6 +102,10 @@ impl<S: MetricSpace> NodeRuntime<S> {
             sent_units: 0,
             sink: EffectSink::new(),
             queue: VecDeque::new(),
+            traffic_offered: 0,
+            traffic_delivered: 0,
+            traffic_dropped: 0,
+            traffic_recent: Vec::new(),
         }
     }
 
@@ -152,6 +167,17 @@ impl<S: MetricSpace> NodeRuntime<S> {
         self.node.on_tick_into(&mut self.rng, &mut sink);
         self.execute(&mut sink);
         self.sink = sink;
+        // Fold the tick's traffic accounting into the cumulative
+        // counters the board publishes; the sample window is bounded so
+        // the per-tick report clone cannot grow with load.
+        let (offered, delivered, dropped) = self.node.take_traffic(&mut self.traffic_recent);
+        self.traffic_offered += offered;
+        self.traffic_delivered += delivered;
+        self.traffic_dropped += dropped;
+        if self.traffic_recent.len() > MAX_TRAFFIC_SAMPLES {
+            let excess = self.traffic_recent.len() - MAX_TRAFFIC_SAMPLES;
+            self.traffic_recent.drain(..excess);
+        }
         self.board.publish(
             self.node.id(),
             NodeReport {
@@ -168,6 +194,10 @@ impl<S: MetricSpace> NodeRuntime<S> {
                 stored_points: self.node.poly.stored_points(),
                 ticks: self.node.clock(),
                 cost_units: self.sent_units,
+                traffic_offered: self.traffic_offered,
+                traffic_delivered: self.traffic_delivered,
+                traffic_dropped: self.traffic_dropped,
+                traffic_samples: self.traffic_recent.clone(),
             },
         );
     }

@@ -10,7 +10,7 @@
 use parking_lot::RwLock;
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::NodeId;
-use polystyrene_protocol::observe::{reference_homogeneity, RoundObservation};
+use polystyrene_protocol::observe::{reference_homogeneity, RoundObservation, TrafficStats};
 use polystyrene_space::MetricSpace;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,6 +37,16 @@ pub struct NodeReport<P> {
     pub ticks: u64,
     /// Cumulative wire cost this node has sent, in the paper's units.
     pub cost_units: u64,
+    /// Cumulative queries issued through this node as a gateway.
+    pub traffic_offered: u64,
+    /// Cumulative queries resolved back at this gateway.
+    pub traffic_delivered: u64,
+    /// Cumulative queries this gateway wrote off after the query
+    /// timeout.
+    pub traffic_dropped: u64,
+    /// Most recent resolved-query `(hops, latency_ticks)` samples, a
+    /// bounded window for tail-latency estimation.
+    pub traffic_samples: Vec<(u32, u64)>,
 }
 
 /// The shared board.
@@ -128,6 +138,20 @@ pub fn observe<S: MetricSpace>(
     } else {
         homogeneity_acc / original_points.len() as f64
     };
+    // Cumulative gateway counters, like `cost_units`: a wall-clock
+    // snapshot has no round boundary to reset at, so the lab's
+    // live-substrate adapter differences consecutive snapshots. The
+    // latency percentiles come from the nodes' bounded recent-sample
+    // windows — an estimate over the trailing window, not the round.
+    let mut traffic_samples: Vec<(u32, u64)> = Vec::new();
+    let (mut offered, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+    for report in snapshot.values() {
+        offered += report.traffic_offered;
+        delivered += report.traffic_delivered;
+        dropped += report.traffic_dropped;
+        traffic_samples.extend_from_slice(&report.traffic_samples);
+    }
+    let traffic = TrafficStats::from_samples(offered, delivered, dropped, &mut traffic_samples);
     RoundObservation {
         round: 0,
         alive_nodes: alive,
@@ -154,6 +178,7 @@ pub fn observe<S: MetricSpace>(
             snapshot.values().map(|r| r.cost_units).sum::<u64>() as f64 / alive as f64
         },
         ticks: snapshot.values().map(|r| r.ticks).min().unwrap_or(0),
+        traffic,
     }
 }
 
@@ -171,6 +196,10 @@ mod tests {
             stored_points: stored,
             ticks: 5,
             cost_units: 0,
+            traffic_offered: 0,
+            traffic_delivered: 0,
+            traffic_dropped: 0,
+            traffic_samples: Vec::new(),
         }
     }
 
@@ -235,6 +264,30 @@ mod tests {
         assert_eq!(obs.parked_points, 1);
         // Point 1 measured against its parking node, distance 1 → mean 0.5.
         assert!((obs.homogeneity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_counters_aggregate_across_reports() {
+        let pts = originals(&[[0.0, 0.0], [1.0, 0.0]]);
+        let mut snap = HashMap::new();
+        let mut a = report([0.0, 0.0], &[0], 1);
+        a.traffic_offered = 10;
+        a.traffic_delivered = 8;
+        a.traffic_dropped = 2;
+        a.traffic_samples = vec![(3, 2), (5, 6)];
+        let mut b = report([1.0, 0.0], &[1], 1);
+        b.traffic_offered = 4;
+        b.traffic_delivered = 4;
+        b.traffic_samples = vec![(1, 1)];
+        snap.insert(NodeId::new(0), a);
+        snap.insert(NodeId::new(1), b);
+        let obs = observe(&Euclidean2, &pts, &snap, 4.0);
+        assert_eq!(obs.traffic.offered, 14);
+        assert_eq!(obs.traffic.delivered, 12);
+        assert_eq!(obs.traffic.dropped, 2);
+        assert!((obs.traffic.mean_hops - 3.0).abs() < 1e-12);
+        assert_eq!(obs.traffic.latency_p50, 2.0);
+        assert_eq!(obs.traffic.latency_p99, 6.0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::pool::NodePool;
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId, SharedFailureDetector};
 use polystyrene_protocol::{
-    Channel, Effect, EffectSink, Event, Phase, ProtocolConfig, ProtocolNode,
+    Channel, Effect, EffectSink, Event, Phase, ProtocolConfig, ProtocolNode, Wire,
 };
 use polystyrene_space::MetricSpace;
 use polystyrene_topology::rank::GridIndex;
@@ -60,6 +60,12 @@ use std::collections::VecDeque;
 /// candidate index and scans exhaustively: at small scale the build costs
 /// more than the scan it replaces.
 const GRID_INDEX_MIN_NODES: usize = 256;
+
+/// Seed tag of the application-traffic entropy stream. Query gateways are
+/// drawn from a dedicated RNG seeded with `config.seed ^ TRAFFIC_SEED_TAG`
+/// so offering load never advances the protocol stream — seeded histories
+/// stay bit-identical with traffic on or off ("traffic" in ASCII).
+pub use polystyrene_protocol::TRAFFIC_SEED_TAG;
 
 /// Engine-level configuration: protocol parameters plus simulation knobs.
 ///
@@ -136,6 +142,10 @@ impl EngineConfig {
             rps_shuffle_len: self.rps_shuffle_len,
             heartbeat_timeout_ticks: u32::MAX,
             migration_timeout_ticks: u32::MAX,
+            // Cycle exchanges are atomic, so an unanswered query can never
+            // complete later; the engine expires pendings at drain time
+            // itself and the tick-denominated timeout is inert.
+            query_timeout_ticks: ProtocolConfig::default().query_timeout_ticks,
         }
     }
 }
@@ -176,6 +186,11 @@ pub struct Engine<S: MetricSpace> {
     queue: VecDeque<(NodeId, Effect<S::Point>)>,
     /// Reusable activation-order buffer of [`Engine::run_phase`].
     order: Vec<NodeId>,
+    /// Application-traffic entropy stream: gateway draws come from here,
+    /// never from the protocol `rng` (see [`TRAFFIC_SEED_TAG`]).
+    traffic_rng: StdRng,
+    /// Query-id counter for [`Engine::offer_traffic`].
+    next_qid: u64,
 }
 
 /// Reusable buffers of the per-round measurement pass. At scale the
@@ -279,6 +294,8 @@ impl<S: MetricSpace> Engine<S> {
             sink: EffectSink::new(),
             queue: VecDeque::new(),
             order: Vec::new(),
+            traffic_rng: StdRng::seed_from_u64(config.seed ^ TRAFFIC_SEED_TAG),
+            next_qid: 0,
         }
     }
 
@@ -370,6 +387,74 @@ impl<S: MetricSpace> Engine<S> {
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// The raw T-Man view a node currently holds, if alive — the local
+    /// knowledge a `polystyrene_routing`-style view oracle is built
+    /// from (stale entries pointing at dead peers included).
+    pub fn view_entries_of(&self, id: NodeId) -> Option<&[Descriptor<S::Point>]> {
+        self.pool.get(id).map(|c| c.tman.view_entries())
+    }
+
+    // ------------------------------------------------------------------
+    // Application traffic
+    // ------------------------------------------------------------------
+
+    /// Offers one query per key through a random alive gateway each, and
+    /// routes them to completion within the call — the cycle model's
+    /// atomic-exchange semantics applied to the traffic plane. Gateways
+    /// are drawn from the dedicated traffic RNG and query handling draws
+    /// no entropy at all, so the protocol stream is untouched.
+    pub fn offer_traffic(&mut self, keys: &[S::Point], ttl: u32) {
+        if self.pool.alive_count() == 0 {
+            return;
+        }
+        let mut sink = std::mem::take(&mut self.sink);
+        for key in keys {
+            let n = self.pool.alive_count();
+            let gateway = self.pool.alive_ids()[self.traffic_rng.random_range(0..n)];
+            self.next_qid += 1;
+            let qid = self.next_qid;
+            sink.clear();
+            let node = self.pool.get_mut(gateway).expect("alive id");
+            node.on_event_into(
+                Event::Message {
+                    from: gateway,
+                    wire: Wire::Query {
+                        qid,
+                        origin: gateway,
+                        key: key.clone(),
+                        ttl,
+                        hops: 0,
+                    },
+                },
+                &mut self.rng,
+                &mut sink,
+            );
+            if !sink.is_empty() {
+                self.dispatch(gateway, &mut sink);
+            }
+        }
+        self.sink = sink;
+    }
+
+    /// Drains every alive node's gateway-side traffic counters, appending
+    /// completion samples to `samples` and returning the summed
+    /// `(offered, delivered, dropped)`. Exchanges are atomic here, so any
+    /// query still pending at drain time was lost to a stale view entry
+    /// (its hop was sent to a dead node) and is written off immediately.
+    pub fn drain_traffic(&mut self, samples: &mut Vec<(u32, u64)>) -> (u64, u64, u64) {
+        let (mut offered, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+        for slot in self.pool.slots_mut().iter_mut() {
+            if let Some(node) = slot.as_mut() {
+                node.expire_all_pending_queries();
+                let (o, d, x) = node.take_traffic(samples);
+                offered += o;
+                delivered += d;
+                dropped += x;
+            }
+        }
+        (offered, delivered, dropped)
     }
 
     // ------------------------------------------------------------------

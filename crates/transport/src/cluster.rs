@@ -25,14 +25,14 @@ use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::codec::{decode_event, encode_event_into, PointCodec};
 use polystyrene_protocol::observe::RoundObservation;
 use polystyrene_protocol::select_region_victims;
-use polystyrene_protocol::{Event, Fate, NetworkModel, Wire};
+use polystyrene_protocol::{Event, Fate, NetworkModel, Wire, TRAFFIC_SEED_TAG};
 use polystyrene_runtime::harness::{contacts_from_board, contacts_from_shape};
 use polystyrene_runtime::node::NodeRuntime;
 use polystyrene_runtime::observe::{observe, ObservationBoard};
 use polystyrene_runtime::{Message, NodeFabric, RuntimeConfig};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -290,6 +290,9 @@ where
     graveyard: Mutex<Vec<JoinHandle<()>>>,
     next_id: Mutex<u64>,
     rng: Mutex<StdRng>,
+    /// Traffic-plane state: gateway draws come from a dedicated stream
+    /// (`seed ^ TRAFFIC_SEED_TAG`, the shared tag), qids stay unique.
+    traffic: Mutex<(StdRng, u64)>,
 }
 
 impl<S: MetricSpace> TcpCluster<S>
@@ -331,6 +334,10 @@ where
             graveyard: Mutex::new(Vec::new()),
             next_id: Mutex::new(shape.len() as u64),
             rng: Mutex::new(StdRng::seed_from_u64(config.runtime.seed)),
+            traffic: Mutex::new((
+                StdRng::seed_from_u64(config.runtime.seed ^ TRAFFIC_SEED_TAG),
+                0,
+            )),
         };
         for (i, pos) in shape.iter().enumerate() {
             let contacts = {
@@ -512,6 +519,36 @@ where
     /// Lets the cluster run for a wall-clock duration.
     pub fn run_for(&self, duration: Duration) {
         std::thread::sleep(duration);
+    }
+
+    /// Offers one application query per key, each issued through a
+    /// uniformly random alive gateway: the self-addressed
+    /// [`Wire::Query`] lands directly in the gateway's mailbox (issuing
+    /// a query at a node costs no socket), and every forwarding hop then
+    /// rides a real framed TCP connection like any other protocol
+    /// message. Resolution (or expiry) shows up in the observation
+    /// plane's cumulative traffic counters.
+    pub fn offer_traffic(&self, keys: &[S::Point], ttl: u32) {
+        let nodes = self.nodes.lock();
+        if nodes.is_empty() {
+            return;
+        }
+        let ids: Vec<NodeId> = nodes.keys().copied().collect();
+        let mut traffic = self.traffic.lock();
+        for key in keys {
+            let gateway = ids[traffic.0.random_range(0..ids.len())];
+            traffic.1 += 1;
+            let _ = nodes[&gateway].mailbox.send(Message::Protocol {
+                from: gateway,
+                wire: Wire::Query {
+                    qid: traffic.1,
+                    origin: gateway,
+                    key: key.clone(),
+                    ttl,
+                    hops: 0,
+                },
+            });
+        }
     }
 
     /// Blocks until every alive node has executed at least `ticks` local
@@ -741,6 +778,40 @@ mod tests {
             obs.surviving_points >= 0.95,
             "points vanished under transit loss: {}",
             obs.surviving_points
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn traffic_queries_resolve_over_sockets() {
+        let cluster = spawn_grid(4, 4);
+        cluster.await_ticks(10, Duration::from_secs(20));
+        let keys: Vec<[f64; 2]> = (0..4).map(|i| [i as f64 + 0.5, 1.5]).collect();
+        for _ in 0..8 {
+            cluster.offer_traffic(&keys, 32);
+            cluster.run_for(Duration::from_millis(20));
+        }
+        // Poll until every offered query has resolved or expired.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut obs = cluster.observe();
+        while Instant::now() < deadline {
+            obs = cluster.observe();
+            if obs.traffic.offered >= 32
+                && obs.traffic.delivered + obs.traffic.dropped >= obs.traffic.offered
+            {
+                break;
+            }
+            cluster.run_for(Duration::from_millis(40));
+        }
+        assert!(
+            obs.traffic.offered >= 32,
+            "gateways must register offered queries: {:?}",
+            obs.traffic
+        );
+        assert!(
+            obs.traffic.availability() > 0.8,
+            "a healthy TCP cluster must serve most queries: {:?}",
+            obs.traffic
         );
         cluster.shutdown();
     }
