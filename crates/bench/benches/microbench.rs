@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polystyrene::prelude::*;
+use polystyrene_lab::TrafficLoad;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_netsim::prelude::{LinkProfile, NetSim, NetSimConfig};
 use polystyrene_sim::prelude::{Engine, EngineConfig};
@@ -183,12 +184,31 @@ fn bench_tman_exchange(c: &mut Criterion) {
 /// headroom; the pre-pool payload-dominated count was ~5 700, so a
 /// regression that reintroduces per-message payload allocations — let
 /// alone per-event kernel ones — blows well past it.
-fn assert_netsim_steady_state_allocations(sim: &mut NetSim<Torus2>) {
+///
+/// The rounds carry a live query workload: the traffic hot path —
+/// batched offers, pooled `QueryBatch` envelopes, per-hop forwarding
+/// scratch, the drain — must stay inside the same budget as a quiet
+/// round, or batching has regressed into per-query allocation.
+fn assert_netsim_steady_state_allocations(
+    sim: &mut NetSim<Torus2>,
+    load: &mut TrafficLoad<[f64; 2]>,
+) {
     const ROUNDS: u64 = 8;
     const PER_ROUND_BOUND: u64 = 1_500;
+    let mut samples: Vec<(u32, u64)> = Vec::with_capacity(1024);
+    // One loaded warm-up round: the workload's own scratch, the query
+    // pool and the per-gateway grouping buffers reach steady capacity.
+    let ttl = load.ttl();
+    sim.offer_traffic(load.next_round(), ttl);
+    sim.step();
+    let _ = sim.drain_traffic(&mut samples);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..ROUNDS {
+        samples.clear();
+        let ttl = load.ttl();
+        sim.offer_traffic(load.next_round(), ttl);
         sim.step();
+        let _ = sim.drain_traffic(&mut samples);
     }
     let per_round = (ALLOCATIONS.load(Ordering::Relaxed) - before) / ROUNDS;
     println!("netsim steady-state: {per_round} allocations/round (bound {PER_ROUND_BOUND})");
@@ -207,13 +227,26 @@ fn assert_netsim_steady_state_allocations(sim: &mut NetSim<Torus2>) {
 /// through the sink's pool, so a steady-state round at 256 nodes is
 /// down to protocol-internal churn plus the rayon fan-out of the
 /// measurement pass. Bound = measured (~800) with ~3× headroom; the
-/// pre-pool count was ~6 000.
-fn assert_engine_steady_state_allocations(engine: &mut Engine<Torus2>) {
+/// pre-pool count was ~6 000. As in the netsim gate, every measured
+/// round serves a live query workload inside the same budget.
+fn assert_engine_steady_state_allocations(
+    engine: &mut Engine<Torus2>,
+    load: &mut TrafficLoad<[f64; 2]>,
+) {
     const ROUNDS: u64 = 8;
     const PER_ROUND_BOUND: u64 = 2_500;
+    let mut samples: Vec<(u32, u64)> = Vec::with_capacity(1024);
+    let ttl = load.ttl();
+    engine.offer_traffic(load.next_round(), ttl);
+    engine.step();
+    let _ = engine.drain_traffic(&mut samples);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..ROUNDS {
+        samples.clear();
+        let ttl = load.ttl();
+        engine.offer_traffic(load.next_round(), ttl);
         engine.step();
+        let _ = engine.drain_traffic(&mut samples);
     }
     let per_round = (ALLOCATIONS.load(Ordering::Relaxed) - before) / ROUNDS;
     println!("engine steady-state: {per_round} allocations/round (bound {PER_ROUND_BOUND})");
@@ -231,7 +264,8 @@ fn bench_engine_round(c: &mut Criterion) {
     let mut engine = Engine::new(Torus2::new(32.0, 8.0), shapes::torus_grid(32, 8, 1.0), cfg);
     // Warm-up: views fill, slabs and scratch reach steady capacities.
     engine.run(10);
-    assert_engine_steady_state_allocations(&mut engine);
+    let mut load = TrafficLoad::new(shapes::torus_grid(32, 8, 1.0), 32, 0.9, 16, 21);
+    assert_engine_steady_state_allocations(&mut engine, &mut load);
     let mut group = c.benchmark_group("engine_round");
     group.bench_function("n256", |b| b.iter(|| engine.step()));
     group.finish();
@@ -250,7 +284,8 @@ fn bench_netsim_round(c: &mut Criterion) {
     // Warm-up: views fill, the event queue and kernel scratch reach
     // their steady capacities.
     sim.run(10);
-    assert_netsim_steady_state_allocations(&mut sim);
+    let mut load = TrafficLoad::new(shapes::torus_grid(32, 8, 1.0), 32, 0.9, 16, 21);
+    assert_netsim_steady_state_allocations(&mut sim, &mut load);
     let mut group = c.benchmark_group("netsim_round");
     group.bench_function("n256_loss5", |b| b.iter(|| sim.step()));
     group.finish();

@@ -25,7 +25,7 @@ pub mod minijson;
 
 use polystyrene::prelude::{PolystyreneConfig, SplitStrategy};
 use polystyrene_lab::{
-    build_substrate, run_experiment, ExperimentSummary, LabConfig, SubstrateKind,
+    build_substrate, run_experiment, ExperimentSummary, LabConfig, SubstrateKind, TrafficDist,
 };
 use polystyrene_sim::prelude::*;
 use polystyrene_space::stats::{ci95, ConfidenceInterval, SeriesAccumulator};
@@ -77,13 +77,17 @@ pub struct CommonArgs {
     /// Fraction of traffic requests that are reads (`--read-fraction`;
     /// out-of-range values are rejected at parse time).
     pub read_fraction: f64,
+    /// Key-popularity distribution of the workload (`--traffic-dist`;
+    /// `uniform` or `zipf:<s>` with a positive finite exponent —
+    /// malformed values are rejected at parse time).
+    pub traffic_dist: TrafficDist,
     /// Figure-specific `--key value` pairs, restricted to the keys the
     /// binary declared via [`CommonArgs::parse_with`].
     pub extra: HashMap<String, String>,
 }
 
 /// The flags every experiment binary accepts.
-const COMMON_KEYS: [&str; 14] = [
+const COMMON_KEYS: [&str; 15] = [
     "cols",
     "rows",
     "runs",
@@ -98,6 +102,7 @@ const COMMON_KEYS: [&str; 14] = [
     "traffic-rate",
     "traffic-keys",
     "read-fraction",
+    "traffic-dist",
 ];
 
 impl Default for CommonArgs {
@@ -118,6 +123,7 @@ impl Default for CommonArgs {
             traffic_rate: 16,
             traffic_keys: 64,
             read_fraction: 0.9,
+            traffic_dist: TrafficDist::Uniform,
             extra: HashMap::new(),
         }
     }
@@ -235,6 +241,11 @@ impl CommonArgs {
                         usage()
                     );
                     args.read_fraction = fraction;
+                }
+                "traffic-dist" => {
+                    args.traffic_dist = value
+                        .parse()
+                        .unwrap_or_else(|e: String| panic!("--traffic-dist: {e}\n{}", usage()));
                 }
                 _ if extra_keys.contains(&key) => {
                     args.extra.insert(key.to_string(), value);
@@ -743,6 +754,46 @@ mod tests {
         assert_eq!(args.traffic_rate, 32);
         assert_eq!(args.traffic_keys, 128);
         assert!((args.read_fraction - 0.75).abs() < 1e-12);
+        assert_eq!(args.traffic_dist, TrafficDist::Uniform);
+    }
+
+    #[test]
+    fn parse_argv_accepts_traffic_distributions() {
+        let args = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--traffic-dist".to_string(), "zipf:1.2".to_string()],
+        );
+        match args.traffic_dist {
+            TrafficDist::Zipf(s) => assert!((s - 1.2).abs() < 1e-12),
+            other => panic!("expected zipf, parsed {other:?}"),
+        }
+        let uniform = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--traffic-dist".to_string(), "uniform".to_string()],
+        );
+        assert_eq!(uniform.traffic_dist, TrafficDist::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown traffic distribution")]
+    fn parse_argv_rejects_unknown_traffic_distribution() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--traffic-dist".to_string(), "pareto".to_string()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent must be a positive finite number")]
+    fn parse_argv_rejects_non_positive_zipf_exponent() {
+        let _ = CommonArgs::parse_argv(
+            CommonArgs::default(),
+            &[],
+            vec!["--traffic-dist".to_string(), "zipf:-1".to_string()],
+        );
     }
 
     #[test]

@@ -97,14 +97,23 @@ pub fn run_experiment_with_traffic<P: Clone>(
         if kill_tick.is_none() && failure_round == Some(round) {
             kill_tick = Some(substrate.observe().ticks);
         }
+        let mut round_reads_writes = (0u64, 0u64);
         if let Some(load) = traffic.as_deref_mut() {
             let ttl = load.ttl();
+            let (reads0, writes0) = (load.reads(), load.writes());
             let keys = load.next_round();
             substrate.offer_traffic(keys, ttl);
+            // The workload's read/write split is generator-side
+            // accounting (the overlay routes both identically); the
+            // per-round delta rides the observation next to the
+            // substrate-side delivery counters.
+            round_reads_writes = (load.reads() - reads0, load.writes() - writes0);
         }
         let mut obs = substrate.step();
         if traffic.is_some() {
             obs.traffic = substrate.drain_traffic();
+            obs.traffic.reads = round_reads_writes.0;
+            obs.traffic.writes = round_reads_writes.1;
         }
         observations.push(obs);
     }
@@ -296,8 +305,17 @@ pub struct ExperimentSummary {
     /// Per-round query availability (delivered / offered; `1.0` on
     /// quiet rounds, so scenario-only runs stay trivially available).
     pub traffic_availability: SeriesStats,
+    /// Per-round median query latency, in protocol ticks.
+    pub traffic_p50: SeriesStats,
     /// Per-round p99 query latency, in protocol ticks.
     pub traffic_p99: SeriesStats,
+    /// Total read-intent queries the workloads drew, across all runs.
+    pub traffic_reads: u64,
+    /// Total write-intent queries the workloads drew, across all runs.
+    pub traffic_writes: u64,
+    /// Total queries shed at gateway ingress, across all runs (zero on
+    /// substrates without an admission bound).
+    pub traffic_shed: u64,
     /// Per-run reshaping time in rounds (`None` = never reshaped).
     pub reshaping_rounds: Vec<Option<u32>>,
     /// Per-run reshaping time in protocol ticks.
@@ -324,8 +342,15 @@ impl ExperimentSummary {
             .push_run(trace.observations.iter().map(|o| o.cost_units));
         self.traffic_availability
             .push_run(trace.observations.iter().map(|o| o.traffic.availability()));
+        self.traffic_p50
+            .push_run(trace.observations.iter().map(|o| o.traffic.latency_p50));
         self.traffic_p99
             .push_run(trace.observations.iter().map(|o| o.traffic.latency_p99));
+        for o in &trace.observations {
+            self.traffic_reads += o.traffic.reads;
+            self.traffic_writes += o.traffic.writes;
+            self.traffic_shed += o.traffic.shed;
+        }
         self.reshaping_rounds.push(trace.reshaping_rounds());
         self.reshaping_ticks.push(trace.reshaping_ticks());
         self.reliabilities.push(trace.reliability());
@@ -377,6 +402,21 @@ impl ExperimentSummary {
     /// the availability gates and the baseline differ track.
     pub fn mean_traffic_availability(&self) -> Option<f64> {
         let means = self.traffic_availability.means();
+        (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
+    }
+
+    /// Mean per-round median query latency (protocol ticks) over the
+    /// whole series, or `None` before any run was pushed — the
+    /// saturation sweep's per-rate latency figure.
+    pub fn mean_traffic_p50(&self) -> Option<f64> {
+        let means = self.traffic_p50.means();
+        (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
+    }
+
+    /// Mean per-round p99 query latency (protocol ticks) over the whole
+    /// series, or `None` before any run was pushed.
+    pub fn mean_traffic_p99(&self) -> Option<f64> {
+        let means = self.traffic_p99.means();
         (!means.is_empty()).then(|| means.iter().sum::<f64>() / means.len() as f64)
     }
 
@@ -480,6 +520,14 @@ pub fn summary_json(
             Some(m) => json_f64(m, 4),
             None => "null".to_string(),
         };
+        let traffic_p50 = match s.mean_traffic_p50() {
+            Some(m) => json_f64(m, 2),
+            None => "null".to_string(),
+        };
+        let traffic_p99 = match s.mean_traffic_p99() {
+            Some(m) => json_f64(m, 2),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "{{\"label\":\"{label}\",\"runs\":{},\"recovered_runs\":{},\
@@ -487,9 +535,14 @@ pub fn summary_json(
              \"mean_cost_units\":{cost_units},\
              \"mean_traffic_availability\":{traffic_availability},\
              \"min_traffic_availability\":{min_traffic_availability},\
+             \"mean_traffic_p50\":{traffic_p50},\"mean_traffic_p99\":{traffic_p99},\
+             \"traffic_reads\":{},\"traffic_writes\":{},\"traffic_shed\":{},\
              \"reliability_mean\":{},\"final_alive_nodes\":",
             s.runs,
             s.recovered_runs(),
+            s.traffic_reads,
+            s.traffic_writes,
+            s.traffic_shed,
             json_f64(s.reliability_percent_ci().mean, 2),
         );
         json_stat(&mut out, s.alive_nodes.last(), 0);
@@ -503,6 +556,8 @@ pub fn summary_json(
         json_stat(&mut out, s.points_per_node.last(), 3);
         out.push_str(",\"final_traffic_availability\":");
         json_stat(&mut out, s.traffic_availability.last(), 4);
+        out.push_str(",\"final_traffic_p50\":");
+        json_stat(&mut out, s.traffic_p50.last(), 2);
         out.push_str(",\"final_traffic_p99\":");
         json_stat(&mut out, s.traffic_p99.last(), 2);
         out.push('}');
@@ -818,6 +873,7 @@ mod tests {
         // nothing lost) and carry a zero p99.
         assert!(json.contains("\"mean_traffic_availability\":1.0000"));
         assert!(json.contains("\"min_traffic_availability\":1.0000"));
+        assert!(json.contains("\"traffic_reads\":0,\"traffic_writes\":0,\"traffic_shed\":0"));
         assert!(json.contains("\"final_traffic_availability\":{\"min\":1.0000"));
         assert!(json.contains("\"final_traffic_p99\":{\"min\":0.00"));
         assert!(json.ends_with("]}"));

@@ -61,4 +61,4 @@ pub use experiment::{
 };
 pub use polystyrene_protocol::observe::{RoundObservation, TrafficStats};
 pub use substrate::{build_substrate, LabConfig, LiveSubstrate, Substrate, SubstrateKind};
-pub use traffic::TrafficLoad;
+pub use traffic::{TrafficDist, TrafficLoad};

@@ -298,9 +298,9 @@ pub struct LiveSubstrate<C> {
     /// the deterministic substrates report directly.
     cost_baseline: f64,
     /// Cumulative traffic counters at the previous drain —
-    /// `(offered, delivered, dropped)` — differenced for the same
+    /// `(offered, delivered, dropped, shed)` — differenced for the same
     /// reason as `cost_baseline`.
-    traffic_baseline: (u64, u64, u64),
+    traffic_baseline: (u64, u64, u64, u64),
 }
 
 impl<C> LiveSubstrate<C> {
@@ -315,7 +315,7 @@ impl<C> LiveSubstrate<C> {
             target_ticks: 0,
             round_timeout,
             cost_baseline: 0.0,
-            traffic_baseline: (0, 0, 0),
+            traffic_baseline: (0, 0, 0, 0),
         }
     }
 
@@ -372,9 +372,15 @@ impl<P: Clone, C: LiveCluster<P>> Substrate<P> for LiveSubstrate<C> {
             offered: cumulative.offered.saturating_sub(self.traffic_baseline.0),
             delivered: cumulative.delivered.saturating_sub(self.traffic_baseline.1),
             dropped: cumulative.dropped.saturating_sub(self.traffic_baseline.2),
+            shed: cumulative.shed.saturating_sub(self.traffic_baseline.3),
             ..cumulative
         };
-        self.traffic_baseline = (cumulative.offered, cumulative.delivered, cumulative.dropped);
+        self.traffic_baseline = (
+            cumulative.offered,
+            cumulative.delivered,
+            cumulative.dropped,
+            cumulative.shed,
+        );
         stats
     }
 

@@ -1,22 +1,72 @@
 //! The query workload of the traffic plane.
 //!
-//! [`TrafficLoad`] turns three user-facing knobs — requests per round, a
-//! key universe, a read fraction — into the per-round key batches the
-//! [`crate::Substrate::offer_traffic`] seam consumes, on every backend
-//! identically. Its entropy is its own: the generator draws from a
-//! dedicated stream (seeded off the experiment seed with the shared
-//! [`TRAFFIC_SEED_TAG`]), so the *same* request sequence hits the cycle
-//! engine, the event kernel and the live clusters, and switching the
-//! load on cannot perturb a substrate's protocol entropy.
+//! [`TrafficLoad`] turns four user-facing knobs — requests per round, a
+//! key universe, a key distribution, a read fraction — into the
+//! per-round key batches the [`crate::Substrate::offer_traffic`] seam
+//! consumes, on every backend identically. Its entropy is its own: the
+//! generator draws from a dedicated stream (seeded off the experiment
+//! seed with the shared [`TRAFFIC_SEED_TAG`]), so the *same* request
+//! sequence hits the cycle engine, the event kernel and the live
+//! clusters, and switching the load on cannot perturb a substrate's
+//! protocol entropy.
 
 use polystyrene_protocol::TRAFFIC_SEED_TAG;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::str::FromStr;
+
+/// How a workload picks keys from its universe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian popularity with exponent `s > 0`: the `i`-th key (by its
+    /// position in the universe) is drawn with weight `1 / i^s` — the
+    /// classic skewed-popularity model for cache and KV workloads. Drawn
+    /// via a precomputed CDF table, so a draw costs one uniform sample
+    /// and one binary search, no allocation.
+    Zipf(f64),
+}
+
+impl FromStr for TrafficDist {
+    type Err = String;
+
+    /// Parses `uniform` or `zipf:<s>` (e.g. `zipf:1.1`); the exponent
+    /// must be a positive finite number.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "uniform" {
+            return Ok(TrafficDist::Uniform);
+        }
+        if let Some(exp) = s.strip_prefix("zipf:") {
+            let exponent: f64 = exp
+                .parse()
+                .map_err(|_| format!("zipf exponent {exp:?} is not a number"))?;
+            if !(exponent.is_finite() && exponent > 0.0) {
+                return Err(format!(
+                    "zipf exponent must be a positive finite number, got {exponent}"
+                ));
+            }
+            return Ok(TrafficDist::Zipf(exponent));
+        }
+        Err(format!(
+            "unknown traffic distribution {s:?} (expected \"uniform\" or \"zipf:<s>\")"
+        ))
+    }
+}
+
+impl std::fmt::Display for TrafficDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficDist::Uniform => write!(f, "uniform"),
+            TrafficDist::Zipf(s) => write!(f, "zipf:{s}"),
+        }
+    }
+}
 
 /// A seeded application workload: `rate` key lookups per round, keys
-/// drawn uniformly from a fixed universe, split into reads and writes
-/// by `read_fraction` (both resolve through the same greedy query
-/// plane; the split is recorded for workload accounting).
+/// drawn from a fixed universe under a [`TrafficDist`], split into
+/// reads and writes by `read_fraction` (both resolve through the same
+/// greedy query plane; the split is recorded for workload accounting).
 #[derive(Clone, Debug)]
 pub struct TrafficLoad<P> {
     keys: Vec<P>,
@@ -25,19 +75,43 @@ pub struct TrafficLoad<P> {
     ttl: u32,
     rng: StdRng,
     batch: Vec<P>,
+    /// Cumulative key-popularity table for the zipfian draw; empty for
+    /// the uniform distribution (which keeps the original
+    /// one-`random_range`-per-draw discipline, so existing seeds
+    /// reproduce the exact same request sequence).
+    cdf: Vec<f64>,
     reads: u64,
     writes: u64,
 }
 
 impl<P: Clone> TrafficLoad<P> {
-    /// Builds a workload over `keys`, issuing `rate` requests per round
-    /// with the given read/write split and per-query hop budget.
+    /// Builds a uniform workload over `keys`, issuing `rate` requests
+    /// per round with the given read/write split and per-query hop
+    /// budget.
     ///
     /// # Panics
     ///
     /// Panics if `keys` is empty while `rate > 0`, if `read_fraction`
     /// is outside `[0, 1]`, or if `ttl` is zero.
     pub fn new(keys: Vec<P>, rate: usize, read_fraction: f64, ttl: u32, seed: u64) -> Self {
+        Self::with_dist(keys, rate, read_fraction, ttl, seed, TrafficDist::Uniform)
+    }
+
+    /// Builds a workload with an explicit key distribution (see
+    /// [`TrafficLoad::new`] for the other knobs and panics).
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics on a non-positive or non-finite zipf
+    /// exponent.
+    pub fn with_dist(
+        keys: Vec<P>,
+        rate: usize,
+        read_fraction: f64,
+        ttl: u32,
+        seed: u64,
+        dist: TrafficDist,
+    ) -> Self {
         assert!(
             rate == 0 || !keys.is_empty(),
             "a non-zero request rate needs a non-empty key universe"
@@ -47,6 +121,25 @@ impl<P: Clone> TrafficLoad<P> {
             "read fraction must be within [0, 1]"
         );
         assert!(ttl > 0, "query ttl must be at least one hop");
+        let cdf = match dist {
+            TrafficDist::Uniform => Vec::new(),
+            TrafficDist::Zipf(s) => {
+                assert!(
+                    s.is_finite() && s > 0.0,
+                    "zipf exponent must be a positive finite number"
+                );
+                let mut cdf: Vec<f64> = Vec::with_capacity(keys.len());
+                let mut total = 0.0;
+                for rank in 1..=keys.len() {
+                    total += 1.0 / (rank as f64).powf(s);
+                    cdf.push(total);
+                }
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+        };
         Self {
             keys,
             rate,
@@ -54,6 +147,7 @@ impl<P: Clone> TrafficLoad<P> {
             ttl,
             rng: StdRng::seed_from_u64(seed ^ TRAFFIC_SEED_TAG),
             batch: Vec::with_capacity(rate),
+            cdf,
             reads: 0,
             writes: 0,
         }
@@ -64,7 +158,15 @@ impl<P: Clone> TrafficLoad<P> {
     pub fn next_round(&mut self) -> &[P] {
         self.batch.clear();
         for _ in 0..self.rate {
-            let key = self.keys[self.rng.random_range(0..self.keys.len())].clone();
+            let idx = if self.cdf.is_empty() {
+                self.rng.random_range(0..self.keys.len())
+            } else {
+                let u: f64 = self.rng.random_range(0.0..1.0);
+                self.cdf
+                    .partition_point(|&c| c <= u)
+                    .min(self.keys.len() - 1)
+            };
+            let key = self.keys[idx].clone();
             if self.rng.random_bool(self.read_fraction) {
                 self.reads += 1;
             } else {
@@ -132,6 +234,41 @@ mod tests {
     }
 
     #[test]
+    fn zipf_skews_toward_head_keys_and_reproduces() {
+        let keys: Vec<[f64; 2]> = (0..64).map(|i| [f64::from(i), 0.0]).collect();
+        let dist = TrafficDist::Zipf(1.2);
+        let mut a = TrafficLoad::with_dist(keys.clone(), 200, 1.0, 6, 7, dist);
+        let mut b = TrafficLoad::with_dist(keys.clone(), 200, 1.0, 6, 7, dist);
+        let batch_a: Vec<_> = a.next_round().to_vec();
+        assert_eq!(batch_a, b.next_round());
+        // The head key must dominate any mid-universe key by a wide
+        // margin — the signature of the zipf CDF actually being used.
+        let head = batch_a.iter().filter(|k| k[0] == 0.0).count();
+        let mid = batch_a.iter().filter(|k| k[0] == 32.0).count();
+        assert!(
+            head >= 20 && head > 4 * mid,
+            "zipf head {head} vs mid {mid}"
+        );
+        // Every drawn key is from the universe (the CDF clamp holds).
+        assert!(batch_a.iter().all(|k| k[0] >= 0.0 && k[0] < 64.0));
+    }
+
+    #[test]
+    fn dist_parsing_accepts_uniform_and_zipf() {
+        assert_eq!("uniform".parse::<TrafficDist>(), Ok(TrafficDist::Uniform));
+        assert_eq!(
+            "zipf:1.5".parse::<TrafficDist>(),
+            Ok(TrafficDist::Zipf(1.5))
+        );
+        assert_eq!(TrafficDist::Zipf(1.5).to_string(), "zipf:1.5");
+        assert!("zipf:0".parse::<TrafficDist>().is_err());
+        assert!("zipf:-1".parse::<TrafficDist>().is_err());
+        assert!("zipf:nan".parse::<TrafficDist>().is_err());
+        assert!("zipf".parse::<TrafficDist>().is_err());
+        assert!("pareto".parse::<TrafficDist>().is_err());
+    }
+
+    #[test]
     #[should_panic(expected = "non-empty key universe")]
     fn rate_without_keys_rejected() {
         let _ = TrafficLoad::<[f64; 2]>::new(Vec::new(), 1, 0.5, 4, 1);
@@ -147,5 +284,11 @@ mod tests {
     #[should_panic(expected = "query ttl")]
     fn zero_ttl_rejected() {
         let _ = TrafficLoad::new(vec![[0.0, 0.0]], 1, 0.5, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn bad_zipf_exponent_rejected() {
+        let _ = TrafficLoad::with_dist(vec![[0.0, 0.0]], 1, 0.5, 4, 1, TrafficDist::Zipf(0.0));
     }
 }

@@ -43,8 +43,8 @@ use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::pool::NodePool;
 use polystyrene_protocol::{
-    Channel, Effect, EffectSink, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, RoundCost,
-    Wire,
+    Channel, Effect, EffectSink, Event, Fate, FaultyNetwork, NetworkModel, ProtocolNode, QueryItem,
+    RoundCost, Wire,
 };
 use polystyrene_space::MetricSpace;
 use polystyrene_topology::TopologyConstruction;
@@ -164,6 +164,9 @@ pub struct NetSim<S: MetricSpace> {
     order: Vec<NodeId>,
     /// Reusable measurement tables for [`Self::step`].
     scratch: MeasureScratch,
+    /// Reusable `(gateway, qid, key index)` scratch of the batched
+    /// [`Self::offer_traffic`] grouping pass.
+    traffic_batch: Vec<(NodeId, u64, usize)>,
 }
 
 impl<S: MetricSpace> NetSim<S> {
@@ -268,6 +271,7 @@ impl<S: MetricSpace> NetSim<S> {
             pending: VecDeque::new(),
             order: Vec::new(),
             scratch: MeasureScratch::default(),
+            traffic_batch: Vec::new(),
         }
     }
 
@@ -366,13 +370,64 @@ impl<S: MetricSpace> NetSim<S> {
     }
 
     /// Injects one query per key at a uniformly random alive gateway.
-    /// Each query is scheduled as a self-addressed delivery at the
+    /// Co-gateway queries share one [`Wire::QueryBatch`] envelope,
+    /// scheduled as a *single* self-addressed kernel event at the
     /// current instant — the start of the next [`Self::step`] — and then
-    /// forwards hop-by-hop through node views as real messages on the
-    /// traffic fabric. Gateway choice and query transit draw from
-    /// dedicated streams, so enabling traffic leaves the protocol
-    /// history byte-identical.
+    /// forward hop-by-hop through node views as (batched) messages on
+    /// the traffic fabric. Gateways are drawn first, in key order
+    /// against one borrow of the alive list — the exact rng stream and
+    /// qid assignment of the per-wire path — so batching changes the
+    /// envelope count, never a query's gateway or id. Gateway choice and
+    /// query transit draw from dedicated streams, so enabling traffic
+    /// leaves the protocol history byte-identical.
     pub fn offer_traffic(&mut self, keys: &[S::Point], ttl: u32) {
+        if self.nodes.alive_count() == 0 {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.traffic_batch);
+        batch.clear();
+        {
+            let alive = self.nodes.alive_ids();
+            let n = alive.len();
+            for idx in 0..keys.len() {
+                let gateway = alive[self.traffic_rng.random_range(0..n)];
+                self.next_qid += 1;
+                batch.push((gateway, self.next_qid, idx));
+            }
+        }
+        batch.sort_unstable();
+        let mut at = 0;
+        while at < batch.len() {
+            let gateway = batch[at].0;
+            let mut queries = self.sink.take_queries();
+            while at < batch.len() && batch[at].0 == gateway {
+                let (_, qid, idx) = batch[at];
+                queries.push(QueryItem {
+                    qid,
+                    origin: gateway,
+                    key: keys[idx].clone(),
+                    ttl,
+                    hops: 0,
+                });
+                at += 1;
+            }
+            self.schedule(
+                self.now,
+                Pending::Deliver {
+                    from: gateway,
+                    to: gateway,
+                    wire: Wire::QueryBatch { queries },
+                },
+            );
+        }
+        self.traffic_batch = batch;
+    }
+
+    /// The pre-batching per-wire offer path: one [`Wire::Query`]
+    /// delivery event per key. Kept as a paired baseline for the
+    /// batched-vs-unbatched equivalence test and the `fig_traffic_scale`
+    /// wall-clock comparison.
+    pub fn offer_traffic_unbatched(&mut self, keys: &[S::Point], ttl: u32) {
         if self.nodes.alive_count() == 0 {
             return;
         }

@@ -22,7 +22,7 @@
 //! assert_eq!(decode_wire::<[f64; 2]>(&bytes).unwrap(), wire);
 //! ```
 
-use crate::wire::{Channel, Effect, Event, Wire};
+use crate::wire::{Channel, Effect, Event, QueryItem, QueryReplyItem, Wire};
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 
@@ -367,6 +367,26 @@ fn put_wire<P: PointCodec>(out: &mut Vec<u8>, wire: &Wire<P>) {
             put_u32(out, *hops);
             pos.encode_point(out);
         }
+        Wire::QueryBatch { queries } => {
+            out.push(11);
+            put_u64(out, queries.len() as u64);
+            for q in queries {
+                put_u64(out, q.qid);
+                put_u64(out, q.origin.as_u64());
+                q.key.encode_point(out);
+                put_u32(out, q.ttl);
+                put_u32(out, q.hops);
+            }
+        }
+        Wire::QueryReplyBatch { replies } => {
+            out.push(12);
+            put_u64(out, replies.len() as u64);
+            for reply in replies {
+                put_u64(out, reply.qid);
+                put_u32(out, reply.hops);
+                reply.pos.encode_point(out);
+            }
+        }
     }
 }
 
@@ -416,6 +436,36 @@ fn get_wire<P: PointCodec>(r: &mut Reader<'_>) -> Result<Wire<P>, CodecError> {
             qid: r.u64()?,
             hops: r.u32()?,
             pos: P::decode_point(r)?,
+        },
+        11 => Wire::QueryBatch {
+            queries: {
+                let n = r.len(8 + 8 + P::MIN_ENCODED_SIZE + 4 + 4)?;
+                (0..n)
+                    .map(|_| {
+                        Ok(QueryItem {
+                            qid: r.u64()?,
+                            origin: NodeId::new(r.u64()?),
+                            key: P::decode_point(r)?,
+                            ttl: r.u32()?,
+                            hops: r.u32()?,
+                        })
+                    })
+                    .collect::<Result<_, CodecError>>()?
+            },
+        },
+        12 => Wire::QueryReplyBatch {
+            replies: {
+                let n = r.len(8 + 4 + P::MIN_ENCODED_SIZE)?;
+                (0..n)
+                    .map(|_| {
+                        Ok(QueryReplyItem {
+                            qid: r.u64()?,
+                            hops: r.u32()?,
+                            pos: P::decode_point(r)?,
+                        })
+                    })
+                    .collect::<Result<_, CodecError>>()?
+            },
         },
         tag => return Err(CodecError::BadTag { what: "Wire", tag }),
     })
@@ -683,6 +733,70 @@ mod tests {
             for cut in 0..buf.len() {
                 assert!(decode_wire::<[f64; 2]>(&buf[..cut]).is_err());
             }
+        }
+    }
+
+    #[test]
+    fn batch_variants_roundtrip_through_a_dirty_buffer() {
+        let batch: Wire<[f64; 2]> = Wire::QueryBatch {
+            queries: vec![
+                QueryItem {
+                    qid: 0xDEAD_BEEF,
+                    origin: NodeId::new(17),
+                    key: [3.25, 7.5],
+                    ttl: 64,
+                    hops: 5,
+                },
+                QueryItem {
+                    qid: 0xDEAD_BEF0,
+                    origin: NodeId::new(18),
+                    key: [0.0, 1.0],
+                    ttl: 64,
+                    hops: 0,
+                },
+            ],
+        };
+        let replies: Wire<[f64; 2]> = Wire::QueryReplyBatch {
+            replies: vec![
+                QueryReplyItem {
+                    qid: 0xDEAD_BEEF,
+                    hops: 9,
+                    pos: [1.0, 2.0],
+                },
+                QueryReplyItem {
+                    qid: 0xDEAD_BEF0,
+                    hops: 1,
+                    pos: [5.0, 6.0],
+                },
+            ],
+        };
+        let mut buf = vec![0x55; 300]; // dirty and oversized
+        for wire in [&batch, &replies] {
+            encode_wire_into(&mut buf, wire);
+            assert_eq!(buf, encode_wire(wire));
+            assert_eq!(&decode_wire::<[f64; 2]>(&buf).unwrap(), wire);
+            for cut in 0..buf.len() {
+                assert!(decode_wire::<[f64; 2]>(&buf[..cut]).is_err());
+            }
+        }
+        // Empty batches are legal on the wire (senders elide them, but a
+        // decoder must not conflate "empty" with "corrupt").
+        let empty: Wire<[f64; 2]> = Wire::QueryBatch { queries: vec![] };
+        assert_eq!(
+            decode_wire::<[f64; 2]>(&encode_wire(&empty)).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn corrupt_batch_length_prefix_rejected_without_allocating() {
+        for tag in [11u8, 12u8] {
+            let mut out = vec![FORMAT_VERSION, tag];
+            out.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd length
+            assert_eq!(
+                decode_wire::<[f64; 2]>(&out),
+                Err(CodecError::BadLength(u64::MAX))
+            );
         }
     }
 

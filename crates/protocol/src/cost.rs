@@ -69,7 +69,9 @@ impl CostModel {
             | Wire::MigrationAck { .. }
             | Wire::Heartbeat
             | Wire::Query { .. }
-            | Wire::QueryReply { .. } => 0,
+            | Wire::QueryReply { .. }
+            | Wire::QueryBatch { .. }
+            | Wire::QueryReplyBatch { .. } => 0,
         }
     }
 }

@@ -111,7 +111,7 @@ pub mod prelude {
         sample_bootstrap_contacts, select_region_victims, select_victims, PaperScenario, Scenario,
         ScenarioEvent,
     };
-    pub use crate::wire::{Channel, Effect, EffectSink, Event, Wire};
+    pub use crate::wire::{Channel, Effect, EffectSink, Event, QueryItem, QueryReplyItem, Wire};
 }
 
 pub use prelude::*;

@@ -23,7 +23,7 @@
 //!   stall (see [`ProtocolNode::on_tick`]).
 
 use crate::config::ProtocolConfig;
-use crate::wire::{Channel, Effect, EffectSink, Event, Wire};
+use crate::wire::{Channel, Effect, EffectSink, Event, QueryItem, QueryReplyItem, Wire};
 use polystyrene::prelude::*;
 use polystyrene::recovery::{recover, RecoveryOutcome};
 use polystyrene_membership::{Descriptor, NodeId, PeerSampling};
@@ -1020,6 +1020,91 @@ impl<S: MetricSpace> ProtocolNode<S> {
                     self.traffic_samples
                         .push((hops, self.clock.saturating_sub(issued)));
                 }
+            }
+            Wire::QueryBatch { mut queries } => {
+                // Each item follows the exact `Wire::Query` semantics
+                // above — same registration, same greedy argmin, same
+                // per-query hop accounting — but the forwards regroup by
+                // next-hop and the terminal answers by origin, so one
+                // envelope in yields at most one envelope per
+                // destination out instead of one effect per query.
+                let mut forwards = sink.take_query_groups();
+                let mut replies = sink.take_reply_groups();
+                for QueryItem {
+                    qid,
+                    origin,
+                    key,
+                    ttl,
+                    hops,
+                } in queries.drain(..)
+                {
+                    if origin == self.id && hops == 0 {
+                        self.traffic_offered += 1;
+                        self.pending_queries.insert(qid, self.clock);
+                    }
+                    match self.closer_view_entry(&key) {
+                        Some(next) if hops < ttl => {
+                            let slot = match forwards.iter().position(|(to, _)| *to == next) {
+                                Some(i) => i,
+                                None => {
+                                    forwards.push((next, sink.take_queries()));
+                                    forwards.len() - 1
+                                }
+                            };
+                            forwards[slot].1.push(QueryItem {
+                                qid,
+                                origin,
+                                key,
+                                ttl,
+                                hops: hops + 1,
+                            });
+                        }
+                        _ => {
+                            if origin == self.id {
+                                if self.pending_queries.remove(&qid).is_some() {
+                                    self.traffic_samples.push((hops, 0));
+                                }
+                            } else {
+                                let slot = match replies.iter().position(|(to, _)| *to == origin) {
+                                    Some(i) => i,
+                                    None => {
+                                        replies.push((origin, sink.take_replies()));
+                                        replies.len() - 1
+                                    }
+                                };
+                                replies[slot].1.push(QueryReplyItem {
+                                    qid,
+                                    hops,
+                                    pos: self.poly.pos.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+                sink.put_queries(queries);
+                for (to, queries) in forwards.drain(..) {
+                    sink.push(Effect::Send {
+                        to,
+                        wire: Wire::QueryBatch { queries },
+                    });
+                }
+                sink.put_query_groups(forwards);
+                for (to, replies) in replies.drain(..) {
+                    sink.push(Effect::Send {
+                        to,
+                        wire: Wire::QueryReplyBatch { replies },
+                    });
+                }
+                sink.put_reply_groups(replies);
+            }
+            Wire::QueryReplyBatch { mut replies } => {
+                for QueryReplyItem { qid, hops, .. } in replies.drain(..) {
+                    if let Some(issued) = self.pending_queries.remove(&qid) {
+                        self.traffic_samples
+                            .push((hops, self.clock.saturating_sub(issued)));
+                    }
+                }
+                sink.put_replies(replies);
             }
         }
     }

@@ -29,6 +29,18 @@ pub struct TrafficStats {
     /// Queries written off this round: their gateway waited longer than
     /// the query timeout — the signature of a route into a hole.
     pub dropped: u64,
+    /// Queries refused at the gateway's ingress this round because its
+    /// bounded admission queue was full — load the substrate declined
+    /// *before* it entered the overlay, counted separately from
+    /// `dropped` (which expired in flight). Always zero on substrates
+    /// without an admission bound.
+    pub shed: u64,
+    /// Read-intent queries the workload generator drew this round.
+    /// Workload-side accounting (the overlay routes reads and writes
+    /// identically); zero when no generator is attached.
+    pub reads: u64,
+    /// Write-intent queries the workload generator drew this round.
+    pub writes: u64,
     /// Mean hops over the queries completed this round.
     pub mean_hops: f64,
     /// Median query latency in protocol ticks over this round's
@@ -69,13 +81,17 @@ impl TrafficStats {
         stats
     }
 
-    /// Delivered fraction of the offered queries (`1.0` when none were
-    /// offered — an idle round is trivially available).
+    /// Delivered fraction of the queries the workload *presented*
+    /// (offered into the overlay plus shed at the gateway; `1.0` when
+    /// none were — an idle round is trivially available). Shed load
+    /// counts against availability: a gateway refusing a query is a
+    /// query the application did not get served.
     pub fn availability(&self) -> f64 {
-        if self.offered == 0 {
+        let presented = self.offered + self.shed;
+        if presented == 0 {
             1.0
         } else {
-            self.delivered as f64 / self.offered as f64
+            self.delivered as f64 / presented as f64
         }
     }
 
@@ -91,6 +107,9 @@ impl TrafficStats {
         self.offered += other.offered;
         self.delivered += other.delivered;
         self.dropped += other.dropped;
+        self.shed += other.shed;
+        self.reads += other.reads;
+        self.writes += other.writes;
         self.latency_p50 = self.latency_p50.max(other.latency_p50);
         self.latency_p99 = self.latency_p99.max(other.latency_p99);
     }
@@ -167,14 +186,20 @@ mod tests {
             offered: 10,
             delivered: 8,
             dropped: 1,
+            reads: 9,
+            writes: 1,
             mean_hops: 4.0,
             latency_p50: 1.0,
             latency_p99: 3.0,
+            ..TrafficStats::default()
         };
         let b = TrafficStats {
             offered: 10,
             delivered: 2,
             dropped: 5,
+            shed: 4,
+            reads: 8,
+            writes: 2,
             mean_hops: 9.0,
             latency_p50: 2.0,
             latency_p99: 8.0,
@@ -183,9 +208,29 @@ mod tests {
         assert_eq!(a.offered, 20);
         assert_eq!(a.delivered, 10);
         assert_eq!(a.dropped, 6);
-        assert!((a.availability() - 0.5).abs() < 1e-12);
+        assert_eq!(a.shed, 4);
+        assert_eq!(a.reads, 17);
+        assert_eq!(a.writes, 3);
+        // Shed load counts against availability: 10 of 24 presented.
+        assert!((a.availability() - 10.0 / 24.0).abs() < 1e-12);
         assert!((a.mean_hops - 5.0).abs() < 1e-12);
         assert_eq!(a.latency_p99, 8.0);
+    }
+
+    #[test]
+    fn shed_load_degrades_availability() {
+        let stats = TrafficStats {
+            offered: 8,
+            delivered: 8,
+            shed: 2,
+            ..TrafficStats::default()
+        };
+        assert!((stats.availability() - 0.8).abs() < 1e-12);
+        let all_shed = TrafficStats {
+            shed: 5,
+            ..TrafficStats::default()
+        };
+        assert_eq!(all_shed.availability(), 0.0);
     }
 
     #[test]

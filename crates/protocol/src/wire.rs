@@ -154,6 +154,50 @@ pub enum Wire<P> {
         /// location for the key).
         pos: P,
     },
+    /// A batch of co-destined queries sharing one envelope. Semantically
+    /// identical to delivering each [`Wire::Query`] item in order; the
+    /// batch only amortizes per-message dispatch (one kernel event, one
+    /// frame, one mailbox send). Each item keeps its own `hops`/`ttl`, so
+    /// grouping by next-hop preserves per-query hop accounting exactly.
+    QueryBatch {
+        /// The batched queries, in offer/forward order.
+        queries: Vec<QueryItem<P>>,
+    },
+    /// A batch of co-destined query replies (all bound for the same
+    /// origin gateway), the terminal counterpart of [`Wire::QueryBatch`].
+    QueryReplyBatch {
+        /// The batched replies, in resolution order.
+        replies: Vec<QueryReplyItem<P>>,
+    },
+}
+
+/// One query of a [`Wire::QueryBatch`] — the payload fields of
+/// [`Wire::Query`] as a plain struct, so co-destined queries can share
+/// an envelope (and a pooled buffer) without losing per-query state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryItem<P> {
+    /// Query generation id, unique per origin substrate.
+    pub qid: u64,
+    /// The gateway node that issued the lookup and awaits the reply.
+    pub origin: NodeId,
+    /// The key's position in the data space.
+    pub key: P,
+    /// Remaining hop budget.
+    pub ttl: u32,
+    /// Hops taken so far.
+    pub hops: u32,
+}
+
+/// One reply of a [`Wire::QueryReplyBatch`] — the payload fields of
+/// [`Wire::QueryReply`] as a plain struct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryReplyItem<P> {
+    /// The answered query's generation id.
+    pub qid: u64,
+    /// Hops the query took to reach the terminal node.
+    pub hops: u32,
+    /// The terminal node's position.
+    pub pos: P,
 }
 
 impl<P> Wire<P> {
@@ -167,7 +211,10 @@ impl<P> Wire<P> {
             | Wire::MigrationAck { .. } => Channel::Migration,
             Wire::BackupPush { .. } => Channel::Backup,
             Wire::Heartbeat => Channel::Heartbeat,
-            Wire::Query { .. } | Wire::QueryReply { .. } => Channel::Query,
+            Wire::Query { .. }
+            | Wire::QueryReply { .. }
+            | Wire::QueryBatch { .. }
+            | Wire::QueryReplyBatch { .. } => Channel::Query,
         }
     }
 
@@ -185,6 +232,8 @@ impl<P> Wire<P> {
             Wire::Heartbeat => "heartbeat",
             Wire::Query { .. } => "query",
             Wire::QueryReply { .. } => "query_reply",
+            Wire::QueryBatch { .. } => "query_batch",
+            Wire::QueryReplyBatch { .. } => "query_reply_batch",
         }
     }
 }
@@ -284,10 +333,14 @@ pub struct BufPool<P> {
     descriptors: Vec<Vec<Descriptor<P>>>,
     points: Vec<Vec<DataPoint<P>>>,
     point_ids: Vec<Vec<PointId>>,
+    queries: Vec<Vec<QueryItem<P>>>,
+    replies: Vec<Vec<QueryReplyItem<P>>>,
     /// Retained element capacity per kind, same order as the stacks.
     descriptors_retained: usize,
     points_retained: usize,
     point_ids_retained: usize,
+    queries_retained: usize,
+    replies_retained: usize,
 }
 
 impl<P> BufPool<P> {
@@ -297,9 +350,13 @@ impl<P> BufPool<P> {
             descriptors: Vec::new(),
             points: Vec::new(),
             point_ids: Vec::new(),
+            queries: Vec::new(),
+            replies: Vec::new(),
             descriptors_retained: 0,
             points_retained: 0,
             point_ids_retained: 0,
+            queries_retained: 0,
+            replies_retained: 0,
         }
     }
 
@@ -352,6 +409,26 @@ impl<P> BufPool<P> {
         Self::put(&mut self.point_ids, &mut self.point_ids_retained, buf);
     }
 
+    /// A cleared query-batch buffer (pooled capacity when available).
+    pub fn take_queries(&mut self) -> Vec<QueryItem<P>> {
+        Self::take(&mut self.queries, &mut self.queries_retained)
+    }
+
+    /// Returns a query-batch buffer to the pool.
+    pub fn put_queries(&mut self, buf: Vec<QueryItem<P>>) {
+        Self::put(&mut self.queries, &mut self.queries_retained, buf);
+    }
+
+    /// A cleared reply-batch buffer (pooled capacity when available).
+    pub fn take_replies(&mut self) -> Vec<QueryReplyItem<P>> {
+        Self::take(&mut self.replies, &mut self.replies_retained)
+    }
+
+    /// Returns a reply-batch buffer to the pool.
+    pub fn put_replies(&mut self, buf: Vec<QueryReplyItem<P>>) {
+        Self::put(&mut self.replies, &mut self.replies_retained, buf);
+    }
+
     /// Salvages the payload buffers of a wire message that reached the end
     /// of its life without transferring ownership — dropped by the fabric,
     /// addressed to a dead node, or fully consumed by a handler.
@@ -368,6 +445,8 @@ impl<P> BufPool<P> {
             Wire::MigrationRequest { guests, .. } => self.put_points(guests),
             Wire::MigrationReply { points, .. } => self.put_points(points),
             Wire::BackupPush { points, .. } => self.put_points(points),
+            Wire::QueryBatch { queries } => self.put_queries(queries),
+            Wire::QueryReplyBatch { replies } => self.put_replies(replies),
             Wire::MigrationAck { .. }
             | Wire::Heartbeat
             | Wire::Query { .. }
@@ -376,23 +455,28 @@ impl<P> BufPool<P> {
     }
 
     /// Buffers currently retained per kind: `(descriptors, points,
-    /// point_ids)` — test/diagnostic surface for the retention bounds.
-    pub fn pooled_counts(&self) -> (usize, usize, usize) {
+    /// point_ids, queries, replies)` — test/diagnostic surface for the
+    /// retention bounds.
+    pub fn pooled_counts(&self) -> (usize, usize, usize, usize, usize) {
         (
             self.descriptors.len(),
             self.points.len(),
             self.point_ids.len(),
+            self.queries.len(),
+            self.replies.len(),
         )
     }
 
     /// Element capacity currently retained per kind: `(descriptors,
-    /// points, point_ids)`. Each component is bounded by the per-kind
-    /// element budget [`BufPool::max_pooled_elements`].
-    pub fn pooled_elements(&self) -> (usize, usize, usize) {
+    /// points, point_ids, queries, replies)`. Each component is bounded
+    /// by the per-kind element budget [`BufPool::max_pooled_elements`].
+    pub fn pooled_elements(&self) -> (usize, usize, usize, usize, usize) {
         (
             self.descriptors_retained,
             self.points_retained,
             self.point_ids_retained,
+            self.queries_retained,
+            self.replies_retained,
         )
     }
 
@@ -438,6 +522,12 @@ pub struct EffectSink<P> {
     /// batch driver activates with this sink, so a consumed request's
     /// buffer resurfaces for the next reply.
     pool: BufPool<P>,
+    /// Scratch for grouping a query batch's forwards by next-hop (the
+    /// outer slots survive between activations; the inner buffers come
+    /// from and return to the pool).
+    query_groups: Vec<(NodeId, Vec<QueryItem<P>>)>,
+    /// Scratch for grouping a query batch's terminal replies by origin.
+    reply_groups: Vec<(NodeId, Vec<QueryReplyItem<P>>)>,
 }
 
 impl<P> EffectSink<P> {
@@ -447,6 +537,8 @@ impl<P> EffectSink<P> {
             effects: Vec::new(),
             ids: Vec::new(),
             pool: BufPool::new(),
+            query_groups: Vec::new(),
+            reply_groups: Vec::new(),
         }
     }
 
@@ -529,6 +621,60 @@ impl<P> EffectSink<P> {
     /// Recycles a point-id scratch buffer.
     pub fn put_point_ids(&mut self, buf: Vec<PointId>) {
         self.pool.put_point_ids(buf);
+    }
+
+    /// A cleared query-batch payload buffer from the sink's [`BufPool`].
+    pub fn take_queries(&mut self) -> Vec<QueryItem<P>> {
+        self.pool.take_queries()
+    }
+
+    /// Recycles a query-batch payload buffer.
+    pub fn put_queries(&mut self, buf: Vec<QueryItem<P>>) {
+        self.pool.put_queries(buf);
+    }
+
+    /// A cleared reply-batch payload buffer from the sink's [`BufPool`].
+    pub fn take_replies(&mut self) -> Vec<QueryReplyItem<P>> {
+        self.pool.take_replies()
+    }
+
+    /// Recycles a reply-batch payload buffer.
+    pub fn put_replies(&mut self, buf: Vec<QueryReplyItem<P>>) {
+        self.pool.put_replies(buf);
+    }
+
+    /// Borrows the per-next-hop query grouping scratch (empty, outer
+    /// capacity warm). Return it with [`EffectSink::put_query_groups`].
+    pub fn take_query_groups(&mut self) -> Vec<(NodeId, Vec<QueryItem<P>>)> {
+        let mut groups = std::mem::take(&mut self.query_groups);
+        groups.clear();
+        groups
+    }
+
+    /// Hands the query grouping scratch back, recycling any inner
+    /// buffers still attached to it.
+    pub fn put_query_groups(&mut self, mut groups: Vec<(NodeId, Vec<QueryItem<P>>)>) {
+        for (_, buf) in groups.drain(..) {
+            self.pool.put_queries(buf);
+        }
+        self.query_groups = groups;
+    }
+
+    /// Borrows the per-origin reply grouping scratch (empty, outer
+    /// capacity warm). Return it with [`EffectSink::put_reply_groups`].
+    pub fn take_reply_groups(&mut self) -> Vec<(NodeId, Vec<QueryReplyItem<P>>)> {
+        let mut groups = std::mem::take(&mut self.reply_groups);
+        groups.clear();
+        groups
+    }
+
+    /// Hands the reply grouping scratch back, recycling any inner
+    /// buffers still attached to it.
+    pub fn put_reply_groups(&mut self, mut groups: Vec<(NodeId, Vec<QueryReplyItem<P>>)>) {
+        for (_, buf) in groups.drain(..) {
+            self.pool.put_replies(buf);
+        }
+        self.reply_groups = groups;
     }
 
     /// Salvages the payload buffers of a terminal wire message (see
@@ -614,6 +760,22 @@ mod tests {
                 hops: 4,
                 pos: 0.25,
             },
+            Wire::QueryBatch {
+                queries: vec![QueryItem {
+                    qid: 11,
+                    origin: NodeId::new(3),
+                    key: 0.5,
+                    ttl: 16,
+                    hops: 0,
+                }],
+            },
+            Wire::QueryReplyBatch {
+                replies: vec![QueryReplyItem {
+                    qid: 11,
+                    hops: 3,
+                    pos: 0.75,
+                }],
+            },
         ];
         let kinds: Vec<&str> = wires.iter().map(Wire::kind).collect();
         assert_eq!(
@@ -626,7 +788,9 @@ mod tests {
                 "backup_push",
                 "heartbeat",
                 "query",
-                "query_reply"
+                "query_reply",
+                "query_batch",
+                "query_reply_batch"
             ]
         );
         assert_eq!(wires[0].channel(), Channel::PeerSampling);
@@ -637,5 +801,59 @@ mod tests {
         assert_eq!(wires[5].channel(), Channel::Heartbeat);
         assert_eq!(wires[6].channel(), Channel::Query);
         assert_eq!(wires[7].channel(), Channel::Query);
+        assert_eq!(wires[8].channel(), Channel::Query);
+        assert_eq!(wires[9].channel(), Channel::Query);
+    }
+
+    #[test]
+    fn batch_buffers_pool_and_come_back_empty() {
+        let mut pool: BufPool<f64> = BufPool::new();
+        let mut queries = pool.take_queries();
+        queries.push(QueryItem {
+            qid: 1,
+            origin: NodeId::new(2),
+            key: 0.5,
+            ttl: 8,
+            hops: 0,
+        });
+        let qcap = queries.capacity();
+        pool.recycle_wire(Wire::QueryBatch { queries });
+        let again = pool.take_queries();
+        assert!(again.is_empty(), "recycled batch buffers retain nothing");
+        assert!(again.capacity() >= qcap);
+        pool.put_queries(again);
+
+        let mut replies = pool.take_replies();
+        replies.push(QueryReplyItem {
+            qid: 1,
+            hops: 2,
+            pos: 0.25,
+        });
+        pool.recycle_wire(Wire::QueryReplyBatch { replies });
+        let again = pool.take_replies();
+        assert!(again.is_empty());
+        let (_, _, _, q, r) = pool.pooled_counts();
+        assert_eq!((q, r), (1, 0), "taken reply buffer left the pool");
+    }
+
+    #[test]
+    fn grouping_scratch_recycles_inner_buffers() {
+        let mut sink: EffectSink<f64> = EffectSink::new();
+        let mut groups = sink.take_query_groups();
+        let mut inner = sink.take_queries();
+        inner.push(QueryItem {
+            qid: 1,
+            origin: NodeId::new(2),
+            key: 0.5,
+            ttl: 8,
+            hops: 0,
+        });
+        groups.push((NodeId::new(7), inner));
+        sink.put_query_groups(groups);
+        // The abandoned inner buffer must have been salvaged into the pool.
+        assert_eq!(sink.buf_pool().pooled_counts().3, 1);
+        let groups = sink.take_query_groups();
+        assert!(groups.is_empty());
+        sink.put_query_groups(groups);
     }
 }

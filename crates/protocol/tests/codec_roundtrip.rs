@@ -12,7 +12,7 @@ use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::codec::{
     decode_effect, decode_event, decode_wire, encode_effect, encode_event, encode_wire,
 };
-use polystyrene_protocol::wire::{Channel, Effect, Event, Wire};
+use polystyrene_protocol::wire::{Channel, Effect, Event, QueryItem, QueryReplyItem, Wire};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -41,10 +41,35 @@ fn channel_strategy() -> impl Strategy<Value = Channel> {
     })
 }
 
+fn query_item_strategy() -> impl Strategy<Value = QueryItem<Pos>> {
+    (
+        0..10_000u64,
+        0..10_000u64,
+        pos_strategy(),
+        0..64u32,
+        0..64u32,
+    )
+        .prop_map(|(qid, origin, key, ttl, hops)| QueryItem {
+            qid,
+            origin: NodeId::new(origin),
+            key,
+            ttl,
+            hops,
+        })
+}
+
+fn reply_item_strategy() -> impl Strategy<Value = QueryReplyItem<Pos>> {
+    (0..10_000u64, 0..64u32, pos_strategy()).prop_map(|(qid, hops, pos)| QueryReplyItem {
+        qid,
+        hops,
+        pos,
+    })
+}
+
 fn wire_strategy() -> impl Strategy<Value = Wire<Pos>> {
     (
         (
-            0..=8u8,
+            0..=12u8,
             vec(descriptor_strategy(), 0..6),
             vec(descriptor_strategy(), 0..6),
         ),
@@ -53,38 +78,58 @@ fn wire_strategy() -> impl Strategy<Value = Wire<Pos>> {
             pos_strategy(),
             (0..1_000usize, 0..1_000usize, 0..2u8),
         ),
+        (
+            vec(query_item_strategy(), 0..6),
+            vec(reply_item_strategy(), 0..6),
+        ),
     )
-        .prop_map(|((tag, ds1, ds2), (points, pos, (a, b, busy)))| match tag {
-            0 => Wire::RpsRequest { descriptors: ds1 },
-            1 => Wire::RpsReply {
-                sent: ds1,
-                descriptors: ds2,
+        .prop_map(
+            |((tag, ds1, ds2), (points, pos, (a, b, busy)), (queries, replies))| match tag {
+                0 => Wire::RpsRequest { descriptors: ds1 },
+                1 => Wire::RpsReply {
+                    sent: ds1,
+                    descriptors: ds2,
+                },
+                2 => Wire::TManRequest {
+                    from_pos: pos,
+                    descriptors: ds1,
+                },
+                3 => Wire::TManReply { descriptors: ds1 },
+                4 => Wire::MigrationRequest {
+                    xid: a as u64,
+                    from_pos: pos,
+                    guests: points,
+                },
+                5 => Wire::MigrationReply {
+                    xid: b as u64,
+                    points,
+                    busy: busy == 1,
+                    pulled: a,
+                    pushed: b,
+                },
+                6 => Wire::MigrationAck { xid: a as u64 },
+                7 => Wire::BackupPush {
+                    points,
+                    added_points: a,
+                    removed_ids: b,
+                },
+                8 => Wire::Heartbeat,
+                9 => Wire::Query {
+                    qid: a as u64,
+                    origin: NodeId::new(b as u64),
+                    key: pos,
+                    ttl: busy as u32 + 1,
+                    hops: a as u32 % 64,
+                },
+                10 => Wire::QueryReply {
+                    qid: b as u64,
+                    hops: a as u32 % 64,
+                    pos,
+                },
+                11 => Wire::QueryBatch { queries },
+                _ => Wire::QueryReplyBatch { replies },
             },
-            2 => Wire::TManRequest {
-                from_pos: pos,
-                descriptors: ds1,
-            },
-            3 => Wire::TManReply { descriptors: ds1 },
-            4 => Wire::MigrationRequest {
-                xid: a as u64,
-                from_pos: pos,
-                guests: points,
-            },
-            5 => Wire::MigrationReply {
-                xid: b as u64,
-                points,
-                busy: busy == 1,
-                pulled: a,
-                pushed: b,
-            },
-            6 => Wire::MigrationAck { xid: a as u64 },
-            7 => Wire::BackupPush {
-                points,
-                added_points: a,
-                removed_ids: b,
-            },
-            _ => Wire::Heartbeat,
-        })
+        )
 }
 
 fn event_strategy() -> impl Strategy<Value = Event<Pos>> {

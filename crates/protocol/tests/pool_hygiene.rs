@@ -12,7 +12,7 @@
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::codec::{decode_wire, encode_wire, encode_wire_into};
-use polystyrene_protocol::wire::{BufPool, EffectSink, Wire};
+use polystyrene_protocol::wire::{BufPool, EffectSink, QueryItem, QueryReplyItem, Wire};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -55,6 +55,23 @@ proptest! {
         prop_assert!(pool.take_descriptors().is_empty());
         prop_assert!(pool.take_descriptors().is_empty());
         prop_assert!(pool.take_points().is_empty());
+
+        // And for the traffic plane's batch envelopes: their item
+        // buffers pool and come back empty with capacity intact.
+        let queries: Vec<QueryItem<Pos>> = ids
+            .iter()
+            .map(|&i| QueryItem { qid: i, origin: NodeId::new(i), key: [0.0, 0.0], ttl: 4, hops: 0 })
+            .collect();
+        let replies: Vec<QueryReplyItem<Pos>> = ids
+            .iter()
+            .map(|&i| QueryReplyItem { qid: i, hops: 1, pos: [0.0, 0.0] })
+            .collect();
+        pool.recycle_wire(Wire::QueryBatch { queries });
+        pool.recycle_wire(Wire::QueryReplyBatch { replies });
+        let q = pool.take_queries();
+        let r = pool.take_replies();
+        prop_assert!(q.is_empty() && r.is_empty());
+        prop_assert!(q.capacity() > 0 && r.capacity() > 0);
     }
 
     /// The traffic plane's wires are heap-free: recycling a query or a
@@ -77,8 +94,8 @@ proptest! {
             hops,
         });
         pool.recycle_wire(Wire::QueryReply { qid, hops, pos: key });
-        prop_assert_eq!(pool.pooled_counts(), (0, 0, 0));
-        prop_assert_eq!(pool.pooled_elements(), (0, 0, 0));
+        prop_assert_eq!(pool.pooled_counts(), (0, 0, 0, 0, 0));
+        prop_assert_eq!(pool.pooled_elements(), (0, 0, 0, 0, 0));
     }
 
     /// A payload rebuilt in a dirty-history pooled buffer encodes — via
@@ -123,7 +140,7 @@ proptest! {
         // element budget across an arbitrary sequence of returns.
         for &cap in &small_caps {
             pool.put_points(Vec::with_capacity(cap));
-            let (_, retained, _) = pool.pooled_elements();
+            let (_, retained, _, _, _) = pool.pooled_elements();
             prop_assert!(retained <= BufPool::<Pos>::max_pooled_elements());
         }
 
@@ -156,7 +173,7 @@ fn element_budget_caps_a_sustained_burst() {
     for _ in 0..(3 * budget / cap) {
         pool.put_descriptors(Vec::with_capacity(cap));
     }
-    let (retained, _, _) = pool.pooled_elements();
+    let (retained, _, _, _, _) = pool.pooled_elements();
     assert!(retained <= budget, "retained {retained} > budget {budget}");
     assert!(
         retained >= budget - cap,

@@ -8,15 +8,17 @@ use crate::message::Message;
 use crate::node::NodeRuntime;
 use crate::observe::{observe, ObservationBoard};
 use crate::registry::Registry;
+use crate::traffic::GatewayTraffic;
 use parking_lot::Mutex;
 use polystyrene::prelude::{DataPoint, PointId};
 use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::observe::RoundObservation;
-use polystyrene_protocol::{select_region_victims, Wire, TRAFFIC_SEED_TAG};
+use polystyrene_protocol::select_region_victims;
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -33,9 +35,14 @@ pub struct Cluster<S: MetricSpace> {
     handles: Mutex<HashMap<NodeId, JoinHandle<()>>>,
     next_id: Mutex<u64>,
     rng: Mutex<StdRng>,
-    /// Traffic-plane state: gateway draws come from a dedicated stream
-    /// (`seed ^ TRAFFIC_SEED_TAG`, the shared tag), qids stay unique.
-    traffic: Mutex<(StdRng, u64)>,
+    /// Traffic-plane offer state: the dedicated gateway-draw stream,
+    /// the qid counter, the cumulative shed count and the batching
+    /// scratch, shared with the TCP deployment via [`GatewayTraffic`].
+    traffic: Mutex<GatewayTraffic>,
+    /// Per-gateway admission gauges (queries accepted into a mailbox
+    /// but not yet handled by its node thread); the offer path sheds
+    /// against these instead of flooding a slow node.
+    ingress: Mutex<HashMap<NodeId, Arc<AtomicUsize>>>,
 }
 
 impl<S: MetricSpace> Cluster<S> {
@@ -76,7 +83,8 @@ impl<S: MetricSpace> Cluster<S> {
             handles: Mutex::new(HashMap::new()),
             next_id: Mutex::new(shape.len() as u64),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
-            traffic: Mutex::new((StdRng::seed_from_u64(config.seed ^ TRAFFIC_SEED_TAG), 0)),
+            traffic: Mutex::new(GatewayTraffic::new(config.seed)),
+            ingress: Mutex::new(HashMap::new()),
         };
         for (i, pos) in shape.iter().enumerate() {
             let contacts = {
@@ -102,6 +110,8 @@ impl<S: MetricSpace> Cluster<S> {
     ) {
         let (tx, rx) = crossbeam::channel::unbounded();
         self.registry.register(id, tx);
+        let ingress = Arc::new(AtomicUsize::new(0));
+        self.ingress.lock().insert(id, Arc::clone(&ingress));
         let node = NodeRuntime::new(
             id,
             self.space.clone(),
@@ -112,6 +122,7 @@ impl<S: MetricSpace> Cluster<S> {
             Box::new(RegistryFabric::new(id, Arc::clone(&self.registry))),
             Arc::clone(&self.board),
             rx,
+            ingress,
         );
         let handle = std::thread::Builder::new()
             .name(format!("poly-{id}"))
@@ -148,6 +159,7 @@ impl<S: MetricSpace> Cluster<S> {
                 // then stop the thread.
                 self.registry.send(id, Message::Shutdown);
                 self.registry.deregister(id);
+                self.ingress.lock().remove(&id);
                 let _ = handle.join();
                 self.board.remove(id);
                 true
@@ -201,34 +213,37 @@ impl<S: MetricSpace> Cluster<S> {
     }
 
     /// Offers one application query per key, each issued through a
-    /// uniformly random alive gateway node: the self-addressed
-    /// [`Wire::Query`] lands in the gateway's mailbox like any other
-    /// message, registers there, and forwards hop-by-hop through node
-    /// views as real cluster traffic. Resolution (or expiry) shows up in
-    /// the observation plane's cumulative traffic counters.
+    /// uniformly random alive gateway node. Keys that draw the same
+    /// gateway share one self-addressed
+    /// [`polystyrene_protocol::Wire::QueryBatch`] envelope in its
+    /// mailbox; admission is bounded per gateway
+    /// ([`crate::GATEWAY_INGRESS_BOUND`]), and batches refused at a full
+    /// gateway are *shed* — counted in the observation plane's
+    /// `traffic.shed`, separate from queries that expired in flight.
     pub fn offer_traffic(&self, keys: &[S::Point], ttl: u32) {
         let alive = self.alive_ids();
-        if alive.is_empty() {
-            return;
-        }
         let mut traffic = self.traffic.lock();
-        for key in keys {
-            let gateway = alive[traffic.0.random_range(0..alive.len())];
-            traffic.1 += 1;
-            self.registry.send(
-                gateway,
-                Message::Protocol {
-                    from: gateway,
-                    wire: Wire::Query {
-                        qid: traffic.1,
-                        origin: gateway,
-                        key: key.clone(),
-                        ttl,
-                        hops: 0,
+        let ingress = self.ingress.lock();
+        traffic.offer(
+            keys,
+            ttl,
+            &alive,
+            |id| ingress.get(&id).cloned(),
+            |gateway, wire| {
+                self.registry.send(
+                    gateway,
+                    Message::Protocol {
+                        from: gateway,
+                        wire,
                     },
-                },
-            );
-        }
+                );
+            },
+        );
+    }
+
+    /// Queries shed at gateway ingress so far (cumulative).
+    pub fn shed_queries(&self) -> u64 {
+        self.traffic.lock().shed()
     }
 
     /// Blocks until every alive node has executed at least `ticks` local
@@ -251,14 +266,18 @@ impl<S: MetricSpace> Cluster<S> {
     }
 
     /// Measures cluster health from the observation plane, reported as
-    /// the unified [`RoundObservation`] record.
+    /// the unified [`RoundObservation`] record. The traffic counters are
+    /// cumulative (node threads publish running totals), including the
+    /// offer-side shed count stamped here.
     pub fn observe(&self) -> RoundObservation {
-        observe(
+        let mut obs = observe(
             &self.space,
             &self.original_points,
             &self.board.snapshot(),
             self.config.area,
-        )
+        );
+        obs.traffic.shed = self.traffic.lock().shed();
+        obs
     }
 
     /// Orderly shutdown: stops every node thread and joins it.
@@ -458,6 +477,40 @@ mod tests {
             obs.traffic.availability() > 0.8,
             "a healthy cluster must serve most queries: {:?}",
             obs.traffic
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn oversized_offer_is_shed_at_the_gateway() {
+        use crate::traffic::GATEWAY_INGRESS_BOUND;
+        // One node ⇒ one gateway: a single offer larger than the ingress
+        // bound must be refused whole, deterministically (the gauge
+        // cannot admit it no matter how fast the node drains).
+        let cluster = spawn_grid(1, 1);
+        cluster.await_ticks(2, Duration::from_secs(5));
+        let oversized = GATEWAY_INGRESS_BOUND + 44;
+        let keys = vec![[0.5, 0.5]; oversized];
+        cluster.offer_traffic(&keys, 8);
+        assert_eq!(cluster.shed_queries(), oversized as u64);
+        let obs = cluster.observe();
+        assert_eq!(obs.traffic.shed, oversized as u64);
+        // A batch that fits is admitted and eventually registers.
+        cluster.offer_traffic(&keys[..8], 8);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut obs = cluster.observe();
+        while std::time::Instant::now() < deadline && obs.traffic.offered < 8 {
+            cluster.run_for(Duration::from_millis(10));
+            obs = cluster.observe();
+        }
+        assert!(
+            obs.traffic.offered >= 8,
+            "an in-bound batch must be admitted: {:?}",
+            obs.traffic
+        );
+        assert_eq!(
+            obs.traffic.shed, oversized as u64,
+            "admission must not shed"
         );
         cluster.shutdown();
     }

@@ -44,6 +44,7 @@ pub mod message;
 pub mod node;
 pub mod observe;
 pub mod registry;
+pub mod traffic;
 
 pub use cluster::Cluster;
 pub use config::RuntimeConfig;
@@ -51,3 +52,4 @@ pub use fabric::{NodeFabric, RegistryFabric};
 pub use message::Message;
 pub use polystyrene_protocol::observe::RoundObservation;
 pub use registry::Registry;
+pub use traffic::{GatewayTraffic, GATEWAY_INGRESS_BOUND};

@@ -18,11 +18,12 @@ use crate::message::Message;
 use crate::observe::{NodeReport, ObservationBoard};
 use polystyrene::prelude::{DataPoint, PolyState};
 use polystyrene_membership::{Descriptor, NodeId};
-use polystyrene_protocol::{CostModel, Effect, EffectSink, Event, ProtocolNode};
+use polystyrene_protocol::{CostModel, Effect, EffectSink, Event, ProtocolNode, Wire};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,6 +63,11 @@ pub struct NodeRuntime<S: MetricSpace> {
     traffic_dropped: u64,
     /// Trailing window of resolved-query `(hops, latency)` samples.
     traffic_recent: Vec<(u32, u64)>,
+    /// This gateway's admission gauge, shared with the cluster's offer
+    /// path: the offer side adds admitted queries, this thread subtracts
+    /// them as it drains the injections — the backpressure signal that
+    /// makes the offer path shed instead of flooding a slow mailbox.
+    ingress: Arc<AtomicUsize>,
 }
 
 impl<S: MetricSpace> NodeRuntime<S> {
@@ -78,6 +84,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
         fabric: Box<dyn NodeFabric<S::Point>>,
         board: Arc<ObservationBoard<S::Point>>,
         rx: crossbeam::channel::Receiver<Message<S::Point>>,
+        ingress: Arc<AtomicUsize>,
     ) -> Self {
         let poly = match origin {
             Some(point) => PolyState::with_initial_point(point),
@@ -106,6 +113,7 @@ impl<S: MetricSpace> NodeRuntime<S> {
             traffic_delivered: 0,
             traffic_dropped: 0,
             traffic_recent: Vec::new(),
+            ingress,
         }
     }
 
@@ -205,6 +213,26 @@ impl<S: MetricSpace> NodeRuntime<S> {
     fn handle(&mut self, message: Message<S::Point>) {
         match message {
             Message::Protocol { from, wire } => {
+                // Self-addressed query wires are gateway injections from
+                // the cluster's offer path — the only self-sends in the
+                // system. Handling one frees its admission-gauge slots.
+                if from == self.node.id() {
+                    let injected = match &wire {
+                        Wire::Query { .. } => 1,
+                        Wire::QueryBatch { queries } => queries.len(),
+                        _ => 0,
+                    };
+                    if injected > 0 {
+                        // Saturating: a harness injecting queries by hand
+                        // (no gauge charge) must not wrap the gauge into
+                        // a permanently-full reading.
+                        let _ =
+                            self.ingress
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                                    Some(v.saturating_sub(injected))
+                                });
+                    }
+                }
                 let mut sink = std::mem::take(&mut self.sink);
                 sink.clear();
                 self.node

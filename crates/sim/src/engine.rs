@@ -44,7 +44,7 @@ use crate::pool::NodePool;
 use polystyrene::prelude::*;
 use polystyrene_membership::{Descriptor, NodeId, SharedFailureDetector};
 use polystyrene_protocol::{
-    Channel, Effect, EffectSink, Event, Phase, ProtocolConfig, ProtocolNode, Wire,
+    Channel, Effect, EffectSink, Event, Phase, ProtocolConfig, ProtocolNode, QueryItem, Wire,
 };
 use polystyrene_space::MetricSpace;
 use polystyrene_topology::rank::GridIndex;
@@ -191,6 +191,9 @@ pub struct Engine<S: MetricSpace> {
     traffic_rng: StdRng,
     /// Query-id counter for [`Engine::offer_traffic`].
     next_qid: u64,
+    /// Reusable `(gateway, qid, key index)` scratch of the batched
+    /// [`Engine::offer_traffic`] grouping pass.
+    traffic_batch: Vec<(NodeId, u64, usize)>,
 }
 
 /// Reusable buffers of the per-round measurement pass. At scale the
@@ -296,6 +299,7 @@ impl<S: MetricSpace> Engine<S> {
             order: Vec::new(),
             traffic_rng: StdRng::seed_from_u64(config.seed ^ TRAFFIC_SEED_TAG),
             next_qid: 0,
+            traffic_batch: Vec::new(),
         }
     }
 
@@ -405,7 +409,69 @@ impl<S: MetricSpace> Engine<S> {
     /// atomic-exchange semantics applied to the traffic plane. Gateways
     /// are drawn from the dedicated traffic RNG and query handling draws
     /// no entropy at all, so the protocol stream is untouched.
+    ///
+    /// Co-gateway queries share one [`Wire::QueryBatch`] envelope: every
+    /// gateway is drawn first, in key order (the exact rng stream and
+    /// qid assignment of the per-wire path), then the round's queries
+    /// are grouped per gateway and injected as one event each.
     pub fn offer_traffic(&mut self, keys: &[S::Point], ttl: u32) {
+        if self.pool.alive_count() == 0 {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.traffic_batch);
+        batch.clear();
+        {
+            let alive = self.pool.alive_ids();
+            let n = alive.len();
+            for idx in 0..keys.len() {
+                let gateway = alive[self.traffic_rng.random_range(0..n)];
+                self.next_qid += 1;
+                batch.push((gateway, self.next_qid, idx));
+            }
+        }
+        // Group by gateway; qids ascend within a gateway, so each batch
+        // carries its queries in the order the per-wire path issued them.
+        batch.sort_unstable();
+        let mut sink = std::mem::take(&mut self.sink);
+        let mut at = 0;
+        while at < batch.len() {
+            let gateway = batch[at].0;
+            let mut queries = sink.take_queries();
+            while at < batch.len() && batch[at].0 == gateway {
+                let (_, qid, idx) = batch[at];
+                queries.push(QueryItem {
+                    qid,
+                    origin: gateway,
+                    key: keys[idx].clone(),
+                    ttl,
+                    hops: 0,
+                });
+                at += 1;
+            }
+            sink.clear();
+            let node = self.pool.get_mut(gateway).expect("alive id");
+            node.on_event_into(
+                Event::Message {
+                    from: gateway,
+                    wire: Wire::QueryBatch { queries },
+                },
+                &mut self.rng,
+                &mut sink,
+            );
+            if !sink.is_empty() {
+                self.dispatch(gateway, &mut sink);
+            }
+        }
+        self.sink = sink;
+        self.traffic_batch = batch;
+    }
+
+    /// The pre-batching per-wire offer path: one [`Wire::Query`] event
+    /// per key, dispatched to completion individually. Kept as a paired
+    /// baseline — the batched path must deliver the identical outcome
+    /// set (pinned by a lab test) and beat this on wall-clock (measured
+    /// by `fig_traffic_scale`).
+    pub fn offer_traffic_unbatched(&mut self, keys: &[S::Point], ttl: u32) {
         if self.pool.alive_count() == 0 {
             return;
         }

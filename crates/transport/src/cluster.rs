@@ -25,17 +25,18 @@ use polystyrene_membership::{Descriptor, NodeId};
 use polystyrene_protocol::codec::{decode_event, encode_event_into, PointCodec};
 use polystyrene_protocol::observe::RoundObservation;
 use polystyrene_protocol::select_region_victims;
-use polystyrene_protocol::{Event, Fate, NetworkModel, Wire, TRAFFIC_SEED_TAG};
+use polystyrene_protocol::{Event, Fate, NetworkModel, Wire};
 use polystyrene_runtime::harness::{contacts_from_board, contacts_from_shape};
 use polystyrene_runtime::node::NodeRuntime;
 use polystyrene_runtime::observe::{observe, ObservationBoard};
+use polystyrene_runtime::traffic::GatewayTraffic;
 use polystyrene_runtime::{Message, NodeFabric, RuntimeConfig};
 use polystyrene_space::MetricSpace;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -262,6 +263,9 @@ struct TcpNode<P> {
     mailbox: Sender<Message<P>>,
     /// Shared with the acceptor and every reader thread it spawned.
     stop: Arc<AtomicBool>,
+    /// Admission gauge shared with the node thread: queries offered into
+    /// the mailbox but not yet handled, bounding gateway ingress.
+    ingress: Arc<AtomicUsize>,
     node_thread: JoinHandle<()>,
     acceptor: JoinHandle<()>,
 }
@@ -290,9 +294,10 @@ where
     graveyard: Mutex<Vec<JoinHandle<()>>>,
     next_id: Mutex<u64>,
     rng: Mutex<StdRng>,
-    /// Traffic-plane state: gateway draws come from a dedicated stream
-    /// (`seed ^ TRAFFIC_SEED_TAG`, the shared tag), qids stay unique.
-    traffic: Mutex<(StdRng, u64)>,
+    /// Traffic-plane offer state (gateway-draw stream, qid counter,
+    /// cumulative shed, batching scratch), shared with the in-process
+    /// cluster via [`GatewayTraffic`].
+    traffic: Mutex<GatewayTraffic>,
 }
 
 impl<S: MetricSpace> TcpCluster<S>
@@ -334,10 +339,7 @@ where
             graveyard: Mutex::new(Vec::new()),
             next_id: Mutex::new(shape.len() as u64),
             rng: Mutex::new(StdRng::seed_from_u64(config.runtime.seed)),
-            traffic: Mutex::new((
-                StdRng::seed_from_u64(config.runtime.seed ^ TRAFFIC_SEED_TAG),
-                0,
-            )),
+            traffic: Mutex::new(GatewayTraffic::new(config.runtime.seed)),
         };
         for (i, pos) in shape.iter().enumerate() {
             let contacts = {
@@ -400,6 +402,7 @@ where
                 .expect("failed to spawn acceptor thread")
         };
 
+        let ingress = Arc::new(AtomicUsize::new(0));
         let node = NodeRuntime::new(
             id,
             self.space.clone(),
@@ -410,6 +413,7 @@ where
             Box::new(TcpLink::new(id, Arc::clone(&self.fabric), &self.config)),
             Arc::clone(&self.board),
             rx,
+            Arc::clone(&ingress),
         );
         let node_thread = std::thread::Builder::new()
             .name(format!("poly-tcp-{id}"))
@@ -421,6 +425,7 @@ where
             TcpNode {
                 mailbox: tx,
                 stop,
+                ingress,
                 node_thread,
                 acceptor,
             },
@@ -522,12 +527,15 @@ where
     }
 
     /// Offers one application query per key, each issued through a
-    /// uniformly random alive gateway: the self-addressed
-    /// [`Wire::Query`] lands directly in the gateway's mailbox (issuing
-    /// a query at a node costs no socket), and every forwarding hop then
-    /// rides a real framed TCP connection like any other protocol
-    /// message. Resolution (or expiry) shows up in the observation
-    /// plane's cumulative traffic counters.
+    /// uniformly random alive gateway. Keys that draw the same gateway
+    /// share one self-addressed
+    /// [`polystyrene_protocol::Wire::QueryBatch`] envelope in its
+    /// mailbox (issuing queries at a node costs no socket); every
+    /// forwarding hop then rides a real framed TCP connection like any
+    /// other protocol message. Admission is bounded per gateway
+    /// ([`polystyrene_runtime::GATEWAY_INGRESS_BOUND`]); batches refused
+    /// at a full gateway are shed and counted in the observation
+    /// plane's `traffic.shed`, separate from in-flight expiry.
     pub fn offer_traffic(&self, keys: &[S::Point], ttl: u32) {
         let nodes = self.nodes.lock();
         if nodes.is_empty() {
@@ -535,20 +543,23 @@ where
         }
         let ids: Vec<NodeId> = nodes.keys().copied().collect();
         let mut traffic = self.traffic.lock();
-        for key in keys {
-            let gateway = ids[traffic.0.random_range(0..ids.len())];
-            traffic.1 += 1;
-            let _ = nodes[&gateway].mailbox.send(Message::Protocol {
-                from: gateway,
-                wire: Wire::Query {
-                    qid: traffic.1,
-                    origin: gateway,
-                    key: key.clone(),
-                    ttl,
-                    hops: 0,
-                },
-            });
-        }
+        traffic.offer(
+            keys,
+            ttl,
+            &ids,
+            |id| nodes.get(&id).map(|n| Arc::clone(&n.ingress)),
+            |gateway, wire| {
+                let _ = nodes[&gateway].mailbox.send(Message::Protocol {
+                    from: gateway,
+                    wire,
+                });
+            },
+        );
+    }
+
+    /// Queries shed at gateway ingress so far (cumulative).
+    pub fn shed_queries(&self) -> u64 {
+        self.traffic.lock().shed()
     }
 
     /// Blocks until every alive node has executed at least `ticks` local
@@ -575,12 +586,14 @@ where
     pub fn observe(&self) -> RoundObservation {
         let mut snapshot = self.board.snapshot();
         snapshot.retain(|id, _| self.fabric.contains(*id));
-        observe(
+        let mut obs = observe(
             &self.space,
             &self.original_points,
             &snapshot,
             self.config.runtime.area,
-        )
+        );
+        obs.traffic.shed = self.traffic.lock().shed();
+        obs
     }
 
     /// Orderly shutdown: stops every node and joins its node and
@@ -813,6 +826,21 @@ mod tests {
             "a healthy TCP cluster must serve most queries: {:?}",
             obs.traffic
         );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn oversized_offer_is_shed_at_the_tcp_gateway() {
+        use polystyrene_runtime::GATEWAY_INGRESS_BOUND;
+        // One node ⇒ one gateway: an offer larger than the ingress bound
+        // is refused whole, regardless of thread timing.
+        let cluster = spawn_grid(1, 1);
+        cluster.await_ticks(2, Duration::from_secs(10));
+        let oversized = GATEWAY_INGRESS_BOUND + 10;
+        let keys = vec![[0.5, 0.5]; oversized];
+        cluster.offer_traffic(&keys, 8);
+        assert_eq!(cluster.shed_queries(), oversized as u64);
+        assert_eq!(cluster.observe().traffic.shed, oversized as u64);
         cluster.shutdown();
     }
 
